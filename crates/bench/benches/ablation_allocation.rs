@@ -1,0 +1,52 @@
+//! Allocation-method ablation bench: Algorithm 2 (relax + round) vs
+//! greedy vs minimal, with per-method timing of the allocation solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::ablation_allocation;
+use qdn_bench::report::{sweep_csv, sweep_table};
+use qdn_bench::Scale;
+use qdn_core::allocation::AllocationMethod;
+use qdn_solve::{AllocationInstance, PackingConstraint, Variable};
+use std::hint::black_box;
+
+/// A representative per-slot instance: 4 routes × 3 edges with shared
+/// node constraints.
+fn representative_instance() -> AllocationInstance {
+    let vars: Vec<Variable> = (0..12).map(|_| Variable::new(0.5507)).collect();
+    let mut constraints = Vec::new();
+    // Edge constraints: one per variable.
+    for j in 0..12 {
+        constraints.push(PackingConstraint::new(6, vec![j]));
+    }
+    // Node constraints coupling neighbouring variables.
+    for j in 0..11 {
+        constraints.push(PackingConstraint::new(13, vec![j, j + 1]));
+    }
+    AllocationInstance::new(vars, constraints, 2500.0, 10.0).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let points = ablation_allocation(Scale::Quick);
+    println!(
+        "\n# Ablation: allocation method (Quick scale)\n{}",
+        sweep_table("variant", &points)
+    );
+    println!("{}", sweep_csv("variant", &points));
+
+    let instance = representative_instance();
+    let methods = [
+        AllocationMethod::relax_and_round(),
+        AllocationMethod::Greedy,
+        AllocationMethod::Minimal,
+    ];
+    let mut group = c.benchmark_group("ablation_allocation");
+    for method in methods {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| black_box(method.allocate(&instance)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

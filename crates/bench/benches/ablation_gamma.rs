@@ -1,0 +1,33 @@
+//! Gibbs temperature ablation bench: the exploration/exploitation knob
+//! γ of Eq. 15.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::ablation_gamma;
+use qdn_bench::report::{sweep_csv, sweep_table};
+use qdn_bench::Scale;
+use qdn_core::route_selection::gibbs::acceptance_probability;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = ablation_gamma(Scale::Quick);
+    println!(
+        "\n# Ablation: Gibbs γ (Quick scale)\n{}",
+        sweep_table("gamma", &points)
+    );
+    println!("{}", sweep_csv("gamma", &points));
+
+    let mut group = c.benchmark_group("ablation_gamma");
+    group.bench_function("acceptance_probability_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += acceptance_probability(i as f64, 500.0 - i as f64, 500.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

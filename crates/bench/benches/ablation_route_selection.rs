@@ -1,0 +1,63 @@
+//! Route-selection ablation bench: Gibbs vs its parallel variant vs
+//! greedy local search vs first-route vs random, plus per-selector
+//! timing of a single per-slot solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::ablation_route_selection;
+use qdn_bench::report::{sweep_csv, sweep_table};
+use qdn_bench::Scale;
+use qdn_core::allocation::AllocationMethod;
+use qdn_core::problem::PerSlotContext;
+use qdn_core::route_selection::{Candidates, GibbsConfig, RouteSelector};
+use qdn_net::routes::{CandidateRoutes, RouteLimits};
+use qdn_net::workload::random_sd_pair;
+use qdn_net::{CapacitySnapshot, NetworkConfig};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = ablation_route_selection(Scale::Quick);
+    println!(
+        "\n# Ablation: route selection (Quick scale)\n{}",
+        sweep_table("variant", &points)
+    );
+    println!("{}", sweep_csv("variant", &points));
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    let snap = CapacitySnapshot::full(&net);
+    let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+    let pairs: Vec<_> = (0..4).map(|_| random_sd_pair(&mut rng, &net)).collect();
+    let owned: Vec<_> = pairs
+        .iter()
+        .map(|&p| (p, cr.routes(&net, p).to_vec()))
+        .collect();
+    let cands: Vec<Candidates> = owned
+        .iter()
+        .map(|(pair, routes)| Candidates {
+            pair: *pair,
+            routes,
+        })
+        .collect();
+    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+
+    let selectors: Vec<(&str, RouteSelector)> = vec![
+        ("gibbs", RouteSelector::Gibbs(GibbsConfig::paper_default())),
+        ("greedy_local", RouteSelector::GreedyLocal { max_rounds: 4 }),
+        ("first", RouteSelector::First),
+        ("random", RouteSelector::Random),
+    ];
+    let mut group = c.benchmark_group("ablation_route_selection");
+    group.sample_size(10);
+    for (name, selector) in selectors {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(selector.select(&ctx, &cands, &AllocationMethod::default(), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Event-driven experiments at quick scale plus timing loops for the DES
+//! kernels: route execution, event-queue churn, and a full online run.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::des::{budget_violation, des_validation, online_rate_sweep};
+use qdn_bench::Scale;
+use qdn_des::arrivals::PoissonArrivals;
+use qdn_des::exec::{execute_route, EdgeTask, ExecutionConfig};
+use qdn_des::online::{run_online, OnlineConfig, OnlineRouter};
+use qdn_des::queue::EventQueue;
+use qdn_des::time::SimTime;
+use qdn_graph::EdgeId;
+use qdn_net::NetworkConfig;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = des_validation(Scale::Quick);
+    println!("\n# DES validation (Quick scale)");
+    for r in &rows {
+        println!(
+            "{:<18} analytic {:.4} realized {:.4} gap {:.4} p50 {:.4}s p99 {:.4}s",
+            r.policy, r.analytic, r.realized, r.gap, r.p50_latency, r.p99_latency
+        );
+    }
+
+    let online = online_rate_sweep(Scale::Quick);
+    println!("\n# Online rate sweep (Quick scale)");
+    for r in &online {
+        println!(
+            "rate {:>5.2}/s success {:.4} spend {:>5} thruput {:.3}/s",
+            r.rate, r.success, r.spend, r.throughput
+        );
+    }
+
+    let violation = budget_violation(Scale::Quick);
+    println!("\n# Budget violation (Quick scale)");
+    for r in &violation {
+        println!(
+            "{:<18} spend {:>8.1} ({:.2}x C) success {:.4}",
+            r.policy, r.spend, r.spend_over_budget, r.success
+        );
+    }
+
+    let mut group = c.benchmark_group("des");
+
+    // Kernel 1: one 3-hop route execution (the unit of all DES work).
+    let cfg = ExecutionConfig::paper_default();
+    let tasks: Vec<EdgeTask> = (0..3)
+        .map(|i| EdgeTask::new(EdgeId(i), 2e-4, 2).unwrap())
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    group.bench_function("execute_route_3hops", |b| {
+        b.iter(|| black_box(execute_route(SimTime::ZERO, black_box(&tasks), &cfg, &mut rng)))
+    });
+
+    // Kernel 2: event-queue schedule/pop churn at 1k pending events.
+    group.bench_function("event_queue_churn_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.payload);
+            }
+            black_box(sum)
+        })
+    });
+
+    // Kernel 3: a short end-to-end online run (arrivals + routing +
+    // physics + resource ledger).
+    group.sample_size(10);
+    group.bench_function("online_run_20s_paper_rate", |b| {
+        b.iter(|| {
+            let mut env_rng = rand::rngs::StdRng::seed_from_u64(2);
+            let mut policy_rng = rand::rngs::StdRng::seed_from_u64(3);
+            let net = NetworkConfig::paper_default().build(&mut env_rng).unwrap();
+            let mut router = OnlineRouter::new(OnlineConfig::paper_default());
+            let mut arrivals =
+                PoissonArrivals::new(PoissonArrivals::paper_rate(), Duration::from_secs(20))
+                    .unwrap();
+            black_box(run_online(
+                &net,
+                &mut router,
+                &mut arrivals,
+                &mut env_rng,
+                &mut policy_rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Extension experiments bench: imperfect swapping, resource dynamics,
+//! and multi-EC load at quick scale, plus a timing loop for the
+//! swap-folded route-success kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::{
+    extension_dynamics, extension_fidelity, extension_multi_ec, extension_swap,
+    extension_topologies,
+};
+use qdn_bench::report::{sweep_csv, sweep_table};
+use qdn_bench::Scale;
+use qdn_graph::Path;
+use qdn_net::network::QdnNetworkBuilder;
+use qdn_physics::link::LinkModel;
+use qdn_physics::swap::SwapModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let swap = extension_swap(Scale::Quick);
+    println!(
+        "\n# Extension: swap success (Quick scale)\n{}",
+        sweep_table("swap_success", &swap)
+    );
+    println!("{}", sweep_csv("swap_success", &swap));
+
+    let dynamics = extension_dynamics(Scale::Quick);
+    println!(
+        "\n# Extension: resource dynamics (Quick scale)\n{}",
+        sweep_table("dynamics", &dynamics)
+    );
+    println!("{}", sweep_csv("dynamics", &dynamics));
+
+    let multi = extension_multi_ec(Scale::Quick);
+    println!(
+        "\n# Extension: multi-EC load (Quick scale)\n{}",
+        sweep_table("max_requests_per_pair", &multi)
+    );
+    println!("{}", sweep_csv("max_requests_per_pair", &multi));
+
+    let topo = extension_topologies(Scale::Quick);
+    println!(
+        "\n# Extension: topology families (Quick scale)\n{}",
+        sweep_table("topology", &topo)
+    );
+    println!("{}", sweep_csv("topology", &topo));
+
+    let fidelity = extension_fidelity(Scale::Quick);
+    println!(
+        "\n# Extension: fidelity-constrained routing (Quick scale)\n{}",
+        sweep_table("fidelity_target", &fidelity)
+    );
+    println!("{}", sweep_csv("fidelity_target", &fidelity));
+
+    // Timing: route-success evaluation with the swap factor folded in
+    // (the kernel every profile evaluation calls per edge).
+    let mut b = QdnNetworkBuilder::new();
+    let nodes: Vec<_> = (0..6).map(|_| b.add_node(16)).collect();
+    for w in nodes.windows(2) {
+        b.add_edge(w[0], w[1], 8, LinkModel::new(0.55).unwrap())
+            .unwrap();
+    }
+    b.set_swap(SwapModel::new(0.95).unwrap());
+    let net = b.build();
+    let route = Path::from_nodes(net.graph(), nodes.clone()).unwrap();
+    let allocation = vec![2u32; route.hops()];
+
+    let mut group = c.benchmark_group("extensions");
+    group.bench_function("route_success_with_swap_5hops", |b| {
+        b.iter(|| black_box(net.route_success(black_box(&route), black_box(&allocation))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

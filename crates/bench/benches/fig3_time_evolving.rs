@@ -1,0 +1,45 @@
+//! Fig. 3 bench: prints the quick-scale time-evolving series and times
+//! the core simulation loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::{fig3, paper_policies};
+use qdn_bench::report::{fig3_csv, fig3_summary};
+use qdn_bench::Scale;
+use qdn_sim::engine::SimConfig;
+use qdn_sim::experiment::Experiment;
+use qdn_sim::trial::TrialConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the figure once so `cargo bench` output contains the
+    // paper's series.
+    let out = fig3(Scale::Quick);
+    println!("\n# Fig. 3 series (Quick scale)\n{}", fig3_summary(&out));
+    println!("{}", fig3_csv(&out));
+    match out.shape_holds() {
+        Ok(()) => println!("shape check: OK"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("three_policies_1trial_10slots", |b| {
+        b.iter(|| {
+            let mut e = Experiment::paper_default("bench");
+            e.policies = paper_policies(Scale::Quick);
+            e.trials = TrialConfig {
+                trials: 1,
+                base_seed: 1,
+                sim: SimConfig {
+                    horizon: 10,
+                    realize_outcomes: true,
+                },
+            };
+            black_box(e.run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

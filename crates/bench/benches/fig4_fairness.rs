@@ -1,0 +1,33 @@
+//! Fig. 4 bench: prints the quick-scale success-rate distribution and
+//! times the distribution pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::fig4;
+use qdn_bench::report::{fig4_csv, fig4_summary};
+use qdn_bench::Scale;
+use qdn_sim::stats::Histogram;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = fig4(Scale::Quick);
+    println!(
+        "\n# Fig. 4 distribution (Quick scale)\n{}",
+        fig4_summary(&out.rows)
+    );
+    println!("{}", fig4_csv(&out));
+    match out.shape_holds() {
+        Ok(()) => println!("shape check: OK"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+
+    // Histogram construction micro-bench on a realistic sample size.
+    let probs: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64 / 100.0).collect();
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("histogram_10k", |b| {
+        b.iter(|| black_box(Histogram::new(&probs, 0.0, 1.0, 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 5 bench: prints the quick-scale budget sweep and times one sweep
+//! point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::{fig5, fig5_shape_holds, oscar_config};
+use qdn_bench::report::{sweep_csv, sweep_table};
+use qdn_bench::Scale;
+use qdn_sim::engine::SimConfig;
+use qdn_sim::experiment::{Experiment, PolicySpec};
+use qdn_sim::trial::TrialConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = fig5(Scale::Quick);
+    println!(
+        "\n# Fig. 5 budget sweep (Quick scale)\n{}",
+        sweep_table("budget", &points)
+    );
+    println!("{}", sweep_csv("budget", &points));
+    match fig5_shape_holds(&points) {
+        Ok(()) => println!("shape check: OK"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("oscar_one_budget_point_10slots", |b| {
+        b.iter(|| {
+            let mut e = Experiment::paper_default("bench");
+            e.policies = vec![PolicySpec::Oscar(
+                oscar_config(Scale::Quick).with_budget(1000.0),
+            )];
+            e.trials = TrialConfig {
+                trials: 1,
+                base_seed: 2,
+                sim: SimConfig {
+                    horizon: 10,
+                    realize_outcomes: true,
+                },
+            };
+            black_box(e.run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fig. 6 bench: prints the quick-scale network-size sweep and times
+//! topology generation + candidate-route computation at the largest size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::{fig6, fig6_shape_holds};
+use qdn_bench::report::{sweep_csv, sweep_table};
+use qdn_bench::Scale;
+use qdn_net::routes::{CandidateRoutes, RouteLimits};
+use qdn_net::workload::random_sd_pair;
+use qdn_net::NetworkConfig;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = fig6(Scale::Quick);
+    println!(
+        "\n# Fig. 6 network-size sweep (Quick scale)\n{}",
+        sweep_table("nodes", &points)
+    );
+    println!("{}", sweep_csv("nodes", &points));
+    match fig6_shape_holds(&points) {
+        Ok(()) => println!("shape check: OK"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+
+    let mut group = c.benchmark_group("fig6");
+    group.bench_function("build_30node_network", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            black_box(
+                NetworkConfig::paper_default()
+                    .with_nodes(30)
+                    .build(&mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("candidate_routes_30node", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let net = NetworkConfig::paper_default()
+            .with_nodes(30)
+            .build(&mut rng)
+            .unwrap();
+        b.iter(|| {
+            let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+            let pair = random_sd_pair(&mut rng, &net);
+            black_box(cr.routes(&net, pair).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

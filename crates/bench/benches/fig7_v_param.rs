@@ -1,0 +1,58 @@
+//! Fig. 7 bench: prints the quick-scale V sweep and times the per-slot
+//! P2 solve at two V extremes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::{fig7, fig7_shape_holds};
+use qdn_bench::report::{sweep_csv, sweep_table};
+use qdn_bench::Scale;
+use qdn_core::allocation::AllocationMethod;
+use qdn_core::problem::PerSlotContext;
+use qdn_core::route_selection::{Candidates, RouteSelector};
+use qdn_net::routes::{CandidateRoutes, RouteLimits};
+use qdn_net::workload::random_sd_pair;
+use qdn_net::{CapacitySnapshot, NetworkConfig};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = fig7(Scale::Quick);
+    println!("\n# Fig. 7 V sweep (Quick scale)\n{}", sweep_table("V", &points));
+    println!("{}", sweep_csv("V", &points));
+    match fig7_shape_holds(&points) {
+        Ok(()) => println!("shape check: OK"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+
+    // Per-slot P2 solve timing at low and high V.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    let snap = CapacitySnapshot::full(&net);
+    let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+    let pairs: Vec<_> = (0..3).map(|_| random_sd_pair(&mut rng, &net)).collect();
+    let owned: Vec<_> = pairs
+        .iter()
+        .map(|&p| (p, cr.routes(&net, p).to_vec()))
+        .collect();
+
+    let mut group = c.benchmark_group("fig7");
+    for v in [500.0, 10000.0] {
+        group.bench_function(format!("p2_solve_v{v}"), |b| {
+            let cands: Vec<Candidates> = owned
+                .iter()
+                .map(|(pair, routes)| Candidates {
+                    pair: *pair,
+                    routes,
+                })
+                .collect();
+            let ctx = PerSlotContext::oscar(&net, &snap, v, 10.0);
+            let selector = RouteSelector::default();
+            b.iter(|| {
+                black_box(selector.select(&ctx, &cands, &AllocationMethod::default(), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 8 bench: prints the quick-scale q0 sweep and times the virtual
+//! queue recursion (a sanity floor for the harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_bench::figures::{fig8, fig8_shape_holds};
+use qdn_bench::report::{sweep_csv, sweep_table};
+use qdn_bench::Scale;
+use qdn_core::lyapunov::VirtualQueue;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = fig8(Scale::Quick);
+    println!("\n# Fig. 8 q0 sweep (Quick scale)\n{}", sweep_table("q0", &points));
+    println!("{}", sweep_csv("q0", &points));
+    match fig8_shape_holds(&points) {
+        Ok(()) => println!("shape check: OK"),
+        Err(e) => println!("shape check: FAILED — {e}"),
+    }
+
+    let mut group = c.benchmark_group("fig8");
+    group.bench_function("virtual_queue_update_1k", |b| {
+        b.iter(|| {
+            let mut q = VirtualQueue::new(10.0, 5000.0, 200);
+            for i in 0..1000u64 {
+                black_box(q.update(i % 40));
+            }
+            black_box(q.value())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the hot kernels: Yen's KSP, the dual solver, the
+//! greedy allocator, one Gibbs iteration worth of work, and the
+//! attempt-level Monte Carlo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_graph::ksp::yen_k_shortest;
+use qdn_graph::paths::hop_weight;
+use qdn_net::workload::random_sd_pair;
+use qdn_net::NetworkConfig;
+use qdn_physics::link::LinkModel;
+use qdn_physics::monte_carlo::simulate_route;
+use qdn_physics::swap::SwapModel;
+use qdn_solve::greedy::greedy_allocate;
+use qdn_solve::relaxed::{solve_relaxed, RelaxedOptions};
+use qdn_solve::rounding::round_down_and_fill;
+use qdn_solve::{AllocationInstance, PackingConstraint, Variable};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(nv: usize) -> AllocationInstance {
+    let vars: Vec<Variable> = (0..nv).map(|_| Variable::new(0.5507)).collect();
+    let mut constraints = Vec::new();
+    for j in 0..nv {
+        constraints.push(PackingConstraint::new(7, vec![j]));
+    }
+    for j in 0..nv.saturating_sub(1) {
+        constraints.push(PackingConstraint::new(12, vec![j, j + 1]));
+    }
+    AllocationInstance::new(vars, constraints, 2500.0, 15.0).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+
+    let mut group = c.benchmark_group("micro");
+
+    group.bench_function("yen_k4_paper_topology", |b| {
+        b.iter(|| {
+            let pair = random_sd_pair(&mut rng, &net);
+            black_box(yen_k_shortest(
+                net.graph(),
+                pair.source(),
+                pair.destination(),
+                4,
+                &hop_weight,
+            ))
+        })
+    });
+
+    let inst = instance(12);
+    group.bench_function("dual_solve_12vars", |b| {
+        b.iter(|| black_box(solve_relaxed(&inst, &RelaxedOptions::default()).unwrap()))
+    });
+
+    group.bench_function("relax_round_12vars", |b| {
+        let relaxed = solve_relaxed(&inst, &RelaxedOptions::default()).unwrap();
+        b.iter(|| black_box(round_down_and_fill(&inst, &relaxed.x).unwrap()))
+    });
+
+    group.bench_function("greedy_allocate_12vars", |b| {
+        b.iter(|| black_box(greedy_allocate(&inst).unwrap()))
+    });
+
+    let link = LinkModel::paper_default();
+    group.bench_function("monte_carlo_route_3hops", |b| {
+        b.iter(|| {
+            black_box(simulate_route(
+                &mut rng,
+                [(link, 3), (link, 3), (link, 3)],
+                &SwapModel::perfect(),
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Printing helpers shared by the `fig*` binaries and the Criterion
+//! benches.
+
+use qdn_sim::output::{fmt_f, to_csv, to_table};
+
+use crate::figures::{DistributionRow, Fig3, Fig4, SweepPoint};
+
+/// Renders the Fig. 3 series as CSV (`t, <policy>_utility,
+/// <policy>_success, <policy>_usage, …`).
+pub fn fig3_csv(fig: &Fig3) -> String {
+    let horizon = fig
+        .series
+        .first()
+        .map(|s| s.avg_utility.len())
+        .unwrap_or(0);
+    let mut header: Vec<String> = vec!["t".into()];
+    for s in &fig.series {
+        header.push(format!("{}_avg_utility", s.policy));
+        header.push(format!("{}_avg_success", s.policy));
+        header.push(format!("{}_cum_usage", s.policy));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..horizon)
+        .map(|t| {
+            let mut row = vec![t.to_string()];
+            for s in &fig.series {
+                row.push(fmt_f(s.avg_utility[t]));
+                row.push(fmt_f(s.avg_success[t]));
+                row.push(fmt_f(s.cumulative_cost[t]));
+            }
+            row
+        })
+        .collect();
+    to_csv(&header_refs, &rows)
+}
+
+/// Renders the Fig. 3 endpoint summary as an aligned table.
+pub fn fig3_summary(fig: &Fig3) -> String {
+    let rows: Vec<Vec<String>> = fig
+        .series
+        .iter()
+        .map(|s| {
+            vec![
+                s.policy.clone(),
+                fmt_f(*s.avg_utility.last().unwrap_or(&0.0)),
+                fmt_f(*s.avg_success.last().unwrap_or(&0.0)),
+                fmt_f(*s.cumulative_cost.last().unwrap_or(&0.0)),
+                fmt_f(fig.budget),
+            ]
+        })
+        .collect();
+    to_table(
+        &["policy", "final_avg_utility", "final_avg_success", "total_usage", "budget"],
+        &rows,
+    )
+}
+
+/// Renders the Fig. 4 histogram as CSV (`bin_center, <policy>_fraction…`).
+pub fn fig4_csv(fig: &Fig4) -> String {
+    let mut header: Vec<String> = vec!["bin_center".into()];
+    for r in &fig.rows {
+        header.push(format!("{}_fraction", r.policy));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = fig
+        .bin_centers
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let mut row = vec![fmt_f(c)];
+            for r in &fig.rows {
+                row.push(fmt_f(r.fractions[i]));
+            }
+            row
+        })
+        .collect();
+    to_csv(&header_refs, &rows)
+}
+
+/// Renders the Fig. 4 fairness summary as an aligned table.
+pub fn fig4_summary(rows: &[DistributionRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.policy.clone(), fmt_f(r.mean), fmt_f(r.jain)])
+        .collect();
+    to_table(&["policy", "mean_success", "jain_fairness"], &body)
+}
+
+/// Renders a sweep (Figs. 5–8, ablations) as CSV with one row per sweep
+/// point and `success/utility/usage` columns per policy.
+pub fn sweep_csv(x_name: &str, points: &[SweepPoint]) -> String {
+    let mut header: Vec<String> = vec![x_name.into()];
+    if let Some(first) = points.first() {
+        for o in &first.outcomes {
+            header.push(format!("{}_success", o.policy));
+            header.push(format!("{}_utility", o.policy));
+            header.push(format!("{}_usage", o.policy));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![fmt_f(p.x)];
+            for o in &p.outcomes {
+                row.push(fmt_f(o.avg_success));
+                row.push(fmt_f(o.avg_utility));
+                row.push(fmt_f(o.total_usage));
+            }
+            row
+        })
+        .collect();
+    to_csv(&header_refs, &rows)
+}
+
+/// Renders a sweep as an aligned table (one row per point × policy).
+pub fn sweep_table(x_name: &str, points: &[SweepPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .flat_map(|p| {
+            points_row(p, x_name)
+        })
+        .collect();
+    to_table(
+        &[x_name, "policy", "avg_success", "avg_utility", "total_usage"],
+        &rows,
+    )
+}
+
+fn points_row(p: &SweepPoint, _x_name: &str) -> Vec<Vec<String>> {
+    p.outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                fmt_f(p.x),
+                o.policy.clone(),
+                fmt_f(o.avg_success),
+                fmt_f(o.avg_utility),
+                fmt_f(o.total_usage),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{PolicySeries, SweepOutcome};
+
+    fn fig3_fixture() -> Fig3 {
+        Fig3 {
+            budget: 100.0,
+            series: vec![PolicySeries {
+                policy: "OSCAR".into(),
+                avg_utility: vec![-1.0, -0.5],
+                avg_success: vec![0.8, 0.85],
+                cumulative_cost: vec![10.0, 20.0],
+            }],
+        }
+    }
+
+    #[test]
+    fn fig3_csv_layout() {
+        let csv = fig3_csv(&fig3_fixture());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "t,OSCAR_avg_utility,OSCAR_avg_success,OSCAR_cum_usage"
+        );
+        assert!(lines[1].starts_with("0,-1.0000,0.8000,10.0000"));
+    }
+
+    #[test]
+    fn fig3_summary_contains_policy() {
+        let s = fig3_summary(&fig3_fixture());
+        assert!(s.contains("OSCAR"));
+        assert!(s.contains("100.0000"));
+    }
+
+    #[test]
+    fn sweep_csv_layout() {
+        let points = vec![SweepPoint {
+            x: 3000.0,
+            outcomes: vec![SweepOutcome {
+                policy: "OSCAR".into(),
+                avg_success: 0.8,
+                avg_utility: -1.0,
+                total_usage: 2900.0,
+            }],
+        }];
+        let csv = sweep_csv("budget", &points);
+        assert!(csv.starts_with("budget,OSCAR_success,OSCAR_utility,OSCAR_usage\n"));
+        assert!(csv.contains("3000.0000,0.8000,-1.0000,2900.0000"));
+        let table = sweep_table("budget", &points);
+        assert!(table.contains("OSCAR"));
+    }
+}

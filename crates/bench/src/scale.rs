@@ -1,0 +1,82 @@
+//! Problem scales for the benchmark harness.
+
+use qdn_sim::engine::SimConfig;
+use qdn_sim::trial::TrialConfig;
+
+/// How big an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's configuration: 5 trials × 200 slots.
+    Paper,
+    /// A scaled-down configuration for CI and Criterion timing loops:
+    /// 2 trials × 60 slots. The *shape* conclusions (who wins, directions
+    /// of trends) already hold at this size; absolute numbers are noisier.
+    Quick,
+}
+
+impl Scale {
+    /// Trials per data point.
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Paper => 5,
+            Scale::Quick => 2,
+        }
+    }
+
+    /// Slots per trial.
+    pub fn horizon(self) -> u64 {
+        match self {
+            Scale::Paper => 200,
+            Scale::Quick => 60,
+        }
+    }
+
+    /// The corresponding trial configuration (fixed base seed so the
+    /// harness is reproducible run-to-run).
+    pub fn trial_config(self) -> TrialConfig {
+        TrialConfig {
+            trials: self.trials(),
+            base_seed: 0x0DD5_EED5,
+            sim: SimConfig {
+                horizon: self.horizon(),
+                realize_outcomes: true,
+            },
+        }
+    }
+
+    /// Scales a total budget to the horizon so `C/T` stays at the paper's
+    /// 25 units/slot when the horizon shrinks.
+    pub fn scaled_budget(self, paper_budget: f64) -> f64 {
+        paper_budget * self.horizon() as f64 / 200.0
+    }
+
+    /// Parses `--paper` / `--quick` style CLI arguments (defaults to
+    /// `Paper` for binaries).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_evaluation_setup() {
+        assert_eq!(Scale::Paper.trials(), 5);
+        assert_eq!(Scale::Paper.horizon(), 200);
+        let tc = Scale::Paper.trial_config();
+        assert_eq!(tc.sim.horizon, 200);
+    }
+
+    #[test]
+    fn budget_scaling_keeps_allowance() {
+        let b = Scale::Quick.scaled_budget(5000.0);
+        assert!((b / Scale::Quick.horizon() as f64 - 25.0).abs() < 1e-9);
+        assert_eq!(Scale::Paper.scaled_budget(5000.0), 5000.0);
+    }
+}

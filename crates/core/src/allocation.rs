@@ -1,0 +1,131 @@
+//! Qubit allocation — the paper's Algorithm 2 and ablations.
+//!
+//! The primary method, [`AllocationMethod::RelaxAndRound`], is exactly
+//! Algorithm 2: solve the continuous relaxation of P2 (convex, Prop. 1)
+//! with the Lagrangian dual solver, then down-round and fill surplus
+//! capacity. Prop. 2 bounds its sub-optimality by
+//! `Δ = V·F·L·log(2 − p_min)`.
+//!
+//! [`AllocationMethod::Greedy`] (pure marginal-gain increments) and
+//! [`AllocationMethod::Minimal`] (one channel per edge) serve as
+//! ablations; the myopic baselines use `Greedy` because their per-slot
+//! budget makes greedy the natural choice.
+
+use qdn_solve::greedy::greedy_allocate;
+use qdn_solve::relaxed::{solve_relaxed, RelaxedOptions};
+use qdn_solve::rounding::round_down_and_fill;
+use qdn_solve::AllocationInstance;
+use serde::{Deserialize, Serialize};
+
+/// How the per-slot allocation sub-problem is solved.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AllocationMethod {
+    /// Algorithm 2: continuous relaxation + down-round + surplus fill.
+    RelaxAndRound(RelaxedOptions),
+    /// Greedy marginal-gain increments from the all-ones point.
+    Greedy,
+    /// The bare minimum: one channel per route edge.
+    Minimal,
+}
+
+impl AllocationMethod {
+    /// Algorithm 2 with default solver options.
+    pub fn relax_and_round() -> Self {
+        AllocationMethod::RelaxAndRound(RelaxedOptions::default())
+    }
+
+    /// Solves the instance, returning the flat integer allocation, or
+    /// `None` if the instance itself could not be solved (never happens
+    /// for instances validated by [`AllocationInstance::new`]).
+    pub fn allocate(&self, instance: &AllocationInstance) -> Option<Vec<u32>> {
+        match self {
+            AllocationMethod::RelaxAndRound(options) => {
+                let relaxed = solve_relaxed(instance, options).ok()?;
+                round_down_and_fill(instance, &relaxed.x).ok()
+            }
+            AllocationMethod::Greedy => greedy_allocate(instance).ok(),
+            AllocationMethod::Minimal => Some(instance.lower_bound_point()),
+        }
+    }
+
+    /// Short label for experiment outputs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocationMethod::RelaxAndRound(_) => "relax+round",
+            AllocationMethod::Greedy => "greedy",
+            AllocationMethod::Minimal => "minimal",
+        }
+    }
+}
+
+impl Default for AllocationMethod {
+    fn default() -> Self {
+        Self::relax_and_round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdn_solve::{PackingConstraint, Variable};
+
+    fn instance(v: f64, price: f64, cap: u32) -> AllocationInstance {
+        AllocationInstance::new(
+            vec![Variable::new(0.55), Variable::new(0.55)],
+            vec![PackingConstraint::new(cap, vec![0, 1])],
+            v,
+            price,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_methods_feasible() {
+        let inst = instance(1000.0, 2.0, 6);
+        for method in [
+            AllocationMethod::relax_and_round(),
+            AllocationMethod::Greedy,
+            AllocationMethod::Minimal,
+        ] {
+            let n = method.allocate(&inst).unwrap();
+            assert!(inst.is_feasible_int(&n), "{}", method.label());
+        }
+    }
+
+    #[test]
+    fn minimal_is_all_ones() {
+        let inst = instance(1000.0, 2.0, 6);
+        assert_eq!(AllocationMethod::Minimal.allocate(&inst).unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn relax_and_round_close_to_greedy_on_symmetric_instance() {
+        let inst = instance(2000.0, 1.0, 8);
+        let rr = AllocationMethod::relax_and_round().allocate(&inst).unwrap();
+        let gr = AllocationMethod::Greedy.allocate(&inst).unwrap();
+        let v_rr = inst.objective_int(&rr);
+        let v_gr = inst.objective_int(&gr);
+        assert!((v_rr - v_gr).abs() < 1.0 + 0.01 * v_gr.abs(), "{v_rr} vs {v_gr}");
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let labels = [
+            AllocationMethod::relax_and_round().label(),
+            AllocationMethod::Greedy.label(),
+            AllocationMethod::Minimal.label(),
+        ];
+        assert_eq!(
+            labels.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn default_is_relax_and_round() {
+        assert_eq!(
+            AllocationMethod::default().label(),
+            "relax+round"
+        );
+    }
+}

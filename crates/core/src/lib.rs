@@ -1,0 +1,59 @@
+//! OSCAR — Online uSer-Centric entAnglement Routing — and its baselines.
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`types`] — what a policy observes each slot ([`types::SlotState`])
+//!   and what it returns ([`types::Decision`]),
+//! * [`problem`] — the per-slot problem **P2**: building the allocation
+//!   instance from a route profile and evaluating the drift-plus-penalty
+//!   objective `f(r, N) = V·Σ log P − q_t·Σ n_e`,
+//! * [`allocation`] — **Algorithm 2**: continuous relaxation +
+//!   down-round + surplus (Δ-optimal by Prop. 2), plus greedy/minimal
+//!   ablations,
+//! * [`route_selection`] — **Algorithm 3**: Gibbs sampling over the
+//!   product route space (Eq. 15 acceptance), exhaustive search (Eq. 13),
+//!   greedy local search, and the disjoint-pair parallel variant from the
+//!   paper's remark,
+//! * [`lyapunov`] — the virtual cost-deficit queue (Eq. 7),
+//! * [`oscar`] — **Algorithm 1**: the OSCAR controller tying it together,
+//! * [`baselines`] — Myopic-Fixed and Myopic-Adaptive (§V-A-3) plus extra
+//!   ablation policies,
+//! * [`policy`] — the [`policy::RoutingPolicy`] trait the simulator
+//!   drives,
+//! * [`theory`] — the Δ, Theorem 1, and Theorem 2 bound calculators used
+//!   by the validation harness.
+//!
+//! # Example
+//!
+//! ```
+//! use qdn_core::oscar::{OscarConfig, OscarPolicy};
+//! use qdn_core::policy::RoutingPolicy;
+//! use qdn_core::types::SlotState;
+//! use qdn_net::{CapacitySnapshot, NetworkConfig};
+//! use qdn_net::workload::{UniformWorkload, Workload};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+//! let mut policy = OscarPolicy::new(OscarConfig::paper_default());
+//!
+//! let mut workload = UniformWorkload::paper_default();
+//! let requests = workload.requests(0, &net, &mut rng);
+//! let slot = SlotState::new(0, requests, CapacitySnapshot::full(&net));
+//! let decision = policy.decide(&net, &slot, &mut rng);
+//! assert!(decision.assignments().len() <= slot.requests().len());
+//! ```
+
+pub mod allocation;
+pub mod baselines;
+pub mod lyapunov;
+pub mod oscar;
+pub mod policy;
+pub mod problem;
+pub mod route_selection;
+pub mod theory;
+pub mod types;
+
+pub use oscar::{OscarConfig, OscarPolicy};
+pub use policy::RoutingPolicy;
+pub use types::{Decision, RouteAssignment, SlotState};

@@ -1,0 +1,123 @@
+//! The virtual cost-deficit queue (paper Eq. 7).
+//!
+//! `q_{t+1} = max(0, q_t + c_t − C/T)` accumulates how far spending runs
+//! ahead of the pro-rata budget. The drift-plus-penalty objective charges
+//! each allocated unit a price `q_t`, so the queue acts as a self-tuning
+//! congestion price on the budget: overspending raises the price, which
+//! suppresses future allocations (Theorem 1 turns this intuition into a
+//! violation bound).
+
+use serde::{Deserialize, Serialize};
+
+/// The virtual queue of Algorithm 1.
+///
+/// # Example
+///
+/// ```
+/// use qdn_core::lyapunov::VirtualQueue;
+///
+/// let mut q = VirtualQueue::new(10.0, 5000.0, 200); // q0=10, C=5000, T=200
+/// assert_eq!(q.value(), 10.0);
+/// q.update(30); // spent 30 against a per-slot allowance of 25
+/// assert_eq!(q.value(), 15.0);
+/// q.update(0); // idle slot drains the queue
+/// assert!((q.value() - 0.0f64.max(15.0 - 25.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VirtualQueue {
+    q: f64,
+    q0: f64,
+    allowance: f64,
+}
+
+impl VirtualQueue {
+    /// Creates the queue with initial value `q0` and pro-rata allowance
+    /// `total_budget / horizon` per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0` or `q0 < 0`.
+    pub fn new(q0: f64, total_budget: f64, horizon: u64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!(q0 >= 0.0, "initial queue must be non-negative");
+        VirtualQueue {
+            q: q0,
+            q0,
+            allowance: total_budget / horizon as f64,
+        }
+    }
+
+    /// Current queue length `q_t` — the price OSCAR charges per unit.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.q
+    }
+
+    /// The per-slot allowance `C/T`.
+    #[inline]
+    pub fn allowance(&self) -> f64 {
+        self.allowance
+    }
+
+    /// Applies the Eq. 7 recursion with this slot's cost `c_t` and
+    /// returns the new queue length.
+    pub fn update(&mut self, cost: u64) -> f64 {
+        self.q = (self.q + cost as f64 - self.allowance).max(0.0);
+        self.q
+    }
+
+    /// Resets to the initial value for a fresh trial.
+    pub fn reset(&mut self) {
+        self.q = self.q0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursion_matches_paper() {
+        let mut q = VirtualQueue::new(0.0, 100.0, 10); // allowance 10
+        assert_eq!(q.update(15), 5.0);
+        assert_eq!(q.update(15), 10.0);
+        assert_eq!(q.update(0), 0.0); // clamped at zero
+    }
+
+    #[test]
+    fn never_negative() {
+        let mut q = VirtualQueue::new(3.0, 1000.0, 10);
+        for _ in 0..50 {
+            q.update(0);
+            assert!(q.value() >= 0.0);
+        }
+        assert_eq!(q.value(), 0.0);
+    }
+
+    #[test]
+    fn reset_restores_q0() {
+        let mut q = VirtualQueue::new(7.0, 100.0, 4);
+        q.update(1000);
+        assert!(q.value() > 7.0);
+        q.reset();
+        assert_eq!(q.value(), 7.0);
+    }
+
+    #[test]
+    fn paper_defaults_allowance() {
+        let q = VirtualQueue::new(10.0, 5000.0, 200);
+        assert_eq!(q.allowance(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        let _ = VirtualQueue::new(0.0, 100.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_q0_panics() {
+        let _ = VirtualQueue::new(-1.0, 100.0, 10);
+    }
+}

@@ -1,0 +1,90 @@
+//! The policy interface the simulator drives.
+
+use qdn_net::QdnNetwork;
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Decision, SlotState};
+
+/// Observable internals of a policy, recorded by the simulator each slot
+/// (used by the Fig. 3/7/8 time series).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PolicyDiagnostics {
+    /// Virtual queue length, for Lyapunov policies.
+    pub virtual_queue: Option<f64>,
+    /// Budget units spent so far (policies that track spending).
+    pub budget_spent: Option<u64>,
+}
+
+/// An online entanglement-routing policy: observes one slot, returns the
+/// routes and allocations for that slot.
+///
+/// Implementations must be deterministic given the `rng` stream so
+/// experiments are reproducible.
+pub trait RoutingPolicy: std::fmt::Debug + Send {
+    /// Human-readable name for experiment outputs (e.g. `"OSCAR"`).
+    fn name(&self) -> String;
+
+    /// Decides routes and qubit allocations for slot `slot`.
+    fn decide(
+        &mut self,
+        network: &QdnNetwork,
+        slot: &SlotState,
+        rng: &mut dyn rand::Rng,
+    ) -> Decision;
+
+    /// Clears all internal state (virtual queues, spent budget, caches)
+    /// for a fresh trial.
+    fn reset(&mut self);
+
+    /// Internal state snapshot for metric collection.
+    fn diagnostics(&self) -> PolicyDiagnostics {
+        PolicyDiagnostics::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial policy for trait-object sanity checks.
+    #[derive(Debug)]
+    struct Noop;
+
+    impl RoutingPolicy for Noop {
+        fn name(&self) -> String {
+            "noop".into()
+        }
+
+        fn decide(
+            &mut self,
+            _network: &QdnNetwork,
+            slot: &SlotState,
+            _rng: &mut dyn rand::Rng,
+        ) -> Decision {
+            Decision::new(Vec::new(), slot.requests().to_vec())
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        use qdn_net::network::QdnNetworkBuilder;
+        use qdn_net::CapacitySnapshot;
+        use rand::SeedableRng;
+
+        let mut b = QdnNetworkBuilder::new();
+        let a = b.add_node(4);
+        let c = b.add_node(4);
+        b.add_edge(a, c, 2, qdn_physics::link::LinkModel::new(0.5).unwrap())
+            .unwrap();
+        let net = b.build();
+        let mut policy: Box<dyn RoutingPolicy> = Box::new(Noop);
+        let slot = SlotState::new(0, vec![], CapacitySnapshot::full(&net));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let d = policy.decide(&net, &slot, &mut rng);
+        assert_eq!(d.total_cost(), 0);
+        assert_eq!(policy.name(), "noop");
+        assert_eq!(policy.diagnostics(), PolicyDiagnostics::default());
+    }
+}

@@ -1,0 +1,468 @@
+//! Gibbs-sampling route selection — the paper's Algorithm 3.
+//!
+//! Starting from a random route profile, each iteration virtually
+//! modifies one randomly chosen SD pair's route, evaluates the per-slot
+//! objective via the allocation oracle, and accepts the modification with
+//! the logit probability of Eq. 15:
+//!
+//! ```text
+//! P(accept) = 1 / (1 + exp((f_old − f_new)/γ)) = σ((f_new − f_old)/γ)
+//! ```
+//!
+//! (Note: the paper's Algorithm-3 listing and its body text disagree on
+//! which branch keeps the old selection; as listed, a *better* proposal
+//! would be *less* likely to be accepted. We implement the body text /
+//! standard Glauber dynamics, which is also what makes the γ→0 limit
+//! converge to the greedy optimum — see DESIGN.md.)
+//!
+//! The paper's remark 2 observes that spatially disjoint pairs can evolve
+//! simultaneously; [`GibbsConfig::parallel_isolated`] enables exactly
+//! that: pairs whose candidate routes share no node or edge with any
+//! other pair's candidates are updated every iteration via cheap local
+//! evaluations, while the coupled pairs take turns through the full joint
+//! evaluation.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::AllocationMethod;
+use crate::problem::PerSlotContext;
+use crate::route_selection::{evaluate_indices, Candidates, Selection};
+
+/// Parameters of the Gibbs sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GibbsConfig {
+    /// Number of iterations (the paper loops "until stable"; a fixed
+    /// budget with best-profile tracking is the standard finite-time
+    /// variant).
+    pub iterations: usize,
+    /// Exploration temperature γ of Eq. 15 (paper default: 500).
+    pub gamma: f64,
+    /// Multiplicative per-iteration temperature decay (1.0 = constant γ;
+    /// values < 1 anneal toward greedy, improving convergence as the
+    /// paper's remark 1 suggests).
+    pub gamma_decay: f64,
+    /// Evolve provably independent pairs in parallel (paper remark 2).
+    pub parallel_isolated: bool,
+    /// Random restarts when the initial profile is infeasible.
+    pub max_init_attempts: usize,
+}
+
+impl GibbsConfig {
+    /// The paper's configuration: γ = 500, single-pair updates.
+    pub fn paper_default() -> Self {
+        GibbsConfig {
+            iterations: 48,
+            gamma: 500.0,
+            gamma_decay: 1.0,
+            parallel_isolated: false,
+            max_init_attempts: 8,
+        }
+    }
+}
+
+impl Default for GibbsConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Eq. 15 acceptance probability: `σ((f_new − f_old)/γ)`.
+pub fn acceptance_probability(f_new: f64, f_old: f64, gamma: f64) -> f64 {
+    if gamma <= 0.0 {
+        // γ→0 limit: strictly greedy.
+        return if f_new > f_old { 1.0 } else { 0.0 };
+    }
+    let z = (f_old - f_new) / gamma;
+    // Guard against overflow for extreme objective differences.
+    if z > 700.0 {
+        0.0
+    } else if z < -700.0 {
+        1.0
+    } else {
+        1.0 / (1.0 + z.exp())
+    }
+}
+
+/// Runs Algorithm 3 and returns the best profile visited.
+///
+/// Returns `None` when no feasible profile could be found at all (every
+/// random initialisation plus the all-shortest profile are infeasible).
+pub fn sample(
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    method: &AllocationMethod,
+    config: &GibbsConfig,
+    rng: &mut dyn rand::Rng,
+) -> Option<Selection> {
+    let k = candidates.len();
+    if k == 0 {
+        return evaluate_indices(ctx, candidates, &[], method).map(|evaluation| Selection {
+            indices: Vec::new(),
+            evaluation,
+        });
+    }
+
+    // --- Initialisation: random profiles, then the all-shortest fallback.
+    let mut current: Option<(Vec<usize>, f64)> = None;
+    for _ in 0..config.max_init_attempts.max(1) {
+        let indices: Vec<usize> = candidates
+            .iter()
+            .map(|c| rng.random_range(0..c.routes.len()))
+            .collect();
+        if let Some(ev) = evaluate_indices(ctx, candidates, &indices, method) {
+            current = Some((indices, ev.objective));
+            break;
+        }
+    }
+    if current.is_none() {
+        let shortest = vec![0usize; k];
+        if let Some(ev) = evaluate_indices(ctx, candidates, &shortest, method) {
+            current = Some((shortest, ev.objective));
+        }
+    }
+    let (mut indices, mut f_cur) = current?;
+    let mut best_indices = indices.clone();
+    let mut best_f = f_cur;
+
+    // --- Isolated-pair detection for the parallel variant.
+    let isolated = if config.parallel_isolated {
+        isolated_pairs(candidates)
+    } else {
+        vec![false; k]
+    };
+    let coupled: Vec<usize> = (0..k).filter(|&i| !isolated[i]).collect();
+
+    let mut gamma = config.gamma;
+    for _ in 0..config.iterations {
+        if config.parallel_isolated {
+            // Isolated pairs evolve simultaneously with exact local deltas:
+            // their allocation sub-problem is independent of every other
+            // pair, so a single-pair evaluation is the true objective
+            // contribution.
+            for i in 0..k {
+                if !isolated[i] {
+                    continue;
+                }
+                if candidates[i].routes.len() < 2 {
+                    continue;
+                }
+                let proposal = propose_different(rng, indices[i], candidates[i].routes.len());
+                let local = |idx: usize| {
+                    let single = [Candidates {
+                        pair: candidates[i].pair,
+                        routes: candidates[i].routes,
+                    }];
+                    evaluate_indices(ctx, &single, &[idx], method).map(|e| e.objective)
+                };
+                let (Some(f_old_local), Some(f_new_local)) =
+                    (local(indices[i]), local(proposal))
+                else {
+                    continue;
+                };
+                if rng.random_bool(acceptance_probability(f_new_local, f_old_local, gamma)) {
+                    f_cur += f_new_local - f_old_local;
+                    indices[i] = proposal;
+                }
+            }
+        }
+
+        // One coupled pair evolves via the joint evaluation (all pairs, if
+        // the parallel variant is off).
+        let pool: &[usize] = if config.parallel_isolated && !coupled.is_empty() {
+            &coupled
+        } else if config.parallel_isolated {
+            &[] // everything isolated: parallel loop above did the work
+        } else {
+            // Every index.
+            &[]
+        };
+        let chosen = if config.parallel_isolated {
+            if pool.is_empty() {
+                None
+            } else {
+                Some(pool[rng.random_range(0..pool.len())])
+            }
+        } else {
+            Some(rng.random_range(0..k))
+        };
+        if let Some(i) = chosen {
+            if candidates[i].routes.len() >= 2 {
+                let old = indices[i];
+                let proposal = propose_different(rng, old, candidates[i].routes.len());
+                indices[i] = proposal;
+                match evaluate_indices(ctx, candidates, &indices, method) {
+                    Some(ev) => {
+                        if rng.random_bool(acceptance_probability(ev.objective, f_cur, gamma)) {
+                            f_cur = ev.objective;
+                        } else {
+                            indices[i] = old;
+                        }
+                    }
+                    None => indices[i] = old, // infeasible proposal: reject
+                }
+            }
+        }
+
+        // Track the best profile seen (re-evaluate only when improved).
+        if f_cur > best_f {
+            best_f = f_cur;
+            best_indices = indices.clone();
+        }
+        gamma *= config.gamma_decay;
+    }
+
+    let evaluation = evaluate_indices(ctx, candidates, &best_indices, method)
+        .expect("best profile was feasible when recorded");
+    Some(Selection {
+        indices: best_indices,
+        evaluation,
+    })
+}
+
+/// Uniformly proposes a route index different from `current`.
+fn propose_different(rng: &mut dyn rand::Rng, current: usize, len: usize) -> usize {
+    debug_assert!(len >= 2);
+    let mut idx = rng.random_range(0..len - 1);
+    if idx >= current {
+        idx += 1;
+    }
+    idx
+}
+
+/// Marks pairs whose candidate routes share no node with any other pair's
+/// candidate routes (edge disjointness follows from node disjointness).
+///
+/// Such pairs' allocation sub-problems decouple exactly, so their Gibbs
+/// updates can run concurrently with local evaluations — the paper's
+/// remark 2.
+fn isolated_pairs(candidates: &[Candidates<'_>]) -> Vec<bool> {
+    use std::collections::HashSet;
+    let unions: Vec<HashSet<qdn_graph::NodeId>> = candidates
+        .iter()
+        .map(|c| {
+            c.routes
+                .iter()
+                .flat_map(|r| r.nodes().iter().copied())
+                .collect()
+        })
+        .collect();
+    (0..candidates.len())
+        .map(|i| {
+            unions
+                .iter()
+                .enumerate()
+                .all(|(j, other)| j == i || unions[i].is_disjoint(other))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route_selection::exhaustive;
+    use qdn_graph::{NodeId, Path};
+    use qdn_net::network::QdnNetworkBuilder;
+    use qdn_net::routes::{CandidateRoutes, RouteLimits};
+    use qdn_net::{CapacitySnapshot, QdnNetwork, SdPair};
+    use qdn_physics::link::LinkModel;
+    use rand::SeedableRng;
+
+    #[test]
+    fn acceptance_probability_properties() {
+        // Better proposals are more likely to be accepted.
+        assert!(acceptance_probability(0.0, -10.0, 500.0) > 0.5);
+        assert!(acceptance_probability(-10.0, 0.0, 500.0) < 0.5);
+        // Equal objectives: 50/50.
+        assert!((acceptance_probability(5.0, 5.0, 500.0) - 0.5).abs() < 1e-12);
+        // γ→0: greedy.
+        assert_eq!(acceptance_probability(1.0, 0.0, 0.0), 1.0);
+        assert_eq!(acceptance_probability(0.0, 1.0, 0.0), 0.0);
+        // Extreme differences don't overflow.
+        assert_eq!(acceptance_probability(1e9, 0.0, 1.0), 1.0);
+        assert_eq!(acceptance_probability(0.0, 1e9, 1.0), 0.0);
+    }
+
+    #[test]
+    fn propose_different_never_repeats() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for len in 2..6usize {
+            for cur in 0..len {
+                for _ in 0..50 {
+                    let p = propose_different(&mut rng, cur, len);
+                    assert_ne!(p, cur);
+                    assert!(p < len);
+                }
+            }
+        }
+    }
+
+    /// Two separate diamonds: pairs are isolated from each other.
+    fn two_diamonds() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let n: Vec<_> = (0..8).map(|_| b.add_node(10)).collect();
+        let good = LinkModel::new(0.85).unwrap();
+        let bad = LinkModel::new(0.25).unwrap();
+        // Diamond A over nodes 0..4.
+        b.add_edge(n[0], n[1], 5, good).unwrap();
+        b.add_edge(n[1], n[3], 5, good).unwrap();
+        b.add_edge(n[0], n[2], 5, bad).unwrap();
+        b.add_edge(n[2], n[3], 5, bad).unwrap();
+        // Diamond B over nodes 4..8.
+        b.add_edge(n[4], n[5], 5, good).unwrap();
+        b.add_edge(n[5], n[7], 5, good).unwrap();
+        b.add_edge(n[4], n[6], 5, bad).unwrap();
+        b.add_edge(n[6], n[7], 5, bad).unwrap();
+        b.build()
+    }
+
+    fn owned_candidates(net: &QdnNetwork, pairs: &[SdPair]) -> Vec<(SdPair, Vec<Path>)> {
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        pairs
+            .iter()
+            .map(|&p| (p, cr.routes(net, p).to_vec()))
+            .collect()
+    }
+
+    fn to_cands(owned: &[(SdPair, Vec<Path>)]) -> Vec<Candidates<'_>> {
+        owned
+            .iter()
+            .map(|(pair, routes)| Candidates {
+                pair: *pair,
+                routes,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn isolated_pairs_detected() {
+        let net = two_diamonds();
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        assert_eq!(isolated_pairs(&cands), vec![true, true]);
+
+        // Same diamond: overlapping -> not isolated.
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(1), NodeId(2)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        assert_eq!(isolated_pairs(&cands), vec![false, false]);
+    }
+
+    #[test]
+    fn gibbs_matches_exhaustive_on_small_instance() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let method = AllocationMethod::default();
+        let exact = exhaustive::search(&ctx, &cands, &method).unwrap();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let config = GibbsConfig {
+            iterations: 80,
+            gamma: 100.0,
+            gamma_decay: 0.95,
+            parallel_isolated: false,
+            max_init_attempts: 8,
+        };
+        let gibbs = sample(&ctx, &cands, &method, &config, &mut rng).unwrap();
+        assert!(
+            gibbs.evaluation.objective >= exact.evaluation.objective - 1e-6,
+            "gibbs {} vs exhaustive {}",
+            gibbs.evaluation.objective,
+            exact.evaluation.objective
+        );
+    }
+
+    #[test]
+    fn parallel_variant_matches_serial_quality() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let method = AllocationMethod::default();
+        let exact = exhaustive::search(&ctx, &cands, &method).unwrap();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let config = GibbsConfig {
+            iterations: 40,
+            gamma: 100.0,
+            gamma_decay: 0.9,
+            parallel_isolated: true,
+            max_init_attempts: 8,
+        };
+        let gibbs = sample(&ctx, &cands, &method, &config, &mut rng).unwrap();
+        assert!(
+            gibbs.evaluation.objective >= exact.evaluation.objective - 1e-6,
+            "parallel gibbs {} vs exhaustive {}",
+            gibbs.evaluation.objective,
+            exact.evaluation.objective
+        );
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_none() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 8], vec![0; 8]);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [SdPair::new(NodeId(0), NodeId(3)).unwrap()];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        assert!(sample(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            &GibbsConfig::default(),
+            &mut rng
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn single_route_pairs_are_stable() {
+        // With one candidate per pair, Gibbs has nothing to flip and must
+        // return that unique profile.
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pair = SdPair::new(NodeId(0), NodeId(1)).unwrap(); // adjacent: 1 direct route first
+        let mut cr = CandidateRoutes::new(RouteLimits {
+            max_routes: 1,
+            max_hops: 4,
+        });
+        let routes = cr.routes(&net, pair).to_vec();
+        assert_eq!(routes.len(), 1);
+        let cands = vec![Candidates {
+            pair,
+            routes: &routes,
+        }];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let sel = sample(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            &GibbsConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sel.indices, vec![0]);
+    }
+}

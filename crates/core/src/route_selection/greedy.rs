@@ -1,0 +1,162 @@
+//! Coordinate best-response route selection (the γ→0 limit of Gibbs).
+//!
+//! Rounds of "for each pair, switch to its best route holding the others
+//! fixed" until a full round changes nothing. The paper's remark 1 notes
+//! that this pure greedy can get stuck in local optima — which is exactly
+//! why Algorithm 3 keeps a positive temperature; this implementation
+//! exists as the natural ablation.
+
+use rand::RngExt;
+
+use crate::allocation::AllocationMethod;
+use crate::problem::PerSlotContext;
+use crate::route_selection::{evaluate_indices, Candidates, Selection};
+
+/// Local search over route profiles.
+///
+/// Starts from a random feasible profile (falling back to all-shortest),
+/// then iterates best-response rounds. Returns `None` if no feasible
+/// starting profile exists.
+pub fn local_search(
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    method: &AllocationMethod,
+    max_rounds: usize,
+    rng: &mut dyn rand::Rng,
+) -> Option<Selection> {
+    let k = candidates.len();
+    if k == 0 {
+        return evaluate_indices(ctx, candidates, &[], method).map(|evaluation| Selection {
+            indices: Vec::new(),
+            evaluation,
+        });
+    }
+
+    // Initial profile: random, then shortest fallback.
+    let mut indices: Vec<usize> = candidates
+        .iter()
+        .map(|c| rng.random_range(0..c.routes.len()))
+        .collect();
+    let mut f_cur = match evaluate_indices(ctx, candidates, &indices, method) {
+        Some(ev) => ev.objective,
+        None => {
+            indices = vec![0; k];
+            evaluate_indices(ctx, candidates, &indices, method)?.objective
+        }
+    };
+
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for i in 0..k {
+            let original = indices[i];
+            let mut best_idx = original;
+            let mut best_f = f_cur;
+            for alt in 0..candidates[i].routes.len() {
+                if alt == original {
+                    continue;
+                }
+                indices[i] = alt;
+                if let Some(ev) = evaluate_indices(ctx, candidates, &indices, method) {
+                    if ev.objective > best_f {
+                        best_f = ev.objective;
+                        best_idx = alt;
+                    }
+                }
+            }
+            indices[i] = best_idx;
+            if best_idx != original {
+                f_cur = best_f;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let evaluation = evaluate_indices(ctx, candidates, &indices, method)
+        .expect("final profile evaluated feasible during search");
+    Some(Selection {
+        indices,
+        evaluation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route_selection::exhaustive;
+    use qdn_graph::{NodeId, Path};
+    use qdn_net::network::QdnNetworkBuilder;
+    use qdn_net::routes::{CandidateRoutes, RouteLimits};
+    use qdn_net::{CapacitySnapshot, QdnNetwork, SdPair};
+    use qdn_physics::link::LinkModel;
+    use rand::SeedableRng;
+
+    fn diamond() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(10)).collect();
+        let good = LinkModel::new(0.9).unwrap();
+        let bad = LinkModel::new(0.2).unwrap();
+        b.add_edge(n[0], n[1], 6, good).unwrap();
+        b.add_edge(n[1], n[3], 6, good).unwrap();
+        b.add_edge(n[0], n[2], 6, bad).unwrap();
+        b.add_edge(n[2], n[3], 6, bad).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn converges_to_exhaustive_on_single_pair() {
+        let net = diamond();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 500.0, 1.0);
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let routes: Vec<Path> = cr.routes(&net, pair).to_vec();
+        let cands = vec![Candidates {
+            pair,
+            routes: &routes,
+        }];
+        let method = AllocationMethod::default();
+        let exact = exhaustive::search(&ctx, &cands, &method).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let local = local_search(&ctx, &cands, &method, 10, &mut rng).unwrap();
+        assert!((local.evaluation.objective - exact.evaluation.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stops_after_stable_round() {
+        // max_rounds much larger than needed; should terminate early and
+        // still produce a feasible profile.
+        let net = diamond();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 500.0, 1.0);
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let routes: Vec<Path> = cr.routes(&net, pair).to_vec();
+        let cands = vec![Candidates {
+            pair,
+            routes: &routes,
+        }];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let sel = local_search(&ctx, &cands, &AllocationMethod::default(), 1000, &mut rng)
+            .unwrap();
+        assert!(sel.evaluation.objective.is_finite());
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let net = diamond();
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 4], vec![0; 4]);
+        let ctx = PerSlotContext::oscar(&net, &snap, 500.0, 1.0);
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let routes: Vec<Path> = cr.routes(&net, pair).to_vec();
+        let cands = vec![Candidates {
+            pair,
+            routes: &routes,
+        }];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        assert!(local_search(&ctx, &cands, &AllocationMethod::default(), 5, &mut rng).is_none());
+    }
+}

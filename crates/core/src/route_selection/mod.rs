@@ -1,0 +1,286 @@
+//! Route selection for the per-slot problem (paper §IV-B-2).
+//!
+//! Given candidate sets `R(φ)` and the qubit-allocation oracle
+//! (Algorithm 2), route selection picks one route per SD pair to maximize
+//! the per-slot objective `f(r, N*(r))`:
+//!
+//! * [`exhaustive`] — Eq. 13: enumerate the product space (exact, only for
+//!   small `F`/`R`),
+//! * [`gibbs`] — Algorithm 3: Gibbs sampling with the Eq. 15 acceptance
+//!   probability, including the disjoint-pair parallel evolution from the
+//!   paper's remark,
+//! * [`greedy`] — γ→0 limit: coordinate-wise best-response local search
+//!   (an ablation; the paper's remark warns it can stick in local optima).
+
+pub mod exhaustive;
+pub mod gibbs;
+pub mod greedy;
+
+use qdn_graph::Path;
+use qdn_net::SdPair;
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::AllocationMethod;
+use crate::problem::{PerSlotContext, ProfileEvaluation};
+
+pub use gibbs::GibbsConfig;
+
+/// The candidate routes of one SD pair (non-empty).
+#[derive(Debug, Clone)]
+pub struct Candidates<'a> {
+    /// The SD pair.
+    pub pair: SdPair,
+    /// Its candidate routes `R(φ)`, ordered by hops.
+    pub routes: &'a [Path],
+}
+
+/// Route selection outcome: per-pair route indices (into each pair's
+/// candidate list) plus the allocation evaluation of that profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// `indices[i]` selects `candidates[i].routes[indices[i]]`.
+    pub indices: Vec<usize>,
+    /// Allocations and objective for the selected profile.
+    pub evaluation: ProfileEvaluation,
+}
+
+/// Builds the `(pair, route)` profile described by `indices`.
+pub fn profile_of<'a>(
+    candidates: &[Candidates<'a>],
+    indices: &[usize],
+) -> Vec<(SdPair, &'a Path)> {
+    candidates
+        .iter()
+        .zip(indices)
+        .map(|(c, &i)| (c.pair, &c.routes[i]))
+        .collect()
+}
+
+/// Evaluates the profile described by `indices`; `None` when infeasible.
+pub fn evaluate_indices(
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    indices: &[usize],
+    method: &AllocationMethod,
+) -> Option<ProfileEvaluation> {
+    let profile = profile_of(candidates, indices);
+    ctx.evaluate(&profile, method)
+}
+
+/// The route-selection strategy used by a policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RouteSelector {
+    /// Exact product-space search (Eq. 13), capped at `max_combinations`
+    /// profiles; falls back to Gibbs when the space is larger.
+    Exhaustive {
+        /// Upper bound on the number of evaluated combinations.
+        max_combinations: usize,
+    },
+    /// Algorithm 3 (Gibbs sampling).
+    Gibbs(GibbsConfig),
+    /// Coordinate best-response until stable.
+    GreedyLocal {
+        /// Maximum full rounds over the pairs.
+        max_rounds: usize,
+    },
+    /// Always the first (fewest-hops) candidate.
+    First,
+    /// A uniformly random candidate per pair (ablation).
+    Random,
+}
+
+impl RouteSelector {
+    /// Selects routes for every candidate set, or `None` if no feasible
+    /// profile was found.
+    pub fn select(
+        &self,
+        ctx: &PerSlotContext<'_>,
+        candidates: &[Candidates<'_>],
+        method: &AllocationMethod,
+        rng: &mut dyn rand::Rng,
+    ) -> Option<Selection> {
+        if candidates.is_empty() {
+            return Some(Selection {
+                indices: Vec::new(),
+                evaluation: ProfileEvaluation {
+                    allocations: Vec::new(),
+                    objective: 0.0,
+                },
+            });
+        }
+        match self {
+            RouteSelector::Exhaustive { max_combinations } => {
+                let combos: usize = candidates
+                    .iter()
+                    .map(|c| c.routes.len())
+                    .try_fold(1usize, |acc, n| acc.checked_mul(n))
+                    .unwrap_or(usize::MAX);
+                if combos <= *max_combinations {
+                    exhaustive::search(ctx, candidates, method)
+                } else {
+                    gibbs::sample(ctx, candidates, method, &GibbsConfig::default(), rng)
+                }
+            }
+            RouteSelector::Gibbs(config) => gibbs::sample(ctx, candidates, method, config, rng),
+            RouteSelector::GreedyLocal { max_rounds } => {
+                greedy::local_search(ctx, candidates, method, *max_rounds, rng)
+            }
+            RouteSelector::First => {
+                let indices = vec![0; candidates.len()];
+                evaluate_indices(ctx, candidates, &indices, method)
+                    .map(|evaluation| Selection { indices, evaluation })
+            }
+            RouteSelector::Random => {
+                use rand::RngExt;
+                let indices: Vec<usize> = candidates
+                    .iter()
+                    .map(|c| rng.random_range(0..c.routes.len()))
+                    .collect();
+                evaluate_indices(ctx, candidates, &indices, method)
+                    .map(|evaluation| Selection { indices, evaluation })
+            }
+        }
+    }
+
+    /// Short label for experiment outputs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteSelector::Exhaustive { .. } => "exhaustive",
+            RouteSelector::Gibbs(_) => "gibbs",
+            RouteSelector::GreedyLocal { .. } => "greedy-local",
+            RouteSelector::First => "first-route",
+            RouteSelector::Random => "random",
+        }
+    }
+}
+
+impl Default for RouteSelector {
+    fn default() -> Self {
+        RouteSelector::Gibbs(GibbsConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdn_graph::NodeId;
+    use qdn_net::network::QdnNetworkBuilder;
+    use qdn_net::routes::{CandidateRoutes, RouteLimits};
+    use qdn_net::{CapacitySnapshot, QdnNetwork};
+    use qdn_physics::link::LinkModel;
+    use rand::SeedableRng;
+
+    /// Diamond 0-1-3 / 0-2-3 where the top path has much better links, so
+    /// the optimal route choice is unambiguous.
+    fn asymmetric_diamond() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_node(12)).collect();
+        let good = LinkModel::new(0.9).unwrap();
+        let bad = LinkModel::new(0.2).unwrap();
+        b.add_edge(n[0], n[1], 6, good).unwrap();
+        b.add_edge(n[1], n[3], 6, good).unwrap();
+        b.add_edge(n[0], n[2], 6, bad).unwrap();
+        b.add_edge(n[2], n[3], 6, bad).unwrap();
+        b.build()
+    }
+
+    fn routes_for(net: &QdnNetwork, pair: SdPair) -> Vec<Path> {
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        cr.routes(net, pair).to_vec()
+    }
+
+    #[test]
+    fn all_selectors_pick_feasible_profiles() {
+        let net = asymmetric_diamond();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 500.0, 1.0);
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let routes = routes_for(&net, pair);
+        let cands = vec![Candidates {
+            pair,
+            routes: &routes,
+        }];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for selector in [
+            RouteSelector::Exhaustive {
+                max_combinations: 100,
+            },
+            RouteSelector::Gibbs(GibbsConfig::default()),
+            RouteSelector::GreedyLocal { max_rounds: 5 },
+            RouteSelector::First,
+            RouteSelector::Random,
+        ] {
+            let sel = selector
+                .select(&ctx, &cands, &AllocationMethod::default(), &mut rng)
+                .unwrap_or_else(|| panic!("{} failed", selector.label()));
+            assert_eq!(sel.indices.len(), 1);
+            assert!(sel.evaluation.objective.is_finite());
+        }
+    }
+
+    #[test]
+    fn optimizing_selectors_find_the_good_route() {
+        let net = asymmetric_diamond();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 500.0, 1.0);
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let routes = routes_for(&net, pair);
+        // Identify which candidate index is the good (0-1-3) route.
+        let good_idx = routes
+            .iter()
+            .position(|r| r.contains_node(NodeId(1)))
+            .unwrap();
+        let cands = vec![Candidates {
+            pair,
+            routes: &routes,
+        }];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for selector in [
+            RouteSelector::Exhaustive {
+                max_combinations: 100,
+            },
+            RouteSelector::Gibbs(GibbsConfig {
+                iterations: 60,
+                ..GibbsConfig::default()
+            }),
+            RouteSelector::GreedyLocal { max_rounds: 5 },
+        ] {
+            let sel = selector
+                .select(&ctx, &cands, &AllocationMethod::default(), &mut rng)
+                .unwrap();
+            assert_eq!(
+                sel.indices[0],
+                good_idx,
+                "{} should pick the high-probability route",
+                selector.label()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_candidates_trivial_selection() {
+        let net = asymmetric_diamond();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 500.0, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sel = RouteSelector::default()
+            .select(&ctx, &[], &AllocationMethod::default(), &mut rng)
+            .unwrap();
+        assert!(sel.indices.is_empty());
+        assert_eq!(sel.evaluation.objective, 0.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> = [
+            RouteSelector::Exhaustive { max_combinations: 1 }.label(),
+            RouteSelector::default().label(),
+            RouteSelector::GreedyLocal { max_rounds: 1 }.label(),
+            RouteSelector::First.label(),
+            RouteSelector::Random.label(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's theoretical bounds (Prop. 2, Theorem 1, Theorem 2,
+//! Assumption 1), as executable calculators.
+//!
+//! The experiment harness evaluates these alongside the simulations so
+//! EXPERIMENTS.md can report both the measured behaviour and the analytic
+//! guarantees it must respect. All logarithms are natural, matching the
+//! proportional-fairness objective `log P` in Eq. 3.
+
+use serde::{Deserialize, Serialize};
+
+/// System parameters entering the bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundParams {
+    /// Lyapunov weight `V`.
+    pub v: f64,
+    /// Maximum SD pairs per slot `F`.
+    pub f: usize,
+    /// Maximum route length `L` (hops).
+    pub l: usize,
+    /// Minimum per-channel success probability `p_min` over the edges.
+    pub p_min: f64,
+    /// Total budget `C`.
+    pub budget: f64,
+    /// Horizon `T`.
+    pub horizon: u64,
+    /// Initial virtual queue `q0`.
+    pub q0: f64,
+    /// Largest possible per-slot cost `c_max` (e.g. `F·L·max_e W_e`).
+    pub c_max: f64,
+}
+
+impl BoundParams {
+    /// Per-slot budget allowance `C/T`.
+    pub fn allowance(&self) -> f64 {
+        self.budget / self.horizon as f64
+    }
+}
+
+/// Prop. 2's rounding sub-optimality gap
+/// `Δ = V·F·L·ln(2 − p_min)`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_core::theory::delta_bound;
+///
+/// let delta = delta_bound(2500.0, 5, 8, 0.55);
+/// assert!(delta > 0.0);
+/// // log(2 - 0.55) = log(1.45) ~ 0.3716
+/// assert!((delta - 2500.0 * 40.0 * 1.45f64.ln()).abs() < 1e-9);
+/// ```
+pub fn delta_bound(v: f64, f: usize, l: usize, p_min: f64) -> f64 {
+    v * (f * l) as f64 * (2.0 - p_min).ln()
+}
+
+/// The drift constant `B`: a bound on `½(c_t − C/T)²`.
+///
+/// The worst case is either spending nothing (`c_t = 0`) or spending the
+/// maximum (`c_t = c_max`), so `B = ½·max(C/T, c_max − C/T)²`.
+pub fn b_constant(c_max: f64, allowance: f64) -> f64 {
+    let dev = allowance.max((c_max - allowance).abs());
+    0.5 * dev * dev
+}
+
+/// Theorem 1: bound on the time-averaged budget violation
+/// `(1/T)·Σ_t c_t − C/T ≤ sqrt(q0²/T² + 2D/T) − q0/T` with
+/// `D = Δ + B − V·F·L·ln(p_min)`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_core::theory::{theorem1_violation_bound, BoundParams};
+///
+/// let params = BoundParams {
+///     v: 2500.0, f: 5, l: 8, p_min: 0.55,
+///     budget: 5000.0, horizon: 200, q0: 10.0, c_max: 5.0 * 8.0 * 8.0,
+/// };
+/// let bound = theorem1_violation_bound(&params);
+/// assert!(bound > 0.0); // finite-T violation allowance
+/// ```
+pub fn theorem1_violation_bound(params: &BoundParams) -> f64 {
+    let delta = delta_bound(params.v, params.f, params.l, params.p_min);
+    let b = b_constant(params.c_max, params.allowance());
+    let d = delta + b - params.v * (params.f * params.l) as f64 * params.p_min.ln();
+    let t = params.horizon as f64;
+    ((params.q0 * params.q0) / (t * t) + 2.0 * d / t).sqrt() - params.q0 / t
+}
+
+/// Theorem 2: bound on the optimality gap of the time-averaged objective,
+/// `OPT − (1/T)·Σ_t E[u_t] ≤ (Δ + B)/V + q0²/(2VT)`.
+pub fn theorem2_optimality_gap(params: &BoundParams) -> f64 {
+    let delta = delta_bound(params.v, params.f, params.l, params.p_min);
+    let b = b_constant(params.c_max, params.allowance());
+    (delta + b) / params.v + (params.q0 * params.q0) / (2.0 * params.v * params.horizon as f64)
+}
+
+/// Assumption 1: the budget suffices for one channel per edge per pair
+/// per slot, `C ≥ F·L·T`.
+pub fn assumption1_holds(budget: f64, f: usize, l: usize, horizon: u64) -> bool {
+    budget >= (f * l) as f64 * horizon as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BoundParams {
+        BoundParams {
+            v: 2500.0,
+            f: 5,
+            l: 8,
+            p_min: 0.55,
+            budget: 5000.0,
+            horizon: 200,
+            q0: 10.0,
+            c_max: 5.0 * 8.0 * 8.0,
+        }
+    }
+
+    #[test]
+    fn delta_positive_and_monotone_in_v() {
+        assert!(delta_bound(100.0, 2, 3, 0.5) > 0.0);
+        assert!(delta_bound(200.0, 2, 3, 0.5) > delta_bound(100.0, 2, 3, 0.5));
+    }
+
+    #[test]
+    fn delta_decreases_with_p_min() {
+        // Higher p_min -> smaller log(2 - p_min) -> smaller gap.
+        assert!(delta_bound(100.0, 2, 3, 0.9) < delta_bound(100.0, 2, 3, 0.1));
+    }
+
+    #[test]
+    fn b_constant_covers_both_extremes() {
+        // c_max far above allowance.
+        assert_eq!(b_constant(100.0, 25.0), 0.5 * 75.0 * 75.0);
+        // Idle slot deviation dominates.
+        assert_eq!(b_constant(10.0, 25.0), 0.5 * 25.0 * 25.0);
+    }
+
+    #[test]
+    fn theorem1_bound_positive_and_shrinks_with_horizon() {
+        let p = params();
+        let b_short = theorem1_violation_bound(&p);
+        let mut long = p;
+        long.horizon = 2000;
+        let b_long = theorem1_violation_bound(&long);
+        assert!(b_short > 0.0);
+        assert!(b_long < b_short, "violation bound must vanish as T grows");
+    }
+
+    #[test]
+    fn theorem1_bound_decreases_with_q0() {
+        let p = params();
+        let mut big_q0 = p;
+        big_q0.q0 = 1000.0;
+        assert!(theorem1_violation_bound(&big_q0) < theorem1_violation_bound(&p));
+    }
+
+    #[test]
+    fn theorem1_bound_increases_with_v() {
+        let p = params();
+        let mut big_v = p;
+        big_v.v = 10_000.0;
+        assert!(theorem1_violation_bound(&big_v) > theorem1_violation_bound(&p));
+    }
+
+    #[test]
+    fn theorem2_gap_decreases_with_v() {
+        let p = params();
+        let mut big_v = p;
+        big_v.v = 10_000.0;
+        assert!(theorem2_optimality_gap(&big_v) < theorem2_optimality_gap(&p));
+    }
+
+    #[test]
+    fn theorem2_gap_increases_with_q0() {
+        let p = params();
+        let mut big_q0 = p;
+        big_q0.q0 = 500.0;
+        assert!(theorem2_optimality_gap(&big_q0) > theorem2_optimality_gap(&p));
+    }
+
+    #[test]
+    fn assumption1_examples() {
+        // Paper defaults: C=5000, F=5, L=8, T=200 -> need 8000 > 5000:
+        // Assumption 1 does NOT hold for the worst case F and L; it holds
+        // for the *realized* average (|Φ|~3, routes ~2-3 hops).
+        assert!(!assumption1_holds(5000.0, 5, 8, 200));
+        // F=3, L=4: F·L·T = 2400 <= 5000, so the assumption holds.
+        assert!(assumption1_holds(5000.0, 3, 4, 200));
+        assert!(assumption1_holds(5000.0, 1, 5, 200));
+    }
+
+    #[test]
+    fn allowance_computed() {
+        assert_eq!(params().allowance(), 25.0);
+    }
+}

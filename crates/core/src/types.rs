@@ -1,0 +1,246 @@
+//! Slot observations and routing decisions.
+
+use qdn_graph::Path;
+use qdn_net::{CapacitySnapshot, QdnNetwork, SdPair};
+use serde::{Deserialize, Serialize};
+
+/// Everything a policy observes at the start of a slot (Algorithm 1,
+/// line 4: "Observe Φ_t, Q_v^t, W_e^t").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotState {
+    t: u64,
+    requests: Vec<SdPair>,
+    snapshot: CapacitySnapshot,
+}
+
+impl SlotState {
+    /// Bundles a slot observation.
+    pub fn new(t: u64, requests: Vec<SdPair>, snapshot: CapacitySnapshot) -> Self {
+        SlotState {
+            t,
+            requests,
+            snapshot,
+        }
+    }
+
+    /// The slot index `t`.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// The request set `Φ_t`.
+    pub fn requests(&self) -> &[SdPair] {
+        &self.requests
+    }
+
+    /// Available capacities `Q_v^t`, `W_e^t`.
+    pub fn snapshot(&self) -> &CapacitySnapshot {
+        &self.snapshot
+    }
+}
+
+/// One served EC request: the chosen route `r_t(φ)` and the allocation
+/// `N_t(r_t(φ))` (channels per route edge, in route-edge order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteAssignment {
+    /// The SD pair this assignment serves.
+    pub pair: SdPair,
+    /// The chosen route.
+    pub route: Path,
+    /// `allocation[i]` channels on `route.edges()[i]`.
+    pub allocation: Vec<u32>,
+}
+
+impl RouteAssignment {
+    /// Creates an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation length does not match the route hop count
+    /// or any entry is zero (connectivity requires `n_e ≥ 1`, paper P1).
+    pub fn new(pair: SdPair, route: Path, allocation: Vec<u32>) -> Self {
+        assert_eq!(
+            allocation.len(),
+            route.hops(),
+            "allocation must cover every route edge"
+        );
+        assert!(
+            allocation.iter().all(|&n| n >= 1),
+            "allocations must be positive to keep the route connected"
+        );
+        RouteAssignment {
+            pair,
+            route,
+            allocation,
+        }
+    }
+
+    /// Qubit-channel units consumed by this assignment: `Σ_e n_e`.
+    pub fn cost(&self) -> u64 {
+        self.allocation.iter().map(|&n| n as u64).sum()
+    }
+
+    /// End-to-end success probability under `network`'s link models.
+    pub fn success_probability(&self, network: &QdnNetwork) -> f64 {
+        network.route_success(&self.route, &self.allocation)
+    }
+
+    /// Log success probability (one summand of the paper's Eq. 3).
+    pub fn log_success(&self, network: &QdnNetwork) -> f64 {
+        network.ln_route_success(&self.route, &self.allocation)
+    }
+}
+
+/// A policy's output for one slot: the served assignments plus any
+/// requests it could not serve (no candidate route, or capacity exhausted
+/// below the all-ones minimum).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Decision {
+    assignments: Vec<RouteAssignment>,
+    unserved: Vec<SdPair>,
+}
+
+impl Decision {
+    /// An empty decision (nothing served).
+    pub fn empty() -> Self {
+        Decision::default()
+    }
+
+    /// Builds a decision from assignments and unserved pairs.
+    pub fn new(assignments: Vec<RouteAssignment>, unserved: Vec<SdPair>) -> Self {
+        Decision {
+            assignments,
+            unserved,
+        }
+    }
+
+    /// The served assignments.
+    pub fn assignments(&self) -> &[RouteAssignment] {
+        &self.assignments
+    }
+
+    /// Requests that were not served this slot.
+    pub fn unserved(&self) -> &[SdPair] {
+        &self.unserved
+    }
+
+    /// Per-slot cost `c_t = Σ_φ Σ_e n_e` (paper's budget meter, Eq. 6).
+    pub fn total_cost(&self) -> u64 {
+        self.assignments.iter().map(RouteAssignment::cost).sum()
+    }
+
+    /// Slot utility `Σ_φ log P` over served pairs (paper Eq. 3 summand).
+    pub fn utility(&self, network: &QdnNetwork) -> f64 {
+        self.assignments
+            .iter()
+            .map(|a| a.log_success(network))
+            .sum()
+    }
+
+    /// Success probabilities of all requests, served or not (unserved
+    /// requests count as probability 0 — they certainly fail).
+    pub fn success_probabilities(&self, network: &QdnNetwork) -> Vec<f64> {
+        let mut probs: Vec<f64> = self
+            .assignments
+            .iter()
+            .map(|a| a.success_probability(network))
+            .collect();
+        probs.extend(std::iter::repeat_n(0.0, self.unserved.len()));
+        probs
+    }
+
+    /// Number of requests this decision covers (served + unserved).
+    pub fn request_count(&self) -> usize {
+        self.assignments.len() + self.unserved.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdn_graph::NodeId;
+    use qdn_net::network::QdnNetworkBuilder;
+    use qdn_physics::link::LinkModel;
+
+    fn line_net() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let a = b.add_node(10);
+        let m = b.add_node(10);
+        let c = b.add_node(10);
+        b.add_edge(a, m, 5, LinkModel::new(0.5).unwrap()).unwrap();
+        b.add_edge(m, c, 5, LinkModel::new(0.5).unwrap()).unwrap();
+        b.build()
+    }
+
+    fn assignment(net: &QdnNetwork) -> RouteAssignment {
+        let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
+        let route =
+            Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        RouteAssignment::new(pair, route, vec![2, 1])
+    }
+
+    #[test]
+    fn slot_state_accessors() {
+        let net = line_net();
+        let snap = CapacitySnapshot::full(&net);
+        let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
+        let s = SlotState::new(3, vec![pair], snap.clone());
+        assert_eq!(s.t(), 3);
+        assert_eq!(s.requests(), &[pair]);
+        assert_eq!(s.snapshot(), &snap);
+    }
+
+    #[test]
+    fn assignment_cost_and_probability() {
+        let net = line_net();
+        let a = assignment(&net);
+        assert_eq!(a.cost(), 3);
+        let p = a.success_probability(&net);
+        assert!((p - (1.0 - 0.25) * 0.5).abs() < 1e-12);
+        assert!((a.log_success(&net) - p.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation must cover")]
+    fn assignment_arity_checked() {
+        let net = line_net();
+        let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
+        let route =
+            Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let _ = RouteAssignment::new(pair, route, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn assignment_zero_allocation_rejected() {
+        let net = line_net();
+        let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
+        let route =
+            Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let _ = RouteAssignment::new(pair, route, vec![1, 0]);
+    }
+
+    #[test]
+    fn decision_aggregates() {
+        let net = line_net();
+        let a = assignment(&net);
+        let unserved = SdPair::new(NodeId(1), NodeId(2)).unwrap();
+        let d = Decision::new(vec![a.clone()], vec![unserved]);
+        assert_eq!(d.total_cost(), 3);
+        assert_eq!(d.request_count(), 2);
+        let probs = d.success_probabilities(&net);
+        assert_eq!(probs.len(), 2);
+        assert!(probs[0] > 0.0);
+        assert_eq!(probs[1], 0.0);
+        assert!((d.utility(&net) - a.log_success(&net)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_decision() {
+        let net = line_net();
+        let d = Decision::empty();
+        assert_eq!(d.total_cost(), 0);
+        assert_eq!(d.utility(&net), 0.0);
+        assert!(d.success_probabilities(&net).is_empty());
+    }
+}

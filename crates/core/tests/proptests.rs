@@ -1,0 +1,232 @@
+//! Property-based tests for the OSCAR core on randomized networks.
+
+use proptest::prelude::*;
+use qdn_core::allocation::AllocationMethod;
+use qdn_core::baselines::{BudgetSplit, MyopicConfig, MyopicPolicy};
+use qdn_core::oscar::{OscarConfig, OscarPolicy};
+use qdn_core::policy::RoutingPolicy;
+use qdn_core::problem::PerSlotContext;
+use qdn_core::types::SlotState;
+use qdn_graph::generators::ring;
+use qdn_graph::{NodeId, Path};
+use qdn_net::network::{QdnNetwork, QdnNetworkBuilder};
+use qdn_net::{CapacitySnapshot, SdPair};
+use qdn_physics::link::LinkModel;
+use rand::SeedableRng;
+
+/// A ring QDN with randomized capacities and link probabilities.
+fn arb_ring_network() -> impl Strategy<Value = QdnNetwork> {
+    (4usize..9).prop_flat_map(|n| {
+        let qubits = proptest::collection::vec(4u32..16, n);
+        let channels = proptest::collection::vec(2u32..8, n);
+        let probs = proptest::collection::vec(0.2f64..0.9, n);
+        (qubits, channels, probs).prop_map(move |(qubits, channels, probs)| {
+            let graph = ring(n);
+            let mut b = QdnNetworkBuilder::new();
+            for &q in &qubits {
+                b.add_node(q);
+            }
+            for (e, u, v) in graph.edges() {
+                b.add_edge(u, v, channels[e.index()], LinkModel::new(probs[e.index()]).unwrap())
+                    .unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+/// Audits a decision against a snapshot without using simulator code.
+fn capacity_ok(net: &QdnNetwork, snap: &CapacitySnapshot, d: &qdn_core::Decision) -> bool {
+    let mut node = vec![0u64; net.node_count()];
+    let mut edge = vec![0u64; net.edge_count()];
+    for a in d.assignments() {
+        for (e, &n) in a.route.edges().iter().zip(&a.allocation) {
+            if n == 0 {
+                return false;
+            }
+            let (u, v) = net.graph().endpoints(*e);
+            node[u.index()] += n as u64;
+            node[v.index()] += n as u64;
+            edge[e.index()] += n as u64;
+        }
+    }
+    net.graph()
+        .node_ids()
+        .all(|v| node[v.index()] <= snap.qubits(v) as u64)
+        && net
+            .graph()
+            .edge_ids()
+            .all(|e| edge[e.index()] <= snap.channels(e) as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// OSCAR decisions always satisfy the capacity constraints and serve
+    /// every request it claims to serve.
+    #[test]
+    fn oscar_decisions_feasible(net in arb_ring_network(), seed in 0u64..1000) {
+        let mut policy = OscarPolicy::new(OscarConfig {
+            total_budget: 200.0,
+            horizon: 10,
+            ..OscarConfig::paper_default()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for t in 0..5 {
+            let requests: Vec<SdPair> = (0..2)
+                .map(|_| qdn_net::workload::random_sd_pair(&mut rng, &net))
+                .collect();
+            let snap = CapacitySnapshot::full(&net);
+            let slot = SlotState::new(t, requests.clone(), snap.clone());
+            let d = policy.decide(&net, &slot, &mut rng);
+            prop_assert!(capacity_ok(&net, &snap, &d), "slot {t}");
+            prop_assert_eq!(d.request_count(), requests.len());
+        }
+    }
+
+    /// The myopic baselines respect their per-slot budgets on random
+    /// networks, for random budgets.
+    #[test]
+    fn myopic_budget_respected(net in arb_ring_network(), seed in 0u64..1000, budget in 50.0f64..400.0) {
+        for split in [BudgetSplit::Fixed, BudgetSplit::Adaptive] {
+            let mut policy = MyopicPolicy::new(MyopicConfig {
+                split,
+                total_budget: budget,
+                horizon: 8,
+                ..MyopicConfig::paper_default(split)
+            });
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut total = 0u64;
+            for t in 0..8 {
+                let requests: Vec<SdPair> = (0..2)
+                    .map(|_| qdn_net::workload::random_sd_pair(&mut rng, &net))
+                    .collect();
+                let slot = SlotState::new(t, requests, CapacitySnapshot::full(&net));
+                let d = policy.decide(&net, &slot, &mut rng);
+                total += d.total_cost();
+            }
+            prop_assert!(total as f64 <= budget, "{split:?} spent {total} > {budget}");
+        }
+    }
+
+    /// Greedy allocation is monotone in the queue price: a higher price
+    /// never allocates more units to the same profile.
+    #[test]
+    fn allocation_monotone_in_price(net in arb_ring_network(), lo in 0.0f64..5.0, extra in 0.1f64..50.0) {
+        // Fixed 2-hop route around the ring.
+        let route = Path::from_nodes(
+            net.graph(),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+        ).unwrap();
+        let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
+        let snap = CapacitySnapshot::full(&net);
+        let profile = vec![(pair, &route)];
+
+        let cheap = PerSlotContext::oscar(&net, &snap, 1000.0, lo)
+            .evaluate(&profile, &AllocationMethod::Greedy);
+        let dear = PerSlotContext::oscar(&net, &snap, 1000.0, lo + extra)
+            .evaluate(&profile, &AllocationMethod::Greedy);
+        let (Some(cheap), Some(dear)) = (cheap, dear) else {
+            return Ok(()); // capacity-infeasible draw; nothing to compare
+        };
+        let total = |ev: &qdn_core::problem::ProfileEvaluation| -> u32 {
+            ev.allocations.iter().flatten().sum()
+        };
+        prop_assert!(total(&dear) <= total(&cheap));
+    }
+
+    /// The swap factor enters the per-slot objective as exactly
+    /// `V · swaps · ln q` per route: a constant shift that never changes
+    /// the allocation itself.
+    #[test]
+    fn swap_term_is_exact_constant_shift(
+        net in arb_ring_network(),
+        q in 0.3f64..0.999,
+        price in 0.0f64..10.0,
+    ) {
+        use qdn_physics::swap::SwapModel;
+        // Rebuild the same network with a lossy swap model.
+        let lossy = {
+            let mut b = QdnNetworkBuilder::new();
+            for v in net.graph().node_ids() {
+                b.add_node(net.qubit_capacity(v));
+            }
+            for (e, u, v) in net.graph().edges() {
+                b.add_edge(u, v, net.channel_capacity(e), *net.link(e)).unwrap();
+            }
+            b.set_swap(SwapModel::new(q).unwrap());
+            b.build()
+        };
+        let route = Path::from_nodes(
+            net.graph(),
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+        ).unwrap();
+        let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
+        let profile = vec![(pair, &route)];
+        let v_weight = 700.0;
+
+        let snap_perfect = CapacitySnapshot::full(&net);
+        let perfect = PerSlotContext::oscar(&net, &snap_perfect, v_weight, price)
+            .evaluate(&profile, &AllocationMethod::Greedy);
+        let snap_lossy = CapacitySnapshot::full(&lossy);
+        let lossy_ev = PerSlotContext::oscar(&lossy, &snap_lossy, v_weight, price)
+            .evaluate(&profile, &AllocationMethod::Greedy);
+        let (Some(a), Some(b)) = (perfect, lossy_ev) else {
+            return Ok(());
+        };
+        // Identical allocations (the term is allocation-independent)…
+        prop_assert_eq!(&a.allocations, &b.allocations);
+        // …and an objective shifted by exactly V·(swaps=1)·ln q.
+        let shift = a.objective - b.objective;
+        prop_assert!((shift - v_weight * (1.0 / q).ln()).abs() < 1e-6,
+            "shift {shift} vs expected {}", v_weight * (1.0 / q).ln());
+    }
+
+    /// Multi-EC workloads keep every request set within the advertised
+    /// `F` bound and every copy is a valid pair of the base draw.
+    #[test]
+    fn multi_ec_respects_f_bound(
+        net in arb_ring_network(),
+        seed in 0u64..1000,
+        base_max in 1usize..4,
+        k in 1usize..4,
+    ) {
+        use qdn_net::workload::{MultiEcWorkload, UniformWorkload, Workload};
+        let mut wl = MultiEcWorkload::new(UniformWorkload::new(1, base_max), k);
+        prop_assert_eq!(wl.max_pairs(), base_max * k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for t in 0..12 {
+            let set = wl.requests(t, &net, &mut rng);
+            prop_assert!(set.len() <= wl.max_pairs());
+            prop_assert!(!set.is_empty());
+            for p in &set {
+                prop_assert!(p.source() != p.destination());
+                prop_assert!(p.source().index() < net.node_count());
+                prop_assert!(p.destination().index() < net.node_count());
+            }
+        }
+    }
+
+    /// Reset makes policies replayable: the same slot decided twice around
+    /// a reset (with identical RNG streams) yields identical decisions.
+    #[test]
+    fn reset_restores_determinism(net in arb_ring_network(), seed in 0u64..1000) {
+        let mut policy = OscarPolicy::new(OscarConfig {
+            total_budget: 300.0,
+            horizon: 12,
+            ..OscarConfig::paper_default()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let requests: Vec<SdPair> = (0..2)
+            .map(|_| qdn_net::workload::random_sd_pair(&mut rng, &net))
+            .collect();
+        let slot = SlotState::new(0, requests, CapacitySnapshot::full(&net));
+
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF00D);
+        let d1 = policy.decide(&net, &slot, &mut rng1);
+        policy.reset();
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF00D);
+        let d2 = policy.decide(&net, &slot, &mut rng2);
+        prop_assert_eq!(d1, d2);
+    }
+}

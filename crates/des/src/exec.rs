@@ -1,0 +1,576 @@
+//! Attempt-level execution of one entanglement connection.
+//!
+//! Given a chosen route and qubit allocation (a
+//! [`qdn_core::types::RouteAssignment`], or raw per-edge channel counts),
+//! this module plays out the physical process the paper's Eq. 2
+//! aggregates into a single probability:
+//!
+//! 1. every edge races its allocated channels in lockstep attempt rounds
+//!    ([`crate::sampler::AttemptProcess`]) until the link is up or the
+//!    attempt window closes;
+//! 2. links that come up early must *survive* (not decohere) until the
+//!    last link arrives;
+//! 3. a chain of entanglement swaps then splices the links into an
+//!    end-to-end pair, each swap succeeding with probability `q`.
+//!
+//! With the paper's parameters (window = 4000 × 165 µs = 0.66 s, memory
+//! 1.46 s, `q = 1`) steps 2–3 never fail and the end-to-end success
+//! probability collapses to `Π_e P_e(n_e)` — exactly Eq. 2, which the
+//! workspace `des_validation` test verifies empirically. The DES earns
+//! its keep beyond that check: it reports *when* the connection becomes
+//! available (latency), what failures look like when memory or swapping
+//! is imperfect, and how many attempts were burned.
+
+use std::time::Duration;
+
+use qdn_graph::EdgeId;
+use qdn_physics::swap::SwapModel;
+use qdn_physics::timing::SlotTiming;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::sampler::AttemptProcess;
+use crate::time::SimTime;
+use crate::DesError;
+
+/// Physical parameters governing one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// Duration of one attempt round.
+    pub attempt_duration: Duration,
+    /// Attempt window in rounds (the paper's `A`).
+    pub max_rounds: u64,
+    /// Quantum-memory lifetime of an established link.
+    pub decoherence: Duration,
+    /// Time per swap operation (Bell-state measurement + classical
+    /// message to the next node); the paper treats this as negligible.
+    pub swap_duration: Duration,
+    /// Per-swap success probability `q ∈ (0, 1]`.
+    pub swap_success: f64,
+}
+
+impl ExecutionConfig {
+    /// The paper's §V-A physical layer: 165 µs rounds, `A = 4000`,
+    /// 1.46 s memory, instantaneous perfect swapping.
+    pub fn paper_default() -> Self {
+        let timing = SlotTiming::paper_default();
+        ExecutionConfig {
+            attempt_duration: timing.attempt_duration,
+            max_rounds: 4000,
+            decoherence: timing.decoherence_time,
+            swap_duration: Duration::ZERO,
+            swap_success: 1.0,
+        }
+    }
+
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesError::InvalidParameter`] when the attempt duration
+    /// or window is zero, and [`DesError::InvalidProbability`] unless
+    /// `swap_success ∈ (0, 1]`.
+    pub fn new(
+        attempt_duration: Duration,
+        max_rounds: u64,
+        decoherence: Duration,
+        swap_duration: Duration,
+        swap_success: f64,
+    ) -> Result<Self, DesError> {
+        if attempt_duration.is_zero() {
+            return Err(DesError::InvalidParameter {
+                name: "attempt_duration",
+                reason: "must be positive",
+            });
+        }
+        if max_rounds == 0 {
+            return Err(DesError::InvalidParameter {
+                name: "max_rounds",
+                reason: "the attempt window needs at least one round",
+            });
+        }
+        if decoherence.is_zero() {
+            return Err(DesError::InvalidParameter {
+                name: "decoherence",
+                reason: "must be positive",
+            });
+        }
+        if !(swap_success > 0.0 && swap_success <= 1.0) {
+            return Err(DesError::InvalidProbability {
+                name: "swap_success",
+                value: swap_success,
+            });
+        }
+        Ok(ExecutionConfig {
+            attempt_duration,
+            max_rounds,
+            decoherence,
+            swap_duration,
+            swap_success,
+        })
+    }
+
+    /// Returns a copy with a different swap model (success probability).
+    pub fn with_swap(mut self, swap: SwapModel) -> Self {
+        self.swap_success = swap.success();
+        self
+    }
+
+    /// Returns a copy with a different memory lifetime.
+    pub fn with_decoherence(mut self, decoherence: Duration) -> Self {
+        self.decoherence = decoherence;
+        self
+    }
+
+    /// When the attempt window closes, relative to the execution start.
+    pub fn window_end(&self, start: SimTime) -> SimTime {
+        start + self.attempt_duration * self.max_rounds as u32
+    }
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One edge of an execution: which edge, and its attempt process
+/// (per-attempt success × allocated channels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeTask {
+    /// The network edge this link lives on.
+    pub edge: EdgeId,
+    /// The attempt process (carries the channel count).
+    pub process: AttemptProcess,
+}
+
+impl EdgeTask {
+    /// Creates a task for `channels` parallel channels with per-attempt
+    /// success `p_attempt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AttemptProcess::new`] validation errors.
+    pub fn new(edge: EdgeId, p_attempt: f64, channels: u32) -> Result<Self, DesError> {
+        Ok(EdgeTask {
+            edge,
+            process: AttemptProcess::new(p_attempt, channels)?,
+        })
+    }
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// An elementary link never came up within the attempt window.
+    LinkWindowExpired {
+        /// The edge whose link failed (first such edge in route order).
+        edge: EdgeId,
+    },
+    /// An early link decohered before the route's last link arrived (or
+    /// before the swap chain finished).
+    LinkDecohered {
+        /// The edge whose link expired.
+        edge: EdgeId,
+    },
+    /// A swap operation failed.
+    SwapFailed {
+        /// Zero-based index of the failing swap in the chain.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::LinkWindowExpired { edge } => {
+                write!(f, "link on edge {edge} never established")
+            }
+            FailureCause::LinkDecohered { edge } => {
+                write!(f, "link on edge {edge} decohered")
+            }
+            FailureCause::SwapFailed { index } => write!(f, "swap {index} failed"),
+        }
+    }
+}
+
+/// The full physical record of one execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteOutcome {
+    /// Whether the end-to-end pair was delivered.
+    pub success: bool,
+    /// Delivery instant (present iff `success`).
+    pub completed_at: Option<SimTime>,
+    /// The instant the failure became known (present iff `!success`).
+    pub failed_at: Option<SimTime>,
+    /// The failure cause (present iff `!success`).
+    pub cause: Option<FailureCause>,
+    /// Per edge (route order): when its link came up, `None` if never.
+    pub link_up_at: Vec<Option<SimTime>>,
+    /// Per edge: attempt rounds consumed (the window size for links that
+    /// never came up).
+    pub rounds_used: Vec<u64>,
+    /// Total individual attempts across all edges and channels
+    /// (`Σ_e n_e · rounds_e`).
+    pub attempts_consumed: u64,
+}
+
+impl RouteOutcome {
+    /// The instant the execution's resources can be released: delivery on
+    /// success, the failure instant otherwise.
+    pub fn resolved_at(&self) -> SimTime {
+        self.completed_at
+            .or(self.failed_at)
+            .expect("an outcome is either completed or failed")
+    }
+
+    /// Time from `start` to delivery (`None` on failure).
+    pub fn latency(&self, start: SimTime) -> Option<Duration> {
+        self.completed_at
+            .map(|done| done.saturating_duration_since(start))
+    }
+}
+
+/// Plays out one execution starting at `start`.
+///
+/// RNG discipline: exactly one uniform draw per edge (the geometric
+/// inversion), then one per swap actually performed — so a fixed seed
+/// yields a reproducible trajectory regardless of outcome.
+///
+/// # Panics
+///
+/// Panics if `tasks` is empty: a route has at least one edge.
+pub fn execute_route<R: Rng + ?Sized>(
+    start: SimTime,
+    tasks: &[EdgeTask],
+    config: &ExecutionConfig,
+    rng: &mut R,
+) -> RouteOutcome {
+    assert!(!tasks.is_empty(), "an execution needs at least one edge");
+    let window_end = config.window_end(start);
+
+    // Phase 1: race the links.
+    let mut link_up_at = Vec::with_capacity(tasks.len());
+    let mut rounds_used = Vec::with_capacity(tasks.len());
+    let mut first_expired: Option<EdgeId> = None;
+    for task in tasks {
+        match task.process.sample_within(rng, config.max_rounds) {
+            Some(k) => {
+                link_up_at.push(Some(start + config.attempt_duration * k as u32));
+                rounds_used.push(k);
+            }
+            None => {
+                link_up_at.push(None);
+                rounds_used.push(config.max_rounds);
+                if first_expired.is_none() {
+                    first_expired = Some(task.edge);
+                }
+            }
+        }
+    }
+    let attempts_consumed = tasks
+        .iter()
+        .zip(&rounds_used)
+        .map(|(t, &r)| t.process.channels() as u64 * r)
+        .sum();
+
+    if let Some(edge) = first_expired {
+        // Failure is known when the window closes (links that came up are
+        // held — and wasted — until then).
+        return RouteOutcome {
+            success: false,
+            completed_at: None,
+            failed_at: Some(window_end),
+            cause: Some(FailureCause::LinkWindowExpired { edge }),
+            link_up_at,
+            rounds_used,
+            attempts_consumed,
+        };
+    }
+
+    // Phase 2: all links are up; the earliest-established link must
+    // survive until the swap chain completes.
+    let last_up = link_up_at
+        .iter()
+        .map(|t| t.expect("all links up"))
+        .max()
+        .expect("non-empty");
+    let swaps = SwapModel::swaps_for_hops(tasks.len());
+    let delivery = last_up + config.swap_duration * swaps as u32;
+    let mut earliest_decoherence: Option<(SimTime, EdgeId)> = None;
+    for (task, up) in tasks.iter().zip(&link_up_at) {
+        let deadline = up.expect("all links up") + config.decoherence;
+        if deadline < delivery {
+            let candidate = (deadline, task.edge);
+            if earliest_decoherence.is_none_or(|cur| candidate.0 < cur.0) {
+                earliest_decoherence = Some(candidate);
+            }
+        }
+    }
+    if let Some((deadline, edge)) = earliest_decoherence {
+        return RouteOutcome {
+            success: false,
+            completed_at: None,
+            failed_at: Some(deadline),
+            cause: Some(FailureCause::LinkDecohered { edge }),
+            link_up_at,
+            rounds_used,
+            attempts_consumed,
+        };
+    }
+
+    // Phase 3: the swap chain.
+    for index in 0..swaps {
+        if config.swap_success < 1.0 {
+            let u: f64 = rng.random();
+            if u >= config.swap_success {
+                let failed_at = last_up + config.swap_duration * (index + 1) as u32;
+                return RouteOutcome {
+                    success: false,
+                    completed_at: None,
+                    failed_at: Some(failed_at),
+                    cause: Some(FailureCause::SwapFailed { index }),
+                    link_up_at,
+                    rounds_used,
+                    attempts_consumed,
+                };
+            }
+        }
+    }
+
+    RouteOutcome {
+        success: true,
+        completed_at: Some(delivery),
+        failed_at: None,
+        cause: None,
+        link_up_at,
+        rounds_used,
+        attempts_consumed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn tasks(p: f64, channels: u32, hops: usize) -> Vec<EdgeTask> {
+        (0..hops)
+            .map(|i| EdgeTask::new(EdgeId(i as u32), p, channels).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ExecutionConfig::new(Duration::ZERO, 10, Duration::from_secs(1), Duration::ZERO, 1.0).is_err());
+        assert!(ExecutionConfig::new(Duration::from_micros(1), 0, Duration::from_secs(1), Duration::ZERO, 1.0).is_err());
+        assert!(ExecutionConfig::new(Duration::from_micros(1), 10, Duration::ZERO, Duration::ZERO, 1.0).is_err());
+        assert!(ExecutionConfig::new(Duration::from_micros(1), 10, Duration::from_secs(1), Duration::ZERO, 0.0).is_err());
+        assert!(ExecutionConfig::new(Duration::from_micros(1), 10, Duration::from_secs(1), Duration::ZERO, 1.0).is_ok());
+    }
+
+    #[test]
+    fn paper_default_window() {
+        let cfg = ExecutionConfig::paper_default();
+        let end = cfg.window_end(SimTime::ZERO);
+        assert_eq!(end.as_nanos(), 4000 * 165_000);
+        // Window (0.66 s) fits inside the memory lifetime (1.46 s).
+        assert!(end.as_secs_f64() < cfg.decoherence.as_secs_f64());
+    }
+
+    #[test]
+    fn strong_links_always_succeed() {
+        let cfg = ExecutionConfig::paper_default();
+        let tasks = tasks(0.9, 4, 3);
+        let mut r = rng(1);
+        for _ in 0..50 {
+            let out = execute_route(SimTime::ZERO, &tasks, &cfg, &mut r);
+            assert!(out.success);
+            let done = out.completed_at.unwrap();
+            assert!(done > SimTime::ZERO);
+            assert_eq!(out.resolved_at(), done);
+            assert!(out.latency(SimTime::ZERO).unwrap() >= cfg.attempt_duration);
+            assert!(out.link_up_at.iter().all(Option::is_some));
+            assert!(out.cause.is_none());
+        }
+    }
+
+    #[test]
+    fn hopeless_links_fail_at_window_end() {
+        let cfg = ExecutionConfig::new(
+            Duration::from_micros(165),
+            10,
+            Duration::from_secs(2),
+            Duration::ZERO,
+            1.0,
+        )
+        .unwrap();
+        let tasks = tasks(1e-9, 1, 2);
+        let mut r = rng(2);
+        let out = execute_route(SimTime::ZERO, &tasks, &cfg, &mut r);
+        assert!(!out.success);
+        assert_eq!(out.failed_at, Some(cfg.window_end(SimTime::ZERO)));
+        assert!(matches!(
+            out.cause,
+            Some(FailureCause::LinkWindowExpired { .. })
+        ));
+        // Every channel burned the whole window.
+        assert_eq!(out.attempts_consumed, 2 * 10);
+    }
+
+    #[test]
+    fn empirical_route_success_matches_eq2() {
+        // 2-hop route, p̃ chosen so P_e(n) is mid-range.
+        let p_attempt = 0.002;
+        let rounds = 400u64;
+        let channels = 2u32;
+        let cfg = ExecutionConfig::new(
+            Duration::from_micros(165),
+            rounds,
+            Duration::from_secs(10),
+            Duration::ZERO,
+            1.0,
+        )
+        .unwrap();
+        let tasks = tasks(p_attempt, channels, 2);
+        let p_edge = tasks[0].process.success_within(rounds);
+        let expected = p_edge * p_edge;
+        let mut r = rng(3);
+        let trials = 20_000;
+        let hits = (0..trials)
+            .filter(|_| execute_route(SimTime::ZERO, &tasks, &cfg, &mut r).success)
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "DES {rate:.4} vs Eq.2 {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn lossy_swapping_scales_success_by_route_factor() {
+        let cfg = ExecutionConfig::paper_default().with_swap(SwapModel::new(0.7).unwrap());
+        // 3 hops -> 2 swaps; strong links so only swaps can fail.
+        let tasks = tasks(0.9, 4, 3);
+        let mut r = rng(4);
+        let trials = 20_000;
+        let hits = (0..trials)
+            .filter(|_| execute_route(SimTime::ZERO, &tasks, &cfg, &mut r).success)
+            .count();
+        let rate = hits as f64 / trials as f64;
+        let expected = 0.7f64.powi(2);
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "swap-lossy DES {rate:.4} vs q^swaps {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn swap_failure_reports_index_and_time() {
+        let cfg = ExecutionConfig::new(
+            Duration::from_micros(165),
+            100,
+            Duration::from_secs(10),
+            Duration::from_micros(10),
+            1e-9, // swaps essentially always fail
+        )
+        .unwrap();
+        let tasks = tasks(0.9, 4, 3);
+        let mut r = rng(5);
+        let out = execute_route(SimTime::ZERO, &tasks, &cfg, &mut r);
+        assert!(!out.success);
+        match out.cause {
+            Some(FailureCause::SwapFailed { index }) => {
+                assert_eq!(index, 0, "first swap should fail with q≈0");
+                let last_up = out.link_up_at.iter().map(|t| t.unwrap()).max().unwrap();
+                assert_eq!(out.failed_at, Some(last_up + Duration::from_micros(10)));
+            }
+            other => panic!("expected swap failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_memory_triggers_decoherence() {
+        // Window far longer than memory: an early link often dies before
+        // a late one arrives.
+        let cfg = ExecutionConfig::new(
+            Duration::from_micros(165),
+            50_000,
+            Duration::from_millis(5), // ~30 rounds of memory
+            Duration::ZERO,
+            1.0,
+        )
+        .unwrap();
+        let tasks = tasks(0.005, 1, 3); // mean ≈ 200 rounds per link
+        let mut r = rng(6);
+        let mut decohered = 0;
+        for _ in 0..500 {
+            let out = execute_route(SimTime::ZERO, &tasks, &cfg, &mut r);
+            if let Some(FailureCause::LinkDecohered { .. }) = out.cause {
+                decohered += 1;
+                assert!(out.failed_at.unwrap() <= cfg.window_end(SimTime::ZERO) + cfg.decoherence);
+            }
+        }
+        assert!(
+            decohered > 100,
+            "expected frequent decoherence failures, got {decohered}/500"
+        );
+    }
+
+    #[test]
+    fn paper_window_never_decoheres() {
+        // 0.66 s window < 1.46 s memory: decoherence is impossible, as the
+        // paper's slot design intends.
+        let cfg = ExecutionConfig::paper_default();
+        let tasks = tasks(0.001, 1, 4);
+        let mut r = rng(7);
+        for _ in 0..2000 {
+            let out = execute_route(SimTime::ZERO, &tasks, &cfg, &mut r);
+            assert!(!matches!(
+                out.cause,
+                Some(FailureCause::LinkDecohered { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn failure_display_messages() {
+        let m1 = FailureCause::LinkWindowExpired { edge: EdgeId(3) }.to_string();
+        assert!(m1.contains("never established"));
+        let m2 = FailureCause::LinkDecohered { edge: EdgeId(1) }.to_string();
+        assert!(m2.contains("decohered"));
+        let m3 = FailureCause::SwapFailed { index: 2 }.to_string();
+        assert!(m3.contains("swap 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn empty_route_rejected() {
+        let cfg = ExecutionConfig::paper_default();
+        let mut r = rng(8);
+        let _ = execute_route(SimTime::ZERO, &[], &cfg, &mut r);
+    }
+
+    #[test]
+    fn single_hop_has_no_swaps() {
+        let cfg = ExecutionConfig::new(
+            Duration::from_micros(165),
+            100,
+            Duration::from_secs(10),
+            Duration::from_micros(10),
+            0.5, // lossy swaps, but 1 hop needs none
+        )
+        .unwrap();
+        let tasks = tasks(0.9, 4, 1);
+        let mut r = rng(9);
+        for _ in 0..200 {
+            let out = execute_route(SimTime::ZERO, &tasks, &cfg, &mut r);
+            assert!(out.success, "single-hop route cannot fail a swap");
+            assert_eq!(out.completed_at, out.link_up_at[0]);
+        }
+    }
+}

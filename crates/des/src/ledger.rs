@@ -1,0 +1,273 @@
+//! Continuous-time resource accounting.
+//!
+//! The slotted model resets capacities every slot; in the event-driven
+//! world an execution *holds* its qubits and channels from admission
+//! until it resolves (delivery or failure), and concurrent requests
+//! contend for what is left. [`ResourceLedger`] tracks the free pool and
+//! hands the online router a [`CapacitySnapshot`] of the residual
+//! capacities so the per-slot solvers from `qdn-core` can be reused
+//! unchanged.
+
+use qdn_graph::Path;
+use qdn_net::{CapacitySnapshot, QdnNetwork};
+
+use crate::DesError;
+
+/// Sparse demand list: `(node-or-edge index, units)` pairs.
+type Demand = Vec<(usize, u32)>;
+
+/// Free qubits per node and free channels per edge at the current
+/// simulation instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceLedger {
+    qubits: Vec<u32>,
+    channels: Vec<u32>,
+}
+
+impl ResourceLedger {
+    /// A ledger with every resource free.
+    pub fn full(network: &QdnNetwork) -> Self {
+        ResourceLedger {
+            qubits: network
+                .graph()
+                .node_ids()
+                .map(|v| network.qubit_capacity(v))
+                .collect(),
+            channels: network
+                .graph()
+                .edge_ids()
+                .map(|e| network.channel_capacity(e))
+                .collect(),
+        }
+    }
+
+    /// The residual capacities as a snapshot the `qdn-core` solvers
+    /// understand.
+    pub fn snapshot(&self, network: &QdnNetwork) -> CapacitySnapshot {
+        CapacitySnapshot::clamped(network, self.qubits.clone(), self.channels.clone())
+    }
+
+    /// Free qubits at node index `v`.
+    pub fn free_qubits(&self, v: usize) -> u32 {
+        self.qubits[v]
+    }
+
+    /// Free channels on edge index `e`.
+    pub fn free_channels(&self, e: usize) -> u32 {
+        self.channels[e]
+    }
+
+    /// Total free qubits across the network.
+    pub fn total_free_qubits(&self) -> u64 {
+        self.qubits.iter().map(|&q| q as u64).sum()
+    }
+
+    /// Total free channels across the network.
+    pub fn total_free_channels(&self) -> u64 {
+        self.channels.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Per-node and per-edge demand of an allocation along a route:
+    /// `n_e` channels on each route edge, `n_e` qubits at *each* endpoint
+    /// (the paper's constraints (4)/(5)).
+    fn demand(network: &QdnNetwork, route: &Path, allocation: &[u32]) -> (Demand, Demand) {
+        debug_assert_eq!(route.hops(), allocation.len());
+        let mut node_demand: Vec<(usize, u32)> = Vec::with_capacity(route.hops() + 1);
+        let mut edge_demand: Vec<(usize, u32)> = Vec::with_capacity(route.hops());
+        for (&edge, &n) in route.edges().iter().zip(allocation) {
+            let (u, v) = network.graph().endpoints(edge);
+            push_demand(&mut node_demand, u.index(), n);
+            push_demand(&mut node_demand, v.index(), n);
+            push_demand(&mut edge_demand, edge.index(), n);
+        }
+        (node_demand, edge_demand)
+    }
+
+    /// Atomically reserves the resources of one execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesError::InsufficientResources`] (and changes nothing)
+    /// if any node or edge cannot cover its demand.
+    pub fn try_reserve(
+        &mut self,
+        network: &QdnNetwork,
+        route: &Path,
+        allocation: &[u32],
+    ) -> Result<(), DesError> {
+        let (node_demand, edge_demand) = Self::demand(network, route, allocation);
+        for &(v, need) in &node_demand {
+            if self.qubits[v] < need {
+                return Err(DesError::InsufficientResources {
+                    what: "qubits",
+                    index: v,
+                    need,
+                    free: self.qubits[v],
+                });
+            }
+        }
+        for &(e, need) in &edge_demand {
+            if self.channels[e] < need {
+                return Err(DesError::InsufficientResources {
+                    what: "channels",
+                    index: e,
+                    need,
+                    free: self.channels[e],
+                });
+            }
+        }
+        for &(v, need) in &node_demand {
+            self.qubits[v] -= need;
+        }
+        for &(e, need) in &edge_demand {
+            self.channels[e] -= need;
+        }
+        Ok(())
+    }
+
+    /// Returns the resources of a finished execution to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the release would exceed the installed
+    /// capacity (a double-release bug).
+    pub fn release(&mut self, network: &QdnNetwork, route: &Path, allocation: &[u32]) {
+        let (node_demand, edge_demand) = Self::demand(network, route, allocation);
+        for &(v, n) in &node_demand {
+            self.qubits[v] += n;
+            debug_assert!(
+                self.qubits[v] <= network.qubit_capacity(qdn_graph::NodeId(v as u32)),
+                "double release at node {v}"
+            );
+        }
+        for &(e, n) in &edge_demand {
+            self.channels[e] += n;
+            debug_assert!(
+                self.channels[e] <= network.channel_capacity(qdn_graph::EdgeId(e as u32)),
+                "double release at edge {e}"
+            );
+        }
+    }
+}
+
+/// Accumulates `n` onto the entry for `index`, coalescing duplicates
+/// (routes are simple paths, so the list stays tiny — no hashing needed).
+fn push_demand(list: &mut Vec<(usize, u32)>, index: usize, n: u32) {
+    if let Some(entry) = list.iter_mut().find(|(i, _)| *i == index) {
+        entry.1 += n;
+    } else {
+        list.push((index, n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdn_graph::NodeId;
+    use qdn_net::network::QdnNetworkBuilder;
+    use qdn_physics::link::LinkModel;
+
+    /// Line 0-1-2 with 6 qubits per node and 4 channels per edge.
+    fn line() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node(6)).collect();
+        let l = LinkModel::new(0.5).unwrap();
+        b.add_edge(n[0], n[1], 4, l).unwrap();
+        b.add_edge(n[1], n[2], 4, l).unwrap();
+        b.build()
+    }
+
+    fn route(net: &QdnNetwork) -> Path {
+        Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap()
+    }
+
+    #[test]
+    fn full_matches_installed_capacity() {
+        let net = line();
+        let ledger = ResourceLedger::full(&net);
+        assert_eq!(ledger.total_free_qubits(), 18);
+        assert_eq!(ledger.total_free_channels(), 8);
+        assert_eq!(ledger.snapshot(&net), CapacitySnapshot::full(&net));
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let net = line();
+        let mut ledger = ResourceLedger::full(&net);
+        let r = route(&net);
+        ledger.try_reserve(&net, &r, &[2, 3]).unwrap();
+        // Node 1 is on both edges: 2 + 3 = 5 qubits used there.
+        assert_eq!(ledger.free_qubits(1), 1);
+        assert_eq!(ledger.free_qubits(0), 4);
+        assert_eq!(ledger.free_qubits(2), 3);
+        assert_eq!(ledger.free_channels(0), 2);
+        assert_eq!(ledger.free_channels(1), 1);
+        ledger.release(&net, &r, &[2, 3]);
+        assert_eq!(ledger, ResourceLedger::full(&net));
+    }
+
+    #[test]
+    fn reserve_fails_atomically() {
+        let net = line();
+        let mut ledger = ResourceLedger::full(&net);
+        let r = route(&net);
+        // Node 1 needs 3+4=7 > 6 qubits: must fail without touching
+        // anything.
+        let before = ledger.clone();
+        let err = ledger.try_reserve(&net, &r, &[3, 4]).unwrap_err();
+        assert!(matches!(
+            err,
+            DesError::InsufficientResources { what: "qubits", .. }
+        ));
+        assert_eq!(ledger, before);
+    }
+
+    #[test]
+    fn channel_exhaustion_detected() {
+        // Plenty of qubits (20/node) so only the 4-channel edges bind.
+        let mut b = QdnNetworkBuilder::new();
+        let n: Vec<_> = (0..3).map(|_| b.add_node(20)).collect();
+        let l = LinkModel::new(0.5).unwrap();
+        b.add_edge(n[0], n[1], 4, l).unwrap();
+        b.add_edge(n[1], n[2], 4, l).unwrap();
+        let net = b.build();
+        let mut ledger = ResourceLedger::full(&net);
+        let r = route(&net);
+        ledger.try_reserve(&net, &r, &[3, 1]).unwrap();
+        // Edge 0 has 1 channel left; asking 2 must fail.
+        let err = ledger.try_reserve(&net, &r, &[2, 1]).unwrap_err();
+        assert!(matches!(
+            err,
+            DesError::InsufficientResources {
+                what: "channels",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn concurrent_reservations_contend() {
+        let net = line();
+        let mut ledger = ResourceLedger::full(&net);
+        let r = route(&net);
+        // Two executions of [1,1] fit ...
+        ledger.try_reserve(&net, &r, &[1, 1]).unwrap();
+        ledger.try_reserve(&net, &r, &[1, 1]).unwrap();
+        // ... a third [2,2] exceeds node 1 (used 4 of 6, needs 4 more).
+        assert!(ledger.try_reserve(&net, &r, &[2, 2]).is_err());
+        // Releasing one makes room again.
+        ledger.release(&net, &r, &[1, 1]);
+        assert!(ledger.try_reserve(&net, &r, &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn snapshot_reflects_reservations() {
+        let net = line();
+        let mut ledger = ResourceLedger::full(&net);
+        let r = route(&net);
+        ledger.try_reserve(&net, &r, &[1, 2]).unwrap();
+        let snap = ledger.snapshot(&net);
+        assert_eq!(snap.qubits(NodeId(1)), 3);
+        assert_eq!(snap.channels(qdn_graph::EdgeId(1)), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Attempt-level discrete-event simulation for quantum data networks.
+//!
+//! The paper — and the `qdn-sim` engine that reproduces its evaluation —
+//! abstracts the physical layer into per-slot success probabilities
+//! (Eq. 1–2). This crate drops below that abstraction and simulates the
+//! processes those formulas summarize, on a continuous time axis:
+//!
+//! * [`time`] / [`queue`] — a nanosecond simulation clock and a
+//!   deterministic future-event list (the DES core),
+//! * [`sampler`] — per-link entanglement attempt processes (lockstep
+//!   attempt rounds of ≈ 165 µs, geometric first-success sampling),
+//! * [`exec`] — end-to-end execution of one entanglement connection:
+//!   link races, decoherence deadlines, and the swap chain,
+//! * [`ledger`] — continuous-time resource holding (qubits/channels are
+//!   occupied from admission until delivery or failure),
+//! * [`slotted`] — replays any slotted [`qdn_core::policy::RoutingPolicy`]
+//!   (OSCAR, MF, MA, …) against the attempt-level physics, validating
+//!   that Eq. 2's analytic success rates match realized frequencies and
+//!   measuring what the analytic model cannot express: delivery latency,
+//!   attempt consumption, and failure causes,
+//! * [`arrivals`] / [`online`] — the paper's related-work extension:
+//!   requests processed *upon arrival* (online entanglement routing)
+//!   with a continuous-time virtual queue pacing the budget.
+//!
+//! # Example
+//!
+//! ```
+//! use qdn_des::exec::{execute_route, EdgeTask, ExecutionConfig};
+//! use qdn_des::time::SimTime;
+//! use qdn_graph::EdgeId;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), qdn_des::DesError> {
+//! // A two-hop route, paper physics: p̃ = 2e-4, 3 channels per edge.
+//! let tasks = vec![
+//!     EdgeTask::new(EdgeId(0), 2e-4, 3)?,
+//!     EdgeTask::new(EdgeId(1), 2e-4, 3)?,
+//! ];
+//! let config = ExecutionConfig::paper_default();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let outcome = execute_route(SimTime::ZERO, &tasks, &config, &mut rng);
+//! if outcome.success {
+//!     println!("EC delivered after {:?}", outcome.latency(SimTime::ZERO));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod arrivals;
+pub mod exec;
+pub mod ledger;
+pub mod online;
+pub mod queue;
+pub mod sampler;
+pub mod slotted;
+pub mod stats;
+pub mod time;
+
+pub use exec::{ExecutionConfig, FailureCause, RouteOutcome};
+pub use ledger::ResourceLedger;
+pub use online::{OnlineConfig, OnlineRouter, OnlineRunMetrics};
+pub use sampler::AttemptProcess;
+pub use slotted::{DesRunMetrics, SlottedDesConfig};
+pub use stats::LatencySummary;
+pub use time::SimTime;
+
+/// Error type for invalid discrete-event simulation parameters and
+/// infeasible resource operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesError {
+    /// A probability parameter was outside its valid range.
+    InvalidProbability {
+        /// Parameter name for diagnostics.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A structural parameter was invalid.
+    InvalidParameter {
+        /// Parameter name for diagnostics.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
+    /// A reservation asked for more than is currently free.
+    InsufficientResources {
+        /// `"qubits"` or `"channels"`.
+        what: &'static str,
+        /// Node or edge index.
+        index: usize,
+        /// Units requested.
+        need: u32,
+        /// Units available.
+        free: u32,
+    },
+}
+
+impl std::fmt::Display for DesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesError::InvalidProbability { name, value } => {
+                write!(f, "{name} must be a valid probability, got {value}")
+            }
+            DesError::InvalidParameter { name, reason } => {
+                write!(f, "invalid {name}: {reason}")
+            }
+            DesError::InsufficientResources {
+                what,
+                index,
+                need,
+                free,
+            } => write!(
+                f,
+                "insufficient {what} at index {index}: need {need}, free {free}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DesError {}
+
+/// Derives the per-attempt success probability `p̃` from a per-slot
+/// channel success `p_e` and the attempt window `A`, inverting the
+/// paper's `p_e = 1 − (1 − p̃)^A`.
+///
+/// [`qdn_net::QdnNetwork`] stores only the aggregate `p_e`; the DES needs
+/// the per-attempt probability to place link establishment *in time*.
+///
+/// # Panics
+///
+/// Panics if `p_slot` is not in `(0, 1)` or `rounds == 0`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_des::attempt_probability;
+///
+/// let p_slot = 1.0 - (1.0f64 - 2e-4).powi(4000);
+/// let p_attempt = attempt_probability(p_slot, 4000);
+/// assert!((p_attempt - 2e-4).abs() < 1e-12);
+/// ```
+pub fn attempt_probability(p_slot: f64, rounds: u64) -> f64 {
+    assert!(
+        p_slot > 0.0 && p_slot < 1.0,
+        "p_slot must be in (0, 1), got {p_slot}"
+    );
+    assert!(rounds > 0, "rounds must be positive");
+    // p̃ = 1 - (1 - p_slot)^(1/A), computed in log space for stability.
+    -((-p_slot).ln_1p() / rounds as f64).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = DesError::InvalidProbability {
+            name: "swap_success",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("swap_success"));
+        let e = DesError::InvalidParameter {
+            name: "channels",
+            reason: "needs at least one",
+        };
+        assert!(e.to_string().contains("channels"));
+        let e = DesError::InsufficientResources {
+            what: "qubits",
+            index: 3,
+            need: 5,
+            free: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains("qubits") && text.contains("need 5") && text.contains("free 2"));
+    }
+
+    #[test]
+    fn attempt_probability_round_trips() {
+        for &(p_attempt, rounds) in &[(2e-4f64, 4000u64), (0.01, 100), (0.3, 7)] {
+            let p_slot = -(rounds as f64 * (-p_attempt).ln_1p()).exp_m1();
+            let back = attempt_probability(p_slot, rounds);
+            assert!(
+                (back - p_attempt).abs() < 1e-10,
+                "p̃={p_attempt} A={rounds}: got {back}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p_slot")]
+    fn attempt_probability_rejects_degenerate() {
+        let _ = attempt_probability(1.0, 10);
+    }
+}

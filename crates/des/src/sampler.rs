@@ -1,0 +1,281 @@
+//! Entanglement attempt processes: when does a link come up?
+//!
+//! The paper's link model (Eq. 1) is a *per-slot aggregate*: with `n`
+//! channels and `A` attempts per channel per slot, a link succeeds with
+//! `P_e(n) = 1 − (1 − p̃_e)^{n·A}`. The discrete-event simulator refines
+//! this to a point process in time. All `n` channels attempt in lockstep
+//! rounds of one attempt duration (the heralding round trip); the link is
+//! established in the first round where *any* channel succeeds, i.e. the
+//! round index is geometric with per-round success `ρ = 1 − (1 − p̃)^n`.
+//!
+//! Sampling the geometric by inversion (`⌈ln(1−u)/ln(1−ρ)⌉`) is exact and
+//! O(1) per link, versus O(n·A) for simulating each Bernoulli attempt;
+//! [`AttemptProcess::sample_bernoulli_within`] keeps the naive chain as a
+//! cross-check (see `tests/proptests.rs` and the workspace
+//! `des_validation` test). Truncating the geometric at `A` rounds
+//! reproduces the paper's per-slot success probability *exactly*:
+//! `P(K ≤ A) = 1 − (1 − ρ)^A = 1 − (1 − p̃)^{n·A} = P_e(n)`.
+
+use rand::{Rng, RngExt};
+
+use crate::DesError;
+
+/// The attempt process of one quantum link: `channels` fiber channels,
+/// each attempting entanglement with per-attempt success `p_attempt`, in
+/// lockstep rounds.
+///
+/// # Example
+///
+/// ```
+/// use qdn_des::sampler::AttemptProcess;
+///
+/// # fn main() -> Result<(), qdn_des::DesError> {
+/// // Paper defaults: p̃ = 2e-4, three channels.
+/// let proc = AttemptProcess::new(2e-4, 3)?;
+/// // Matches Eq. 1 with A = 4000: P_e(3) = 1 - (1 - p_e)^3.
+/// let p_slot = proc.success_within(4000);
+/// assert!((p_slot - 0.9093).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptProcess {
+    p_attempt: f64,
+    channels: u32,
+    /// `ln(1 − ρ) = channels · ln(1 − p_attempt)`, cached for inversion.
+    ln_round_failure: f64,
+}
+
+impl AttemptProcess {
+    /// Creates the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesError::InvalidProbability`] unless
+    /// `p_attempt ∈ (0, 1)`, and [`DesError::InvalidParameter`] when
+    /// `channels == 0` (a link with no channels can never come up).
+    pub fn new(p_attempt: f64, channels: u32) -> Result<Self, DesError> {
+        if !(p_attempt > 0.0 && p_attempt < 1.0) {
+            return Err(DesError::InvalidProbability {
+                name: "per-attempt success probability",
+                value: p_attempt,
+            });
+        }
+        if channels == 0 {
+            return Err(DesError::InvalidParameter {
+                name: "channels",
+                reason: "a link needs at least one channel",
+            });
+        }
+        Ok(AttemptProcess {
+            p_attempt,
+            channels,
+            ln_round_failure: channels as f64 * (-p_attempt).ln_1p(),
+        })
+    }
+
+    /// Per-attempt success probability `p̃`.
+    #[inline]
+    pub fn p_attempt(&self) -> f64 {
+        self.p_attempt
+    }
+
+    /// Number of parallel channels `n`.
+    #[inline]
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Per-round success probability `ρ = 1 − (1 − p̃)^n`.
+    pub fn round_success(&self) -> f64 {
+        -self.ln_round_failure.exp_m1()
+    }
+
+    /// Probability the link is up within `rounds` rounds:
+    /// `1 − (1 − p̃)^{n·rounds}` — the paper's Eq. 1 when
+    /// `rounds = A`.
+    pub fn success_within(&self, rounds: u64) -> f64 {
+        -(rounds as f64 * self.ln_round_failure).exp_m1()
+    }
+
+    /// Samples the first-success round index (≥ 1) by inversion. The
+    /// result is unbounded; callers enforce their own attempt window.
+    pub fn sample_first_success<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // K = ceil(ln(1-u) / ln(1-ρ)); ln(1-u) via ln_1p for stability.
+        let u: f64 = rng.random();
+        let k = ((-u).ln_1p() / self.ln_round_failure).ceil();
+        // u ≈ 1.0 can overflow any integer type; clamp to a round index
+        // far beyond any realistic window.
+        if k.is_finite() && k < u64::MAX as f64 {
+            (k as u64).max(1)
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Samples the first-success round within a window of `max_rounds`
+    /// rounds; `None` when every attempt in the window fails.
+    pub fn sample_within<R: Rng + ?Sized>(&self, rng: &mut R, max_rounds: u64) -> Option<u64> {
+        let k = self.sample_first_success(rng);
+        (k <= max_rounds).then_some(k)
+    }
+
+    /// The naive O(n·A) sampler: simulates every per-channel Bernoulli
+    /// attempt. Distributionally identical to [`Self::sample_within`];
+    /// kept as the ground truth the inversion sampler is validated
+    /// against (and for tiny windows where exactness of the *stream* of
+    /// random draws matters to a caller).
+    pub fn sample_bernoulli_within<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        max_rounds: u64,
+    ) -> Option<u64> {
+        for round in 1..=max_rounds {
+            for _ in 0..self.channels {
+                let u: f64 = rng.random();
+                if u < self.p_attempt {
+                    return Some(round);
+                }
+            }
+        }
+        None
+    }
+
+    /// Expected number of rounds until success, conditioned on nothing
+    /// (`1/ρ`; may exceed any practical window for weak links).
+    pub fn mean_rounds(&self) -> f64 {
+        1.0 / self.round_success()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(AttemptProcess::new(0.0, 1).is_err());
+        assert!(AttemptProcess::new(1.0, 1).is_err());
+        assert!(AttemptProcess::new(f64::NAN, 1).is_err());
+        assert!(AttemptProcess::new(0.5, 0).is_err());
+        assert!(AttemptProcess::new(2e-4, 3).is_ok());
+    }
+
+    #[test]
+    fn round_success_matches_closed_form() {
+        let p = AttemptProcess::new(2e-4, 5).unwrap();
+        let expected = 1.0 - (1.0 - 2e-4f64).powi(5);
+        assert!((p.round_success() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn success_within_reproduces_paper_eq1() {
+        // P(K ≤ A) must equal P_e(n) = 1 - (1 - p̃)^{nA}.
+        let proc = AttemptProcess::new(2e-4, 3).unwrap();
+        let direct = 1.0 - (1.0 - 2e-4f64).powf(3.0 * 4000.0);
+        assert!((proc.success_within(4000) - direct).abs() < 1e-12);
+        // And via the physics crate's numerically careful kernel.
+        let p_e = qdn_physics::prob::at_least_one(2e-4, 4000.0);
+        let link = qdn_physics::prob::at_least_one(p_e, 3.0);
+        assert!((proc.success_within(4000) - link).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_always_at_least_one_round() {
+        let proc = AttemptProcess::new(0.99, 4).unwrap();
+        let mut r = rng(1);
+        for _ in 0..100 {
+            assert!(proc.sample_first_success(&mut r) >= 1);
+        }
+    }
+
+    #[test]
+    fn sample_within_respects_window() {
+        let proc = AttemptProcess::new(0.01, 1).unwrap();
+        let mut r = rng(2);
+        for _ in 0..500 {
+            if let Some(k) = proc.sample_within(&mut r, 50) {
+                assert!((1..=50).contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches_analytic() {
+        let proc = AttemptProcess::new(2e-4, 2).unwrap();
+        let mut r = rng(3);
+        let window = 4000;
+        let trials = 20_000;
+        let hits = (0..trials)
+            .filter(|_| proc.sample_within(&mut r, window).is_some())
+            .count();
+        let rate = hits as f64 / trials as f64;
+        let expected = proc.success_within(window);
+        // 20k trials: 4σ ≈ 4·sqrt(p(1-p)/20000) ≈ 0.013.
+        assert!(
+            (rate - expected).abs() < 0.015,
+            "empirical {rate} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_and_inversion_agree_in_distribution() {
+        let proc = AttemptProcess::new(0.05, 2).unwrap();
+        let window = 40;
+        let trials = 20_000;
+        let mean = |samples: Vec<Option<u64>>| {
+            let succ: Vec<u64> = samples.into_iter().flatten().collect();
+            (
+                succ.len() as f64 / trials as f64,
+                succ.iter().sum::<u64>() as f64 / succ.len().max(1) as f64,
+            )
+        };
+        let mut r1 = rng(4);
+        let (rate_inv, mean_inv) =
+            mean((0..trials).map(|_| proc.sample_within(&mut r1, window)).collect());
+        let mut r2 = rng(5);
+        let (rate_ber, mean_ber) = mean(
+            (0..trials)
+                .map(|_| proc.sample_bernoulli_within(&mut r2, window))
+                .collect(),
+        );
+        assert!(
+            (rate_inv - rate_ber).abs() < 0.02,
+            "success rates diverge: {rate_inv} vs {rate_ber}"
+        );
+        assert!(
+            (mean_inv - mean_ber).abs() < 0.6,
+            "mean first-success rounds diverge: {mean_inv} vs {mean_ber}"
+        );
+    }
+
+    #[test]
+    fn more_channels_come_up_faster() {
+        let slow = AttemptProcess::new(0.01, 1).unwrap();
+        let fast = AttemptProcess::new(0.01, 8).unwrap();
+        assert!(fast.mean_rounds() < slow.mean_rounds());
+        assert!(fast.success_within(100) > slow.success_within(100));
+    }
+
+    #[test]
+    fn mean_rounds_matches_geometric_mean() {
+        let proc = AttemptProcess::new(0.25, 1).unwrap();
+        assert!((proc.mean_rounds() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_u_does_not_overflow() {
+        // Directly exercise the clamp path with a degenerate process.
+        let proc = AttemptProcess::new(1e-12, 1).unwrap();
+        let mut r = rng(6);
+        for _ in 0..1000 {
+            let k = proc.sample_first_success(&mut r);
+            assert!(k >= 1);
+        }
+    }
+}

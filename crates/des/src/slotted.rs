@@ -1,0 +1,389 @@
+//! Attempt-level replay of slotted routing policies.
+//!
+//! `qdn-sim` scores a policy's decisions with the analytic success
+//! probabilities of Eq. 2 (optionally drawing one Bernoulli per request).
+//! This runner executes the *same* decisions against the attempt-level
+//! physics of [`crate::exec`]: every allocated channel races geometric
+//! attempt processes, links must survive decoherence, swaps may fail.
+//!
+//! Two things come out of it:
+//!
+//! 1. **Model validation** — with the paper's parameters the realized
+//!    success frequency must converge to the analytic rate (the workspace
+//!    `des_validation` integration test asserts this), closing the loop
+//!    between Eq. 1–2 and the process they abstract;
+//! 2. **Quantities the analytic model cannot express** — delivery
+//!    latency within the slot, attempts burned, and failure causes.
+
+use std::time::Duration;
+
+use qdn_core::policy::RoutingPolicy;
+use qdn_core::types::{Decision, SlotState};
+use qdn_net::dynamics::ResourceDynamics;
+use qdn_net::workload::Workload;
+use qdn_net::QdnNetwork;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::exec::{execute_route, EdgeTask, ExecutionConfig, FailureCause};
+use crate::stats::LatencySummary;
+use crate::time::SimTime;
+use crate::{attempt_probability, DesError};
+
+/// Configuration of a slotted attempt-level run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlottedDesConfig {
+    /// Number of slots `T`.
+    pub horizon: u64,
+    /// Physical execution parameters (attempt window, memory, swapping).
+    pub execution: ExecutionConfig,
+    /// Wall-clock length of one slot; slot `t` starts at `t × slot_len`.
+    pub slot_len: Duration,
+}
+
+impl SlottedDesConfig {
+    /// Paper defaults: `T = 200`, 165 µs × 4000 attempt window inside a
+    /// 1.46 s slot, perfect instantaneous swapping.
+    pub fn paper_default() -> Self {
+        let execution = ExecutionConfig::paper_default();
+        SlottedDesConfig {
+            horizon: 200,
+            execution,
+            slot_len: execution.decoherence,
+        }
+    }
+}
+
+impl Default for SlottedDesConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Physical record of one slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesSlotRecord {
+    /// Slot index.
+    pub t: u64,
+    /// Slot start instant.
+    pub start: SimTime,
+    /// Requests issued (`|Φ_t|`).
+    pub requests: usize,
+    /// Requests the policy served.
+    pub served: usize,
+    /// Budget units spent (`c_t`).
+    pub cost: u64,
+    /// Analytic expectation `Σ_φ P(r(φ), N(φ))` over served requests.
+    pub expected_successes: f64,
+    /// End-to-end pairs actually delivered.
+    pub realized_successes: usize,
+    /// Delivery latencies of the successful connections (from slot
+    /// start).
+    pub latencies: Vec<Duration>,
+    /// Individual entanglement attempts consumed across all executions.
+    pub attempts_consumed: u64,
+    /// Failure causes of the unsuccessful executions.
+    pub failures: Vec<FailureCause>,
+}
+
+/// Aggregated metrics of an attempt-level run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesRunMetrics {
+    policy: String,
+    slots: Vec<DesSlotRecord>,
+}
+
+impl DesRunMetrics {
+    /// The policy name this run executed.
+    pub fn policy(&self) -> &str {
+        &self.policy
+    }
+
+    /// Per-slot records.
+    pub fn slots(&self) -> &[DesSlotRecord] {
+        &self.slots
+    }
+
+    /// Total requests across the run (served or not).
+    pub fn total_requests(&self) -> usize {
+        self.slots.iter().map(|s| s.requests).sum()
+    }
+
+    /// Delivered end-to-end pairs across the run.
+    pub fn total_delivered(&self) -> usize {
+        self.slots.iter().map(|s| s.realized_successes).sum()
+    }
+
+    /// Total budget units spent.
+    pub fn total_cost(&self) -> u64 {
+        self.slots.iter().map(|s| s.cost).sum()
+    }
+
+    /// Total attempts burned.
+    pub fn total_attempts(&self) -> u64 {
+        self.slots.iter().map(|s| s.attempts_consumed).sum()
+    }
+
+    /// Realized success rate: delivered / requested (unserved requests
+    /// count as failures, mirroring `qdn-sim`'s convention).
+    pub fn realized_success_rate(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_delivered() as f64 / total as f64
+    }
+
+    /// The analytic success rate of the same decisions (Eq. 2 averaged
+    /// over all requests).
+    pub fn expected_success_rate(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            return 0.0;
+        }
+        let expected: f64 = self.slots.iter().map(|s| s.expected_successes).sum();
+        expected / total as f64
+    }
+
+    /// Absolute gap between realized and analytic success rates — the
+    /// model-validation number (≈ 0 at the paper's parameters).
+    pub fn model_gap(&self) -> f64 {
+        (self.realized_success_rate() - self.expected_success_rate()).abs()
+    }
+
+    /// Latency summary over every delivered connection.
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        let all: Vec<Duration> = self
+            .slots
+            .iter()
+            .flat_map(|s| s.latencies.iter().copied())
+            .collect();
+        LatencySummary::from_durations(&all)
+    }
+
+    /// Failure-cause histogram: `(window-expired, decohered, swap-failed)`.
+    pub fn failure_histogram(&self) -> (usize, usize, usize) {
+        let mut h = (0, 0, 0);
+        for s in &self.slots {
+            for f in &s.failures {
+                match f {
+                    FailureCause::LinkWindowExpired { .. } => h.0 += 1,
+                    FailureCause::LinkDecohered { .. } => h.1 += 1,
+                    FailureCause::SwapFailed { .. } => h.2 += 1,
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Builds the edge tasks of one assignment, translating each edge's
+/// per-slot success into a per-attempt probability.
+///
+/// # Errors
+///
+/// Propagates parameter validation errors ([`EdgeTask::new`] rejects a
+/// zero channel count, which [`qdn_core::types::RouteAssignment`] already
+/// makes impossible).
+pub fn assignment_tasks(
+    network: &QdnNetwork,
+    assignment: &qdn_core::types::RouteAssignment,
+    execution: &ExecutionConfig,
+) -> Result<Vec<EdgeTask>, DesError> {
+    assignment
+        .route
+        .edges()
+        .iter()
+        .zip(&assignment.allocation)
+        .map(|(&edge, &n)| {
+            let p_slot = network.link(edge).channel_success();
+            EdgeTask::new(edge, attempt_probability(p_slot, execution.max_rounds), n)
+        })
+        .collect()
+}
+
+/// Runs one policy over one sample path, realizing every decision at the
+/// attempt level.
+///
+/// RNG discipline mirrors `qdn_sim::engine::run`: `env_rng` drives the
+/// workload, resource dynamics, and physical realization; `policy_rng`
+/// drives the policy's internal randomization. Policies therefore see
+/// identical request sequences across compared runs with equal seeds.
+///
+/// # Panics
+///
+/// Panics if a policy's assignment cannot be translated into edge tasks
+/// (impossible for well-formed [`qdn_core::types::RouteAssignment`]s).
+pub fn run_slotted(
+    network: &QdnNetwork,
+    workload: &mut dyn Workload,
+    dynamics: &mut dyn ResourceDynamics,
+    policy: &mut dyn RoutingPolicy,
+    config: &SlottedDesConfig,
+    env_rng: &mut dyn Rng,
+    policy_rng: &mut dyn Rng,
+) -> DesRunMetrics {
+    let mut slots = Vec::with_capacity(config.horizon as usize);
+    for t in 0..config.horizon {
+        let start = SimTime::ZERO + config.slot_len * t as u32;
+        let requests = workload.requests(t, network, env_rng);
+        let snapshot = dynamics.snapshot(t, network, env_rng);
+        let slot = SlotState::new(t, requests.clone(), snapshot);
+        let decision: Decision = policy.decide(network, &slot, policy_rng);
+
+        let mut expected = 0.0;
+        let mut realized = 0usize;
+        let mut latencies = Vec::new();
+        let mut attempts = 0u64;
+        let mut failures = Vec::new();
+        for assignment in decision.assignments() {
+            expected += assignment.success_probability(network);
+            let tasks = assignment_tasks(network, assignment, &config.execution)
+                .expect("assignments are validated at construction");
+            let outcome = execute_route(start, &tasks, &config.execution, env_rng);
+            attempts += outcome.attempts_consumed;
+            if outcome.success {
+                realized += 1;
+                latencies.push(
+                    outcome
+                        .latency(start)
+                        .expect("successful outcomes have a latency"),
+                );
+            } else {
+                failures.push(outcome.cause.expect("failed outcomes carry a cause"));
+            }
+        }
+
+        slots.push(DesSlotRecord {
+            t,
+            start,
+            requests: requests.len(),
+            served: decision.assignments().len(),
+            cost: decision.total_cost(),
+            expected_successes: expected,
+            realized_successes: realized,
+            latencies,
+            attempts_consumed: attempts,
+            failures,
+        });
+    }
+    DesRunMetrics {
+        policy: policy.name(),
+        slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdn_core::oscar::{OscarConfig, OscarPolicy};
+    use qdn_net::dynamics::StaticDynamics;
+    use qdn_net::workload::UniformWorkload;
+    use qdn_net::NetworkConfig;
+    use rand::SeedableRng;
+
+    fn run_oscar(horizon: u64, seed: u64) -> DesRunMetrics {
+        let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut policy_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xdead);
+        let net = NetworkConfig::paper_default().build(&mut env_rng).unwrap();
+        let mut wl = UniformWorkload::paper_default();
+        let mut dyn_ = StaticDynamics;
+        let mut policy = OscarPolicy::new(OscarConfig::paper_default());
+        let config = SlottedDesConfig {
+            horizon,
+            ..SlottedDesConfig::paper_default()
+        };
+        run_slotted(
+            &net,
+            &mut wl,
+            &mut dyn_,
+            &mut policy,
+            &config,
+            &mut env_rng,
+            &mut policy_rng,
+        )
+    }
+
+    #[test]
+    fn records_every_slot_with_consistent_counts() {
+        let m = run_oscar(12, 3);
+        assert_eq!(m.policy(), "OSCAR");
+        assert_eq!(m.slots().len(), 12);
+        for s in m.slots() {
+            assert!(s.served <= s.requests);
+            assert_eq!(
+                s.realized_successes + s.failures.len(),
+                s.served,
+                "every served request delivers or fails"
+            );
+            assert_eq!(s.latencies.len(), s.realized_successes);
+            assert!(s.expected_successes <= s.served as f64 + 1e-12);
+            assert_eq!(s.start, SimTime::ZERO + Duration::from_millis(1460) * s.t as u32);
+        }
+    }
+
+    #[test]
+    fn latencies_fit_inside_the_attempt_window() {
+        let m = run_oscar(10, 5);
+        let window = Duration::from_micros(165) * 4000;
+        for s in m.slots() {
+            for &l in &s.latencies {
+                assert!(l >= Duration::from_micros(165));
+                assert!(l <= window, "latency {l:?} outside window {window:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn realized_rate_tracks_analytic_rate() {
+        // 60 slots ≈ 180 requests: 4σ ≈ 0.15 on the success frequency.
+        let m = run_oscar(60, 7);
+        assert!(m.total_requests() > 50);
+        assert!(
+            m.model_gap() < 0.15,
+            "realized {:.3} vs analytic {:.3}",
+            m.realized_success_rate(),
+            m.expected_success_rate()
+        );
+    }
+
+    #[test]
+    fn attempts_are_positive_and_bounded() {
+        let m = run_oscar(5, 11);
+        assert!(m.total_attempts() > 0);
+        for s in m.slots() {
+            // Each execution burns at most channels × window attempts;
+            // cost = total channels, so the bound is cost × window.
+            assert!(s.attempts_consumed <= s.cost * 4000);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seeds() {
+        let a = run_oscar(8, 13);
+        let b = run_oscar(8, 13);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_decoherence_or_swap_failures_at_paper_defaults() {
+        let m = run_oscar(30, 17);
+        let (window, decohered, swap) = m.failure_histogram();
+        assert_eq!(decohered, 0, "paper window cannot decohere");
+        assert_eq!(swap, 0, "paper swapping is perfect");
+        // Window failures are the only physical failure mode.
+        let failed: usize = m.slots().iter().map(|s| s.failures.len()).sum();
+        assert_eq!(window, failed);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = DesRunMetrics {
+            policy: "noop".into(),
+            slots: Vec::new(),
+        };
+        assert_eq!(m.realized_success_rate(), 0.0);
+        assert_eq!(m.expected_success_rate(), 0.0);
+        assert!(m.latency_summary().is_none());
+    }
+}

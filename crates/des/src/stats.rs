@@ -1,0 +1,112 @@
+//! Latency and outcome statistics for event-driven runs.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a latency sample (time from request admission to
+/// end-to-end entanglement delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Mean latency in seconds.
+    pub mean_secs: f64,
+    /// Median (50th percentile) in seconds.
+    pub p50_secs: f64,
+    /// 90th percentile in seconds.
+    pub p90_secs: f64,
+    /// 99th percentile in seconds.
+    pub p99_secs: f64,
+    /// Maximum observed latency in seconds.
+    pub max_secs: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a latency sample. Returns `None` for an empty sample
+    /// (there is no meaningful percentile of nothing).
+    pub fn from_durations(sample: &[Duration]) -> Option<Self> {
+        if sample.is_empty() {
+            return None;
+        }
+        let mut secs: Vec<f64> = sample.iter().map(Duration::as_secs_f64).collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+        Some(LatencySummary {
+            count: secs.len(),
+            mean_secs: mean,
+            p50_secs: percentile(&secs, 0.50),
+            p90_secs: percentile(&secs, 0.90),
+            p99_secs: percentile(&secs, 0.99),
+            max_secs: *secs.last().expect("non-empty"),
+        })
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4}s p50={:.4}s p90={:.4}s p99={:.4}s max={:.4}s",
+            self.count, self.mean_secs, self.p50_secs, self.p90_secs, self.p99_secs, self.max_secs
+        )
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample, `q ∈ [0, 1]`.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(values: &[u64]) -> Vec<Duration> {
+        values.iter().map(|&v| Duration::from_millis(v)).collect()
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(LatencySummary::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = LatencySummary::from_durations(&ms(&[100])).unwrap();
+        assert_eq!(s.count, 1);
+        assert!((s.mean_secs - 0.1).abs() < 1e-12);
+        assert_eq!(s.p50_secs, 0.1);
+        assert_eq!(s.p99_secs, 0.1);
+        assert_eq!(s.max_secs, 0.1);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ladder() {
+        // 1..=100 ms: p50 = 50 ms, p90 = 90 ms, p99 = 99 ms, max = 100 ms.
+        let sample: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_durations(&ms(&sample)).unwrap();
+        assert!((s.p50_secs - 0.050).abs() < 1e-12);
+        assert!((s.p90_secs - 0.090).abs() < 1e-12);
+        assert!((s.p99_secs - 0.099).abs() < 1e-12);
+        assert!((s.max_secs - 0.100).abs() < 1e-12);
+        assert!((s.mean_secs - 0.0505).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let s = LatencySummary::from_durations(&ms(&[30, 10, 20])).unwrap();
+        assert_eq!(s.p50_secs, 0.020);
+        assert_eq!(s.max_secs, 0.030);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = LatencySummary::from_durations(&ms(&[10, 20])).unwrap();
+        let text = s.to_string();
+        assert!(text.starts_with("n=2"));
+        assert!(text.contains("p99="));
+    }
+}

@@ -1,0 +1,177 @@
+//! Simulation time: a strictly ordered, nanosecond-resolution clock.
+//!
+//! The slotted simulator (`qdn-sim`) abstracts time into slot indices; the
+//! discrete-event simulator needs real timestamps because entanglement
+//! attempts (≈ 165 µs), decoherence (≈ 1.46 s) and request arrivals all
+//! live on a continuous axis. [`SimTime`] is a nanosecond counter from the
+//! start of the simulation — integer, so event ordering is exact and runs
+//! are bit-for-bit reproducible (no float-accumulation drift).
+
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in nanoseconds since the simulation epoch.
+///
+/// # Example
+///
+/// ```
+/// use qdn_des::time::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_micros(165);
+/// assert_eq!(t.as_nanos(), 165_000);
+/// assert!(t > SimTime::ZERO);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_micros(165));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "never" sentinel for
+    /// deadlines that are not scheduled).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time stamp from nanoseconds since the epoch.
+    pub fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time stamp from whole microseconds since the epoch.
+    pub fn from_micros(micros: u64) -> Self {
+        SimTime(micros.saturating_mul(1_000))
+    }
+
+    /// Creates a time stamp from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "sim time must be finite and non-negative, got {secs}"
+        );
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for statistics and display).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The elapsed duration since `earlier`.
+    ///
+    /// Returns [`Duration::ZERO`] when `earlier` is later than `self`
+    /// (saturating, mirroring [`std::time::Instant::saturating_duration_since`]).
+    pub fn saturating_duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// The duration between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(rhs <= self, "SimTime subtraction went negative");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_micros(165);
+        let b = a + Duration::from_micros(165);
+        assert!(b > a);
+        assert_eq!(b - a, Duration::from_micros(165));
+        assert_eq!(b.as_nanos(), 330_000);
+    }
+
+    #[test]
+    fn from_secs_round_trips() {
+        let t = SimTime::from_secs_f64(1.46);
+        assert_eq!(t.as_nanos(), 1_460_000_000);
+        assert!((t.as_secs_f64() - 1.46).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_seconds_rejected() {
+        let _ = SimTime::from_secs_f64(-0.1);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(Duration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::ZERO.saturating_duration_since(SimTime::from_micros(5)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime::ZERO;
+        t += Duration::from_millis(2);
+        assert_eq!(t.as_nanos(), 2_000_000);
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        assert_eq!(SimTime::from_secs_f64(0.5).to_string(), "0.500000s");
+    }
+
+    #[test]
+    fn default_is_epoch() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the discrete-event substrate.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use qdn_des::exec::{execute_route, EdgeTask, ExecutionConfig};
+use qdn_des::queue::EventQueue;
+use qdn_des::sampler::AttemptProcess;
+use qdn_des::time::SimTime;
+use qdn_des::{attempt_probability, LatencySummary};
+use qdn_graph::EdgeId;
+use rand::SeedableRng;
+
+proptest! {
+    /// Events always come out of the queue in non-decreasing time order.
+    #[test]
+    fn queue_is_time_ordered(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some(e) = q.pop() {
+            prop_assert!(e.time >= prev);
+            prev = e.time;
+        }
+    }
+
+    /// Equal-time events preserve insertion order (determinism).
+    #[test]
+    fn queue_ties_are_fifo(n in 2usize..100) {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(42);
+        for i in 0..n {
+            q.schedule(t, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// `attempt_probability` inverts the paper's per-slot composition
+    /// wherever the per-slot probability is representable. Once `p_slot`
+    /// saturates toward 1 the round trip necessarily loses information
+    /// `f64` cannot hold, so the property is parameterized by the window
+    /// exponent `λ = −A·ln(1 − p̃)` (giving `p_slot = 1 − e^{−λ}`) capped
+    /// at 15 — i.e. `1 − p_slot ≥ 3e-7` — which covers every regime the
+    /// simulator meets (the paper's operating point is λ ≈ 0.8).
+    #[test]
+    fn attempt_probability_inverts_composition(
+        exponent in 1e-4f64..15.0,
+        rounds in 1u64..10_000,
+    ) {
+        let p_attempt = -(-exponent / rounds as f64).exp_m1();
+        let p_slot = -(-exponent).exp_m1();
+        prop_assume!(p_attempt > 0.0 && p_attempt < 1.0 && p_slot < 1.0);
+        let back = attempt_probability(p_slot, rounds);
+        prop_assert!(
+            (back - p_attempt).abs() < 1e-6 * p_attempt,
+            "p̃={p_attempt} A={rounds} p_slot={p_slot}: got {back}"
+        );
+    }
+
+    /// The truncated geometric success probability equals the paper's
+    /// Eq. 1 for any (p̃, n, A).
+    #[test]
+    fn sampler_window_probability_is_eq1(
+        p_attempt in 1e-5f64..0.3,
+        channels in 1u32..12,
+        rounds in 1u64..8_000,
+    ) {
+        let proc = AttemptProcess::new(p_attempt, channels).unwrap();
+        let direct = {
+            let p_e = qdn_physics::prob::at_least_one(p_attempt, rounds as f64);
+            qdn_physics::prob::at_least_one(p_e, channels as f64)
+        };
+        prop_assert!((proc.success_within(rounds) - direct).abs() < 1e-9);
+    }
+
+    /// Sampled first-success rounds are always ≥ 1, and within the window
+    /// when `Some`.
+    #[test]
+    fn sampled_rounds_respect_window(
+        p_attempt in 0.001f64..0.9,
+        channels in 1u32..8,
+        window in 1u64..500,
+        seed in 0u64..1_000,
+    ) {
+        let proc = AttemptProcess::new(p_attempt, channels).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            if let Some(k) = proc.sample_within(&mut rng, window) {
+                prop_assert!((1..=window).contains(&k));
+            }
+        }
+    }
+
+    /// Every execution outcome is internally consistent: success XOR
+    /// failure metadata, link bookkeeping matches, attempts are bounded
+    /// by channels × window.
+    #[test]
+    fn execution_outcomes_are_consistent(
+        p_attempt in 0.0005f64..0.5,
+        channels in 1u32..5,
+        hops in 1usize..6,
+        window in 10u64..2_000,
+        seed in 0u64..500,
+    ) {
+        let cfg = ExecutionConfig::new(
+            Duration::from_micros(165),
+            window,
+            Duration::from_secs(100), // memory long enough to isolate link logic
+            Duration::ZERO,
+            1.0,
+        ).unwrap();
+        let tasks: Vec<EdgeTask> = (0..hops)
+            .map(|i| EdgeTask::new(EdgeId(i as u32), p_attempt, channels).unwrap())
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let start = SimTime::from_secs_f64(1.0);
+        let out = execute_route(start, &tasks, &cfg, &mut rng);
+
+        prop_assert_eq!(out.link_up_at.len(), hops);
+        prop_assert_eq!(out.rounds_used.len(), hops);
+        prop_assert_eq!(out.success, out.completed_at.is_some());
+        prop_assert_eq!(out.success, out.cause.is_none());
+        prop_assert_eq!(out.success, out.failed_at.is_none());
+        let max_attempts = channels as u64 * window * hops as u64;
+        prop_assert!(out.attempts_consumed >= hops as u64);
+        prop_assert!(out.attempts_consumed <= max_attempts);
+        for (up, rounds) in out.link_up_at.iter().zip(&out.rounds_used) {
+            match up {
+                Some(t) => {
+                    prop_assert!(*t > start);
+                    prop_assert!(*rounds >= 1 && *rounds <= window);
+                    prop_assert_eq!(
+                        t.as_nanos() - start.as_nanos(),
+                        rounds * 165_000
+                    );
+                }
+                None => prop_assert_eq!(*rounds, window),
+            }
+        }
+        if out.success {
+            // With perfect instantaneous swapping, delivery is the last
+            // link-up instant.
+            let last = out.link_up_at.iter().map(|t| t.unwrap()).max().unwrap();
+            prop_assert_eq!(out.completed_at.unwrap(), last);
+            prop_assert!(out.resolved_at() <= cfg.window_end(start));
+        } else {
+            prop_assert!(out.resolved_at() <= cfg.window_end(start) + cfg.decoherence);
+        }
+    }
+
+    /// Latency summaries are order statistics: monotone across the
+    /// percentile ladder and bounded by the sample extremes.
+    #[test]
+    fn latency_summary_is_monotone(
+        sample in prop::collection::vec(1u64..10_000_000u64, 1..300),
+    ) {
+        let durations: Vec<Duration> =
+            sample.iter().map(|&n| Duration::from_nanos(n)).collect();
+        let s = LatencySummary::from_durations(&durations).unwrap();
+        prop_assert_eq!(s.count, durations.len());
+        prop_assert!(s.p50_secs <= s.p90_secs);
+        prop_assert!(s.p90_secs <= s.p99_secs);
+        prop_assert!(s.p99_secs <= s.max_secs);
+        let min = durations.iter().min().unwrap().as_secs_f64();
+        prop_assert!(s.p50_secs >= min);
+        prop_assert!(s.mean_secs >= min && s.mean_secs <= s.max_secs);
+    }
+}

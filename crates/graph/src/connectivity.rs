@@ -1,0 +1,218 @@
+//! Connected components and union-find.
+//!
+//! The Waxman generator can produce disconnected graphs; the QDN
+//! evaluation requires every SD pair to have at least one route, so
+//! [`crate::waxman`] augments generated topologies to a single component
+//! using the helpers here.
+
+use crate::graph::{Graph, NodeId};
+
+/// A weighted-union, path-compressing disjoint-set forest over `n` items.
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::connectivity::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// assert_eq!(uf.component_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Finds the representative of `x`'s set (with path compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    ///
+    /// Returns `true` if a merge happened (they were previously disjoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= n` or `b >= n`.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+/// Returns the connected components of `graph` as lists of node ids.
+///
+/// Components are ordered by their smallest node id; nodes within a
+/// component are sorted ascending, so the output is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::{Graph, connectivity::connected_components};
+///
+/// # fn main() -> Result<(), qdn_graph::GraphError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let c = g.add_node();
+/// g.add_edge(a, b)?;
+/// let comps = connected_components(&g);
+/// assert_eq!(comps.len(), 2);
+/// assert_eq!(comps[0], vec![a, b]);
+/// assert_eq!(comps[1], vec![c]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut uf = UnionFind::new(n);
+    for (_, u, v) in graph.edges() {
+        uf.union(u.index(), v.index());
+    }
+    let mut by_root: std::collections::BTreeMap<usize, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
+    for v in graph.node_ids() {
+        by_root.entry(uf.find(v.index())).or_default().push(v);
+    }
+    let mut comps: Vec<Vec<NodeId>> = by_root.into_values().collect();
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+/// Returns `true` if `graph` has at most one connected component.
+///
+/// The empty graph is considered connected.
+pub fn is_connected(graph: &Graph) -> bool {
+    connected_components(graph).len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.component_count(), 2);
+        assert!(uf.connected(1, 2));
+        assert!(!uf.connected(1, 4));
+    }
+
+    #[test]
+    fn union_find_idempotent() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.component_count(), 2);
+    }
+
+    #[test]
+    fn path_compression_keeps_correctness() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        for i in 0..100 {
+            assert!(uf.connected(0, i));
+        }
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        let g = Graph::new();
+        assert!(connected_components(&g).is_empty());
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(c, d).unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![a, b], vec![c, d]]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn single_component_detected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_are_own_components() {
+        let mut g = Graph::new();
+        g.add_node();
+        g.add_node();
+        assert_eq!(connected_components(&g).len(), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! 2-D geometry for geometric random graphs.
+//!
+//! The paper's evaluation places quantum nodes uniformly at random in a
+//! `100 × 100` unit square (§V-A-1) and connects them with the Waxman
+//! model, whose edge probability depends on Euclidean distance. This module
+//! provides the [`Point`] type and sampling helpers used by
+//! [`crate::waxman`].
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D plane.
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::geometry::Point;
+///
+/// let origin = Point::new(0.0, 0.0);
+/// let p = Point::new(3.0, 4.0);
+/// assert_eq!(origin.distance(p), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx.hypot(dy)
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root).
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// Samples `n` points uniformly at random in the `side × side` square.
+///
+/// The paper uses `side = 100`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::geometry::sample_uniform_square;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pts = sample_uniform_square(&mut rng, 20, 100.0);
+/// assert_eq!(pts.len(), 20);
+/// assert!(pts.iter().all(|p| (0.0..=100.0).contains(&p.x)));
+/// ```
+pub fn sample_uniform_square<R: Rng + ?Sized>(rng: &mut R, n: usize, side: f64) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.random_range(0.0..=side), rng.random_range(0.0..=side)))
+        .collect()
+}
+
+/// Maximum pairwise distance among `points` (`d_max` in the Waxman model).
+///
+/// Returns 0 when fewer than two points are given.
+pub fn max_pairwise_distance(points: &[Point]) -> f64 {
+    let mut dmax: f64 = 0.0;
+    for (i, a) in points.iter().enumerate() {
+        for b in &points[i + 1..] {
+            dmax = dmax.max(a.distance(*b));
+        }
+    }
+    dmax
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.5);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn distance_squared_consistent() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance_squared(b) - 25.0).abs() < 1e-12);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let pts = sample_uniform_square(&mut rng, 200, 100.0);
+        assert_eq!(pts.len(), 200);
+        for p in pts {
+            assert!((0.0..=100.0).contains(&p.x));
+            assert!((0.0..=100.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        assert_eq!(
+            sample_uniform_square(&mut r1, 10, 50.0),
+            sample_uniform_square(&mut r2, 10, 50.0)
+        );
+    }
+
+    #[test]
+    fn max_pairwise_distance_examples() {
+        assert_eq!(max_pairwise_distance(&[]), 0.0);
+        assert_eq!(max_pairwise_distance(&[Point::new(1.0, 1.0)]), 0.0);
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 2.0),
+        ];
+        let d = max_pairwise_distance(&pts);
+        assert!((d - (1.0f64 + 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_point() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.00, 2.50)");
+    }
+}

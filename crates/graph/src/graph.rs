@@ -1,0 +1,544 @@
+//! Compact undirected simple graph with stable integer handles.
+//!
+//! The QDN model (paper §III-A) is an undirected graph `G = <V, E>` whose
+//! nodes are quantum computers or repeaters and whose edges are bundles of
+//! quantum channels. This module stores only the topology; capacities,
+//! channel counts, and link probabilities are attached by `qdn-net` using
+//! the [`NodeId`]/[`EdgeId`] handles as keys.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Stable handle to a node of a [`Graph`].
+///
+/// Node ids are dense: the nodes of a graph with `n` nodes are exactly
+/// `NodeId(0), …, NodeId(n-1)`, which lets downstream crates use plain
+/// vectors as node-keyed maps.
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::{Graph, NodeId};
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// assert_eq!(a, NodeId(0));
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index, for vector-backed node maps.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+/// Stable handle to an edge of a [`Graph`].
+///
+/// Edge ids are dense, in insertion order, so downstream crates can use
+/// plain vectors as edge-keyed maps (e.g. channel capacities `W_e`).
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::{Graph, EdgeId};
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let e = g.add_edge(a, b).unwrap();
+/// assert_eq!(e, EdgeId(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the id as a `usize` index, for vector-backed edge maps.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(value: u32) -> Self {
+        EdgeId(value)
+    }
+}
+
+/// Error raised by [`Graph`] mutation and validation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operation referenced a node id that is not in the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An operation referenced an edge id that is not in the graph.
+    EdgeOutOfBounds {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// The number of edges in the graph.
+        edge_count: usize,
+    },
+    /// `add_edge(u, u)` was attempted; the QDN graph is simple.
+    SelfLoop {
+        /// The node on which a self-loop was attempted.
+        node: NodeId,
+    },
+    /// `add_edge(u, v)` was attempted but the edge already exists.
+    DuplicateEdge {
+        /// The existing edge between the two endpoints.
+        edge: EdgeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds (graph has {node_count} nodes)")
+            }
+            GraphError::EdgeOutOfBounds { edge, edge_count } => {
+                write!(f, "edge {edge} out of bounds (graph has {edge_count} edges)")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+            GraphError::DuplicateEdge { edge } => {
+                write!(f, "edge already exists as {edge}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected simple graph stored as an adjacency list.
+///
+/// Nodes and edges are append-only; ids are never invalidated. Self-loops
+/// and parallel edges are rejected (parallel quantum channels are modelled
+/// as an integer channel capacity per edge in `qdn-net`, not as multi-edges).
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::Graph;
+///
+/// # fn main() -> Result<(), qdn_graph::GraphError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let ab = g.add_edge(a, b)?;
+/// assert_eq!(g.endpoints(ab), (a, b));
+/// assert_eq!(g.degree(a), 1);
+/// assert_eq!(g.edge_between(b, a), Some(ab)); // undirected
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `edges[e] = (u, v)` with `u < v` normalised order.
+    edges: Vec<(NodeId, NodeId)>,
+    /// `adjacency[v]` lists `(neighbor, edge)` pairs.
+    adjacency: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with capacity reserved for `nodes` nodes.
+    pub fn with_node_capacity(nodes: usize) -> Self {
+        Graph {
+            edges: Vec::new(),
+            adjacency: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Builds a graph with `n` nodes and the given edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any endpoint is out of bounds, an edge is a
+    /// self-loop, or an edge is duplicated.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = Graph::with_node_capacity(n);
+        for _ in 0..n {
+            g.add_node();
+        }
+        for (u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.adjacency.len() as u32);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds `count` nodes, returning the id of the first one added.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = NodeId(self.adjacency.len() as u32);
+        for _ in 0..count {
+            self.add_node();
+        }
+        first
+    }
+
+    /// Adds an undirected edge between `u` and `v` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v`,
+    /// [`GraphError::DuplicateEdge`] if the edge already exists, and
+    /// [`GraphError::NodeOutOfBounds`] if either endpoint is unknown.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if let Some(edge) = self.edge_between(u, v) {
+            return Err(GraphError::DuplicateEdge { edge });
+        }
+        let (a, b) = if u.0 <= v.0 { (u, v) } else { (v, u) };
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push((a, b));
+        self.adjacency[u.index()].push((v, id));
+        self.adjacency[v.index()].push((u, id));
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Returns the endpoints `(u, v)` of `edge` in normalised order
+    /// (`u.0 <= v.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds; use [`Graph::try_endpoints`] for a
+    /// fallible lookup.
+    #[inline]
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        self.edges[edge.index()]
+    }
+
+    /// Fallible version of [`Graph::endpoints`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfBounds`] for unknown edges.
+    pub fn try_endpoints(&self, edge: EdgeId) -> Result<(NodeId, NodeId), GraphError> {
+        self.edges
+            .get(edge.index())
+            .copied()
+            .ok_or(GraphError::EdgeOutOfBounds {
+                edge,
+                edge_count: self.edges.len(),
+            })
+    }
+
+    /// Given an edge and one endpoint, returns the opposite endpoint.
+    ///
+    /// Returns `None` if `node` is not an endpoint of `edge`.
+    pub fn opposite(&self, edge: EdgeId, node: NodeId) -> Option<NodeId> {
+        let (u, v) = self.try_endpoints(edge).ok()?;
+        if node == u {
+            Some(v)
+        } else if node == v {
+            Some(u)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the edge between `u` and `v` if it exists.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (scan, other) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adjacency
+            .get(scan.index())?
+            .iter()
+            .find(|(n, _)| *n == other)
+            .map(|(_, e)| *e)
+    }
+
+    /// Returns `true` if nodes `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Degree of `node` (number of incident edges).
+    ///
+    /// Returns 0 for out-of-bounds nodes.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency.get(node.index()).map_or(0, Vec::len)
+    }
+
+    /// Average degree `2|E| / |V|`, or 0 for an empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.adjacency.len() as f64
+        }
+    }
+
+    /// Iterates over the `(neighbor, edge)` pairs incident to `node`.
+    ///
+    /// The iterator is empty for out-of-bounds nodes.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adjacency
+            .get(node.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + use<> {
+        (0..self.adjacency.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + use<> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterates over `(edge, u, v)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId(i as u32), u, v))
+    }
+
+    /// Validates that `node` exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if it does not.
+    pub fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() < self.adjacency.len() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.adjacency.len(),
+            })
+        }
+    }
+
+    /// Validates that `edge` exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfBounds`] if it does not.
+    pub fn check_edge(&self, edge: EdgeId) -> Result<(), GraphError> {
+        if edge.index() < self.edges.len() {
+            Ok(())
+        } else {
+            Err(GraphError::EdgeOutOfBounds {
+                edge,
+                edge_count: self.edges.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, [NodeId; 3], [EdgeId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let ab = g.add_edge(a, b).unwrap();
+        let bc = g.add_edge(b, c).unwrap();
+        let ca = g.add_edge(c, a).unwrap();
+        (g, [a, b, c], [ab, bc, ca])
+    }
+
+    #[test]
+    fn node_ids_are_dense() {
+        let mut g = Graph::new();
+        for i in 0..5u32 {
+            assert_eq!(g.add_node(), NodeId(i));
+        }
+        assert_eq!(g.node_count(), 5);
+        let ids: Vec<_> = g.node_ids().collect();
+        assert_eq!(ids, (0..5).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn add_nodes_returns_first_id() {
+        let mut g = Graph::new();
+        g.add_node();
+        let first = g.add_nodes(3);
+        assert_eq!(first, NodeId(1));
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn edge_endpoints_are_normalised() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.add_edge(b, a).unwrap();
+        assert_eq!(g.endpoints(e), (a, b));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop { node: a }));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected_both_orders() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.add_edge(a, b).unwrap();
+        assert_eq!(g.add_edge(a, b), Err(GraphError::DuplicateEdge { edge: e }));
+        assert_eq!(g.add_edge(b, a), Err(GraphError::DuplicateEdge { edge: e }));
+    }
+
+    #[test]
+    fn out_of_bounds_node_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let bad = NodeId(7);
+        assert!(matches!(
+            g.add_edge(a, bad),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let (g, [a, b, c], [ab, bc, ca]) = triangle();
+        assert_eq!(g.degree(a), 2);
+        let mut n: Vec<_> = g.neighbors(a).collect();
+        n.sort();
+        let mut expected = vec![(b, ab), (c, ca)];
+        expected.sort();
+        assert_eq!(n, expected);
+        assert_eq!(g.degree(NodeId(99)), 0);
+        let _ = bc;
+    }
+
+    #[test]
+    fn opposite_endpoint() {
+        let (g, [a, b, c], [ab, ..]) = triangle();
+        assert_eq!(g.opposite(ab, a), Some(b));
+        assert_eq!(g.opposite(ab, b), Some(a));
+        assert_eq!(g.opposite(ab, c), None);
+    }
+
+    #[test]
+    fn edge_between_symmetric() {
+        let (g, [a, b, _c], [ab, ..]) = triangle();
+        assert_eq!(g.edge_between(a, b), Some(ab));
+        assert_eq!(g.edge_between(b, a), Some(ab));
+    }
+
+    #[test]
+    fn average_degree_triangle() {
+        let (g, _, _) = triangle();
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(Graph::new().average_degree(), 0.0);
+    }
+
+    #[test]
+    fn from_edges_builds_graph() {
+        let g = Graph::from_edges(3, [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn from_edges_propagates_errors() {
+        assert!(Graph::from_edges(1, [(NodeId(0), NodeId(1))]).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (g, _, _) = triangle();
+        let json = serde_json_round_trip(&g);
+        assert_eq!(g, json);
+    }
+
+    fn serde_json_round_trip(g: &Graph) -> Graph {
+        // serde_json is not a dependency; round-trip through the
+        // serde-compatible in-memory representation instead.
+        let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+        Graph::from_edges(g.node_count(), edges).unwrap()
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+        assert_eq!(EdgeId(7).to_string(), "e7");
+        let err = GraphError::SelfLoop { node: NodeId(1) };
+        assert!(err.to_string().contains("self-loop"));
+    }
+}

@@ -1,0 +1,425 @@
+//! Waxman random geometric topologies.
+//!
+//! The paper's evaluation (§V-A-1) generates QDN topologies by placing
+//! nodes uniformly in a `100 × 100` square and connecting `u, v` with
+//! probability `β · exp(−d(u,v) / (α · d_max))` (the Waxman model, used by
+//! several of the quantum-network papers the authors cite). Two additions
+//! are needed to make this usable for the experiments:
+//!
+//! * **degree calibration** — the paper adjusts the Waxman parameter so the
+//!   average node degree stays ≈ 4 across network sizes (Fig. 6); we binary
+//!   search `β` against the analytic expected degree of the sampled point
+//!   set ([`calibrate_beta`]);
+//! * **connectivity augmentation** — entanglement routing needs every SD
+//!   pair to have a route, so [`WaxmanConfig::connected`] patches
+//!   disconnected outputs by repeatedly adding the shortest edge between
+//!   components.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::connectivity::{connected_components, is_connected};
+use crate::geometry::{max_pairwise_distance, sample_uniform_square, Point};
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A graph embedded in the plane: topology plus node positions.
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::waxman::WaxmanConfig;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let topo = WaxmanConfig::paper_default().generate(&mut rng);
+/// assert_eq!(topo.graph.node_count(), 20);
+/// assert!(qdn_graph::connectivity::is_connected(&topo.graph));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeometricGraph {
+    /// The topology.
+    pub graph: Graph,
+    /// `positions[v.index()]` is the planar position of node `v`.
+    pub positions: Vec<Point>,
+}
+
+impl GeometricGraph {
+    /// Euclidean length of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    pub fn edge_length(&self, edge: EdgeId) -> f64 {
+        let (u, v) = self.graph.endpoints(edge);
+        self.positions[u.index()].distance(self.positions[v.index()])
+    }
+
+    /// Position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn position(&self, node: NodeId) -> Point {
+        self.positions[node.index()]
+    }
+}
+
+/// Parameters of the Waxman topology generator.
+///
+/// `alpha` stretches the distance decay (larger ⇒ long edges more likely);
+/// `beta` scales overall edge density. The paper's defaults are
+/// `alpha = beta = 0.5` on 20 nodes in a 100×100 square with average
+/// degree ≈ 4 ([`WaxmanConfig::paper_default`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaxmanConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Distance-decay parameter `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Density parameter `β ∈ (0, 1]`.
+    pub beta: f64,
+    /// Side length of the deployment square.
+    pub side: f64,
+    /// If `true`, augment the generated graph to a single connected
+    /// component by adding shortest inter-component edges.
+    pub connected: bool,
+}
+
+impl WaxmanConfig {
+    /// The paper's §V-A default: 20 nodes, α = β = 0.5, 100×100 square,
+    /// connectivity enforced.
+    pub fn paper_default() -> Self {
+        WaxmanConfig {
+            nodes: 20,
+            alpha: 0.5,
+            beta: 0.5,
+            side: 100.0,
+            connected: true,
+        }
+    }
+
+    /// Returns a copy with a different node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Returns a copy with a different `β`.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Generates a topology.
+    ///
+    /// Positions are sampled uniformly in the square; each pair is linked
+    /// with the Waxman probability; if [`WaxmanConfig::connected`] is set,
+    /// disconnected outputs are augmented via [`augment_to_connected`].
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> GeometricGraph {
+        let positions = sample_uniform_square(rng, self.nodes, self.side);
+        let dmax = max_pairwise_distance(&positions);
+        let mut graph = Graph::with_node_capacity(self.nodes);
+        graph.add_nodes(self.nodes);
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                let p = waxman_probability(
+                    positions[i].distance(positions[j]),
+                    dmax,
+                    self.alpha,
+                    self.beta,
+                );
+                if rng.random_bool(p) {
+                    graph
+                        .add_edge(NodeId(i as u32), NodeId(j as u32))
+                        .expect("pairs visited once, no self-loops");
+                }
+            }
+        }
+        let mut topo = GeometricGraph { graph, positions };
+        if self.connected {
+            augment_to_connected(&mut topo);
+        }
+        topo
+    }
+
+    /// Expected average degree for a *given* point placement: the sum of
+    /// pairwise Waxman probabilities times `2 / n`.
+    pub fn expected_average_degree(&self, positions: &[Point]) -> f64 {
+        let n = positions.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let dmax = max_pairwise_distance(positions);
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sum += waxman_probability(
+                    positions[i].distance(positions[j]),
+                    dmax,
+                    self.alpha,
+                    self.beta,
+                );
+            }
+        }
+        2.0 * sum / n as f64
+    }
+}
+
+/// The Waxman link probability `β · exp(−d / (α · d_max))`, clamped to
+/// `[0, 1]`.
+///
+/// Degenerate inputs (`d_max = 0`) yield probability `β` (all points are
+/// coincident, distance decay vanishes).
+pub fn waxman_probability(d: f64, dmax: f64, alpha: f64, beta: f64) -> f64 {
+    let decay = if dmax > 0.0 {
+        (-d / (alpha * dmax)).exp()
+    } else {
+        1.0
+    };
+    (beta * decay).clamp(0.0, 1.0)
+}
+
+/// Adds edges until the graph is connected.
+///
+/// Components are merged greedily: at each step the geometrically shortest
+/// node pair spanning two different components is linked. This mimics how
+/// physical deployments would patch a disconnected fibre plant and keeps
+/// the added edges short (thus realistic for the loss model).
+pub fn augment_to_connected(topo: &mut GeometricGraph) {
+    while !is_connected(&topo.graph) {
+        let comps = connected_components(&topo.graph);
+        // Find closest pair across the first component and any other.
+        let base = &comps[0];
+        let mut best: Option<(f64, NodeId, NodeId)> = None;
+        for other in &comps[1..] {
+            for &u in base {
+                for &v in other {
+                    let d = topo.positions[u.index()].distance(topo.positions[v.index()]);
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
+                        best = Some((d, u, v));
+                    }
+                }
+            }
+        }
+        let (_, u, v) = best.expect("disconnected graph has >= 2 components");
+        topo.graph
+            .add_edge(u, v)
+            .expect("edge between distinct components cannot exist yet");
+    }
+}
+
+/// Binary-searches the Waxman `β` so the *expected* average degree of a
+/// reference placement matches `target_degree`.
+///
+/// A fresh placement of `config.nodes` points is sampled from `rng` and
+/// `β` is tuned against its analytic expected degree (the placement is
+/// discarded — only `β` is returned). This reproduces the paper's "we
+/// adjust the Waxman graph parameter to ensure an average node degree of
+/// approximately 4 across all network sizes" (§V-B-3).
+///
+/// Returns `β` clamped to `[0, 1]`; if even `β = 1` cannot reach the
+/// target (dense target on a tiny graph), `1.0` is returned.
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::waxman::{calibrate_beta, WaxmanConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let cfg = WaxmanConfig::paper_default().with_nodes(30);
+/// let beta = calibrate_beta(&cfg, 4.0, &mut rng);
+/// assert!((0.0..=1.0).contains(&beta));
+/// ```
+pub fn calibrate_beta<R: Rng + ?Sized>(
+    config: &WaxmanConfig,
+    target_degree: f64,
+    rng: &mut R,
+) -> f64 {
+    // Average the expected degree over a few placements to reduce variance.
+    const PLACEMENTS: usize = 8;
+    let placements: Vec<Vec<Point>> = (0..PLACEMENTS)
+        .map(|_| sample_uniform_square(rng, config.nodes, config.side))
+        .collect();
+    let mean_degree = |beta: f64| -> f64 {
+        let cfg = WaxmanConfig {
+            beta,
+            ..config.clone()
+        };
+        placements
+            .iter()
+            .map(|p| cfg.expected_average_degree(p))
+            .sum::<f64>()
+            / PLACEMENTS as f64
+    };
+
+    // Expected degree is linear in beta: E[deg](β) = β · E[deg](1).
+    let at_one = mean_degree(1.0);
+    if at_one <= 0.0 {
+        return 1.0;
+    }
+    (target_degree / at_one).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn probability_bounds() {
+        for &(d, dmax, a, b) in &[
+            (0.0, 100.0, 0.5, 0.5),
+            (100.0, 100.0, 0.5, 0.5),
+            (50.0, 100.0, 0.1, 1.0),
+            (10.0, 0.0, 0.5, 0.7),
+        ] {
+            let p = waxman_probability(d, dmax, a, b);
+            assert!((0.0..=1.0).contains(&p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn probability_decays_with_distance() {
+        let p_near = waxman_probability(1.0, 100.0, 0.5, 0.5);
+        let p_far = waxman_probability(90.0, 100.0, 0.5, 0.5);
+        assert!(p_near > p_far);
+    }
+
+    #[test]
+    fn zero_dmax_gives_beta() {
+        assert_eq!(waxman_probability(0.0, 0.0, 0.5, 0.3), 0.3);
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let cfg = WaxmanConfig::paper_default();
+        assert_eq!(cfg.nodes, 20);
+        assert_eq!(cfg.alpha, 0.5);
+        assert_eq!(cfg.beta, 0.5);
+        assert_eq!(cfg.side, 100.0);
+        assert!(cfg.connected);
+    }
+
+    #[test]
+    fn generate_produces_connected_graph() {
+        for seed in 0..10 {
+            let topo = WaxmanConfig::paper_default().generate(&mut rng(seed));
+            assert_eq!(topo.graph.node_count(), 20);
+            assert!(is_connected(&topo.graph), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generate_without_connectivity_flag_leaves_graph_as_is() {
+        let cfg = WaxmanConfig {
+            nodes: 30,
+            alpha: 0.05,
+            beta: 0.02, // sparse: almost surely disconnected
+            side: 100.0,
+            connected: false,
+        };
+        let topo = cfg.generate(&mut rng(11));
+        // With such a sparse configuration some component structure remains;
+        // just check determinism of the flag (no augmentation edges added
+        // beyond sampled ones is hard to observe directly, so check the
+        // graph is *allowed* to be disconnected).
+        let _ = is_connected(&topo.graph);
+        assert_eq!(topo.graph.node_count(), 30);
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let cfg = WaxmanConfig::paper_default();
+        let t1 = cfg.generate(&mut rng(42));
+        let t2 = cfg.generate(&mut rng(42));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn average_degree_close_to_four_with_default_calibration() {
+        // Calibrate beta for degree 4 and check realized degrees.
+        let cfg = WaxmanConfig::paper_default();
+        let mut r = rng(7);
+        let beta = calibrate_beta(&cfg, 4.0, &mut r);
+        let cfg = cfg.with_beta(beta);
+        let mut total = 0.0;
+        const TRIALS: usize = 40;
+        for _ in 0..TRIALS {
+            let topo = cfg.generate(&mut r);
+            total += topo.graph.average_degree();
+        }
+        let avg = total / TRIALS as f64;
+        // Connectivity augmentation can only add edges, so allow upward bias.
+        assert!(
+            (3.2..=5.2).contains(&avg),
+            "calibrated average degree {avg} should be near 4"
+        );
+    }
+
+    #[test]
+    fn calibration_scales_across_sizes() {
+        let mut r = rng(13);
+        for &n in &[10usize, 20, 30, 40] {
+            let cfg = WaxmanConfig::paper_default().with_nodes(n);
+            let beta = calibrate_beta(&cfg, 4.0, &mut r);
+            let cfg = cfg.with_beta(beta);
+            let mut total = 0.0;
+            const TRIALS: usize = 30;
+            for _ in 0..TRIALS {
+                total += cfg.generate(&mut r).graph.average_degree();
+            }
+            let avg = total / TRIALS as f64;
+            assert!(
+                (2.8..=5.6).contains(&avg),
+                "n={n}: calibrated degree {avg} not near 4"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_length_matches_positions() {
+        let topo = WaxmanConfig::paper_default().generate(&mut rng(3));
+        for (e, u, v) in topo.graph.edges() {
+            let expected = topo.positions[u.index()].distance(topo.positions[v.index()]);
+            assert_eq!(topo.edge_length(e), expected);
+        }
+    }
+
+    #[test]
+    fn augment_connects_two_clusters() {
+        // Two far-apart pairs, no edges: augmentation must add >= 3 edges
+        // overall? No: 4 isolated nodes -> 3 edges to connect.
+        let mut g = Graph::new();
+        for _ in 0..4 {
+            g.add_node();
+        }
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(101.0, 0.0),
+        ];
+        let mut topo = GeometricGraph { graph: g, positions };
+        augment_to_connected(&mut topo);
+        assert!(is_connected(&topo.graph));
+        assert_eq!(topo.graph.edge_count(), 3);
+        // The near pairs should be joined by short edges.
+        assert!(topo.graph.has_edge(NodeId(0), NodeId(1)));
+        assert!(topo.graph.has_edge(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn expected_degree_linear_in_beta() {
+        let mut r = rng(5);
+        let pts = sample_uniform_square(&mut r, 15, 100.0);
+        let base = WaxmanConfig::paper_default().with_nodes(15);
+        let d_half = base.clone().with_beta(0.5).expected_average_degree(&pts);
+        let d_one = base.with_beta(1.0).expected_average_degree(&pts);
+        assert!((d_half * 2.0 - d_one).abs() < 1e-9);
+    }
+}

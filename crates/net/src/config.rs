@@ -1,0 +1,551 @@
+//! Serializable network configuration and reproducible construction.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use qdn_graph::geometry::Point;
+use qdn_graph::waxman::{calibrate_beta, GeometricGraph, WaxmanConfig};
+use qdn_graph::{generators, Graph};
+use qdn_physics::fiber::ChannelModel;
+use qdn_physics::link::LinkModel;
+use qdn_physics::swap::SwapModel;
+
+use crate::network::{QdnNetwork, QdnNetworkBuilder};
+use crate::NetError;
+
+/// An inclusive integer range `[low, high]` for capacity draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacityRange {
+    /// Inclusive lower bound.
+    pub low: u32,
+    /// Inclusive upper bound.
+    pub high: u32,
+}
+
+impl CapacityRange {
+    /// Creates a validated range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidCapacityRange`] unless
+    /// `1 <= low <= high`.
+    pub fn new(name: &'static str, low: u32, high: u32) -> Result<Self, NetError> {
+        if low == 0 || low > high {
+            return Err(NetError::InvalidCapacityRange { name, low, high });
+        }
+        Ok(CapacityRange { low, high })
+    }
+
+    /// Draws a value uniformly from the range.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.random_range(self.low..=self.high)
+    }
+}
+
+/// Full description of a QDN instance, matching the paper's §V-A defaults.
+///
+/// # Example
+///
+/// ```
+/// use qdn_net::config::NetworkConfig;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let cfg = NetworkConfig::paper_default();
+/// let net = cfg.build(&mut rng).unwrap();
+/// assert_eq!(net.node_count(), 20);
+/// // Qubit capacities in U[10, 16].
+/// assert!(net.graph().node_ids().all(|v| (10..=16).contains(&net.qubit_capacity(v))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Topology family and generator parameters.
+    pub topology: TopologyConfig,
+    /// Qubit capacity draw `Q_v ~ U[low, high]` (paper: `U[10, 16]`).
+    pub qubit_capacity: CapacityRange,
+    /// Channel capacity draw `W_e ~ U[low, high]` (paper: `U[5, 8]`).
+    pub channel_capacity: CapacityRange,
+    /// Per-attempt success model (paper: constant `2×10⁻⁴`).
+    pub channel_model: ChannelModel,
+    /// Attempts per slot `A` (paper: 4000).
+    pub attempts_per_slot: u64,
+    /// Swapping success probability (paper: 1.0).
+    pub swap_success: f64,
+    /// Elementary per-link entanglement fidelity in `[1/4, 1]`. The paper
+    /// abstracts fidelity away in the evaluation (perfect links); values
+    /// below 1 feed the §III-C fidelity-constraint extension.
+    pub elementary_fidelity: f64,
+}
+
+/// Topology family for network generation.
+///
+/// The paper evaluates on random Waxman graphs (§V-A); the classic
+/// families below are the settings of the specialized entanglement-
+/// routing literature its related-work section cites (grid \[15\],
+/// ring \[16\], star \[17\]) and let the same experiment stack run on them.
+/// All layouts place nodes in a `side × side` square so the fiber-loss
+/// channel model sees realistic edge lengths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologyConfig {
+    /// Random Waxman graph, optionally β-recalibrated per draw so the
+    /// expected average degree matches a target (the paper holds degree
+    /// ≈ 4 across network sizes).
+    Waxman {
+        /// Generator parameters.
+        config: WaxmanConfig,
+        /// Target expected average degree, if any.
+        target_average_degree: Option<f64>,
+    },
+    /// A cycle laid out on a circle.
+    Ring {
+        /// Number of nodes (≥ 3 for a proper cycle).
+        nodes: usize,
+        /// Deployment square side length.
+        side: f64,
+    },
+    /// A `rows × cols` lattice.
+    Grid {
+        /// Lattice rows.
+        rows: usize,
+        /// Lattice columns.
+        cols: usize,
+        /// Deployment square side length.
+        side: f64,
+    },
+    /// A hub with `leaves` spokes (the entanglement-switch setting).
+    Star {
+        /// Number of leaf nodes.
+        leaves: usize,
+        /// Deployment square side length.
+        side: f64,
+    },
+    /// A path graph.
+    Line {
+        /// Number of nodes.
+        nodes: usize,
+        /// Deployment square side length.
+        side: f64,
+    },
+}
+
+impl TopologyConfig {
+    /// The paper's topology: degree-calibrated 20-node Waxman.
+    pub fn paper_default() -> Self {
+        TopologyConfig::Waxman {
+            config: WaxmanConfig::paper_default(),
+            target_average_degree: Some(4.0),
+        }
+    }
+
+    /// Number of nodes this configuration will generate.
+    pub fn node_count(&self) -> usize {
+        match self {
+            TopologyConfig::Waxman { config, .. } => config.nodes,
+            TopologyConfig::Ring { nodes, .. } | TopologyConfig::Line { nodes, .. } => *nodes,
+            TopologyConfig::Grid { rows, cols, .. } => rows * cols,
+            TopologyConfig::Star { leaves, .. } => leaves + 1,
+        }
+    }
+
+    /// Returns a copy generating (approximately) `nodes` nodes: exact for
+    /// Waxman/ring/line, `leaves = nodes − 1` for a star, and the nearest
+    /// not-smaller `⌈√n⌉ × ⌈√n⌉` lattice for a grid.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        match &mut self {
+            TopologyConfig::Waxman { config, .. } => config.nodes = nodes,
+            TopologyConfig::Ring { nodes: n, .. } | TopologyConfig::Line { nodes: n, .. } => {
+                *n = nodes;
+            }
+            TopologyConfig::Grid { rows, cols, .. } => {
+                let s = (nodes as f64).sqrt().ceil() as usize;
+                *rows = s;
+                *cols = s;
+            }
+            TopologyConfig::Star { leaves, .. } => *leaves = nodes.saturating_sub(1),
+        }
+        self
+    }
+
+    /// Generates the topology with node positions.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> GeometricGraph {
+        match self {
+            TopologyConfig::Waxman {
+                config,
+                target_average_degree,
+            } => {
+                let mut waxman = config.clone();
+                if let Some(target) = target_average_degree {
+                    waxman.beta = calibrate_beta(&waxman, *target, rng);
+                }
+                waxman.generate(rng)
+            }
+            TopologyConfig::Ring { nodes, side } => {
+                layout_circle(generators::ring(*nodes), *nodes, *side, false)
+            }
+            TopologyConfig::Grid { rows, cols, side } => {
+                layout_grid(generators::grid(*rows, *cols), *rows, *cols, *side)
+            }
+            TopologyConfig::Star { leaves, side } => {
+                // Node 0 is the hub at the center; leaves on the circle.
+                layout_circle(generators::star(*leaves), *leaves, *side, true)
+            }
+            TopologyConfig::Line { nodes, side } => {
+                layout_line(generators::line(*nodes), *nodes, *side)
+            }
+        }
+    }
+}
+
+/// Lays `count` nodes on a circle of diameter `0.9·side`; with `hub`,
+/// node 0 sits at the center and the remaining `count` nodes circle it.
+fn layout_circle(graph: Graph, count: usize, side: f64, hub: bool) -> GeometricGraph {
+    let center = side / 2.0;
+    let radius = 0.45 * side;
+    let mut positions = Vec::with_capacity(graph.node_count());
+    if hub {
+        positions.push(Point::new(center, center));
+    }
+    for i in 0..count {
+        let angle = 2.0 * std::f64::consts::PI * i as f64 / count.max(1) as f64;
+        positions.push(Point::new(
+            center + radius * angle.cos(),
+            center + radius * angle.sin(),
+        ));
+    }
+    GeometricGraph { graph, positions }
+}
+
+/// Lays a lattice over the inner 90% of the square, row-major to match
+/// [`generators::grid`]'s node numbering.
+fn layout_grid(graph: Graph, rows: usize, cols: usize, side: f64) -> GeometricGraph {
+    let margin = 0.05 * side;
+    let span = side - 2.0 * margin;
+    let step_x = span / cols.max(2).saturating_sub(1) as f64;
+    let step_y = span / rows.max(2).saturating_sub(1) as f64;
+    let positions = (0..rows)
+        .flat_map(|r| {
+            (0..cols).map(move |c| {
+                Point::new(margin + c as f64 * step_x, margin + r as f64 * step_y)
+            })
+        })
+        .collect();
+    GeometricGraph { graph, positions }
+}
+
+/// Lays a path along the horizontal midline.
+fn layout_line(graph: Graph, nodes: usize, side: f64) -> GeometricGraph {
+    let margin = 0.05 * side;
+    let step = (side - 2.0 * margin) / nodes.max(2).saturating_sub(1) as f64;
+    let positions = (0..nodes)
+        .map(|i| Point::new(margin + i as f64 * step, side / 2.0))
+        .collect();
+    GeometricGraph { graph, positions }
+}
+
+impl NetworkConfig {
+    /// The paper's §V-A default configuration.
+    pub fn paper_default() -> Self {
+        NetworkConfig {
+            topology: TopologyConfig::paper_default(),
+            qubit_capacity: CapacityRange { low: 10, high: 16 },
+            channel_capacity: CapacityRange { low: 5, high: 8 },
+            channel_model: ChannelModel::paper_default(),
+            attempts_per_slot: 4000,
+            swap_success: 1.0,
+            elementary_fidelity: 1.0,
+        }
+    }
+
+    /// Returns a copy with a different node count (used by the Fig. 6
+    /// network-size sweep; degree calibration keeps the topology density
+    /// comparable).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.topology = self.topology.with_nodes(nodes);
+        self
+    }
+
+    /// Builds a concrete network, drawing the topology and capacities from
+    /// `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if the physical parameters are invalid (e.g. a
+    /// fiber channel model underflowing for very long generated edges).
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<QdnNetwork, NetError> {
+        let topo = self.topology.generate(rng);
+
+        // Default link model placeholder; replaced per edge below.
+        let default_link = LinkModel::from_attempts(
+            self.channel_model.attempt_probability(0.0)?,
+            self.attempts_per_slot,
+        );
+        let edge_lengths: Vec<f64> = topo
+            .graph
+            .edge_ids()
+            .map(|e| topo.edge_length(e))
+            .collect();
+        let mut builder = QdnNetworkBuilder::from_topology(topo, 0, 0, default_link);
+
+        // Capacities: Q_v ~ U[low, high], W_e ~ U[low, high].
+        let node_ids: Vec<_> = (0..builder.node_count() as u32)
+            .map(qdn_graph::NodeId)
+            .collect();
+        for v in node_ids {
+            let q = self.qubit_capacity.sample(rng);
+            builder.set_qubit_capacity(v, q);
+        }
+        for (i, &len) in edge_lengths.iter().enumerate() {
+            let e = qdn_graph::EdgeId(i as u32);
+            let w = self.channel_capacity.sample(rng);
+            builder.set_channel_capacity(e, w);
+            let attempt = self.channel_model.attempt_probability(len_km(len))?;
+            builder.set_link(e, LinkModel::from_attempts(attempt, self.attempts_per_slot));
+        }
+        builder.set_swap(SwapModel::new(self.swap_success)?);
+        builder.set_uniform_fidelity(qdn_physics::fidelity::Fidelity::new(
+            self.elementary_fidelity,
+        )?);
+        Ok(builder.build())
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The paper's square is unitless; interpret coordinates as kilometres
+/// for the fiber model (a 100 km metro area).
+fn len_km(unit_length: f64) -> f64 {
+    unit_length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn capacity_range_validates() {
+        assert!(CapacityRange::new("q", 0, 5).is_err());
+        assert!(CapacityRange::new("q", 6, 5).is_err());
+        assert!(CapacityRange::new("q", 1, 1).is_ok());
+    }
+
+    #[test]
+    fn capacity_range_samples_inclusive() {
+        let r = CapacityRange { low: 3, high: 5 };
+        let mut rng = rng(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = r.sample(&mut rng);
+            assert!((3..=5).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn paper_default_builds() {
+        let cfg = NetworkConfig::paper_default();
+        let net = cfg.build(&mut rng(3)).unwrap();
+        assert_eq!(net.node_count(), 20);
+        assert!(net.edge_count() > 0);
+        for v in net.graph().node_ids() {
+            assert!((10..=16).contains(&net.qubit_capacity(v)));
+        }
+        for e in net.graph().edge_ids() {
+            assert!((5..=8).contains(&net.channel_capacity(e)));
+            // Constant channel model: every edge has the same p_e ~ 0.5507.
+            assert!((net.link(e).channel_success() - 0.5507).abs() < 1e-3);
+        }
+        assert!((net.swap().success() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let cfg = NetworkConfig::paper_default();
+        let n1 = cfg.build(&mut rng(11)).unwrap();
+        let n2 = cfg.build(&mut rng(11)).unwrap();
+        assert_eq!(n1.graph(), n2.graph());
+        assert_eq!(n1.total_qubits(), n2.total_qubits());
+        assert_eq!(n1.total_channels(), n2.total_channels());
+    }
+
+    #[test]
+    fn degree_calibration_applied_across_sizes() {
+        for &n in &[10usize, 20, 30] {
+            let cfg = NetworkConfig::paper_default().with_nodes(n);
+            let mut degrees = 0.0;
+            const TRIALS: usize = 15;
+            for s in 0..TRIALS {
+                let net = cfg.build(&mut rng(100 + s as u64)).unwrap();
+                degrees += net.graph().average_degree();
+            }
+            let avg = degrees / TRIALS as f64;
+            assert!(
+                (2.5..=5.8).contains(&avg),
+                "n={n}: average degree {avg} should be near 4"
+            );
+        }
+    }
+
+    #[test]
+    fn fiber_model_varies_per_edge() {
+        let mut cfg = NetworkConfig::paper_default();
+        cfg.channel_model = ChannelModel::fiber(1e-3, 0.2).unwrap();
+        let net = cfg.build(&mut rng(5)).unwrap();
+        let probs: Vec<f64> = net
+            .graph()
+            .edge_ids()
+            .map(|e| net.link(e).channel_success())
+            .collect();
+        // Edges have different lengths, so probabilities should differ.
+        let first = probs[0];
+        assert!(probs.iter().any(|&p| (p - first).abs() > 1e-9));
+    }
+
+    #[test]
+    fn p_min_positive() {
+        let net = NetworkConfig::paper_default().build(&mut rng(9)).unwrap();
+        assert!(net.p_min() > 0.0 && net.p_min() < 1.0);
+    }
+
+    #[test]
+    fn classic_topologies_build() {
+        let cases: Vec<(TopologyConfig, usize, usize)> = vec![
+            (
+                TopologyConfig::Ring {
+                    nodes: 8,
+                    side: 100.0,
+                },
+                8,
+                8,
+            ),
+            (
+                TopologyConfig::Grid {
+                    rows: 3,
+                    cols: 4,
+                    side: 100.0,
+                },
+                12,
+                3 * 3 + 2 * 4, // (rows-1)*cols vertical + rows*(cols-1) horizontal
+            ),
+            (
+                TopologyConfig::Star {
+                    leaves: 6,
+                    side: 100.0,
+                },
+                7,
+                6,
+            ),
+            (
+                TopologyConfig::Line {
+                    nodes: 5,
+                    side: 100.0,
+                },
+                5,
+                4,
+            ),
+        ];
+        for (topology, nodes, edges) in cases {
+            assert_eq!(topology.node_count(), nodes, "{topology:?}");
+            let cfg = NetworkConfig {
+                topology: topology.clone(),
+                ..NetworkConfig::paper_default()
+            };
+            let net = cfg.build(&mut rng(4)).unwrap();
+            assert_eq!(net.node_count(), nodes, "{topology:?}");
+            assert_eq!(net.edge_count(), edges, "{topology:?}");
+            assert!(net.positions().is_some());
+            assert!(qdn_graph::connectivity::is_connected(net.graph()));
+        }
+    }
+
+    #[test]
+    fn classic_layouts_fit_the_square() {
+        for topology in [
+            TopologyConfig::Ring {
+                nodes: 10,
+                side: 100.0,
+            },
+            TopologyConfig::Grid {
+                rows: 4,
+                cols: 4,
+                side: 100.0,
+            },
+            TopologyConfig::Star {
+                leaves: 9,
+                side: 100.0,
+            },
+            TopologyConfig::Line {
+                nodes: 7,
+                side: 100.0,
+            },
+        ] {
+            let topo = topology.generate(&mut rng(1));
+            for p in &topo.positions {
+                assert!((0.0..=100.0).contains(&p.x), "{topology:?}: x={}", p.x);
+                assert!((0.0..=100.0).contains(&p.y), "{topology:?}: y={}", p.y);
+            }
+            // Every edge has a positive geometric length for the fiber model.
+            for e in topo.graph.edge_ids() {
+                assert!(topo.edge_length(e) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn with_nodes_per_family() {
+        let ring = TopologyConfig::Ring {
+            nodes: 4,
+            side: 100.0,
+        }
+        .with_nodes(9);
+        assert_eq!(ring.node_count(), 9);
+        let grid = TopologyConfig::Grid {
+            rows: 2,
+            cols: 2,
+            side: 100.0,
+        }
+        .with_nodes(10);
+        assert_eq!(grid.node_count(), 16, "next square lattice up from 10");
+        let star = TopologyConfig::Star {
+            leaves: 3,
+            side: 100.0,
+        }
+        .with_nodes(8);
+        assert_eq!(star.node_count(), 8);
+        let waxman = TopologyConfig::paper_default().with_nodes(30);
+        assert_eq!(waxman.node_count(), 30);
+    }
+
+    #[test]
+    fn topology_config_round_trips_json() {
+        for topology in [
+            TopologyConfig::paper_default(),
+            TopologyConfig::Grid {
+                rows: 3,
+                cols: 5,
+                side: 50.0,
+            },
+            TopologyConfig::Star {
+                leaves: 4,
+                side: 100.0,
+            },
+        ] {
+            let cfg = NetworkConfig {
+                topology,
+                ..NetworkConfig::paper_default()
+            };
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: NetworkConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(cfg, back);
+        }
+    }
+}

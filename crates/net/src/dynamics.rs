@@ -1,0 +1,370 @@
+//! Exogenous resource occupancy processes.
+//!
+//! The paper models qubit and channel availability as time-varying:
+//! "the available qubits `Q_v^t` can change over time … as some qubits may
+//! be occupied by other users. This occupancy is considered as an
+//! exogenous process" (§III-A). The evaluation itself draws capacities
+//! once and keeps them fixed, which corresponds to [`StaticDynamics`]; the
+//! other implementations exercise the genuinely time-varying code path and
+//! are used in robustness tests and ablations.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::network::QdnNetwork;
+use crate::snapshot::CapacitySnapshot;
+
+/// A source of per-slot capacity snapshots.
+///
+/// Implementations observe the slot index and the installed network and
+/// return what is left for our user after exogenous occupancy. They may
+/// keep internal state (e.g. Markov chains) — hence `&mut self`.
+pub trait ResourceDynamics: std::fmt::Debug + Send {
+    /// Capacities available in slot `t`.
+    fn snapshot(
+        &mut self,
+        t: u64,
+        network: &QdnNetwork,
+        rng: &mut dyn rand::Rng,
+    ) -> CapacitySnapshot;
+
+    /// Resets internal state so a new trial can replay the process.
+    fn reset(&mut self) {}
+}
+
+/// No exogenous occupancy: the full installed capacity every slot.
+///
+/// Matches the paper's evaluation setup (capacities drawn once per
+/// topology, then constant over the horizon).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticDynamics;
+
+impl ResourceDynamics for StaticDynamics {
+    fn snapshot(
+        &mut self,
+        _t: u64,
+        network: &QdnNetwork,
+        _rng: &mut dyn rand::Rng,
+    ) -> CapacitySnapshot {
+        CapacitySnapshot::full(network)
+    }
+}
+
+/// I.i.d. uniform occupancy: each slot, every node/edge independently
+/// loses a uniformly random fraction of its capacity up to
+/// `max_occupied_fraction`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformOccupancy {
+    /// Upper bound on the occupied fraction, in `[0, 1]`.
+    pub max_occupied_fraction: f64,
+}
+
+impl UniformOccupancy {
+    /// Creates the process, clamping the fraction into `[0, 1]`.
+    pub fn new(max_occupied_fraction: f64) -> Self {
+        UniformOccupancy {
+            max_occupied_fraction: max_occupied_fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl ResourceDynamics for UniformOccupancy {
+    fn snapshot(
+        &mut self,
+        _t: u64,
+        network: &QdnNetwork,
+        rng: &mut dyn rand::Rng,
+    ) -> CapacitySnapshot {
+        let mut occupy = |cap: u32| -> u32 {
+            let frac = rng.random_range(0.0..=self.max_occupied_fraction);
+            let taken = (cap as f64 * frac).floor() as u32;
+            cap - taken.min(cap)
+        };
+        let qubits = network
+            .graph()
+            .node_ids()
+            .map(|v| occupy(network.qubit_capacity(v)))
+            .collect();
+        let channels = network
+            .graph()
+            .edge_ids()
+            .map(|e| occupy(network.channel_capacity(e)))
+            .collect();
+        CapacitySnapshot::clamped(network, qubits, channels)
+    }
+}
+
+/// Two-state Markov (Gilbert) occupancy: each resource is either *free*
+/// (full capacity) or *busy* (a configurable fraction remains), with
+/// geometric sojourn times.
+///
+/// This models bursty co-tenant workloads: once another user grabs
+/// resources they tend to hold them for several slots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarkovOccupancy {
+    /// Probability of transitioning free → busy each slot.
+    pub p_busy: f64,
+    /// Probability of transitioning busy → free each slot.
+    pub p_free: f64,
+    /// Fraction of capacity remaining while busy, in `[0, 1]`.
+    pub busy_fraction: f64,
+    #[serde(skip)]
+    node_busy: Vec<bool>,
+    #[serde(skip)]
+    edge_busy: Vec<bool>,
+}
+
+impl MarkovOccupancy {
+    /// Creates the chain with all resources initially free.
+    pub fn new(p_busy: f64, p_free: f64, busy_fraction: f64) -> Self {
+        MarkovOccupancy {
+            p_busy: p_busy.clamp(0.0, 1.0),
+            p_free: p_free.clamp(0.0, 1.0),
+            busy_fraction: busy_fraction.clamp(0.0, 1.0),
+            node_busy: Vec::new(),
+            edge_busy: Vec::new(),
+        }
+    }
+
+    fn step_states(&mut self, network: &QdnNetwork, rng: &mut dyn rand::Rng) {
+        self.node_busy.resize(network.node_count(), false);
+        self.edge_busy.resize(network.edge_count(), false);
+        for busy in self.node_busy.iter_mut().chain(self.edge_busy.iter_mut()) {
+            *busy = if *busy {
+                !rng.random_bool(self.p_free)
+            } else {
+                rng.random_bool(self.p_busy)
+            };
+        }
+    }
+}
+
+impl ResourceDynamics for MarkovOccupancy {
+    fn snapshot(
+        &mut self,
+        _t: u64,
+        network: &QdnNetwork,
+        rng: &mut dyn rand::Rng,
+    ) -> CapacitySnapshot {
+        self.step_states(network, rng);
+        let frac = self.busy_fraction;
+        let qubits = network
+            .graph()
+            .node_ids()
+            .map(|v| {
+                let cap = network.qubit_capacity(v);
+                if self.node_busy[v.index()] {
+                    (cap as f64 * frac).floor() as u32
+                } else {
+                    cap
+                }
+            })
+            .collect();
+        let channels = network
+            .graph()
+            .edge_ids()
+            .map(|e| {
+                let cap = network.channel_capacity(e);
+                if self.edge_busy[e.index()] {
+                    (cap as f64 * frac).floor() as u32
+                } else {
+                    cap
+                }
+            })
+            .collect();
+        CapacitySnapshot::clamped(network, qubits, channels)
+    }
+
+    fn reset(&mut self) {
+        self.node_busy.clear();
+        self.edge_busy.clear();
+    }
+}
+
+/// Replays a fixed sequence of snapshots (e.g. captured from another run),
+/// repeating the last one when the trace is exhausted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceDynamics {
+    trace: Vec<CapacitySnapshot>,
+}
+
+impl TraceDynamics {
+    /// Creates a trace player.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn new(trace: Vec<CapacitySnapshot>) -> Self {
+        assert!(!trace.is_empty(), "trace must contain at least one snapshot");
+        TraceDynamics { trace }
+    }
+}
+
+impl ResourceDynamics for TraceDynamics {
+    fn snapshot(
+        &mut self,
+        t: u64,
+        _network: &QdnNetwork,
+        _rng: &mut dyn rand::Rng,
+    ) -> CapacitySnapshot {
+        let idx = (t as usize).min(self.trace.len() - 1);
+        self.trace[idx].clone()
+    }
+}
+
+/// Serializable choice of dynamics for experiment configs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum DynamicsConfig {
+    /// [`StaticDynamics`].
+    #[default]
+    Static,
+    /// [`UniformOccupancy`] with the given max occupied fraction.
+    Uniform {
+        /// Upper bound on the occupied fraction.
+        max_occupied_fraction: f64,
+    },
+    /// [`MarkovOccupancy`].
+    Markov {
+        /// Free → busy transition probability.
+        p_busy: f64,
+        /// Busy → free transition probability.
+        p_free: f64,
+        /// Remaining capacity fraction while busy.
+        busy_fraction: f64,
+    },
+}
+
+impl DynamicsConfig {
+    /// Instantiates the configured dynamics.
+    pub fn build(&self) -> Box<dyn ResourceDynamics> {
+        match *self {
+            DynamicsConfig::Static => Box::new(StaticDynamics),
+            DynamicsConfig::Uniform {
+                max_occupied_fraction,
+            } => Box::new(UniformOccupancy::new(max_occupied_fraction)),
+            DynamicsConfig::Markov {
+                p_busy,
+                p_free,
+                busy_fraction,
+            } => Box::new(MarkovOccupancy::new(p_busy, p_free, busy_fraction)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::QdnNetworkBuilder;
+    use qdn_physics::link::LinkModel;
+    use rand::SeedableRng;
+
+    fn net() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(20);
+        b.add_edge(a, c, 8, LinkModel::paper_default()).unwrap();
+        b.build()
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn static_gives_full_capacity() {
+        let n = net();
+        let mut d = StaticDynamics;
+        let mut r = rng();
+        for t in 0..5 {
+            let s = d.snapshot(t, &n, &mut r);
+            assert_eq!(s, CapacitySnapshot::full(&n));
+        }
+    }
+
+    #[test]
+    fn uniform_never_exceeds_installed() {
+        let n = net();
+        let mut d = UniformOccupancy::new(0.8);
+        let mut r = rng();
+        for t in 0..50 {
+            let s = d.snapshot(t, &n, &mut r);
+            assert!(s.qubits(qdn_graph::NodeId(0)) <= 10);
+            assert!(s.qubits(qdn_graph::NodeId(1)) <= 20);
+            assert!(s.channels(qdn_graph::EdgeId(0)) <= 8);
+        }
+    }
+
+    #[test]
+    fn uniform_fraction_clamped() {
+        let d = UniformOccupancy::new(3.0);
+        assert_eq!(d.max_occupied_fraction, 1.0);
+        let d = UniformOccupancy::new(-1.0);
+        assert_eq!(d.max_occupied_fraction, 0.0);
+    }
+
+    #[test]
+    fn uniform_zero_fraction_is_static() {
+        let n = net();
+        let mut d = UniformOccupancy::new(0.0);
+        let mut r = rng();
+        let s = d.snapshot(0, &n, &mut r);
+        assert_eq!(s, CapacitySnapshot::full(&n));
+    }
+
+    #[test]
+    fn markov_states_persist_and_recover() {
+        let n = net();
+        // Always become busy, never recover: capacity halves and stays.
+        let mut d = MarkovOccupancy::new(1.0, 0.0, 0.5);
+        let mut r = rng();
+        let s1 = d.snapshot(0, &n, &mut r);
+        assert_eq!(s1.qubits(qdn_graph::NodeId(0)), 5);
+        let s2 = d.snapshot(1, &n, &mut r);
+        assert_eq!(s2.qubits(qdn_graph::NodeId(0)), 5);
+        d.reset();
+        // After reset with p_busy=0 nothing becomes busy.
+        let mut d2 = MarkovOccupancy::new(0.0, 1.0, 0.5);
+        let s3 = d2.snapshot(0, &n, &mut r);
+        assert_eq!(s3, CapacitySnapshot::full(&n));
+    }
+
+    #[test]
+    fn trace_replays_and_repeats() {
+        let n = net();
+        let full = CapacitySnapshot::full(&n);
+        let half = CapacitySnapshot::clamped(&n, vec![5, 10], vec![4]);
+        let mut d = TraceDynamics::new(vec![full.clone(), half.clone()]);
+        let mut r = rng();
+        assert_eq!(d.snapshot(0, &n, &mut r), full);
+        assert_eq!(d.snapshot(1, &n, &mut r), half);
+        assert_eq!(d.snapshot(7, &n, &mut r), half); // repeats last
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one snapshot")]
+    fn empty_trace_panics() {
+        let _ = TraceDynamics::new(vec![]);
+    }
+
+    #[test]
+    fn config_builds_each_variant() {
+        let n = net();
+        let mut r = rng();
+        for cfg in [
+            DynamicsConfig::Static,
+            DynamicsConfig::Uniform {
+                max_occupied_fraction: 0.5,
+            },
+            DynamicsConfig::Markov {
+                p_busy: 0.2,
+                p_free: 0.5,
+                busy_fraction: 0.5,
+            },
+        ] {
+            let mut d = cfg.build();
+            let s = d.snapshot(0, &n, &mut r);
+            assert!(s.total_qubits() <= n.total_qubits());
+        }
+        assert_eq!(DynamicsConfig::default(), DynamicsConfig::Static);
+    }
+}

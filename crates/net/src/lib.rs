@@ -1,0 +1,136 @@
+//! Quantum data network model.
+//!
+//! Combines the topology substrate (`qdn-graph`) with the physical layer
+//! (`qdn-physics`) into the QDN of the paper's §III:
+//!
+//! * [`network`] — [`QdnNetwork`]: graph + per-node qubit capacities `Q_v`
+//!   + per-edge channel capacities `W_e` + per-edge link models `p_e`,
+//! * [`snapshot`] — per-slot available capacities `Q_v^t`, `W_e^t`,
+//! * [`dynamics`] — the exogenous occupancy process that makes capacities
+//!   time-varying ("some qubits may be occupied by other users", §III-A),
+//! * [`request`] — SD pairs and per-slot request sets `Φ_t`,
+//! * [`workload`] — request generators (the paper draws `|Φ_t| ~ U[1,5]`),
+//! * [`routes`] — pre-computed candidate route sets `R(φ)` with the
+//!   paper's `R` (routes per pair) and `L` (max hops) bounds,
+//! * [`config`] — serde-serializable experiment configuration producing
+//!   reproducible networks.
+//!
+//! # Example
+//!
+//! ```
+//! use qdn_net::config::NetworkConfig;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+//! assert_eq!(net.node_count(), 20);
+//! assert!(net.p_min() > 0.0);
+//! ```
+
+pub mod config;
+pub mod dynamics;
+pub mod network;
+pub mod request;
+pub mod routes;
+pub mod snapshot;
+pub mod workload;
+
+pub use config::NetworkConfig;
+pub use network::QdnNetwork;
+pub use request::SdPair;
+pub use routes::CandidateRoutes;
+pub use snapshot::CapacitySnapshot;
+
+/// Errors raised while constructing or querying a QDN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// The underlying graph rejected an operation.
+    Graph(qdn_graph::GraphError),
+    /// A physical parameter was invalid.
+    Physics(qdn_physics::PhysicsError),
+    /// A capacity range was empty or zero.
+    InvalidCapacityRange {
+        /// Name of the range for diagnostics.
+        name: &'static str,
+        /// Low bound supplied.
+        low: u32,
+        /// High bound supplied.
+        high: u32,
+    },
+    /// A source node equals its destination.
+    DegenerateSdPair {
+        /// The offending node.
+        node: qdn_graph::NodeId,
+    },
+    /// The network has too few nodes for the requested operation.
+    TooFewNodes {
+        /// Nodes present.
+        have: usize,
+        /// Nodes required.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Graph(e) => write!(f, "{e}"),
+            NetError::Physics(e) => write!(f, "{e}"),
+            NetError::InvalidCapacityRange { name, low, high } => {
+                write!(f, "{name} range [{low}, {high}] is invalid (need 1 <= low <= high)")
+            }
+            NetError::DegenerateSdPair { node } => {
+                write!(f, "SD pair has identical source and destination {node}")
+            }
+            NetError::TooFewNodes { have, need } => {
+                write!(f, "network has {have} nodes but {need} are required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Graph(e) => Some(e),
+            NetError::Physics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qdn_graph::GraphError> for NetError {
+    fn from(e: qdn_graph::GraphError) -> Self {
+        NetError::Graph(e)
+    }
+}
+
+impl From<qdn_physics::PhysicsError> for NetError {
+    fn from(e: qdn_physics::PhysicsError) -> Self {
+        NetError::Physics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = NetError::InvalidCapacityRange {
+            name: "qubits",
+            low: 5,
+            high: 2,
+        };
+        assert!(e.to_string().contains("qubits"));
+        assert!(e.source().is_none());
+
+        let e: NetError = qdn_physics::PhysicsError::NonPositive {
+            name: "x",
+            value: 0.0,
+        }
+        .into();
+        assert!(e.source().is_some());
+    }
+}

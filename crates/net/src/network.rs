@@ -1,0 +1,441 @@
+//! The quantum data network: topology + capacities + link physics.
+
+use qdn_graph::waxman::GeometricGraph;
+use qdn_graph::{EdgeId, Graph, NodeId, Path};
+use qdn_physics::fidelity::{route_fidelity, Fidelity};
+use qdn_physics::link::LinkModel;
+use qdn_physics::swap::SwapModel;
+use serde::{Deserialize, Serialize};
+
+use crate::NetError;
+
+/// A fully specified QDN (paper §III-A/B): an undirected graph whose nodes
+/// hold `Q_v` qubits, whose edges carry `W_e` quantum channels, and whose
+/// per-edge link model gives the per-channel per-slot success `p_e`.
+///
+/// `QdnNetwork` is immutable after construction; time-varying availability
+/// is expressed through [`crate::snapshot::CapacitySnapshot`] produced by a
+/// [`crate::dynamics::ResourceDynamics`].
+///
+/// # Example
+///
+/// ```
+/// use qdn_net::network::QdnNetworkBuilder;
+/// use qdn_physics::link::LinkModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = QdnNetworkBuilder::new();
+/// let a = b.add_node(12);
+/// let c = b.add_node(12);
+/// b.add_edge(a, c, 6, LinkModel::paper_default())?;
+/// let net = b.build();
+/// assert_eq!(net.node_count(), 2);
+/// assert_eq!(net.qubit_capacity(a), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QdnNetwork {
+    graph: Graph,
+    /// Planar positions when the network came from a geometric generator.
+    positions: Option<Vec<qdn_graph::geometry::Point>>,
+    qubit_capacity: Vec<u32>,
+    channel_capacity: Vec<u32>,
+    link_models: Vec<LinkModel>,
+    /// Elementary (single-link) entanglement fidelity per edge; used by
+    /// the paper's §III-C fidelity-constraint extension.
+    link_fidelities: Vec<Fidelity>,
+    swap: SwapModel,
+}
+
+impl QdnNetwork {
+    /// The topology.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of quantum nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Total qubit capacity `Q_v` of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn qubit_capacity(&self, v: NodeId) -> u32 {
+        self.qubit_capacity[v.index()]
+    }
+
+    /// Total channel capacity `W_e` of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn channel_capacity(&self, e: EdgeId) -> u32 {
+        self.channel_capacity[e.index()]
+    }
+
+    /// The link model of edge `e` (per-channel per-slot success `p_e`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn link(&self, e: EdgeId) -> &LinkModel {
+        &self.link_models[e.index()]
+    }
+
+    /// The swapping model shared by all nodes.
+    #[inline]
+    pub fn swap(&self) -> &SwapModel {
+        &self.swap
+    }
+
+    /// The elementary entanglement fidelity of links on edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn link_fidelity(&self, e: EdgeId) -> Fidelity {
+        self.link_fidelities[e.index()]
+    }
+
+    /// End-to-end fidelity of `route` after entanglement swapping (Werner
+    /// parameters multiply across hops). Allocation-independent: extra
+    /// channels raise the success *probability*, not the fidelity of the
+    /// surviving pair.
+    pub fn route_fidelity(&self, route: &Path) -> Fidelity {
+        route_fidelity(route.edges().iter().map(|&e| self.link_fidelity(e)))
+    }
+
+    /// Node positions if the network was geometrically generated.
+    pub fn positions(&self) -> Option<&[qdn_graph::geometry::Point]> {
+        self.positions.as_deref()
+    }
+
+    /// The minimum per-channel success probability over all edges
+    /// (`p_min` in the paper's Prop. 2 / Theorem 1 bounds).
+    ///
+    /// Returns 1.0 for an edgeless network (vacuously).
+    pub fn p_min(&self) -> f64 {
+        self.link_models
+            .iter()
+            .map(LinkModel::channel_success)
+            .fold(1.0, f64::min)
+    }
+
+    /// End-to-end success probability of `route` under the allocation
+    /// `allocation[i]` channels on `route.edges()[i]` (paper Eq. 2, with
+    /// the swap factor folded in as the paper's §III-C remark allows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allocation.len() != route.hops()`.
+    pub fn route_success(&self, route: &Path, allocation: &[u32]) -> f64 {
+        assert_eq!(
+            allocation.len(),
+            route.hops(),
+            "allocation must cover every edge of the route"
+        );
+        let links = route
+            .edges()
+            .iter()
+            .zip(allocation)
+            .map(|(&e, &n)| self.link(e).success(n));
+        self.swap.route_factor(route.hops()) * qdn_physics::prob::product_success(links)
+    }
+
+    /// Log success probability of `route` under `allocation` (what the
+    /// objective in Eq. 3 sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allocation.len() != route.hops()`.
+    pub fn ln_route_success(&self, route: &Path, allocation: &[u32]) -> f64 {
+        assert_eq!(allocation.len(), route.hops());
+        let mut ln = (SwapModel::swaps_for_hops(route.hops()) as f64) * self.swap.success().ln();
+        for (&e, &n) in route.edges().iter().zip(allocation) {
+            ln += self.link(e).ln_success(n as f64);
+        }
+        ln
+    }
+
+    /// Sum of qubit capacities (diagnostic).
+    pub fn total_qubits(&self) -> u64 {
+        self.qubit_capacity.iter().map(|&q| q as u64).sum()
+    }
+
+    /// Sum of channel capacities (diagnostic).
+    pub fn total_channels(&self) -> u64 {
+        self.channel_capacity.iter().map(|&w| w as u64).sum()
+    }
+}
+
+/// Incremental builder for [`QdnNetwork`].
+///
+/// Preferred for hand-built test networks; generated networks come from
+/// [`crate::config::NetworkConfig::build`].
+#[derive(Debug, Clone, Default)]
+pub struct QdnNetworkBuilder {
+    graph: Graph,
+    positions: Option<Vec<qdn_graph::geometry::Point>>,
+    qubit_capacity: Vec<u32>,
+    channel_capacity: Vec<u32>,
+    link_models: Vec<LinkModel>,
+    link_fidelities: Vec<Fidelity>,
+    swap: SwapModel,
+}
+
+impl QdnNetworkBuilder {
+    /// Creates an empty builder with perfect swapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing geometric topology, assigning every node
+    /// the same qubit capacity and every edge the same channel capacity
+    /// and link model (capacities can then be overridden per node/edge).
+    pub fn from_topology(
+        topo: GeometricGraph,
+        qubits_per_node: u32,
+        channels_per_edge: u32,
+        link: LinkModel,
+    ) -> Self {
+        let n = topo.graph.node_count();
+        let m = topo.graph.edge_count();
+        QdnNetworkBuilder {
+            graph: topo.graph,
+            positions: Some(topo.positions),
+            qubit_capacity: vec![qubits_per_node; n],
+            channel_capacity: vec![channels_per_edge; m],
+            link_models: vec![link; m],
+            link_fidelities: vec![Fidelity::PERFECT; m],
+            swap: SwapModel::perfect(),
+        }
+    }
+
+    /// Adds a node with the given qubit capacity, returning its id.
+    pub fn add_node(&mut self, qubits: u32) -> NodeId {
+        self.qubit_capacity.push(qubits);
+        self.graph.add_node()
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Adds an edge with the given channel capacity and link model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`qdn_graph::GraphError`] for invalid endpoints,
+    /// self-loops, or duplicate edges.
+    pub fn add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        channels: u32,
+        link: LinkModel,
+    ) -> Result<EdgeId, NetError> {
+        let e = self.graph.add_edge(u, v)?;
+        self.channel_capacity.push(channels);
+        self.link_models.push(link);
+        self.link_fidelities.push(Fidelity::PERFECT);
+        Ok(e)
+    }
+
+    /// Overrides the qubit capacity of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn set_qubit_capacity(&mut self, v: NodeId, qubits: u32) -> &mut Self {
+        self.qubit_capacity[v.index()] = qubits;
+        self
+    }
+
+    /// Overrides the channel capacity of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn set_channel_capacity(&mut self, e: EdgeId, channels: u32) -> &mut Self {
+        self.channel_capacity[e.index()] = channels;
+        self
+    }
+
+    /// Overrides the link model of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn set_link(&mut self, e: EdgeId, link: LinkModel) -> &mut Self {
+        self.link_models[e.index()] = link;
+        self
+    }
+
+    /// Sets the swap model.
+    pub fn set_swap(&mut self, swap: SwapModel) -> &mut Self {
+        self.swap = swap;
+        self
+    }
+
+    /// Overrides the elementary fidelity of `e` (defaults to perfect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn set_link_fidelity(&mut self, e: EdgeId, fidelity: Fidelity) -> &mut Self {
+        self.link_fidelities[e.index()] = fidelity;
+        self
+    }
+
+    /// Sets the same elementary fidelity on every edge added so far.
+    pub fn set_uniform_fidelity(&mut self, fidelity: Fidelity) -> &mut Self {
+        for f in &mut self.link_fidelities {
+            *f = fidelity;
+        }
+        self
+    }
+
+    /// Finalizes the network.
+    pub fn build(self) -> QdnNetwork {
+        QdnNetwork {
+            graph: self.graph,
+            positions: self.positions,
+            qubit_capacity: self.qubit_capacity,
+            channel_capacity: self.channel_capacity,
+            link_models: self.link_models,
+            link_fidelities: self.link_fidelities,
+            swap: self.swap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdn_graph::Path;
+
+    /// Line network a-b-c with distinct capacities for assertions.
+    fn line() -> (QdnNetwork, [NodeId; 3], [EdgeId; 2]) {
+        let mut b = QdnNetworkBuilder::new();
+        let a = b.add_node(10);
+        let m = b.add_node(14);
+        let c = b.add_node(16);
+        let e1 = b
+            .add_edge(a, m, 5, LinkModel::new(0.5).unwrap())
+            .unwrap();
+        let e2 = b
+            .add_edge(m, c, 8, LinkModel::new(0.6).unwrap())
+            .unwrap();
+        (b.build(), [a, m, c], [e1, e2])
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let (net, [a, m, c], [e1, e2]) = line();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.edge_count(), 2);
+        assert_eq!(net.qubit_capacity(a), 10);
+        assert_eq!(net.qubit_capacity(m), 14);
+        assert_eq!(net.qubit_capacity(c), 16);
+        assert_eq!(net.channel_capacity(e1), 5);
+        assert_eq!(net.channel_capacity(e2), 8);
+        assert!((net.link(e1).channel_success() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_min_is_minimum() {
+        let (net, _, _) = line();
+        assert!((net.p_min() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_success_is_product() {
+        let (net, [a, _m, c], _) = line();
+        let route = Path::from_nodes(net.graph(), vec![a, NodeId(1), c]).unwrap();
+        let p = net.route_success(&route, &[1, 1]);
+        assert!((p - 0.5 * 0.6).abs() < 1e-12);
+        let p2 = net.route_success(&route, &[2, 1]);
+        assert!((p2 - (1.0 - 0.25) * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_route_success_consistent() {
+        let (net, [a, _m, c], _) = line();
+        let route = Path::from_nodes(net.graph(), vec![a, NodeId(1), c]).unwrap();
+        let p = net.route_success(&route, &[2, 3]);
+        let ln = net.ln_route_success(&route, &[2, 3]);
+        assert!((p.ln() - ln).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation must cover")]
+    fn route_success_length_mismatch_panics() {
+        let (net, [a, _m, c], _) = line();
+        let route = Path::from_nodes(net.graph(), vec![a, NodeId(1), c]).unwrap();
+        let _ = net.route_success(&route, &[1]);
+    }
+
+    #[test]
+    fn route_success_with_lossy_swap() {
+        let (mut_builder, [a, _, c]) = {
+            let mut b = QdnNetworkBuilder::new();
+            let a = b.add_node(10);
+            let m = b.add_node(10);
+            let c = b.add_node(10);
+            b.add_edge(a, m, 5, LinkModel::new(0.5).unwrap()).unwrap();
+            b.add_edge(m, c, 5, LinkModel::new(0.5).unwrap()).unwrap();
+            b.set_swap(SwapModel::new(0.8).unwrap());
+            (b, [a, m, c])
+        };
+        let net = mut_builder.build();
+        let route = Path::from_nodes(net.graph(), vec![a, NodeId(1), c]).unwrap();
+        // 2 hops -> 1 swap.
+        let p = net.route_success(&route, &[1, 1]);
+        assert!((p - 0.8 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals() {
+        let (net, _, _) = line();
+        assert_eq!(net.total_qubits(), 40);
+        assert_eq!(net.total_channels(), 13);
+    }
+
+    #[test]
+    fn from_topology_uniform_fill() {
+        use qdn_graph::waxman::WaxmanConfig;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let topo = WaxmanConfig::paper_default().generate(&mut rng);
+        let edges = topo.graph.edge_count();
+        let b = QdnNetworkBuilder::from_topology(topo, 12, 6, LinkModel::paper_default());
+        let net = b.build();
+        assert_eq!(net.node_count(), 20);
+        assert_eq!(net.edge_count(), edges);
+        assert!(net.graph().node_ids().all(|v| net.qubit_capacity(v) == 12));
+        assert!(net.graph().edge_ids().all(|e| net.channel_capacity(e) == 6));
+        assert!(net.positions().is_some());
+    }
+}

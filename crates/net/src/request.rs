@@ -1,0 +1,135 @@
+//! SD pairs and entanglement-connection requests.
+
+use qdn_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::NetError;
+
+/// A source–destination pair `φ = (s(φ), d(φ))` requesting one
+/// entanglement connection in a slot (paper §III-C).
+///
+/// Multiple EC requests between the same two nodes are modelled as
+/// multiple `SdPair` values in the slot's request set, exactly as the
+/// paper prescribes ("we can treat each entanglement connection request as
+/// a separate SD pair").
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::NodeId;
+/// use qdn_net::request::SdPair;
+///
+/// # fn main() -> Result<(), qdn_net::NetError> {
+/// let pair = SdPair::new(NodeId(0), NodeId(3))?;
+/// assert_eq!(pair.source(), NodeId(0));
+/// assert_eq!(pair.destination(), NodeId(3));
+/// assert!(SdPair::new(NodeId(1), NodeId(1)).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SdPair {
+    source: NodeId,
+    destination: NodeId,
+}
+
+impl SdPair {
+    /// Creates an SD pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::DegenerateSdPair`] if source equals
+    /// destination.
+    pub fn new(source: NodeId, destination: NodeId) -> Result<Self, NetError> {
+        if source == destination {
+            return Err(NetError::DegenerateSdPair { node: source });
+        }
+        Ok(SdPair {
+            source,
+            destination,
+        })
+    }
+
+    /// The source node `s(φ)`.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The destination node `d(φ)`.
+    #[inline]
+    pub fn destination(&self) -> NodeId {
+        self.destination
+    }
+
+    /// The pair with endpoints swapped. Routing in an undirected QDN is
+    /// symmetric, so candidate routes can be shared between a pair and its
+    /// reverse.
+    pub fn reversed(&self) -> SdPair {
+        SdPair {
+            source: self.destination,
+            destination: self.source,
+        }
+    }
+
+    /// A canonical form with the smaller node id first, for cache keys.
+    pub fn canonical(&self) -> SdPair {
+        if self.source.0 <= self.destination.0 {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+}
+
+impl std::fmt::Display for SdPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.source, self.destination)
+    }
+}
+
+/// The request set `Φ_t` of one slot: the SD pairs that want an EC.
+pub type RequestSet = Vec<SdPair>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_degenerate() {
+        assert!(matches!(
+            SdPair::new(NodeId(2), NodeId(2)),
+            Err(NetError::DegenerateSdPair { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let p = SdPair::new(NodeId(1), NodeId(4)).unwrap();
+        assert_eq!(p.source(), NodeId(1));
+        assert_eq!(p.destination(), NodeId(4));
+    }
+
+    #[test]
+    fn reversed_swaps() {
+        let p = SdPair::new(NodeId(1), NodeId(4)).unwrap();
+        let r = p.reversed();
+        assert_eq!(r.source(), NodeId(4));
+        assert_eq!(r.destination(), NodeId(1));
+        assert_eq!(r.reversed(), p);
+    }
+
+    #[test]
+    fn canonical_orders_ids() {
+        let p = SdPair::new(NodeId(4), NodeId(1)).unwrap();
+        assert_eq!(p.canonical(), SdPair::new(NodeId(1), NodeId(4)).unwrap());
+        let q = SdPair::new(NodeId(1), NodeId(4)).unwrap();
+        assert_eq!(q.canonical(), q);
+    }
+
+    #[test]
+    fn display_format() {
+        let p = SdPair::new(NodeId(0), NodeId(9)).unwrap();
+        assert_eq!(p.to_string(), "v0 -> v9");
+    }
+}

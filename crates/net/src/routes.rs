@@ -1,0 +1,269 @@
+//! Pre-computed candidate route sets `R(φ)`.
+//!
+//! The paper assumes "a set of potential routes R(φ) associated with each
+//! SD pair φ … the candidate set can be pre-computed by choosing routes
+//! with shorter lengths/hops to minimize its size" with bounds `R` on
+//! `|R(φ)|` and `L` on route length (§III-C). [`CandidateRoutes`] computes
+//! those sets with Yen's k-shortest-paths by hop count and caches them per
+//! canonical pair (routing is symmetric in an undirected QDN).
+
+use std::collections::HashMap;
+
+use qdn_graph::ksp::yen_k_shortest;
+use qdn_graph::paths::hop_weight;
+use qdn_graph::Path;
+use serde::{Deserialize, Serialize};
+
+use crate::network::QdnNetwork;
+use crate::request::SdPair;
+
+/// Limits on candidate route computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteLimits {
+    /// Maximum number of candidate routes per pair (the paper's `R`).
+    pub max_routes: usize,
+    /// Maximum hops per route (the paper's `L`); longer Yen results are
+    /// discarded.
+    pub max_hops: usize,
+}
+
+impl RouteLimits {
+    /// Defaults used throughout the evaluation: up to 4 candidate routes,
+    /// at most 8 hops. On 20-node degree-4 Waxman graphs the 4 shortest
+    /// routes are almost always well under 8 hops, so `L` acts as a safety
+    /// bound exactly as in the paper.
+    pub fn paper_default() -> Self {
+        RouteLimits {
+            max_routes: 4,
+            max_hops: 8,
+        }
+    }
+}
+
+impl Default for RouteLimits {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A caching provider of candidate route sets.
+///
+/// # Example
+///
+/// ```
+/// use qdn_net::config::NetworkConfig;
+/// use qdn_net::routes::{CandidateRoutes, RouteLimits};
+/// use qdn_net::request::SdPair;
+/// use qdn_graph::NodeId;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let net = NetworkConfig::paper_default().build(&mut rng)?;
+/// let mut routes = CandidateRoutes::new(RouteLimits::paper_default());
+/// let pair = SdPair::new(NodeId(0), NodeId(7))?;
+/// let r = routes.routes(&net, pair);
+/// assert!(!r.is_empty());
+/// assert!(r.len() <= 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CandidateRoutes {
+    limits: RouteLimits,
+    cache: HashMap<SdPair, Vec<Path>>,
+}
+
+impl CandidateRoutes {
+    /// Creates an empty cache with the given limits.
+    pub fn new(limits: RouteLimits) -> Self {
+        CandidateRoutes {
+            limits,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> RouteLimits {
+        self.limits
+    }
+
+    /// The candidate routes for `pair`, computing and caching them on
+    /// first use.
+    ///
+    /// Routes are returned oriented from `pair.source()` to
+    /// `pair.destination()`; the cache key is the canonical pair, so the
+    /// reverse orientation shares the computation. The result is sorted by
+    /// hop count (Yen's order) and every route has at most
+    /// [`RouteLimits::max_hops`] hops. An empty slice means the pair is
+    /// disconnected (cannot happen on connectivity-augmented topologies)
+    /// or all short routes exceed the hop bound.
+    pub fn routes(&mut self, network: &QdnNetwork, pair: SdPair) -> &[Path] {
+        let canonical = pair.canonical();
+        if !self.cache.contains_key(&canonical) {
+            let computed = self.compute(network, canonical);
+            self.cache.insert(canonical, computed);
+        }
+        if pair == canonical {
+            &self.cache[&canonical]
+        } else {
+            // Reverse orientation requested: materialise it once, too.
+            if !self.cache.contains_key(&pair) {
+                let reversed: Vec<Path> = self.cache[&canonical]
+                    .iter()
+                    .map(|p| {
+                        let mut nodes = p.nodes().to_vec();
+                        nodes.reverse();
+                        let mut edges = p.edges().to_vec();
+                        edges.reverse();
+                        Path::new(network.graph(), nodes, edges)
+                            .expect("reversal of a valid path is valid")
+                    })
+                    .collect();
+                self.cache.insert(pair, reversed);
+            }
+            &self.cache[&pair]
+        }
+    }
+
+    /// Maximum hop count over the candidate routes of the given pairs —
+    /// the effective `L` entering the theory bounds.
+    pub fn max_route_hops(&mut self, network: &QdnNetwork, pairs: &[SdPair]) -> usize {
+        pairs
+            .iter()
+            .flat_map(|&p| self.routes(network, p).iter().map(Path::hops).collect::<Vec<_>>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of cached pairs (both orientations counted).
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all cached routes (e.g. when switching topologies).
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    fn compute(&self, network: &QdnNetwork, pair: SdPair) -> Vec<Path> {
+        yen_k_shortest(
+            network.graph(),
+            pair.source(),
+            pair.destination(),
+            self.limits.max_routes,
+            &hop_weight,
+        )
+        .into_iter()
+        .filter(|p| p.hops() <= self.limits.max_hops && p.hops() >= 1)
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::QdnNetworkBuilder;
+    use qdn_graph::NodeId;
+    use qdn_physics::link::LinkModel;
+
+    /// Diamond with an extra long tail:
+    /// 0-1-3, 0-2-3, 3-4.
+    fn net() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let n: Vec<_> = (0..5).map(|_| b.add_node(10)).collect();
+        let l = LinkModel::paper_default();
+        b.add_edge(n[0], n[1], 5, l).unwrap();
+        b.add_edge(n[1], n[3], 5, l).unwrap();
+        b.add_edge(n[0], n[2], 5, l).unwrap();
+        b.add_edge(n[2], n[3], 5, l).unwrap();
+        b.add_edge(n[3], n[4], 5, l).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn routes_sorted_and_bounded() {
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits {
+            max_routes: 3,
+            max_hops: 5,
+        });
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let routes = cr.routes(&net, pair);
+        assert_eq!(routes.len(), 2); // two diamond sides
+        assert!(routes[0].hops() <= routes[1].hops());
+        for r in routes {
+            assert_eq!(r.source(), NodeId(0));
+            assert_eq!(r.destination(), NodeId(3));
+        }
+    }
+
+    #[test]
+    fn hop_limit_filters_long_routes() {
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits {
+            max_routes: 5,
+            max_hops: 1,
+        });
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        assert!(cr.routes(&net, pair).is_empty()); // both routes have 2 hops
+        let adj = SdPair::new(NodeId(3), NodeId(4)).unwrap();
+        assert_eq!(cr.routes(&net, adj).len(), 1);
+    }
+
+    #[test]
+    fn reverse_orientation_shares_cache() {
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let fwd = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let bwd = fwd.reversed();
+        let f: Vec<_> = cr.routes(&net, fwd).to_vec();
+        let b: Vec<_> = cr.routes(&net, bwd).to_vec();
+        assert_eq!(f.len(), b.len());
+        for (pf, pb) in f.iter().zip(&b) {
+            assert_eq!(pf.source(), pb.destination());
+            assert_eq!(pf.destination(), pb.source());
+            let mut rev: Vec<_> = pb.nodes().to_vec();
+            rev.reverse();
+            assert_eq!(pf.nodes(), rev.as_slice());
+        }
+        // canonical + reversed cached.
+        assert_eq!(cr.cached_pairs(), 2);
+    }
+
+    #[test]
+    fn max_route_hops_over_pairs() {
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let pairs = vec![
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(0), NodeId(4)).unwrap(),
+        ];
+        // 0->4 goes through 3: 3 hops.
+        assert_eq!(cr.max_route_hops(&net, &pairs), 3);
+        assert_eq!(cr.max_route_hops(&net, &[]), 0);
+    }
+
+    #[test]
+    fn clear_resets_cache() {
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let _ = cr.routes(&net, pair);
+        assert!(cr.cached_pairs() > 0);
+        cr.clear();
+        assert_eq!(cr.cached_pairs(), 0);
+    }
+
+    #[test]
+    fn zero_hop_routes_excluded() {
+        // max_hops >= 1 guaranteed by filter p.hops() >= 1; a pair is never
+        // degenerate by construction, so this just documents behaviour.
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let pair = SdPair::new(NodeId(0), NodeId(1)).unwrap();
+        for r in cr.routes(&net, pair) {
+            assert!(r.hops() >= 1);
+        }
+    }
+}

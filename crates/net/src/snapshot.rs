@@ -1,0 +1,169 @@
+//! Per-slot available capacities `Q_v^t`, `W_e^t`.
+
+use qdn_graph::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::network::QdnNetwork;
+
+/// The capacities available to the user in one time slot.
+///
+/// The paper's capacities vary over time because "some qubits may be
+/// occupied by other users" (§III-A); a snapshot is what the per-slot
+/// problem P2 sees. Snapshots never exceed the network's installed
+/// capacity (enforced by [`CapacitySnapshot::clamped`]).
+///
+/// # Example
+///
+/// ```
+/// use qdn_net::network::QdnNetworkBuilder;
+/// use qdn_net::snapshot::CapacitySnapshot;
+/// use qdn_physics::link::LinkModel;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = QdnNetworkBuilder::new();
+/// let a = b.add_node(10);
+/// let c = b.add_node(12);
+/// b.add_edge(a, c, 5, LinkModel::paper_default())?;
+/// let net = b.build();
+///
+/// let snap = CapacitySnapshot::full(&net);
+/// assert_eq!(snap.qubits(a), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacitySnapshot {
+    qubits: Vec<u32>,
+    channels: Vec<u32>,
+}
+
+impl CapacitySnapshot {
+    /// All installed capacity is available (no exogenous occupancy).
+    pub fn full(network: &QdnNetwork) -> Self {
+        CapacitySnapshot {
+            qubits: network
+                .graph()
+                .node_ids()
+                .map(|v| network.qubit_capacity(v))
+                .collect(),
+            channels: network
+                .graph()
+                .edge_ids()
+                .map(|e| network.channel_capacity(e))
+                .collect(),
+        }
+    }
+
+    /// Builds a snapshot from explicit vectors, clamping each entry to the
+    /// installed capacity so a snapshot can never exceed the hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths do not match the network's node/edge
+    /// counts.
+    pub fn clamped(network: &QdnNetwork, qubits: Vec<u32>, channels: Vec<u32>) -> Self {
+        assert_eq!(qubits.len(), network.node_count(), "qubit vector length");
+        assert_eq!(channels.len(), network.edge_count(), "channel vector length");
+        let qubits = qubits
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| q.min(network.qubit_capacity(NodeId(i as u32))))
+            .collect();
+        let channels = channels
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| w.min(network.channel_capacity(EdgeId(i as u32))))
+            .collect();
+        CapacitySnapshot { qubits, channels }
+    }
+
+    /// Available qubits at node `v` in this slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn qubits(&self, v: NodeId) -> u32 {
+        self.qubits[v.index()]
+    }
+
+    /// Available channels on edge `e` in this slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    #[inline]
+    pub fn channels(&self, e: EdgeId) -> u32 {
+        self.channels[e.index()]
+    }
+
+    /// The raw qubit vector (indexed by `NodeId::index`).
+    pub fn qubit_vec(&self) -> &[u32] {
+        &self.qubits
+    }
+
+    /// The raw channel vector (indexed by `EdgeId::index`).
+    pub fn channel_vec(&self) -> &[u32] {
+        &self.channels
+    }
+
+    /// Total available qubits this slot.
+    pub fn total_qubits(&self) -> u64 {
+        self.qubits.iter().map(|&q| q as u64).sum()
+    }
+
+    /// Total available channels this slot.
+    pub fn total_channels(&self) -> u64 {
+        self.channels.iter().map(|&w| w as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::QdnNetworkBuilder;
+    use qdn_physics::link::LinkModel;
+
+    fn net() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let a = b.add_node(10);
+        let c = b.add_node(12);
+        b.add_edge(a, c, 5, LinkModel::paper_default()).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn full_matches_installed() {
+        let n = net();
+        let s = CapacitySnapshot::full(&n);
+        assert_eq!(s.qubits(NodeId(0)), 10);
+        assert_eq!(s.qubits(NodeId(1)), 12);
+        assert_eq!(s.channels(EdgeId(0)), 5);
+        assert_eq!(s.total_qubits(), 22);
+        assert_eq!(s.total_channels(), 5);
+    }
+
+    #[test]
+    fn clamped_limits_to_installed() {
+        let n = net();
+        let s = CapacitySnapshot::clamped(&n, vec![100, 3], vec![100]);
+        assert_eq!(s.qubits(NodeId(0)), 10); // clamped from 100
+        assert_eq!(s.qubits(NodeId(1)), 3);
+        assert_eq!(s.channels(EdgeId(0)), 5); // clamped from 100
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit vector length")]
+    fn clamped_checks_lengths() {
+        let n = net();
+        let _ = CapacitySnapshot::clamped(&n, vec![1], vec![1]);
+    }
+
+    #[test]
+    fn raw_vectors_accessible() {
+        let n = net();
+        let s = CapacitySnapshot::full(&n);
+        assert_eq!(s.qubit_vec(), &[10, 12]);
+        assert_eq!(s.channel_vec(), &[5]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the QDN model layer.
+
+use proptest::prelude::*;
+use qdn_net::config::{CapacityRange, NetworkConfig};
+use qdn_net::dynamics::{MarkovOccupancy, ResourceDynamics, StaticDynamics, UniformOccupancy};
+use qdn_net::routes::{CandidateRoutes, RouteLimits};
+use qdn_net::workload::{random_sd_pair, PoissonWorkload, UniformWorkload, Workload};
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated networks respect every configured range and are usable:
+    /// connected topology, capacities within bounds, p_min in (0,1).
+    #[test]
+    fn network_config_invariants(
+        seed in 0u64..10_000,
+        nodes in 5usize..25,
+        q_lo in 2u32..8, q_extra in 0u32..8,
+        w_lo in 2u32..5, w_extra in 0u32..5,
+    ) {
+        let mut cfg = NetworkConfig::paper_default().with_nodes(nodes);
+        cfg.qubit_capacity = CapacityRange { low: q_lo, high: q_lo + q_extra };
+        cfg.channel_capacity = CapacityRange { low: w_lo, high: w_lo + w_extra };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = cfg.build(&mut rng).unwrap();
+        prop_assert_eq!(net.node_count(), nodes);
+        prop_assert!(qdn_graph::connectivity::is_connected(net.graph()));
+        for v in net.graph().node_ids() {
+            prop_assert!((q_lo..=q_lo + q_extra).contains(&net.qubit_capacity(v)));
+        }
+        for e in net.graph().edge_ids() {
+            prop_assert!((w_lo..=w_lo + w_extra).contains(&net.channel_capacity(e)));
+        }
+        prop_assert!(net.p_min() > 0.0 && net.p_min() < 1.0);
+    }
+
+    /// Classic topology families generate connected graphs with the
+    /// advertised node counts and in-square layouts at any size.
+    #[test]
+    fn classic_topologies_invariants(
+        seed in 0u64..10_000,
+        nodes in 3usize..20,
+        rows in 2usize..5,
+        cols in 2usize..5,
+        side in 10.0f64..200.0,
+    ) {
+        use qdn_net::config::TopologyConfig;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for topology in [
+            TopologyConfig::Ring { nodes, side },
+            TopologyConfig::Grid { rows, cols, side },
+            TopologyConfig::Star { leaves: nodes, side },
+            TopologyConfig::Line { nodes, side },
+        ] {
+            let topo = topology.generate(&mut rng);
+            prop_assert_eq!(topo.graph.node_count(), topology.node_count(), "{:?}", topology);
+            prop_assert!(qdn_graph::connectivity::is_connected(&topo.graph), "{:?}", topology);
+            for p in &topo.positions {
+                prop_assert!((0.0..=side).contains(&p.x));
+                prop_assert!((0.0..=side).contains(&p.y));
+            }
+            // Builds into a network without physical-parameter errors.
+            let cfg = NetworkConfig {
+                topology: topology.clone(),
+                ..NetworkConfig::paper_default()
+            };
+            prop_assert!(cfg.build(&mut rng).is_ok(), "{:?}", topology);
+        }
+    }
+
+    /// All dynamics produce snapshots bounded by installed capacity, and
+    /// static dynamics produce exactly the installed capacity.
+    #[test]
+    fn dynamics_respect_installed_capacity(seed in 0u64..10_000, frac in 0.0f64..1.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = NetworkConfig::paper_default().with_nodes(10).build(&mut rng).unwrap();
+        let mut dynamics: Vec<Box<dyn ResourceDynamics>> = vec![
+            Box::new(StaticDynamics),
+            Box::new(UniformOccupancy::new(frac)),
+            Box::new(MarkovOccupancy::new(frac, 1.0 - frac, 0.5)),
+        ];
+        for d in dynamics.iter_mut() {
+            for t in 0..5 {
+                let snap = d.snapshot(t, &net, &mut rng);
+                for v in net.graph().node_ids() {
+                    prop_assert!(snap.qubits(v) <= net.qubit_capacity(v));
+                }
+                for e in net.graph().edge_ids() {
+                    prop_assert!(snap.channels(e) <= net.channel_capacity(e));
+                }
+            }
+        }
+    }
+
+    /// Workloads always return valid SD pairs within their cap `F`.
+    #[test]
+    fn workloads_within_bounds(seed in 0u64..10_000, rate in 0.1f64..6.0, cap in 1usize..8) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = NetworkConfig::paper_default().with_nodes(8).build(&mut rng).unwrap();
+        let mut workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(UniformWorkload::new(1, cap)),
+            Box::new(PoissonWorkload::new(rate, cap)),
+        ];
+        for w in workloads.iter_mut() {
+            for t in 0..10 {
+                let set = w.requests(t, &net, &mut rng);
+                prop_assert!(set.len() <= w.max_pairs());
+                for p in set {
+                    prop_assert!(p.source() != p.destination());
+                    prop_assert!(p.source().index() < net.node_count());
+                    prop_assert!(p.destination().index() < net.node_count());
+                }
+            }
+        }
+    }
+
+    /// Candidate routes: valid endpoints, hop bounds, sorted lengths, and
+    /// consistent between orientations.
+    #[test]
+    fn candidate_routes_invariants(seed in 0u64..10_000, max_routes in 1usize..6, max_hops in 2usize..8) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = NetworkConfig::paper_default().with_nodes(12).build(&mut rng).unwrap();
+        let mut cr = CandidateRoutes::new(RouteLimits { max_routes, max_hops });
+        let pair = random_sd_pair(&mut rng, &net);
+        let routes = cr.routes(&net, pair).to_vec();
+        prop_assert!(routes.len() <= max_routes);
+        for w in routes.windows(2) {
+            prop_assert!(w[0].hops() <= w[1].hops());
+        }
+        for r in &routes {
+            prop_assert_eq!(r.source(), pair.source());
+            prop_assert_eq!(r.destination(), pair.destination());
+            prop_assert!(r.hops() >= 1 && r.hops() <= max_hops);
+        }
+        let reversed = cr.routes(&net, pair.reversed()).to_vec();
+        prop_assert_eq!(routes.len(), reversed.len());
+    }
+
+    /// Route success probabilities are monotone in the allocation on real
+    /// networks.
+    #[test]
+    fn route_success_monotone(seed in 0u64..10_000, base in 1u32..4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = NetworkConfig::paper_default().with_nodes(10).build(&mut rng).unwrap();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let pair = random_sd_pair(&mut rng, &net);
+        let Some(route) = cr.routes(&net, pair).first().cloned() else {
+            return Ok(());
+        };
+        let small = vec![base; route.hops()];
+        let big = vec![base + 1; route.hops()];
+        prop_assert!(net.route_success(&route, &big) >= net.route_success(&route, &small));
+        prop_assert!(net.route_success(&route, &small) > 0.0);
+        prop_assert!(net.route_success(&route, &big) < 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-channel attempt model.
+//!
+//! A single entanglement attempt on one quantum channel succeeds with
+//! probability `p̃_e` (as low as `2.18×10⁻⁴` over metropolitan fiber, the
+//! paper cites). Within a slot a channel makes `A` attempts, all
+//! independent, so the per-slot, per-channel success probability is
+//! `p_e = 1 − (1 − p̃_e)^A` (§III-B).
+
+use serde::{Deserialize, Serialize};
+
+use crate::prob::at_least_one;
+use crate::PhysicsError;
+
+/// The success probability of a *single* entanglement attempt on one
+/// channel.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::attempts::AttemptModel;
+///
+/// # fn main() -> Result<(), qdn_physics::PhysicsError> {
+/// let m = AttemptModel::paper_default();
+/// assert_eq!(m.probability(), 2e-4);
+/// let per_slot = m.success_after(4000);
+/// assert!((per_slot - 0.5507).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttemptModel {
+    probability: f64,
+}
+
+impl AttemptModel {
+    /// The paper's evaluation default: `p̃ = 2×10⁻⁴` per attempt (§V-A-2).
+    pub fn paper_default() -> Self {
+        AttemptModel {
+            probability: 2e-4,
+        }
+    }
+
+    /// The hardware-measured value the paper cites in §II-5:
+    /// `p̃ = 2.18×10⁻⁴`.
+    pub fn cited_hardware() -> Self {
+        AttemptModel {
+            probability: 2.18e-4,
+        }
+    }
+
+    /// Creates an attempt model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidProbability`] unless
+    /// `probability ∈ (0, 1]`.
+    pub fn new(probability: f64) -> Result<Self, PhysicsError> {
+        if !(probability > 0.0 && probability <= 1.0) {
+            return Err(PhysicsError::InvalidProbability {
+                name: "attempt probability",
+                value: probability,
+            });
+        }
+        Ok(AttemptModel { probability })
+    }
+
+    /// The single-attempt success probability `p̃`.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Per-slot, per-channel success after `attempts` independent
+    /// attempts: `p = 1 − (1 − p̃)^A`.
+    pub fn success_after(&self, attempts: u64) -> f64 {
+        at_least_one(self.probability, attempts as f64)
+    }
+
+    /// Expected number of attempts until the first success (geometric
+    /// mean), `1 / p̃`.
+    pub fn expected_attempts_to_success(&self) -> f64 {
+        1.0 / self.probability
+    }
+}
+
+impl Default for AttemptModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_value() {
+        assert_eq!(AttemptModel::paper_default().probability(), 2e-4);
+        assert_eq!(AttemptModel::cited_hardware().probability(), 2.18e-4);
+    }
+
+    #[test]
+    fn new_validates_range() {
+        assert!(AttemptModel::new(0.0).is_err());
+        assert!(AttemptModel::new(-0.1).is_err());
+        assert!(AttemptModel::new(1.1).is_err());
+        assert!(AttemptModel::new(f64::NAN).is_err());
+        assert!(AttemptModel::new(1.0).is_ok());
+        assert!(AttemptModel::new(1e-9).is_ok());
+    }
+
+    #[test]
+    fn success_after_monotone_in_attempts() {
+        let m = AttemptModel::paper_default();
+        assert_eq!(m.success_after(0), 0.0);
+        let mut prev = 0.0;
+        for a in [1u64, 10, 100, 1000, 4000, 10000] {
+            let p = m.success_after(a);
+            assert!(p > prev);
+            prev = p;
+        }
+        assert!(prev < 1.0);
+    }
+
+    #[test]
+    fn expected_attempts() {
+        let m = AttemptModel::new(0.01).unwrap();
+        assert!((m.expected_attempts_to_success() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Distance-dependent channel models.
+//!
+//! The paper notes (§III-B) that the per-attempt success probability
+//! "depends on both the physical properties of the channel material and
+//! the length of the quantum channel", but its evaluation uses a constant
+//! `p̃ = 2×10⁻⁴`. [`ChannelModel`] supports both: a constant model matching
+//! the evaluation, and a standard fiber model where photon survival decays
+//! exponentially with length (`10^(−loss_db·d/10)` with ≈ 0.2 dB/km for
+//! telecom fiber), scaled by a base efficiency capturing source/detector
+//! losses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attempts::AttemptModel;
+use crate::PhysicsError;
+
+/// Attenuation of standard telecom fiber in dB/km.
+pub const TELECOM_FIBER_LOSS_DB_PER_KM: f64 = 0.2;
+
+/// How the per-attempt success probability of a channel is derived.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::fiber::ChannelModel;
+///
+/// # fn main() -> Result<(), qdn_physics::PhysicsError> {
+/// // The paper's constant model.
+/// let constant = ChannelModel::constant(2e-4)?;
+/// assert_eq!(constant.attempt_probability(10.0)?.probability(), 2e-4);
+///
+/// // Fiber: success decays with distance.
+/// let fiber = ChannelModel::fiber(1e-3, 0.2)?;
+/// let near = fiber.attempt_probability(1.0)?.probability();
+/// let far = fiber.attempt_probability(50.0)?.probability();
+/// assert!(near > far);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChannelModel {
+    /// Distance-independent per-attempt probability (the paper's §V-A
+    /// setting).
+    Constant {
+        /// Per-attempt success probability `p̃`.
+        probability: f64,
+    },
+    /// Fiber-optic model: `p̃(d) = η · 10^(−loss·d/10)` for length `d` km.
+    Fiber {
+        /// Base efficiency `η ∈ (0, 1]` at zero distance (sources,
+        /// detectors, coupling).
+        base_efficiency: f64,
+        /// Attenuation in dB per km.
+        loss_db_per_km: f64,
+    },
+}
+
+impl ChannelModel {
+    /// Constant model with the given per-attempt probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidProbability`] unless
+    /// `probability ∈ (0, 1]`.
+    pub fn constant(probability: f64) -> Result<Self, PhysicsError> {
+        AttemptModel::new(probability)?;
+        Ok(ChannelModel::Constant { probability })
+    }
+
+    /// The paper's default constant model (`p̃ = 2×10⁻⁴`).
+    pub fn paper_default() -> Self {
+        ChannelModel::Constant { probability: 2e-4 }
+    }
+
+    /// Fiber model with the given base efficiency and attenuation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidProbability`] for a bad efficiency
+    /// or [`PhysicsError::NonPositive`] for a non-positive loss.
+    pub fn fiber(base_efficiency: f64, loss_db_per_km: f64) -> Result<Self, PhysicsError> {
+        if !(base_efficiency > 0.0 && base_efficiency <= 1.0) {
+            return Err(PhysicsError::InvalidProbability {
+                name: "base_efficiency",
+                value: base_efficiency,
+            });
+        }
+        if !loss_db_per_km.is_finite() || loss_db_per_km <= 0.0 {
+            return Err(PhysicsError::NonPositive {
+                name: "loss_db_per_km",
+                value: loss_db_per_km,
+            });
+        }
+        Ok(ChannelModel::Fiber {
+            base_efficiency,
+            loss_db_per_km,
+        })
+    }
+
+    /// Per-attempt success for a channel of physical length `length_km`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::NonPositive`] for a negative length, or an
+    /// invalid-probability error if the model parameters degenerate at
+    /// this length (success underflows to zero for extreme distances).
+    pub fn attempt_probability(&self, length_km: f64) -> Result<AttemptModel, PhysicsError> {
+        if length_km < 0.0 {
+            return Err(PhysicsError::NonPositive {
+                name: "length_km",
+                value: length_km,
+            });
+        }
+        match *self {
+            ChannelModel::Constant { probability } => AttemptModel::new(probability),
+            ChannelModel::Fiber {
+                base_efficiency,
+                loss_db_per_km,
+            } => {
+                let transmissivity = 10f64.powf(-loss_db_per_km * length_km / 10.0);
+                AttemptModel::new(base_efficiency * transmissivity)
+            }
+        }
+    }
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_distance() {
+        let m = ChannelModel::constant(2e-4).unwrap();
+        let p1 = m.attempt_probability(0.0).unwrap().probability();
+        let p2 = m.attempt_probability(500.0).unwrap().probability();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn constant_validates() {
+        assert!(ChannelModel::constant(0.0).is_err());
+        assert!(ChannelModel::constant(2.0).is_err());
+    }
+
+    #[test]
+    fn fiber_validates() {
+        assert!(ChannelModel::fiber(0.0, 0.2).is_err());
+        assert!(ChannelModel::fiber(1.5, 0.2).is_err());
+        assert!(ChannelModel::fiber(0.5, 0.0).is_err());
+        assert!(ChannelModel::fiber(0.5, -1.0).is_err());
+        assert!(ChannelModel::fiber(0.5, 0.2).is_ok());
+    }
+
+    #[test]
+    fn fiber_decays_exponentially() {
+        let m = ChannelModel::fiber(1e-3, TELECOM_FIBER_LOSS_DB_PER_KM).unwrap();
+        let p0 = m.attempt_probability(0.0).unwrap().probability();
+        let p50 = m.attempt_probability(50.0).unwrap().probability();
+        let p100 = m.attempt_probability(100.0).unwrap().probability();
+        assert!((p0 - 1e-3).abs() < 1e-15);
+        // 0.2 dB/km * 50 km = 10 dB = factor 10.
+        assert!((p50 - 1e-4).abs() < 1e-12);
+        assert!((p100 - 1e-5).abs() < 1e-13);
+    }
+
+    #[test]
+    fn negative_length_rejected() {
+        let m = ChannelModel::paper_default();
+        assert!(m.attempt_probability(-1.0).is_err());
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(ChannelModel::default(), ChannelModel::paper_default());
+    }
+}

@@ -1,0 +1,396 @@
+//! Werner-state fidelity tracking and entanglement purification.
+//!
+//! The paper treats fidelity as an *extension*: "we can easily integrate a
+//! constraint into P1, which calculates the fidelity of the chosen route
+//! and ensures it remains below the fidelity target in each time slot …
+//! analogous to aforementioned capacity constraints" (§III-C). This module
+//! provides the standard Werner-state algebra needed for that extension:
+//!
+//! * [`Fidelity`] — a validated fidelity value in `[1/4, 1]` for two-qubit
+//!   Werner states,
+//! * [`swap_fidelity`] — fidelity composition under entanglement swapping,
+//! * [`route_fidelity`] — end-to-end fidelity of a multi-hop route,
+//! * [`purify`] — one round of BBPSSW/DEJMPS-style purification.
+//!
+//! `qdn-core` exposes a per-slot fidelity constraint built on these
+//! primitives (see `qdn_core::problem`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::PhysicsError;
+
+/// Fidelity of a two-qubit Werner state with respect to a maximally
+/// entangled Bell state.
+///
+/// Valid values lie in `[1/4, 1]`: `1/4` is a maximally mixed state, `1`
+/// a perfect Bell pair, and values above `1/2` are entangled.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::fidelity::Fidelity;
+///
+/// # fn main() -> Result<(), qdn_physics::PhysicsError> {
+/// let f = Fidelity::new(0.95)?;
+/// assert!(f.is_entangled());
+/// assert_eq!(f.value(), 0.95);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Fidelity(f64);
+
+impl Fidelity {
+    /// The fidelity of a perfect Bell pair.
+    pub const PERFECT: Fidelity = Fidelity(1.0);
+    /// The fidelity of the maximally mixed two-qubit state.
+    pub const MIXED: Fidelity = Fidelity(0.25);
+
+    /// Creates a fidelity value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidProbability`] unless
+    /// `value ∈ [1/4, 1]`.
+    pub fn new(value: f64) -> Result<Self, PhysicsError> {
+        if !(0.25..=1.0).contains(&value) {
+            return Err(PhysicsError::InvalidProbability {
+                name: "fidelity",
+                value,
+            });
+        }
+        Ok(Fidelity(value))
+    }
+
+    /// The raw fidelity value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the state is entangled (`F > 1/2`).
+    pub fn is_entangled(self) -> bool {
+        self.0 > 0.5
+    }
+
+    /// The Werner parameter `w = (4F − 1) / 3 ∈ [0, 1]`.
+    ///
+    /// Werner states compose multiplicatively in `w` under swapping, which
+    /// is what makes [`route_fidelity`] a simple product.
+    pub fn werner_parameter(self) -> f64 {
+        (4.0 * self.0 - 1.0) / 3.0
+    }
+
+    /// Builds a fidelity from a Werner parameter `w ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidProbability`] for out-of-range `w`.
+    pub fn from_werner_parameter(w: f64) -> Result<Self, PhysicsError> {
+        if !(0.0..=1.0).contains(&w) {
+            return Err(PhysicsError::InvalidProbability {
+                name: "werner parameter",
+                value: w,
+            });
+        }
+        Fidelity::new((3.0 * w + 1.0) / 4.0)
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F={:.4}", self.0)
+    }
+}
+
+/// Fidelity after swapping two Werner pairs with fidelities `a` and `b`.
+///
+/// For Werner states the output Werner parameter is the product of the
+/// input parameters: `w_out = w_a · w_b`, i.e.
+/// `F_out = (1 + 3·w_a·w_b) / 4 = F_a·F_b + (1−F_a)(1−F_b)/3`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::fidelity::{swap_fidelity, Fidelity};
+///
+/// # fn main() -> Result<(), qdn_physics::PhysicsError> {
+/// let f = Fidelity::new(0.9)?;
+/// let out = swap_fidelity(f, f);
+/// assert!(out.value() < f.value()); // swapping degrades fidelity
+/// assert!(out.value() > 0.8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn swap_fidelity(a: Fidelity, b: Fidelity) -> Fidelity {
+    let w = a.werner_parameter() * b.werner_parameter();
+    Fidelity::from_werner_parameter(w).expect("product of [0,1] parameters stays in [0,1]")
+}
+
+/// End-to-end fidelity of a route whose elementary links have the given
+/// fidelities: the Werner parameters multiply across hops.
+///
+/// Returns [`Fidelity::PERFECT`] for an empty route.
+pub fn route_fidelity<I>(links: I) -> Fidelity
+where
+    I: IntoIterator<Item = Fidelity>,
+{
+    let w: f64 = links.into_iter().map(Fidelity::werner_parameter).product();
+    Fidelity::from_werner_parameter(w.clamp(0.0, 1.0))
+        .expect("clamped parameter is valid")
+}
+
+/// Result of one purification round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PurificationOutcome {
+    /// Fidelity of the surviving pair, conditioned on success.
+    pub fidelity: Fidelity,
+    /// Probability that the purification round succeeds.
+    pub success_probability: f64,
+}
+
+/// One round of BBPSSW purification of two identical Werner pairs with
+/// fidelity `f`.
+///
+/// Output fidelity (conditioned on success):
+/// `F' = (F² + ((1−F)/3)²) / (F² + 2F(1−F)/3 + 5((1−F)/3)²)`,
+/// success probability = the denominator. Improves fidelity whenever
+/// `F > 1/2`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::fidelity::{purify, Fidelity};
+///
+/// # fn main() -> Result<(), qdn_physics::PhysicsError> {
+/// let f = Fidelity::new(0.8)?;
+/// let out = purify(f);
+/// assert!(out.fidelity.value() > 0.8);
+/// assert!(out.success_probability > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn purify(f: Fidelity) -> PurificationOutcome {
+    let fv = f.value();
+    let rest = (1.0 - fv) / 3.0;
+    let p_success = fv * fv + 2.0 * fv * rest + 5.0 * rest * rest;
+    let f_out = (fv * fv + rest * rest) / p_success;
+    PurificationOutcome {
+        fidelity: Fidelity::new(f_out.clamp(0.25, 1.0)).expect("clamped"),
+        success_probability: p_success,
+    }
+}
+
+/// A nested (recurrence) purification plan: how many BBPSSW levels are
+/// needed to lift an elementary fidelity to a target, and what it costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PurificationPlan {
+    /// Number of purification levels (0 = the elementary pair already
+    /// meets the target).
+    pub rounds: u32,
+    /// Fidelity after the final level.
+    pub final_fidelity: Fidelity,
+    /// Expected number of elementary pairs consumed, counting retries of
+    /// failed rounds (`2/p_success` branching per level).
+    pub expected_pairs: f64,
+}
+
+/// Plans nested entanglement purification: at each level two identical
+/// pairs from the previous level are purified into one.
+///
+/// Returns `None` when the target is unreachable within `max_rounds`
+/// levels — e.g. a non-entangled input (`F ≤ 1/2`, which purification
+/// cannot improve) or a target above the scheme's fixed point.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::fidelity::{plan_purification, Fidelity};
+///
+/// # fn main() -> Result<(), qdn_physics::PhysicsError> {
+/// let elementary = Fidelity::new(0.8)?;
+/// let plan = plan_purification(elementary, 0.95, 16).unwrap();
+/// assert!(plan.rounds >= 1);
+/// assert!(plan.final_fidelity.value() >= 0.95);
+/// assert!(plan.expected_pairs > 2.0); // at least one round of two pairs
+/// # Ok(())
+/// # }
+/// ```
+pub fn plan_purification(
+    initial: Fidelity,
+    target: f64,
+    max_rounds: u32,
+) -> Option<PurificationPlan> {
+    if initial.value() >= target {
+        return Some(PurificationPlan {
+            rounds: 0,
+            final_fidelity: initial,
+            expected_pairs: 1.0,
+        });
+    }
+    if !initial.is_entangled() {
+        return None; // purification cannot create entanglement
+    }
+    let mut fidelity = initial;
+    let mut expected_pairs = 1.0f64;
+    for round in 1..=max_rounds {
+        let outcome = purify(fidelity);
+        if outcome.fidelity.value() <= fidelity.value() + 1e-12 {
+            return None; // fixed point reached below the target
+        }
+        // Each round consumes two pairs of the previous level and retries
+        // on failure: expected input pairs double and divide by success.
+        expected_pairs = 2.0 * expected_pairs / outcome.success_probability;
+        fidelity = outcome.fidelity;
+        if fidelity.value() >= target {
+            return Some(PurificationPlan {
+                rounds: round,
+                final_fidelity: fidelity,
+                expected_pairs,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Fidelity::new(0.2).is_err());
+        assert!(Fidelity::new(1.01).is_err());
+        assert!(Fidelity::new(0.25).is_ok());
+        assert!(Fidelity::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn entanglement_threshold() {
+        assert!(!Fidelity::new(0.5).unwrap().is_entangled());
+        assert!(Fidelity::new(0.51).unwrap().is_entangled());
+    }
+
+    #[test]
+    fn werner_round_trip() {
+        for &f in &[0.25, 0.5, 0.7, 0.95, 1.0] {
+            let fid = Fidelity::new(f).unwrap();
+            let back = Fidelity::from_werner_parameter(fid.werner_parameter()).unwrap();
+            assert!((back.value() - f).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perfect_and_mixed_extremes() {
+        assert_eq!(Fidelity::PERFECT.werner_parameter(), 1.0);
+        assert_eq!(Fidelity::MIXED.werner_parameter(), 0.0);
+    }
+
+    #[test]
+    fn swap_degrades_fidelity() {
+        let f = Fidelity::new(0.9).unwrap();
+        let out = swap_fidelity(f, f);
+        assert!(out.value() < 0.9);
+        // Explicit formula check: F_out = F² + (1-F)²/3 ... via Werner:
+        let w = f.werner_parameter();
+        let expected = (3.0 * w * w + 1.0) / 4.0;
+        assert!((out.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_with_perfect_is_identity() {
+        let f = Fidelity::new(0.8).unwrap();
+        let out = swap_fidelity(f, Fidelity::PERFECT);
+        assert!((out.value() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_fidelity_is_product_of_parameters() {
+        let f = Fidelity::new(0.9).unwrap();
+        let route = route_fidelity([f, f, f]);
+        let w = f.werner_parameter();
+        let expected = (3.0 * w * w * w + 1.0) / 4.0;
+        assert!((route.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_fidelity_empty_is_perfect() {
+        assert_eq!(route_fidelity(std::iter::empty()), Fidelity::PERFECT);
+    }
+
+    #[test]
+    fn route_fidelity_decreases_with_hops() {
+        let f = Fidelity::new(0.9).unwrap();
+        let mut prev = 1.0;
+        for hops in 1..8 {
+            let route = route_fidelity(std::iter::repeat_n(f, hops));
+            assert!(route.value() < prev);
+            prev = route.value();
+        }
+    }
+
+    #[test]
+    fn purification_improves_entangled_states() {
+        for &fv in &[0.6, 0.7, 0.8, 0.9, 0.99] {
+            let f = Fidelity::new(fv).unwrap();
+            let out = purify(f);
+            assert!(out.fidelity.value() > fv, "F={fv}");
+            assert!((0.0..=1.0).contains(&out.success_probability));
+        }
+    }
+
+    #[test]
+    fn purification_fixed_points() {
+        // F = 1 is a fixed point.
+        let out = purify(Fidelity::PERFECT);
+        assert!((out.fidelity.value() - 1.0).abs() < 1e-12);
+        assert!((out.success_probability - 1.0).abs() < 1e-12);
+        // F = 1/4 (Werner parameter 0) stays at 1/4.
+        let out = purify(Fidelity::MIXED);
+        assert!((out.fidelity.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Fidelity::new(0.5).unwrap().to_string(), "F=0.5000");
+    }
+
+    #[test]
+    fn plan_zero_rounds_when_already_met() {
+        let f = Fidelity::new(0.9).unwrap();
+        let plan = plan_purification(f, 0.85, 10).unwrap();
+        assert_eq!(plan.rounds, 0);
+        assert_eq!(plan.final_fidelity, f);
+        assert_eq!(plan.expected_pairs, 1.0);
+    }
+
+    #[test]
+    fn plan_reaches_reachable_target() {
+        let plan = plan_purification(Fidelity::new(0.75).unwrap(), 0.9, 20).unwrap();
+        assert!(plan.rounds >= 1);
+        assert!(plan.final_fidelity.value() >= 0.9);
+        // More rounds means strictly more pairs.
+        let easier = plan_purification(Fidelity::new(0.75).unwrap(), 0.8, 20).unwrap();
+        assert!(easier.rounds <= plan.rounds);
+        assert!(easier.expected_pairs <= plan.expected_pairs);
+    }
+
+    #[test]
+    fn plan_rejects_separable_input() {
+        assert!(plan_purification(Fidelity::new(0.5).unwrap(), 0.9, 50).is_none());
+        assert!(plan_purification(Fidelity::new(0.3).unwrap(), 0.9, 50).is_none());
+    }
+
+    #[test]
+    fn plan_rejects_unreachable_target_in_round_budget() {
+        // One round from 0.6 cannot reach 0.99.
+        assert!(plan_purification(Fidelity::new(0.6).unwrap(), 0.99, 1).is_none());
+    }
+
+    #[test]
+    fn plan_cost_grows_with_distance_to_target() {
+        let cheap = plan_purification(Fidelity::new(0.85).unwrap(), 0.9, 20).unwrap();
+        let dear = plan_purification(Fidelity::new(0.7).unwrap(), 0.9, 20).unwrap();
+        assert!(dear.expected_pairs > cheap.expected_pairs);
+    }
+}

@@ -1,0 +1,107 @@
+//! Entanglement-link physics for quantum data networks.
+//!
+//! This crate models the physical layer of the paper's QDN (§II, §III-B):
+//!
+//! * [`prob`] — numerically stable probability kernels
+//!   (`1 − (1 − p)^A` with `p ≈ 2×10⁻⁴` and `A = 4000` underflows naive
+//!   formulas),
+//! * [`timing`] — slot timing: one entanglement attempt takes ≈ 165 µs and
+//!   entanglement decoheres after ≈ 1.46 s, which bounds the attempts per
+//!   slot,
+//! * [`attempts`] — the per-channel attempt model `p_e = 1 − (1 − p̃_e)^A`,
+//! * [`link`] — the multi-channel link model `P_e(n) = 1 − (1 − p_e)^n`
+//!   (paper Eq. 1) and its logarithm/derivatives used by the optimizer,
+//! * [`fiber`] — distance-dependent per-attempt success for fiber channels,
+//! * [`swap`] — entanglement swapping (assumed near-perfect by the paper;
+//!   configurable here and folded into the route product as the paper
+//!   notes below Eq. 2),
+//! * [`monte_carlo`] — attempt-level Monte-Carlo simulation used to
+//!   validate the analytic model and to produce realized outcomes,
+//! * [`fidelity`] — Werner-state fidelity and purification, the paper's
+//!   "fidelity constraint" extension hook (§III-C).
+//!
+//! # Example
+//!
+//! ```
+//! use qdn_physics::attempts::AttemptModel;
+//! use qdn_physics::link::LinkModel;
+//!
+//! # fn main() -> Result<(), qdn_physics::PhysicsError> {
+//! // Paper defaults: p̃ = 2e-4 per attempt, 4000 attempts per slot.
+//! let attempt = AttemptModel::new(2e-4)?;
+//! let link = LinkModel::from_attempts(attempt, 4000);
+//! let p_e = link.channel_success();
+//! assert!((p_e - 0.55).abs() < 0.01);        // p_e ≈ 0.551
+//! assert!(link.success(3) > link.success(1)); // more channels help
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod attempts;
+pub mod fiber;
+pub mod fidelity;
+pub mod link;
+pub mod monte_carlo;
+pub mod prob;
+pub mod swap;
+pub mod timing;
+
+pub use attempts::AttemptModel;
+pub use fiber::ChannelModel;
+pub use link::LinkModel;
+pub use swap::SwapModel;
+pub use timing::SlotTiming;
+
+/// Error type for invalid physical parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicsError {
+    /// A probability parameter was outside `[0, 1]` (or a required open
+    /// sub-interval).
+    InvalidProbability {
+        /// Parameter name for diagnostics.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A physical quantity that must be positive was not.
+    NonPositive {
+        /// Parameter name for diagnostics.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for PhysicsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhysicsError::InvalidProbability { name, value } => {
+                write!(f, "{name} must be a probability in [0, 1], got {value}")
+            }
+            PhysicsError::NonPositive { name, value } => {
+                write!(f, "{name} must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhysicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = PhysicsError::InvalidProbability {
+            name: "p_attempt",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("p_attempt"));
+        let e = PhysicsError::NonPositive {
+            name: "length_km",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("positive"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Multi-channel quantum-link success model (paper Eq. 1).
+//!
+//! A quantum link on edge `e = (u, v)` consumes one qubit at `u`, one
+//! qubit at `v`, and one quantum channel per allocated unit. With
+//! per-channel per-slot success `p_e`, using `n_e` channels in parallel
+//! yields `P_e(n_e) = 1 − (1 − p_e)^{n_e}`. The optimizer works with the
+//! logarithm `ln P_e(n)` (concave in `n`, paper Prop. 1) and its
+//! derivative, both exposed here for real-valued `n` because Algorithm 2
+//! relaxes the integrality constraint.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attempts::AttemptModel;
+use crate::prob::{at_least_one, d_ln_at_least_one, ln_at_least_one};
+use crate::PhysicsError;
+
+/// Per-edge link success model: channel probability `p_e` fixed, success
+/// as a function of the number of channels `n`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::link::LinkModel;
+///
+/// # fn main() -> Result<(), qdn_physics::PhysicsError> {
+/// let link = LinkModel::new(0.551)?;
+/// assert!((link.success(1) - 0.551).abs() < 1e-12);
+/// // Diminishing returns: concavity of ln P.
+/// let gain1 = link.ln_success(2.0) - link.ln_success(1.0);
+/// let gain2 = link.ln_success(3.0) - link.ln_success(2.0);
+/// assert!(gain1 > gain2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    channel_success: f64,
+}
+
+impl LinkModel {
+    /// Creates a link model from the per-channel per-slot success
+    /// probability `p_e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidProbability`] unless
+    /// `channel_success ∈ (0, 1)`. The open interval matters: `p_e = 0`
+    /// would make every allocation useless and `p_e = 1` makes the
+    /// optimization degenerate (the paper's `p_min` and `log(2 − p_min)`
+    /// bounds assume `p ∈ (0, 1)`).
+    pub fn new(channel_success: f64) -> Result<Self, PhysicsError> {
+        if !(channel_success > 0.0 && channel_success < 1.0) {
+            return Err(PhysicsError::InvalidProbability {
+                name: "channel success probability",
+                value: channel_success,
+            });
+        }
+        Ok(LinkModel { channel_success })
+    }
+
+    /// Builds the model from an attempt model and attempt count:
+    /// `p_e = 1 − (1 − p̃)^A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting probability is degenerate (0 or 1), which
+    /// cannot happen for valid [`AttemptModel`] values and `attempts ≥ 1`
+    /// unless `p̃ = 1`.
+    pub fn from_attempts(attempts_model: AttemptModel, attempts: u64) -> Self {
+        let p = attempts_model.success_after(attempts.max(1));
+        LinkModel::new(p).expect("attempt composition yields p in (0,1)")
+    }
+
+    /// The paper's default link model: `p̃ = 2×10⁻⁴`, `A = 4000`
+    /// (`p_e ≈ 0.5507`).
+    pub fn paper_default() -> Self {
+        LinkModel::from_attempts(AttemptModel::paper_default(), 4000)
+    }
+
+    /// Per-channel per-slot success probability `p_e`.
+    #[inline]
+    pub fn channel_success(&self) -> f64 {
+        self.channel_success
+    }
+
+    /// Link success with `n` integer channels: `P_e(n) = 1 − (1 − p_e)^n`.
+    pub fn success(&self, n: u32) -> f64 {
+        at_least_one(self.channel_success, n as f64)
+    }
+
+    /// Link success for real-valued `n ≥ 0` (continuous relaxation).
+    pub fn success_real(&self, n: f64) -> f64 {
+        at_least_one(self.channel_success, n)
+    }
+
+    /// `ln P_e(n)` for real-valued `n > 0`; strictly concave in `n`.
+    pub fn ln_success(&self, n: f64) -> f64 {
+        ln_at_least_one(self.channel_success, n)
+    }
+
+    /// Derivative `d/dn ln P_e(n)`; positive, strictly decreasing.
+    pub fn d_ln_success(&self, n: f64) -> f64 {
+        d_ln_at_least_one(self.channel_success, n)
+    }
+
+    /// Marginal gain of the `n+1`-th channel in log space:
+    /// `ln P_e(n+1) − ln P_e(n)`.
+    pub fn marginal_ln_gain(&self, n: u32) -> f64 {
+        if n == 0 {
+            return f64::INFINITY; // from impossible to possible
+        }
+        self.ln_success((n + 1) as f64) - self.ln_success(n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_open_interval() {
+        assert!(LinkModel::new(0.0).is_err());
+        assert!(LinkModel::new(1.0).is_err());
+        assert!(LinkModel::new(-0.5).is_err());
+        assert!(LinkModel::new(f64::NAN).is_err());
+        assert!(LinkModel::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn paper_default_probability() {
+        let l = LinkModel::paper_default();
+        assert!((l.channel_success() - 0.5507).abs() < 1e-3);
+    }
+
+    #[test]
+    fn success_one_channel_equals_p() {
+        let l = LinkModel::new(0.37).unwrap();
+        assert!((l.success(1) - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_monotone_and_bounded() {
+        let l = LinkModel::new(0.551).unwrap();
+        let mut prev = 0.0;
+        for n in 1..12 {
+            let p = l.success(n);
+            assert!(p > prev && p < 1.0, "n={n}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn integer_and_real_agree() {
+        let l = LinkModel::new(0.551).unwrap();
+        for n in 1..8u32 {
+            assert!((l.success(n) - l.success_real(n as f64)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn ln_success_concave() {
+        let l = LinkModel::new(0.551).unwrap();
+        // Second differences negative.
+        let f = |n: f64| l.ln_success(n);
+        for n in 1..10 {
+            let n = n as f64;
+            let second = f(n + 1.0) - 2.0 * f(n) + f(n - 1.0 + 1e-9);
+            assert!(second < 0.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn derivative_consistent_with_marginals() {
+        let l = LinkModel::new(0.551).unwrap();
+        // Mean value theorem: marginal gain between n and n+1 lies between
+        // the endpoint derivatives.
+        for n in 1..8u32 {
+            let gain = l.marginal_ln_gain(n);
+            let d_lo = l.d_ln_success((n + 1) as f64);
+            let d_hi = l.d_ln_success(n as f64);
+            assert!(gain >= d_lo && gain <= d_hi, "n={n}");
+        }
+    }
+
+    #[test]
+    fn marginal_from_zero_is_infinite() {
+        let l = LinkModel::new(0.3).unwrap();
+        assert_eq!(l.marginal_ln_gain(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn from_attempts_composes() {
+        let l = LinkModel::from_attempts(AttemptModel::new(0.01).unwrap(), 100);
+        let expected = 1.0 - 0.99f64.powi(100);
+        assert!((l.channel_success() - expected).abs() < 1e-12);
+    }
+}

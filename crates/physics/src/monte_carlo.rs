@@ -1,0 +1,319 @@
+//! Attempt-level Monte-Carlo simulation of entanglement establishment.
+//!
+//! The analytic model (`P_e(n) = 1 − (1 − p_e)^n`) is what the paper's
+//! algorithms optimize; this module simulates the underlying physical
+//! process so that:
+//!
+//! * the simulator can report *realized* EC outcomes (Bernoulli draws),
+//! * the analytic formulas are validated against the attempt-level
+//!   process in tests,
+//! * attempt-latency statistics (which attempt succeeded first) are
+//!   available for timing studies.
+
+use rand::{Rng, RngExt};
+
+use crate::link::LinkModel;
+use crate::swap::SwapModel;
+
+/// Outcome of simulating one channel for a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelOutcome {
+    /// Whether the channel established entanglement within the slot.
+    pub succeeded: bool,
+    /// 1-based index of the first successful attempt, if any.
+    pub first_success_attempt: Option<u64>,
+}
+
+/// Simulates one channel making `attempts` attempts, each succeeding with
+/// probability `p_attempt`.
+///
+/// Uses inverse-transform sampling of the geometric distribution (a single
+/// `rng` draw) instead of looping over thousands of attempts, which keeps
+/// full-network simulations fast while remaining exactly faithful to the
+/// i.i.d. attempt process.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::monte_carlo::simulate_channel;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let out = simulate_channel(&mut rng, 0.5, 10);
+/// if out.succeeded {
+///     assert!(out.first_success_attempt.unwrap() <= 10);
+/// }
+/// ```
+pub fn simulate_channel<R: Rng + ?Sized>(
+    rng: &mut R,
+    p_attempt: f64,
+    attempts: u64,
+) -> ChannelOutcome {
+    if p_attempt <= 0.0 || attempts == 0 {
+        return ChannelOutcome {
+            succeeded: false,
+            first_success_attempt: None,
+        };
+    }
+    if p_attempt >= 1.0 {
+        return ChannelOutcome {
+            succeeded: true,
+            first_success_attempt: Some(1),
+        };
+    }
+    // Geometric sampling: first success at attempt k ~ ceil(ln(U)/ln(1-p)).
+    let u: f64 = rng.random();
+    // Guard against u == 0 (ln -> -inf) by treating it as immediate success.
+    let first = if u <= f64::MIN_POSITIVE {
+        1
+    } else {
+        (u.ln() / f64::ln_1p(-p_attempt)).ceil().max(1.0) as u64
+    };
+    if first <= attempts {
+        ChannelOutcome {
+            succeeded: true,
+            first_success_attempt: Some(first),
+        }
+    } else {
+        ChannelOutcome {
+            succeeded: false,
+            first_success_attempt: None,
+        }
+    }
+}
+
+/// Outcome of simulating a multi-channel link for a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkOutcome {
+    /// Whether at least one channel succeeded.
+    pub succeeded: bool,
+    /// Number of channels that succeeded.
+    pub successful_channels: u32,
+}
+
+/// Simulates a link using `channels` parallel channels, each running the
+/// full attempt process.
+///
+/// Equivalent to `channels` independent [`simulate_channel`] calls, but
+/// draws a single binomial sample per link using the per-slot channel
+/// success probability (the two processes have identical distributions
+/// because channels are independent).
+pub fn simulate_link<R: Rng + ?Sized>(
+    rng: &mut R,
+    link: &LinkModel,
+    channels: u32,
+) -> LinkOutcome {
+    let p = link.channel_success();
+    let mut successes = 0u32;
+    for _ in 0..channels {
+        if rng.random_bool(p) {
+            successes += 1;
+        }
+    }
+    LinkOutcome {
+        succeeded: successes > 0,
+        successful_channels: successes,
+    }
+}
+
+/// Simulates end-to-end entanglement over a route: every link must
+/// succeed, and every intermediate swap must succeed.
+///
+/// `links` yields `(link_model, allocated_channels)` per edge, in route
+/// order.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::link::LinkModel;
+/// use qdn_physics::monte_carlo::simulate_route;
+/// use qdn_physics::swap::SwapModel;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let link = LinkModel::paper_default();
+/// let ok = simulate_route(&mut rng, [(link, 3), (link, 3)], &SwapModel::perfect());
+/// // With 3 channels per edge each edge succeeds w.p. ~0.91.
+/// let _ = ok;
+/// ```
+pub fn simulate_route<R, I>(rng: &mut R, links: I, swap: &SwapModel) -> bool
+where
+    R: Rng + ?Sized,
+    I: IntoIterator<Item = (LinkModel, u32)>,
+{
+    let mut hops = 0usize;
+    for (link, channels) in links {
+        hops += 1;
+        if !simulate_link(rng, &link, channels).succeeded {
+            return false;
+        }
+    }
+    // All links up; now the swaps.
+    for _ in 0..SwapModel::swaps_for_hops(hops) {
+        if !rng.random_bool(swap.success()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Estimates a success probability by repeated simulation.
+///
+/// Returns the fraction of `trials` in which `sample` returned `true`.
+/// Intended for tests and calibration, not hot paths.
+pub fn estimate_probability<R, F>(rng: &mut R, trials: u64, mut sample: F) -> f64
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> bool,
+{
+    if trials == 0 {
+        return 0.0;
+    }
+    let mut hits = 0u64;
+    for _ in 0..trials {
+        if sample(rng) {
+            hits += 1;
+        }
+    }
+    hits as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attempts::AttemptModel;
+    use crate::prob::at_least_one;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn channel_zero_probability_never_succeeds() {
+        let mut r = rng(1);
+        let out = simulate_channel(&mut r, 0.0, 1000);
+        assert!(!out.succeeded);
+        assert_eq!(out.first_success_attempt, None);
+    }
+
+    #[test]
+    fn channel_certain_probability_succeeds_immediately() {
+        let mut r = rng(1);
+        let out = simulate_channel(&mut r, 1.0, 5);
+        assert!(out.succeeded);
+        assert_eq!(out.first_success_attempt, Some(1));
+    }
+
+    #[test]
+    fn channel_zero_attempts_never_succeeds() {
+        let mut r = rng(1);
+        assert!(!simulate_channel(&mut r, 0.9, 0).succeeded);
+    }
+
+    #[test]
+    fn channel_success_rate_matches_analytic() {
+        let mut r = rng(42);
+        let p_attempt = 2e-4;
+        let attempts = 4000;
+        let est = estimate_probability(&mut r, 40_000, |r| {
+            simulate_channel(r, p_attempt, attempts).succeeded
+        });
+        let analytic = at_least_one(p_attempt, attempts as f64);
+        assert!(
+            (est - analytic).abs() < 0.01,
+            "estimate {est} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn first_success_attempt_within_bounds() {
+        let mut r = rng(7);
+        for _ in 0..1000 {
+            let out = simulate_channel(&mut r, 0.3, 17);
+            if let Some(k) = out.first_success_attempt {
+                assert!((1..=17).contains(&k));
+                assert!(out.succeeded);
+            }
+        }
+    }
+
+    #[test]
+    fn first_success_attempt_mean_matches_geometric() {
+        // Mean of a geometric(p) truncated to success within A attempts.
+        let mut r = rng(11);
+        let p = 0.25;
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for _ in 0..200_000 {
+            if let Some(k) = simulate_channel(&mut r, p, 1_000_000).first_success_attempt {
+                sum += k as f64;
+                count += 1;
+            }
+        }
+        let mean = sum / count as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean} should be ~1/p=4");
+    }
+
+    #[test]
+    fn link_success_matches_analytic() {
+        let mut r = rng(3);
+        let link = LinkModel::from_attempts(AttemptModel::paper_default(), 4000);
+        for channels in [1u32, 2, 4] {
+            let est = estimate_probability(&mut r, 30_000, |r| {
+                simulate_link(r, &link, channels).succeeded
+            });
+            let analytic = link.success(channels);
+            assert!(
+                (est - analytic).abs() < 0.012,
+                "channels={channels}: {est} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn link_zero_channels_never_succeeds() {
+        let mut r = rng(5);
+        let link = LinkModel::paper_default();
+        assert!(!simulate_link(&mut r, &link, 0).succeeded);
+    }
+
+    #[test]
+    fn route_success_matches_analytic_product() {
+        let mut r = rng(9);
+        let link = LinkModel::paper_default();
+        let swap = SwapModel::perfect();
+        let est = estimate_probability(&mut r, 30_000, |r| {
+            simulate_route(r, [(link, 2), (link, 3)], &swap)
+        });
+        let analytic = link.success(2) * link.success(3);
+        assert!(
+            (est - analytic).abs() < 0.012,
+            "estimate {est} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn route_with_lossy_swap_reduced() {
+        let mut r = rng(13);
+        let link = LinkModel::new(0.9999).unwrap();
+        let swap = SwapModel::new(0.5).unwrap();
+        // 3-hop route, links nearly certain -> success dominated by 2 swaps.
+        let est = estimate_probability(&mut r, 30_000, |r| {
+            simulate_route(r, [(link, 4), (link, 4), (link, 4)], &swap)
+        });
+        assert!((est - 0.25).abs() < 0.02, "estimate {est} should be ~0.25");
+    }
+
+    #[test]
+    fn empty_route_always_succeeds() {
+        let mut r = rng(17);
+        assert!(simulate_route(&mut r, std::iter::empty(), &SwapModel::perfect()));
+    }
+
+    #[test]
+    fn estimate_probability_zero_trials() {
+        let mut r = rng(19);
+        assert_eq!(estimate_probability(&mut r, 0, |_| true), 0.0);
+    }
+}

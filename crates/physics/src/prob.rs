@@ -1,0 +1,250 @@
+//! Numerically stable probability kernels.
+//!
+//! The QDN model composes probabilities of the form `1 − (1 − p)^k` at two
+//! levels: per-channel over attempts (`p ≈ 2×10⁻⁴`, `k = 4000`) and
+//! per-link over channels. Naive evaluation of `(1 − p)^k` loses precision
+//! for tiny `p`; the optimizer additionally needs `log` and derivative
+//! forms that stay finite for fractional `k` (the continuous relaxation of
+//! the allocation problem). Everything here works in log space via
+//! [`f64::ln_1p`] / [`f64::exp_m1`].
+
+/// `1 − (1 − p)^k` for real `k ≥ 0`, computed as `−expm1(k·ln1p(−p))`.
+///
+/// This is the probability that at least one of `k` independent trials
+/// with success probability `p` succeeds. Stable for tiny `p` and large
+/// `k`.
+///
+/// # Panics
+///
+/// Debug-asserts `p ∈ [0, 1]` and `k ≥ 0`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::prob::at_least_one;
+///
+/// let p = at_least_one(2e-4, 4000.0);
+/// assert!((p - 0.5507).abs() < 1e-3); // 1 - exp(-0.8) ≈ 0.5507
+/// assert_eq!(at_least_one(0.0, 100.0), 0.0);
+/// assert_eq!(at_least_one(1.0, 1.0), 1.0);
+/// ```
+pub fn at_least_one(p: f64, k: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "p={p} must be a probability");
+    debug_assert!(k >= 0.0, "k={k} must be non-negative");
+    if p >= 1.0 && k > 0.0 {
+        return 1.0;
+    }
+    if k == 0.0 {
+        return 0.0;
+    }
+    -f64::exp_m1(k * f64::ln_1p(-p))
+}
+
+/// `ln(1 − (1 − p)^k)` for real `k > 0`, computed as
+/// `ln(−expm1(k·ln1p(−p)))`.
+///
+/// Returns `-inf` when the success probability is 0 (`p = 0`), and `0.0`
+/// when it is 1 (`p = 1, k > 0`).
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::prob::{at_least_one, ln_at_least_one};
+///
+/// let p = 0.55;
+/// let direct = at_least_one(p, 3.0).ln();
+/// let stable = ln_at_least_one(p, 3.0);
+/// assert!((direct - stable).abs() < 1e-12);
+/// ```
+pub fn ln_at_least_one(p: f64, k: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "p={p} must be a probability");
+    debug_assert!(k >= 0.0, "k={k} must be non-negative");
+    if p >= 1.0 && k > 0.0 {
+        return 0.0;
+    }
+    if p <= 0.0 || k == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let ln_fail = k * f64::ln_1p(-p); // ln((1-p)^k), <= 0
+    // ln(1 - e^{ln_fail}); use ln(-expm1(x)) which is stable for x < 0.
+    (-f64::exp_m1(ln_fail)).ln()
+}
+
+/// First derivative of `k ↦ ln(1 − (1 − p)^k)` at real `k > 0`.
+///
+/// With `β = 1 − p` and `ρ = β^k`, this is `−ln(β)·ρ / (1 − ρ)`, which is
+/// positive and strictly decreasing in `k` (the log-success function is
+/// increasing and strictly concave — paper Prop. 1 relies on this).
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::prob::d_ln_at_least_one;
+///
+/// let d1 = d_ln_at_least_one(0.5, 1.0);
+/// let d2 = d_ln_at_least_one(0.5, 2.0);
+/// assert!(d1 > d2 && d2 > 0.0); // decreasing marginal gain
+/// ```
+pub fn d_ln_at_least_one(p: f64, k: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p) || p == 1.0);
+    debug_assert!(k > 0.0);
+    if p >= 1.0 {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let ln_beta = f64::ln_1p(-p); // ln(1-p) < 0
+    let ln_rho = k * ln_beta;
+    // rho/(1-rho) computed stably: exp(ln_rho) / (-expm1(ln_rho)).
+    let ratio = ln_rho.exp() / (-f64::exp_m1(ln_rho));
+    -ln_beta * ratio
+}
+
+/// Probability that *all* of the given independent events succeed:
+/// `Π pᵢ`, computed in log space for stability.
+///
+/// Returns 1 for an empty iterator.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::prob::product_success;
+///
+/// let p = product_success([0.9, 0.8, 0.5]);
+/// assert!((p - 0.36).abs() < 1e-12);
+/// assert_eq!(product_success(std::iter::empty::<f64>()), 1.0);
+/// ```
+pub fn product_success<I>(probs: I) -> f64
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut ln_sum = 0.0;
+    for p in probs {
+        debug_assert!((0.0..=1.0).contains(&p), "p={p} must be a probability");
+        if p <= 0.0 {
+            return 0.0;
+        }
+        ln_sum += p.ln();
+    }
+    ln_sum.exp()
+}
+
+/// Clamps a floating value into `[0, 1]`, mapping NaN to 0.
+///
+/// Useful at API boundaries where accumulated rounding can push a
+/// probability infinitesimally outside the unit interval.
+pub fn clamp_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_one_edge_cases() {
+        assert_eq!(at_least_one(0.0, 1000.0), 0.0);
+        assert_eq!(at_least_one(1.0, 1.0), 1.0);
+        assert_eq!(at_least_one(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn at_least_one_matches_naive_for_moderate_values() {
+        for &(p, k) in &[(0.3f64, 2.0), (0.5, 3.0), (0.9, 1.0), (0.1, 10.0)] {
+            let naive = 1.0 - (1.0 - p).powf(k);
+            assert!((at_least_one(p, k) - naive).abs() < 1e-12, "p={p} k={k}");
+        }
+    }
+
+    #[test]
+    fn at_least_one_paper_default() {
+        // p̃=2e-4, A=4000: 1 - (1-2e-4)^4000 = 1 - exp(4000*ln(0.9998)).
+        let p = at_least_one(2e-4, 4000.0);
+        let exact = 1.0 - (4000.0 * (1.0f64 - 2e-4).ln()).exp();
+        assert!((p - exact).abs() < 1e-12);
+        assert!((0.5505..0.5510).contains(&p));
+    }
+
+    #[test]
+    fn at_least_one_is_monotone_in_k() {
+        let mut prev = 0.0;
+        for k in 1..20 {
+            let cur = at_least_one(0.2, k as f64);
+            assert!(cur > prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn at_least_one_tiny_p_no_underflow() {
+        // Naive: (1 - 1e-12)^10 rounds to 1.0 - answer would be 0.
+        let p = at_least_one(1e-12, 10.0);
+        assert!(p > 9.9e-12 && p < 1.01e-11);
+    }
+
+    #[test]
+    fn ln_at_least_one_consistent() {
+        for &(p, k) in &[(0.551, 1.0), (0.551, 2.5), (0.9, 4.0), (0.05, 7.0)] {
+            let a = ln_at_least_one(p, k);
+            let b = at_least_one(p, k).ln();
+            assert!((a - b).abs() < 1e-12, "p={p} k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ln_at_least_one_edges() {
+        assert_eq!(ln_at_least_one(0.0, 5.0), f64::NEG_INFINITY);
+        assert_eq!(ln_at_least_one(1.0, 5.0), 0.0);
+        assert_eq!(ln_at_least_one(0.5, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for &(p, k) in &[(0.551, 1.0), (0.551, 3.0), (0.2, 2.0), (0.8, 1.5)] {
+            let fd = (ln_at_least_one(p, k + h) - ln_at_least_one(p, k - h)) / (2.0 * h);
+            let an = d_ln_at_least_one(p, k);
+            assert!(
+                (fd - an).abs() < 1e-5,
+                "p={p} k={k}: fd={fd} analytic={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_is_positive_and_decreasing() {
+        let mut prev = f64::INFINITY;
+        for k in 1..30 {
+            let d = d_ln_at_least_one(0.551, k as f64);
+            assert!(d > 0.0);
+            assert!(d < prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn derivative_degenerate_p() {
+        assert_eq!(d_ln_at_least_one(1.0, 2.0), 0.0);
+        assert_eq!(d_ln_at_least_one(0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn product_success_basics() {
+        assert_eq!(product_success([1.0, 1.0]), 1.0);
+        assert_eq!(product_success([0.5, 0.0, 0.9]), 0.0);
+        assert!((product_success([0.5, 0.5]) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamp_probability_bounds() {
+        assert_eq!(clamp_probability(-0.1), 0.0);
+        assert_eq!(clamp_probability(1.1), 1.0);
+        assert_eq!(clamp_probability(0.42), 0.42);
+        assert_eq!(clamp_probability(f64::NAN), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Entanglement swapping.
+//!
+//! The paper assumes swapping succeeds with probability ≈ 1 (citing recent
+//! error-corrected encodings) but notes that a swap failure probability
+//! "can also be considered as part of the overall failure probability …
+//! just incorporating a product term in Equation 2" (§II-4, §III-C). This
+//! module implements exactly that: a configurable per-swap success folded
+//! into the route success product.
+
+use serde::{Deserialize, Serialize};
+
+use crate::prob::product_success;
+use crate::PhysicsError;
+
+/// Per-node entanglement-swapping success model.
+///
+/// A route with `h` hops performs `h − 1` swaps (one at each intermediate
+/// node), so end-to-end success is
+/// `P(route) = q_swap^(h−1) · Π_e P_e(n_e)`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_physics::swap::SwapModel;
+///
+/// # fn main() -> Result<(), qdn_physics::PhysicsError> {
+/// let perfect = SwapModel::perfect();
+/// assert_eq!(perfect.route_factor(3), 1.0);
+///
+/// let lossy = SwapModel::new(0.9)?;
+/// assert!((lossy.route_factor(3) - 0.81).abs() < 1e-12); // 2 swaps
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwapModel {
+    success: f64,
+}
+
+impl SwapModel {
+    /// Swapping always succeeds — the paper's default assumption.
+    pub fn perfect() -> Self {
+        SwapModel { success: 1.0 }
+    }
+
+    /// Creates a swap model with the given per-swap success probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidProbability`] unless
+    /// `success ∈ (0, 1]`.
+    pub fn new(success: f64) -> Result<Self, PhysicsError> {
+        if !(success > 0.0 && success <= 1.0) {
+            return Err(PhysicsError::InvalidProbability {
+                name: "swap success probability",
+                value: success,
+            });
+        }
+        Ok(SwapModel { success })
+    }
+
+    /// Per-swap success probability.
+    pub fn success(&self) -> f64 {
+        self.success
+    }
+
+    /// Number of swaps a route with `hops` edges performs.
+    pub fn swaps_for_hops(hops: usize) -> usize {
+        hops.saturating_sub(1)
+    }
+
+    /// The multiplicative factor swapping contributes to the success of a
+    /// route with `hops` edges: `q^(hops−1)`.
+    pub fn route_factor(&self, hops: usize) -> f64 {
+        if self.success == 1.0 {
+            return 1.0;
+        }
+        self.success.powi(Self::swaps_for_hops(hops) as i32)
+    }
+
+    /// End-to-end route success: swap factor times the product of link
+    /// successes.
+    ///
+    /// `link_successes` must yield one probability per edge of the route.
+    pub fn route_success<I>(&self, link_successes: I) -> f64
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let probs: Vec<f64> = link_successes.into_iter().collect();
+        self.route_factor(probs.len()) * product_success(probs)
+    }
+}
+
+impl Default for SwapModel {
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_swap_factor_is_one() {
+        let s = SwapModel::perfect();
+        for hops in 0..10 {
+            assert_eq!(s.route_factor(hops), 1.0);
+        }
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(SwapModel::new(0.0).is_err());
+        assert!(SwapModel::new(1.1).is_err());
+        assert!(SwapModel::new(1.0).is_ok());
+        assert!(SwapModel::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn swaps_count() {
+        assert_eq!(SwapModel::swaps_for_hops(0), 0);
+        assert_eq!(SwapModel::swaps_for_hops(1), 0);
+        assert_eq!(SwapModel::swaps_for_hops(2), 1);
+        assert_eq!(SwapModel::swaps_for_hops(5), 4);
+    }
+
+    #[test]
+    fn route_factor_exponentiates() {
+        let s = SwapModel::new(0.5).unwrap();
+        assert_eq!(s.route_factor(1), 1.0);
+        assert_eq!(s.route_factor(2), 0.5);
+        assert_eq!(s.route_factor(4), 0.125);
+    }
+
+    #[test]
+    fn route_success_perfect_swap_is_product() {
+        let s = SwapModel::perfect();
+        let p = s.route_success([0.9, 0.8]);
+        assert!((p - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_success_with_lossy_swap() {
+        let s = SwapModel::new(0.9).unwrap();
+        // 3 links -> 2 swaps.
+        let p = s.route_success([0.5, 0.5, 0.5]);
+        assert!((p - 0.81 * 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_route_succeeds() {
+        // A zero-hop route (source == destination) trivially succeeds.
+        assert_eq!(SwapModel::perfect().route_success(std::iter::empty()), 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the entanglement physics kernels.
+
+use proptest::prelude::*;
+use qdn_physics::fidelity::{purify, route_fidelity, swap_fidelity, Fidelity};
+use qdn_physics::link::LinkModel;
+use qdn_physics::prob::{at_least_one, d_ln_at_least_one, ln_at_least_one};
+use qdn_physics::swap::SwapModel;
+
+proptest! {
+    /// `at_least_one` is a probability, monotone in both arguments.
+    #[test]
+    fn at_least_one_bounds(p in 1e-9f64..1.0, k in 0.0f64..10_000.0) {
+        let v = at_least_one(p, k);
+        prop_assert!((0.0..=1.0).contains(&v));
+        let v_more_k = at_least_one(p, k + 1.0);
+        prop_assert!(v_more_k >= v);
+        let v_more_p = at_least_one((p * 1.5).min(1.0), k);
+        if k > 0.0 {
+            prop_assert!(v_more_p >= v - 1e-15);
+        }
+    }
+
+    /// `ln_at_least_one` agrees with the direct computation where the
+    /// direct computation is well-conditioned.
+    #[test]
+    fn ln_matches_direct(p in 0.01f64..0.99, k in 0.5f64..50.0) {
+        let stable = ln_at_least_one(p, k);
+        let direct = at_least_one(p, k).ln();
+        prop_assert!((stable - direct).abs() < 1e-9,
+            "p={p} k={k}: stable={stable} direct={direct}");
+    }
+
+    /// The derivative is non-negative and decreasing (concavity).
+    #[test]
+    fn derivative_monotone(p in 0.01f64..0.99, k in 1.0f64..50.0) {
+        let d1 = d_ln_at_least_one(p, k);
+        let d2 = d_ln_at_least_one(p, k + 1.0);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!(d2 <= d1 + 1e-15);
+    }
+
+    /// LinkModel success is monotone in channel count and consistent with
+    /// the marginal decomposition.
+    #[test]
+    fn link_success_telescopes(p in 0.01f64..0.99, n in 1u32..20) {
+        let link = LinkModel::new(p).unwrap();
+        // ln P(n) = ln P(1) + sum of marginals.
+        let mut acc = link.ln_success(1.0);
+        for i in 1..n {
+            acc += link.marginal_ln_gain(i);
+        }
+        prop_assert!((acc - link.ln_success(n as f64)).abs() < 1e-9);
+    }
+
+    /// Route success with perfect swap equals the product of link
+    /// successes and never exceeds the weakest link.
+    #[test]
+    fn route_success_bounded_by_weakest(probs in proptest::collection::vec(0.05f64..0.95, 1..6)) {
+        let swap = SwapModel::perfect();
+        let p = swap.route_success(probs.iter().copied());
+        let min = probs.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!(p <= min + 1e-12);
+        prop_assert!(p >= 0.0);
+    }
+
+    /// Swapping Werner pairs never increases fidelity beyond either input.
+    #[test]
+    fn swap_fidelity_contracts(a in 0.25f64..1.0, b in 0.25f64..1.0) {
+        let fa = Fidelity::new(a).unwrap();
+        let fb = Fidelity::new(b).unwrap();
+        let out = swap_fidelity(fa, fb);
+        prop_assert!(out.value() <= a.max(b) + 1e-12);
+        prop_assert!(out.value() >= 0.25 - 1e-12);
+    }
+
+    /// Route fidelity is permutation-invariant (Werner parameters multiply).
+    #[test]
+    fn route_fidelity_permutation_invariant(mut vals in proptest::collection::vec(0.3f64..1.0, 2..6)) {
+        let fids: Vec<Fidelity> = vals.iter().map(|&v| Fidelity::new(v).unwrap()).collect();
+        let fwd = route_fidelity(fids.iter().copied());
+        vals.reverse();
+        let rev_fids: Vec<Fidelity> = vals.iter().map(|&v| Fidelity::new(v).unwrap()).collect();
+        let rev = route_fidelity(rev_fids.iter().copied());
+        prop_assert!((fwd.value() - rev.value()).abs() < 1e-12);
+    }
+
+    /// Purification improves any strictly entangled state and emits a
+    /// valid probability.
+    #[test]
+    fn purification_improves(f in 0.51f64..0.999) {
+        let fid = Fidelity::new(f).unwrap();
+        let out = purify(fid);
+        prop_assert!(out.fidelity.value() > f);
+        prop_assert!((0.0..=1.0).contains(&out.success_probability));
+    }
+}

@@ -1,0 +1,182 @@
+//! Independent constraint auditing.
+//!
+//! The engine re-checks every decision against the paper's capacity
+//! constraints (Eq. 4/5) using only the network, the slot snapshot, and
+//! the decision — none of the policy's internal state. A violation is a
+//! policy bug; the engine panics in debug builds and records the
+//! violation otherwise.
+
+use qdn_core::types::Decision;
+use qdn_net::{CapacitySnapshot, QdnNetwork};
+
+/// A constraint violated by a decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A node's qubit capacity was exceeded (Eq. 4).
+    NodeCapacity {
+        /// The overloaded node.
+        node: qdn_graph::NodeId,
+        /// Qubits the decision consumes there.
+        used: u64,
+        /// Qubits available this slot.
+        available: u32,
+    },
+    /// An edge's channel capacity was exceeded (Eq. 5).
+    EdgeCapacity {
+        /// The overloaded edge.
+        edge: qdn_graph::EdgeId,
+        /// Channels the decision consumes there.
+        used: u64,
+        /// Channels available this slot.
+        available: u32,
+    },
+    /// An allocation entry was zero (violates `n_e ∈ Z₊₊`).
+    ZeroAllocation {
+        /// Index of the assignment within the decision.
+        assignment: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::NodeCapacity {
+                node,
+                used,
+                available,
+            } => write!(f, "node {node}: used {used} of {available} qubits"),
+            Violation::EdgeCapacity {
+                edge,
+                used,
+                available,
+            } => write!(f, "edge {edge}: used {used} of {available} channels"),
+            Violation::ZeroAllocation { assignment } => {
+                write!(f, "assignment {assignment} allocates zero channels to an edge")
+            }
+        }
+    }
+}
+
+/// Checks a decision against this slot's capacities.
+///
+/// Returns every violation found (empty = decision is valid).
+pub fn audit_decision(
+    network: &QdnNetwork,
+    snapshot: &CapacitySnapshot,
+    decision: &Decision,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut node_usage = vec![0u64; network.node_count()];
+    let mut edge_usage = vec![0u64; network.edge_count()];
+
+    for (i, a) in decision.assignments().iter().enumerate() {
+        if a.allocation.contains(&0) {
+            violations.push(Violation::ZeroAllocation { assignment: i });
+        }
+        for (e, &n) in a.route.edges().iter().zip(&a.allocation) {
+            let (u, v) = network.graph().endpoints(*e);
+            node_usage[u.index()] += n as u64;
+            node_usage[v.index()] += n as u64;
+            edge_usage[e.index()] += n as u64;
+        }
+    }
+    for v in network.graph().node_ids() {
+        let used = node_usage[v.index()];
+        let available = snapshot.qubits(v);
+        if used > available as u64 {
+            violations.push(Violation::NodeCapacity {
+                node: v,
+                used,
+                available,
+            });
+        }
+    }
+    for e in network.graph().edge_ids() {
+        let used = edge_usage[e.index()];
+        let available = snapshot.channels(e);
+        if used > available as u64 {
+            violations.push(Violation::EdgeCapacity {
+                edge: e,
+                used,
+                available,
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdn_core::types::RouteAssignment;
+    use qdn_graph::{NodeId, Path};
+    use qdn_net::network::QdnNetworkBuilder;
+    use qdn_net::SdPair;
+    use qdn_physics::link::LinkModel;
+
+    fn line() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let a = b.add_node(4);
+        let m = b.add_node(4);
+        let c = b.add_node(4);
+        b.add_edge(a, m, 3, LinkModel::new(0.5).unwrap()).unwrap();
+        b.add_edge(m, c, 3, LinkModel::new(0.5).unwrap()).unwrap();
+        b.build()
+    }
+
+    fn route_assignment(net: &QdnNetwork, alloc: Vec<u32>) -> RouteAssignment {
+        let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
+        let route =
+            Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        RouteAssignment::new(pair, route, alloc)
+    }
+
+    #[test]
+    fn valid_decision_passes() {
+        let net = line();
+        let snap = CapacitySnapshot::full(&net);
+        let d = Decision::new(vec![route_assignment(&net, vec![2, 2])], vec![]);
+        assert!(audit_decision(&net, &snap, &d).is_empty());
+    }
+
+    #[test]
+    fn node_violation_detected() {
+        let net = line();
+        // Middle node only has 4 qubits but allocation 3+3=6 touches it.
+        let snap = CapacitySnapshot::full(&net);
+        let d = Decision::new(vec![route_assignment(&net, vec![3, 3])], vec![]);
+        let violations = audit_decision(&net, &snap, &d);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::NodeCapacity { node, .. } if *node == NodeId(1))));
+    }
+
+    #[test]
+    fn edge_violation_detected() {
+        let net = line();
+        // Reduce edge 0 to a single channel.
+        let snap = CapacitySnapshot::clamped(&net, vec![4, 4, 4], vec![1, 3]);
+        let d = Decision::new(vec![route_assignment(&net, vec![2, 1])], vec![]);
+        let violations = audit_decision(&net, &snap, &d);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::EdgeCapacity { edge, .. } if edge.index() == 0)));
+    }
+
+    #[test]
+    fn empty_decision_valid() {
+        let net = line();
+        let snap = CapacitySnapshot::full(&net);
+        assert!(audit_decision(&net, &snap, &Decision::empty()).is_empty());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::NodeCapacity {
+            node: NodeId(1),
+            used: 6,
+            available: 4,
+        };
+        assert!(v.to_string().contains("v1"));
+    }
+}

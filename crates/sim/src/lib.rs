@@ -1,0 +1,58 @@
+//! Time-slot simulator for quantum data networks.
+//!
+//! Drives any [`qdn_core::RoutingPolicy`] through the slotted QDN process
+//! of the paper's §III/§V:
+//!
+//! * [`engine`] — the per-slot loop: sample requests and capacities, ask
+//!   the policy, audit its decision against the capacity constraints,
+//!   realize outcomes, record metrics,
+//! * [`audit`] — independent constraint checking (Eq. 4/5) so a buggy
+//!   policy cannot silently cheat,
+//! * [`metrics`] — per-slot records and the derived series the paper
+//!   plots (running average utility, EC success rate, cumulative qubit
+//!   usage, per-pair distributions),
+//! * [`stats`] — means, standard deviations, quantiles, histograms,
+//!   Jain's fairness index,
+//! * [`trial`] — seeded multi-trial execution (parallel across threads),
+//! * [`experiment`] — serializable experiment descriptions: network ×
+//!   workload × policies × sweeps,
+//! * [`output`] — CSV/markdown emitters for the bench harness.
+//!
+//! # Example
+//!
+//! ```
+//! use qdn_core::oscar::{OscarConfig, OscarPolicy};
+//! use qdn_net::dynamics::StaticDynamics;
+//! use qdn_net::workload::UniformWorkload;
+//! use qdn_net::NetworkConfig;
+//! use qdn_sim::engine::{run, SimConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut env_rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut policy_rng = rand::rngs::StdRng::seed_from_u64(2);
+//! let net = NetworkConfig::paper_default().build(&mut env_rng).unwrap();
+//! let mut policy = OscarPolicy::new(OscarConfig::paper_default());
+//! let mut workload = UniformWorkload::paper_default();
+//! let mut dynamics = StaticDynamics;
+//! let metrics = run(
+//!     &net,
+//!     &mut workload,
+//!     &mut dynamics,
+//!     &mut policy,
+//!     &SimConfig { horizon: 10, realize_outcomes: true },
+//!     &mut env_rng,
+//!     &mut policy_rng,
+//! );
+//! assert_eq!(metrics.slots().len(), 10);
+//! ```
+
+pub mod audit;
+pub mod engine;
+pub mod experiment;
+pub mod metrics;
+pub mod output;
+pub mod stats;
+pub mod trial;
+
+pub use engine::{run, SimConfig};
+pub use metrics::{RunMetrics, SlotRecord};

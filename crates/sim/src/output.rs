@@ -1,0 +1,127 @@
+//! CSV and markdown emitters for experiment results.
+//!
+//! The bench harness prints each figure as a plain-text series (CSV +
+//! aligned table) so the paper's plots can be regenerated with any
+//! external tool; nothing here depends on a plotting library.
+
+use std::fmt::Write as _;
+
+/// Renders rows as CSV with the given header.
+///
+/// # Example
+///
+/// ```
+/// use qdn_sim::output::to_csv;
+///
+/// let csv = to_csv(&["t", "success"], &[vec!["0".into(), "0.9".into()]]);
+/// assert_eq!(csv, "t,success\n0,0.9\n");
+/// ```
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as a fixed-width aligned table (markdown-compatible).
+pub fn to_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        out.push('|');
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            let _ = write!(out, " {cell:<w$} |");
+        }
+        out.push('\n');
+    };
+    render_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    out.push('|');
+    for w in &widths {
+        let _ = write!(out, "{:-<width$}|", "", width = w + 2);
+    }
+    out.push('\n');
+    for row in rows {
+        render_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Formats a float with 4 significant decimals for table cells.
+pub fn fmt_f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a series `(x, y₁, y₂, …)` into CSV rows.
+pub fn series_rows(xs: &[f64], columns: &[&[f64]]) -> Vec<Vec<String>> {
+    xs.iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let mut row = vec![fmt_f(x)];
+            for col in columns {
+                row.push(fmt_f(col[i]));
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_format() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["3".into(), "4".into()],
+            ],
+        );
+        assert_eq!(csv, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = to_table(&["name", "v"], &[vec!["oscar".into(), "1".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with("|---"));
+        assert!(lines[2].contains("oscar"));
+        // All lines have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn float_format() {
+        assert_eq!(fmt_f(0.123456), "0.1235");
+        assert_eq!(fmt_f(2.0), "2.0000");
+    }
+
+    #[test]
+    fn series_rows_shape() {
+        let xs = [1.0, 2.0];
+        let y1 = [0.1, 0.2];
+        let y2 = [0.3, 0.4];
+        let rows = series_rows(&xs, &[&y1, &y2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec!["1.0000", "0.1000", "0.3000"]);
+    }
+}

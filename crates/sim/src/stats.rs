@@ -1,0 +1,226 @@
+//! Summary statistics for experiment outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean/σ/min/max summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample (empty samples produce zeros).
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of the ~95% normal confidence interval
+    /// (`1.96·σ/√n`; 0 for n < 2).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted
+/// sample. Empty input yields 0.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins over `[lo, hi]`.
+    /// Out-of-range samples clamp into the edge bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(values: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "lo must be below hi");
+        let mut counts = vec![0u64; bins];
+        for &v in values {
+            let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let idx = ((frac * bins as f64) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            total: values.len() as u64,
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin fractions (counts normalised by the total; zeros when empty).
+    pub fn fractions(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| {
+                if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// `(center, count)` pairs for plotting/printing.
+    pub fn bars(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+/// Element-wise mean of several equally long series (e.g. averaging a
+/// metric across trials).
+///
+/// # Panics
+///
+/// Panics if series lengths differ.
+pub fn mean_series(series: &[Vec<f64>]) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let len = series[0].len();
+    for s in series {
+        assert_eq!(s.len(), len, "series must have equal length");
+    }
+    (0..len)
+        .map(|i| series.iter().map(|s| s[i]).sum::<f64>() / series.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let h = Histogram::new(&[0.05, 0.15, 0.95, 1.5, -0.5], 0.0, 1.0, 10);
+        assert_eq!(h.counts()[0], 2); // 0.05 and clamped -0.5
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 2); // 0.95 and clamped 1.5
+        let fr = h.fractions();
+        assert!((fr.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let bars = h.bars();
+        assert!((bars[0].0 - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(&[], 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn mean_series_averages() {
+        let s = mean_series(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(s, vec![2.0, 3.0]);
+        assert!(mean_series(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mean_series_length_mismatch() {
+        let _ = mean_series(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

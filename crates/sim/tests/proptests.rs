@@ -1,0 +1,120 @@
+//! Property-based tests for the simulator layer.
+
+use proptest::prelude::*;
+use qdn_core::baselines::MinimalRandomPolicy;
+use qdn_core::oscar::{OscarConfig, OscarPolicy};
+use qdn_core::policy::RoutingPolicy;
+use qdn_net::dynamics::{StaticDynamics, UniformOccupancy};
+use qdn_net::workload::UniformWorkload;
+use qdn_net::NetworkConfig;
+use qdn_sim::audit::audit_decision;
+use qdn_sim::engine::{run, SimConfig};
+use qdn_sim::stats::{mean_series, quantile, Histogram, Summary};
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The engine's records are internally consistent for any policy,
+    /// seed, and occupancy level: per-slot costs sum to the cumulative
+    /// series, served ≤ requests, probabilities are valid.
+    #[test]
+    fn run_records_consistent(seed in 0u64..5_000, occupancy in 0.0f64..0.6, oscar in proptest::bool::ANY) {
+        let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut policy_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let net = NetworkConfig::paper_default().with_nodes(10).build(&mut env_rng).unwrap();
+        let mut policy: Box<dyn RoutingPolicy> = if oscar {
+            Box::new(OscarPolicy::new(OscarConfig {
+                total_budget: 250.0,
+                horizon: 10,
+                ..OscarConfig::paper_default()
+            }))
+        } else {
+            Box::new(MinimalRandomPolicy::default())
+        };
+        let metrics = run(
+            &net,
+            &mut UniformWorkload::paper_default(),
+            &mut UniformOccupancy::new(occupancy),
+            policy.as_mut(),
+            &SimConfig { horizon: 10, realize_outcomes: true },
+            &mut env_rng,
+            &mut policy_rng,
+        );
+        prop_assert_eq!(metrics.slots().len(), 10);
+        let total: u64 = metrics.slots().iter().map(|s| s.cost).sum();
+        prop_assert_eq!(total, *metrics.cumulative_cost().last().unwrap());
+        for s in metrics.slots() {
+            prop_assert!(s.served <= s.requests);
+            prop_assert_eq!(s.success_probs.len(), s.requests);
+            for &p in &s.success_probs {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            prop_assert!(s.realized_successes.unwrap() <= s.requests);
+        }
+        prop_assert!((0.0..=1.0).contains(&metrics.jain_fairness()));
+    }
+
+    /// The engine never lets a shipped policy violate constraints
+    /// (re-audited here explicitly, not just via debug_assert).
+    #[test]
+    fn shipped_policies_pass_explicit_audit(seed in 0u64..5_000) {
+        let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut policy_rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+        let net = NetworkConfig::paper_default().with_nodes(8).build(&mut env_rng).unwrap();
+        let mut policy = OscarPolicy::new(OscarConfig {
+            total_budget: 200.0,
+            horizon: 8,
+            ..OscarConfig::paper_default()
+        });
+        let mut wl = UniformWorkload::paper_default();
+        let mut dyn_ = StaticDynamics;
+        use qdn_core::types::SlotState;
+        use qdn_net::dynamics::ResourceDynamics;
+        use qdn_net::workload::Workload;
+        for t in 0..8 {
+            let requests = wl.requests(t, &net, &mut env_rng);
+            let snap = dyn_.snapshot(t, &net, &mut env_rng);
+            let slot = SlotState::new(t, requests, snap.clone());
+            let d = policy.decide(&net, &slot, &mut policy_rng);
+            let violations = audit_decision(&net, &snap, &d);
+            prop_assert!(violations.is_empty(), "slot {t}: {violations:?}");
+        }
+    }
+
+    /// Statistics helpers behave on arbitrary data.
+    #[test]
+    fn stats_helpers_sound(values in proptest::collection::vec(-100.0f64..100.0, 1..60)) {
+        let s = Summary::of(&values);
+        prop_assert_eq!(s.n, values.len());
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+
+        let q0 = quantile(&values, 0.0);
+        let q50 = quantile(&values, 0.5);
+        let q100 = quantile(&values, 1.0);
+        prop_assert!(q0 <= q50 && q50 <= q100);
+
+        let h = Histogram::new(&values, -100.0, 100.0, 8);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), values.len() as u64);
+        let frac_sum: f64 = h.fractions().iter().sum();
+        prop_assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+
+    /// `mean_series` is bounded by the point-wise min/max of its inputs.
+    #[test]
+    fn mean_series_bounded(rows in 1usize..5, cols in 1usize..10, seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let series: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.random_range(-10.0..10.0)).collect())
+            .collect();
+        let mean = mean_series(&series);
+        prop_assert_eq!(mean.len(), cols);
+        for i in 0..cols {
+            let lo = series.iter().map(|s| s[i]).fold(f64::INFINITY, f64::min);
+            let hi = series.iter().map(|s| s[i]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean[i] >= lo - 1e-9 && mean[i] <= hi + 1e-9);
+        }
+    }
+}

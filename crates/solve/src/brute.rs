@@ -1,0 +1,158 @@
+//! Exact enumeration for small instances.
+//!
+//! Used by tests and by the gap-measurement ablation to compare the
+//! relax-and-round and greedy allocators against the true integer optimum
+//! (`N^opt` in paper Prop. 2). Exponential — keep instances tiny.
+
+use crate::instance::AllocationInstance;
+
+/// Exhaustively searches integer allocations `1 ≤ n_j ≤ min(ub_j, cap)`
+/// and returns the best feasible point and its objective value.
+///
+/// Returns the all-ones point when nothing better exists. `per_var_cap`
+/// bounds the search range per variable on top of the instance's own
+/// upper bounds, keeping the enumeration tractable.
+///
+/// # Panics
+///
+/// Panics if the instance has no feasible point (cannot happen for
+/// instances built through [`AllocationInstance::new`]).
+///
+/// # Example
+///
+/// ```
+/// use qdn_solve::{AllocationInstance, PackingConstraint, Variable};
+/// use qdn_solve::brute::brute_force_best;
+///
+/// let inst = AllocationInstance::new(
+///     vec![Variable::new(0.5); 2],
+///     vec![PackingConstraint::new(4, vec![0, 1])],
+///     100.0,
+///     1.0,
+/// ).unwrap();
+/// let (best, value) = brute_force_best(&inst, 4);
+/// assert!(inst.is_feasible_int(&best));
+/// assert!(value.is_finite());
+/// ```
+pub fn brute_force_best(instance: &AllocationInstance, per_var_cap: u32) -> (Vec<u32>, f64) {
+    let n = instance.num_vars();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let caps: Vec<u32> = (0..n)
+        .map(|j| instance.upper_bound(j).min(per_var_cap).max(1))
+        .collect();
+    let mut current = vec![1u32; n];
+    let mut best = current.clone();
+    let mut best_val = f64::NEG_INFINITY;
+    enumerate(instance, &caps, &mut current, 0, &mut best, &mut best_val);
+    assert!(
+        best_val.is_finite(),
+        "instance has no feasible point within the enumeration bounds"
+    );
+    (best, best_val)
+}
+
+fn enumerate(
+    instance: &AllocationInstance,
+    caps: &[u32],
+    current: &mut Vec<u32>,
+    j: usize,
+    best: &mut Vec<u32>,
+    best_val: &mut f64,
+) {
+    if j == current.len() {
+        if instance.is_feasible_int(current) {
+            let v = instance.objective_int(current);
+            if v > *best_val {
+                *best_val = v;
+                best.clone_from(current);
+            }
+        }
+        return;
+    }
+    for value in 1..=caps[j] {
+        current[j] = value;
+        // Prune: partial feasibility — if constraints among the first j+1
+        // variables are already violated assuming the rest at 1, stop.
+        if partial_feasible(instance, current, j) {
+            enumerate(instance, caps, current, j + 1, best, best_val);
+        }
+    }
+    current[j] = 1;
+}
+
+fn partial_feasible(instance: &AllocationInstance, current: &[u32], upto: usize) -> bool {
+    instance.constraints().iter().all(|c| {
+        let usage: u64 = c
+            .members
+            .iter()
+            .map(|&m| if m <= upto { current[m] as u64 } else { 1 })
+            .sum();
+        usage <= c.capacity as u64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{PackingConstraint, Variable};
+
+    #[test]
+    fn empty_instance() {
+        let i = AllocationInstance::new(vec![], vec![], 1.0, 0.0).unwrap();
+        let (best, val) = brute_force_best(&i, 5);
+        assert!(best.is_empty());
+        assert_eq!(val, 0.0);
+    }
+
+    #[test]
+    fn single_variable_unconstrained_price_zero_takes_cap() {
+        let i = AllocationInstance::new(vec![Variable::new(0.5)], vec![], 10.0, 0.0).unwrap();
+        let (best, _) = brute_force_best(&i, 6);
+        assert_eq!(best, vec![6]); // objective increasing, hits per_var_cap
+    }
+
+    #[test]
+    fn finds_known_optimum() {
+        // cap 4 shared; V large, price small: best is (2,2) by symmetry.
+        let i = AllocationInstance::new(
+            vec![Variable::new(0.5), Variable::new(0.5)],
+            vec![PackingConstraint::new(4, vec![0, 1])],
+            1000.0,
+            0.5,
+        )
+        .unwrap();
+        let (best, _) = brute_force_best(&i, 4);
+        assert_eq!(best, vec![2, 2]);
+    }
+
+    #[test]
+    fn price_dominates() {
+        let i = AllocationInstance::new(
+            vec![Variable::new(0.9)],
+            vec![PackingConstraint::new(10, vec![0])],
+            1.0,
+            1e6,
+        )
+        .unwrap();
+        let (best, _) = brute_force_best(&i, 10);
+        assert_eq!(best, vec![1]);
+    }
+
+    #[test]
+    fn respects_all_constraints() {
+        let i = AllocationInstance::new(
+            vec![Variable::new(0.4), Variable::new(0.6), Variable::new(0.5)],
+            vec![
+                PackingConstraint::new(4, vec![0, 1]),
+                PackingConstraint::new(3, vec![1, 2]),
+            ],
+            500.0,
+            1.0,
+        )
+        .unwrap();
+        let (best, _) = brute_force_best(&i, 5);
+        assert!(i.is_feasible_int(&best));
+    }
+}

@@ -1,0 +1,396 @@
+//! Description of a per-slot allocation problem.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SolveError;
+
+/// Numerically stable `ln(1 − (1 − p)^x)`.
+///
+/// Duplicated from `qdn-physics::prob` so the solver crate stays free of
+/// that dependency (it operates on abstract probabilities).
+pub(crate) fn ln_success(p: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let ln_fail = x * f64::ln_1p(-p);
+    (-f64::exp_m1(ln_fail)).ln()
+}
+
+/// One decision variable: the channel allocation of one edge of one
+/// selected route.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Per-channel per-slot success probability `p_e` of the underlying
+    /// edge.
+    pub p: f64,
+}
+
+impl Variable {
+    /// Creates a variable for an edge with channel success `p`.
+    pub fn new(p: f64) -> Self {
+        Variable { p }
+    }
+}
+
+/// A linear packing constraint `Σ_{j ∈ members} x_j ≤ capacity`.
+///
+/// Node qubit capacities (paper Eq. 4), edge channel capacities (Eq. 5),
+/// and the baselines' per-slot budget all take this shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackingConstraint {
+    /// The capacity (right-hand side).
+    pub capacity: u32,
+    /// Indices of the variables this constraint sums over.
+    pub members: Vec<usize>,
+}
+
+impl PackingConstraint {
+    /// Creates a constraint.
+    pub fn new(capacity: u32, members: Vec<usize>) -> Self {
+        PackingConstraint { capacity, members }
+    }
+}
+
+/// A validated allocation problem:
+/// `max Σ_j V·ln P_j(x_j) − κ·x_j` over `x ≥ 1` under packing constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationInstance {
+    vars: Vec<Variable>,
+    constraints: Vec<PackingConstraint>,
+    /// The Lyapunov weight `V` multiplying the log-success utility.
+    v_weight: f64,
+    /// The per-unit price `κ` (the virtual queue length `q_t` in OSCAR;
+    /// 0 for the myopic baselines).
+    unit_price: f64,
+    /// `ub[j]`: largest value variable `j` can take with all other
+    /// variables at their lower bound 1 (tightest single-variable bound
+    /// implied by the packing constraints).
+    ub: Vec<u32>,
+    /// `membership[j]`: constraint indices containing variable `j`.
+    membership: Vec<Vec<usize>>,
+}
+
+impl AllocationInstance {
+    /// Validates and pre-processes an instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::InvalidProbability`] if a variable's `p ∉ (0, 1)`,
+    /// * [`SolveError::BadVariableIndex`] for dangling member indices,
+    /// * [`SolveError::InfeasibleAtLowerBound`] if some constraint cannot
+    ///   even hold every member at 1 — the caller (route selection) must
+    ///   treat such a route combination as invalid.
+    pub fn new(
+        vars: Vec<Variable>,
+        constraints: Vec<PackingConstraint>,
+        v_weight: f64,
+        unit_price: f64,
+    ) -> Result<Self, SolveError> {
+        for (j, var) in vars.iter().enumerate() {
+            if !(var.p > 0.0 && var.p < 1.0) {
+                return Err(SolveError::InvalidProbability {
+                    variable: j,
+                    value: var.p,
+                });
+            }
+        }
+        let mut membership = vec![Vec::new(); vars.len()];
+        for (ci, c) in constraints.iter().enumerate() {
+            for &j in &c.members {
+                if j >= vars.len() {
+                    return Err(SolveError::BadVariableIndex {
+                        constraint: ci,
+                        variable: j,
+                    });
+                }
+                membership[j].push(ci);
+            }
+            if (c.members.len() as u64) > c.capacity as u64 {
+                return Err(SolveError::InfeasibleAtLowerBound {
+                    constraint: ci,
+                    members: c.members.len(),
+                    capacity: c.capacity,
+                });
+            }
+        }
+        // ub[j] = min over constraints c containing j of
+        //   cap_c - (|members_c| - 1)   (others sit at their lower bound 1).
+        let mut ub = vec![u32::MAX; vars.len()];
+        for c in &constraints {
+            let headroom = c.capacity - (c.members.len() as u32 - 1).min(c.capacity);
+            for &j in &c.members {
+                ub[j] = ub[j].min(headroom);
+            }
+        }
+        // A variable in no constraint is unbounded; cap it at a large but
+        // finite value so scalar solvers terminate.
+        const FREE_VAR_CAP: u32 = 1 << 20;
+        for b in &mut ub {
+            if *b == u32::MAX {
+                *b = FREE_VAR_CAP;
+            }
+        }
+        Ok(AllocationInstance {
+            vars,
+            constraints,
+            v_weight,
+            unit_price,
+            ub,
+            membership,
+        })
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The variables.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[PackingConstraint] {
+        &self.constraints
+    }
+
+    /// The utility weight `V`.
+    pub fn v_weight(&self) -> f64 {
+        self.v_weight
+    }
+
+    /// The per-unit price `κ`.
+    pub fn unit_price(&self) -> f64 {
+        self.unit_price
+    }
+
+    /// Upper bound for variable `j` implied by the constraints (others at
+    /// their lower bound).
+    pub fn upper_bound(&self, j: usize) -> u32 {
+        self.ub[j]
+    }
+
+    /// Constraint indices containing variable `j`.
+    pub fn membership(&self, j: usize) -> &[usize] {
+        &self.membership[j]
+    }
+
+    /// Objective value at a real-valued point (used on relaxed solutions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, &xi)| self.v_weight * ln_success(v.p, xi) - self.unit_price * xi)
+            .sum()
+    }
+
+    /// Objective value at an integer point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n.len() != num_vars()`.
+    pub fn objective_int(&self, n: &[u32]) -> f64 {
+        assert_eq!(n.len(), self.vars.len());
+        self.vars
+            .iter()
+            .zip(n)
+            .map(|(v, &ni)| {
+                self.v_weight * ln_success(v.p, ni as f64) - self.unit_price * ni as f64
+            })
+            .sum()
+    }
+
+    /// Total allocation `Σ_j x_j` (the per-slot cost `c_t`).
+    pub fn total_allocation_int(&self, n: &[u32]) -> u64 {
+        n.iter().map(|&v| v as u64).sum()
+    }
+
+    /// Whether an integer point satisfies bounds and all constraints.
+    pub fn is_feasible_int(&self, n: &[u32]) -> bool {
+        if n.len() != self.vars.len() || n.iter().any(|&ni| ni < 1) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let usage: u64 = c.members.iter().map(|&j| n[j] as u64).sum();
+            usage <= c.capacity as u64
+        })
+    }
+
+    /// Whether a real point satisfies bounds and all constraints within
+    /// `tol`.
+    pub fn is_feasible_real(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() || x.iter().any(|&xi| xi < 1.0 - tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let usage: f64 = c.members.iter().map(|&j| x[j]).sum();
+            usage <= c.capacity as f64 + tol
+        })
+    }
+
+    /// Remaining slack of constraint `c` at integer point `n`.
+    pub fn slack_int(&self, c: usize, n: &[u32]) -> i64 {
+        let con = &self.constraints[c];
+        let usage: i64 = con.members.iter().map(|&j| n[j] as i64).sum();
+        con.capacity as i64 - usage
+    }
+
+    /// Whether incrementing variable `j` by one keeps the point feasible.
+    pub fn can_increment(&self, j: usize, n: &[u32]) -> bool {
+        self.membership[j].iter().all(|&c| self.slack_int(c, n) >= 1)
+    }
+
+    /// Marginal objective gain of incrementing variable `j` from `n[j]`:
+    /// `V·(ln P(n+1) − ln P(n)) − κ`.
+    pub fn marginal_gain(&self, j: usize, nj: u32) -> f64 {
+        let p = self.vars[j].p;
+        let gain = ln_success(p, (nj + 1) as f64) - ln_success(p, nj as f64);
+        self.v_weight * gain - self.unit_price
+    }
+
+    /// The all-ones starting point.
+    pub fn lower_bound_point(&self) -> Vec<u32> {
+        vec![1; self.vars.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> AllocationInstance {
+        AllocationInstance::new(
+            vec![Variable::new(0.5), Variable::new(0.6)],
+            vec![
+                PackingConstraint::new(5, vec![0, 1]),
+                PackingConstraint::new(3, vec![0]),
+            ],
+            10.0,
+            0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_probability() {
+        let err = AllocationInstance::new(vec![Variable::new(1.0)], vec![], 1.0, 0.0);
+        assert!(matches!(err, Err(SolveError::InvalidProbability { .. })));
+        let err = AllocationInstance::new(vec![Variable::new(0.0)], vec![], 1.0, 0.0);
+        assert!(matches!(err, Err(SolveError::InvalidProbability { .. })));
+    }
+
+    #[test]
+    fn validates_member_indices() {
+        let err = AllocationInstance::new(
+            vec![Variable::new(0.5)],
+            vec![PackingConstraint::new(3, vec![1])],
+            1.0,
+            0.0,
+        );
+        assert!(matches!(err, Err(SolveError::BadVariableIndex { .. })));
+    }
+
+    #[test]
+    fn detects_lb_infeasibility() {
+        let err = AllocationInstance::new(
+            vec![Variable::new(0.5), Variable::new(0.5), Variable::new(0.5)],
+            vec![PackingConstraint::new(2, vec![0, 1, 2])],
+            1.0,
+            0.0,
+        );
+        assert!(matches!(
+            err,
+            Err(SolveError::InfeasibleAtLowerBound { .. })
+        ));
+    }
+
+    #[test]
+    fn upper_bounds_account_for_other_members() {
+        let inst = simple();
+        // Constraint 0: cap 5, two members -> headroom 4.
+        // Constraint 1: cap 3, one member -> headroom 3.
+        assert_eq!(inst.upper_bound(0), 3);
+        assert_eq!(inst.upper_bound(1), 4);
+    }
+
+    #[test]
+    fn free_variable_gets_finite_cap() {
+        let inst =
+            AllocationInstance::new(vec![Variable::new(0.5)], vec![], 1.0, 0.0).unwrap();
+        assert!(inst.upper_bound(0) >= 1 << 20);
+    }
+
+    #[test]
+    fn membership_inverse() {
+        let inst = simple();
+        assert_eq!(inst.membership(0), &[0, 1]);
+        assert_eq!(inst.membership(1), &[0]);
+    }
+
+    #[test]
+    fn objective_matches_manual() {
+        let inst = simple();
+        let n = [2u32, 1];
+        let manual = 10.0 * ((1.0 - 0.25f64).ln() + 0.6f64.ln()) - 0.5 * 3.0;
+        assert!((inst.objective_int(&n) - manual).abs() < 1e-12);
+        let x = [2.0f64, 1.0];
+        assert!((inst.objective(&x) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let inst = simple();
+        assert!(inst.is_feasible_int(&[1, 1]));
+        assert!(inst.is_feasible_int(&[3, 2]));
+        assert!(!inst.is_feasible_int(&[4, 1])); // violates constraint 1
+        assert!(!inst.is_feasible_int(&[3, 3])); // violates constraint 0
+        assert!(!inst.is_feasible_int(&[0, 1])); // below lower bound
+        assert!(!inst.is_feasible_int(&[1])); // wrong arity
+        assert!(inst.is_feasible_real(&[1.5, 2.5], 1e-9));
+        assert!(!inst.is_feasible_real(&[1.5, 4.0], 1e-9));
+    }
+
+    #[test]
+    fn slack_and_increments() {
+        let inst = simple();
+        let n = [2u32, 2];
+        assert_eq!(inst.slack_int(0, &n), 1);
+        assert_eq!(inst.slack_int(1, &n), 1);
+        assert!(inst.can_increment(0, &n));
+        assert!(inst.can_increment(1, &n));
+        let n = [3u32, 2];
+        assert!(!inst.can_increment(0, &n)); // constraint 1 exhausted
+        assert!(!inst.can_increment(1, &n)); // constraint 0 exhausted
+    }
+
+    #[test]
+    fn marginal_gain_decreases() {
+        let inst = simple();
+        let g1 = inst.marginal_gain(0, 1);
+        let g2 = inst.marginal_gain(0, 2);
+        assert!(g1 > g2);
+    }
+
+    #[test]
+    fn cost_helper() {
+        let inst = simple();
+        assert_eq!(inst.total_allocation_int(&[2, 3]), 5);
+    }
+
+    #[test]
+    fn ln_success_stability() {
+        assert_eq!(ln_success(0.5, 0.0), f64::NEG_INFINITY);
+        assert!((ln_success(0.5, 1.0) - 0.5f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,376 @@
+//! Lagrangian dual solver for the continuous relaxation of P2.
+//!
+//! The relaxed problem (paper Algorithm 2, step 3) is separable concave
+//! with linear packing constraints, so its Lagrangian dual decomposes into
+//! per-variable closed-form maximizations ([`crate::scalar`]). Dual prices
+//! are updated by projected subgradient with a diminishing step; the
+//! primal answer is recovered from the ergodic (running-average) iterate
+//! with a feasibility repair that exactly preserves the `x ≥ 1` lower
+//! bound (so the Eq. 8 rounding relation stays valid downstream).
+
+use serde::{Deserialize, Serialize};
+
+use crate::instance::AllocationInstance;
+use crate::scalar::argmax_edge_utility;
+use crate::SolveError;
+
+/// Options for [`solve_relaxed`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelaxedOptions {
+    /// Maximum subgradient iterations.
+    pub max_iterations: usize,
+    /// Initial subgradient step size.
+    pub initial_step: f64,
+    /// Stop early when the relative duality gap falls below this value.
+    pub gap_tolerance: f64,
+}
+
+impl Default for RelaxedOptions {
+    fn default() -> Self {
+        RelaxedOptions {
+            max_iterations: 600,
+            initial_step: 1.0,
+            gap_tolerance: 1e-4,
+        }
+    }
+}
+
+/// Result of the relaxed solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelaxedSolution {
+    /// A feasible primal point (`x_j ≥ 1`, all constraints satisfied).
+    pub x: Vec<f64>,
+    /// Objective value at `x` (lower bound on the relaxed optimum).
+    pub primal_value: f64,
+    /// Best dual value observed (upper bound on the relaxed optimum).
+    pub dual_bound: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+impl RelaxedSolution {
+    /// Absolute duality gap `dual_bound − primal_value` (≥ 0 up to
+    /// numerical error); small means near-optimal.
+    pub fn gap(&self) -> f64 {
+        self.dual_bound - self.primal_value
+    }
+}
+
+/// Solves the continuous relaxation `max Σ V·ln P_j(x_j) − κ·x_j` s.t.
+/// packing constraints and `x ≥ 1`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InfeasibleAtLowerBound`] only if the instance
+/// was constructed without validation (cannot happen through
+/// [`AllocationInstance::new`]); otherwise always produces a feasible
+/// solution.
+///
+/// # Example
+///
+/// ```
+/// use qdn_solve::{AllocationInstance, PackingConstraint, Variable};
+/// use qdn_solve::relaxed::{solve_relaxed, RelaxedOptions};
+///
+/// let inst = AllocationInstance::new(
+///     vec![Variable::new(0.55); 2],
+///     vec![PackingConstraint::new(6, vec![0, 1])],
+///     1000.0,
+///     5.0,
+/// ).unwrap();
+/// let sol = solve_relaxed(&inst, &RelaxedOptions::default()).unwrap();
+/// assert!(inst.is_feasible_real(&sol.x, 1e-6));
+/// assert!(sol.gap() < 1.0);
+/// ```
+pub fn solve_relaxed(
+    instance: &AllocationInstance,
+    options: &RelaxedOptions,
+) -> Result<RelaxedSolution, SolveError> {
+    let n = instance.num_vars();
+    let m = instance.num_constraints();
+    if n == 0 {
+        return Ok(RelaxedSolution {
+            x: Vec::new(),
+            primal_value: 0.0,
+            dual_bound: 0.0,
+            iterations: 0,
+        });
+    }
+
+    let mut lambda = vec![0.0f64; m];
+    let mut x = vec![1.0f64; n];
+    let mut x_avg = vec![0.0f64; n];
+    let mut best_dual = f64::INFINITY;
+    let mut best_primal = f64::NEG_INFINITY;
+    let mut best_x = instance
+        .lower_bound_point()
+        .iter()
+        .map(|&v| v as f64)
+        .collect::<Vec<_>>();
+    let mut iterations = 0;
+
+    for k in 1..=options.max_iterations {
+        iterations = k;
+        // Per-variable closed-form maximization under current prices.
+        for (j, xj) in x.iter_mut().enumerate() {
+            let price = instance.unit_price()
+                + instance
+                    .membership(j)
+                    .iter()
+                    .map(|&c| lambda[c])
+                    .sum::<f64>();
+            let ub = instance.upper_bound(j) as f64;
+            *xj = argmax_edge_utility(instance.vars()[j].p, instance.v_weight(), price, 1.0, ub);
+        }
+
+        // Dual value: L(x(λ), λ) = Σ_j h_j(x_j) + Σ_c λ_c · cap_c
+        // where h_j uses the per-variable price (already subtracted), i.e.
+        // D(λ) = Σ_j [V ln P_j(x_j) − price_j x_j] + Σ_c λ_c cap_c.
+        let mut dual = 0.0;
+        for (j, &xj) in x.iter().enumerate() {
+            let price = instance.unit_price()
+                + instance
+                    .membership(j)
+                    .iter()
+                    .map(|&c| lambda[c])
+                    .sum::<f64>();
+            dual += instance.v_weight() * crate::instance::ln_success(instance.vars()[j].p, xj)
+                - price * xj;
+        }
+        for (c, &l) in lambda.iter().enumerate() {
+            dual += l * instance.constraints()[c].capacity as f64;
+        }
+        best_dual = best_dual.min(dual);
+
+        // Ergodic average for primal recovery.
+        let w = 1.0 / k as f64;
+        for j in 0..n {
+            x_avg[j] += (x[j] - x_avg[j]) * w;
+        }
+
+        // Candidate primal points: repaired current iterate and repaired
+        // running average.
+        for candidate in [&x, &x_avg] {
+            let repaired = repair_feasibility(instance, candidate);
+            let value = instance.objective(&repaired);
+            if value > best_primal {
+                best_primal = value;
+                best_x = repaired;
+            }
+        }
+
+        // Convergence check.
+        if best_dual.is_finite() && best_primal.is_finite() {
+            let gap = best_dual - best_primal;
+            let scale = 1.0 + best_dual.abs().max(best_primal.abs());
+            if gap / scale < options.gap_tolerance {
+                break;
+            }
+        }
+
+        // Projected subgradient step on λ. Use the Polyak step
+        // (dual − best primal) / ‖g‖², which adapts to the problem's scale;
+        // fall back to a diminishing step when the gap estimate degenerates.
+        let mut g = vec![0.0f64; m];
+        let mut g_norm2 = 0.0;
+        for (c, con) in instance.constraints().iter().enumerate() {
+            let usage: f64 = con.members.iter().map(|&j| x[j]).sum();
+            g[c] = usage - con.capacity as f64;
+            g_norm2 += g[c] * g[c];
+        }
+        if g_norm2 > 0.0 {
+            let polyak = (dual - best_primal).max(0.0) / g_norm2;
+            let step = if polyak.is_finite() && polyak > 0.0 {
+                polyak
+            } else {
+                options.initial_step / (k as f64).sqrt()
+            };
+            for c in 0..m {
+                lambda[c] = (lambda[c] + step * g[c]).max(0.0);
+            }
+        }
+    }
+
+    Ok(RelaxedSolution {
+        x: best_x,
+        primal_value: best_primal,
+        dual_bound: best_dual,
+        iterations,
+    })
+}
+
+/// Projects a (possibly infeasible) point onto the feasible region by
+/// shrinking each variable's excess over the lower bound 1.
+///
+/// For each constraint `c`, the usage above the all-ones baseline is
+/// `u_c = Σ_{j∈c} (x_j − 1)` and the available slack is
+/// `s_c = cap_c − |members_c|`. Scaling every member's excess by
+/// `θ_c = min(1, s_c/u_c)` — and taking the smallest θ over a variable's
+/// constraints — yields a feasible point:
+/// `Σ (1 + (x_j−1)·θ_j) ≤ |members| + θ_c·u_c ≤ cap_c`.
+pub fn repair_feasibility(instance: &AllocationInstance, x: &[f64]) -> Vec<f64> {
+    let m = instance.num_constraints();
+    let mut theta_c = vec![1.0f64; m];
+    for (c, con) in instance.constraints().iter().enumerate() {
+        let excess: f64 = con.members.iter().map(|&j| (x[j] - 1.0).max(0.0)).sum();
+        let slack = con.capacity as f64 - con.members.len() as f64;
+        if excess > slack {
+            theta_c[c] = if excess > 0.0 { (slack / excess).max(0.0) } else { 1.0 };
+        }
+    }
+    (0..instance.num_vars())
+        .map(|j| {
+            let theta = instance
+                .membership(j)
+                .iter()
+                .map(|&c| theta_c[c])
+                .fold(1.0f64, f64::min);
+            1.0 + (x[j] - 1.0).max(0.0) * theta
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{PackingConstraint, Variable};
+
+    fn inst(
+        ps: &[f64],
+        cons: &[(u32, &[usize])],
+        v: f64,
+        price: f64,
+    ) -> AllocationInstance {
+        AllocationInstance::new(
+            ps.iter().map(|&p| Variable::new(p)).collect(),
+            cons.iter()
+                .map(|&(cap, mem)| PackingConstraint::new(cap, mem.to_vec()))
+                .collect(),
+            v,
+            price,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let i = inst(&[], &[], 1.0, 0.0);
+        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+        assert!(s.x.is_empty());
+        assert_eq!(s.primal_value, 0.0);
+    }
+
+    #[test]
+    fn unconstrained_matches_closed_form() {
+        // One variable, no constraints: solution is the scalar argmax.
+        let i = inst(&[0.55], &[], 2500.0, 25.0);
+        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+        let expected = crate::scalar::argmax_edge_utility(0.55, 2500.0, 25.0, 1.0, (1 << 20) as f64);
+        assert!((s.x[0] - expected).abs() < 1e-6, "{} vs {expected}", s.x[0]);
+    }
+
+    #[test]
+    fn respects_binding_capacity() {
+        // Two identical variables share capacity 4 with zero price: each
+        // should get ~2 (symmetric optimum uses all capacity).
+        let i = inst(&[0.55, 0.55], &[(4, &[0, 1])], 2500.0, 1.0);
+        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+        assert!(i.is_feasible_real(&s.x, 1e-6));
+        let total: f64 = s.x.iter().sum();
+        assert!(total <= 4.0 + 1e-6);
+        assert!(total > 3.8, "should nearly exhaust capacity, got {total}");
+        assert!((s.x[0] - s.x[1]).abs() < 0.05, "symmetric: {:?}", s.x);
+    }
+
+    #[test]
+    fn duality_gap_small_on_random_instances() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for trial in 0..20 {
+            let nv = rng.random_range(2..6usize);
+            let ps: Vec<f64> = (0..nv).map(|_| rng.random_range(0.2..0.9)).collect();
+            let mut cons: Vec<(u32, Vec<usize>)> = Vec::new();
+            // A few random constraints covering random subsets.
+            for _ in 0..rng.random_range(1..4usize) {
+                let mut members: Vec<usize> =
+                    (0..nv).filter(|_| rng.random_bool(0.6)).collect();
+                if members.is_empty() {
+                    members.push(0);
+                }
+                let cap = rng.random_range(members.len() as u32..=members.len() as u32 + 8);
+                cons.push((cap, members));
+            }
+            let v = rng.random_range(10.0..3000.0);
+            let price = rng.random_range(0.0..50.0);
+            let i = AllocationInstance::new(
+                ps.iter().map(|&p| Variable::new(p)).collect(),
+                cons.iter()
+                    .map(|(cap, mem)| PackingConstraint::new(*cap, mem.clone()))
+                    .collect(),
+                v,
+                price,
+            )
+            .unwrap();
+            let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+            assert!(i.is_feasible_real(&s.x, 1e-6), "trial {trial}");
+            let scale = 1.0 + s.dual_bound.abs().max(s.primal_value.abs());
+            assert!(
+                s.gap() / scale < 0.02,
+                "trial {trial}: relative gap too large ({} / {})",
+                s.gap(),
+                scale
+            );
+        }
+    }
+
+    #[test]
+    fn beats_fine_grid_on_two_var_instance() {
+        // Exhaustive 2-D grid comparison on a tight instance.
+        let i = inst(&[0.4, 0.7], &[(5, &[0, 1]), (3, &[0])], 800.0, 10.0);
+        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+        let mut grid_best = f64::NEG_INFINITY;
+        let steps = 400;
+        for a in 0..=steps {
+            let xa = 1.0 + (3.0 - 1.0) * a as f64 / steps as f64;
+            for b in 0..=steps {
+                let xb = 1.0 + (4.0 - 1.0) * b as f64 / steps as f64;
+                if xa + xb <= 5.0 {
+                    grid_best = grid_best.max(i.objective(&[xa, xb]));
+                }
+            }
+        }
+        assert!(
+            s.primal_value >= grid_best - 0.05 * (1.0 + grid_best.abs()),
+            "solver {} vs grid {grid_best}",
+            s.primal_value
+        );
+    }
+
+    #[test]
+    fn repair_produces_feasible_points() {
+        let i = inst(&[0.5, 0.5, 0.5], &[(4, &[0, 1, 2])], 100.0, 0.0);
+        let wild = vec![10.0, 10.0, 10.0];
+        let repaired = repair_feasibility(&i, &wild);
+        assert!(i.is_feasible_real(&repaired, 1e-9), "{repaired:?}");
+        for &v in &repaired {
+            assert!(v >= 1.0);
+        }
+    }
+
+    #[test]
+    fn repair_keeps_feasible_points_unchanged() {
+        let i = inst(&[0.5, 0.5], &[(6, &[0, 1])], 100.0, 0.0);
+        let ok = vec![2.0, 3.0];
+        let repaired = repair_feasibility(&i, &ok);
+        assert!((repaired[0] - 2.0).abs() < 1e-12);
+        assert!((repaired[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_price_drives_to_lower_bound() {
+        let i = inst(&[0.55, 0.55], &[(10, &[0, 1])], 1.0, 1e6);
+        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-9);
+        assert!((s.x[1] - 1.0).abs() < 1e-9);
+    }
+}

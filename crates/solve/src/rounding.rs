@@ -1,0 +1,169 @@
+//! Down-rounding with surplus allocation (paper Algorithm 2, step 4).
+//!
+//! Given the relaxed optimum `x̃*`, take `n_j = ⌊x̃*_j⌋` (never below 1 —
+//! the relaxed problem enforces `x̃ ≥ 1`), which is feasible because the
+//! capacities are integers, then greedily re-allocate any remaining
+//! capacity to variables with positive marginal gain. The result satisfies
+//! the paper's Eq. 8: `n*_j ≥ 1` and `x̃*_j − n*_j ≤ 1`, which is what the
+//! Δ-optimality proof of Prop. 2 needs.
+
+use crate::greedy::greedy_fill;
+use crate::instance::AllocationInstance;
+use crate::SolveError;
+
+/// Rounds a feasible relaxed solution down and fills surplus capacity.
+///
+/// # Errors
+///
+/// Returns [`SolveError::DimensionMismatch`] if `x` has the wrong arity.
+///
+/// # Example
+///
+/// ```
+/// use qdn_solve::{AllocationInstance, PackingConstraint, Variable};
+/// use qdn_solve::relaxed::solve_relaxed;
+/// use qdn_solve::rounding::round_down_and_fill;
+///
+/// let inst = AllocationInstance::new(
+///     vec![Variable::new(0.55); 2],
+///     vec![PackingConstraint::new(5, vec![0, 1])],
+///     1000.0,
+///     2.0,
+/// ).unwrap();
+/// let relaxed = solve_relaxed(&inst, &Default::default()).unwrap();
+/// let n = round_down_and_fill(&inst, &relaxed.x).unwrap();
+/// assert!(inst.is_feasible_int(&n));
+/// // Eq. 8: x̃ - n <= 1 before surplus, and surplus only increases n.
+/// for (xi, ni) in relaxed.x.iter().zip(&n) {
+///     assert!(*ni as f64 >= *xi - 1.0);
+/// }
+/// ```
+pub fn round_down_and_fill(
+    instance: &AllocationInstance,
+    x: &[f64],
+) -> Result<Vec<u32>, SolveError> {
+    if x.len() != instance.num_vars() {
+        return Err(SolveError::DimensionMismatch {
+            expected: instance.num_vars(),
+            got: x.len(),
+        });
+    }
+    // Down-round; x >= 1 so floor >= 1. Tolerate tiny negative excursions
+    // from the numeric solver.
+    let down: Vec<u32> = x.iter().map(|&xi| (xi.floor().max(1.0)) as u32).collect();
+    debug_assert!(
+        instance.is_feasible_int(&down),
+        "down-rounding a feasible relaxed point stays feasible"
+    );
+    // Surplus phase: greedy positive-gain increments.
+    greedy_fill(instance, &down, 0.0)
+}
+
+/// Verifies the Eq. 8 rounding relation between a relaxed point and its
+/// rounded counterpart: `n ≥ 1` and `x − n ≤ 1` component-wise.
+///
+/// Exposed for tests and the theory-validation harness.
+pub fn satisfies_rounding_relation(x: &[f64], n: &[u32]) -> bool {
+    x.len() == n.len()
+        && n.iter().all(|&ni| ni >= 1)
+        && x.iter().zip(n).all(|(&xi, &ni)| xi - (ni as f64) <= 1.0 + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{PackingConstraint, Variable};
+    use crate::relaxed::{solve_relaxed, RelaxedOptions};
+
+    fn inst(caps: &[(u32, &[usize])], ps: &[f64], v: f64, price: f64) -> AllocationInstance {
+        AllocationInstance::new(
+            ps.iter().map(|&p| Variable::new(p)).collect(),
+            caps.iter()
+                .map(|&(c, m)| PackingConstraint::new(c, m.to_vec()))
+                .collect(),
+            v,
+            price,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rounding_preserves_feasibility() {
+        let i = inst(&[(5, &[0, 1]), (3, &[0])], &[0.5, 0.6], 800.0, 1.0);
+        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+        let n = round_down_and_fill(&i, &s.x).unwrap();
+        assert!(i.is_feasible_int(&n));
+    }
+
+    #[test]
+    fn rounding_relation_holds() {
+        let i = inst(&[(7, &[0, 1, 2])], &[0.3, 0.5, 0.7], 1200.0, 3.0);
+        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+        let n = round_down_and_fill(&i, &s.x).unwrap();
+        assert!(satisfies_rounding_relation(&s.x, &n), "x={:?} n={n:?}", s.x);
+    }
+
+    #[test]
+    fn surplus_fill_improves_over_plain_floor() {
+        // Fractional optimum leaves a unit of slack that the fill phase
+        // should claim when gains are positive.
+        let i = inst(&[(5, &[0, 1])], &[0.55, 0.55], 5000.0, 0.1);
+        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+        let down: Vec<u32> = s.x.iter().map(|&xi| xi.floor().max(1.0) as u32).collect();
+        let filled = round_down_and_fill(&i, &s.x).unwrap();
+        assert!(i.objective_int(&filled) >= i.objective_int(&down));
+        // With near-zero price the filled solution should use all 5 units.
+        assert_eq!(filled.iter().sum::<u32>(), 5);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let i = inst(&[(4, &[0])], &[0.5], 10.0, 0.0);
+        assert!(matches!(
+            round_down_and_fill(&i, &[1.0, 2.0]),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn relation_checker_rejects_bad_pairs() {
+        assert!(!satisfies_rounding_relation(&[3.5], &[2])); // gap 1.5 > 1
+        assert!(!satisfies_rounding_relation(&[1.0], &[0])); // below 1
+        assert!(!satisfies_rounding_relation(&[1.0, 2.0], &[1])); // arity
+        assert!(satisfies_rounding_relation(&[2.7], &[2]));
+    }
+
+    /// Prop. 2: the rounded solution is within Δ = V·F·L·log(2 − p_min)
+    /// of the true integer optimum. Here F·L = number of variables.
+    #[test]
+    fn prop2_gap_bound_holds_on_random_instances() {
+        use crate::brute::brute_force_best;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for trial in 0..25 {
+            let nv = rng.random_range(2..4usize);
+            let ps: Vec<f64> = (0..nv).map(|_| rng.random_range(0.25..0.9)).collect();
+            let cap = rng.random_range(nv as u32 + 1..=nv as u32 + 5);
+            let v = rng.random_range(100.0..2000.0);
+            let price = rng.random_range(0.0..30.0);
+            let i = AllocationInstance::new(
+                ps.iter().map(|&p| Variable::new(p)).collect(),
+                vec![PackingConstraint::new(cap, (0..nv).collect())],
+                v,
+                price,
+            )
+            .unwrap();
+            let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
+            let n = round_down_and_fill(&i, &s.x).unwrap();
+            let (_, opt_val) = brute_force_best(&i, 8);
+            let p_min = ps.iter().copied().fold(1.0, f64::min);
+            let delta = v * nv as f64 * (2.0 - p_min).ln();
+            let got = i.objective_int(&n);
+            assert!(
+                opt_val - got <= delta + 1e-6,
+                "trial {trial}: gap {} exceeds Δ={delta}",
+                opt_val - got
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Closed-form scalar maximizer for the per-edge utility.
+//!
+//! With the Lagrangian dual prices fixed, the relaxed problem decouples
+//! into one-dimensional problems of the form
+//!
+//! ```text
+//! maximize  h(x) = V·ln(1 − β^x) − c·x      over x ∈ [lo, hi]
+//! ```
+//!
+//! with `β = 1 − p ∈ (0, 1)`. Setting `t = β^x`, the stationarity
+//! condition `h'(x) = 0` becomes `−V·ln(β)·t/(1 − t) = c`, i.e.
+//! `t* = ρ/(1 + ρ)` with `ρ = c / (−V·ln β)`, so
+//!
+//! ```text
+//! x* = ln(t*) / ln(β)
+//! ```
+//!
+//! — a closed form, clamped into `[lo, hi]` by concavity.
+
+/// The scalar edge utility `h(x) = V·ln(1 − β^x) − c·x` where `β = 1 − p`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_solve::scalar::edge_utility;
+///
+/// let h = edge_utility(0.5, 100.0, 1.0, 2.0);
+/// assert!((h - (100.0 * 0.75f64.ln() - 2.0)).abs() < 1e-9);
+/// ```
+pub fn edge_utility(p: f64, v_weight: f64, price: f64, x: f64) -> f64 {
+    v_weight * crate::instance::ln_success(p, x) - price * x
+}
+
+/// Maximizes `V·ln(1 − (1−p)^x) − c·x` over `x ∈ [lo, hi]` in closed form.
+///
+/// Concavity (paper Prop. 1) means the constrained maximizer is the
+/// unconstrained stationary point clamped to the interval; with `c ≤ 0`
+/// the function is increasing and the maximizer is `hi`.
+///
+/// # Panics
+///
+/// Debug-asserts `p ∈ (0,1)`, `v_weight > 0`, and `lo ≤ hi`.
+///
+/// # Example
+///
+/// ```
+/// use qdn_solve::scalar::{argmax_edge_utility, edge_utility};
+///
+/// let (p, v, c) = (0.55, 2500.0, 10.0);
+/// let x_star = argmax_edge_utility(p, v, c, 1.0, 50.0);
+/// // No feasible point does better.
+/// for x in [1.0, 2.0, x_star - 0.1, x_star + 0.1, 10.0, 50.0] {
+///     assert!(edge_utility(p, v, c, x) <= edge_utility(p, v, c, x_star) + 1e-9);
+/// }
+/// ```
+pub fn argmax_edge_utility(p: f64, v_weight: f64, price: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0, "p={p}");
+    debug_assert!(v_weight > 0.0, "v_weight={v_weight}");
+    debug_assert!(lo <= hi, "lo={lo} hi={hi}");
+    if price <= 0.0 {
+        // Strictly increasing utility: take everything available.
+        return hi;
+    }
+    let ln_beta = f64::ln_1p(-p); // ln(1-p) < 0
+    let rho = price / (-v_weight * ln_beta);
+    // t* in (0, 1); x* = ln(t*)/ln(beta) > 0.
+    let t_star = rho / (1.0 + rho);
+    let x_star = t_star.ln() / ln_beta;
+    x_star.clamp(lo, hi)
+}
+
+/// Derivative `h'(x) = −V·ln(β)·β^x/(1 − β^x) − c`.
+///
+/// Exposed for KKT residual checks in tests and diagnostics.
+pub fn d_edge_utility(p: f64, v_weight: f64, price: f64, x: f64) -> f64 {
+    let ln_beta = f64::ln_1p(-p);
+    let ln_rho = x * ln_beta;
+    let ratio = ln_rho.exp() / (-f64::exp_m1(ln_rho));
+    -v_weight * ln_beta * ratio - price
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_maximum_has_zero_derivative() {
+        let (p, v, c) = (0.55, 2500.0, 25.0);
+        let x = argmax_edge_utility(p, v, c, 1.0, 1e6);
+        assert!(x > 1.0 && x < 1e6, "x={x} should be interior");
+        let d = d_edge_utility(p, v, c, x);
+        assert!(d.abs() < 1e-6, "derivative at maximizer should vanish: {d}");
+    }
+
+    #[test]
+    fn maximum_beats_grid() {
+        for &(p, v, c) in &[(0.3, 100.0, 2.0), (0.55, 2500.0, 50.0), (0.9, 10.0, 0.5)] {
+            let x_star = argmax_edge_utility(p, v, c, 1.0, 40.0);
+            let best = edge_utility(p, v, c, x_star);
+            let mut grid_best = f64::NEG_INFINITY;
+            for i in 0..=4000 {
+                let x = 1.0 + 39.0 * i as f64 / 4000.0;
+                grid_best = grid_best.max(edge_utility(p, v, c, x));
+            }
+            assert!(
+                best >= grid_best - 1e-6,
+                "p={p} v={v} c={c}: closed form {best} vs grid {grid_best}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_price_takes_upper_bound() {
+        assert_eq!(argmax_edge_utility(0.5, 10.0, 0.0, 1.0, 7.0), 7.0);
+        assert_eq!(argmax_edge_utility(0.5, 10.0, -3.0, 1.0, 7.0), 7.0);
+    }
+
+    #[test]
+    fn huge_price_clamps_to_lower_bound() {
+        let x = argmax_edge_utility(0.5, 1.0, 1e9, 1.0, 100.0);
+        assert_eq!(x, 1.0);
+    }
+
+    #[test]
+    fn maximizer_decreases_with_price() {
+        let mut prev = f64::INFINITY;
+        for c in [0.1, 1.0, 10.0, 100.0] {
+            let x = argmax_edge_utility(0.55, 2500.0, c, 1.0, 1e6);
+            assert!(x <= prev);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn maximizer_increases_with_v() {
+        let mut prev = 0.0;
+        for v in [10.0, 100.0, 1000.0, 10000.0] {
+            let x = argmax_edge_utility(0.55, v, 10.0, 1.0, 1e6);
+            assert!(x >= prev);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn derivative_sign_brackets_maximizer() {
+        let (p, v, c) = (0.4, 500.0, 5.0);
+        let x = argmax_edge_utility(p, v, c, 1.0, 1e6);
+        assert!(d_edge_utility(p, v, c, x - 0.5) > 0.0);
+        assert!(d_edge_utility(p, v, c, x + 0.5) < 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the optimization substrate.
+
+use proptest::prelude::*;
+use qdn_solve::brute::brute_force_best;
+use qdn_solve::greedy::greedy_allocate;
+use qdn_solve::relaxed::{repair_feasibility, solve_relaxed, RelaxedOptions};
+use qdn_solve::rounding::{round_down_and_fill, satisfies_rounding_relation};
+use qdn_solve::{AllocationInstance, PackingConstraint, Variable};
+
+/// Strategy: a feasible random instance with 1..5 variables and 1..4
+/// overlapping packing constraints.
+fn arb_instance() -> impl Strategy<Value = AllocationInstance> {
+    (1usize..5).prop_flat_map(|nv| {
+        let vars = proptest::collection::vec(0.05f64..0.95, nv);
+        let cons = proptest::collection::vec(
+            (
+                proptest::collection::btree_set(0..nv, 1..=nv),
+                0u32..8, // extra capacity above the member count
+            ),
+            1..4,
+        );
+        let v_weight = 1.0f64..5000.0;
+        let price = 0.0f64..100.0;
+        (vars, cons, v_weight, price).prop_map(|(ps, cons, v, price)| {
+            let constraints = cons
+                .into_iter()
+                .map(|(members, extra)| {
+                    let members: Vec<usize> = members.into_iter().collect();
+                    PackingConstraint::new(members.len() as u32 + extra, members)
+                })
+                .collect();
+            AllocationInstance::new(
+                ps.into_iter().map(Variable::new).collect(),
+                constraints,
+                v,
+                price,
+            )
+            .expect("constructed feasible at all-ones")
+        })
+    })
+}
+
+proptest! {
+    /// The relaxed solver always returns a feasible point whose value is
+    /// at most the dual bound.
+    #[test]
+    fn relaxed_feasible_and_bounded(inst in arb_instance()) {
+        let s = solve_relaxed(&inst, &RelaxedOptions::default()).unwrap();
+        prop_assert!(inst.is_feasible_real(&s.x, 1e-6));
+        prop_assert!(s.primal_value <= s.dual_bound + 1e-6 * (1.0 + s.dual_bound.abs()));
+    }
+
+    /// Rounding preserves feasibility and the Eq. 8 relation, and the
+    /// integer solution is no better than the relaxed one.
+    #[test]
+    fn rounding_sound(inst in arb_instance()) {
+        let s = solve_relaxed(&inst, &RelaxedOptions::default()).unwrap();
+        let n = round_down_and_fill(&inst, &s.x).unwrap();
+        prop_assert!(inst.is_feasible_int(&n));
+        prop_assert!(satisfies_rounding_relation(&s.x, &n));
+        // Relaxation dominates any integer point.
+        prop_assert!(inst.objective_int(&n) <= s.dual_bound + 1e-4 * (1.0 + s.dual_bound.abs()));
+    }
+
+    /// Greedy always returns a feasible point at least as good as
+    /// all-ones.
+    #[test]
+    fn greedy_feasible_and_improving(inst in arb_instance()) {
+        let n = greedy_allocate(&inst).unwrap();
+        prop_assert!(inst.is_feasible_int(&n));
+        let base = inst.objective_int(&inst.lower_bound_point());
+        prop_assert!(inst.objective_int(&n) >= base - 1e-9);
+    }
+
+    /// Both integer allocators stay within the Prop. 2 gap
+    /// Δ = V · (#vars) · ln(2 − p_min) of the exact optimum on small
+    /// instances.
+    #[test]
+    fn integer_allocators_within_delta(inst in arb_instance()) {
+        let (_, opt) = brute_force_best(&inst, 6);
+        let p_min = inst.vars().iter().map(|v| v.p).fold(1.0, f64::min);
+        let delta = inst.v_weight() * inst.num_vars() as f64 * (2.0 - p_min).ln();
+
+        let s = solve_relaxed(&inst, &RelaxedOptions::default()).unwrap();
+        let rounded = round_down_and_fill(&inst, &s.x).unwrap();
+        prop_assert!(opt - inst.objective_int(&rounded) <= delta + 1e-6,
+            "relax+round gap {} > delta {delta}", opt - inst.objective_int(&rounded));
+
+        let greedy = greedy_allocate(&inst).unwrap();
+        prop_assert!(opt - inst.objective_int(&greedy) <= delta + 1e-6,
+            "greedy gap {} > delta {delta}", opt - inst.objective_int(&greedy));
+    }
+
+    /// Feasibility repair maps arbitrary points above the lower bound into
+    /// the feasible region without dropping below 1.
+    #[test]
+    fn repair_always_feasible(inst in arb_instance(), scale in 1.0f64..20.0) {
+        let wild: Vec<f64> = (0..inst.num_vars()).map(|j| 1.0 + scale * (j as f64 + 1.0)).collect();
+        let fixed = repair_feasibility(&inst, &wild);
+        prop_assert!(inst.is_feasible_real(&fixed, 1e-9));
+        prop_assert!(fixed.iter().all(|&v| v >= 1.0 - 1e-12));
+    }
+}

@@ -1,0 +1,65 @@
+//! Attempt-level realization: run OSCAR's decisions through the
+//! discrete-event simulator instead of the analytic success model.
+//!
+//! The slotted engine scores a decision with Eq. 2's probability; the DES
+//! plays out every entanglement attempt (165 µs rounds), decoherence
+//! deadline, and swap. This example shows the two views agreeing on the
+//! success *rate* while the DES adds what the formula cannot say: when
+//! connections become available and why the failed ones failed.
+//!
+//! Run with: `cargo run --release --example attempt_level`
+
+use qdn::core::baselines::MyopicPolicy;
+use qdn::core::oscar::{OscarConfig, OscarPolicy};
+use qdn::core::policy::RoutingPolicy;
+use qdn::des::slotted::{run_slotted, SlottedDesConfig};
+use qdn::net::dynamics::StaticDynamics;
+use qdn::net::workload::UniformWorkload;
+use qdn::net::NetworkConfig;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("policy     | analytic | realized |   gap  | p50 lat | p99 lat | attempts");
+    println!("-----------+----------+----------+--------+---------+---------+---------");
+    let mut policies: Vec<Box<dyn RoutingPolicy>> = vec![
+        Box::new(OscarPolicy::new(OscarConfig::paper_default())),
+        Box::new(MyopicPolicy::fixed()),
+        Box::new(MyopicPolicy::adaptive()),
+    ];
+    for policy in policies.iter_mut() {
+        // Identical seeds -> identical request/topology sample paths.
+        let mut env_rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut policy_rng = rand::rngs::StdRng::seed_from_u64(22);
+        let network = NetworkConfig::paper_default().build(&mut env_rng)?;
+        let mut workload = UniformWorkload::paper_default();
+        let mut dynamics = StaticDynamics;
+        policy.reset();
+        let metrics = run_slotted(
+            &network,
+            &mut workload,
+            &mut dynamics,
+            policy.as_mut(),
+            &SlottedDesConfig::paper_default(),
+            &mut env_rng,
+            &mut policy_rng,
+        );
+        let latency = metrics.latency_summary().expect("some deliveries");
+        println!(
+            "{:<10} |   {:.4} |   {:.4} | {:.4} | {:.4}s | {:.4}s | {:>8}",
+            metrics.policy(),
+            metrics.expected_success_rate(),
+            metrics.realized_success_rate(),
+            metrics.model_gap(),
+            latency.p50_secs,
+            latency.p99_secs,
+            metrics.total_attempts(),
+        );
+    }
+
+    println!();
+    println!("The paper's slot design in action: the 0.66 s attempt window sits");
+    println!("inside the 1.46 s memory, so links never decohere and (with q = 1)");
+    println!("swaps never fail — the only physical failure mode is a link missing");
+    println!("its window, which is exactly what Eq. 1 prices in.");
+    Ok(())
+}

@@ -1,0 +1,140 @@
+//! Plugging a custom policy into the simulator: implement
+//! [`RoutingPolicy`] for a simple "shortest route, fixed two channels per
+//! edge" strategy and race it against OSCAR through the engine.
+//!
+//! Run with: `cargo run --release --example custom_policy`
+
+use qdn::core::oscar::{OscarConfig, OscarPolicy};
+use qdn::core::policy::RoutingPolicy;
+use qdn::core::types::{Decision, RouteAssignment, SlotState};
+use qdn::net::dynamics::StaticDynamics;
+use qdn::net::routes::{CandidateRoutes, RouteLimits};
+use qdn::net::workload::UniformWorkload;
+use qdn::net::{NetworkConfig, QdnNetwork};
+use qdn::sim::engine::{run, SimConfig};
+use rand::SeedableRng;
+
+/// Always the fewest-hop candidate route with exactly two channels per
+/// edge — no budget awareness, no congestion awareness.
+#[derive(Debug)]
+struct TwoChannelPolicy {
+    routes: CandidateRoutes,
+}
+
+impl TwoChannelPolicy {
+    fn new() -> Self {
+        TwoChannelPolicy {
+            routes: CandidateRoutes::new(RouteLimits::paper_default()),
+        }
+    }
+}
+
+impl RoutingPolicy for TwoChannelPolicy {
+    fn name(&self) -> String {
+        "TwoChannel".into()
+    }
+
+    fn decide(
+        &mut self,
+        network: &QdnNetwork,
+        slot: &SlotState,
+        _rng: &mut dyn rand::Rng,
+    ) -> Decision {
+        // Track what this slot has already consumed so we stay feasible.
+        let mut node_left: Vec<i64> = network
+            .graph()
+            .node_ids()
+            .map(|v| slot.snapshot().qubits(v) as i64)
+            .collect();
+        let mut edge_left: Vec<i64> = network
+            .graph()
+            .edge_ids()
+            .map(|e| slot.snapshot().channels(e) as i64)
+            .collect();
+
+        let mut assignments = Vec::new();
+        let mut unserved = Vec::new();
+        for &pair in slot.requests() {
+            let Some(route) = self.routes.routes(network, pair).first().cloned() else {
+                unserved.push(pair);
+                continue;
+            };
+            // Two channels per edge if they fit, else one, else skip.
+            let fits = |n: i64, node_left: &[i64], edge_left: &[i64]| {
+                route.edges().iter().all(|e| {
+                    let (u, v) = network.graph().endpoints(*e);
+                    edge_left[e.index()] >= n
+                        && node_left[u.index()] >= n
+                        && node_left[v.index()] >= n
+                })
+            };
+            let n = if fits(2, &node_left, &edge_left) {
+                2
+            } else if fits(1, &node_left, &edge_left) {
+                1
+            } else {
+                unserved.push(pair);
+                continue;
+            };
+            for e in route.edges() {
+                let (u, v) = network.graph().endpoints(*e);
+                edge_left[e.index()] -= n;
+                node_left[u.index()] -= n;
+                node_left[v.index()] -= n;
+            }
+            let hops = route.hops();
+            assignments.push(RouteAssignment::new(pair, route, vec![n as u32; hops]));
+        }
+        Decision::new(assignments, unserved)
+    }
+
+    fn reset(&mut self) {}
+}
+
+fn race(policy: &mut dyn RoutingPolicy, seed: u64) -> qdn::sim::RunMetrics {
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut policy_rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+    let network = NetworkConfig::paper_default()
+        .build(&mut env_rng)
+        .expect("valid config");
+    run(
+        &network,
+        &mut UniformWorkload::paper_default(),
+        &mut StaticDynamics,
+        policy,
+        &SimConfig {
+            horizon: 100,
+            realize_outcomes: true,
+        },
+        &mut env_rng,
+        &mut policy_rng,
+    )
+}
+
+fn main() {
+    let mut custom = TwoChannelPolicy::new();
+    let mut oscar = OscarPolicy::new(OscarConfig {
+        total_budget: 2500.0,
+        horizon: 100,
+        ..OscarConfig::paper_default()
+    });
+
+    println!("custom RoutingPolicy vs OSCAR, identical environments (T=100):\n");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10}",
+        "policy", "avg success", "usage", "unserved"
+    );
+    for (label, m) in [
+        ("TwoChannel", race(&mut custom, 5)),
+        ("OSCAR", race(&mut oscar, 5)),
+    ] {
+        println!(
+            "{label:<12} {:>12.4} {:>10} {:>10}",
+            m.avg_success(),
+            m.total_cost(),
+            m.total_unserved(),
+        );
+    }
+    println!("\nThe fixed allocation wastes channels on easy routes and starves");
+    println!("hard ones; OSCAR prices every channel against the budget instead.");
+}

@@ -1,0 +1,85 @@
+//! A distributed-quantum-computing scenario: a few large quantum
+//! computers (hotspots) serve many small ones, and EC requests arrive as
+//! a bursty Poisson-like process. Compares OSCAR against Myopic-Adaptive
+//! on identical sample paths.
+//!
+//! This is the workload the paper's introduction motivates: "distribute
+//! computational tasks among several smaller QCs, interconnected through
+//! a QDN".
+//!
+//! Run with: `cargo run --release --example dqc_workload`
+
+use qdn::core::baselines::MyopicPolicy;
+use qdn::core::oscar::{OscarConfig, OscarPolicy};
+use qdn::core::policy::RoutingPolicy;
+use qdn::net::dynamics::StaticDynamics;
+use qdn::net::workload::HotspotWorkload;
+use qdn::net::NetworkConfig;
+use qdn::sim::engine::{run, SimConfig};
+use qdn_graph::NodeId;
+use rand::SeedableRng;
+
+const HORIZON: u64 = 120;
+const BUDGET: f64 = 3000.0;
+
+fn simulate(policy: &mut dyn RoutingPolicy, seed: u64) -> qdn::sim::RunMetrics {
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut policy_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+    let network = NetworkConfig::paper_default()
+        .build(&mut env_rng)
+        .expect("valid config");
+    // Two "data-center" QCs attract 70% of the EC traffic.
+    let mut workload = HotspotWorkload::new(3, vec![NodeId(0), NodeId(1)], 0.7);
+    let mut dynamics = StaticDynamics;
+    run(
+        &network,
+        &mut workload,
+        &mut dynamics,
+        policy,
+        &SimConfig {
+            horizon: HORIZON,
+            realize_outcomes: true,
+        },
+        &mut env_rng,
+        &mut policy_rng,
+    )
+}
+
+fn main() {
+    let oscar_cfg = OscarConfig {
+        total_budget: BUDGET,
+        horizon: HORIZON,
+        ..OscarConfig::paper_default()
+    };
+    let mut oscar = OscarPolicy::new(oscar_cfg);
+    let mut ma = MyopicPolicy::new(qdn::core::baselines::MyopicConfig {
+        total_budget: BUDGET,
+        horizon: HORIZON,
+        ..qdn::core::baselines::MyopicConfig::paper_default(
+            qdn::core::baselines::BudgetSplit::Adaptive,
+        )
+    });
+
+    println!("DQC hotspot workload: 3 requests/slot, 70% touching 2 data-center QCs");
+    println!("budget C = {BUDGET}, horizon T = {HORIZON}\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "policy", "avg success", "avg utility", "usage", "realized", "fairness"
+    );
+    for (name, metrics) in [
+        ("OSCAR", simulate(&mut oscar, 42)),
+        ("MA", simulate(&mut ma, 42)),
+    ] {
+        println!(
+            "{:<8} {:>12.4} {:>12.4} {:>10} {:>10.4} {:>9.4}",
+            name,
+            metrics.avg_success(),
+            metrics.avg_utility(),
+            metrics.total_cost(),
+            metrics.realized_success_rate().unwrap_or(0.0),
+            metrics.jain_fairness(),
+        );
+    }
+    println!("\nOSCAR spends the same budget where the hotspot contention bites,");
+    println!("instead of rationing uniformly across slots like MA.");
+}

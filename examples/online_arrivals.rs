@@ -1,0 +1,69 @@
+//! Online entanglement routing: requests served upon arrival.
+//!
+//! Instead of batching EC requests into 1.46 s slots, a Poisson stream of
+//! requests hits the network in continuous time. Each arrival is routed
+//! immediately against the *residual* capacities (in-flight executions
+//! hold their qubits and channels until they deliver or fail), and the
+//! long-term budget is paced by a continuous-time virtual queue — the
+//! event-driven analogue of OSCAR's Eq. 7.
+//!
+//! The example sweeps the arrival rate from the paper's load (≈ 2 req/s)
+//! into overload, showing the queue trading success rate for budget
+//! adherence exactly as the slotted theory predicts.
+//!
+//! Run with: `cargo run --release --example online_arrivals`
+
+use std::time::Duration;
+
+use qdn::des::arrivals::PoissonArrivals;
+use qdn::des::online::{run_online, OnlineConfig, OnlineRouter};
+use qdn::net::NetworkConfig;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let span = Duration::from_secs_f64(200.0 * 1.46); // the paper's horizon
+    let config = OnlineConfig::paper_default();
+    println!(
+        "budget C = {}, paced at {:.2} units/s over {:.0}s",
+        config.total_budget,
+        config.budget_rate(),
+        span.as_secs_f64()
+    );
+    println!();
+    println!("rate   | requests | served | success | spend  | mean lat | p99 lat | thruput");
+    println!("-------+----------+--------+---------+--------+----------+---------+--------");
+
+    for rate in [1.0, PoissonArrivals::paper_rate(), 4.0, 8.0] {
+        let mut env_rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut policy_rng = rand::rngs::StdRng::seed_from_u64(32);
+        let network = NetworkConfig::paper_default().build(&mut env_rng)?;
+        let mut router = OnlineRouter::new(config.clone());
+        let mut arrivals = PoissonArrivals::new(rate, span)?;
+        let metrics = run_online(
+            &network,
+            &mut router,
+            &mut arrivals,
+            &mut env_rng,
+            &mut policy_rng,
+        );
+        let latency = metrics.latency_summary();
+        println!(
+            "{:>5.2} | {:>8} | {:>6} |  {:.4} | {:>6} |  {} |  {} | {:.3}/s",
+            rate,
+            metrics.total_requests(),
+            metrics.served(),
+            metrics.realized_success_rate(),
+            metrics.total_cost(),
+            latency.map_or("   --   ".into(), |l| format!("{:.4}s", l.mean_secs)),
+            latency.map_or("   --  ".into(), |l| format!("{:.4}s", l.p99_secs)),
+            metrics.throughput_per_sec(),
+        );
+    }
+
+    println!();
+    println!("As the arrival rate climbs past the paced budget, the virtual queue");
+    println!("grows and pins admissions to minimum-cost routes: per-request spend");
+    println!("falls, total spend tracks the allowance, and the success rate bends");
+    println!("down — the same V-mediated trade-off as the slotted Figs. 7/8.");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build the paper's default QDN, run OSCAR for a handful of
+//! slots, and inspect the decisions it makes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qdn::core::oscar::{OscarConfig, OscarPolicy};
+use qdn::core::policy::RoutingPolicy;
+use qdn::core::types::SlotState;
+use qdn::net::workload::{UniformWorkload, Workload};
+use qdn::net::{CapacitySnapshot, NetworkConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 20-node Waxman QDN with the paper's §V-A parameters:
+    //    Q_v ~ U[10,16] qubits, W_e ~ U[5,8] channels, p̃ = 2e-4, A = 4000.
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(7);
+    let network = NetworkConfig::paper_default().build(&mut env_rng)?;
+    println!(
+        "network: {} nodes, {} edges, avg degree {:.2}, p_e ≈ {:.3}",
+        network.node_count(),
+        network.edge_count(),
+        network.graph().average_degree(),
+        1.0 - (1.0 - network.p_min()),
+    );
+
+    // 2. OSCAR with V = 2500, q0 = 10, budget C = 5000 over T = 200 slots.
+    let mut policy = OscarPolicy::new(OscarConfig::paper_default());
+    let mut workload = UniformWorkload::paper_default();
+    let mut policy_rng = rand::rngs::StdRng::seed_from_u64(8);
+
+    // 3. Drive a few slots by hand (the `qdn::sim` engine automates this).
+    for t in 0..5 {
+        let requests = workload.requests(t, &network, &mut env_rng);
+        let slot = SlotState::new(t, requests, CapacitySnapshot::full(&network));
+        let decision = policy.decide(&network, &slot, &mut policy_rng);
+
+        println!(
+            "\nslot {t}: {} request(s), cost {}, queue -> {:.1}",
+            slot.requests().len(),
+            decision.total_cost(),
+            policy.queue_value(),
+        );
+        for a in decision.assignments() {
+            println!(
+                "  {}: route {} | channels {:?} | P(success) = {:.3}",
+                a.pair,
+                a.route,
+                a.allocation,
+                a.success_probability(&network),
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Explore Waxman QDN topologies: degree calibration across sizes,
+//! edge-length statistics, and candidate-route structure — the
+//! ingredients behind the paper's Fig. 6 setup.
+//!
+//! Run with: `cargo run --example topology_explorer`
+
+use qdn::graph::connectivity::is_connected;
+use qdn::graph::waxman::{calibrate_beta, WaxmanConfig};
+use qdn::net::routes::{CandidateRoutes, RouteLimits};
+use qdn::net::workload::random_sd_pair;
+use qdn::net::NetworkConfig;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+
+    println!("Waxman degree calibration (target average degree 4):\n");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10}",
+        "nodes", "beta", "avg degree", "connected"
+    );
+    for nodes in [10usize, 15, 20, 25, 30, 40] {
+        let cfg = WaxmanConfig::paper_default().with_nodes(nodes);
+        let beta = calibrate_beta(&cfg, 4.0, &mut rng);
+        let topo = cfg.with_beta(beta).generate(&mut rng);
+        println!(
+            "{nodes:>6} {beta:>10.4} {:>12.2} {:>10}",
+            topo.graph.average_degree(),
+            is_connected(&topo.graph),
+        );
+    }
+
+    println!("\nCandidate routes on the paper-default 20-node QDN:");
+    let network = NetworkConfig::paper_default()
+        .build(&mut rng)
+        .expect("valid config");
+    let mut routes = CandidateRoutes::new(RouteLimits::paper_default());
+    for _ in 0..5 {
+        let pair = random_sd_pair(&mut rng, &network);
+        let cands = routes.routes(&network, pair);
+        println!("\n  {pair} — {} candidate route(s):", cands.len());
+        for (i, r) in cands.iter().enumerate() {
+            let p1: f64 = network.route_success(r, &vec![1; r.hops()]);
+            let p3: f64 = network.route_success(r, &vec![3; r.hops()]);
+            println!(
+                "    #{i}: {} hop(s)  {}  P(1/edge)={p1:.3}  P(3/edge)={p3:.3}",
+                r.hops(),
+                r
+            );
+        }
+    }
+
+    println!("\nEdge-length distribution (fiber model input):");
+    let topo = WaxmanConfig::paper_default().generate(&mut rng);
+    let mut lengths: Vec<f64> = topo
+        .graph
+        .edge_ids()
+        .map(|e| topo.edge_length(e))
+        .collect();
+    lengths.sort_by(f64::total_cmp);
+    if !lengths.is_empty() {
+        println!(
+            "  {} edges, min {:.1}, median {:.1}, max {:.1} (units of the 100x100 square)",
+            lengths.len(),
+            lengths[0],
+            lengths[lengths.len() / 2],
+            lengths[lengths.len() - 1],
+        );
+    }
+}

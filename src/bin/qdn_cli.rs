@@ -1,0 +1,256 @@
+//! `qdn-cli` — run entanglement-routing experiments from JSON configs.
+//!
+//! ```console
+//! $ qdn-cli template > experiment.json   # write a starter config
+//! $ qdn-cli run experiment.json          # run it, print the summary
+//! $ qdn-cli run experiment.json --output results.json
+//! $ qdn-cli summarize results.json       # re-print a saved run
+//! $ qdn-cli online --rate 2.05 --seconds 292   # event-driven online mode
+//! ```
+//!
+//! The config format is the serde form of [`qdn_sim::experiment::Experiment`];
+//! everything the library can express (policies, workloads, dynamics,
+//! trial counts, fidelity targets) is reachable from the file. The
+//! `online` subcommand runs the event-driven per-arrival router from
+//! `qdn-des` instead of the slotted engine.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use qdn_des::arrivals::PoissonArrivals;
+use qdn_des::online::{run_online, OnlineConfig, OnlineRouter};
+use qdn_net::NetworkConfig;
+use qdn_sim::experiment::{Experiment, ExperimentResults};
+use qdn_sim::output::{fmt_f, to_table};
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("template") => template(),
+        Some("run") => run(&args[1..]),
+        Some("summarize") => summarize(&args[1..]),
+        Some("online") => online(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: qdn-cli <template | run CONFIG [--output FILE] | summarize RESULTS \
+                 | online [--rate R] [--seconds S] [--budget C] [--v V] [--q0 Q] [--seed N]>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--name value` as an `f64`, with a default.
+fn flag_f64(args: &[String], name: &str, default: f64) -> Result<f64, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse()
+            .map_err(|e| format!("invalid {name}: {e}")),
+    }
+}
+
+fn online(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<(f64, f64, OnlineConfig, u64), String> {
+        let rate = flag_f64(args, "--rate", PoissonArrivals::paper_rate())?;
+        let seconds = flag_f64(args, "--seconds", 200.0 * 1.46)?;
+        let mut config = OnlineConfig::paper_default();
+        config.total_budget = flag_f64(args, "--budget", config.total_budget)?;
+        config.v = flag_f64(args, "--v", config.v)?;
+        config.q0 = flag_f64(args, "--q0", config.q0)?;
+        config.budget_span = Duration::from_secs_f64(seconds);
+        let seed = flag_f64(args, "--seed", 7.0)? as u64;
+        Ok((rate, seconds, config, seed))
+    })();
+    let (rate, seconds, config, seed) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut policy_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0571);
+    let network = match NetworkConfig::paper_default().build(&mut env_rng) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: cannot build network: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let arrivals = match PoissonArrivals::new(rate, Duration::from_secs_f64(seconds)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "online run: {rate:.2} req/s for {seconds:.0}s, C = {}, V = {}, q0 = {}",
+        config.total_budget, config.v, config.q0
+    );
+    let mut router = OnlineRouter::new(config);
+    let mut arrivals = arrivals;
+    let m = run_online(
+        &network,
+        &mut router,
+        &mut arrivals,
+        &mut env_rng,
+        &mut policy_rng,
+    );
+    let latency = m.latency_summary();
+    let rows = vec![vec![
+        m.total_requests().to_string(),
+        m.served().to_string(),
+        fmt_f(m.realized_success_rate()),
+        fmt_f(m.expected_success_rate()),
+        m.total_cost().to_string(),
+        fmt_f(m.throughput_per_sec()),
+        latency.map_or("--".into(), |l| fmt_f(l.mean_secs)),
+        latency.map_or("--".into(), |l| fmt_f(l.p99_secs)),
+    ]];
+    println!(
+        "{}",
+        to_table(
+            &[
+                "requests",
+                "served",
+                "success",
+                "expected",
+                "spend",
+                "thruput/s",
+                "mean_lat_s",
+                "p99_lat_s"
+            ],
+            &rows
+        )
+    );
+    ExitCode::SUCCESS
+}
+
+fn template() -> ExitCode {
+    let experiment = Experiment::paper_default("my-experiment");
+    match serde_json::to_string_pretty(&experiment) {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: failed to serialize template: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let Some(config_path) = args.first() else {
+        eprintln!("usage: qdn-cli run CONFIG [--output FILE]");
+        return ExitCode::FAILURE;
+    };
+    let output_path = args
+        .iter()
+        .position(|a| a == "--output")
+        .and_then(|i| args.get(i + 1));
+
+    let config = match std::fs::read_to_string(config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot read {config_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let experiment: Experiment = match serde_json::from_str(&config) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: invalid experiment config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "running '{}': {} policies × {} trials × {} slots…",
+        experiment.name,
+        experiment.policies.len(),
+        experiment.trials.trials,
+        experiment.trials.sim.horizon
+    );
+    let results = experiment.run();
+    print_summary(&results);
+
+    if let Some(path) = output_path {
+        match serde_json::to_string(&results) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("full results written to {path}");
+            }
+            Err(e) => {
+                eprintln!("error: failed to serialize results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn summarize(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: qdn-cli summarize RESULTS");
+        return ExitCode::FAILURE;
+    };
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serde_json::from_str::<ExperimentResults>(&data) {
+        Ok(results) => {
+            print_summary(&results);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: invalid results file: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_summary(results: &ExperimentResults) {
+    let rows: Vec<Vec<String>> = results
+        .runs
+        .iter()
+        .map(|p| {
+            vec![
+                p.policy.clone(),
+                fmt_f(p.mean_of(|r| r.avg_success())),
+                fmt_f(p.mean_of(|r| r.avg_utility())),
+                fmt_f(p.mean_of(|r| r.total_cost() as f64)),
+                fmt_f(p.mean_of(|r| r.jain_fairness())),
+                fmt_f(p.mean_of(|r| r.total_unserved() as f64)),
+            ]
+        })
+        .collect();
+    println!("experiment: {}", results.name);
+    println!(
+        "{}",
+        to_table(
+            &[
+                "policy",
+                "avg_success",
+                "avg_utility",
+                "mean_usage",
+                "jain",
+                "unserved"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,12 @@
+//! Facade crate for the QDN OSCAR reproduction.
+//!
+//! Re-exports every workspace crate under one roof. See the README for a
+//! tour and `examples/` for runnable programs.
+
+pub use qdn_core as core;
+pub use qdn_des as des;
+pub use qdn_graph as graph;
+pub use qdn_net as net;
+pub use qdn_physics as physics;
+pub use qdn_sim as sim;
+pub use qdn_solve as solve;

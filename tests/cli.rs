@@ -1,0 +1,178 @@
+//! End-to-end tests of the `qdn-cli` binary: template generation, config
+//! execution, result persistence, and the summarize round trip — driven
+//! through the real executable.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qdn-cli"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdn-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = cli().output().expect("spawn qdn-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn template_emits_valid_experiment_json() {
+    let out = cli().arg("template").output().expect("spawn qdn-cli");
+    assert!(out.status.success());
+    let experiment: qdn::sim::experiment::Experiment =
+        serde_json::from_str(&stdout_of(&out)).expect("template must parse back");
+    assert_eq!(experiment.policies.len(), 3);
+    assert_eq!(experiment.trials.sim.horizon, 200);
+}
+
+#[test]
+fn run_missing_config_fails_cleanly() {
+    let out = cli()
+        .args(["run", "/nonexistent/experiment.json"])
+        .output()
+        .expect("spawn qdn-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn run_invalid_json_fails_cleanly() {
+    let dir = tmp_dir("badjson");
+    let path = dir.join("bad.json");
+    std::fs::write(&path, "{ not json").unwrap();
+    let out = cli()
+        .args(["run", path.to_str().unwrap()])
+        .output()
+        .expect("spawn qdn-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid experiment config"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn template_run_summarize_round_trip() {
+    let dir = tmp_dir("roundtrip");
+    let config_path = dir.join("experiment.json");
+    let results_path = dir.join("results.json");
+
+    // Template, shrunk to a fast configuration.
+    let out = cli().arg("template").output().expect("spawn qdn-cli");
+    assert!(out.status.success());
+    let mut experiment: qdn::sim::experiment::Experiment =
+        serde_json::from_str(&stdout_of(&out)).unwrap();
+    experiment.trials.trials = 1;
+    experiment.trials.sim.horizon = 5;
+    // Pro-rate the budget so C/T stays at the paper's operating point.
+    for spec in &mut experiment.policies {
+        match spec {
+            qdn::sim::experiment::PolicySpec::Oscar(cfg) => {
+                cfg.horizon = 5;
+                cfg.total_budget = 125.0;
+            }
+            qdn::sim::experiment::PolicySpec::Myopic(cfg) => {
+                cfg.horizon = 5;
+                cfg.total_budget = 125.0;
+            }
+            qdn::sim::experiment::PolicySpec::RandomMin { .. } => {}
+            qdn::sim::experiment::PolicySpec::ThroughputGreedy { .. } => {}
+        }
+    }
+    std::fs::write(&config_path, serde_json::to_string(&experiment).unwrap()).unwrap();
+
+    // Run with persisted results.
+    let out = cli()
+        .args([
+            "run",
+            config_path.to_str().unwrap(),
+            "--output",
+            results_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn qdn-cli");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run_summary = stdout_of(&out);
+    assert!(run_summary.contains("OSCAR"));
+    assert!(run_summary.contains("MF"));
+    assert!(run_summary.contains("MA"));
+
+    // The persisted results parse and summarize identically.
+    let saved: qdn::sim::experiment::ExperimentResults =
+        serde_json::from_str(&std::fs::read_to_string(&results_path).unwrap()).unwrap();
+    assert_eq!(saved.runs.len(), 3);
+    let out = cli()
+        .args(["summarize", results_path.to_str().unwrap()])
+        .output()
+        .expect("spawn qdn-cli");
+    assert!(out.status.success());
+    assert_eq!(stdout_of(&out), run_summary);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn online_subcommand_runs_and_reports() {
+    let out = cli()
+        .args(["online", "--rate", "2", "--seconds", "30", "--seed", "3"])
+        .output()
+        .expect("spawn qdn-cli");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("requests"));
+    assert!(stdout.contains("thruput/s"));
+    // ~60 arrivals expected; the table row must carry a real count.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("online run"));
+}
+
+#[test]
+fn online_subcommand_rejects_bad_rate() {
+    let out = cli()
+        .args(["online", "--rate", "-1"])
+        .output()
+        .expect("spawn qdn-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("rate"));
+}
+
+#[test]
+fn online_subcommand_rejects_unparseable_flag() {
+    let out = cli()
+        .args(["online", "--rate", "fast"])
+        .output()
+        .expect("spawn qdn-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid --rate"));
+}
+
+#[test]
+fn summarize_rejects_non_results_file() {
+    let dir = tmp_dir("notresults");
+    let path = dir.join("weird.json");
+    std::fs::write(&path, "[1, 2, 3]").unwrap();
+    let out = cli()
+        .args(["summarize", path.to_str().unwrap()])
+        .output()
+        .expect("spawn qdn-cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid results file"));
+    std::fs::remove_dir_all(&dir).ok();
+}

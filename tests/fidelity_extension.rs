@@ -1,0 +1,154 @@
+//! Tests of the paper's §III-C fidelity-constraint extension: "we can
+//! easily integrate a constraint into P1, which calculates the fidelity
+//! of the chosen route and ensures it [meets] the fidelity target in each
+//! time slot."
+
+use qdn::core::oscar::{OscarConfig, OscarPolicy};
+use qdn::core::policy::RoutingPolicy;
+use qdn::core::types::SlotState;
+use qdn::net::workload::{UniformWorkload, Workload};
+use qdn::net::{CapacitySnapshot, NetworkConfig};
+use qdn::physics::fidelity::Fidelity;
+use rand::SeedableRng;
+
+fn lossy_network(seed: u64) -> qdn::net::QdnNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cfg = NetworkConfig::paper_default();
+    cfg.elementary_fidelity = 0.95; // Werner fidelity per elementary link
+    cfg.build(&mut rng).unwrap()
+}
+
+#[test]
+fn network_exposes_route_fidelity() {
+    let net = lossy_network(1);
+    for e in net.graph().edge_ids() {
+        assert_eq!(net.link_fidelity(e), Fidelity::new(0.95).unwrap());
+    }
+    // A multi-hop route composes Werner parameters: strictly below 0.95.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut routes =
+        qdn::net::routes::CandidateRoutes::new(qdn::net::routes::RouteLimits::paper_default());
+    let pair = qdn::net::workload::random_sd_pair(&mut rng, &net);
+    for route in routes.routes(&net, pair) {
+        let f = net.route_fidelity(route);
+        if route.hops() > 1 {
+            assert!(f.value() < 0.95);
+        } else {
+            assert!((f.value() - 0.95).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn fidelity_target_filters_long_routes() {
+    let net = lossy_network(2);
+    // With F_link = 0.95, a 2-hop route has F ≈ 0.9075+..., 3-hop ≈ 0.866.
+    // A 0.9 target therefore allows at most 2 hops.
+    let two_hop_fidelity = {
+        let w = Fidelity::new(0.95).unwrap().werner_parameter();
+        (3.0 * w * w + 1.0) / 4.0
+    };
+    assert!(two_hop_fidelity > 0.9);
+
+    let cfg = OscarConfig::paper_default().with_fidelity_target(0.9);
+    let mut policy = OscarPolicy::new(cfg);
+    let mut wl = UniformWorkload::paper_default();
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut policy_rng = rand::rngs::StdRng::seed_from_u64(8);
+
+    let mut served_any = false;
+    for t in 0..15 {
+        let requests = wl.requests(t, &net, &mut env_rng);
+        let slot = SlotState::new(t, requests, CapacitySnapshot::full(&net));
+        let d = policy.decide(&net, &slot, &mut policy_rng);
+        for a in d.assignments() {
+            served_any = true;
+            assert!(
+                net.route_fidelity(&a.route).value() >= 0.9,
+                "slot {t}: route {} violates the fidelity target",
+                a.route
+            );
+            assert!(a.route.hops() <= 2, "0.9 target admits at most 2 hops");
+        }
+    }
+    assert!(served_any, "some short-route pairs must still be servable");
+}
+
+#[test]
+fn impossible_target_serves_nothing() {
+    let net = lossy_network(3);
+    let cfg = OscarConfig::paper_default().with_fidelity_target(0.99);
+    let mut policy = OscarPolicy::new(cfg);
+    let mut wl = UniformWorkload::paper_default();
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut policy_rng = rand::rngs::StdRng::seed_from_u64(12);
+    let requests = wl.requests(0, &net, &mut env_rng);
+    let n = requests.len();
+    let slot = SlotState::new(0, requests, CapacitySnapshot::full(&net));
+    let d = policy.decide(&net, &slot, &mut policy_rng);
+    assert!(d.assignments().is_empty());
+    assert_eq!(d.unserved().len(), n);
+}
+
+#[test]
+fn purification_planner_qualifies_rejected_routes() {
+    // A route that misses the fidelity target can still be qualified by
+    // nested purification; the planner prices what that would cost in
+    // elementary pairs — the hook for a purification-aware extension of
+    // the §III-C fidelity constraint.
+    use qdn::physics::fidelity::plan_purification;
+
+    let net = lossy_network(6);
+    let target = 0.93;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+    let mut routes =
+        qdn::net::routes::CandidateRoutes::new(qdn::net::routes::RouteLimits::paper_default());
+    let mut qualified_any = false;
+    for _ in 0..20 {
+        let pair = qdn::net::workload::random_sd_pair(&mut rng, &net);
+        for route in routes.routes(&net, pair) {
+            let f = net.route_fidelity(route);
+            if f.value() >= target {
+                continue; // already admissible; no purification needed
+            }
+            let Some(plan) = plan_purification(f, target, 16) else {
+                // Separable or fixed-point-limited routes stay rejected.
+                assert!(
+                    !f.is_entangled() || route.hops() >= 4,
+                    "short entangled routes should be purifiable (F = {f})"
+                );
+                continue;
+            };
+            qualified_any = true;
+            assert!(plan.rounds >= 1);
+            assert!(plan.final_fidelity.value() >= target);
+            // Purification is never free: each level doubles pair usage.
+            assert!(plan.expected_pairs >= 2.0f64.powi(plan.rounds as i32));
+            // Longer routes start lower, so they need at least as many
+            // rounds as the best (1-hop) case.
+            if route.hops() >= 3 {
+                assert!(plan.rounds >= 2, "3+ hops at F0.95/link sit far below 0.93");
+            }
+        }
+    }
+    assert!(qualified_any, "some multi-hop route must need purification");
+}
+
+#[test]
+fn no_target_keeps_default_behaviour() {
+    // With perfect links (paper default), any target up to 1.0 is vacuous.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    let constrained = OscarConfig::paper_default().with_fidelity_target(1.0);
+    let mut p1 = OscarPolicy::new(constrained);
+    let mut p2 = OscarPolicy::new(OscarConfig::paper_default());
+    let mut wl = UniformWorkload::paper_default();
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(13);
+    let requests = wl.requests(0, &net, &mut env_rng);
+    let slot = SlotState::new(0, requests, CapacitySnapshot::full(&net));
+    let mut rng_a = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng_b = rand::rngs::StdRng::seed_from_u64(99);
+    let d1 = p1.decide(&net, &slot, &mut rng_a);
+    let d2 = p2.decide(&net, &slot, &mut rng_b);
+    assert_eq!(d1, d2);
+}

@@ -1,0 +1,166 @@
+//! Tests of the paper's §III-C multi-EC extension: "the extension to
+//! multiple EC requests from a single SD pair is straightforward. In such
+//! cases, we can treat each entanglement connection request as a separate
+//! SD pair, each with a single EC request."
+//!
+//! The routing stack is positional, so repeated `SdPair` values in a
+//! slot's request set are independent requests that may receive different
+//! routes and allocations; these tests exercise that path end to end.
+
+use qdn::core::oscar::{OscarConfig, OscarPolicy};
+use qdn::core::policy::RoutingPolicy;
+use qdn::core::types::SlotState;
+use qdn::graph::NodeId;
+use qdn::net::network::QdnNetworkBuilder;
+use qdn::net::workload::{MultiEcWorkload, UniformWorkload, Workload, WorkloadConfig};
+use qdn::net::{CapacitySnapshot, NetworkConfig, QdnNetwork, SdPair};
+use qdn::physics::link::LinkModel;
+use qdn::sim::audit::audit_decision;
+use qdn::sim::engine::SimConfig;
+use qdn::sim::experiment::Experiment;
+use qdn::sim::trial::TrialConfig;
+use rand::SeedableRng;
+
+/// Diamond 0-1-3 / 0-2-3 with symmetric links.
+fn diamond(qubits: u32, channels: u32) -> QdnNetwork {
+    let mut b = QdnNetworkBuilder::new();
+    let n: Vec<_> = (0..4).map(|_| b.add_node(qubits)).collect();
+    let l = LinkModel::new(0.5).unwrap();
+    b.add_edge(n[0], n[1], channels, l).unwrap();
+    b.add_edge(n[1], n[3], channels, l).unwrap();
+    b.add_edge(n[0], n[2], channels, l).unwrap();
+    b.add_edge(n[2], n[3], channels, l).unwrap();
+    b.build()
+}
+
+#[test]
+fn duplicate_requests_each_get_an_assignment() {
+    let net = diamond(20, 10);
+    let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+    let requests = vec![pair; 3];
+    let snap = CapacitySnapshot::full(&net);
+    let slot = SlotState::new(0, requests, snap.clone());
+    let mut policy = OscarPolicy::new(OscarConfig::paper_default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let d = policy.decide(&net, &slot, &mut rng);
+    assert_eq!(d.assignments().len(), 3, "ample capacity serves all copies");
+    assert!(d.assignments().iter().all(|a| a.pair == pair));
+    assert!(audit_decision(&net, &snap, &d).is_empty());
+}
+
+#[test]
+fn duplicates_split_capacity_across_disjoint_routes() {
+    // Node 1 (and node 2) can hold only 2 qubits, so a single 2-hop route
+    // through it carries at most 1 channel per edge. Two copies of the
+    // 0->3 request can both be served only by splitting across the two
+    // disjoint routes; a third copy must be dropped.
+    let net = diamond(2, 10);
+    let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+    let snap = CapacitySnapshot::full(&net);
+    let mut policy = OscarPolicy::new(OscarConfig::paper_default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+
+    let slot = SlotState::new(0, vec![pair; 2], snap.clone());
+    let d = policy.decide(&net, &slot, &mut rng);
+    assert_eq!(d.assignments().len(), 2, "two copies fit on disjoint routes");
+    let mid_nodes: Vec<NodeId> = d
+        .assignments()
+        .iter()
+        .map(|a| a.route.nodes()[1])
+        .collect();
+    assert_ne!(
+        mid_nodes[0], mid_nodes[1],
+        "copies must take the two disjoint routes"
+    );
+    assert!(audit_decision(&net, &snap, &d).is_empty());
+
+    policy.reset();
+    let slot = SlotState::new(0, vec![pair; 3], snap.clone());
+    let d = policy.decide(&net, &slot, &mut rng);
+    assert_eq!(d.assignments().len(), 2, "third copy cannot fit");
+    assert_eq!(d.unserved().len(), 1);
+    assert!(audit_decision(&net, &snap, &d).is_empty());
+}
+
+#[test]
+fn multi_ec_workload_through_simulator() {
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut policy_rng = rand::rngs::StdRng::seed_from_u64(18);
+    let net = NetworkConfig::paper_default().build(&mut env_rng).unwrap();
+    let mut wl = MultiEcWorkload::new(UniformWorkload::new(1, 2), 3);
+    assert_eq!(wl.max_pairs(), 6);
+    let mut dynamics = qdn::net::dynamics::StaticDynamics;
+    let mut policy = OscarPolicy::new(OscarConfig::paper_default());
+    let metrics = qdn::sim::run(
+        &net,
+        &mut wl,
+        &mut dynamics,
+        &mut policy,
+        &SimConfig {
+            horizon: 30,
+            realize_outcomes: true,
+        },
+        &mut env_rng,
+        &mut policy_rng,
+    );
+    assert_eq!(metrics.slots().len(), 30);
+    // The workload must actually produce multi-request slots.
+    assert!(
+        metrics.slots().iter().any(|s| s.requests > 2),
+        "some slot should exceed the base workload's max of 2 pairs"
+    );
+    assert!(metrics.avg_success() > 0.0);
+}
+
+#[test]
+fn multi_ec_experiment_config_round_trips() {
+    let mut e = Experiment::paper_default("multi-ec");
+    e.workload = WorkloadConfig::MultiEc {
+        base: Box::new(WorkloadConfig::Uniform {
+            min_pairs: 1,
+            max_pairs: 2,
+        }),
+        max_requests_per_pair: 2,
+    };
+    e.trials = TrialConfig {
+        trials: 2,
+        base_seed: 9,
+        sim: SimConfig {
+            horizon: 8,
+            realize_outcomes: true,
+        },
+    };
+    let json = serde_json::to_string(&e).expect("serialize");
+    let back: Experiment = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(e, back);
+    let r1 = e.run();
+    let r2 = back.run();
+    assert_eq!(r1, r2, "round-tripped config reproduces identical results");
+}
+
+#[test]
+fn oscar_dominates_mf_under_multi_ec_load() {
+    let mut e = Experiment::paper_default("multi-ec-dominance");
+    e.workload = WorkloadConfig::MultiEc {
+        base: Box::new(WorkloadConfig::Uniform {
+            min_pairs: 1,
+            max_pairs: 3,
+        }),
+        max_requests_per_pair: 2,
+    };
+    e.trials = TrialConfig {
+        trials: 2,
+        base_seed: 21,
+        sim: SimConfig {
+            horizon: 40,
+            realize_outcomes: true,
+        },
+    };
+    let results = e.run();
+    let oscar = results.policy("OSCAR").unwrap().mean_of(|r| r.avg_success());
+    let mf = results.policy("MF").unwrap().mean_of(|r| r.avg_success());
+    assert!(
+        oscar > mf - 1e-9,
+        "OSCAR {oscar:.4} should dominate MF {mf:.4} under multi-EC load"
+    );
+}

@@ -1,0 +1,171 @@
+//! Empirical Theorem-2 story: OSCAR's time-averaged utility sits within
+//! the analytic optimality gap of an offline hindsight baseline that
+//! knows the whole request trace in advance.
+//!
+//! The oracle is only an *approximation* of the true offline optimum
+//! `OPT` (it plans budgets proportionally to demand, then acts myopically
+//! per slot), so it can only make the test easier to fail — if OSCAR
+//! stays within the Theorem 2 gap of the oracle, the theorem's claim is
+//! consistent with measurement.
+
+use qdn::core::baselines::OraclePolicy;
+use qdn::core::oscar::{OscarConfig, OscarPolicy};
+use qdn::core::route_selection::RouteSelector;
+use qdn::core::theory::{theorem2_optimality_gap, BoundParams};
+use qdn::net::dynamics::StaticDynamics;
+use qdn::net::routes::RouteLimits;
+use qdn::net::workload::{TraceWorkload, UniformWorkload, Workload};
+use qdn::net::NetworkConfig;
+use qdn::sim::engine::{run, SimConfig};
+use rand::SeedableRng;
+
+const HORIZON: u64 = 60;
+const BUDGET: f64 = 1500.0;
+
+#[test]
+fn oscar_within_theorem2_gap_of_hindsight_oracle() {
+    for seed in [3u64, 17] {
+        // Pre-sample the environment so the oracle can see the future.
+        let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = NetworkConfig::paper_default().build(&mut env_rng).unwrap();
+        let mut sampler = UniformWorkload::paper_default();
+        let mut trace_rng = rand::rngs::StdRng::seed_from_u64(seed + 7000);
+        let trace: Vec<_> = (0..HORIZON)
+            .map(|t| sampler.requests(t, &net, &mut trace_rng))
+            .collect();
+
+        let sim = SimConfig {
+            horizon: HORIZON,
+            realize_outcomes: false,
+        };
+
+        // Oracle run.
+        let mut oracle = OraclePolicy::plan(
+            &net,
+            &trace,
+            BUDGET,
+            RouteLimits::paper_default(),
+            RouteSelector::default(),
+        );
+        let mut env1 = rand::rngs::StdRng::seed_from_u64(seed + 1);
+        let mut pol1 = rand::rngs::StdRng::seed_from_u64(seed + 2);
+        let mut wl1 = TraceWorkload::new(trace.clone());
+        let m_oracle = run(
+            &net,
+            &mut wl1,
+            &mut StaticDynamics,
+            &mut oracle,
+            &sim,
+            &mut env1,
+            &mut pol1,
+        );
+
+        // OSCAR run on the identical trace, no future knowledge.
+        let cfg = OscarConfig {
+            total_budget: BUDGET,
+            horizon: HORIZON,
+            ..OscarConfig::paper_default()
+        };
+        let v = cfg.v;
+        let q0 = cfg.q0;
+        let mut oscar = OscarPolicy::new(cfg);
+        let mut env2 = rand::rngs::StdRng::seed_from_u64(seed + 1);
+        let mut pol2 = rand::rngs::StdRng::seed_from_u64(seed + 2);
+        let mut wl2 = TraceWorkload::new(trace.clone());
+        let m_oscar = run(
+            &net,
+            &mut wl2,
+            &mut StaticDynamics,
+            &mut oscar,
+            &sim,
+            &mut env2,
+            &mut pol2,
+        );
+
+        let max_w = net
+            .graph()
+            .edge_ids()
+            .map(|e| net.channel_capacity(e))
+            .max()
+            .unwrap() as f64;
+        let gap = theorem2_optimality_gap(&BoundParams {
+            v,
+            f: 5,
+            l: 8,
+            p_min: net.p_min(),
+            budget: BUDGET,
+            horizon: HORIZON,
+            q0,
+            c_max: 5.0 * 8.0 * max_w,
+        });
+        let u_oscar = m_oscar.avg_utility();
+        let u_oracle = m_oracle.avg_utility();
+        assert!(
+            u_oscar >= u_oracle - gap,
+            "seed {seed}: OSCAR {u_oscar:.3} below oracle {u_oracle:.3} minus gap {gap:.3}"
+        );
+    }
+}
+
+#[test]
+fn oracle_with_full_knowledge_is_competitive_with_mf() {
+    // Sanity: the hindsight plan should not lose to the blind fixed split
+    // on the same trace.
+    let seed = 11u64;
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let net = NetworkConfig::paper_default().build(&mut env_rng).unwrap();
+    let mut sampler = UniformWorkload::paper_default();
+    let mut trace_rng = rand::rngs::StdRng::seed_from_u64(seed + 7000);
+    let trace: Vec<_> = (0..HORIZON)
+        .map(|t| sampler.requests(t, &net, &mut trace_rng))
+        .collect();
+    let sim = SimConfig {
+        horizon: HORIZON,
+        realize_outcomes: false,
+    };
+
+    let mut oracle = OraclePolicy::plan(
+        &net,
+        &trace,
+        BUDGET,
+        RouteLimits::paper_default(),
+        RouteSelector::default(),
+    );
+    let mut env1 = rand::rngs::StdRng::seed_from_u64(seed + 1);
+    let mut pol1 = rand::rngs::StdRng::seed_from_u64(seed + 2);
+    let m_oracle = run(
+        &net,
+        &mut TraceWorkload::new(trace.clone()),
+        &mut StaticDynamics,
+        &mut oracle,
+        &sim,
+        &mut env1,
+        &mut pol1,
+    );
+
+    let mut mf = qdn::core::baselines::MyopicPolicy::new(qdn::core::baselines::MyopicConfig {
+        total_budget: BUDGET,
+        horizon: HORIZON,
+        ..qdn::core::baselines::MyopicConfig::paper_default(
+            qdn::core::baselines::BudgetSplit::Fixed,
+        )
+    });
+    let mut env2 = rand::rngs::StdRng::seed_from_u64(seed + 1);
+    let mut pol2 = rand::rngs::StdRng::seed_from_u64(seed + 2);
+    let m_mf = run(
+        &net,
+        &mut TraceWorkload::new(trace),
+        &mut StaticDynamics,
+        &mut mf,
+        &sim,
+        &mut env2,
+        &mut pol2,
+    );
+
+    assert!(
+        m_oracle.avg_utility() >= m_mf.avg_utility() - 0.05,
+        "oracle {:.3} should not lose to MF {:.3}",
+        m_oracle.avg_utility(),
+        m_mf.avg_utility()
+    );
+}

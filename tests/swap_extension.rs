@@ -1,0 +1,142 @@
+//! Tests of the imperfect-swapping extension: the paper assumes swap
+//! success ≈ 1 (§II-4) but notes the failure probability "can also be
+//! considered as part of the overall failure probability of establishing
+//! entanglement connections, just incorporating a product term in
+//! Equation 2". These tests verify that product term flows through route
+//! evaluation, route selection, and full OSCAR runs.
+
+use qdn::core::allocation::AllocationMethod;
+use qdn::core::oscar::{OscarConfig, OscarPolicy};
+use qdn::core::policy::RoutingPolicy;
+use qdn::core::problem::PerSlotContext;
+use qdn::core::route_selection::{Candidates, RouteSelector};
+use qdn::core::types::SlotState;
+use qdn::graph::{NodeId, Path};
+use qdn::net::network::QdnNetworkBuilder;
+use qdn::net::workload::{UniformWorkload, Workload};
+use qdn::net::{CapacitySnapshot, NetworkConfig, QdnNetwork, SdPair};
+use qdn::physics::link::LinkModel;
+use qdn::physics::swap::SwapModel;
+use rand::SeedableRng;
+
+/// Two routes 0→4: a 2-hop route over mediocre links (0-1-4, p = 0.6)
+/// and a 3-hop route over excellent links (0-2-3-4, p = 0.9). Channel
+/// capacity 1 everywhere pins the allocation, isolating the swap factor.
+fn two_route_network(swap_success: f64) -> QdnNetwork {
+    let mut b = QdnNetworkBuilder::new();
+    let n: Vec<_> = (0..5).map(|_| b.add_node(4)).collect();
+    let mediocre = LinkModel::new(0.6).unwrap();
+    let excellent = LinkModel::new(0.9).unwrap();
+    b.add_edge(n[0], n[1], 1, mediocre).unwrap();
+    b.add_edge(n[1], n[4], 1, mediocre).unwrap();
+    b.add_edge(n[0], n[2], 1, excellent).unwrap();
+    b.add_edge(n[2], n[3], 1, excellent).unwrap();
+    b.add_edge(n[3], n[4], 1, excellent).unwrap();
+    b.set_swap(SwapModel::new(swap_success).unwrap());
+    b.build()
+}
+
+fn routes(net: &QdnNetwork) -> (Path, Path) {
+    let short = Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(4)]).unwrap();
+    let long = Path::from_nodes(
+        net.graph(),
+        vec![NodeId(0), NodeId(2), NodeId(3), NodeId(4)],
+    )
+    .unwrap();
+    (short, long)
+}
+
+#[test]
+fn swap_factor_multiplies_route_success() {
+    let net = two_route_network(0.5);
+    let (short, long) = routes(&net);
+    // 2 hops -> 1 swap, 3 hops -> 2 swaps.
+    let p_short = net.route_success(&short, &[1, 1]);
+    assert!((p_short - 0.5 * 0.36).abs() < 1e-12);
+    let p_long = net.route_success(&long, &[1, 1, 1]);
+    assert!((p_long - 0.25 * 0.729).abs() < 1e-12);
+}
+
+#[test]
+fn lossy_swap_flips_the_preferred_route() {
+    // Perfect swapping: the 3-hop excellent route wins (0.729 > 0.36).
+    // At swap success 0.4: short = 0.4·0.36 = 0.144 beats
+    // long = 0.16·0.729 ≈ 0.117 — route selection must flip.
+    let pair = SdPair::new(NodeId(0), NodeId(4)).unwrap();
+    let selector = RouteSelector::Exhaustive {
+        max_combinations: 16,
+    };
+    let mut chosen_hops = Vec::new();
+    for swap_success in [1.0, 0.4] {
+        let net = two_route_network(swap_success);
+        let (short, long) = routes(&net);
+        let all = vec![short, long];
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 1000.0, 0.0);
+        let cands = vec![Candidates {
+            pair,
+            routes: &all,
+        }];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sel = selector
+            .select(&ctx, &cands, &AllocationMethod::default(), &mut rng)
+            .expect("feasible");
+        chosen_hops.push(all[sel.indices[0]].hops());
+    }
+    assert_eq!(chosen_hops[0], 3, "perfect swap prefers the excellent links");
+    assert_eq!(chosen_hops[1], 2, "lossy swap prefers fewer swaps");
+}
+
+#[test]
+fn oscar_runs_clean_under_lossy_swap() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let cfg = NetworkConfig {
+        swap_success: 0.9,
+        ..NetworkConfig::paper_default()
+    };
+    let net = cfg.build(&mut rng).unwrap();
+    assert!((net.swap().success() - 0.9).abs() < 1e-12);
+
+    let mut policy = OscarPolicy::new(OscarConfig::paper_default());
+    let mut wl = UniformWorkload::paper_default();
+    let mut served = 0usize;
+    for t in 0..25 {
+        let requests = wl.requests(t, &net, &mut rng);
+        let snap = CapacitySnapshot::full(&net);
+        let slot = SlotState::new(t, requests, snap.clone());
+        let d = policy.decide(&net, &slot, &mut rng);
+        served += d.assignments().len();
+        assert!(qdn::sim::audit::audit_decision(&net, &snap, &d).is_empty());
+        for a in d.assignments() {
+            let p = a.success_probability(&net);
+            // Swap loss caps success below the swap factor for the hops.
+            let cap = 0.9f64.powi(a.route.hops() as i32 - 1);
+            assert!(
+                p <= cap + 1e-12,
+                "slot {t}: success {p} exceeds the swap ceiling {cap}"
+            );
+        }
+    }
+    assert!(served > 0);
+}
+
+#[test]
+fn success_decreases_monotonically_in_swap_loss() {
+    // Same topology/requests; only the swap model varies.
+    let pair = SdPair::new(NodeId(0), NodeId(4)).unwrap();
+    let mut last = f64::INFINITY;
+    for swap_success in [1.0, 0.95, 0.9, 0.8, 0.6] {
+        let net = two_route_network(swap_success);
+        let mut policy = OscarPolicy::new(OscarConfig::paper_default());
+        let slot = SlotState::new(0, vec![pair], CapacitySnapshot::full(&net));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let d = policy.decide(&net, &slot, &mut rng);
+        assert_eq!(d.assignments().len(), 1);
+        let p = d.assignments()[0].success_probability(&net);
+        assert!(
+            p <= last + 1e-12,
+            "success should fall with swap loss: {p} after {last}"
+        );
+        last = p;
+    }
+}
