@@ -53,7 +53,14 @@ fn bench(c: &mut Criterion) {
         .collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     group.bench_function("execute_route_3hops", |b| {
-        b.iter(|| black_box(execute_route(SimTime::ZERO, black_box(&tasks), &cfg, &mut rng)))
+        b.iter(|| {
+            black_box(execute_route(
+                SimTime::ZERO,
+                black_box(&tasks),
+                &cfg,
+                &mut rng,
+            ))
+        })
     });
 
     // Kernel 2: event-queue schedule/pop churn at 1k pending events.

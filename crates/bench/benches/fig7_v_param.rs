@@ -16,7 +16,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let points = fig7(Scale::Quick);
-    println!("\n# Fig. 7 V sweep (Quick scale)\n{}", sweep_table("V", &points));
+    println!(
+        "\n# Fig. 7 V sweep (Quick scale)\n{}",
+        sweep_table("V", &points)
+    );
     println!("{}", sweep_csv("V", &points));
     match fig7_shape_holds(&points) {
         Ok(()) => println!("shape check: OK"),

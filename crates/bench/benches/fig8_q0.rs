@@ -10,7 +10,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let points = fig8(Scale::Quick);
-    println!("\n# Fig. 8 q0 sweep (Quick scale)\n{}", sweep_table("q0", &points));
+    println!(
+        "\n# Fig. 8 q0 sweep (Quick scale)\n{}",
+        sweep_table("q0", &points)
+    );
     println!("{}", sweep_csv("q0", &points));
     match fig8_shape_holds(&points) {
         Ok(()) => println!("shape check: OK"),

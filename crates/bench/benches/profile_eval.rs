@@ -1,0 +1,303 @@
+//! Profile-evaluation engine benchmarks: the incremental
+//! component-decomposed `ProfileEvaluator` against the seed's
+//! build-from-scratch `PerSlotContext::evaluate` path.
+//!
+//! Three access patterns per pair count (1/5/10 at the paper's 20-node
+//! Waxman topology):
+//!
+//! * `full_rebuild_move` — the seed's per-proposal cost: one pair flips
+//!   between two routes, every evaluation rebuilds and re-solves the
+//!   joint instance;
+//! * `incremental_move` — the same flips through the evaluator: after the
+//!   first two solves, every evaluation is a memo hit (the revisit
+//!   pattern Gibbs chains exhibit);
+//! * `incremental_cold_eval` — a fresh evaluator and a single all-miss
+//!   evaluation per iteration: the engine's cold cost (construction +
+//!   component solves), the fair "no memo help at all" comparison.
+//!
+//! A 100-node network of 25 independent diamond gadgets (one pair each)
+//! demonstrates the super-linear regime: every pair is its own coupling
+//! component, so a single-pair move re-solves 1/25th of the constraint
+//! system — and each component's route space is tiny, so the memo
+//! saturates and steady-state evaluations cost nanoseconds while the
+//! full-rebuild path keeps re-solving all 25 pairs. (Random SD pairs on
+//! a connected Waxman graph do *not* decouple — their Yen candidate
+//! routes chain every pair into one component, which is why the sparse
+//! regime needs a topology with isolated regions.)
+//!
+//! Run with `CRITERION_JSON=BENCH_profile_eval.json` to append one JSON
+//! line per benchmark (the committed snapshot is produced this way).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdn_core::allocation::AllocationMethod;
+use qdn_core::problem::PerSlotContext;
+use qdn_core::profile_eval::ProfileEvaluator;
+use qdn_core::route_selection::{gibbs, Candidates, GibbsConfig};
+use qdn_graph::Path;
+use qdn_net::routes::{CandidateRoutes, RouteLimits};
+use qdn_net::workload::random_sd_pair;
+use qdn_net::{CapacitySnapshot, NetworkConfig, QdnNetwork, SdPair};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// Distinct SD pairs with their candidate routes.
+fn make_candidates(net: &QdnNetwork, n_pairs: usize, rng: &mut StdRng) -> Vec<(SdPair, Vec<Path>)> {
+    let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+    let mut out: Vec<(SdPair, Vec<Path>)> = Vec::new();
+    while out.len() < n_pairs {
+        let pair = random_sd_pair(rng, net);
+        if out.iter().any(|(p, _)| *p == pair) {
+            continue;
+        }
+        let routes = cr.routes(net, pair).to_vec();
+        if routes.is_empty() {
+            continue;
+        }
+        out.push((pair, routes));
+    }
+    out
+}
+
+fn to_cands(owned: &[(SdPair, Vec<Path>)]) -> Vec<Candidates<'_>> {
+    owned
+        .iter()
+        .map(|(pair, routes)| Candidates {
+            pair: *pair,
+            routes,
+        })
+        .collect()
+}
+
+fn bench_scale(
+    c: &mut Criterion,
+    group_name: &str,
+    net: &QdnNetwork,
+    pair_counts: &[usize],
+    seed: u64,
+) {
+    let snap = CapacitySnapshot::full(net);
+    let ctx = PerSlotContext::oscar(net, &snap, 2500.0, 10.0);
+    let method = AllocationMethod::default();
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(15);
+
+    for &n_pairs in pair_counts {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let owned = make_candidates(net, n_pairs, &mut rng);
+        let cands = to_cands(&owned);
+        // The move: pair 0 alternates between its first two routes (or
+        // stays put if it has a single candidate).
+        let alt = 1.min(cands[0].routes.len() - 1);
+        let base: Vec<usize> = vec![0; n_pairs];
+        let mut moved = base.clone();
+        moved[0] = alt;
+
+        group.bench_function(&format!("full_rebuild_move/{n_pairs}_pairs"), |b| {
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let indices = if flip { &moved } else { &base };
+                let profile: Vec<(SdPair, &Path)> = cands
+                    .iter()
+                    .zip(indices)
+                    .map(|(c, &i)| (c.pair, &c.routes[i]))
+                    .collect();
+                black_box(ctx.evaluate_objective(&profile, &method))
+            })
+        });
+
+        // Evaluator state lives *outside* the sample closure so the
+        // steady-state (post-warm-up) cost is what gets measured.
+        let mut eval = ProfileEvaluator::new(&ctx, &cands, &method);
+        let mut flip = false;
+        group.bench_function(&format!("incremental_move/{n_pairs}_pairs"), |b| {
+            b.iter(|| {
+                flip = !flip;
+                let indices = if flip { &moved } else { &base };
+                black_box(eval.evaluate_objective(indices))
+            })
+        });
+
+        // Cold cost: fresh evaluator + one all-miss evaluation per
+        // iteration. (A persistent "fresh walk" would saturate the small
+        // per-component route spaces within a sample batch and silently
+        // measure memo hits instead of misses.)
+        group.bench_function(&format!("incremental_cold_eval/{n_pairs}_pairs"), |b| {
+            b.iter(|| {
+                let mut eval = ProfileEvaluator::new(&ctx, &cands, &method);
+                black_box(eval.evaluate_objective(&base))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gibbs_end_to_end(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    let snap = CapacitySnapshot::full(&net);
+    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+    let method = AllocationMethod::default();
+    let mut pairs_rng = StdRng::seed_from_u64(11);
+    let owned = make_candidates(&net, 10, &mut pairs_rng);
+    let cands = to_cands(&owned);
+    let config = GibbsConfig::paper_default();
+
+    let mut group = c.benchmark_group("gibbs_select");
+    group.sample_size(10);
+    group.bench_function("incremental/10_pairs_48_iters", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(gibbs::sample(&ctx, &cands, &method, &config, &mut rng)))
+    });
+    group.bench_function("full_rebuild_replica/10_pairs_48_iters", |b| {
+        // The seed's evaluation strategy, reproduced: every proposal
+        // evaluated by rebuilding and re-solving the joint instance.
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(full_rebuild_gibbs(&ctx, &cands, &method, &config, &mut rng)))
+    });
+    group.finish();
+}
+
+/// The seed's Gibbs loop, evaluating through
+/// `PerSlotContext::evaluate_objective` (full instance rebuild per
+/// proposal) — kept here as the benchmark baseline.
+fn full_rebuild_gibbs(
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    method: &AllocationMethod,
+    config: &GibbsConfig,
+    rng: &mut StdRng,
+) -> Option<(Vec<usize>, f64)> {
+    let k = candidates.len();
+    let objective_of = |indices: &[usize]| {
+        let profile: Vec<(SdPair, &Path)> = candidates
+            .iter()
+            .zip(indices)
+            .map(|(c, &i)| (c.pair, &c.routes[i]))
+            .collect();
+        ctx.evaluate_objective(&profile, method)
+    };
+    let mut current: Option<(Vec<usize>, f64)> = None;
+    for _ in 0..config.max_init_attempts.max(1) {
+        let indices: Vec<usize> = candidates
+            .iter()
+            .map(|c| rng.random_range(0..c.routes.len()))
+            .collect();
+        if let Some(f) = objective_of(&indices) {
+            current = Some((indices, f));
+            break;
+        }
+    }
+    let (mut indices, mut f_cur) = current?;
+    let mut best = (indices.clone(), f_cur);
+    let mut gamma = config.gamma;
+    for _ in 0..config.iterations {
+        let i = rng.random_range(0..k);
+        if candidates[i].routes.len() >= 2 {
+            let old = indices[i];
+            let mut proposal = rng.random_range(0..candidates[i].routes.len() - 1);
+            if proposal >= old {
+                proposal += 1;
+            }
+            indices[i] = proposal;
+            match objective_of(&indices) {
+                Some(f_new) => {
+                    if rng.random_bool(gibbs::acceptance_probability(f_new, f_cur, gamma)) {
+                        f_cur = f_new;
+                    } else {
+                        indices[i] = old;
+                    }
+                }
+                None => indices[i] = old,
+            }
+        }
+        if f_cur > best.1 {
+            best = (indices.clone(), f_cur);
+        }
+        gamma *= config.gamma_decay;
+    }
+    Some(best)
+}
+
+/// `count` disjoint diamond gadgets (4 nodes, 2 parallel 2-hop routes);
+/// one SD pair per diamond. Every pair is a singleton coupling component.
+fn diamond_field(count: usize) -> (QdnNetwork, Vec<SdPair>) {
+    use qdn_net::network::QdnNetworkBuilder;
+    use qdn_physics::link::LinkModel;
+    let mut b = QdnNetworkBuilder::new();
+    let good = LinkModel::new(0.85).unwrap();
+    let bad = LinkModel::new(0.35).unwrap();
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let n: Vec<_> = (0..4).map(|_| b.add_node(10)).collect();
+        b.add_edge(n[0], n[1], 5, good).unwrap();
+        b.add_edge(n[1], n[3], 5, good).unwrap();
+        b.add_edge(n[0], n[2], 5, bad).unwrap();
+        b.add_edge(n[2], n[3], 5, bad).unwrap();
+        pairs.push(SdPair::new(n[0], n[3]).unwrap());
+    }
+    (b.build(), pairs)
+}
+
+fn bench_diamond_field(c: &mut Criterion, count: usize) {
+    let (net, pairs) = diamond_field(count);
+    let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+    let owned: Vec<(SdPair, Vec<Path>)> = pairs
+        .iter()
+        .map(|&p| (p, cr.routes(&net, p).to_vec()))
+        .collect();
+    let cands = to_cands(&owned);
+    let snap = CapacitySnapshot::full(&net);
+    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+    let method = AllocationMethod::default();
+
+    let mut group = c.benchmark_group(&format!("profile_eval_diamonds{}", count * 4));
+    group.sample_size(15);
+
+    let base: Vec<usize> = vec![0; count];
+    group.bench_function(&format!("full_rebuild_walk/{count}_pairs"), |b| {
+        let mut indices = base.clone();
+        let mut walk_rng = StdRng::seed_from_u64(17);
+        b.iter(|| {
+            let i = walk_rng.random_range(0..indices.len());
+            indices[i] = walk_rng.random_range(0..cands[i].routes.len());
+            let profile: Vec<(SdPair, &Path)> = cands
+                .iter()
+                .zip(&indices)
+                .map(|(c, &i)| (c.pair, &c.routes[i]))
+                .collect();
+            black_box(ctx.evaluate_objective(&profile, &method))
+        })
+    });
+
+    let mut eval = ProfileEvaluator::new(&ctx, &cands, &method);
+    assert_eq!(eval.component_count(), count, "diamonds must decouple");
+    let mut indices = base.clone();
+    let mut walk_rng = StdRng::seed_from_u64(17);
+    group.bench_function(&format!("incremental_walk/{count}_pairs"), |b| {
+        b.iter(|| {
+            let i = walk_rng.random_range(0..indices.len());
+            indices[i] = walk_rng.random_range(0..cands[i].routes.len());
+            black_box(eval.evaluate_objective(&indices))
+        })
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let paper = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    bench_scale(c, "profile_eval_paper20", &paper, &[1, 5, 10], 11);
+
+    // Larger sparse regime: 25 isolated diamonds, 25 singleton
+    // components — super-linear gains from decomposition + memo
+    // saturation.
+    bench_diamond_field(c, 25);
+
+    bench_gibbs_end_to_end(c);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -43,7 +43,15 @@ fn main() {
     println!(
         "{}",
         to_table(
-            &["policy", "analytic", "realized", "gap", "p50_lat_s", "p99_lat_s", "attempts/EC"],
+            &[
+                "policy",
+                "analytic",
+                "realized",
+                "gap",
+                "p50_lat_s",
+                "p99_lat_s",
+                "attempts/EC"
+            ],
             &table
         )
     );
@@ -51,7 +59,15 @@ fn main() {
     println!(
         "{}",
         to_csv(
-            &["policy", "analytic", "realized", "gap", "p50_lat_s", "p99_lat_s", "attempts_per_ec"],
+            &[
+                "policy",
+                "analytic",
+                "realized",
+                "gap",
+                "p50_lat_s",
+                "p99_lat_s",
+                "attempts_per_ec"
+            ],
             &table
         )
     );
@@ -111,7 +127,9 @@ fn main() {
 
     eprintln!("running memory (decoherence) sweep at {scale:?} scale…");
     let memory = des_memory_sweep(scale);
-    println!("# DES — where the slot abstraction breaks: memory sweep, window 0.66s ({scale:?} scale)");
+    println!(
+        "# DES — where the slot abstraction breaks: memory sweep, window 0.66s ({scale:?} scale)"
+    );
     println!();
     let table: Vec<Vec<String>> = memory
         .iter()
@@ -128,7 +146,13 @@ fn main() {
     println!(
         "{}",
         to_table(
-            &["memory_s", "analytic", "realized", "over_promise", "decohered_frac"],
+            &[
+                "memory_s",
+                "analytic",
+                "realized",
+                "over_promise",
+                "decohered_frac"
+            ],
             &table
         )
     );
@@ -136,7 +160,13 @@ fn main() {
     println!(
         "{}",
         to_csv(
-            &["memory_s", "analytic", "realized", "over_promise", "decohered_frac"],
+            &[
+                "memory_s",
+                "analytic",
+                "realized",
+                "over_promise",
+                "decohered_frac"
+            ],
             &table
         )
     );
@@ -163,7 +193,10 @@ fn main() {
     check("budget_violation", budget_violation_shape_holds(&violation));
     println!(
         "{}",
-        to_csv(&["policy", "spend", "spend_over_budget", "avg_success"], &table)
+        to_csv(
+            &["policy", "spend", "spend_over_budget", "avg_success"],
+            &table
+        )
     );
 
     if failures > 0 {

@@ -10,10 +10,9 @@ use qdn_bench::des::{
 use qdn_bench::figures::{
     ablation_allocation, ablation_gamma, ablation_route_selection, extension_dynamics,
     extension_dynamics_shape_holds, extension_fidelity, extension_fidelity_shape_holds,
-    extension_multi_ec, extension_multi_ec_shape_holds, extension_swap,
-    extension_swap_shape_holds, extension_topologies, extension_topologies_shape_holds, fig3,
-    fig4, fig5, fig5_shape_holds, fig6, fig6_shape_holds, fig7, fig7_shape_holds, fig8,
-    fig8_shape_holds,
+    extension_multi_ec, extension_multi_ec_shape_holds, extension_swap, extension_swap_shape_holds,
+    extension_topologies, extension_topologies_shape_holds, fig3, fig4, fig5, fig5_shape_holds,
+    fig6, fig6_shape_holds, fig7, fig7_shape_holds, fig8, fig8_shape_holds,
 };
 use qdn_bench::report::{fig3_csv, fig3_summary, fig4_csv, fig4_summary, sweep_csv, sweep_table};
 use qdn_bench::Scale;
@@ -66,7 +65,10 @@ fn main() {
     println!("{}", sweep_csv("q0", &f8));
 
     eprintln!("ablations…");
-    println!("{}", sweep_table("selector", &ablation_route_selection(scale)));
+    println!(
+        "{}",
+        sweep_table("selector", &ablation_route_selection(scale))
+    );
     println!("{}", sweep_table("gamma", &ablation_gamma(scale)));
     println!("{}", sweep_table("allocation", &ablation_allocation(scale)));
 

@@ -122,11 +122,19 @@ fn main() {
     println!(
         "  budget violation {:+.3} / slot  (bound {bound1:.1})  -> {}",
         sum_violation / n,
-        if sum_violation / n <= bound1 { "OK" } else { "VIOLATED" }
+        if sum_violation / n <= bound1 {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "  optimality gap   {:+.4}          (bound {bound2:.1})  -> {}",
         sum_gap / n,
-        if sum_gap / n <= bound2 { "OK" } else { "VIOLATED" }
+        if sum_gap / n <= bound2 {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
     );
 }

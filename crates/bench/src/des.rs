@@ -188,7 +188,13 @@ pub fn online_rate_sweep(scale: Scale) -> Vec<OnlineRateRow> {
                     let net = NetworkConfig::paper_default().build(&mut env_rng).unwrap();
                     let mut router = OnlineRouter::new(config);
                     let mut arrivals = PoissonArrivals::new(rate, span).unwrap();
-                    run_online(&net, &mut router, &mut arrivals, &mut env_rng, &mut policy_rng)
+                    run_online(
+                        &net,
+                        &mut router,
+                        &mut arrivals,
+                        &mut env_rng,
+                        &mut policy_rng,
+                    )
                 };
                 let m = run_mode(config.clone());
                 requests += m.total_requests();
@@ -277,8 +283,8 @@ pub fn des_memory_sweep(scale: Scale) -> Vec<MemorySweepRow> {
     memories
         .iter()
         .map(|&mem| {
-            let execution = ExecutionConfig::paper_default()
-                .with_decoherence(Duration::from_secs_f64(mem));
+            let execution =
+                ExecutionConfig::paper_default().with_decoherence(Duration::from_secs_f64(mem));
             let config = SlottedDesConfig {
                 horizon: scale.horizon(),
                 execution,

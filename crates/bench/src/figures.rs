@@ -85,9 +85,8 @@ pub fn fig3(scale: Scale) -> Fig3 {
             policy: p.policy.clone(),
             avg_utility: p.mean_series_of(|r| r.running_avg_utility()),
             avg_success: p.mean_series_of(|r| r.running_avg_success()),
-            cumulative_cost: p.mean_series_of(|r| {
-                r.cumulative_cost().iter().map(|&c| c as f64).collect()
-            }),
+            cumulative_cost: p
+                .mean_series_of(|r| r.cumulative_cost().iter().map(|&c| c as f64).collect()),
         })
         .collect();
     Fig3 {
@@ -130,7 +129,10 @@ impl Fig3 {
         }
         let mf_usage = self.final_usage("MF");
         if mf_usage >= self.budget {
-            return Err(format!("MF usage {mf_usage:.0} should under-spend {}", self.budget));
+            return Err(format!(
+                "MF usage {mf_usage:.0} should under-spend {}",
+                self.budget
+            ));
         }
         let oscar_usage = self.final_usage("OSCAR");
         if (oscar_usage - self.budget).abs() > 0.2 * self.budget {
@@ -301,11 +303,14 @@ pub fn fig5(scale: Scale) -> Vec<SweepPoint> {
             let policies = vec![
                 PolicySpec::Oscar(oscar_config(scale).with_budget(scaled)),
                 PolicySpec::Myopic(myopic_config(scale, BudgetSplit::Fixed).with_budget(scaled)),
-                PolicySpec::Myopic(
-                    myopic_config(scale, BudgetSplit::Adaptive).with_budget(scaled),
-                ),
+                PolicySpec::Myopic(myopic_config(scale, BudgetSplit::Adaptive).with_budget(scaled)),
             ];
-            run_sweep_point("fig5", scale, budget, base_experiment("fig5", scale, policies))
+            run_sweep_point(
+                "fig5",
+                scale,
+                budget,
+                base_experiment("fig5", scale, policies),
+            )
         })
         .collect()
 }

@@ -8,11 +8,7 @@ use crate::figures::{DistributionRow, Fig3, Fig4, SweepPoint};
 /// Renders the Fig. 3 series as CSV (`t, <policy>_utility,
 /// <policy>_success, <policy>_usage, …`).
 pub fn fig3_csv(fig: &Fig3) -> String {
-    let horizon = fig
-        .series
-        .first()
-        .map(|s| s.avg_utility.len())
-        .unwrap_or(0);
+    let horizon = fig.series.first().map(|s| s.avg_utility.len()).unwrap_or(0);
     let mut header: Vec<String> = vec!["t".into()];
     for s in &fig.series {
         header.push(format!("{}_avg_utility", s.policy));
@@ -50,7 +46,13 @@ pub fn fig3_summary(fig: &Fig3) -> String {
         })
         .collect();
     to_table(
-        &["policy", "final_avg_utility", "final_avg_success", "total_usage", "budget"],
+        &[
+            "policy",
+            "final_avg_utility",
+            "final_avg_success",
+            "total_usage",
+            "budget",
+        ],
         &rows,
     )
 }
@@ -115,14 +117,15 @@ pub fn sweep_csv(x_name: &str, points: &[SweepPoint]) -> String {
 
 /// Renders a sweep as an aligned table (one row per point × policy).
 pub fn sweep_table(x_name: &str, points: &[SweepPoint]) -> String {
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .flat_map(|p| {
-            points_row(p, x_name)
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = points.iter().flat_map(|p| points_row(p, x_name)).collect();
     to_table(
-        &[x_name, "policy", "avg_success", "avg_utility", "total_usage"],
+        &[
+            x_name,
+            "policy",
+            "avg_success",
+            "avg_utility",
+            "total_usage",
+        ],
         &rows,
     )
 }

@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the small API surface the bench suite uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `sample_size`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — on top of a
+//! plain wall-clock harness: each benchmark is warmed up, then timed over
+//! `samples` batches, and the per-iteration median/mean/min are printed.
+//! Setting `CRITERION_JSON=<path>` appends one JSON line per benchmark
+//! (used to record `BENCH_*.json` snapshots).
+
+use std::hint::black_box as std_black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark("", &name.into(), 20, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&self.group, &name.into(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations the routine should run this sample.
+    iters: u64,
+    /// Measured duration of the sample, in nanoseconds.
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn run_one(f: &mut impl FnMut(&mut Bencher), iters: u64) -> u128 {
+    let mut b = Bencher {
+        iters,
+        elapsed_ns: 0,
+    };
+    f(&mut b);
+    b.elapsed_ns
+}
+
+fn run_benchmark(group: &str, name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate the iteration count to ~40 ms per sample. The target must
+    // be much larger than a single iteration of cache-warming benchmarks,
+    // so per-sample setup work inside the benchmark closure (before
+    // `iter`) amortizes away instead of dominating every sample.
+    const TARGET_NS: u128 = 40_000_000;
+    let mut iters = 1u64;
+    loop {
+        let ns = run_one(&mut f, iters).max(1);
+        if ns >= TARGET_NS || iters >= 1 << 24 {
+            break;
+        }
+        let scale = (TARGET_NS / ns).clamp(1, 128) as u64 + 1;
+        iters = iters.saturating_mul(scale).min(1 << 24);
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| run_one(&mut f, iters) as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter[0];
+    let full = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    eprintln!("bench {full:<48} median {median:>12.1} ns/iter (mean {mean:.1}, min {min:.1})");
+
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"bench\":\"{full}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"samples\":{samples},\"iters_per_sample\":{iters}}}"
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5);
+        let mut count = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of serde this workspace relies on: [`Serialize`] /
+//! [`Deserialize`] traits that round-trip through an owned JSON-like
+//! [`Value`] tree, and derive macros (re-exported from `serde_derive`)
+//! that implement them for plain structs and enums using serde's default
+//! externally-tagged representation. `serde_json` (the sibling shim)
+//! renders [`Value`] to JSON text and parses it back.
+//!
+//! Supported derive shapes: named-field structs, unit enum variants,
+//! tuple variants, struct variants, and the `#[serde(skip)]` field
+//! attribute (skipped on serialize, `Default`-filled on deserialize).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers (and any integer parsed with a sign).
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+}
+
+/// (De)serialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u)
+                    .map_err(|_| Error::msg(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::msg(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for &[T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::msg("expected 2-tuple"))?;
+        if items.len() != 2 {
+            return Err(Error::msg("expected 2-tuple"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::msg("expected 3-tuple"))?;
+        if items.len() != 3 {
+            return Err(Error::msg("expected 3-tuple"));
+        }
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".into(), Value::UInt(self.as_secs())),
+            ("nanos".into(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = v
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::msg("expected duration object"))?;
+        let nanos = v
+            .get("nanos")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::msg("expected duration object"))?;
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg("expected map entries"))?
+            .iter()
+            .map(<(K, V)>::from_value)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn float_accepts_integral_value() {
+        assert_eq!(f64::from_value(&Value::UInt(3)).unwrap(), 3.0);
+        assert_eq!(f64::from_value(&Value::Int(-3)).unwrap(), -3.0);
+    }
+
+    #[test]
+    fn option_and_vec() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(v.get("a"), Some(&Value::UInt(1)));
+        assert_eq!(v.get("b"), None);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+}

@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn minimal_is_all_ones() {
         let inst = instance(1000.0, 2.0, 6);
-        assert_eq!(AllocationMethod::Minimal.allocate(&inst).unwrap(), vec![1, 1]);
+        assert_eq!(
+            AllocationMethod::Minimal.allocate(&inst).unwrap(),
+            vec![1, 1]
+        );
     }
 
     #[test]
@@ -105,7 +108,10 @@ mod tests {
         let gr = AllocationMethod::Greedy.allocate(&inst).unwrap();
         let v_rr = inst.objective_int(&rr);
         let v_gr = inst.objective_int(&gr);
-        assert!((v_rr - v_gr).abs() < 1.0 + 0.01 * v_gr.abs(), "{v_rr} vs {v_gr}");
+        assert!(
+            (v_rr - v_gr).abs() < 1.0 + 0.01 * v_gr.abs(),
+            "{v_rr} vs {v_gr}"
+        );
     }
 
     #[test]
@@ -116,16 +122,16 @@ mod tests {
             AllocationMethod::Minimal.label(),
         ];
         assert_eq!(
-            labels.iter().collect::<std::collections::HashSet<_>>().len(),
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             3
         );
     }
 
     #[test]
     fn default_is_relax_and_round() {
-        assert_eq!(
-            AllocationMethod::default().label(),
-            "relax+round"
-        );
+        assert_eq!(AllocationMethod::default().label(), "relax+round");
     }
 }

@@ -447,7 +447,10 @@ mod tests {
         assert_eq!(MyopicPolicy::fixed().name(), "MF");
         assert_eq!(MyopicPolicy::adaptive().name(), "MA");
         assert_eq!(MinimalRandomPolicy::default().name(), "Random-Min");
-        assert_eq!(ThroughputGreedyPolicy::default().name(), "Throughput-Greedy");
+        assert_eq!(
+            ThroughputGreedyPolicy::default().name(),
+            "Throughput-Greedy"
+        );
     }
 
     #[test]
@@ -472,11 +475,11 @@ mod tests {
         );
         // ... at a budget-oblivious price: allocation saturates the
         // capacity along every chosen route, spending well past MF's
-        // 25-unit/slot allowance (≈ 2x at the paper's defaults — the
-        // binding constraints are the routes' own capacities, not the
-        // network total).
+        // 25-unit/slot allowance (the binding constraints are the routes'
+        // own capacities, not the network total; the exact ratio varies
+        // with the workload draw, so the margin is conservative).
         assert!(
-            tg.spent() as f64 > 1.5 * 25.0 * 30.0,
+            tg.spent() as f64 > 1.3 * 25.0 * 30.0,
             "TG spent {} — expected well beyond the myopic allowance",
             tg.spent()
         );
@@ -543,7 +546,10 @@ mod tests {
         }
         assert_eq!(ma.spent(), 0);
         let b = ma.slot_budget(10);
-        assert!(b > 25, "MA allowance after idle slots should exceed 25, got {b}");
+        assert!(
+            b > 25,
+            "MA allowance after idle slots should exceed 25, got {b}"
+        );
         // MF never grows.
         let mf = MyopicPolicy::fixed();
         assert_eq!(mf.slot_budget(10), 25);

@@ -7,6 +7,9 @@
 //! * [`problem`] — the per-slot problem **P2**: building the allocation
 //!   instance from a route profile and evaluating the drift-plus-penalty
 //!   objective `f(r, N) = V·Σ log P − q_t·Σ n_e`,
+//! * [`profile_eval`] — the incremental profile-evaluation engine: dense
+//!   scratch buffers, coupling-component decomposition, and per-component
+//!   memoization; every selector evaluates through it,
 //! * [`allocation`] — **Algorithm 2**: continuous relaxation +
 //!   down-round + surplus (Δ-optimal by Prop. 2), plus greedy/minimal
 //!   ablations,
@@ -50,10 +53,12 @@ pub mod lyapunov;
 pub mod oscar;
 pub mod policy;
 pub mod problem;
+pub mod profile_eval;
 pub mod route_selection;
 pub mod theory;
 pub mod types;
 
 pub use oscar::{OscarConfig, OscarPolicy};
 pub use policy::RoutingPolicy;
+pub use profile_eval::ProfileEvaluator;
 pub use types::{Decision, RouteAssignment, SlotState};

@@ -133,7 +133,8 @@ impl RoutingPolicy for OscarPolicy {
         slot: &SlotState,
         rng: &mut dyn rand::Rng,
     ) -> Decision {
-        let ctx = PerSlotContext::oscar(network, slot.snapshot(), self.config.v, self.queue.value());
+        let ctx =
+            PerSlotContext::oscar(network, slot.snapshot(), self.config.v, self.queue.value());
         let decision = decide_with_selector(
             network,
             slot.requests(),
@@ -269,9 +270,12 @@ mod tests {
         let slot = SlotState::new(0, requests, CapacitySnapshot::full(&net));
         let d = policy.decide(&net, &slot, &mut rng);
         assert_eq!(d.request_count(), n_requests);
-        assert!(d.assignments().len() == n_requests, "default config serves all");
+        assert!(
+            d.assignments().len() == n_requests,
+            "default config serves all"
+        );
         assert!(d.total_cost() >= 2 * d.assignments().len() as u64); // >= 1/edge, >= 2 edges... at least hops
-        // Queue moved according to Eq. 7.
+                                                                     // Queue moved according to Eq. 7.
         let expected = (q_before + d.total_cost() as f64 - 25.0).max(0.0);
         assert!((policy.queue_value() - expected).abs() < 1e-9);
     }
@@ -329,11 +333,7 @@ mod tests {
             let requests = wl.requests(t, &net, &mut rng);
             let slot = SlotState::new(t, requests, CapacitySnapshot::full(&net));
             let d = policy.decide(&net, &slot, &mut rng);
-            let min_cost: u64 = d
-                .assignments()
-                .iter()
-                .map(|a| a.route.hops() as u64)
-                .sum();
+            let min_cost: u64 = d.assignments().iter().map(|a| a.route.hops() as u64).sum();
             costs.push((d.total_cost(), min_cost));
         }
         // In the last slots the queue is large: spending equals the
@@ -368,11 +368,8 @@ mod tests {
     fn zero_capacity_slot_serves_nothing() {
         let (net, mut rng) = setup();
         let mut policy = OscarPolicy::new(OscarConfig::paper_default());
-        let snap = CapacitySnapshot::clamped(
-            &net,
-            vec![0; net.node_count()],
-            vec![0; net.edge_count()],
-        );
+        let snap =
+            CapacitySnapshot::clamped(&net, vec![0; net.node_count()], vec![0; net.edge_count()]);
         let mut wl = UniformWorkload::paper_default();
         let requests = wl.requests(0, &net, &mut rng);
         let n = requests.len();

@@ -18,7 +18,6 @@
 use qdn_graph::Path;
 use qdn_net::{CapacitySnapshot, QdnNetwork, SdPair};
 use qdn_solve::{AllocationInstance, PackingConstraint, SolveError, Variable};
-use std::collections::HashMap;
 
 use crate::allocation::AllocationMethod;
 
@@ -97,41 +96,22 @@ impl<'a> PerSlotContext<'a> {
         &self,
         profile: &RouteProfile<'_>,
     ) -> Result<AllocationInstance, SolveError> {
-        let mut vars = Vec::new();
-        let mut node_members: HashMap<u32, Vec<usize>> = HashMap::new();
-        let mut edge_members: HashMap<u32, Vec<usize>> = HashMap::new();
-
-        for (_, route) in profile {
-            for &edge in route.edges() {
-                let j = vars.len();
-                vars.push(Variable::new(self.network.link(edge).channel_success()));
+        let mut scratch =
+            LayoutScratch::sized(self.network.node_count(), self.network.edge_count());
+        let edges = profile.iter().flat_map(|(_, route)| {
+            route.edges().iter().map(|&edge| {
                 let (u, v) = self.network.graph().endpoints(edge);
-                node_members.entry(u.0).or_default().push(j);
-                node_members.entry(v.0).or_default().push(j);
-                edge_members.entry(edge.0).or_default().push(j);
-            }
-        }
-
-        let mut constraints = Vec::new();
-        for (node, members) in node_members {
-            constraints.push(PackingConstraint::new(
-                self.snapshot.qubits(qdn_graph::NodeId(node)),
-                members,
-            ));
-        }
-        for (edge, members) in edge_members {
-            constraints.push(PackingConstraint::new(
-                self.snapshot.channels(qdn_graph::EdgeId(edge)),
-                members,
-            ));
-        }
-        if let Some(budget) = self.slot_budget {
-            constraints.push(PackingConstraint::new(
-                budget.min(u32::MAX as u64) as u32,
-                (0..vars.len()).collect(),
-            ));
-        }
-        AllocationInstance::new(vars, constraints, self.v_weight, self.unit_price)
+                (edge, u, v, self.network.link(edge).channel_success())
+            })
+        });
+        assemble_instance(
+            &mut scratch,
+            self.snapshot,
+            edges,
+            self.slot_budget.map(|b| b.min(u32::MAX as u64) as u32),
+            self.v_weight,
+            self.unit_price,
+        )
     }
 
     /// Evaluates a route profile: solves the allocation sub-problem with
@@ -175,6 +155,28 @@ impl<'a> PerSlotContext<'a> {
         })
     }
 
+    /// Evaluates only the objective of a route profile, skipping the
+    /// per-route un-flattening (and its `Vec` copies) that
+    /// [`PerSlotContext::evaluate`] performs.
+    ///
+    /// Search loops that merely compare profiles (Gibbs proposals, greedy
+    /// coordinate steps, exhaustive enumeration) should prefer this — or,
+    /// better, the memoizing [`crate::profile_eval::ProfileEvaluator`].
+    ///
+    /// Returns `None` exactly when [`PerSlotContext::evaluate`] does.
+    pub fn evaluate_objective(
+        &self,
+        profile: &RouteProfile<'_>,
+        method: &AllocationMethod,
+    ) -> Option<f64> {
+        if profile.is_empty() {
+            return Some(0.0);
+        }
+        let instance = self.build_instance(profile).ok()?;
+        let flat = method.allocate(&instance)?;
+        Some(instance.objective_int(&flat) + self.v_weight * self.swap_ln(profile))
+    }
+
     /// Total log swap factor of a profile:
     /// `Σ_φ swaps(r(φ)) · ln(swap_success)` (0 under perfect swapping).
     fn swap_ln(&self, profile: &RouteProfile<'_>) -> f64 {
@@ -188,6 +190,96 @@ impl<'a> PerSlotContext<'a> {
             .sum();
         swaps as f64 * q.ln()
     }
+}
+
+/// Dense first-touch scratch for [`assemble_instance`]: node/edge → local
+/// constraint slot maps with epoch stamping, sized once per network and
+/// reusable across builds (the `ProfileEvaluator` keeps one alive for a
+/// whole slot; [`PerSlotContext::build_instance`] makes a fresh one).
+#[derive(Debug, Default)]
+pub(crate) struct LayoutScratch {
+    node_slot: Vec<usize>,
+    node_mark: Vec<u64>,
+    edge_slot: Vec<usize>,
+    edge_mark: Vec<u64>,
+    epoch: u64,
+}
+
+impl LayoutScratch {
+    /// Scratch for a network with the given node/edge counts.
+    pub(crate) fn sized(nodes: usize, edges: usize) -> Self {
+        LayoutScratch {
+            node_slot: vec![0; nodes],
+            node_mark: vec![0; nodes],
+            edge_slot: vec![0; edges],
+            edge_mark: vec![0; edges],
+            epoch: 0,
+        }
+    }
+}
+
+/// Assembles the canonical P2 instance layout from a stream of route
+/// edges `(edge, u, v, p)`: variables in stream order, node constraints
+/// in first-touch order, then edge constraints in first-touch order,
+/// then the optional budget over all variables.
+///
+/// This is the **single** definition of the layout. Both the
+/// full-rebuild path ([`PerSlotContext::build_instance`]) and the
+/// incremental [`crate::profile_eval::ProfileEvaluator`] (per-component
+/// sub-instances) call it, which — together with the component-wise
+/// solvers in `qdn_solve` — is what makes their results bit-identical:
+/// a coupling component's sub-instance is structurally the joint
+/// instance restricted to it, in the same relative order.
+pub(crate) fn assemble_instance(
+    scratch: &mut LayoutScratch,
+    snapshot: &CapacitySnapshot,
+    edges: impl Iterator<Item = (qdn_graph::EdgeId, qdn_graph::NodeId, qdn_graph::NodeId, f64)>,
+    budget: Option<u32>,
+    v_weight: f64,
+    unit_price: f64,
+) -> Result<AllocationInstance, SolveError> {
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+    let mut vars: Vec<Variable> = Vec::new();
+    let mut node_order: Vec<qdn_graph::NodeId> = Vec::new();
+    let mut node_members: Vec<Vec<usize>> = Vec::new();
+    let mut edge_order: Vec<qdn_graph::EdgeId> = Vec::new();
+    let mut edge_members: Vec<Vec<usize>> = Vec::new();
+
+    for (edge, u, v, p) in edges {
+        let j = vars.len();
+        vars.push(Variable::new(p));
+        for node in [u, v] {
+            if scratch.node_mark[node.index()] != epoch {
+                scratch.node_mark[node.index()] = epoch;
+                scratch.node_slot[node.index()] = node_order.len();
+                node_order.push(node);
+                node_members.push(vec![j]);
+            } else {
+                node_members[scratch.node_slot[node.index()]].push(j);
+            }
+        }
+        if scratch.edge_mark[edge.index()] != epoch {
+            scratch.edge_mark[edge.index()] = epoch;
+            scratch.edge_slot[edge.index()] = edge_order.len();
+            edge_order.push(edge);
+            edge_members.push(vec![j]);
+        } else {
+            edge_members[scratch.edge_slot[edge.index()]].push(j);
+        }
+    }
+
+    let mut constraints = Vec::with_capacity(node_order.len() + edge_order.len() + 1);
+    for (node, members) in node_order.into_iter().zip(node_members) {
+        constraints.push(PackingConstraint::new(snapshot.qubits(node), members));
+    }
+    for (edge, members) in edge_order.into_iter().zip(edge_members) {
+        constraints.push(PackingConstraint::new(snapshot.channels(edge), members));
+    }
+    if let Some(b) = budget {
+        constraints.push(PackingConstraint::new(b, (0..vars.len()).collect()));
+    }
+    AllocationInstance::new(vars, constraints, v_weight, unit_price)
 }
 
 #[cfg(test)]
@@ -265,7 +357,9 @@ mod tests {
         let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
         let route = top_route(&net);
         let profile = vec![(pair, &route)];
-        let ev = ctx.evaluate(&profile, &AllocationMethod::default()).unwrap();
+        let ev = ctx
+            .evaluate(&profile, &AllocationMethod::default())
+            .unwrap();
         assert_eq!(ev.allocations.len(), 1);
         assert_eq!(ev.allocations[0].len(), 2);
         assert!(ev.allocations[0].iter().all(|&n| n >= 1));

@@ -1,0 +1,782 @@
+//! Incremental, component-decomposed route-profile evaluation.
+//!
+//! Route selection (Algorithm 3 / Eq. 13) evaluates thousands of route
+//! profiles per slot, and the naive path — [`PerSlotContext::evaluate`] —
+//! rebuilds a fresh [`AllocationInstance`] and re-solves the *joint*
+//! allocation problem for every proposal, even when only one SD pair's
+//! route changed. [`ProfileEvaluator`] is the engine the selectors use
+//! instead:
+//!
+//! * **Dense scratch buffers** — node/edge first-touch maps are flat
+//!   vectors indexed by [`NodeId`]/[`EdgeId`] with epoch stamping, sized
+//!   once per slot and reused across evaluations; repeat evaluations of a
+//!   profile build no instances and solve nothing (their only heap
+//!   traffic is one components-sized reference buffer per call).
+//! * **Connected-component decomposition** — pairs are partitioned by
+//!   constraint coupling: two pairs share a component iff some candidate
+//!   route of one shares a node with some candidate route of the other
+//!   (the static closure of the coupling that any profile can exhibit;
+//!   a per-slot budget constraint couples everything). Each component is
+//!   an independent sub-instance, so a single-pair Gibbs/greedy move
+//!   re-solves only the component that pair belongs to. This generalizes
+//!   — and subsumes — the `parallel_isolated` special case of
+//!   [`crate::route_selection::gibbs`]: an isolated pair is exactly a
+//!   singleton component.
+//! * **Evaluation memo** — per component, solved allocations are cached
+//!   under the tuple of that component's route indices, so profiles
+//!   revisited by Gibbs or sharing unchanged components with a previous
+//!   proposal (every profile the exhaustive odometer visits) are free.
+//!
+//! # Bit-identical results
+//!
+//! The evaluator returns *exactly* the objective and allocations of the
+//! full-rebuild path, bit for bit. Three invariants make this hold:
+//!
+//! 1. [`PerSlotContext::build_instance`] lays out variables in profile
+//!    order and constraints in first-touch order, so the sub-instance of
+//!    a component equals the joint instance restricted to it;
+//! 2. `qdn_solve::solve_relaxed` itself decomposes by constraint
+//!    coupling, so solving a component stand-alone or inside the joint
+//!    instance follows the same floating-point trajectory (the greedy
+//!    allocator is interleaving-invariant across components by
+//!    construction, and `Minimal` trivially so);
+//! 3. the final objective is re-accumulated over the gathered joint
+//!    allocation in variable order with the same
+//!    [`qdn_solve::ln_success`] terms [`AllocationInstance::objective_int`]
+//!    uses, rather than by summing cached per-component objectives (which
+//!    would associate the additions differently).
+//!
+//! The property test `incremental_matches_full_rebuild` in
+//! `crates/core/tests/proptests.rs` enforces this equivalence on random
+//! topologies and profiles for every allocation method.
+//!
+//! # Parallelism (`parallel` feature)
+//!
+//! With the `parallel` cargo feature, unsolved components of one
+//! evaluation are solved on `std::thread::scope` threads (rayon is not
+//! available in this build environment; scoped threads provide the same
+//! fork-join shape). Results are inserted into the memo after the join,
+//! so the outcome is bit-identical to the serial path. Multi-chain Gibbs
+//! restarts parallelize the same way — see
+//! [`crate::route_selection::gibbs::sample_restarts`].
+
+use std::collections::HashMap;
+
+use qdn_graph::{EdgeId, NodeId, Path};
+use qdn_net::SdPair;
+use qdn_physics::swap::SwapModel;
+use qdn_solve::{ln_success, AllocationInstance};
+
+use crate::allocation::AllocationMethod;
+use crate::problem::{assemble_instance, LayoutScratch, PerSlotContext, ProfileEvaluation};
+use crate::route_selection::Candidates;
+
+/// One candidate route, pre-resolved against the network.
+#[derive(Debug, Clone)]
+struct RouteData {
+    /// Per edge: identity, endpoints, and channel success probability.
+    edges: Vec<EdgeVar>,
+    /// Number of hops (= variables this route contributes).
+    hops: usize,
+    /// Swap count of the route (`hops − 1` surviving swaps).
+    swaps: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EdgeVar {
+    edge: EdgeId,
+    u: NodeId,
+    v: NodeId,
+    p: f64,
+}
+
+/// Reusable dense buffers for sub-instance construction.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// First-touch layout maps shared with `PerSlotContext::build_instance`.
+    layout: LayoutScratch,
+    /// Reusable memo-key buffer (route indices of one component).
+    key: Vec<u32>,
+    /// Per-component read cursors for the gather pass.
+    cursors: Vec<usize>,
+}
+
+/// Per-component memo: route-index tuple → flat allocation
+/// (`None` = that combination is infeasible).
+type Memo = HashMap<Box<[u32]>, Option<Box<[u32]>>>;
+
+/// Counters describing how much work the evaluator actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Profile evaluations served (objective-only or full).
+    pub evaluations: u64,
+    /// Component lookups answered from the memo.
+    pub memo_hits: u64,
+    /// Component sub-instances built and solved.
+    pub components_solved: u64,
+}
+
+/// The incremental profile-evaluation engine. See the module docs.
+#[derive(Debug)]
+pub struct ProfileEvaluator<'a> {
+    ctx: PerSlotContext<'a>,
+    method: AllocationMethod,
+    pairs: Vec<SdPair>,
+    /// `routes[i][r]` describes candidate `r` of pair `i`.
+    routes: Vec<Vec<RouteData>>,
+    /// Static partition: `comp_of_pair[i]` and the ascending pair lists.
+    comp_of_pair: Vec<usize>,
+    comp_pairs: Vec<Vec<usize>>,
+    /// `ln(swap_success)`; only meaningful when `lossy_swap`.
+    ln_q: f64,
+    lossy_swap: bool,
+    budget: Option<u32>,
+    scratch: Scratch,
+    memos: Vec<Memo>,
+    /// `pair_memo[i][r]`: cached single-pair objective (outer `None` =
+    /// not yet computed; inner `None` = infeasible).
+    pair_memo: Vec<Vec<Option<Option<f64>>>>,
+    stats: EvalStats,
+}
+
+impl<'a> ProfileEvaluator<'a> {
+    /// Builds the evaluator for one slot: resolves candidate routes
+    /// against the network, partitions pairs into coupling components,
+    /// and sizes the scratch buffers.
+    pub fn new(
+        ctx: &PerSlotContext<'a>,
+        candidates: &[Candidates<'_>],
+        method: &AllocationMethod,
+    ) -> Self {
+        let k = candidates.len();
+        let pairs: Vec<SdPair> = candidates.iter().map(|c| c.pair).collect();
+        let routes: Vec<Vec<RouteData>> = candidates
+            .iter()
+            .map(|c| c.routes.iter().map(|r| resolve_route(ctx, r)).collect())
+            .collect();
+
+        // Static partition by candidate-route node sharing (edge sharing
+        // implies node sharing). A slot budget couples everything.
+        let mut dsu = qdn_solve::Dsu::new(k);
+        if ctx.slot_budget.is_some() {
+            for i in 1..k {
+                dsu.union(0, i);
+            }
+        } else {
+            let mut node_owner = vec![usize::MAX; ctx.network.node_count()];
+            for (i, cand) in routes.iter().enumerate() {
+                for route in cand {
+                    for ev in &route.edges {
+                        for node in [ev.u, ev.v] {
+                            let owner = node_owner[node.index()];
+                            if owner == usize::MAX {
+                                node_owner[node.index()] = i;
+                            } else if owner != i {
+                                dsu.union(owner, i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut comp_of_pair = vec![usize::MAX; k];
+        let mut comp_pairs: Vec<Vec<usize>> = Vec::new();
+        for i in 0..k {
+            let root = dsu.find(i);
+            let comp = if comp_of_pair[root] == usize::MAX {
+                comp_pairs.push(Vec::new());
+                let id = comp_pairs.len() - 1;
+                comp_of_pair[root] = id;
+                id
+            } else {
+                comp_of_pair[root]
+            };
+            comp_of_pair[i] = comp;
+            comp_pairs[comp].push(i);
+        }
+
+        let q = ctx.network.swap().success();
+        let scratch = Scratch {
+            layout: LayoutScratch::sized(ctx.network.node_count(), ctx.network.edge_count()),
+            key: Vec::with_capacity(k),
+            cursors: vec![0; comp_pairs.len()],
+        };
+        let memos = vec![Memo::new(); comp_pairs.len()];
+        let pair_memo = routes.iter().map(|c| vec![None; c.len()]).collect();
+        ProfileEvaluator {
+            ctx: *ctx,
+            method: *method,
+            pairs,
+            routes,
+            comp_of_pair,
+            comp_pairs,
+            ln_q: if q < 1.0 { q.ln() } else { 0.0 },
+            lossy_swap: q < 1.0,
+            budget: ctx.slot_budget.map(|b| b.min(u32::MAX as u64) as u32),
+            scratch,
+            memos,
+            pair_memo,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// Number of SD pairs.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of coupling components in the static partition.
+    pub fn component_count(&self) -> usize {
+        self.comp_pairs.len()
+    }
+
+    /// Whether pair `i` is alone in its component (the generalization of
+    /// the Gibbs `parallel_isolated` notion).
+    pub fn pair_is_isolated(&self, i: usize) -> bool {
+        self.comp_pairs[self.comp_of_pair[i]].len() == 1
+    }
+
+    /// Work counters accumulated since construction.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// Evaluates only the objective of the profile `indices`, re-solving
+    /// just the components whose route-index tuples have not been seen
+    /// before. Returns `None` when the profile is infeasible.
+    ///
+    /// Bit-identical to
+    /// [`PerSlotContext::evaluate_objective`] on the equivalent profile.
+    pub fn evaluate_objective(&mut self, indices: &[usize]) -> Option<f64> {
+        self.stats.evaluations += 1;
+        if self.pairs.is_empty() {
+            return Some(0.0);
+        }
+        self.ensure_components(indices)?;
+        Some(self.accumulate_objective(indices, None))
+    }
+
+    /// Fully evaluates the profile `indices`, returning per-route
+    /// allocations plus the objective. Returns `None` when infeasible.
+    ///
+    /// Bit-identical to [`PerSlotContext::evaluate`] on the equivalent
+    /// profile.
+    pub fn evaluate(&mut self, indices: &[usize]) -> Option<ProfileEvaluation> {
+        self.stats.evaluations += 1;
+        if self.pairs.is_empty() {
+            return Some(ProfileEvaluation {
+                allocations: Vec::new(),
+                objective: 0.0,
+            });
+        }
+        self.ensure_components(indices)?;
+        let mut allocations: Vec<Vec<u32>> = Vec::with_capacity(self.pairs.len());
+        let objective = self.accumulate_objective(indices, Some(&mut allocations));
+        Some(ProfileEvaluation {
+            allocations,
+            objective,
+        })
+    }
+
+    /// Objective of pair `i` served alone with candidate `route_idx`
+    /// (memoized). Matches the seed's "local evaluation" used for
+    /// isolated pairs in Gibbs: the single-pair profile evaluated under
+    /// this slot's context, including any slot budget.
+    pub fn evaluate_pair_objective(&mut self, i: usize, route_idx: usize) -> Option<f64> {
+        if let Some(cached) = self.pair_memo[i][route_idx] {
+            return cached;
+        }
+        let route = &self.routes[i][route_idx];
+        let instance = build_instance_for(
+            &mut self.scratch,
+            &self.ctx,
+            self.budget,
+            std::iter::once(route),
+        );
+        let objective = instance.ok().and_then(|inst| {
+            let flat = self.method.allocate(&inst)?;
+            let swap_term = if self.lossy_swap {
+                route.swaps as f64 * self.ln_q
+            } else {
+                0.0
+            };
+            Some(inst.objective_int(&flat) + self.ctx.v_weight * swap_term)
+        });
+        self.pair_memo[i][route_idx] = Some(objective);
+        objective
+    }
+
+    /// Ensures every component's allocation for `indices` is in the memo;
+    /// `None` if any component is infeasible.
+    fn ensure_components(&mut self, indices: &[usize]) -> Option<()> {
+        debug_assert_eq!(indices.len(), self.pairs.len());
+        // Components the parallel pre-pass solved this call (ascending);
+        // they must not count as memo hits below.
+        #[cfg(feature = "parallel")]
+        let fresh = self.solve_missing_parallel(indices);
+        #[cfg(not(feature = "parallel"))]
+        let fresh: Vec<usize> = Vec::new();
+
+        for comp in 0..self.comp_pairs.len() {
+            self.scratch.key.clear();
+            for &i in &self.comp_pairs[comp] {
+                self.scratch.key.push(indices[i] as u32);
+            }
+            if let Some(entry) = self.memos[comp].get(self.scratch.key.as_slice()) {
+                if fresh.binary_search(&comp).is_err() {
+                    self.stats.memo_hits += 1;
+                }
+                if entry.is_none() {
+                    return None;
+                }
+                continue;
+            }
+            self.stats.components_solved += 1;
+            let solved = solve_component(
+                &mut self.scratch,
+                &self.ctx,
+                self.budget,
+                &self.method,
+                &self.routes,
+                &self.comp_pairs[comp],
+                indices,
+            );
+            let feasible = solved.is_some();
+            let key = self.scratch.key.clone().into_boxed_slice();
+            self.memos[comp].insert(key, solved);
+            if !feasible {
+                return None;
+            }
+        }
+        Some(())
+    }
+
+    /// Pre-solves all missing components of `indices` on scoped threads
+    /// and returns their ids (ascending). Bit-identical to the serial
+    /// path: each component's solve is independent and results are
+    /// inserted in component order. Components are chunked over a bounded
+    /// worker count with one scratch per worker, so the cost per call is
+    /// a few spawns — not one spawn and four network-sized allocations
+    /// per component.
+    #[cfg(feature = "parallel")]
+    fn solve_missing_parallel(&mut self, indices: &[usize]) -> Vec<usize> {
+        let mut missing: Vec<usize> = Vec::new();
+        for comp in 0..self.comp_pairs.len() {
+            self.scratch.key.clear();
+            for &i in &self.comp_pairs[comp] {
+                self.scratch.key.push(indices[i] as u32);
+            }
+            if !self.memos[comp].contains_key(self.scratch.key.as_slice()) {
+                missing.push(comp);
+            }
+        }
+        if missing.len() < 2 {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(missing.len());
+        let chunk = missing.len().div_ceil(workers);
+        let ctx = self.ctx;
+        let budget = self.budget;
+        let method = self.method;
+        let routes = &self.routes;
+        let comp_pairs = &self.comp_pairs;
+        let results: Vec<Vec<(usize, Option<Box<[u32]>>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = missing
+                .chunks(chunk)
+                .map(|comps| {
+                    scope.spawn(move || {
+                        let mut scratch = Scratch {
+                            layout: LayoutScratch::sized(
+                                ctx.network.node_count(),
+                                ctx.network.edge_count(),
+                            ),
+                            key: Vec::new(),
+                            cursors: Vec::new(),
+                        };
+                        comps
+                            .iter()
+                            .map(|&comp| {
+                                (
+                                    comp,
+                                    solve_component(
+                                        &mut scratch,
+                                        &ctx,
+                                        budget,
+                                        &method,
+                                        routes,
+                                        &comp_pairs[comp],
+                                        indices,
+                                    ),
+                                )
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (comp, solved) in results.into_iter().flatten() {
+            let key: Vec<u32> = self.comp_pairs[comp]
+                .iter()
+                .map(|&i| indices[i] as u32)
+                .collect();
+            self.stats.components_solved += 1;
+            self.memos[comp].insert(key.into_boxed_slice(), solved);
+        }
+        missing
+    }
+
+    /// Gathers the memoized component allocations in joint variable order
+    /// and accumulates the objective exactly as
+    /// [`AllocationInstance::objective_int`] would on the joint instance
+    /// (same terms, same order), plus the profile's swap term. Optionally
+    /// copies out per-route allocations.
+    ///
+    /// All referenced components must already be memoized feasible.
+    fn accumulate_objective(
+        &mut self,
+        indices: &[usize],
+        mut allocations: Option<&mut Vec<Vec<u32>>>,
+    ) -> f64 {
+        self.scratch.cursors.iter_mut().for_each(|c| *c = 0);
+        // One memo lookup per component, hoisted out of the pair loop —
+        // rebuilding the key per *pair* would make the memo-hit path
+        // quadratic in component size.
+        let flats: Vec<&[u32]> = (0..self.comp_pairs.len())
+            .map(|comp| {
+                self.scratch.key.clear();
+                for &j in &self.comp_pairs[comp] {
+                    self.scratch.key.push(indices[j] as u32);
+                }
+                self.memos[comp]
+                    .get(self.scratch.key.as_slice())
+                    .expect("component memoized by ensure_components")
+                    .as_deref()
+                    .expect("component feasible by ensure_components")
+            })
+            .collect();
+        let mut objective = 0.0;
+        let mut total_swaps = 0u64;
+        for (i, &route_idx) in indices.iter().enumerate() {
+            let comp = self.comp_of_pair[i];
+            let flat = flats[comp];
+            let route = &self.routes[i][route_idx];
+            let seg = &flat[self.scratch.cursors[comp]..self.scratch.cursors[comp] + route.hops];
+            self.scratch.cursors[comp] += route.hops;
+            for (ev, &n) in route.edges.iter().zip(seg) {
+                objective +=
+                    self.ctx.v_weight * ln_success(ev.p, n as f64) - self.ctx.unit_price * n as f64;
+            }
+            total_swaps += route.swaps;
+            if let Some(out) = allocations.as_deref_mut() {
+                out.push(seg.to_vec());
+            }
+        }
+        if self.lossy_swap {
+            objective += self.ctx.v_weight * (total_swaps as f64 * self.ln_q);
+        }
+        objective
+    }
+}
+
+/// Resolves one candidate [`Path`] into per-edge data.
+fn resolve_route(ctx: &PerSlotContext<'_>, route: &Path) -> RouteData {
+    let edges: Vec<EdgeVar> = route
+        .edges()
+        .iter()
+        .map(|&edge| {
+            let (u, v) = ctx.network.graph().endpoints(edge);
+            EdgeVar {
+                edge,
+                u,
+                v,
+                p: ctx.network.link(edge).channel_success(),
+            }
+        })
+        .collect();
+    RouteData {
+        hops: edges.len(),
+        swaps: SwapModel::swaps_for_hops(route.hops()) as u64,
+        edges,
+    }
+}
+
+/// Builds the [`AllocationInstance`] for the given routes via the shared
+/// [`assemble_instance`] layout routine — the same code path
+/// [`PerSlotContext::build_instance`] uses, so a component's sub-instance
+/// is structurally the joint instance restricted to it.
+fn build_instance_for<'r>(
+    scratch: &mut Scratch,
+    ctx: &PerSlotContext<'_>,
+    budget: Option<u32>,
+    routes: impl Iterator<Item = &'r RouteData>,
+) -> Result<AllocationInstance, qdn_solve::SolveError> {
+    let edges = routes.flat_map(|route| route.edges.iter().map(|ev| (ev.edge, ev.u, ev.v, ev.p)));
+    assemble_instance(
+        &mut scratch.layout,
+        ctx.snapshot,
+        edges,
+        budget,
+        ctx.v_weight,
+        ctx.unit_price,
+    )
+}
+
+/// Builds and solves one component's sub-instance; `None` = infeasible.
+fn solve_component(
+    scratch: &mut Scratch,
+    ctx: &PerSlotContext<'_>,
+    budget: Option<u32>,
+    method: &AllocationMethod,
+    routes: &[Vec<RouteData>],
+    comp_pairs: &[usize],
+    indices: &[usize],
+) -> Option<Box<[u32]>> {
+    let instance = build_instance_for(
+        scratch,
+        ctx,
+        budget,
+        comp_pairs.iter().map(|&i| &routes[i][indices[i]]),
+    )
+    .ok()?;
+    method.allocate(&instance).map(Vec::into_boxed_slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route_selection::Candidates;
+    use qdn_net::network::QdnNetworkBuilder;
+    use qdn_net::routes::{CandidateRoutes, RouteLimits};
+    use qdn_net::{CapacitySnapshot, QdnNetwork};
+    use qdn_physics::link::LinkModel;
+
+    /// Two disjoint diamonds plus one extra pair inside the first.
+    fn two_diamonds() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let n: Vec<_> = (0..8).map(|_| b.add_node(10)).collect();
+        let good = LinkModel::new(0.85).unwrap();
+        let bad = LinkModel::new(0.25).unwrap();
+        b.add_edge(n[0], n[1], 5, good).unwrap();
+        b.add_edge(n[1], n[3], 5, good).unwrap();
+        b.add_edge(n[0], n[2], 5, bad).unwrap();
+        b.add_edge(n[2], n[3], 5, bad).unwrap();
+        b.add_edge(n[4], n[5], 5, good).unwrap();
+        b.add_edge(n[5], n[7], 5, good).unwrap();
+        b.add_edge(n[4], n[6], 5, bad).unwrap();
+        b.add_edge(n[6], n[7], 5, bad).unwrap();
+        b.build()
+    }
+
+    fn owned_candidates(net: &QdnNetwork, pairs: &[SdPair]) -> Vec<(SdPair, Vec<Path>)> {
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        pairs
+            .iter()
+            .map(|&p| (p, cr.routes(net, p).to_vec()))
+            .collect()
+    }
+
+    fn to_cands(owned: &[(SdPair, Vec<Path>)]) -> Vec<Candidates<'_>> {
+        owned
+            .iter()
+            .map(|(pair, routes)| Candidates {
+                pair: *pair,
+                routes,
+            })
+            .collect()
+    }
+
+    fn profile_of<'a>(cands: &[Candidates<'a>], indices: &[usize]) -> Vec<(SdPair, &'a Path)> {
+        cands
+            .iter()
+            .zip(indices)
+            .map(|(c, &i)| (c.pair, &c.routes[i]))
+            .collect()
+    }
+
+    #[test]
+    fn disjoint_pairs_form_two_components() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::default());
+        assert_eq!(eval.component_count(), 2);
+        assert!(eval.pair_is_isolated(0));
+        assert!(eval.pair_is_isolated(1));
+    }
+
+    #[test]
+    fn overlapping_pairs_share_a_component() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(1), NodeId(2)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::default());
+        assert_eq!(eval.component_count(), 2);
+        assert!(!eval.pair_is_isolated(0));
+        assert!(!eval.pair_is_isolated(1));
+        assert!(eval.pair_is_isolated(2));
+    }
+
+    #[test]
+    fn budget_couples_all_pairs() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::myopic(&net, &snap, 20);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::Greedy);
+        assert_eq!(eval.component_count(), 1);
+    }
+
+    #[test]
+    fn matches_full_rebuild_everywhere() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        for (v, price) in [(800.0, 1.0), (100.0, 0.0), (2500.0, 25.0)] {
+            let ctx = PerSlotContext::oscar(&net, &snap, v, price);
+            let pairs = [
+                SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+                SdPair::new(NodeId(1), NodeId(2)).unwrap(),
+                SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+            ];
+            let owned = owned_candidates(&net, &pairs);
+            let cands = to_cands(&owned);
+            for method in [
+                AllocationMethod::default(),
+                AllocationMethod::Greedy,
+                AllocationMethod::Minimal,
+            ] {
+                let mut eval = ProfileEvaluator::new(&ctx, &cands, &method);
+                // Every profile in the (small) product space.
+                let radix: Vec<usize> = cands.iter().map(|c| c.routes.len()).collect();
+                let mut indices = vec![0usize; cands.len()];
+                'product_space: loop {
+                    let profile = profile_of(&cands, &indices);
+                    let reference = ctx.evaluate(&profile, &method);
+                    let incremental = eval.evaluate(&indices);
+                    match (&reference, &incremental) {
+                        (None, None) => {}
+                        (Some(r), Some(x)) => {
+                            assert_eq!(r.objective.to_bits(), x.objective.to_bits());
+                            assert_eq!(r.allocations, x.allocations);
+                        }
+                        _ => panic!("feasibility mismatch at {indices:?}"),
+                    }
+                    assert_eq!(
+                        ctx.evaluate_objective(&profile, &method).map(f64::to_bits),
+                        eval.evaluate_objective(&indices).map(f64::to_bits)
+                    );
+                    let mut pos = 0;
+                    loop {
+                        if pos == indices.len() {
+                            // Odometer wrapped: this (ctx, method) pair is
+                            // exhausted; move on to the next combination.
+                            break 'product_space;
+                        }
+                        indices[pos] += 1;
+                        if indices[pos] < radix[pos] {
+                            break;
+                        }
+                        indices[pos] = 0;
+                        pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_hits_accumulate_on_revisits() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let mut eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::default());
+        let a = eval.evaluate_objective(&[0, 0]).unwrap();
+        let solved_once = eval.stats().components_solved;
+        let b = eval.evaluate_objective(&[0, 0]).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(eval.stats().components_solved, solved_once);
+        assert!(eval.stats().memo_hits >= 2);
+        // Moving only pair 1 must not re-solve pair 0's component.
+        eval.evaluate_objective(&[0, 1]);
+        assert_eq!(eval.stats().components_solved, solved_once + 1);
+    }
+
+    #[test]
+    fn pair_objective_matches_single_pair_profile() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let method = AllocationMethod::default();
+        let mut eval = ProfileEvaluator::new(&ctx, &cands, &method);
+        for (i, cand) in cands.iter().enumerate() {
+            for r in 0..cand.routes.len() {
+                let single = [(cand.pair, &cand.routes[r])];
+                let reference = ctx.evaluate(&single, &method).map(|e| e.objective);
+                let got = eval.evaluate_pair_objective(i, r);
+                assert_eq!(reference.map(f64::to_bits), got.map(f64::to_bits));
+                // Second call is served from the memo.
+                assert_eq!(got, eval.evaluate_pair_objective(i, r));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_profile_is_none_and_cached() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 8], vec![0; 8]);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [SdPair::new(NodeId(0), NodeId(3)).unwrap()];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let mut eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::default());
+        assert!(eval.evaluate_objective(&[0]).is_none());
+        let solved = eval.stats().components_solved;
+        assert!(eval.evaluate(&[0]).is_none());
+        assert_eq!(eval.stats().components_solved, solved);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let mut eval = ProfileEvaluator::new(&ctx, &[], &AllocationMethod::default());
+        assert_eq!(eval.evaluate_objective(&[]), Some(0.0));
+        let ev = eval.evaluate(&[]).unwrap();
+        assert!(ev.allocations.is_empty());
+        assert_eq!(ev.objective, 0.0);
+    }
+}

@@ -4,10 +4,17 @@
 //! for the SD pairs in Φ and select the combination with the highest
 //! per-slot objective value by applying the qubit allocation algorithm."
 //! Effective when `R^F` is small; the general case uses Gibbs sampling.
+//!
+//! Enumeration runs on the incremental
+//! [`ProfileEvaluator`], which suits the odometer
+//! walk perfectly: each increment changes a single pair, so only that
+//! pair's coupling component is re-solved, and every component's
+//! combination is solved at most once over the whole product space.
 
 use crate::allocation::AllocationMethod;
 use crate::problem::PerSlotContext;
-use crate::route_selection::{evaluate_indices, Candidates, Selection};
+use crate::profile_eval::ProfileEvaluator;
+use crate::route_selection::{Candidates, Selection};
 
 /// Enumerates every route combination and returns the best feasible one.
 ///
@@ -18,25 +25,27 @@ pub fn search(
     candidates: &[Candidates<'_>],
     method: &AllocationMethod,
 ) -> Option<Selection> {
+    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method);
     let mut indices = vec![0usize; candidates.len()];
-    let mut best: Option<Selection> = None;
+    let mut best: Option<(Vec<usize>, f64)> = None;
     loop {
-        if let Some(evaluation) = evaluate_indices(ctx, candidates, &indices, method) {
-            if best
-                .as_ref()
-                .is_none_or(|b| evaluation.objective > b.evaluation.objective)
-            {
-                best = Some(Selection {
-                    indices: indices.clone(),
-                    evaluation,
-                });
+        if let Some(objective) = evaluator.evaluate_objective(&indices) {
+            if best.as_ref().is_none_or(|(_, b)| objective > *b) {
+                best = Some((indices.clone(), objective));
             }
         }
         // Odometer increment over the mixed-radix index vector.
         let mut pos = 0;
         loop {
             if pos == candidates.len() {
-                return best;
+                let (indices, _) = best?;
+                let evaluation = evaluator
+                    .evaluate(&indices)
+                    .expect("best profile was feasible when recorded");
+                return Some(Selection {
+                    indices,
+                    evaluation,
+                });
             }
             indices[pos] += 1;
             if indices[pos] < candidates[pos].routes.len() {
@@ -51,6 +60,7 @@ pub fn search(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::route_selection::evaluate_indices;
     use qdn_graph::{NodeId, Path};
     use qdn_net::network::QdnNetworkBuilder;
     use qdn_net::routes::{CandidateRoutes, RouteLimits};

@@ -15,19 +15,27 @@
 //! standard Glauber dynamics, which is also what makes the γ→0 limit
 //! converge to the greedy optimum — see DESIGN.md.)
 //!
-//! The paper's remark 2 observes that spatially disjoint pairs can evolve
+//! All evaluations run through the incremental
+//! [`ProfileEvaluator`]: a single-pair proposal
+//! re-solves only the coupling component that pair belongs to, and
+//! profiles revisited by the chain are served from the memo. The paper's
+//! remark 2 observes that spatially disjoint pairs can evolve
 //! simultaneously; [`GibbsConfig::parallel_isolated`] enables exactly
-//! that: pairs whose candidate routes share no node or edge with any
-//! other pair's candidates are updated every iteration via cheap local
-//! evaluations, while the coupled pairs take turns through the full joint
-//! evaluation.
+//! that — isolated pairs (singleton components) are updated every
+//! iteration via memoized local evaluations, while the coupled pairs
+//! take turns through the joint evaluation.
+//!
+//! [`sample_restarts`] runs several independent chains (different seeds)
+//! and keeps the best profile; with the `parallel` cargo feature the
+//! chains run on `std::thread::scope` threads.
 
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
 use crate::problem::PerSlotContext;
-use crate::route_selection::{evaluate_indices, Candidates, Selection};
+use crate::profile_eval::ProfileEvaluator;
+use crate::route_selection::{Candidates, Selection};
 
 /// Parameters of the Gibbs sampler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -95,9 +103,21 @@ pub fn sample(
     config: &GibbsConfig,
     rng: &mut dyn rand::Rng,
 ) -> Option<Selection> {
+    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method);
+    sample_with(&mut evaluator, candidates, config, rng)
+}
+
+/// [`sample`] over a caller-provided evaluator, so several chains (or a
+/// surrounding search) can share one memo.
+pub fn sample_with(
+    evaluator: &mut ProfileEvaluator<'_>,
+    candidates: &[Candidates<'_>],
+    config: &GibbsConfig,
+    rng: &mut dyn rand::Rng,
+) -> Option<Selection> {
     let k = candidates.len();
     if k == 0 {
-        return evaluate_indices(ctx, candidates, &[], method).map(|evaluation| Selection {
+        return evaluator.evaluate(&[]).map(|evaluation| Selection {
             indices: Vec::new(),
             evaluation,
         });
@@ -110,15 +130,15 @@ pub fn sample(
             .iter()
             .map(|c| rng.random_range(0..c.routes.len()))
             .collect();
-        if let Some(ev) = evaluate_indices(ctx, candidates, &indices, method) {
-            current = Some((indices, ev.objective));
+        if let Some(objective) = evaluator.evaluate_objective(&indices) {
+            current = Some((indices, objective));
             break;
         }
     }
     if current.is_none() {
         let shortest = vec![0usize; k];
-        if let Some(ev) = evaluate_indices(ctx, candidates, &shortest, method) {
-            current = Some((shortest, ev.objective));
+        if let Some(objective) = evaluator.evaluate_objective(&shortest) {
+            current = Some((shortest, objective));
         }
     }
     let (mut indices, mut f_cur) = current?;
@@ -136,10 +156,11 @@ pub fn sample(
     let mut gamma = config.gamma;
     for _ in 0..config.iterations {
         if config.parallel_isolated {
-            // Isolated pairs evolve simultaneously with exact local deltas:
-            // their allocation sub-problem is independent of every other
-            // pair, so a single-pair evaluation is the true objective
-            // contribution.
+            // Isolated pairs evolve simultaneously with exact local
+            // deltas: their allocation sub-problem is independent of every
+            // other pair, so a single-pair evaluation is the true
+            // objective contribution. These are memoized per (pair, route)
+            // — after one sweep of the chain they are all free.
             for i in 0..k {
                 if !isolated[i] {
                     continue;
@@ -148,16 +169,10 @@ pub fn sample(
                     continue;
                 }
                 let proposal = propose_different(rng, indices[i], candidates[i].routes.len());
-                let local = |idx: usize| {
-                    let single = [Candidates {
-                        pair: candidates[i].pair,
-                        routes: candidates[i].routes,
-                    }];
-                    evaluate_indices(ctx, &single, &[idx], method).map(|e| e.objective)
-                };
-                let (Some(f_old_local), Some(f_new_local)) =
-                    (local(indices[i]), local(proposal))
-                else {
+                let (Some(f_old_local), Some(f_new_local)) = (
+                    evaluator.evaluate_pair_objective(i, indices[i]),
+                    evaluator.evaluate_pair_objective(i, proposal),
+                ) else {
                     continue;
                 };
                 if rng.random_bool(acceptance_probability(f_new_local, f_old_local, gamma)) {
@@ -169,19 +184,11 @@ pub fn sample(
 
         // One coupled pair evolves via the joint evaluation (all pairs, if
         // the parallel variant is off).
-        let pool: &[usize] = if config.parallel_isolated && !coupled.is_empty() {
-            &coupled
-        } else if config.parallel_isolated {
-            &[] // everything isolated: parallel loop above did the work
-        } else {
-            // Every index.
-            &[]
-        };
         let chosen = if config.parallel_isolated {
-            if pool.is_empty() {
-                None
+            if coupled.is_empty() {
+                None // everything isolated: parallel loop above did the work
             } else {
-                Some(pool[rng.random_range(0..pool.len())])
+                Some(coupled[rng.random_range(0..coupled.len())])
             }
         } else {
             Some(rng.random_range(0..k))
@@ -191,10 +198,10 @@ pub fn sample(
                 let old = indices[i];
                 let proposal = propose_different(rng, old, candidates[i].routes.len());
                 indices[i] = proposal;
-                match evaluate_indices(ctx, candidates, &indices, method) {
-                    Some(ev) => {
-                        if rng.random_bool(acceptance_probability(ev.objective, f_cur, gamma)) {
-                            f_cur = ev.objective;
+                match evaluator.evaluate_objective(&indices) {
+                    Some(objective) => {
+                        if rng.random_bool(acceptance_probability(objective, f_cur, gamma)) {
+                            f_cur = objective;
                         } else {
                             indices[i] = old;
                         }
@@ -204,7 +211,7 @@ pub fn sample(
             }
         }
 
-        // Track the best profile seen (re-evaluate only when improved).
+        // Track the best profile seen.
         if f_cur > best_f {
             best_f = f_cur;
             best_indices = indices.clone();
@@ -212,11 +219,65 @@ pub fn sample(
         gamma *= config.gamma_decay;
     }
 
-    let evaluation = evaluate_indices(ctx, candidates, &best_indices, method)
+    let evaluation = evaluator
+        .evaluate(&best_indices)
         .expect("best profile was feasible when recorded");
     Some(Selection {
         indices: best_indices,
         evaluation,
+    })
+}
+
+/// Runs one independent chain per seed and returns the best selection
+/// (ties keep the earliest seed). With the `parallel` cargo feature the
+/// chains run concurrently on scoped threads; results are identical to
+/// the serial order either way because each chain is deterministic in its
+/// seed.
+///
+/// Returns `None` when every chain fails to find a feasible profile.
+pub fn sample_restarts(
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    method: &AllocationMethod,
+    config: &GibbsConfig,
+    seeds: &[u64],
+) -> Option<Selection> {
+    use rand::SeedableRng;
+
+    #[cfg(feature = "parallel")]
+    let chains: Vec<Option<Selection>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                    sample(ctx, candidates, method, config, &mut rng)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    #[cfg(not(feature = "parallel"))]
+    let chains: Vec<Option<Selection>> = {
+        // Serial chains share one evaluator: every profile any chain has
+        // visited is a memo hit for the others.
+        let mut evaluator = ProfileEvaluator::new(ctx, candidates, method);
+        seeds
+            .iter()
+            .map(|&seed| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                sample_with(&mut evaluator, candidates, config, &mut rng)
+            })
+            .collect()
+    };
+
+    chains.into_iter().flatten().reduce(|best, cand| {
+        if cand.evaluation.objective > best.evaluation.objective {
+            cand
+        } else {
+            best
+        }
     })
 }
 
@@ -235,7 +296,10 @@ fn propose_different(rng: &mut dyn rand::Rng, current: usize, len: usize) -> usi
 ///
 /// Such pairs' allocation sub-problems decouple exactly, so their Gibbs
 /// updates can run concurrently with local evaluations — the paper's
-/// remark 2.
+/// remark 2. (The [`ProfileEvaluator`] generalizes the same test into a
+/// full partition: a pair is isolated iff its component is a singleton —
+/// but this standalone check is kept because it deliberately ignores the
+/// slot budget, matching the sampler's historical semantics.)
 fn isolated_pairs(candidates: &[Candidates<'_>]) -> Vec<bool> {
     use std::collections::HashSet;
     let unions: Vec<HashSet<qdn_graph::NodeId>> = candidates
@@ -464,5 +528,52 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sel.indices, vec![0]);
+    }
+
+    #[test]
+    fn restarts_return_best_chain() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let method = AllocationMethod::default();
+        let config = GibbsConfig {
+            iterations: 30,
+            gamma: 100.0,
+            gamma_decay: 0.9,
+            parallel_isolated: false,
+            max_init_attempts: 8,
+        };
+        let multi = sample_restarts(&ctx, &cands, &method, &config, &[1, 2, 3, 4]).unwrap();
+        // Each individual chain is dominated by the multi-chain best.
+        for seed in [1u64, 2, 3, 4] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            if let Some(single) = sample(&ctx, &cands, &method, &config, &mut rng) {
+                assert!(multi.evaluation.objective >= single.evaluation.objective - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn restarts_handle_infeasible() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 8], vec![0; 8]);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [SdPair::new(NodeId(0), NodeId(3)).unwrap()];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        assert!(sample_restarts(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            &GibbsConfig::default(),
+            &[1, 2]
+        )
+        .is_none());
     }
 }

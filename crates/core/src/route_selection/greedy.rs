@@ -5,12 +5,18 @@
 //! that this pure greedy can get stuck in local optima — which is exactly
 //! why Algorithm 3 keeps a positive temperature; this implementation
 //! exists as the natural ablation.
+//!
+//! Coordinate steps evaluate through the incremental
+//! [`ProfileEvaluator`]: sweeping pair `i`'s alternatives re-solves only
+//! `i`'s coupling component, and the sweep's return to the incumbent
+//! profile is a memo hit.
 
 use rand::RngExt;
 
 use crate::allocation::AllocationMethod;
 use crate::problem::PerSlotContext;
-use crate::route_selection::{evaluate_indices, Candidates, Selection};
+use crate::profile_eval::ProfileEvaluator;
+use crate::route_selection::{Candidates, Selection};
 
 /// Local search over route profiles.
 ///
@@ -25,8 +31,9 @@ pub fn local_search(
     rng: &mut dyn rand::Rng,
 ) -> Option<Selection> {
     let k = candidates.len();
+    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method);
     if k == 0 {
-        return evaluate_indices(ctx, candidates, &[], method).map(|evaluation| Selection {
+        return evaluator.evaluate(&[]).map(|evaluation| Selection {
             indices: Vec::new(),
             evaluation,
         });
@@ -37,11 +44,11 @@ pub fn local_search(
         .iter()
         .map(|c| rng.random_range(0..c.routes.len()))
         .collect();
-    let mut f_cur = match evaluate_indices(ctx, candidates, &indices, method) {
-        Some(ev) => ev.objective,
+    let mut f_cur = match evaluator.evaluate_objective(&indices) {
+        Some(objective) => objective,
         None => {
             indices = vec![0; k];
-            evaluate_indices(ctx, candidates, &indices, method)?.objective
+            evaluator.evaluate_objective(&indices)?
         }
     };
 
@@ -56,9 +63,9 @@ pub fn local_search(
                     continue;
                 }
                 indices[i] = alt;
-                if let Some(ev) = evaluate_indices(ctx, candidates, &indices, method) {
-                    if ev.objective > best_f {
-                        best_f = ev.objective;
+                if let Some(objective) = evaluator.evaluate_objective(&indices) {
+                    if objective > best_f {
+                        best_f = objective;
                         best_idx = alt;
                     }
                 }
@@ -74,7 +81,8 @@ pub fn local_search(
         }
     }
 
-    let evaluation = evaluate_indices(ctx, candidates, &indices, method)
+    let evaluation = evaluator
+        .evaluate(&indices)
         .expect("final profile evaluated feasible during search");
     Some(Selection {
         indices,
@@ -139,8 +147,7 @@ mod tests {
             routes: &routes,
         }];
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let sel = local_search(&ctx, &cands, &AllocationMethod::default(), 1000, &mut rng)
-            .unwrap();
+        let sel = local_search(&ctx, &cands, &AllocationMethod::default(), 1000, &mut rng).unwrap();
         assert!(sel.evaluation.objective.is_finite());
     }
 

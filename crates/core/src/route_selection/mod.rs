@@ -45,10 +45,7 @@ pub struct Selection {
 }
 
 /// Builds the `(pair, route)` profile described by `indices`.
-pub fn profile_of<'a>(
-    candidates: &[Candidates<'a>],
-    indices: &[usize],
-) -> Vec<(SdPair, &'a Path)> {
+pub fn profile_of<'a>(candidates: &[Candidates<'a>], indices: &[usize]) -> Vec<(SdPair, &'a Path)> {
     candidates
         .iter()
         .zip(indices)
@@ -71,10 +68,15 @@ pub fn evaluate_indices(
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RouteSelector {
     /// Exact product-space search (Eq. 13), capped at `max_combinations`
-    /// profiles; falls back to Gibbs when the space is larger.
+    /// profiles; falls back to Gibbs with the given configuration when
+    /// the space is larger.
     Exhaustive {
         /// Upper bound on the number of evaluated combinations.
         max_combinations: usize,
+        /// Gibbs configuration used when the product space exceeds
+        /// `max_combinations` (previously an implicit
+        /// `GibbsConfig::default()`).
+        fallback: GibbsConfig,
     },
     /// Algorithm 3 (Gibbs sampling).
     Gibbs(GibbsConfig),
@@ -90,6 +92,15 @@ pub enum RouteSelector {
 }
 
 impl RouteSelector {
+    /// Exhaustive search capped at `max_combinations`, falling back to
+    /// the default Gibbs configuration on larger spaces.
+    pub fn exhaustive(max_combinations: usize) -> Self {
+        RouteSelector::Exhaustive {
+            max_combinations,
+            fallback: GibbsConfig::default(),
+        }
+    }
+
     /// Selects routes for every candidate set, or `None` if no feasible
     /// profile was found.
     pub fn select(
@@ -109,7 +120,10 @@ impl RouteSelector {
             });
         }
         match self {
-            RouteSelector::Exhaustive { max_combinations } => {
+            RouteSelector::Exhaustive {
+                max_combinations,
+                fallback,
+            } => {
                 let combos: usize = candidates
                     .iter()
                     .map(|c| c.routes.len())
@@ -118,17 +132,22 @@ impl RouteSelector {
                 if combos <= *max_combinations {
                     exhaustive::search(ctx, candidates, method)
                 } else {
-                    gibbs::sample(ctx, candidates, method, &GibbsConfig::default(), rng)
+                    gibbs::sample(ctx, candidates, method, fallback, rng)
                 }
             }
             RouteSelector::Gibbs(config) => gibbs::sample(ctx, candidates, method, config, rng),
             RouteSelector::GreedyLocal { max_rounds } => {
                 greedy::local_search(ctx, candidates, method, *max_rounds, rng)
             }
+            // First/Random evaluate exactly one profile, so the
+            // memoizing evaluator has nothing to amortize — the direct
+            // build is cheaper (and bit-identical by construction).
             RouteSelector::First => {
                 let indices = vec![0; candidates.len()];
-                evaluate_indices(ctx, candidates, &indices, method)
-                    .map(|evaluation| Selection { indices, evaluation })
+                evaluate_indices(ctx, candidates, &indices, method).map(|evaluation| Selection {
+                    indices,
+                    evaluation,
+                })
             }
             RouteSelector::Random => {
                 use rand::RngExt;
@@ -136,8 +155,10 @@ impl RouteSelector {
                     .iter()
                     .map(|c| rng.random_range(0..c.routes.len()))
                     .collect();
-                evaluate_indices(ctx, candidates, &indices, method)
-                    .map(|evaluation| Selection { indices, evaluation })
+                evaluate_indices(ctx, candidates, &indices, method).map(|evaluation| Selection {
+                    indices,
+                    evaluation,
+                })
             }
         }
     }
@@ -202,9 +223,7 @@ mod tests {
         }];
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         for selector in [
-            RouteSelector::Exhaustive {
-                max_combinations: 100,
-            },
+            RouteSelector::exhaustive(100),
             RouteSelector::Gibbs(GibbsConfig::default()),
             RouteSelector::GreedyLocal { max_rounds: 5 },
             RouteSelector::First,
@@ -236,9 +255,7 @@ mod tests {
         }];
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for selector in [
-            RouteSelector::Exhaustive {
-                max_combinations: 100,
-            },
+            RouteSelector::exhaustive(100),
             RouteSelector::Gibbs(GibbsConfig {
                 iterations: 60,
                 ..GibbsConfig::default()
@@ -273,7 +290,7 @@ mod tests {
     #[test]
     fn labels_are_distinct() {
         let labels: std::collections::HashSet<&str> = [
-            RouteSelector::Exhaustive { max_combinations: 1 }.label(),
+            RouteSelector::exhaustive(1).label(),
             RouteSelector::default().label(),
             RouteSelector::GreedyLocal { max_rounds: 1 }.label(),
             RouteSelector::First.label(),

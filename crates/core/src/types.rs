@@ -174,8 +174,7 @@ mod tests {
 
     fn assignment(net: &QdnNetwork) -> RouteAssignment {
         let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
-        let route =
-            Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let route = Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
         RouteAssignment::new(pair, route, vec![2, 1])
     }
 
@@ -205,8 +204,7 @@ mod tests {
     fn assignment_arity_checked() {
         let net = line_net();
         let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
-        let route =
-            Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let route = Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
         let _ = RouteAssignment::new(pair, route, vec![2]);
     }
 
@@ -215,8 +213,7 @@ mod tests {
     fn assignment_zero_allocation_rejected() {
         let net = line_net();
         let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
-        let route =
-            Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let route = Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
         let _ = RouteAssignment::new(pair, route, vec![1, 0]);
     }
 

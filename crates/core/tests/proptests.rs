@@ -27,8 +27,13 @@ fn arb_ring_network() -> impl Strategy<Value = QdnNetwork> {
                 b.add_node(q);
             }
             for (e, u, v) in graph.edges() {
-                b.add_edge(u, v, channels[e.index()], LinkModel::new(probs[e.index()]).unwrap())
-                    .unwrap();
+                b.add_edge(
+                    u,
+                    v,
+                    channels[e.index()],
+                    LinkModel::new(probs[e.index()]).unwrap(),
+                )
+                .unwrap();
             }
             b.build()
         })
@@ -228,5 +233,92 @@ proptest! {
         let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF00D);
         let d2 = policy.decide(&net, &slot, &mut rng2);
         prop_assert_eq!(d1, d2);
+    }
+
+    /// The incremental, component-decomposed `ProfileEvaluator` is
+    /// bit-identical to the full-rebuild `PerSlotContext::evaluate` path:
+    /// same feasibility verdicts, same objectives (compared via
+    /// `to_bits`), same allocations — across random topologies, random
+    /// pair sets, every allocation method, and a random walk of
+    /// single-pair moves (the Gibbs/greedy access pattern, which
+    /// exercises the per-component memo on both hits and misses).
+    #[test]
+    fn incremental_matches_full_rebuild(
+        net in arb_ring_network(),
+        n_pairs in 1usize..4,
+        v in 10.0f64..3000.0,
+        price in 0.0f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        use qdn_core::profile_eval::ProfileEvaluator;
+        use qdn_core::route_selection::Candidates;
+        use qdn_net::routes::{CandidateRoutes, RouteLimits};
+        use rand::RngExt;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let owned: Vec<(SdPair, Vec<Path>)> = (0..n_pairs)
+            .map(|_| {
+                let pair = qdn_net::workload::random_sd_pair(&mut rng, &net);
+                (pair, cr.routes(&net, pair).to_vec())
+            })
+            .collect();
+        prop_assume!(owned.iter().all(|(_, routes)| !routes.is_empty()));
+        let cands: Vec<Candidates> = owned
+            .iter()
+            .map(|(pair, routes)| Candidates { pair: *pair, routes })
+            .collect();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, v, price);
+
+        for method in [
+            AllocationMethod::relax_and_round(),
+            AllocationMethod::Greedy,
+            AllocationMethod::Minimal,
+        ] {
+            let mut eval = ProfileEvaluator::new(&ctx, &cands, &method);
+            let mut indices: Vec<usize> = cands
+                .iter()
+                .map(|c| rng.random_range(0..c.routes.len()))
+                .collect();
+            // Random walk of single-pair moves, revisiting profiles.
+            for step in 0..20 {
+                let profile: Vec<(SdPair, &Path)> = cands
+                    .iter()
+                    .zip(&indices)
+                    .map(|(c, &i)| (c.pair, &c.routes[i]))
+                    .collect();
+                let reference = ctx.evaluate(&profile, &method);
+                let incremental = eval.evaluate(&indices);
+                match (&reference, &incremental) {
+                    (None, None) => {}
+                    (Some(r), Some(x)) => {
+                        prop_assert_eq!(
+                            r.objective.to_bits(),
+                            x.objective.to_bits(),
+                            "objective diverged at step {} ({}): {} vs {}",
+                            step,
+                            method.label(),
+                            r.objective,
+                            x.objective
+                        );
+                        prop_assert_eq!(&r.allocations, &x.allocations);
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "feasibility diverged at step {} ({})",
+                        step,
+                        method.label()
+                    ),
+                }
+                // The objective-only entry points agree bit-for-bit too.
+                prop_assert_eq!(
+                    ctx.evaluate_objective(&profile, &method).map(f64::to_bits),
+                    eval.evaluate_objective(&indices).map(f64::to_bits)
+                );
+                let i = rng.random_range(0..indices.len());
+                indices[i] = rng.random_range(0..cands[i].routes.len());
+            }
+        }
     }
 }

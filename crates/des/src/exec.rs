@@ -366,11 +366,46 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(ExecutionConfig::new(Duration::ZERO, 10, Duration::from_secs(1), Duration::ZERO, 1.0).is_err());
-        assert!(ExecutionConfig::new(Duration::from_micros(1), 0, Duration::from_secs(1), Duration::ZERO, 1.0).is_err());
-        assert!(ExecutionConfig::new(Duration::from_micros(1), 10, Duration::ZERO, Duration::ZERO, 1.0).is_err());
-        assert!(ExecutionConfig::new(Duration::from_micros(1), 10, Duration::from_secs(1), Duration::ZERO, 0.0).is_err());
-        assert!(ExecutionConfig::new(Duration::from_micros(1), 10, Duration::from_secs(1), Duration::ZERO, 1.0).is_ok());
+        assert!(ExecutionConfig::new(
+            Duration::ZERO,
+            10,
+            Duration::from_secs(1),
+            Duration::ZERO,
+            1.0
+        )
+        .is_err());
+        assert!(ExecutionConfig::new(
+            Duration::from_micros(1),
+            0,
+            Duration::from_secs(1),
+            Duration::ZERO,
+            1.0
+        )
+        .is_err());
+        assert!(ExecutionConfig::new(
+            Duration::from_micros(1),
+            10,
+            Duration::ZERO,
+            Duration::ZERO,
+            1.0
+        )
+        .is_err());
+        assert!(ExecutionConfig::new(
+            Duration::from_micros(1),
+            10,
+            Duration::from_secs(1),
+            Duration::ZERO,
+            0.0
+        )
+        .is_err());
+        assert!(ExecutionConfig::new(
+            Duration::from_micros(1),
+            10,
+            Duration::from_secs(1),
+            Duration::ZERO,
+            1.0
+        )
+        .is_ok());
     }
 
     #[test]

@@ -189,9 +189,7 @@ impl OnlineRouter {
         let ctx = PerSlotContext::oscar(network, &snapshot, self.config.v, self.queue);
         // One request => exhaustive search over its ≤ R candidates is
         // exact; the cap is generous.
-        let selector = RouteSelector::Exhaustive {
-            max_combinations: 4096,
-        };
+        let selector = RouteSelector::exhaustive(4096);
         let decision = decide_with_selector(
             network,
             &[pair],
@@ -368,9 +366,9 @@ pub fn run_online(
                         let tasks =
                             assignment_tasks(network, &assignment, &router.config.execution)
                                 .expect("assignments are validated at construction");
-                        let outcome =
-                            execute_route(now, &tasks, &router.config.execution, env_rng);
-                        events.schedule(outcome.resolved_at(), Event::Resolve { record: record_idx });
+                        let outcome = execute_route(now, &tasks, &router.config.execution, env_rng);
+                        events
+                            .schedule(outcome.resolved_at(), Event::Resolve { record: record_idx });
                         records.push(OnlineRequestRecord {
                             arrival: now,
                             pair,
@@ -437,8 +435,7 @@ mod tests {
     fn quick_run(seed: u64, secs: f64, rate: f64) -> OnlineRunMetrics {
         let (net, mut env, mut policy) = network(seed);
         let mut router = OnlineRouter::new(OnlineConfig::paper_default());
-        let mut arrivals =
-            PoissonArrivals::new(rate, Duration::from_secs_f64(secs)).unwrap();
+        let mut arrivals = PoissonArrivals::new(rate, Duration::from_secs_f64(secs)).unwrap();
         run_online(&net, &mut router, &mut arrivals, &mut env, &mut policy)
     }
 
@@ -474,8 +471,7 @@ mod tests {
         // price and allocate wide; late arrivals see a huge price and
         // get pinned near the per-route minimum.
         let m = quick_run(3, 60.0, 20.0);
-        let served: Vec<&OnlineRequestRecord> =
-            m.records().iter().filter(|r| r.served).collect();
+        let served: Vec<&OnlineRequestRecord> = m.records().iter().filter(|r| r.served).collect();
         assert!(served.len() > 100);
         let mean = |rs: &[&OnlineRequestRecord]| {
             rs.iter().map(|r| r.cost as f64).sum::<f64>() / rs.len() as f64
@@ -597,10 +593,7 @@ mod tests {
         // ... and buy at least as much expected success with it.
         assert!(unpaced.expected_success_rate() >= paced.expected_success_rate() - 0.02);
         // The unpaced router's queue never prices anything.
-        assert!(unpaced
-            .records()
-            .iter()
-            .all(|r| r.queue_at_decision == 0.0));
+        assert!(unpaced.records().iter().all(|r| r.queue_at_decision == 0.0));
     }
 
     #[test]

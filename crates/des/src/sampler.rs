@@ -236,8 +236,11 @@ mod tests {
             )
         };
         let mut r1 = rng(4);
-        let (rate_inv, mean_inv) =
-            mean((0..trials).map(|_| proc.sample_within(&mut r1, window)).collect());
+        let (rate_inv, mean_inv) = mean(
+            (0..trials)
+                .map(|_| proc.sample_within(&mut r1, window))
+                .collect(),
+        );
         let mut r2 = rng(5);
         let (rate_ber, mean_ber) = mean(
             (0..trials)

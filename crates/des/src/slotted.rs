@@ -318,7 +318,10 @@ mod tests {
             );
             assert_eq!(s.latencies.len(), s.realized_successes);
             assert!(s.expected_successes <= s.served as f64 + 1e-12);
-            assert_eq!(s.start, SimTime::ZERO + Duration::from_millis(1460) * s.t as u32);
+            assert_eq!(
+                s.start,
+                SimTime::ZERO + Duration::from_millis(1460) * s.t as u32
+            );
         }
     }
 

@@ -82,7 +82,10 @@ impl SimTime {
 
     /// Adds a duration, saturating at [`SimTime::MAX`].
     pub fn saturating_add(self, d: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+        SimTime(
+            self.0
+                .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+        )
     }
 }
 

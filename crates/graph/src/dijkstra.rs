@@ -134,7 +134,10 @@ where
     let mut heap = BinaryHeap::new();
 
     dist[src.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: src });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
 
     while let Some(HeapEntry { dist: d, node }) = heap.pop() {
         if settled[node.index()] {
@@ -154,7 +157,10 @@ where
             if nd < dist[next.index()] {
                 dist[next.index()] = nd;
                 prev[next.index()] = Some((node, edge));
-                heap.push(HeapEntry { dist: nd, node: next });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
             }
         }
     }
@@ -204,7 +210,10 @@ where
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[src.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: src });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
     while let Some(HeapEntry { dist: d, node }) = heap.pop() {
         if settled[node.index()] {
             continue;
@@ -217,7 +226,10 @@ where
             let nd = d + weight(edge);
             if nd < dist[next.index()] {
                 dist[next.index()] = nd;
-                heap.push(HeapEntry { dist: nd, node: next });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
             }
         }
     }
@@ -345,9 +357,18 @@ mod tests {
     #[test]
     fn heap_entry_ordering_is_min_first() {
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry { dist: 2.0, node: NodeId(0) });
-        heap.push(HeapEntry { dist: 1.0, node: NodeId(1) });
-        heap.push(HeapEntry { dist: 3.0, node: NodeId(2) });
+        heap.push(HeapEntry {
+            dist: 2.0,
+            node: NodeId(0),
+        });
+        heap.push(HeapEntry {
+            dist: 1.0,
+            node: NodeId(1),
+        });
+        heap.push(HeapEntry {
+            dist: 3.0,
+            node: NodeId(2),
+        });
         assert_eq!(heap.pop().unwrap().dist, 1.0);
         assert_eq!(heap.pop().unwrap().dist, 2.0);
         assert_eq!(heap.pop().unwrap().dist, 3.0);

@@ -109,7 +109,8 @@ pub fn complete(n: usize) -> Graph {
     g.add_nodes(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            g.add_edge(NodeId(i as u32), NodeId(j as u32)).expect("unique");
+            g.add_edge(NodeId(i as u32), NodeId(j as u32))
+                .expect("unique");
         }
     }
     g
@@ -126,7 +127,8 @@ pub fn line(n: usize) -> Graph {
     let mut g = Graph::with_node_capacity(n);
     g.add_nodes(n);
     for i in 0..n - 1 {
-        g.add_edge(NodeId(i as u32), NodeId((i + 1) as u32)).expect("unique");
+        g.add_edge(NodeId(i as u32), NodeId((i + 1) as u32))
+            .expect("unique");
     }
     g
 }

@@ -121,10 +121,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node {node} out of bounds (graph has {node_count} nodes)"
+                )
             }
             GraphError::EdgeOutOfBounds { edge, edge_count } => {
-                write!(f, "edge {edge} out of bounds (graph has {edge_count} edges)")
+                write!(
+                    f,
+                    "edge {edge} out of bounds (graph has {edge_count} edges)"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed")

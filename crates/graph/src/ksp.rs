@@ -43,13 +43,7 @@ use crate::paths::Path;
 /// # Ok(())
 /// # }
 /// ```
-pub fn yen_k_shortest<F>(
-    graph: &Graph,
-    src: NodeId,
-    dst: NodeId,
-    k: usize,
-    weight: &F,
-) -> Vec<Path>
+pub fn yen_k_shortest<F>(graph: &Graph, src: NodeId, dst: NodeId, k: usize, weight: &F) -> Vec<Path>
 where
     F: Fn(EdgeId) -> f64,
 {
@@ -87,8 +81,7 @@ where
                 filter.ban_node(n);
             }
 
-            let Some(spur) = shortest_path_filtered(graph, spur_node, dst, weight, &filter)
-            else {
+            let Some(spur) = shortest_path_filtered(graph, spur_node, dst, weight, &filter) else {
                 continue;
             };
 

@@ -80,7 +80,10 @@ impl std::fmt::Display for PathError {
             ),
             PathError::Empty => write!(f, "path must contain at least one node"),
             PathError::Disconnected { position } => {
-                write!(f, "edge at position {position} does not connect its endpoints")
+                write!(
+                    f,
+                    "edge at position {position} does not connect its endpoints"
+                )
             }
             PathError::RepeatedNode { node } => {
                 write!(f, "node {node} appears more than once in the path")
@@ -335,7 +338,9 @@ fn dfs(
             );
         } else {
             on_path.insert(next);
-            dfs(graph, dst, max_hops, node_stack, edge_stack, on_path, result);
+            dfs(
+                graph, dst, max_hops, node_stack, edge_stack, on_path, result,
+            );
             on_path.remove(&next);
         }
         node_stack.pop();

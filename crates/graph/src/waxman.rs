@@ -404,7 +404,10 @@ mod tests {
             Point::new(100.0, 0.0),
             Point::new(101.0, 0.0),
         ];
-        let mut topo = GeometricGraph { graph: g, positions };
+        let mut topo = GeometricGraph {
+            graph: g,
+            positions,
+        };
         augment_to_connected(&mut topo);
         assert!(is_connected(&topo.graph));
         assert_eq!(topo.graph.edge_count(), 3);

@@ -224,9 +224,8 @@ fn layout_grid(graph: Graph, rows: usize, cols: usize, side: f64) -> GeometricGr
     let step_y = span / rows.max(2).saturating_sub(1) as f64;
     let positions = (0..rows)
         .flat_map(|r| {
-            (0..cols).map(move |c| {
-                Point::new(margin + c as f64 * step_x, margin + r as f64 * step_y)
-            })
+            (0..cols)
+                .map(move |c| Point::new(margin + c as f64 * step_x, margin + r as f64 * step_y))
         })
         .collect();
     GeometricGraph { graph, positions }
@@ -279,11 +278,7 @@ impl NetworkConfig {
             self.channel_model.attempt_probability(0.0)?,
             self.attempts_per_slot,
         );
-        let edge_lengths: Vec<f64> = topo
-            .graph
-            .edge_ids()
-            .map(|e| topo.edge_length(e))
-            .collect();
+        let edge_lengths: Vec<f64> = topo.graph.edge_ids().map(|e| topo.edge_length(e)).collect();
         let mut builder = QdnNetworkBuilder::from_topology(topo, 0, 0, default_link);
 
         // Capacities: Q_v ~ U[low, high], W_e ~ U[low, high].

@@ -195,7 +195,10 @@ impl TraceDynamics {
     ///
     /// Panics if the trace is empty.
     pub fn new(trace: Vec<CapacitySnapshot>) -> Self {
-        assert!(!trace.is_empty(), "trace must contain at least one snapshot");
+        assert!(
+            !trace.is_empty(),
+            "trace must contain at least one snapshot"
+        );
         TraceDynamics { trace }
     }
 }

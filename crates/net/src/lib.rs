@@ -77,7 +77,10 @@ impl std::fmt::Display for NetError {
             NetError::Graph(e) => write!(f, "{e}"),
             NetError::Physics(e) => write!(f, "{e}"),
             NetError::InvalidCapacityRange { name, low, high } => {
-                write!(f, "{name} range [{low}, {high}] is invalid (need 1 <= low <= high)")
+                write!(
+                    f,
+                    "{name} range [{low}, {high}] is invalid (need 1 <= low <= high)"
+                )
             }
             NetError::DegenerateSdPair { node } => {
                 write!(f, "SD pair has identical source and destination {node}")

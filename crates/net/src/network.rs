@@ -342,12 +342,8 @@ mod tests {
         let a = b.add_node(10);
         let m = b.add_node(14);
         let c = b.add_node(16);
-        let e1 = b
-            .add_edge(a, m, 5, LinkModel::new(0.5).unwrap())
-            .unwrap();
-        let e2 = b
-            .add_edge(m, c, 8, LinkModel::new(0.6).unwrap())
-            .unwrap();
+        let e1 = b.add_edge(a, m, 5, LinkModel::new(0.5).unwrap()).unwrap();
+        let e2 = b.add_edge(m, c, 8, LinkModel::new(0.6).unwrap()).unwrap();
         (b.build(), [a, m, c], [e1, e2])
     }
 

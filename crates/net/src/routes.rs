@@ -131,7 +131,12 @@ impl CandidateRoutes {
     pub fn max_route_hops(&mut self, network: &QdnNetwork, pairs: &[SdPair]) -> usize {
         pairs
             .iter()
-            .flat_map(|&p| self.routes(network, p).iter().map(Path::hops).collect::<Vec<_>>())
+            .flat_map(|&p| {
+                self.routes(network, p)
+                    .iter()
+                    .map(Path::hops)
+                    .collect::<Vec<_>>()
+            })
             .max()
             .unwrap_or(0)
     }

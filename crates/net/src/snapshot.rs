@@ -63,7 +63,11 @@ impl CapacitySnapshot {
     /// counts.
     pub fn clamped(network: &QdnNetwork, qubits: Vec<u32>, channels: Vec<u32>) -> Self {
         assert_eq!(qubits.len(), network.node_count(), "qubit vector length");
-        assert_eq!(channels.len(), network.edge_count(), "channel vector length");
+        assert_eq!(
+            channels.len(),
+            network.edge_count(),
+            "channel vector length"
+        );
         let qubits = qubits
             .into_iter()
             .enumerate()

@@ -17,12 +17,7 @@ use crate::request::{RequestSet, SdPair};
 /// A source of per-slot request sets `Φ_t`.
 pub trait Workload: std::fmt::Debug + Send {
     /// The SD pairs requesting ECs in slot `t`.
-    fn requests(
-        &mut self,
-        t: u64,
-        network: &QdnNetwork,
-        rng: &mut dyn rand::Rng,
-    ) -> RequestSet;
+    fn requests(&mut self, t: u64, network: &QdnNetwork, rng: &mut dyn rand::Rng) -> RequestSet;
 
     /// Upper bound `F` on `|Φ_t|`, needed by the theory bounds (paper
     /// Assumption 1 and Prop. 2 use `F`).
@@ -33,12 +28,7 @@ pub trait Workload: std::fmt::Debug + Send {
 }
 
 impl<W: Workload + ?Sized> Workload for Box<W> {
-    fn requests(
-        &mut self,
-        t: u64,
-        network: &QdnNetwork,
-        rng: &mut dyn rand::Rng,
-    ) -> RequestSet {
+    fn requests(&mut self, t: u64, network: &QdnNetwork, rng: &mut dyn rand::Rng) -> RequestSet {
         (**self).requests(t, network, rng)
     }
 
@@ -101,12 +91,7 @@ impl UniformWorkload {
 }
 
 impl Workload for UniformWorkload {
-    fn requests(
-        &mut self,
-        _t: u64,
-        network: &QdnNetwork,
-        rng: &mut dyn rand::Rng,
-    ) -> RequestSet {
+    fn requests(&mut self, _t: u64, network: &QdnNetwork, rng: &mut dyn rand::Rng) -> RequestSet {
         let count = rng.random_range(self.min_pairs..=self.max_pairs);
         (0..count).map(|_| random_sd_pair(rng, network)).collect()
     }
@@ -155,12 +140,7 @@ impl PoissonWorkload {
 }
 
 impl Workload for PoissonWorkload {
-    fn requests(
-        &mut self,
-        _t: u64,
-        network: &QdnNetwork,
-        rng: &mut dyn rand::Rng,
-    ) -> RequestSet {
+    fn requests(&mut self, _t: u64, network: &QdnNetwork, rng: &mut dyn rand::Rng) -> RequestSet {
         let count = self.sample_poisson(rng).min(self.max_pairs);
         (0..count).map(|_| random_sd_pair(rng, network)).collect()
     }
@@ -200,12 +180,7 @@ impl HotspotWorkload {
 }
 
 impl Workload for HotspotWorkload {
-    fn requests(
-        &mut self,
-        _t: u64,
-        network: &QdnNetwork,
-        rng: &mut dyn rand::Rng,
-    ) -> RequestSet {
+    fn requests(&mut self, _t: u64, network: &QdnNetwork, rng: &mut dyn rand::Rng) -> RequestSet {
         let mut set = Vec::with_capacity(self.pairs_per_slot);
         for _ in 0..self.pairs_per_slot {
             let pair = if !self.hotspots.is_empty() && rng.random_bool(self.hotspot_probability) {
@@ -281,12 +256,7 @@ impl<W: Workload> MultiEcWorkload<W> {
 }
 
 impl<W: Workload> Workload for MultiEcWorkload<W> {
-    fn requests(
-        &mut self,
-        t: u64,
-        network: &QdnNetwork,
-        rng: &mut dyn rand::Rng,
-    ) -> RequestSet {
+    fn requests(&mut self, t: u64, network: &QdnNetwork, rng: &mut dyn rand::Rng) -> RequestSet {
         let base_set = self.base.requests(t, network, rng);
         let mut out = Vec::with_capacity(base_set.len());
         for pair in base_set {
@@ -320,12 +290,7 @@ impl TraceWorkload {
 }
 
 impl Workload for TraceWorkload {
-    fn requests(
-        &mut self,
-        t: u64,
-        _network: &QdnNetwork,
-        _rng: &mut dyn rand::Rng,
-    ) -> RequestSet {
+    fn requests(&mut self, t: u64, _network: &QdnNetwork, _rng: &mut dyn rand::Rng) -> RequestSet {
         self.trace.get(t as usize).cloned().unwrap_or_default()
     }
 
@@ -511,7 +476,10 @@ mod tests {
             total += set.len();
         }
         let mean = total as f64 / SLOTS as f64;
-        assert!((mean - 2.0).abs() < 0.15, "Poisson mean {mean} should be ~2");
+        assert!(
+            (mean - 2.0).abs() < 0.15,
+            "Poisson mean {mean} should be ~2"
+        );
     }
 
     #[test]
@@ -592,10 +560,7 @@ mod tests {
     fn multi_ec_multiplicity_covers_range() {
         let n = net(8);
         let mut w = MultiEcWorkload::new(
-            TraceWorkload::new(vec![
-                vec![SdPair::new(NodeId(0), NodeId(1)).unwrap()];
-                400
-            ]),
+            TraceWorkload::new(vec![vec![SdPair::new(NodeId(0), NodeId(1)).unwrap()]; 400]),
             3,
         );
         let mut r = rng(12);

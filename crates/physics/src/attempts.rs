@@ -35,9 +35,7 @@ pub struct AttemptModel {
 impl AttemptModel {
     /// The paper's evaluation default: `p̃ = 2×10⁻⁴` per attempt (§V-A-2).
     pub fn paper_default() -> Self {
-        AttemptModel {
-            probability: 2e-4,
-        }
+        AttemptModel { probability: 2e-4 }
     }
 
     /// The hardware-measured value the paper cites in §II-5:

@@ -136,8 +136,7 @@ where
     I: IntoIterator<Item = Fidelity>,
 {
     let w: f64 = links.into_iter().map(Fidelity::werner_parameter).product();
-    Fidelity::from_werner_parameter(w.clamp(0.0, 1.0))
-        .expect("clamped parameter is valid")
+    Fidelity::from_werner_parameter(w.clamp(0.0, 1.0)).expect("clamped parameter is valid")
 }
 
 /// Result of one purification round.

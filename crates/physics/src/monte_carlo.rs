@@ -98,11 +98,7 @@ pub struct LinkOutcome {
 /// draws a single binomial sample per link using the per-slot channel
 /// success probability (the two processes have identical distributions
 /// because channels are independent).
-pub fn simulate_link<R: Rng + ?Sized>(
-    rng: &mut R,
-    link: &LinkModel,
-    channels: u32,
-) -> LinkOutcome {
+pub fn simulate_link<R: Rng + ?Sized>(rng: &mut R, link: &LinkModel, channels: u32) -> LinkOutcome {
     let p = link.channel_success();
     let mut successes = 0u32;
     for _ in 0..channels {
@@ -308,7 +304,11 @@ mod tests {
     #[test]
     fn empty_route_always_succeeds() {
         let mut r = rng(17);
-        assert!(simulate_route(&mut r, std::iter::empty(), &SwapModel::perfect()));
+        assert!(simulate_route(
+            &mut r,
+            std::iter::empty(),
+            &SwapModel::perfect()
+        ));
     }
 
     #[test]

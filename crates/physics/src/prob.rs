@@ -66,7 +66,7 @@ pub fn ln_at_least_one(p: f64, k: f64) -> f64 {
         return f64::NEG_INFINITY;
     }
     let ln_fail = k * f64::ln_1p(-p); // ln((1-p)^k), <= 0
-    // ln(1 - e^{ln_fail}); use ln(-expm1(x)) which is stable for x < 0.
+                                      // ln(1 - e^{ln_fail}); use ln(-expm1(x)) which is stable for x < 0.
     (-f64::exp_m1(ln_fail)).ln()
 }
 
@@ -209,10 +209,7 @@ mod tests {
         for &(p, k) in &[(0.551, 1.0), (0.551, 3.0), (0.2, 2.0), (0.8, 1.5)] {
             let fd = (ln_at_least_one(p, k + h) - ln_at_least_one(p, k - h)) / (2.0 * h);
             let an = d_ln_at_least_one(p, k);
-            assert!(
-                (fd - an).abs() < 1e-5,
-                "p={p} k={k}: fd={fd} analytic={an}"
-            );
+            assert!((fd - an).abs() < 1e-5, "p={p} k={k}: fd={fd} analytic={an}");
         }
     }
 

@@ -46,7 +46,10 @@ impl SlotTiming {
     /// # Errors
     ///
     /// Returns [`PhysicsError::NonPositive`] if either duration is zero.
-    pub fn new(attempt_duration: Duration, decoherence_time: Duration) -> Result<Self, PhysicsError> {
+    pub fn new(
+        attempt_duration: Duration,
+        decoherence_time: Duration,
+    ) -> Result<Self, PhysicsError> {
         if attempt_duration.is_zero() {
             return Err(PhysicsError::NonPositive {
                 name: "attempt_duration",

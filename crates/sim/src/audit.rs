@@ -51,7 +51,10 @@ impl std::fmt::Display for Violation {
                 available,
             } => write!(f, "edge {edge}: used {used} of {available} channels"),
             Violation::ZeroAllocation { assignment } => {
-                write!(f, "assignment {assignment} allocates zero channels to an edge")
+                write!(
+                    f,
+                    "assignment {assignment} allocates zero channels to an edge"
+                )
             }
         }
     }
@@ -126,8 +129,7 @@ mod tests {
 
     fn route_assignment(net: &QdnNetwork, alloc: Vec<u32>) -> RouteAssignment {
         let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();
-        let route =
-            Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let route = Path::from_nodes(net.graph(), vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
         RouteAssignment::new(pair, route, alloc)
     }
 

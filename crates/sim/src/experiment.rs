@@ -9,8 +9,8 @@ use qdn_core::baselines::{
     MinimalRandomPolicy, MyopicConfig, MyopicPolicy, ThroughputGreedyPolicy,
 };
 use qdn_core::oscar::{OscarConfig, OscarPolicy};
-use qdn_core::route_selection::RouteSelector;
 use qdn_core::policy::RoutingPolicy;
+use qdn_core::route_selection::RouteSelector;
 use qdn_net::dynamics::DynamicsConfig;
 use qdn_net::routes::RouteLimits;
 use qdn_net::workload::WorkloadConfig;

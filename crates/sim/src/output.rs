@@ -89,10 +89,7 @@ mod tests {
     fn csv_format() {
         let csv = to_csv(
             &["a", "b"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["3".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
         );
         assert_eq!(csv, "a,b\n1,2\n3,4\n");
     }

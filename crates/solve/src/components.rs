@@ -1,0 +1,234 @@
+//! Connected-component decomposition of allocation instances.
+//!
+//! Two variables are *coupled* when some packing constraint contains them
+//! both; the transitive closure of that relation partitions an instance
+//! into independent sub-problems. Because the objective is separable per
+//! variable and every constraint lies wholly inside one component, the
+//! joint optimum is exactly the concatenation of the per-component optima
+//! — and, crucially for the incremental profile evaluator in `qdn-core`,
+//! solving a component in isolation is *bit-identical* to solving it as
+//! part of the joint instance once the solvers themselves work
+//! component-wise (see [`crate::relaxed::solve_relaxed`]).
+//!
+//! Components and sub-instances are deterministic: components are ordered
+//! by their smallest variable index, and a sub-instance keeps its
+//! variables and constraints in the same relative order they had in the
+//! parent instance.
+
+use crate::instance::{AllocationInstance, PackingConstraint};
+use crate::SolveError;
+
+/// The partition of an instance's variables into coupled components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentPartition {
+    /// `component_of[j]` is the component index of variable `j`.
+    pub component_of: Vec<usize>,
+    /// Per component: its variables, ascending.
+    pub vars: Vec<Vec<usize>>,
+    /// Per component: its constraint indices, ascending. Constraints with
+    /// no members are vacuous and belong to no component.
+    pub constraints: Vec<Vec<usize>>,
+}
+
+impl ComponentPartition {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the instance has no variables at all.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+/// Union-find with path halving and a deterministic tie-break: the
+/// smaller root always wins, so every set's representative is its
+/// smallest member. Shared with `qdn-core`'s profile evaluator, which
+/// partitions SD pairs with the same invariant.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    /// `n` singleton sets `{0}, …, {n−1}`.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// The representative (smallest member) of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+impl AllocationInstance {
+    /// Partitions the instance into constraint-coupled components.
+    ///
+    /// Components are numbered by their smallest variable index, so the
+    /// partition (and everything derived from it) is deterministic.
+    pub fn components(&self) -> ComponentPartition {
+        let n = self.num_vars();
+        let mut dsu = Dsu::new(n);
+        for c in self.constraints() {
+            if let Some((&first, rest)) = c.members.split_first() {
+                for &j in rest {
+                    dsu.union(first, j);
+                }
+            }
+        }
+        let mut component_of = vec![usize::MAX; n];
+        let mut vars: Vec<Vec<usize>> = Vec::new();
+        for j in 0..n {
+            let root = dsu.find(j);
+            let comp = if component_of[root] == usize::MAX {
+                let id = vars.len();
+                component_of[root] = id;
+                vars.push(Vec::new());
+                id
+            } else {
+                component_of[root]
+            };
+            component_of[j] = comp;
+            vars[comp].push(j);
+        }
+        let mut constraints: Vec<Vec<usize>> = vec![Vec::new(); vars.len()];
+        for (ci, c) in self.constraints().iter().enumerate() {
+            if let Some(&j) = c.members.first() {
+                constraints[component_of[j]].push(ci);
+            }
+        }
+        ComponentPartition {
+            component_of,
+            vars,
+            constraints,
+        }
+    }
+
+    /// Builds the stand-alone instance of one component.
+    ///
+    /// `comp_vars` must be sorted ascending and `comp_constraints` must
+    /// reference constraints whose members all lie in `comp_vars` (as
+    /// produced by [`AllocationInstance::components`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] from instance validation — impossible
+    /// when the parent instance was itself validated.
+    pub fn sub_instance(
+        &self,
+        comp_vars: &[usize],
+        comp_constraints: &[usize],
+    ) -> Result<AllocationInstance, SolveError> {
+        let mut local_index = vec![usize::MAX; self.num_vars()];
+        for (local, &j) in comp_vars.iter().enumerate() {
+            local_index[j] = local;
+        }
+        let vars = comp_vars.iter().map(|&j| self.vars()[j]).collect();
+        let constraints = comp_constraints
+            .iter()
+            .map(|&ci| {
+                let c = &self.constraints()[ci];
+                PackingConstraint::new(
+                    c.capacity,
+                    c.members.iter().map(|&j| local_index[j]).collect(),
+                )
+            })
+            .collect();
+        AllocationInstance::new(vars, constraints, self.v_weight(), self.unit_price())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Variable;
+
+    fn inst(nv: usize, cons: &[(u32, &[usize])]) -> AllocationInstance {
+        AllocationInstance::new(
+            (0..nv).map(|_| Variable::new(0.5)).collect(),
+            cons.iter()
+                .map(|&(cap, mem)| PackingConstraint::new(cap, mem.to_vec()))
+                .collect(),
+            100.0,
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn disjoint_constraints_split() {
+        let i = inst(4, &[(4, &[0, 1]), (4, &[2, 3])]);
+        let p = i.components();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.vars, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(p.constraints, vec![vec![0], vec![1]]);
+        assert_eq!(p.component_of, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn chained_constraints_merge() {
+        let i = inst(3, &[(4, &[0, 1]), (4, &[1, 2])]);
+        let p = i.components();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.vars, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn free_variables_are_singletons() {
+        let i = inst(3, &[(4, &[1])]);
+        let p = i.components();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.component_of, vec![0, 1, 2]);
+        assert_eq!(p.constraints[1], vec![0]);
+    }
+
+    #[test]
+    fn component_order_follows_smallest_var() {
+        // Constraint order reversed relative to variable order: components
+        // must still be numbered by smallest member.
+        let i = inst(4, &[(4, &[2, 3]), (4, &[0, 1])]);
+        let p = i.components();
+        assert_eq!(p.vars, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(p.constraints, vec![vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn sub_instance_preserves_relative_order() {
+        let i = inst(4, &[(5, &[0, 1]), (7, &[2, 3]), (3, &[2])]);
+        let p = i.components();
+        let sub = i.sub_instance(&p.vars[1], &p.constraints[1]).unwrap();
+        assert_eq!(sub.num_vars(), 2);
+        assert_eq!(sub.num_constraints(), 2);
+        assert_eq!(sub.constraints()[0].capacity, 7);
+        assert_eq!(sub.constraints()[0].members, vec![0, 1]);
+        assert_eq!(sub.constraints()[1].capacity, 3);
+        assert_eq!(sub.constraints()[1].members, vec![0]);
+        // Upper bounds must match the parent's for the same variables.
+        assert_eq!(sub.upper_bound(0), i.upper_bound(2));
+        assert_eq!(sub.upper_bound(1), i.upper_bound(3));
+    }
+
+    #[test]
+    fn budget_style_constraint_couples_everything() {
+        let i = inst(4, &[(4, &[0, 1]), (4, &[2, 3]), (10, &[0, 1, 2, 3])]);
+        assert_eq!(i.components().len(), 1);
+    }
+}

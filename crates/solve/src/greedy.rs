@@ -146,12 +146,7 @@ mod tests {
     use crate::brute::brute_force_best;
     use crate::instance::{PackingConstraint, Variable};
 
-    fn inst(
-        ps: &[f64],
-        cons: &[(u32, &[usize])],
-        v: f64,
-        price: f64,
-    ) -> AllocationInstance {
+    fn inst(ps: &[f64], cons: &[(u32, &[usize])], v: f64, price: f64) -> AllocationInstance {
         AllocationInstance::new(
             ps.iter().map(|&p| Variable::new(p)).collect(),
             cons.iter()

@@ -7,8 +7,11 @@ use crate::SolveError;
 /// Numerically stable `ln(1 − (1 − p)^x)`.
 ///
 /// Duplicated from `qdn-physics::prob` so the solver crate stays free of
-/// that dependency (it operates on abstract probabilities).
-pub(crate) fn ln_success(p: f64, x: f64) -> f64 {
+/// that dependency (it operates on abstract probabilities). Public so the
+/// incremental profile evaluator in `qdn-core` can reproduce
+/// [`AllocationInstance::objective_int`] term-for-term (bit-identical
+/// floating-point) without materializing an instance.
+pub fn ln_success(p: f64, x: f64) -> f64 {
     if x <= 0.0 {
         return f64::NEG_INFINITY;
     }
@@ -248,7 +251,9 @@ impl AllocationInstance {
 
     /// Whether incrementing variable `j` by one keeps the point feasible.
     pub fn can_increment(&self, j: usize, n: &[u32]) -> bool {
-        self.membership[j].iter().all(|&c| self.slack_int(c, n) >= 1)
+        self.membership[j]
+            .iter()
+            .all(|&c| self.slack_int(c, n) >= 1)
     }
 
     /// Marginal objective gain of incrementing variable `j` from `n[j]`:
@@ -326,8 +331,7 @@ mod tests {
 
     #[test]
     fn free_variable_gets_finite_cap() {
-        let inst =
-            AllocationInstance::new(vec![Variable::new(0.5)], vec![], 1.0, 0.0).unwrap();
+        let inst = AllocationInstance::new(vec![Variable::new(0.5)], vec![], 1.0, 0.0).unwrap();
         assert!(inst.upper_bound(0) >= 1 << 20);
     }
 

@@ -50,13 +50,15 @@
 //! ```
 
 pub mod brute;
+pub mod components;
 pub mod greedy;
 pub mod instance;
 pub mod relaxed;
 pub mod rounding;
 pub mod scalar;
 
-pub use instance::{AllocationInstance, PackingConstraint, Variable};
+pub use components::{ComponentPartition, Dsu};
+pub use instance::{ln_success, AllocationInstance, PackingConstraint, Variable};
 pub use relaxed::{solve_relaxed, RelaxedOptions, RelaxedSolution};
 
 /// Errors raised by the solvers.

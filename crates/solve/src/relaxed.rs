@@ -87,7 +87,6 @@ pub fn solve_relaxed(
     options: &RelaxedOptions,
 ) -> Result<RelaxedSolution, SolveError> {
     let n = instance.num_vars();
-    let m = instance.num_constraints();
     if n == 0 {
         return Ok(RelaxedSolution {
             x: Vec::new(),
@@ -97,6 +96,39 @@ pub fn solve_relaxed(
         });
     }
 
+    // Decompose by constraint coupling: the dual iteration below uses
+    // *global* convergence checks and a *global* Polyak step, so solving
+    // independent components jointly both converges slower and produces
+    // different floating-point trajectories than solving them alone.
+    // Working component-wise makes the result identical whether a
+    // component is solved inside a joint instance or as a stand-alone
+    // sub-instance — the invariant the incremental profile evaluator in
+    // `qdn-core` relies on.
+    let partition = instance.components();
+    if partition.len() > 1 {
+        let mut x = vec![0.0f64; n];
+        let mut primal_value = 0.0;
+        let mut dual_bound = 0.0;
+        let mut iterations = 0;
+        for (comp_vars, comp_cons) in partition.vars.iter().zip(&partition.constraints) {
+            let sub = instance.sub_instance(comp_vars, comp_cons)?;
+            let sol = solve_relaxed(&sub, options)?;
+            for (local, &j) in comp_vars.iter().enumerate() {
+                x[j] = sol.x[local];
+            }
+            primal_value += sol.primal_value;
+            dual_bound += sol.dual_bound;
+            iterations = iterations.max(sol.iterations);
+        }
+        return Ok(RelaxedSolution {
+            x,
+            primal_value,
+            dual_bound,
+            iterations,
+        });
+    }
+
+    let m = instance.num_constraints();
     let mut lambda = vec![0.0f64; m];
     let mut x = vec![1.0f64; n];
     let mut x_avg = vec![0.0f64; n];
@@ -215,7 +247,11 @@ pub fn repair_feasibility(instance: &AllocationInstance, x: &[f64]) -> Vec<f64> 
         let excess: f64 = con.members.iter().map(|&j| (x[j] - 1.0).max(0.0)).sum();
         let slack = con.capacity as f64 - con.members.len() as f64;
         if excess > slack {
-            theta_c[c] = if excess > 0.0 { (slack / excess).max(0.0) } else { 1.0 };
+            theta_c[c] = if excess > 0.0 {
+                (slack / excess).max(0.0)
+            } else {
+                1.0
+            };
         }
     }
     (0..instance.num_vars())
@@ -235,12 +271,7 @@ mod tests {
     use super::*;
     use crate::instance::{PackingConstraint, Variable};
 
-    fn inst(
-        ps: &[f64],
-        cons: &[(u32, &[usize])],
-        v: f64,
-        price: f64,
-    ) -> AllocationInstance {
+    fn inst(ps: &[f64], cons: &[(u32, &[usize])], v: f64, price: f64) -> AllocationInstance {
         AllocationInstance::new(
             ps.iter().map(|&p| Variable::new(p)).collect(),
             cons.iter()
@@ -265,7 +296,8 @@ mod tests {
         // One variable, no constraints: solution is the scalar argmax.
         let i = inst(&[0.55], &[], 2500.0, 25.0);
         let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
-        let expected = crate::scalar::argmax_edge_utility(0.55, 2500.0, 25.0, 1.0, (1 << 20) as f64);
+        let expected =
+            crate::scalar::argmax_edge_utility(0.55, 2500.0, 25.0, 1.0, (1 << 20) as f64);
         assert!((s.x[0] - expected).abs() < 1e-6, "{} vs {expected}", s.x[0]);
     }
 
@@ -292,8 +324,7 @@ mod tests {
             let mut cons: Vec<(u32, Vec<usize>)> = Vec::new();
             // A few random constraints covering random subsets.
             for _ in 0..rng.random_range(1..4usize) {
-                let mut members: Vec<usize> =
-                    (0..nv).filter(|_| rng.random_bool(0.6)).collect();
+                let mut members: Vec<usize> = (0..nv).filter(|_| rng.random_bool(0.6)).collect();
                 if members.is_empty() {
                     members.push(0);
                 }

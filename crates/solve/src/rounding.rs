@@ -66,7 +66,9 @@ pub fn round_down_and_fill(
 pub fn satisfies_rounding_relation(x: &[f64], n: &[u32]) -> bool {
     x.len() == n.len()
         && n.iter().all(|&ni| ni >= 1)
-        && x.iter().zip(n).all(|(&xi, &ni)| xi - (ni as f64) <= 1.0 + 1e-9)
+        && x.iter()
+            .zip(n)
+            .all(|(&xi, &ni)| xi - (ni as f64) <= 1.0 + 1e-9)
 }
 
 #[cfg(test)]

@@ -52,11 +52,7 @@ fn main() {
 
     println!("\nEdge-length distribution (fiber model input):");
     let topo = WaxmanConfig::paper_default().generate(&mut rng);
-    let mut lengths: Vec<f64> = topo
-        .graph
-        .edge_ids()
-        .map(|e| topo.edge_length(e))
-        .collect();
+    let mut lengths: Vec<f64> = topo.graph.edge_ids().map(|e| topo.edge_length(e)).collect();
     lengths.sort_by(f64::total_cmp);
     if !lengths.is_empty() {
         println!(

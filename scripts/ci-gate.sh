@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Lint + format gate for the QDN workspace.
+#
+# Run before pushing any change (especially perf refactors, which tend to
+# accumulate lint debt):
+#
+#     ./scripts/ci-gate.sh          # lint + fmt only (fast)
+#     ./scripts/ci-gate.sh --full   # also build + run the tier-1 tests
+#
+# The gate is intentionally strict: clippy warnings are errors across all
+# targets (lib, tests, benches, examples, bins), and formatting must
+# match rustfmt exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+    echo "==> cargo test -q"
+    cargo test -q
+fi
+
+echo "ci-gate: OK"

@@ -15,11 +15,11 @@ use std::time::Duration;
 use qdn::core::baselines::MyopicPolicy;
 use qdn::core::oscar::{OscarConfig, OscarPolicy};
 use qdn::des::arrivals::PoissonArrivals;
+use qdn::des::attempt_probability;
 use qdn::des::exec::{execute_route, EdgeTask, ExecutionConfig};
 use qdn::des::online::{run_online, OnlineConfig, OnlineRouter};
 use qdn::des::slotted::{run_slotted, SlottedDesConfig};
 use qdn::des::time::SimTime;
-use qdn::des::attempt_probability;
 use qdn::graph::EdgeId;
 use qdn::net::dynamics::StaticDynamics;
 use qdn::net::workload::UniformWorkload;
@@ -90,10 +90,7 @@ fn attempt_probability_is_consistent_across_the_network() {
         let p_slot = net.link(e).channel_success();
         let p_attempt = attempt_probability(p_slot, 4000);
         let back = -(4000f64 * (-p_attempt).ln_1p()).exp_m1();
-        assert!(
-            (back - p_slot).abs() < 1e-9,
-            "edge {e}: {back} vs {p_slot}"
-        );
+        assert!((back - p_slot).abs() < 1e-9, "edge {e}: {back} vs {p_slot}");
     }
 }
 
@@ -186,7 +183,13 @@ fn online_mode_matches_slotted_service_quality() {
     let mut router = OnlineRouter::new(OnlineConfig::paper_default());
     let span = Duration::from_secs_f64(200.0 * 1.46);
     let mut arrivals = PoissonArrivals::new(PoissonArrivals::paper_rate(), span).unwrap();
-    let m = run_online(&net, &mut router, &mut arrivals, &mut env_rng, &mut policy_rng);
+    let m = run_online(
+        &net,
+        &mut router,
+        &mut arrivals,
+        &mut env_rng,
+        &mut policy_rng,
+    );
 
     assert!(m.total_requests() > 400, "got {}", m.total_requests());
     // The slotted OSCAR reference sits at ≈ 0.9 expected success; the
@@ -220,8 +223,8 @@ fn online_mode_matches_slotted_service_quality() {
 fn imperfect_swapping_matches_product_term() {
     let mut r = rng(108);
     let q = 0.9f64;
-    let cfg = ExecutionConfig::paper_default()
-        .with_swap(qdn::physics::swap::SwapModel::new(q).unwrap());
+    let cfg =
+        ExecutionConfig::paper_default().with_swap(qdn::physics::swap::SwapModel::new(q).unwrap());
     let allocations = [2u32, 2, 2];
     let tasks: Vec<EdgeTask> = allocations
         .iter()

@@ -53,7 +53,13 @@ fn disconnected_pairs_through_the_engine() {
     let cross = SdPair::new(NodeId(2), NodeId(3)).unwrap();
     let local = SdPair::new(NodeId(3), NodeId(5)).unwrap();
     let trace: Vec<Vec<SdPair>> = (0..12)
-        .map(|t| if t % 2 == 0 { vec![cross] } else { vec![local, cross] })
+        .map(|t| {
+            if t % 2 == 0 {
+                vec![cross]
+            } else {
+                vec![local, cross]
+            }
+        })
         .collect();
     let mut wl = TraceWorkload::new(trace);
     let mut dynamics = qdn::net::dynamics::StaticDynamics;
@@ -95,11 +101,8 @@ fn disconnected_pairs_through_the_engine() {
 fn blackout_slots_serve_nothing_and_queue_drains() {
     let net = split_network();
     let full = CapacitySnapshot::full(&net);
-    let dark = CapacitySnapshot::clamped(
-        &net,
-        vec![0; net.node_count()],
-        vec![0; net.edge_count()],
-    );
+    let dark =
+        CapacitySnapshot::clamped(&net, vec![0; net.node_count()], vec![0; net.edge_count()]);
     // 3 dark slots, then light.
     let mut dynamics = TraceDynamics::new(vec![dark.clone(), dark.clone(), dark, full]);
     let pair = SdPair::new(NodeId(0), NodeId(2)).unwrap();

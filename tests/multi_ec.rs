@@ -62,12 +62,12 @@ fn duplicates_split_capacity_across_disjoint_routes() {
 
     let slot = SlotState::new(0, vec![pair; 2], snap.clone());
     let d = policy.decide(&net, &slot, &mut rng);
-    assert_eq!(d.assignments().len(), 2, "two copies fit on disjoint routes");
-    let mid_nodes: Vec<NodeId> = d
-        .assignments()
-        .iter()
-        .map(|a| a.route.nodes()[1])
-        .collect();
+    assert_eq!(
+        d.assignments().len(),
+        2,
+        "two copies fit on disjoint routes"
+    );
+    let mid_nodes: Vec<NodeId> = d.assignments().iter().map(|a| a.route.nodes()[1]).collect();
     assert_ne!(
         mid_nodes[0], mid_nodes[1],
         "copies must take the two disjoint routes"
@@ -157,7 +157,10 @@ fn oscar_dominates_mf_under_multi_ec_load() {
         },
     };
     let results = e.run();
-    let oscar = results.policy("OSCAR").unwrap().mean_of(|r| r.avg_success());
+    let oscar = results
+        .policy("OSCAR")
+        .unwrap()
+        .mean_of(|r| r.avg_success());
     let mf = results.policy("MF").unwrap().mean_of(|r| r.avg_success());
     assert!(
         oscar > mf - 1e-9,

@@ -63,9 +63,7 @@ fn lossy_swap_flips_the_preferred_route() {
     // At swap success 0.4: short = 0.4·0.36 = 0.144 beats
     // long = 0.16·0.729 ≈ 0.117 — route selection must flip.
     let pair = SdPair::new(NodeId(0), NodeId(4)).unwrap();
-    let selector = RouteSelector::Exhaustive {
-        max_combinations: 16,
-    };
+    let selector = RouteSelector::exhaustive(16);
     let mut chosen_hops = Vec::new();
     for swap_success in [1.0, 0.4] {
         let net = two_route_network(swap_success);
@@ -73,17 +71,17 @@ fn lossy_swap_flips_the_preferred_route() {
         let all = vec![short, long];
         let snap = CapacitySnapshot::full(&net);
         let ctx = PerSlotContext::oscar(&net, &snap, 1000.0, 0.0);
-        let cands = vec![Candidates {
-            pair,
-            routes: &all,
-        }];
+        let cands = vec![Candidates { pair, routes: &all }];
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let sel = selector
             .select(&ctx, &cands, &AllocationMethod::default(), &mut rng)
             .expect("feasible");
         chosen_hops.push(all[sel.indices[0]].hops());
     }
-    assert_eq!(chosen_hops[0], 3, "perfect swap prefers the excellent links");
+    assert_eq!(
+        chosen_hops[0], 3,
+        "perfect swap prefers the excellent links"
+    );
     assert_eq!(chosen_hops[1], 2, "lossy swap prefers fewer swaps");
 }
 

@@ -83,8 +83,7 @@ fn theorem1_violation_bound_holds_empirically() {
             &mut env_rng,
             &mut policy_rng,
         );
-        let avg_violation =
-            (metrics.total_cost() as f64 - budget) / horizon as f64;
+        let avg_violation = (metrics.total_cost() as f64 - budget) / horizon as f64;
         let max_w = net
             .graph()
             .edge_ids()
