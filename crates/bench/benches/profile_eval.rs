@@ -25,8 +25,15 @@
 //! routes chain every pair into one component, which is why the sparse
 //! regime needs a topology with isolated regions.)
 //!
-//! Run with `CRITERION_JSON=BENCH_profile_eval.json` to append one JSON
-//! line per benchmark (the committed snapshot is produced this way).
+//! The `dual_solver_paper20` and `warm_vs_cold_paper20` groups measure
+//! the PR-2 solver rework directly: raw cold vs warm-started
+//! `solve_relaxed` on the joint paper-scale instance, and the evaluator
+//! walk with `RelaxedOptions::warm_start` on/off.
+//!
+//! Run with `CRITERION_JSON=$PWD/BENCH_profile_eval.json` (absolute —
+//! cargo runs this binary with `crates/bench` as cwd) to append one
+//! JSON line per benchmark; the committed snapshot is produced this
+//! way, and `scripts/bench-gate.sh` compares fresh runs against it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdn_core::allocation::AllocationMethod;
@@ -221,6 +228,111 @@ fn full_rebuild_gibbs(
     Some(best)
 }
 
+/// Raw dual-solver benches on the paper-scale joint instance (the one
+/// big coupling component 10 random pairs form on the 20-node Waxman
+/// graph):
+///
+/// * `cold_solve` — `solve_relaxed` from λ = 0 on the prebuilt instance:
+///   the pure solver cost of a fresh joint solve, no assembly, no
+///   rounding;
+/// * `warm_solve_neighbor` — `solve_relaxed_warm` seeded with the final
+///   λ of a *neighboring* profile (one pair moved to another route),
+///   mapped across instances by constraint identity: the warm-start
+///   regime the profile evaluator's per-component λ store produces;
+/// * `warm_solve_self` — seeded with the instance's own final λ: the
+///   best-case floor (restart on an already-solved tuple).
+fn bench_dual_solver(c: &mut Criterion) {
+    use qdn_core::route_selection::profile_of;
+    use qdn_solve::relaxed::{solve_relaxed, solve_relaxed_warm, RelaxedOptions};
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    let snap = CapacitySnapshot::full(&net);
+    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+    let mut pairs_rng = StdRng::seed_from_u64(11);
+    let owned = make_candidates(&net, 10, &mut pairs_rng);
+    let cands = to_cands(&owned);
+    let opts = RelaxedOptions::default();
+
+    let base: Vec<usize> = vec![0; cands.len()];
+    let mut moved = base.clone();
+    moved[0] = 1.min(cands[0].routes.len() - 1);
+    let inst_base = ctx.build_instance(&profile_of(&cands, &base)).unwrap();
+    let inst_moved = ctx.build_instance(&profile_of(&cands, &moved)).unwrap();
+
+    // Seed the base solve with the moved instance's λ, mapped by
+    // constraint position. Both instances lay constraints out in
+    // first-touch order, so the shared prefix (identical until the moved
+    // pair's first touched node) lines up; the tail is approximate —
+    // which is the point: a *plausible neighbor* seed, not an exact one.
+    // (The evaluator proper maps by node/edge identity instead.)
+    let sol_moved = solve_relaxed(&inst_moved, &opts).unwrap();
+    let mut neighbor_seed = vec![0.0; inst_base.num_constraints()];
+    for (dst, &src) in neighbor_seed.iter_mut().zip(sol_moved.lambda.iter()).take(
+        inst_base
+            .num_constraints()
+            .min(inst_moved.num_constraints()),
+    ) {
+        *dst = src;
+    }
+    let sol_base = solve_relaxed(&inst_base, &opts).unwrap();
+    let self_seed = sol_base.lambda.clone();
+
+    let mut group = c.benchmark_group("dual_solver_paper20");
+    group.sample_size(15);
+    group.bench_function("cold_solve/10_pairs", |b| {
+        b.iter(|| black_box(solve_relaxed(&inst_base, &opts).unwrap()))
+    });
+    group.bench_function("warm_solve_neighbor/10_pairs", |b| {
+        b.iter(|| black_box(solve_relaxed_warm(&inst_base, &opts, Some(&neighbor_seed)).unwrap()))
+    });
+    group.bench_function("warm_solve_self/10_pairs", |b| {
+        b.iter(|| black_box(solve_relaxed_warm(&inst_base, &opts, Some(&self_seed)).unwrap()))
+    });
+    group.finish();
+}
+
+/// Warm-vs-cold through the evaluator: a fresh evaluator evaluates the
+/// base profile (cold joint solve) and then a single-pair move (fresh
+/// tuple for the moved component). With `warm_start` the second solve is
+/// seeded from the first one's λ; the cold row is the same walk with the
+/// flag off, so the row difference isolates the warm-start benefit on
+/// the realistic "Gibbs proposes a neighbor" pattern.
+fn bench_warm_vs_cold_eval(c: &mut Criterion) {
+    use qdn_solve::relaxed::RelaxedOptions;
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    let snap = CapacitySnapshot::full(&net);
+    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+    let mut pairs_rng = StdRng::seed_from_u64(11);
+    let owned = make_candidates(&net, 10, &mut pairs_rng);
+    let cands = to_cands(&owned);
+
+    let base: Vec<usize> = vec![0; cands.len()];
+    let mut moved = base.clone();
+    moved[0] = 1.min(cands[0].routes.len() - 1);
+
+    let cold_method = AllocationMethod::default();
+    let warm_method = AllocationMethod::RelaxAndRound(RelaxedOptions {
+        warm_start: true,
+        ..RelaxedOptions::default()
+    });
+
+    let mut group = c.benchmark_group("warm_vs_cold_paper20");
+    group.sample_size(15);
+    for (label, method) in [("cold", &cold_method), ("warm", &warm_method)] {
+        group.bench_function(&format!("{label}_move_pair/10_pairs"), |b| {
+            b.iter(|| {
+                let mut eval = ProfileEvaluator::new(&ctx, &cands, method);
+                black_box(eval.evaluate_objective(&base));
+                black_box(eval.evaluate_objective(&moved))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// `count` disjoint diamond gadgets (4 nodes, 2 parallel 2-hop routes);
 /// one SD pair per diamond. Every pair is a singleton coupling component.
 fn diamond_field(count: usize) -> (QdnNetwork, Vec<SdPair>) {
@@ -295,6 +407,9 @@ fn bench(c: &mut Criterion) {
     // components — super-linear gains from decomposition + memo
     // saturation.
     bench_diamond_field(c, 25);
+
+    bench_dual_solver(c);
+    bench_warm_vs_cold_eval(c);
 
     bench_gibbs_end_to_end(c);
 }

@@ -102,18 +102,26 @@ fn run_one(f: &mut impl FnMut(&mut Bencher), iters: u64) -> u128 {
 }
 
 fn run_benchmark(group: &str, name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
-    // Calibrate the iteration count to ~40 ms per sample. The target must
-    // be much larger than a single iteration of cache-warming benchmarks,
-    // so per-sample setup work inside the benchmark closure (before
-    // `iter`) amortizes away instead of dominating every sample.
-    const TARGET_NS: u128 = 40_000_000;
+    // Calibrate the iteration count to ~40 ms per sample (overridable via
+    // `CRITERION_TARGET_MS`, e.g. `CRITERION_TARGET_MS=4` for the CI
+    // bench smoke job's reduced-iteration run). The target must be much
+    // larger than a single iteration of cache-warming benchmarks, so
+    // per-sample setup work inside the benchmark closure (before `iter`)
+    // amortizes away instead of dominating every sample.
+    const DEFAULT_TARGET_MS: u128 = 40;
+    let target_ns: u128 = std::env::var("CRITERION_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u128>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(DEFAULT_TARGET_MS)
+        * 1_000_000;
     let mut iters = 1u64;
     loop {
         let ns = run_one(&mut f, iters).max(1);
-        if ns >= TARGET_NS || iters >= 1 << 24 {
+        if ns >= target_ns || iters >= 1 << 24 {
             break;
         }
-        let scale = (TARGET_NS / ns).clamp(1, 128) as u64 + 1;
+        let scale = (target_ns / ns).clamp(1, 128) as u64 + 1;
         iters = iters.saturating_mul(scale).min(1 << 24);
     }
 

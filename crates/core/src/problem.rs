@@ -17,7 +17,7 @@
 
 use qdn_graph::Path;
 use qdn_net::{CapacitySnapshot, QdnNetwork, SdPair};
-use qdn_solve::{AllocationInstance, PackingConstraint, SolveError, Variable};
+use qdn_solve::{AllocationInstance, RouteAssembler, SolveError};
 
 use crate::allocation::AllocationMethod;
 
@@ -96,8 +96,7 @@ impl<'a> PerSlotContext<'a> {
         &self,
         profile: &RouteProfile<'_>,
     ) -> Result<AllocationInstance, SolveError> {
-        let mut scratch =
-            LayoutScratch::sized(self.network.node_count(), self.network.edge_count());
+        let mut asm = RouteAssembler::sized(self.network.node_count(), self.network.edge_count());
         let edges = profile.iter().flat_map(|(_, route)| {
             route.edges().iter().map(|&edge| {
                 let (u, v) = self.network.graph().endpoints(edge);
@@ -105,12 +104,13 @@ impl<'a> PerSlotContext<'a> {
             })
         });
         assemble_instance(
-            &mut scratch,
+            &mut asm,
             self.snapshot,
             edges,
             self.slot_budget.map(|b| b.min(u32::MAX as u64) as u32),
             self.v_weight,
             self.unit_price,
+            None,
         )
     }
 
@@ -192,94 +192,46 @@ impl<'a> PerSlotContext<'a> {
     }
 }
 
-/// Dense first-touch scratch for [`assemble_instance`]: node/edge → local
-/// constraint slot maps with epoch stamping, sized once per network and
-/// reusable across builds (the `ProfileEvaluator` keeps one alive for a
-/// whole slot; [`PerSlotContext::build_instance`] makes a fresh one).
-#[derive(Debug, Default)]
-pub(crate) struct LayoutScratch {
-    node_slot: Vec<usize>,
-    node_mark: Vec<u64>,
-    edge_slot: Vec<usize>,
-    edge_mark: Vec<u64>,
-    epoch: u64,
-}
-
-impl LayoutScratch {
-    /// Scratch for a network with the given node/edge counts.
-    pub(crate) fn sized(nodes: usize, edges: usize) -> Self {
-        LayoutScratch {
-            node_slot: vec![0; nodes],
-            node_mark: vec![0; nodes],
-            edge_slot: vec![0; edges],
-            edge_mark: vec![0; edges],
-            epoch: 0,
-        }
-    }
-}
-
 /// Assembles the canonical P2 instance layout from a stream of route
 /// edges `(edge, u, v, p)`: variables in stream order, node constraints
 /// in first-touch order, then edge constraints in first-touch order,
 /// then the optional budget over all variables.
 ///
-/// This is the **single** definition of the layout. Both the
-/// full-rebuild path ([`PerSlotContext::build_instance`]) and the
-/// incremental [`crate::profile_eval::ProfileEvaluator`] (per-component
-/// sub-instances) call it, which — together with the component-wise
-/// solvers in `qdn_solve` — is what makes their results bit-identical:
-/// a coupling component's sub-instance is structurally the joint
-/// instance restricted to it, in the same relative order.
+/// Since PR 2 this is a thin adapter over the arena-backed
+/// [`qdn_solve::RouteAssembler`], which owns the **single** definition
+/// of the layout. Both the full-rebuild path
+/// ([`PerSlotContext::build_instance`], fresh assembler) and the
+/// incremental [`crate::profile_eval::ProfileEvaluator`] (one recycled
+/// assembler per slot, per-component sub-instances) stream through it,
+/// which — together with the component-wise solvers in `qdn_solve` — is
+/// what makes their results bit-identical: a coupling component's
+/// sub-instance is structurally the joint instance restricted to it, in
+/// the same relative order.
+///
+/// `keys_out`, when given, receives each constraint's stable identity
+/// (node / edge / budget) for the evaluator's dual warm-start store.
 pub(crate) fn assemble_instance(
-    scratch: &mut LayoutScratch,
+    asm: &mut RouteAssembler,
     snapshot: &CapacitySnapshot,
     edges: impl Iterator<Item = (qdn_graph::EdgeId, qdn_graph::NodeId, qdn_graph::NodeId, f64)>,
     budget: Option<u32>,
     v_weight: f64,
     unit_price: f64,
+    keys_out: Option<&mut Vec<u32>>,
 ) -> Result<AllocationInstance, SolveError> {
-    scratch.epoch += 1;
-    let epoch = scratch.epoch;
-    let mut vars: Vec<Variable> = Vec::new();
-    let mut node_order: Vec<qdn_graph::NodeId> = Vec::new();
-    let mut node_members: Vec<Vec<usize>> = Vec::new();
-    let mut edge_order: Vec<qdn_graph::EdgeId> = Vec::new();
-    let mut edge_members: Vec<Vec<usize>> = Vec::new();
-
+    asm.begin();
     for (edge, u, v, p) in edges {
-        let j = vars.len();
-        vars.push(Variable::new(p));
-        for node in [u, v] {
-            if scratch.node_mark[node.index()] != epoch {
-                scratch.node_mark[node.index()] = epoch;
-                scratch.node_slot[node.index()] = node_order.len();
-                node_order.push(node);
-                node_members.push(vec![j]);
-            } else {
-                node_members[scratch.node_slot[node.index()]].push(j);
-            }
-        }
-        if scratch.edge_mark[edge.index()] != epoch {
-            scratch.edge_mark[edge.index()] = epoch;
-            scratch.edge_slot[edge.index()] = edge_order.len();
-            edge_order.push(edge);
-            edge_members.push(vec![j]);
-        } else {
-            edge_members[scratch.edge_slot[edge.index()]].push(j);
-        }
+        asm.push_edge(
+            edge.index(),
+            u.index(),
+            v.index(),
+            p,
+            snapshot.qubits(u),
+            snapshot.qubits(v),
+            snapshot.channels(edge),
+        );
     }
-
-    let mut constraints = Vec::with_capacity(node_order.len() + edge_order.len() + 1);
-    for (node, members) in node_order.into_iter().zip(node_members) {
-        constraints.push(PackingConstraint::new(snapshot.qubits(node), members));
-    }
-    for (edge, members) in edge_order.into_iter().zip(edge_members) {
-        constraints.push(PackingConstraint::new(snapshot.channels(edge), members));
-    }
-    if let Some(b) = budget {
-        constraints.push(PackingConstraint::new(b, (0..vars.len()).collect()));
-    }
-    AllocationInstance::new(vars, constraints, v_weight, unit_price)
+    asm.finish_with_keys(budget, v_weight, unit_price, keys_out)
 }
 
 #[cfg(test)]

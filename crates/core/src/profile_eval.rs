@@ -7,11 +7,12 @@
 //! route changed. [`ProfileEvaluator`] is the engine the selectors use
 //! instead:
 //!
-//! * **Dense scratch buffers** — node/edge first-touch maps are flat
-//!   vectors indexed by [`NodeId`]/[`EdgeId`] with epoch stamping, sized
-//!   once per slot and reused across evaluations; repeat evaluations of a
-//!   profile build no instances and solve nothing (their only heap
-//!   traffic is one components-sized reference buffer per call).
+//! * **Arena-backed instance assembly** — sub-instances are built by one
+//!   [`RouteAssembler`] per evaluator (dense first-touch maps with epoch
+//!   stamping, CSR constraint arrays written in place) and recycled after
+//!   each solve, so steady-state component solves allocate no instance
+//!   storage at all; repeat evaluations of a profile build no instances
+//!   and solve nothing.
 //! * **Connected-component decomposition** — pairs are partitioned by
 //!   constraint coupling: two pairs share a component iff some candidate
 //!   route of one shares a node with some candidate route of the other
@@ -26,15 +27,27 @@
 //!   under the tuple of that component's route indices, so profiles
 //!   revisited by Gibbs or sharing unchanged components with a previous
 //!   proposal (every profile the exhaustive odometer visits) are free.
+//! * **Dual warm starts** (opt-in) — when the allocation method is
+//!   `RelaxAndRound` with [`RelaxedOptions::warm_start`] set, each
+//!   component keeps the dual prices λ of its most recent fresh solve,
+//!   keyed by constraint identity (node / edge / budget). A fresh route
+//!   tuple re-solves starting from the neighboring profile's prices;
+//!   [`qdn_solve::solve_relaxed_warm`] falls back to the cold λ = 0
+//!   iteration whenever the warm run does not converge, so warm results
+//!   satisfy the same feasibility and duality-gap guarantees as cold
+//!   ones (they may differ from the cold answer *within* the solver
+//!   tolerance, which is why the flag is off by default).
 //!
 //! # Bit-identical results
 //!
-//! The evaluator returns *exactly* the objective and allocations of the
-//! full-rebuild path, bit for bit. Three invariants make this hold:
+//! With warm starts disabled (the default), the evaluator returns
+//! *exactly* the objective and allocations of the full-rebuild path, bit
+//! for bit. Three invariants make this hold:
 //!
-//! 1. [`PerSlotContext::build_instance`] lays out variables in profile
-//!    order and constraints in first-touch order, so the sub-instance of
-//!    a component equals the joint instance restricted to it;
+//! 1. [`PerSlotContext::build_instance`] and the evaluator stream through
+//!    the same [`RouteAssembler`] layout (variables in profile order,
+//!    constraints in first-touch order), so the sub-instance of a
+//!    component equals the joint instance restricted to it;
 //! 2. `qdn_solve::solve_relaxed` itself decomposes by constraint
 //!    coupling, so solving a component stand-alone or inside the joint
 //!    instance follows the same floating-point trajectory (the greedy
@@ -48,7 +61,8 @@
 //!
 //! The property test `incremental_matches_full_rebuild` in
 //! `crates/core/tests/proptests.rs` enforces this equivalence on random
-//! topologies and profiles for every allocation method.
+//! topologies and profiles for every allocation method; the warm-start
+//! path is covered by `warm_start_agrees_within_tolerance`.
 //!
 //! # Parallelism (`parallel` feature)
 //!
@@ -56,19 +70,22 @@
 //! evaluation are solved on `std::thread::scope` threads (rayon is not
 //! available in this build environment; scoped threads provide the same
 //! fork-join shape). Results are inserted into the memo after the join,
-//! so the outcome is bit-identical to the serial path. Multi-chain Gibbs
-//! restarts parallelize the same way — see
-//! [`crate::route_selection::gibbs::sample_restarts`].
+//! so the outcome is bit-identical to the serial path; when a component
+//! reports infeasibility the remaining workers stop early (matching the
+//! serial path's short-circuit). Multi-chain Gibbs restarts parallelize
+//! the same way — see [`crate::route_selection::gibbs::sample_restarts`].
 
 use std::collections::HashMap;
 
 use qdn_graph::{EdgeId, NodeId, Path};
 use qdn_net::SdPair;
 use qdn_physics::swap::SwapModel;
-use qdn_solve::{ln_success, AllocationInstance};
+use qdn_solve::relaxed::RelaxedOptions;
+use qdn_solve::rounding::round_down_and_fill;
+use qdn_solve::{ln_success, solve_relaxed_warm, AllocationInstance, RouteAssembler};
 
 use crate::allocation::AllocationMethod;
-use crate::problem::{assemble_instance, LayoutScratch, PerSlotContext, ProfileEvaluation};
+use crate::problem::{assemble_instance, PerSlotContext, ProfileEvaluation};
 use crate::route_selection::Candidates;
 
 /// One candidate route, pre-resolved against the network.
@@ -91,19 +108,67 @@ struct EdgeVar {
 }
 
 /// Reusable dense buffers for sub-instance construction.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Scratch {
-    /// First-touch layout maps shared with `PerSlotContext::build_instance`.
-    layout: LayoutScratch,
-    /// Reusable memo-key buffer (route indices of one component).
-    key: Vec<u32>,
+    /// Arena-backed instance assembler shared with
+    /// [`PerSlotContext::build_instance`]'s layout.
+    asm: RouteAssembler,
+    /// All components' keys for the profile under evaluation,
+    /// concatenated at [`ProfileEvaluator::comp_key_off`] offsets —
+    /// resolved once by `ensure_components`, reused by
+    /// `accumulate_objective` (ROADMAP item f).
+    joint_key: Vec<u32>,
     /// Per-component read cursors for the gather pass.
     cursors: Vec<usize>,
+    /// Constraint keys of the instance being built (warm-start path).
+    con_keys: Vec<u32>,
+    /// Warm λ gathered from a component's store (warm-start path).
+    warm: Vec<f64>,
+}
+
+impl Scratch {
+    fn sized(nodes: usize, edges: usize, components: usize) -> Self {
+        Scratch {
+            asm: RouteAssembler::sized(nodes, edges),
+            joint_key: Vec::new(),
+            cursors: vec![0; components],
+            con_keys: Vec::new(),
+            warm: Vec::new(),
+        }
+    }
 }
 
 /// Per-component memo: route-index tuple → flat allocation
 /// (`None` = that combination is infeasible).
 type Memo = HashMap<Box<[u32]>, Option<Box<[u32]>>>;
+
+/// One component's stored dual prices, dense over constraint keys
+/// (node / edge / budget identity — see [`RouteAssembler`]).
+#[derive(Debug, Clone)]
+struct ComponentDual {
+    lambda: Vec<f64>,
+    valid: bool,
+}
+
+impl ComponentDual {
+    fn absorb(&mut self, keys: &[u32], lambda: &[f64]) {
+        debug_assert_eq!(keys.len(), lambda.len());
+        for (&key, &l) in keys.iter().zip(lambda) {
+            self.lambda[key as usize] = l;
+        }
+        self.valid = true;
+    }
+}
+
+/// The outcome of one fresh component solve.
+struct ComponentSolve {
+    /// The allocation (`None` = infeasible route combination).
+    alloc: Option<Box<[u32]>>,
+    /// `(constraint keys, final λ)` when a warm-capable solve ran.
+    dual: Option<(Vec<u32>, Vec<f64>)>,
+    /// Whether the dual iteration was actually seeded from stored λ.
+    warm_started: bool,
+}
 
 /// Counters describing how much work the evaluator actually did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -114,6 +179,8 @@ pub struct EvalStats {
     pub memo_hits: u64,
     /// Component sub-instances built and solved.
     pub components_solved: u64,
+    /// Component solves seeded from a stored neighboring-profile λ.
+    pub warm_started: u64,
 }
 
 /// The incremental profile-evaluation engine. See the module docs.
@@ -127,12 +194,19 @@ pub struct ProfileEvaluator<'a> {
     /// Static partition: `comp_of_pair[i]` and the ascending pair lists.
     comp_of_pair: Vec<usize>,
     comp_pairs: Vec<Vec<usize>>,
+    /// `comp_key_off[c]..comp_key_off[c+1]` slices component `c`'s route
+    /// indices out of `Scratch::joint_key`.
+    comp_key_off: Vec<usize>,
     /// `ln(swap_success)`; only meaningful when `lossy_swap`.
     ln_q: f64,
     lossy_swap: bool,
     budget: Option<u32>,
     scratch: Scratch,
     memos: Vec<Memo>,
+    /// Per-component dual warm-start store (empty unless the method is
+    /// `RelaxAndRound` with `warm_start` enabled).
+    duals: Vec<ComponentDual>,
+    warm_opts: Option<RelaxedOptions>,
     /// `pair_memo[i][r]`: cached single-pair objective (outer `None` =
     /// not yet computed; inner `None` = infeasible).
     pair_memo: Vec<Vec<Option<Option<f64>>>>,
@@ -194,14 +268,35 @@ impl<'a> ProfileEvaluator<'a> {
             comp_of_pair[i] = comp;
             comp_pairs[comp].push(i);
         }
+        let mut comp_key_off = Vec::with_capacity(comp_pairs.len() + 1);
+        comp_key_off.push(0);
+        for pairs in &comp_pairs {
+            comp_key_off.push(comp_key_off.last().unwrap() + pairs.len());
+        }
 
         let q = ctx.network.swap().success();
-        let scratch = Scratch {
-            layout: LayoutScratch::sized(ctx.network.node_count(), ctx.network.edge_count()),
-            key: Vec::with_capacity(k),
-            cursors: vec![0; comp_pairs.len()],
-        };
+        let scratch = Scratch::sized(
+            ctx.network.node_count(),
+            ctx.network.edge_count(),
+            comp_pairs.len(),
+        );
         let memos = vec![Memo::new(); comp_pairs.len()];
+        let warm_opts = match method {
+            AllocationMethod::RelaxAndRound(o) if o.warm_start => Some(*o),
+            _ => None,
+        };
+        let duals = if warm_opts.is_some() {
+            let key_space = ctx.network.node_count() + ctx.network.edge_count() + 1;
+            vec![
+                ComponentDual {
+                    lambda: vec![0.0; key_space],
+                    valid: false,
+                };
+                comp_pairs.len()
+            ]
+        } else {
+            Vec::new()
+        };
         let pair_memo = routes.iter().map(|c| vec![None; c.len()]).collect();
         ProfileEvaluator {
             ctx: *ctx,
@@ -210,11 +305,14 @@ impl<'a> ProfileEvaluator<'a> {
             routes,
             comp_of_pair,
             comp_pairs,
+            comp_key_off,
             ln_q: if q < 1.0 { q.ln() } else { 0.0 },
             lossy_swap: q < 1.0,
             budget: ctx.slot_budget.map(|b| b.min(u32::MAX as u64) as u32),
             scratch,
             memos,
+            duals,
+            warm_opts,
             pair_memo,
             stats: EvalStats::default(),
         }
@@ -234,6 +332,12 @@ impl<'a> ProfileEvaluator<'a> {
     /// the Gibbs `parallel_isolated` notion).
     pub fn pair_is_isolated(&self, i: usize) -> bool {
         self.comp_pairs[self.comp_of_pair[i]].len() == 1
+    }
+
+    /// Whether fresh `RelaxAndRound` solves are being warm-started from
+    /// stored dual prices.
+    pub fn warm_start_enabled(&self) -> bool {
+        self.warm_opts.is_some()
     }
 
     /// Work counters accumulated since construction.
@@ -292,37 +396,53 @@ impl<'a> ProfileEvaluator<'a> {
             &self.ctx,
             self.budget,
             std::iter::once(route),
+            false,
         );
         let objective = instance.ok().and_then(|inst| {
-            let flat = self.method.allocate(&inst)?;
-            let swap_term = if self.lossy_swap {
-                route.swaps as f64 * self.ln_q
-            } else {
-                0.0
-            };
-            Some(inst.objective_int(&flat) + self.ctx.v_weight * swap_term)
+            let flat = self.method.allocate(&inst);
+            let result = flat.map(|flat| {
+                let swap_term = if self.lossy_swap {
+                    route.swaps as f64 * self.ln_q
+                } else {
+                    0.0
+                };
+                inst.objective_int(&flat) + self.ctx.v_weight * swap_term
+            });
+            self.scratch.asm.recycle(inst);
+            result
         });
         self.pair_memo[i][route_idx] = Some(objective);
         objective
     }
 
-    /// Ensures every component's allocation for `indices` is in the memo;
-    /// `None` if any component is infeasible.
+    /// Ensures every component's allocation for `indices` is in the memo
+    /// and resolves all component keys into `Scratch::joint_key` (sliced
+    /// by [`ProfileEvaluator::comp_key_off`]) so the accumulation pass
+    /// does not rebuild them; `None` if any component is infeasible.
     fn ensure_components(&mut self, indices: &[usize]) -> Option<()> {
         debug_assert_eq!(indices.len(), self.pairs.len());
+        // Resolve every component's key once, up front.
+        self.scratch.joint_key.clear();
+        for comp_pairs in &self.comp_pairs {
+            self.scratch
+                .joint_key
+                .extend(comp_pairs.iter().map(|&i| indices[i] as u32));
+        }
+
         // Components the parallel pre-pass solved this call (ascending);
         // they must not count as memo hits below.
         #[cfg(feature = "parallel")]
-        let fresh = self.solve_missing_parallel(indices);
+        let (fresh, parallel_infeasible) = self.solve_missing_parallel(indices);
+        #[cfg(feature = "parallel")]
+        if parallel_infeasible {
+            return None;
+        }
         #[cfg(not(feature = "parallel"))]
         let fresh: Vec<usize> = Vec::new();
 
         for comp in 0..self.comp_pairs.len() {
-            self.scratch.key.clear();
-            for &i in &self.comp_pairs[comp] {
-                self.scratch.key.push(indices[i] as u32);
-            }
-            if let Some(entry) = self.memos[comp].get(self.scratch.key.as_slice()) {
+            let key = &self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]];
+            if let Some(entry) = self.memos[comp].get(key) {
                 if fresh.binary_search(&comp).is_err() {
                     self.stats.memo_hits += 1;
                 }
@@ -332,7 +452,8 @@ impl<'a> ProfileEvaluator<'a> {
                 continue;
             }
             self.stats.components_solved += 1;
-            let solved = solve_component(
+            let warm = self.warm_opts.as_ref().map(|o| (o, &self.duals[comp]));
+            let solve = solve_component(
                 &mut self.scratch,
                 &self.ctx,
                 self.budget,
@@ -340,10 +461,19 @@ impl<'a> ProfileEvaluator<'a> {
                 &self.routes,
                 &self.comp_pairs[comp],
                 indices,
+                warm,
             );
-            let feasible = solved.is_some();
-            let key = self.scratch.key.clone().into_boxed_slice();
-            self.memos[comp].insert(key, solved);
+            if solve.warm_started {
+                self.stats.warm_started += 1;
+            }
+            if let Some((keys, lambda)) = &solve.dual {
+                self.duals[comp].absorb(keys, lambda);
+            }
+            let feasible = solve.alloc.is_some();
+            let key = self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]]
+                .to_vec()
+                .into_boxed_slice();
+            self.memos[comp].insert(key, solve.alloc);
             if !feasible {
                 return None;
             }
@@ -352,26 +482,28 @@ impl<'a> ProfileEvaluator<'a> {
     }
 
     /// Pre-solves all missing components of `indices` on scoped threads
-    /// and returns their ids (ascending). Bit-identical to the serial
-    /// path: each component's solve is independent and results are
-    /// inserted in component order. Components are chunked over a bounded
-    /// worker count with one scratch per worker, so the cost per call is
-    /// a few spawns — not one spawn and four network-sized allocations
-    /// per component.
+    /// and returns their ids (ascending) plus whether any of them turned
+    /// out infeasible. Bit-identical to the serial path: each
+    /// component's solve is independent and results are inserted in
+    /// component order. Components are chunked over a bounded worker
+    /// count with one scratch per worker, so the cost per call is a few
+    /// spawns — not one spawn and four network-sized allocations per
+    /// component. An infeasibility observed by any worker stops the
+    /// remaining solves early (ROADMAP item g): skipped components are
+    /// simply not memoized, matching the serial path's short-circuit.
     #[cfg(feature = "parallel")]
-    fn solve_missing_parallel(&mut self, indices: &[usize]) -> Vec<usize> {
+    fn solve_missing_parallel(&mut self, indices: &[usize]) -> (Vec<usize>, bool) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
         let mut missing: Vec<usize> = Vec::new();
         for comp in 0..self.comp_pairs.len() {
-            self.scratch.key.clear();
-            for &i in &self.comp_pairs[comp] {
-                self.scratch.key.push(indices[i] as u32);
-            }
-            if !self.memos[comp].contains_key(self.scratch.key.as_slice()) {
+            let key = &self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]];
+            if !self.memos[comp].contains_key(key) {
                 missing.push(comp);
             }
         }
         if missing.len() < 2 {
-            return Vec::new();
+            return (Vec::new(), false);
         }
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -381,52 +513,65 @@ impl<'a> ProfileEvaluator<'a> {
         let ctx = self.ctx;
         let budget = self.budget;
         let method = self.method;
+        let warm_opts = self.warm_opts;
         let routes = &self.routes;
         let comp_pairs = &self.comp_pairs;
-        let results: Vec<Vec<(usize, Option<Box<[u32]>>)>> = std::thread::scope(|scope| {
+        let duals = &self.duals;
+        let infeasible = AtomicBool::new(false);
+        let results: Vec<Vec<(usize, ComponentSolve)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = missing
                 .chunks(chunk)
                 .map(|comps| {
+                    let infeasible = &infeasible;
                     scope.spawn(move || {
-                        let mut scratch = Scratch {
-                            layout: LayoutScratch::sized(
-                                ctx.network.node_count(),
-                                ctx.network.edge_count(),
-                            ),
-                            key: Vec::new(),
-                            cursors: Vec::new(),
-                        };
-                        comps
-                            .iter()
-                            .map(|&comp| {
-                                (
-                                    comp,
-                                    solve_component(
-                                        &mut scratch,
-                                        &ctx,
-                                        budget,
-                                        &method,
-                                        routes,
-                                        &comp_pairs[comp],
-                                        indices,
-                                    ),
-                                )
-                            })
-                            .collect()
+                        let mut scratch =
+                            Scratch::sized(ctx.network.node_count(), ctx.network.edge_count(), 0);
+                        let mut out = Vec::with_capacity(comps.len());
+                        for &comp in comps {
+                            if infeasible.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let warm = warm_opts.as_ref().map(|o| (o, &duals[comp]));
+                            let solve = solve_component(
+                                &mut scratch,
+                                &ctx,
+                                budget,
+                                &method,
+                                routes,
+                                &comp_pairs[comp],
+                                indices,
+                                warm,
+                            );
+                            if solve.alloc.is_none() {
+                                infeasible.store(true, Ordering::Relaxed);
+                            }
+                            out.push((comp, solve));
+                        }
+                        out
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        for (comp, solved) in results.into_iter().flatten() {
+        let any_infeasible = infeasible.into_inner();
+        let mut fresh = Vec::new();
+        for (comp, solve) in results.into_iter().flatten() {
             let key: Vec<u32> = self.comp_pairs[comp]
                 .iter()
                 .map(|&i| indices[i] as u32)
                 .collect();
             self.stats.components_solved += 1;
-            self.memos[comp].insert(key.into_boxed_slice(), solved);
+            if solve.warm_started {
+                self.stats.warm_started += 1;
+            }
+            if let Some((keys, lambda)) = &solve.dual {
+                self.duals[comp].absorb(keys, lambda);
+            }
+            self.memos[comp].insert(key.into_boxed_slice(), solve.alloc);
+            fresh.push(comp);
         }
-        missing
+        fresh.sort_unstable();
+        (fresh, any_infeasible)
     }
 
     /// Gathers the memoized component allocations in joint variable order
@@ -435,24 +580,24 @@ impl<'a> ProfileEvaluator<'a> {
     /// (same terms, same order), plus the profile's swap term. Optionally
     /// copies out per-route allocations.
     ///
-    /// All referenced components must already be memoized feasible.
+    /// All referenced components must already be memoized feasible, and
+    /// `Scratch::joint_key` must hold the profile's resolved keys (both
+    /// established by `ensure_components`).
     fn accumulate_objective(
         &mut self,
         indices: &[usize],
         mut allocations: Option<&mut Vec<Vec<u32>>>,
     ) -> f64 {
         self.scratch.cursors.iter_mut().for_each(|c| *c = 0);
-        // One memo lookup per component, hoisted out of the pair loop —
-        // rebuilding the key per *pair* would make the memo-hit path
-        // quadratic in component size.
+        // One memo lookup per component over the pre-resolved keys,
+        // hoisted out of the pair loop — rebuilding the key per *pair*
+        // would make the memo-hit path quadratic in component size.
         let flats: Vec<&[u32]> = (0..self.comp_pairs.len())
             .map(|comp| {
-                self.scratch.key.clear();
-                for &j in &self.comp_pairs[comp] {
-                    self.scratch.key.push(indices[j] as u32);
-                }
+                let key =
+                    &self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]];
                 self.memos[comp]
-                    .get(self.scratch.key.as_slice())
+                    .get(key)
                     .expect("component memoized by ensure_components")
                     .as_deref()
                     .expect("component feasible by ensure_components")
@@ -507,25 +652,34 @@ fn resolve_route(ctx: &PerSlotContext<'_>, route: &Path) -> RouteData {
 /// Builds the [`AllocationInstance`] for the given routes via the shared
 /// [`assemble_instance`] layout routine — the same code path
 /// [`PerSlotContext::build_instance`] uses, so a component's sub-instance
-/// is structurally the joint instance restricted to it.
+/// is structurally the joint instance restricted to it. With
+/// `want_keys`, the constraint keys land in `Scratch::con_keys`.
 fn build_instance_for<'r>(
     scratch: &mut Scratch,
     ctx: &PerSlotContext<'_>,
     budget: Option<u32>,
     routes: impl Iterator<Item = &'r RouteData>,
+    want_keys: bool,
 ) -> Result<AllocationInstance, qdn_solve::SolveError> {
     let edges = routes.flat_map(|route| route.edges.iter().map(|ev| (ev.edge, ev.u, ev.v, ev.p)));
+    let keys_out = want_keys.then_some(&mut scratch.con_keys);
     assemble_instance(
-        &mut scratch.layout,
+        &mut scratch.asm,
         ctx.snapshot,
         edges,
         budget,
         ctx.v_weight,
         ctx.unit_price,
+        keys_out,
     )
 }
 
-/// Builds and solves one component's sub-instance; `None` = infeasible.
+/// Builds and solves one component's sub-instance, recycling the
+/// instance storage afterwards. `alloc == None` means the route
+/// combination is infeasible. With `warm`, a `RelaxAndRound` solve is
+/// seeded from the component's stored λ (when valid) and the final
+/// prices are returned for the caller to absorb into the store.
+#[allow(clippy::too_many_arguments)]
 fn solve_component(
     scratch: &mut Scratch,
     ctx: &PerSlotContext<'_>,
@@ -534,15 +688,53 @@ fn solve_component(
     routes: &[Vec<RouteData>],
     comp_pairs: &[usize],
     indices: &[usize],
-) -> Option<Box<[u32]>> {
-    let instance = build_instance_for(
-        scratch,
-        ctx,
-        budget,
-        comp_pairs.iter().map(|&i| &routes[i][indices[i]]),
-    )
-    .ok()?;
-    method.allocate(&instance).map(Vec::into_boxed_slice)
+    warm: Option<(&RelaxedOptions, &ComponentDual)>,
+) -> ComponentSolve {
+    let route_iter = comp_pairs.iter().map(|&i| &routes[i][indices[i]]);
+    if let Some((options, dual)) = warm {
+        let Ok(instance) = build_instance_for(scratch, ctx, budget, route_iter, true) else {
+            return ComponentSolve {
+                alloc: None,
+                dual: None,
+                warm_started: false,
+            };
+        };
+        if dual.valid {
+            let Scratch { warm, con_keys, .. } = &mut *scratch;
+            warm.clear();
+            warm.extend(con_keys.iter().map(|&k| dual.lambda[k as usize]));
+        }
+        let warm_lambda = dual.valid.then_some(scratch.warm.as_slice());
+        // Count only seeds the solver actually engages: an all-zero
+        // gathered λ makes `solve_relaxed_warm` run the plain cold path.
+        let warm_started = warm_lambda.is_some_and(|w| w.iter().any(|&l| l > 0.0));
+        let solution =
+            solve_relaxed_warm(&instance, options, warm_lambda).expect("validated instance solves");
+        let alloc = round_down_and_fill(&instance, &solution.x)
+            .ok()
+            .map(Vec::into_boxed_slice);
+        let keys = scratch.con_keys.clone();
+        scratch.asm.recycle(instance);
+        ComponentSolve {
+            alloc,
+            dual: Some((keys, solution.lambda)),
+            warm_started,
+        }
+    } else {
+        let alloc = match build_instance_for(scratch, ctx, budget, route_iter, false) {
+            Ok(instance) => {
+                let flat = method.allocate(&instance);
+                scratch.asm.recycle(instance);
+                flat.map(Vec::into_boxed_slice)
+            }
+            Err(_) => None,
+        };
+        ComponentSolve {
+            alloc,
+            dual: None,
+            warm_started: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -612,6 +804,7 @@ mod tests {
         assert_eq!(eval.component_count(), 2);
         assert!(eval.pair_is_isolated(0));
         assert!(eval.pair_is_isolated(1));
+        assert!(!eval.warm_start_enabled());
     }
 
     #[test]
@@ -778,5 +971,61 @@ mod tests {
         let ev = eval.evaluate(&[]).unwrap();
         assert!(ev.allocations.is_empty());
         assert_eq!(ev.objective, 0.0);
+    }
+
+    #[test]
+    fn warm_start_reuses_neighbor_lambda_and_agrees() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(1), NodeId(2)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let warm_method = AllocationMethod::RelaxAndRound(RelaxedOptions {
+            warm_start: true,
+            ..RelaxedOptions::default()
+        });
+        let cold_method = AllocationMethod::relax_and_round();
+        let mut warm_eval = ProfileEvaluator::new(&ctx, &cands, &warm_method);
+        let mut cold_eval = ProfileEvaluator::new(&ctx, &cands, &cold_method);
+        assert!(warm_eval.warm_start_enabled());
+
+        // First evaluation is cold everywhere (no stored λ yet).
+        let w0 = warm_eval.evaluate_objective(&[0, 0]).unwrap();
+        let c0 = cold_eval.evaluate_objective(&[0, 0]).unwrap();
+        assert_eq!(w0.to_bits(), c0.to_bits(), "no λ stored: must match cold");
+        assert_eq!(warm_eval.stats().warm_started, 0);
+
+        // Fresh tuples now warm-start from the neighboring profile's λ
+        // and agree with the cold path within the solver tolerance.
+        let radix: Vec<usize> = cands.iter().map(|c| c.routes.len()).collect();
+        let mut checked = 0;
+        for r0 in 0..radix[0] {
+            for r1 in 0..radix[1] {
+                let warm = warm_eval.evaluate_objective(&[r0, r1]);
+                let cold = cold_eval.evaluate_objective(&[r0, r1]);
+                match (warm, cold) {
+                    (None, None) => {}
+                    (Some(w), Some(c)) => {
+                        let tol = 0.05 * (1.0 + c.abs());
+                        assert!(
+                            (w - c).abs() <= tol,
+                            "[{r0},{r1}]: warm {w} vs cold {c} (tol {tol})"
+                        );
+                        checked += 1;
+                    }
+                    (w, c) => panic!("feasibility diverged at [{r0},{r1}]: {w:?} vs {c:?}"),
+                }
+            }
+        }
+        assert!(checked >= 2, "route space too small to exercise warm path");
+        assert!(
+            warm_eval.stats().warm_started > 0,
+            "warm starts never engaged: {:?}",
+            warm_eval.stats()
+        );
     }
 }

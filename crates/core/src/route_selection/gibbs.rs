@@ -54,10 +54,17 @@ pub struct GibbsConfig {
     pub parallel_isolated: bool,
     /// Random restarts when the initial profile is infeasible.
     pub max_init_attempts: usize,
+    /// Independent chains to run (1 = a single chain). With more than
+    /// one, [`run`] derives one seed per chain from the caller's RNG and
+    /// keeps the best profile across chains via [`sample_restarts`]
+    /// (chains run on scoped threads under the `parallel` cargo
+    /// feature).
+    pub restarts: usize,
 }
 
 impl GibbsConfig {
-    /// The paper's configuration: γ = 500, single-pair updates.
+    /// The paper's configuration: γ = 500, single-pair updates, one
+    /// chain.
     pub fn paper_default() -> Self {
         GibbsConfig {
             iterations: 48,
@@ -65,6 +72,7 @@ impl GibbsConfig {
             gamma_decay: 1.0,
             parallel_isolated: false,
             max_init_attempts: 8,
+            restarts: 1,
         }
     }
 }
@@ -90,6 +98,28 @@ pub fn acceptance_probability(f_new: f64, f_old: f64, gamma: f64) -> f64 {
     } else {
         1.0 / (1.0 + z.exp())
     }
+}
+
+/// Runs the configured Gibbs selection: a single chain via [`sample`]
+/// when `config.restarts <= 1`, otherwise `config.restarts` independent
+/// chains via [`sample_restarts`] with per-chain seeds drawn from `rng`.
+///
+/// This is the policy-layer entry point (`RouteSelector` dispatches
+/// here), so configs can enable multi-chain Gibbs with a single field.
+///
+/// Returns `None` when no feasible profile could be found at all.
+pub fn run(
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    method: &AllocationMethod,
+    config: &GibbsConfig,
+    rng: &mut dyn rand::Rng,
+) -> Option<Selection> {
+    if config.restarts <= 1 {
+        return sample(ctx, candidates, method, config, rng);
+    }
+    let seeds: Vec<u64> = (0..config.restarts).map(|_| rng.random()).collect();
+    sample_restarts(ctx, candidates, method, config, &seeds)
 }
 
 /// Runs Algorithm 3 and returns the best profile visited.
@@ -440,6 +470,7 @@ mod tests {
             gamma_decay: 0.95,
             parallel_isolated: false,
             max_init_attempts: 8,
+            restarts: 1,
         };
         let gibbs = sample(&ctx, &cands, &method, &config, &mut rng).unwrap();
         assert!(
@@ -471,6 +502,7 @@ mod tests {
             gamma_decay: 0.9,
             parallel_isolated: true,
             max_init_attempts: 8,
+            restarts: 1,
         };
         let gibbs = sample(&ctx, &cands, &method, &config, &mut rng).unwrap();
         assert!(
@@ -548,12 +580,65 @@ mod tests {
             gamma_decay: 0.9,
             parallel_isolated: false,
             max_init_attempts: 8,
+            restarts: 1,
         };
         let multi = sample_restarts(&ctx, &cands, &method, &config, &[1, 2, 3, 4]).unwrap();
         // Each individual chain is dominated by the multi-chain best.
         for seed in [1u64, 2, 3, 4] {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             if let Some(single) = sample(&ctx, &cands, &method, &config, &mut rng) {
+                assert!(multi.evaluation.objective >= single.evaluation.objective - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gibbs_config_serde_round_trip() {
+        let cfg = GibbsConfig {
+            iterations: 12,
+            gamma: 77.5,
+            gamma_decay: 0.9,
+            parallel_isolated: true,
+            max_init_attempts: 3,
+            restarts: 4,
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("\"restarts\":4"), "{json}");
+        let back: GibbsConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+        // The paper default stays a single chain.
+        assert_eq!(GibbsConfig::paper_default().restarts, 1);
+    }
+
+    #[test]
+    fn run_dispatches_to_multi_chain() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let method = AllocationMethod::default();
+        let config = GibbsConfig {
+            iterations: 30,
+            gamma: 100.0,
+            gamma_decay: 0.9,
+            parallel_isolated: false,
+            max_init_attempts: 8,
+            restarts: 3,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let multi = run(&ctx, &cands, &method, &config, &mut rng).unwrap();
+        // Multi-chain keeps the best chain: it must dominate a single
+        // chain run with each of the seeds the same RNG stream yields.
+        let mut seed_rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..config.restarts {
+            let seed: u64 = seed_rng.random();
+            let mut chain_rng = rand::rngs::StdRng::seed_from_u64(seed);
+            if let Some(single) = sample(&ctx, &cands, &method, &config, &mut chain_rng) {
                 assert!(multi.evaluation.objective >= single.evaluation.objective - 1e-12);
             }
         }

@@ -132,10 +132,10 @@ impl RouteSelector {
                 if combos <= *max_combinations {
                     exhaustive::search(ctx, candidates, method)
                 } else {
-                    gibbs::sample(ctx, candidates, method, fallback, rng)
+                    gibbs::run(ctx, candidates, method, fallback, rng)
                 }
             }
-            RouteSelector::Gibbs(config) => gibbs::sample(ctx, candidates, method, config, rng),
+            RouteSelector::Gibbs(config) => gibbs::run(ctx, candidates, method, config, rng),
             RouteSelector::GreedyLocal { max_rounds } => {
                 greedy::local_search(ctx, candidates, method, *max_rounds, rng)
             }

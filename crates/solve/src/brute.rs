@@ -83,13 +83,19 @@ fn enumerate(
 }
 
 fn partial_feasible(instance: &AllocationInstance, current: &[u32], upto: usize) -> bool {
-    instance.constraints().iter().all(|c| {
-        let usage: u64 = c
-            .members
+    (0..instance.num_constraints()).all(|c| {
+        let usage: u64 = instance
+            .members(c)
             .iter()
-            .map(|&m| if m <= upto { current[m] as u64 } else { 1 })
+            .map(|&m| {
+                if (m as usize) <= upto {
+                    current[m as usize] as u64
+                } else {
+                    1
+                }
+            })
             .sum();
-        usage <= c.capacity as u64
+        usage <= instance.capacity(c) as u64
     })
 }
 

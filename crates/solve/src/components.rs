@@ -87,10 +87,10 @@ impl AllocationInstance {
     pub fn components(&self) -> ComponentPartition {
         let n = self.num_vars();
         let mut dsu = Dsu::new(n);
-        for c in self.constraints() {
-            if let Some((&first, rest)) = c.members.split_first() {
+        for c in 0..self.num_constraints() {
+            if let Some((&first, rest)) = self.members(c).split_first() {
                 for &j in rest {
-                    dsu.union(first, j);
+                    dsu.union(first as usize, j as usize);
                 }
             }
         }
@@ -110,9 +110,9 @@ impl AllocationInstance {
             vars[comp].push(j);
         }
         let mut constraints: Vec<Vec<usize>> = vec![Vec::new(); vars.len()];
-        for (ci, c) in self.constraints().iter().enumerate() {
-            if let Some(&j) = c.members.first() {
-                constraints[component_of[j]].push(ci);
+        for ci in 0..self.num_constraints() {
+            if let Some(&j) = self.members(ci).first() {
+                constraints[component_of[j as usize]].push(ci);
             }
         }
         ComponentPartition {
@@ -145,10 +145,12 @@ impl AllocationInstance {
         let constraints = comp_constraints
             .iter()
             .map(|&ci| {
-                let c = &self.constraints()[ci];
                 PackingConstraint::new(
-                    c.capacity,
-                    c.members.iter().map(|&j| local_index[j]).collect(),
+                    self.capacity(ci),
+                    self.members(ci)
+                        .iter()
+                        .map(|&j| local_index[j as usize])
+                        .collect(),
                 )
             })
             .collect();
@@ -217,10 +219,10 @@ mod tests {
         let sub = i.sub_instance(&p.vars[1], &p.constraints[1]).unwrap();
         assert_eq!(sub.num_vars(), 2);
         assert_eq!(sub.num_constraints(), 2);
-        assert_eq!(sub.constraints()[0].capacity, 7);
-        assert_eq!(sub.constraints()[0].members, vec![0, 1]);
-        assert_eq!(sub.constraints()[1].capacity, 3);
-        assert_eq!(sub.constraints()[1].members, vec![0]);
+        assert_eq!(sub.capacity(0), 7);
+        assert_eq!(sub.members(0), &[0, 1]);
+        assert_eq!(sub.capacity(1), 3);
+        assert_eq!(sub.members(1), &[0]);
         // Upper bounds must match the parent's for the same variables.
         assert_eq!(sub.upper_bound(0), i.upper_bound(2));
         assert_eq!(sub.upper_bound(1), i.upper_bound(3));

@@ -1,4 +1,14 @@
 //! Description of a per-slot allocation problem.
+//!
+//! Since PR 2 the instance stores its constraint structure in a
+//! structure-of-arrays CSR layout: constraint→member and
+//! variable→constraint incidence live in two flat index arrays with
+//! offset tables, built once per instance. The dual solver's inner loops
+//! ([`crate::relaxed`]) iterate these contiguous slices branch-free
+//! instead of chasing one heap-allocated `Vec<usize>` per variable and
+//! per constraint. [`PackingConstraint`] survives as the *input* type for
+//! the validating constructor; the hot construction path is the
+//! arena-backed [`crate::assemble::RouteAssembler`].
 
 use serde::{Deserialize, Serialize};
 
@@ -38,7 +48,9 @@ impl Variable {
 /// A linear packing constraint `Σ_{j ∈ members} x_j ≤ capacity`.
 ///
 /// Node qubit capacities (paper Eq. 4), edge channel capacities (Eq. 5),
-/// and the baselines' per-slot budget all take this shape.
+/// and the baselines' per-slot budget all take this shape. This is the
+/// *construction* representation; inside [`AllocationInstance`] the
+/// member lists are flattened into one CSR index array.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PackingConstraint {
     /// The capacity (right-hand side).
@@ -56,22 +68,44 @@ impl PackingConstraint {
 
 /// A validated allocation problem:
 /// `max Σ_j V·ln P_j(x_j) − κ·x_j` over `x ≥ 1` under packing constraints.
+///
+/// # Layout
+///
+/// Constraint membership is stored twice, both directions flat:
+///
+/// * `con_off`/`con_idx` — constraint `c` sums over variables
+///   `con_idx[con_off[c]..con_off[c+1]]` (ascending),
+/// * `mem_off`/`mem_idx` — variable `j` appears in constraints
+///   `mem_idx[mem_off[j]..mem_off[j+1]]` (ascending).
+///
+/// Both are built once at validation time; the solvers only ever read
+/// the slices.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AllocationInstance {
-    vars: Vec<Variable>,
-    constraints: Vec<PackingConstraint>,
+    pub(crate) vars: Vec<Variable>,
+    /// `caps[c]`: capacity of constraint `c`.
+    pub(crate) caps: Vec<u32>,
+    /// Constraint → members CSR offsets (`caps.len() + 1` entries).
+    pub(crate) con_off: Vec<u32>,
+    /// Constraint → members CSR indices (variable ids).
+    pub(crate) con_idx: Vec<u32>,
+    /// Variable → constraints CSR offsets (`vars.len() + 1` entries).
+    pub(crate) mem_off: Vec<u32>,
+    /// Variable → constraints CSR indices (constraint ids).
+    pub(crate) mem_idx: Vec<u32>,
     /// The Lyapunov weight `V` multiplying the log-success utility.
-    v_weight: f64,
+    pub(crate) v_weight: f64,
     /// The per-unit price `κ` (the virtual queue length `q_t` in OSCAR;
     /// 0 for the myopic baselines).
-    unit_price: f64,
+    pub(crate) unit_price: f64,
     /// `ub[j]`: largest value variable `j` can take with all other
     /// variables at their lower bound 1 (tightest single-variable bound
     /// implied by the packing constraints).
-    ub: Vec<u32>,
-    /// `membership[j]`: constraint indices containing variable `j`.
-    membership: Vec<Vec<usize>>,
+    pub(crate) ub: Vec<u32>,
 }
+
+/// Cap for variables in no constraint, so scalar solvers terminate.
+pub(crate) const FREE_VAR_CAP: u32 = 1 << 20;
 
 impl AllocationInstance {
     /// Validates and pre-processes an instance.
@@ -89,7 +123,40 @@ impl AllocationInstance {
         v_weight: f64,
         unit_price: f64,
     ) -> Result<Self, SolveError> {
-        for (j, var) in vars.iter().enumerate() {
+        let mut husk = AllocationInstance {
+            vars,
+            caps: Vec::with_capacity(constraints.len()),
+            con_off: Vec::with_capacity(constraints.len() + 1),
+            con_idx: Vec::new(),
+            mem_off: Vec::new(),
+            mem_idx: Vec::new(),
+            v_weight,
+            unit_price,
+            ub: Vec::new(),
+        };
+        husk.con_off.push(0);
+        for c in &constraints {
+            husk.caps.push(c.capacity);
+            for &j in &c.members {
+                // Out-of-range indices are caught in `finalize` (u32::MAX
+                // stays out of range: member counts never reach 2^32).
+                husk.con_idx.push(j.min(u32::MAX as usize) as u32);
+            }
+            husk.con_off.push(husk.con_idx.len() as u32);
+        }
+        husk.finalize()
+    }
+
+    /// Validates a husk whose `vars`, `caps`, `con_off`, and `con_idx`
+    /// are filled, building the inverse membership CSR and the upper
+    /// bounds in place. Single definition of instance validation — the
+    /// [`AllocationInstance::new`] constructor and the arena-backed
+    /// [`crate::assemble::RouteAssembler`] both end here.
+    pub(crate) fn finalize(mut self) -> Result<Self, SolveError> {
+        let n = self.vars.len();
+        let m = self.caps.len();
+        debug_assert_eq!(self.con_off.len(), m + 1);
+        for (j, var) in self.vars.iter().enumerate() {
             if !(var.p > 0.0 && var.p < 1.0) {
                 return Err(SolveError::InvalidProbability {
                     variable: j,
@@ -97,50 +164,82 @@ impl AllocationInstance {
                 });
             }
         }
-        let mut membership = vec![Vec::new(); vars.len()];
-        for (ci, c) in constraints.iter().enumerate() {
-            for &j in &c.members {
-                if j >= vars.len() {
+        // Per-constraint validation in constraint order (same error
+        // precedence as the historical Vec-of-Vec constructor): dangling
+        // member indices first, then lower-bound feasibility.
+        for c in 0..m {
+            let (lo, hi) = (self.con_off[c] as usize, self.con_off[c + 1] as usize);
+            for &j in &self.con_idx[lo..hi] {
+                if j as usize >= n {
                     return Err(SolveError::BadVariableIndex {
-                        constraint: ci,
-                        variable: j,
+                        constraint: c,
+                        variable: j as usize,
                     });
                 }
-                membership[j].push(ci);
             }
-            if (c.members.len() as u64) > c.capacity as u64 {
+            let members = hi - lo;
+            if members as u64 > self.caps[c] as u64 {
                 return Err(SolveError::InfeasibleAtLowerBound {
-                    constraint: ci,
-                    members: c.members.len(),
-                    capacity: c.capacity,
+                    constraint: c,
+                    members,
+                    capacity: self.caps[c],
                 });
             }
         }
+
+        // Inverse CSR (variable → constraints) by counting: iterating
+        // constraints in ascending order keeps each variable's list
+        // ascending, matching the historical `membership` semantics.
+        // The fill advances the offsets in place (then shifts them back)
+        // so recycled instances build with zero fresh allocations.
+        self.mem_off.clear();
+        self.mem_off.resize(n + 1, 0);
+        for &j in &self.con_idx {
+            self.mem_off[j as usize + 1] += 1;
+        }
+        for j in 0..n {
+            self.mem_off[j + 1] += self.mem_off[j];
+        }
+        self.mem_idx.clear();
+        self.mem_idx.resize(self.con_idx.len(), 0);
+        for c in 0..m {
+            let (lo, hi) = (self.con_off[c] as usize, self.con_off[c + 1] as usize);
+            for &j in &self.con_idx[lo..hi] {
+                let cur = &mut self.mem_off[j as usize];
+                self.mem_idx[*cur as usize] = c as u32;
+                *cur += 1;
+            }
+        }
+        // Each mem_off[j] now holds var j's end offset (= the old
+        // mem_off[j+1]); shift right once to restore the start offsets.
+        for j in (1..=n).rev() {
+            self.mem_off[j] = self.mem_off[j - 1];
+        }
+        if n > 0 {
+            self.mem_off[0] = 0;
+        }
+
         // ub[j] = min over constraints c containing j of
         //   cap_c - (|members_c| - 1)   (others sit at their lower bound 1).
-        let mut ub = vec![u32::MAX; vars.len()];
-        for c in &constraints {
-            let headroom = c.capacity - (c.members.len() as u32 - 1).min(c.capacity);
-            for &j in &c.members {
-                ub[j] = ub[j].min(headroom);
+        self.ub.clear();
+        self.ub.resize(n, u32::MAX);
+        for c in 0..m {
+            let (lo, hi) = (self.con_off[c] as usize, self.con_off[c + 1] as usize);
+            let members = (hi - lo) as u32;
+            let headroom = self.caps[c] - members.saturating_sub(1).min(self.caps[c]);
+            for &j in &self.con_idx[lo..hi] {
+                let b = &mut self.ub[j as usize];
+                *b = (*b).min(headroom);
             }
         }
         // A variable in no constraint is unbounded; cap it at a large but
         // finite value so scalar solvers terminate.
-        const FREE_VAR_CAP: u32 = 1 << 20;
-        for b in &mut ub {
+        for b in &mut self.ub {
             if *b == u32::MAX {
                 *b = FREE_VAR_CAP;
             }
         }
-        Ok(AllocationInstance {
-            vars,
-            constraints,
-            v_weight,
-            unit_price,
-            ub,
-            membership,
-        })
+        Ok(self)
     }
 
     /// Number of variables.
@@ -150,7 +249,7 @@ impl AllocationInstance {
 
     /// Number of constraints.
     pub fn num_constraints(&self) -> usize {
-        self.constraints.len()
+        self.caps.len()
     }
 
     /// The variables.
@@ -158,9 +257,14 @@ impl AllocationInstance {
         &self.vars
     }
 
-    /// The constraints.
-    pub fn constraints(&self) -> &[PackingConstraint] {
-        &self.constraints
+    /// Capacity of constraint `c`.
+    pub fn capacity(&self, c: usize) -> u32 {
+        self.caps[c]
+    }
+
+    /// Variable indices constraint `c` sums over (ascending).
+    pub fn members(&self, c: usize) -> &[u32] {
+        &self.con_idx[self.con_off[c] as usize..self.con_off[c + 1] as usize]
     }
 
     /// The utility weight `V`.
@@ -179,9 +283,9 @@ impl AllocationInstance {
         self.ub[j]
     }
 
-    /// Constraint indices containing variable `j`.
-    pub fn membership(&self, j: usize) -> &[usize] {
-        &self.membership[j]
+    /// Constraint indices containing variable `j` (ascending).
+    pub fn membership(&self, j: usize) -> &[u32] {
+        &self.mem_idx[self.mem_off[j] as usize..self.mem_off[j + 1] as usize]
     }
 
     /// Objective value at a real-valued point (used on relaxed solutions).
@@ -224,9 +328,9 @@ impl AllocationInstance {
         if n.len() != self.vars.len() || n.iter().any(|&ni| ni < 1) {
             return false;
         }
-        self.constraints.iter().all(|c| {
-            let usage: u64 = c.members.iter().map(|&j| n[j] as u64).sum();
-            usage <= c.capacity as u64
+        (0..self.caps.len()).all(|c| {
+            let usage: u64 = self.members(c).iter().map(|&j| n[j as usize] as u64).sum();
+            usage <= self.caps[c] as u64
         })
     }
 
@@ -236,24 +340,23 @@ impl AllocationInstance {
         if x.len() != self.vars.len() || x.iter().any(|&xi| xi < 1.0 - tol) {
             return false;
         }
-        self.constraints.iter().all(|c| {
-            let usage: f64 = c.members.iter().map(|&j| x[j]).sum();
-            usage <= c.capacity as f64 + tol
+        (0..self.caps.len()).all(|c| {
+            let usage: f64 = self.members(c).iter().map(|&j| x[j as usize]).sum();
+            usage <= self.caps[c] as f64 + tol
         })
     }
 
     /// Remaining slack of constraint `c` at integer point `n`.
     pub fn slack_int(&self, c: usize, n: &[u32]) -> i64 {
-        let con = &self.constraints[c];
-        let usage: i64 = con.members.iter().map(|&j| n[j] as i64).sum();
-        con.capacity as i64 - usage
+        let usage: i64 = self.members(c).iter().map(|&j| n[j as usize] as i64).sum();
+        self.caps[c] as i64 - usage
     }
 
     /// Whether incrementing variable `j` by one keeps the point feasible.
     pub fn can_increment(&self, j: usize, n: &[u32]) -> bool {
-        self.membership[j]
+        self.membership(j)
             .iter()
-            .all(|&c| self.slack_int(c, n) >= 1)
+            .all(|&c| self.slack_int(c as usize, n) >= 1)
     }
 
     /// Marginal objective gain of incrementing variable `j` from `n[j]`:
@@ -340,6 +443,15 @@ mod tests {
         let inst = simple();
         assert_eq!(inst.membership(0), &[0, 1]);
         assert_eq!(inst.membership(1), &[0]);
+    }
+
+    #[test]
+    fn csr_members_match_construction_order() {
+        let inst = simple();
+        assert_eq!(inst.members(0), &[0, 1]);
+        assert_eq!(inst.members(1), &[0]);
+        assert_eq!(inst.capacity(0), 5);
+        assert_eq!(inst.capacity(1), 3);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //! assert!(instance.is_feasible_int(&rounded));
 //! ```
 
+pub mod assemble;
 pub mod brute;
 pub mod components;
 pub mod greedy;
@@ -57,9 +58,10 @@ pub mod relaxed;
 pub mod rounding;
 pub mod scalar;
 
+pub use assemble::RouteAssembler;
 pub use components::{ComponentPartition, Dsu};
 pub use instance::{ln_success, AllocationInstance, PackingConstraint, Variable};
-pub use relaxed::{solve_relaxed, RelaxedOptions, RelaxedSolution};
+pub use relaxed::{solve_relaxed, solve_relaxed_warm, RelaxedOptions, RelaxedSolution};
 
 /// Errors raised by the solvers.
 #[derive(Debug, Clone, PartialEq)]

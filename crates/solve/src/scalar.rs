@@ -63,10 +63,22 @@ pub fn argmax_edge_utility(p: f64, v_weight: f64, price: f64, lo: f64, hi: f64) 
     }
     let ln_beta = f64::ln_1p(-p); // ln(1-p) < 0
     let rho = price / (-v_weight * ln_beta);
+    stationary_point(rho, ln_beta).clamp(lo, hi)
+}
+
+/// The unconstrained stationary point `x* = ln(t*)/ln β` with
+/// `t* = ρ/(1 + ρ)`, given `ρ = c/(−V·ln β)` and `ln β` (both already
+/// computed by the caller).
+///
+/// This is the single definition of the closed form: the dual solver's
+/// fused inner loop ([`crate::relaxed`]) caches `ln β` per variable and
+/// calls this directly, skipping [`argmax_edge_utility`]'s recomputation
+/// of `ln_1p(−p)` on every iteration.
+#[inline]
+pub fn stationary_point(rho: f64, ln_beta: f64) -> f64 {
     // t* in (0, 1); x* = ln(t*)/ln(beta) > 0.
     let t_star = rho / (1.0 + rho);
-    let x_star = t_star.ln() / ln_beta;
-    x_star.clamp(lo, hi)
+    t_star.ln() / ln_beta
 }
 
 /// Derivative `h'(x) = −V·ln(β)·β^x/(1 − β^x) − c`.

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use qdn_solve::brute::brute_force_best;
 use qdn_solve::greedy::greedy_allocate;
-use qdn_solve::relaxed::{repair_feasibility, solve_relaxed, RelaxedOptions};
+use qdn_solve::relaxed::{repair_feasibility, solve_relaxed, solve_relaxed_warm, RelaxedOptions};
 use qdn_solve::rounding::{round_down_and_fill, satisfies_rounding_relation};
 use qdn_solve::{AllocationInstance, PackingConstraint, Variable};
 
@@ -99,5 +99,36 @@ proptest! {
         let fixed = repair_feasibility(&inst, &wild);
         prop_assert!(inst.is_feasible_real(&fixed, 1e-9));
         prop_assert!(fixed.iter().all(|&v| v >= 1.0 - 1e-12));
+    }
+
+    /// Warm-started solves agree with the cold solve within the solver
+    /// tolerance: both primal values lie within their duality gaps of the
+    /// common relaxed optimum, so they differ by at most the larger gap.
+    /// The warm seed is a perturbed copy of the cold λ — the "neighboring
+    /// profile" shape the profile evaluator's store produces.
+    #[test]
+    fn warm_vs_cold_objective_agreement(
+        inst in arb_instance(),
+        perturb in 0.5f64..2.0,
+        offset in 0.0f64..5.0,
+    ) {
+        let opts = RelaxedOptions::default();
+        let cold = solve_relaxed(&inst, &opts).unwrap();
+        let seed: Vec<f64> = cold.lambda.iter().map(|&l| l * perturb + offset).collect();
+        let warm = solve_relaxed_warm(&inst, &opts, Some(&seed)).unwrap();
+
+        // Same guarantees as the cold solve.
+        prop_assert!(inst.is_feasible_real(&warm.x, 1e-6));
+        prop_assert!(warm.primal_value <= warm.dual_bound + 1e-6 * (1.0 + warm.dual_bound.abs()));
+
+        // Objective agreement within solver tolerance. The gap itself is
+        // bounded by the relative tolerance when the solve converged; use
+        // the measured gaps (plus slack) as the yardstick either way.
+        let tol = cold.gap().abs().max(warm.gap().abs()) + 1e-9 * (1.0 + cold.primal_value.abs());
+        prop_assert!(
+            (warm.primal_value - cold.primal_value).abs() <= tol,
+            "warm {} vs cold {} (tol {tol}, converged warm={} cold={})",
+            warm.primal_value, cold.primal_value, warm.converged, cold.converged
+        );
     }
 }

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Bench regression gate for the profile-evaluation engine.
+#
+# Re-runs the `profile_eval` criterion bench and compares per-row medians
+# against the committed baseline snapshot `BENCH_profile_eval.json`.
+# Two row families are gated — the ones that guard the PR-1/PR-2 perf
+# work:
+#
+#   * profile_eval_paper20/incremental_move/*       (memoized re-eval)
+#   * profile_eval_paper20/incremental_cold_eval/*  (cold component solves)
+#
+# A row FAILS when `fresh_median > baseline_median * BENCH_GATE_FACTOR`.
+# Getting *faster* never fails — refresh the baseline when it happens
+# (from the repo root; CRITERION_JSON must be ABSOLUTE because cargo
+# runs the bench binary with crates/bench as its working directory):
+#
+#     rm BENCH_profile_eval.json
+#     CRITERION_JSON=$PWD/BENCH_profile_eval.json \
+#         cargo bench -p qdn_bench --bench profile_eval
+#
+# Knobs (environment variables):
+#   BENCH_GATE_FACTOR    allowed slowdown ratio, default 1.25 (= +25%).
+#                        Loosen on shared/noisy runners.
+#   CRITERION_TARGET_MS  per-sample calibration target for the criterion
+#                        shim (default 40 ms). The CI smoke job uses a
+#                        small value (e.g. 4) for a fast, coarse run —
+#                        note coarse runs are noisier, so pair reduced
+#                        targets with a looser BENCH_GATE_FACTOR.
+#   BENCH_GATE_JSON      where the fresh snapshot is written, default
+#                        target/bench-gate/BENCH_profile_eval.json.
+#
+# Invoked by `scripts/ci-gate.sh --bench` (see there); usable standalone:
+#
+#     ./scripts/bench-gate.sh
+#     BENCH_GATE_FACTOR=1.5 CRITERION_TARGET_MS=4 ./scripts/bench-gate.sh
+#
+# `--compare-only` skips the bench run and compares an existing snapshot
+# at $BENCH_GATE_JSON against the baseline (the CI smoke job uses this
+# to report, non-fatally, on the snapshot it just produced).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FACTOR="${BENCH_GATE_FACTOR:-1.25}"
+OUT="${BENCH_GATE_JSON:-target/bench-gate/BENCH_profile_eval.json}"
+BASELINE="BENCH_profile_eval.json"
+compare_only=0
+[[ "${1:-}" == "--compare-only" ]] && compare_only=1
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench-gate: no baseline $BASELINE — nothing to compare against" >&2
+    exit 1
+fi
+
+if [[ "$compare_only" -eq 1 ]]; then
+    if [[ ! -f "$OUT" ]]; then
+        echo "bench-gate: --compare-only but no snapshot at $OUT" >&2
+        exit 1
+    fi
+    echo "==> bench-gate: comparing existing snapshot $OUT"
+else
+    mkdir -p "$(dirname "$OUT")"
+    rm -f "$OUT"
+    # The bench binary runs with its package directory (crates/bench) as
+    # cwd, so hand it an absolute snapshot path.
+    out_abs="$(cd "$(dirname "$OUT")" && pwd)/$(basename "$OUT")"
+    echo "==> bench-gate: running profile_eval (CRITERION_TARGET_MS=${CRITERION_TARGET_MS:-40})"
+    CRITERION_JSON="$out_abs" cargo bench -p qdn_bench --bench profile_eval
+fi
+
+# "name median_ns" pairs, keeping only the LAST occurrence of each name
+# (snapshots are append-mode).
+extract() {
+    sed -n 's/.*"bench":"\([^"]*\)".*"median_ns":\([0-9.]*\).*/\1 \2/p' "$1" \
+        | awk '{last[$1] = $2} END {for (n in last) print n, last[n]}'
+}
+
+fail=0
+checked=0
+while read -r name base_med; do
+    case "$name" in
+        profile_eval_paper20/incremental_move/* | \
+            profile_eval_paper20/incremental_cold_eval/*) ;;
+        *) continue ;;
+    esac
+    fresh_med="$(extract "$OUT" | awk -v n="$name" '$1 == n {print $2}')"
+    if [[ -z "$fresh_med" ]]; then
+        echo "bench-gate: FAIL $name missing from fresh run"
+        fail=1
+        continue
+    fi
+    checked=$((checked + 1))
+    verdict="$(awk -v f="$fresh_med" -v b="$base_med" -v t="$FACTOR" \
+        'BEGIN {printf "%s %.3f", (f <= b * t) ? "OK" : "FAIL", f / b}')"
+    status="${verdict%% *}"
+    ratio="${verdict##* }"
+    echo "bench-gate: ${status}  ${name}  ${ratio}x of baseline (fresh ${fresh_med} ns vs base ${base_med} ns, limit ${FACTOR}x)"
+    [[ "$status" == "OK" ]] || fail=1
+done < <(extract "$BASELINE")
+
+if [[ "$checked" -eq 0 ]]; then
+    echo "bench-gate: FAIL no gated rows found in $BASELINE"
+    fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "bench-gate: REGRESSION (>${FACTOR}x on a gated row)"
+    exit 1
+fi
+echo "bench-gate: OK (${checked} rows within ${FACTOR}x)"

@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
-# Lint + format gate for the QDN workspace.
+# Lint + format + (optionally) build/test/bench gate for the QDN
+# workspace.
 #
 # Run before pushing any change (especially perf refactors, which tend to
 # accumulate lint debt):
 #
-#     ./scripts/ci-gate.sh          # lint + fmt only (fast)
-#     ./scripts/ci-gate.sh --full   # also build + run the tier-1 tests
+#     ./scripts/ci-gate.sh                  # lint + fmt only (fast)
+#     ./scripts/ci-gate.sh --full           # also build + tier-1 tests
+#     ./scripts/ci-gate.sh --full --bench   # also the bench regression
+#                                           # gate (scripts/bench-gate.sh)
+#
+# `--bench` re-runs the profile_eval bench and fails on >25% median
+# regression against the committed BENCH_profile_eval.json baseline on
+# the memoized-re-eval and cold-solve rows; tune with BENCH_GATE_FACTOR /
+# CRITERION_TARGET_MS (documented in scripts/bench-gate.sh). It is not
+# part of plain `--full` because wall-clock medians are only meaningful
+# on a quiet machine — CI instead runs a reduced-iteration smoke of the
+# same bench and archives the snapshot (see .github/workflows/ci.yml).
 #
 # The gate is intentionally strict: clippy warnings are errors across all
 # targets (lib, tests, benches, examples, bins), and formatting must
@@ -13,17 +24,34 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+full=0
+bench=0
+for arg in "$@"; do
+    case "$arg" in
+        --full) full=1 ;;
+        --bench) bench=1 ;;
+        *)
+            echo "ci-gate: unknown flag $arg (expected --full and/or --bench)" >&2
+            exit 2
+            ;;
+    esac
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-if [[ "${1:-}" == "--full" ]]; then
+if [[ "$full" -eq 1 ]]; then
     echo "==> cargo build --release"
     cargo build --release
     echo "==> cargo test -q"
     cargo test -q
+fi
+
+if [[ "$bench" -eq 1 ]]; then
+    ./scripts/bench-gate.sh
 fi
 
 echo "ci-gate: OK"

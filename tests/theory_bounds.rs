@@ -183,6 +183,7 @@ fn gibbs_matches_exhaustive_on_real_topology() {
             gamma_decay: 0.93,
             parallel_isolated: false,
             max_init_attempts: 8,
+            restarts: 1,
         })
         .select(&ctx, &cands, &method, &mut rng)
         .expect("feasible");
