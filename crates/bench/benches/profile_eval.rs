@@ -28,12 +28,16 @@
 //! The `dual_solver_paper20` and `warm_vs_cold_paper20` groups measure
 //! the PR-2 solver rework directly: raw cold vs warm-started
 //! `solve_relaxed` on the joint paper-scale instance, and the evaluator
-//! walk with `RelaxedOptions::warm_start` on/off.
+//! walk with `RelaxedOptions::warm_start` on/off. The
+//! `accel_vs_subgradient` group (PR 3) pits the two `DualMethod`s
+//! against each other on the same joint instance: the accelerated rows
+//! stop early on a certified 1e-4 gap where the subgradient rows burn
+//! the full 600-iteration budget.
 //!
-//! Run with `CRITERION_JSON=$PWD/BENCH_profile_eval.json` (absolute —
-//! cargo runs this binary with `crates/bench` as cwd) to append one
-//! JSON line per benchmark; the committed snapshot is produced this
-//! way, and `scripts/bench-gate.sh` compares fresh runs against it.
+//! Run with `CRITERION_JSON=BENCH_profile_eval.json` to append one JSON
+//! line per benchmark (relative paths resolve against the workspace
+//! root — see the criterion shim); the committed snapshot is produced
+//! this way, and `scripts/bench-gate.sh` compares fresh runs against it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdn_core::allocation::AllocationMethod;
@@ -292,6 +296,42 @@ fn bench_dual_solver(c: &mut Criterion) {
     group.finish();
 }
 
+/// The two dual methods head to head on the paper-scale joint instance
+/// (cold solves, same instance as `dual_solver_paper20`): the
+/// `accelerated` row certifies the strict 1e-4 gap and stops early, the
+/// `subgradient` row exhausts its 600-iteration budget at ~1e-2 — the
+/// ROADMAP item (h) comparison, gated by `scripts/bench-gate.sh`.
+fn bench_accel_vs_subgradient(c: &mut Criterion) {
+    use qdn_core::route_selection::profile_of;
+    use qdn_solve::relaxed::{solve_relaxed, DualMethod, RelaxedOptions};
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    let snap = CapacitySnapshot::full(&net);
+    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+    let mut pairs_rng = StdRng::seed_from_u64(11);
+    let owned = make_candidates(&net, 10, &mut pairs_rng);
+    let cands = to_cands(&owned);
+    let base: Vec<usize> = vec![0; cands.len()];
+    let inst = ctx.build_instance(&profile_of(&cands, &base)).unwrap();
+
+    let mut group = c.benchmark_group("accel_vs_subgradient");
+    group.sample_size(15);
+    for (label, method) in [
+        ("subgradient", DualMethod::Subgradient),
+        ("accelerated", DualMethod::Accelerated),
+    ] {
+        let opts = RelaxedOptions {
+            method,
+            ..RelaxedOptions::default()
+        };
+        group.bench_function(&format!("cold_solve_{label}/10_pairs"), |b| {
+            b.iter(|| black_box(solve_relaxed(&inst, &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 /// Warm-vs-cold through the evaluator: a fresh evaluator evaluates the
 /// base profile (cold joint solve) and then a single-pair move (fresh
 /// tuple for the moved component). With `warm_start` the second solve is
@@ -409,6 +449,7 @@ fn bench(c: &mut Criterion) {
     bench_diamond_field(c, 25);
 
     bench_dual_solver(c);
+    bench_accel_vs_subgradient(c);
     bench_warm_vs_cold_eval(c);
 
     bench_gibbs_end_to_end(c);

@@ -6,7 +6,13 @@
 //! plain wall-clock harness: each benchmark is warmed up, then timed over
 //! `samples` batches, and the per-iteration median/mean/min are printed.
 //! Setting `CRITERION_JSON=<path>` appends one JSON line per benchmark
-//! (used to record `BENCH_*.json` snapshots).
+//! (used to record `BENCH_*.json` snapshots). A relative path is
+//! resolved against `CARGO_WORKSPACE_DIR` — the workspace root, exported
+//! to every cargo-run process by the repo's `.cargo/config.toml` —
+//! because cargo runs bench binaries with the *package* directory as
+//! cwd, which used to make `CRITERION_JSON=BENCH_foo.json` silently
+//! write into `crates/bench/`. Outside cargo (no `CARGO_WORKSPACE_DIR`)
+//! a relative path fails loudly instead of landing somewhere surprising.
 
 use std::hint::black_box as std_black_box;
 use std::io::Write;
@@ -140,16 +146,56 @@ fn run_benchmark(group: &str, name: &str, samples: usize, mut f: impl FnMut(&mut
     eprintln!("bench {full:<48} median {median:>12.1} ns/iter (mean {mean:.1}, min {min:.1})");
 
     if let Ok(path) = std::env::var("CRITERION_JSON") {
-        if let Ok(mut file) = std::fs::OpenOptions::new()
+        let path = resolve_snapshot_path(&path, std::env::var_os("CARGO_WORKSPACE_DIR").as_deref());
+        // Snapshot requested but unwritable is a hard error: a bench run
+        // that "succeeds" with a missing snapshot surfaces later as a
+        // confusing bench-gate failure with no pointer to the cause.
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                    panic!("CRITERION_JSON: cannot create {}: {e}", parent.display())
+                });
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)
-        {
-            let _ = writeln!(
-                file,
-                "{{\"bench\":\"{full}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"samples\":{samples},\"iters_per_sample\":{iters}}}"
-            );
-        }
+            .open(&path)
+            .unwrap_or_else(|e| panic!("CRITERION_JSON: cannot open {}: {e}", path.display()));
+        writeln!(
+            file,
+            "{{\"bench\":\"{full}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"samples\":{samples},\"iters_per_sample\":{iters}}}"
+        )
+        .unwrap_or_else(|e| panic!("CRITERION_JSON: cannot write {}: {e}", path.display()));
+    }
+}
+
+/// Resolves a `CRITERION_JSON` value: absolute paths pass through;
+/// relative paths anchor to the workspace root (cargo runs bench
+/// binaries with the package directory as cwd, so resolving against cwd
+/// would scatter snapshots across `crates/*`).
+///
+/// # Panics
+///
+/// When `path` is relative and no workspace root is available — failing
+/// loudly beats silently writing the snapshot to the wrong place.
+fn resolve_snapshot_path(
+    path: &str,
+    workspace_root: Option<&std::ffi::OsStr>,
+) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    match workspace_root {
+        Some(root) if !root.is_empty() => std::path::Path::new(root).join(p),
+        _ => panic!(
+            "CRITERION_JSON is a relative path ({path}) but CARGO_WORKSPACE_DIR is unset; \
+             cargo runs bench binaries with the package directory as cwd, so resolving \
+             relative to cwd would write the snapshot to the wrong place. Run through \
+             cargo (the workspace .cargo/config.toml exports CARGO_WORKSPACE_DIR) or \
+             pass an absolute path."
+        ),
     }
 }
 
@@ -177,6 +223,32 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_paths_resolve_against_workspace_root() {
+        use std::ffi::OsStr;
+        use std::path::PathBuf;
+        // Absolute: untouched, workspace root irrelevant.
+        assert_eq!(
+            resolve_snapshot_path("/tmp/BENCH.json", None),
+            PathBuf::from("/tmp/BENCH.json")
+        );
+        // Relative: anchored to the workspace root, not the cwd.
+        assert_eq!(
+            resolve_snapshot_path("BENCH.json", Some(OsStr::new("/ws"))),
+            PathBuf::from("/ws/BENCH.json")
+        );
+        assert_eq!(
+            resolve_snapshot_path("target/snap/BENCH.json", Some(OsStr::new("/ws"))),
+            PathBuf::from("/ws/target/snap/BENCH.json")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "CARGO_WORKSPACE_DIR is unset")]
+    fn relative_snapshot_without_workspace_root_fails_loudly() {
+        resolve_snapshot_path("BENCH.json", None);
+    }
 
     #[test]
     fn harness_runs_and_times() {

@@ -33,10 +33,14 @@
 //!   keyed by constraint identity (node / edge / budget). A fresh route
 //!   tuple re-solves starting from the neighboring profile's prices;
 //!   [`qdn_solve::solve_relaxed_warm`] falls back to the cold λ = 0
-//!   iteration whenever the warm run does not converge, so warm results
-//!   satisfy the same feasibility and duality-gap guarantees as cold
-//!   ones (they may differ from the cold answer *within* the solver
-//!   tolerance, which is why the flag is off by default).
+//!   iteration — capped warm budget, incumbents carried over — whenever
+//!   the warm run does not converge, so warm results satisfy the same
+//!   feasibility and duality-gap guarantees as cold ones (they may
+//!   differ from the cold answer *within* the solver tolerance, which is
+//!   why the flag is off by default). The whole `RelaxedOptions` bundle,
+//!   including the [`qdn_solve::DualMethod`] selection, threads through
+//!   the store untouched: warm starts compose with either dual
+//!   iteration.
 //!
 //! # Bit-identical results
 //!
@@ -855,7 +859,14 @@ mod tests {
             let owned = owned_candidates(&net, &pairs);
             let cands = to_cands(&owned);
             for method in [
-                AllocationMethod::default(),
+                AllocationMethod::RelaxAndRound(RelaxedOptions {
+                    method: qdn_solve::DualMethod::Accelerated,
+                    ..RelaxedOptions::default()
+                }),
+                AllocationMethod::RelaxAndRound(RelaxedOptions {
+                    method: qdn_solve::DualMethod::Subgradient,
+                    ..RelaxedOptions::default()
+                }),
                 AllocationMethod::Greedy,
                 AllocationMethod::Minimal,
             ] {
@@ -984,48 +995,57 @@ mod tests {
         ];
         let owned = owned_candidates(&net, &pairs);
         let cands = to_cands(&owned);
-        let warm_method = AllocationMethod::RelaxAndRound(RelaxedOptions {
-            warm_start: true,
-            ..RelaxedOptions::default()
-        });
-        let cold_method = AllocationMethod::relax_and_round();
-        let mut warm_eval = ProfileEvaluator::new(&ctx, &cands, &warm_method);
-        let mut cold_eval = ProfileEvaluator::new(&ctx, &cands, &cold_method);
-        assert!(warm_eval.warm_start_enabled());
+        for dual_method in [
+            qdn_solve::DualMethod::Accelerated,
+            qdn_solve::DualMethod::Subgradient,
+        ] {
+            let warm_method = AllocationMethod::RelaxAndRound(RelaxedOptions {
+                warm_start: true,
+                method: dual_method,
+                ..RelaxedOptions::default()
+            });
+            let cold_method = AllocationMethod::RelaxAndRound(RelaxedOptions {
+                method: dual_method,
+                ..RelaxedOptions::default()
+            });
+            let mut warm_eval = ProfileEvaluator::new(&ctx, &cands, &warm_method);
+            let mut cold_eval = ProfileEvaluator::new(&ctx, &cands, &cold_method);
+            assert!(warm_eval.warm_start_enabled());
 
-        // First evaluation is cold everywhere (no stored λ yet).
-        let w0 = warm_eval.evaluate_objective(&[0, 0]).unwrap();
-        let c0 = cold_eval.evaluate_objective(&[0, 0]).unwrap();
-        assert_eq!(w0.to_bits(), c0.to_bits(), "no λ stored: must match cold");
-        assert_eq!(warm_eval.stats().warm_started, 0);
+            // First evaluation is cold everywhere (no stored λ yet).
+            let w0 = warm_eval.evaluate_objective(&[0, 0]).unwrap();
+            let c0 = cold_eval.evaluate_objective(&[0, 0]).unwrap();
+            assert_eq!(w0.to_bits(), c0.to_bits(), "no λ stored: must match cold");
+            assert_eq!(warm_eval.stats().warm_started, 0);
 
-        // Fresh tuples now warm-start from the neighboring profile's λ
-        // and agree with the cold path within the solver tolerance.
-        let radix: Vec<usize> = cands.iter().map(|c| c.routes.len()).collect();
-        let mut checked = 0;
-        for r0 in 0..radix[0] {
-            for r1 in 0..radix[1] {
-                let warm = warm_eval.evaluate_objective(&[r0, r1]);
-                let cold = cold_eval.evaluate_objective(&[r0, r1]);
-                match (warm, cold) {
-                    (None, None) => {}
-                    (Some(w), Some(c)) => {
-                        let tol = 0.05 * (1.0 + c.abs());
-                        assert!(
-                            (w - c).abs() <= tol,
-                            "[{r0},{r1}]: warm {w} vs cold {c} (tol {tol})"
-                        );
-                        checked += 1;
+            // Fresh tuples now warm-start from the neighboring profile's λ
+            // and agree with the cold path within the solver tolerance.
+            let radix: Vec<usize> = cands.iter().map(|c| c.routes.len()).collect();
+            let mut checked = 0;
+            for r0 in 0..radix[0] {
+                for r1 in 0..radix[1] {
+                    let warm = warm_eval.evaluate_objective(&[r0, r1]);
+                    let cold = cold_eval.evaluate_objective(&[r0, r1]);
+                    match (warm, cold) {
+                        (None, None) => {}
+                        (Some(w), Some(c)) => {
+                            let tol = 0.05 * (1.0 + c.abs());
+                            assert!(
+                                (w - c).abs() <= tol,
+                                "[{r0},{r1}]: warm {w} vs cold {c} (tol {tol})"
+                            );
+                            checked += 1;
+                        }
+                        (w, c) => panic!("feasibility diverged at [{r0},{r1}]: {w:?} vs {c:?}"),
                     }
-                    (w, c) => panic!("feasibility diverged at [{r0},{r1}]: {w:?} vs {c:?}"),
                 }
             }
+            assert!(checked >= 2, "route space too small to exercise warm path");
+            assert!(
+                warm_eval.stats().warm_started > 0,
+                "warm starts never engaged ({dual_method:?}): {:?}",
+                warm_eval.stats()
+            );
         }
-        assert!(checked >= 2, "route space too small to exercise warm path");
-        assert!(
-            warm_eval.stats().warm_started > 0,
-            "warm starts never engaged: {:?}",
-            warm_eval.stats()
-        );
     }
 }

@@ -63,6 +63,21 @@ pub struct GibbsConfig {
 }
 
 impl GibbsConfig {
+    /// Floor for the decayed temperature. Long chains with
+    /// `gamma_decay < 1` would otherwise drive γ into the subnormal
+    /// range and finally to exactly 0, silently flipping
+    /// [`acceptance_probability`] into its degenerate hard-0/1 γ = 0
+    /// branch mid-run (most visibly: equal-objective proposals go from
+    /// 50% acceptance to never accepted). At the floor the sampler is
+    /// still effectively greedy for any practical objective difference
+    /// — the overflow-guarded sigmoid saturates — but the arithmetic
+    /// stays well defined and ties keep their 50% acceptance. Deliberate
+    /// greedy configurations are respected: a configured γ ≤ the floor
+    /// (including γ = 0) and the degenerate `gamma_decay = 0` both
+    /// bypass the clamp — it only guards against gradual multiplicative
+    /// underflow.
+    pub const GAMMA_FLOOR: f64 = 1e-9;
+
     /// The paper's configuration: γ = 500, single-pair updates, one
     /// chain.
     pub fn paper_default() -> Self {
@@ -246,7 +261,7 @@ pub fn sample_with(
             best_f = f_cur;
             best_indices = indices.clone();
         }
-        gamma *= config.gamma_decay;
+        gamma = decayed_gamma(gamma, config);
     }
 
     let evaluation = evaluator
@@ -309,6 +324,19 @@ pub fn sample_restarts(
             best
         }
     })
+}
+
+/// One γ-decay step, clamped at [`GibbsConfig::GAMMA_FLOOR`]. The floor
+/// never overrides a *deliberate* route to the greedy γ = 0 branch: a
+/// configured starting temperature at or below the floor (including
+/// γ = 0) and the degenerate `gamma_decay = 0` (hot start, then instant
+/// greedy) both keep their exact semantics — the clamp only guards
+/// against gradual multiplicative underflow over long chains.
+fn decayed_gamma(gamma: f64, config: &GibbsConfig) -> f64 {
+    if config.gamma_decay <= 0.0 {
+        return gamma * config.gamma_decay;
+    }
+    (gamma * config.gamma_decay).max(GibbsConfig::GAMMA_FLOOR.min(config.gamma))
 }
 
 /// Uniformly proposes a route index different from `current`.
@@ -375,6 +403,92 @@ mod tests {
         // Extreme differences don't overflow.
         assert_eq!(acceptance_probability(1e9, 0.0, 1.0), 1.0);
         assert_eq!(acceptance_probability(0.0, 1e9, 1.0), 0.0);
+    }
+
+    #[test]
+    fn gamma_decay_clamps_at_documented_floor() {
+        // Without the clamp, 500 × 0.5^k underflows to subnormals around
+        // k ≈ 1080 and to exactly 0 shortly after; a long chain must
+        // instead settle at the floor.
+        let config = GibbsConfig {
+            gamma: 500.0,
+            gamma_decay: 0.5,
+            ..GibbsConfig::paper_default()
+        };
+        let mut gamma = config.gamma;
+        for _ in 0..100_000 {
+            gamma = decayed_gamma(gamma, &config);
+            assert!(gamma >= GibbsConfig::GAMMA_FLOOR, "underflowed: {gamma:e}");
+            assert!(gamma.is_normal());
+        }
+        assert_eq!(gamma, GibbsConfig::GAMMA_FLOOR);
+        // At the floor, ties keep their 50% acceptance — the behavior
+        // the degenerate γ = 0 branch would silently change mid-run.
+        assert_eq!(acceptance_probability(5.0, 5.0, gamma), 0.5);
+        assert_eq!(acceptance_probability(5.0, 5.0, 0.0), 0.0);
+
+        // Deliberate tiny-γ (and γ = 0 greedy) configurations are
+        // respected: the clamp never raises γ above the configured start.
+        let greedy = GibbsConfig {
+            gamma: 0.0,
+            gamma_decay: 0.5,
+            ..GibbsConfig::paper_default()
+        };
+        assert_eq!(decayed_gamma(0.0, &greedy), 0.0);
+        let tiny = GibbsConfig {
+            gamma: 1e-12,
+            gamma_decay: 0.5,
+            ..GibbsConfig::paper_default()
+        };
+        let mut g = tiny.gamma;
+        for _ in 0..200 {
+            g = decayed_gamma(g, &tiny);
+        }
+        assert_eq!(g, 1e-12);
+
+        // gamma_decay = 0 is the deliberate hot-start-then-instant-greedy
+        // configuration: the floor must not resurrect a temperature.
+        let instant_greedy = GibbsConfig {
+            gamma: 500.0,
+            gamma_decay: 0.0,
+            ..GibbsConfig::paper_default()
+        };
+        assert_eq!(decayed_gamma(500.0, &instant_greedy), 0.0);
+        assert_eq!(decayed_gamma(0.0, &instant_greedy), 0.0);
+    }
+
+    #[test]
+    fn long_annealed_chain_stays_well_defined() {
+        // A long aggressively-annealed chain: every acceptance draw must
+        // see a valid probability (rng.random_bool panics outside
+        // [0, 1]) and the result must dominate the plain greedy limit.
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let config = GibbsConfig {
+            iterations: 5_000,
+            gamma: 500.0,
+            gamma_decay: 0.5, // γ hits the floor within ~40 iterations
+            parallel_isolated: false,
+            max_init_attempts: 8,
+            restarts: 1,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let sel = sample(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(sel.evaluation.objective.is_finite());
     }
 
     #[test]

@@ -272,7 +272,14 @@ proptest! {
         let ctx = PerSlotContext::oscar(&net, &snap, v, price);
 
         for method in [
-            AllocationMethod::relax_and_round(),
+            AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+                method: qdn_solve::DualMethod::Accelerated,
+                ..qdn_solve::RelaxedOptions::default()
+            }),
+            AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+                method: qdn_solve::DualMethod::Subgradient,
+                ..qdn_solve::RelaxedOptions::default()
+            }),
             AllocationMethod::Greedy,
             AllocationMethod::Minimal,
         ] {

@@ -167,7 +167,7 @@ impl RouteAssembler {
         let n_edge = self.edge_caps.len();
         let m = n_node + n_edge + usize::from(budget.is_some());
 
-        let mut husk = self.arena.pop().unwrap_or_else(empty_instance);
+        let mut husk = self.arena.pop().unwrap_or_else(AllocationInstance::husk);
         husk.v_weight = v_weight;
         husk.unit_price = unit_price;
         std::mem::swap(&mut husk.vars, &mut self.vars);
@@ -241,29 +241,8 @@ impl RouteAssembler {
 
     /// Returns a solved instance's storage to the arena for reuse by the
     /// next [`RouteAssembler::finish`].
-    pub fn recycle(&mut self, mut instance: AllocationInstance) {
-        instance.vars.clear();
-        instance.caps.clear();
-        instance.con_off.clear();
-        instance.con_idx.clear();
-        instance.mem_off.clear();
-        instance.mem_idx.clear();
-        instance.ub.clear();
-        self.arena.push(instance);
-    }
-}
-
-fn empty_instance() -> AllocationInstance {
-    AllocationInstance {
-        vars: Vec::new(),
-        caps: Vec::new(),
-        con_off: Vec::new(),
-        con_idx: Vec::new(),
-        mem_off: Vec::new(),
-        mem_idx: Vec::new(),
-        v_weight: 0.0,
-        unit_price: 0.0,
-        ub: Vec::new(),
+    pub fn recycle(&mut self, instance: AllocationInstance) {
+        self.arena.push(instance.into_husk());
     }
 }
 

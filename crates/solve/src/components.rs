@@ -15,7 +15,7 @@
 //! variables and constraints in the same relative order they had in the
 //! parent instance.
 
-use crate::instance::{AllocationInstance, PackingConstraint};
+use crate::instance::AllocationInstance;
 use crate::SolveError;
 
 /// The partition of an instance's variables into coupled components.
@@ -137,31 +137,67 @@ impl AllocationInstance {
         comp_vars: &[usize],
         comp_constraints: &[usize],
     ) -> Result<AllocationInstance, SolveError> {
-        let mut local_index = vec![usize::MAX; self.num_vars()];
+        let mut local_index = Vec::new();
+        self.sub_instance_into(
+            comp_vars,
+            comp_constraints,
+            &mut local_index,
+            AllocationInstance::husk(),
+        )
+    }
+
+    /// [`AllocationInstance::sub_instance`] into recycled storage: the
+    /// component's CSR arrays are written directly into `husk`'s buffers
+    /// (no intermediate [`PackingConstraint`] member `Vec`s, no
+    /// allocations once `husk` and `local_index` have grown to size) and
+    /// validated by the same shared `finalize` pass every constructor
+    /// ends in. `local_index` is caller-owned scratch (resized to the
+    /// parent's variable count).
+    ///
+    /// This is the arena path the multi-component recursion in
+    /// [`crate::relaxed::solve_relaxed`] cycles through — one husk,
+    /// recycled from component to component (ROADMAP item i).
+    ///
+    /// # Errors
+    ///
+    /// As [`AllocationInstance::sub_instance`].
+    pub fn sub_instance_into(
+        &self,
+        comp_vars: &[usize],
+        comp_constraints: &[usize],
+        local_index: &mut Vec<usize>,
+        mut husk: AllocationInstance,
+    ) -> Result<AllocationInstance, SolveError> {
+        local_index.clear();
+        local_index.resize(self.num_vars(), usize::MAX);
         for (local, &j) in comp_vars.iter().enumerate() {
             local_index[j] = local;
         }
-        let vars = comp_vars.iter().map(|&j| self.vars()[j]).collect();
-        let constraints = comp_constraints
-            .iter()
-            .map(|&ci| {
-                PackingConstraint::new(
-                    self.capacity(ci),
-                    self.members(ci)
-                        .iter()
-                        .map(|&j| local_index[j as usize])
-                        .collect(),
-                )
-            })
-            .collect();
-        AllocationInstance::new(vars, constraints, self.v_weight(), self.unit_price())
+        husk.vars.clear();
+        husk.vars.extend(comp_vars.iter().map(|&j| self.vars[j]));
+        husk.v_weight = self.v_weight();
+        husk.unit_price = self.unit_price();
+        husk.caps.clear();
+        husk.con_off.clear();
+        husk.con_idx.clear();
+        husk.con_off.push(0);
+        for &ci in comp_constraints {
+            husk.caps.push(self.capacity(ci));
+            husk.con_idx.extend(
+                self.members(ci)
+                    .iter()
+                    .map(|&j| local_index[j as usize] as u32),
+            );
+            husk.con_off.push(husk.con_idx.len() as u32);
+        }
+        husk.finalize()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instance::Variable;
+    use crate::instance::{PackingConstraint, Variable};
 
     fn inst(nv: usize, cons: &[(u32, &[usize])]) -> AllocationInstance {
         AllocationInstance::new(
@@ -226,6 +262,23 @@ mod tests {
         // Upper bounds must match the parent's for the same variables.
         assert_eq!(sub.upper_bound(0), i.upper_bound(2));
         assert_eq!(sub.upper_bound(1), i.upper_bound(3));
+    }
+
+    #[test]
+    fn sub_instance_into_recycled_husk_is_identical() {
+        // Cycling one husk through several components (the relaxed
+        // solver's recursion pattern) must reproduce the allocating
+        // constructor's result exactly.
+        let i = inst(6, &[(5, &[0, 1]), (7, &[2, 3]), (3, &[2]), (4, &[4, 5])]);
+        let p = i.components();
+        let mut scratch = Vec::new();
+        let mut husk = AllocationInstance::husk();
+        for (vars, cons) in p.vars.iter().zip(&p.constraints) {
+            let reference = i.sub_instance(vars, cons).unwrap();
+            let built = i.sub_instance_into(vars, cons, &mut scratch, husk).unwrap();
+            assert_eq!(built, reference);
+            husk = built.into_husk();
+        }
     }
 
     #[test]

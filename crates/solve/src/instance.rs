@@ -242,6 +242,36 @@ impl AllocationInstance {
         Ok(self)
     }
 
+    /// An empty husk whose buffers grow on first use — the recycled
+    /// storage unit for arena-style construction ([`crate::assemble`]'s
+    /// instance arena, [`crate::relaxed`]'s component recursion).
+    pub(crate) fn husk() -> Self {
+        AllocationInstance {
+            vars: Vec::new(),
+            caps: Vec::new(),
+            con_off: Vec::new(),
+            con_idx: Vec::new(),
+            mem_off: Vec::new(),
+            mem_idx: Vec::new(),
+            v_weight: 0.0,
+            unit_price: 0.0,
+            ub: Vec::new(),
+        }
+    }
+
+    /// Clears this instance back into a husk, retaining every buffer's
+    /// capacity for the next build.
+    pub(crate) fn into_husk(mut self) -> Self {
+        self.vars.clear();
+        self.caps.clear();
+        self.con_off.clear();
+        self.con_idx.clear();
+        self.mem_off.clear();
+        self.mem_idx.clear();
+        self.ub.clear();
+        self
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.vars.len()

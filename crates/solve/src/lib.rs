@@ -18,7 +18,10 @@
 //!
 //! * [`relaxed`] — the paper's Algorithm 2: continuous relaxation
 //!   (`x ≥ 1`), which is convex (Prop. 1), solved by Lagrangian dual
-//!   decomposition with *closed-form* scalar maximizers ([`scalar`]),
+//!   decomposition with *closed-form* scalar maximizers ([`scalar`]);
+//!   the dual iteration is either projected subgradient or the
+//!   accelerated FISTA method in [`accel`] (the default — see
+//!   [`relaxed::DualMethod`]),
 //! * [`rounding`] — "down-round and allocate surplus", preserving
 //!   feasibility and the Eq. 8 relation, giving the Δ-optimality of
 //!   Prop. 2,
@@ -49,6 +52,7 @@
 //! assert!(instance.is_feasible_int(&rounded));
 //! ```
 
+pub mod accel;
 pub mod assemble;
 pub mod brute;
 pub mod components;
@@ -61,7 +65,7 @@ pub mod scalar;
 pub use assemble::RouteAssembler;
 pub use components::{ComponentPartition, Dsu};
 pub use instance::{ln_success, AllocationInstance, PackingConstraint, Variable};
-pub use relaxed::{solve_relaxed, solve_relaxed_warm, RelaxedOptions, RelaxedSolution};
+pub use relaxed::{solve_relaxed, solve_relaxed_warm, DualMethod, RelaxedOptions, RelaxedSolution};
 
 /// Errors raised by the solvers.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,60 +1,109 @@
-//! Lagrangian dual solver for the continuous relaxation of P2.
+//! Lagrangian dual solvers for the continuous relaxation of P2.
 //!
 //! The relaxed problem (paper Algorithm 2, step 3) is separable concave
 //! with linear packing constraints, so its Lagrangian dual decomposes into
-//! per-variable closed-form maximizations ([`crate::scalar`]). Dual prices
-//! are updated by projected subgradient with a diminishing step; the
-//! primal answer is recovered from the ergodic (running-average) iterate
-//! with a feasibility repair that exactly preserves the `x ≥ 1` lower
-//! bound (so the Eq. 8 rounding relation stays valid downstream).
+//! per-variable closed-form maximizations ([`crate::scalar`]). Two dual
+//! iterations are available, selected by [`RelaxedOptions::method`]:
+//!
+//! * [`DualMethod::Subgradient`] — projected subgradient with Polyak
+//!   steps (the PR-2 solver). Robust, but its duality gap decays like
+//!   `O(1/k)`, so the strict default `gap_tolerance = 1e-4` is
+//!   unreachable at paper scale within realistic budgets — every cold
+//!   solve exhausts `max_iterations` and reports `converged: false`.
+//! * [`DualMethod::Accelerated`] (the default) — adaptively restarted
+//!   FISTA on the dual, which is C¹ with Lipschitz gradient because the
+//!   strictly concave log-success utility makes the per-variable argmax
+//!   unique (see [`crate::accel`] for the math). The `O(1/k²)` rate —
+//!   linear near the optimum with adaptive restarts — makes the strict
+//!   tolerance actually certifiable, so cold solves stop early instead
+//!   of burning the full budget.
+//!
+//! Either way the primal answer is recovered from the running-average /
+//! current iterates with a feasibility repair that exactly preserves the
+//! `x ≥ 1` lower bound (so the Eq. 8 rounding relation stays valid
+//! downstream), and `converged` means the *certified* relative duality
+//! gap fell below the acceptance threshold.
 //!
 //! # Inner-loop layout (PR 2)
 //!
-//! The subgradient iteration runs entirely over the instance's flat CSR
-//! incidence arrays ([`AllocationInstance`] stores variable→constraint
-//! and constraint→member membership as contiguous index+offset slices):
-//! one branch-free gather pass computes every variable's price, a fused
-//! pass updates `x` and accumulates the dual value from per-variable
-//! cached transcendentals (`ln β`, `ln P(1)`, `ln P(ub)` are computed
-//! once per solve, and the interior dual term falls out of the
-//! stationarity condition as `−ln(1+ρ)` — no `exp`/`ln` pair per
-//! variable per iteration), and the repair/objective passes reuse
-//! per-solve buffers. A solve allocates a fixed number of vectors up
-//! front and nothing inside the loop.
+//! Both iterations run entirely over the instance's flat CSR incidence
+//! arrays ([`AllocationInstance`] stores variable→constraint and
+//! constraint→member membership as contiguous index+offset slices): one
+//! branch-free gather pass computes every variable's price, a fused pass
+//! updates `x` and accumulates the dual value from per-variable cached
+//! transcendentals (`ln β`, `ln P(1)`, `ln P(ub)` are computed once per
+//! solve, and the interior dual term falls out of the stationarity
+//! condition as `−ln(1+ρ)` — no `exp`/`ln` pair per variable per
+//! iteration), and the repair/objective passes reuse per-solve buffers.
+//! A solve allocates a fixed number of vectors up front and nothing
+//! inside the loop. The shared passes live here ([`VarCache`],
+//! [`dual_value_at`], [`residual_pass`], [`consider_primal`]) and are
+//! used by both method loops.
 //!
 //! # Warm starts
 //!
 //! [`solve_relaxed_warm`] seeds the dual iteration from a caller-provided
 //! λ (typically the memoized prices of a *neighboring* route profile —
 //! see `qdn-core::profile_eval`). A warm run is accepted once its
-//! relative gap falls below `max(gap_tolerance, warm_accept_gap)` — the
-//! secondary threshold exists because the subgradient tail decays like
-//! `O(1/k)`, so the strict tolerance is often unreachable within the
-//! budget and the cold run's *actual* final quality is what a good warm
-//! seed reproduces in a handful of iterations (see
-//! [`RelaxedOptions::warm_accept_gap`]). A warm-started run that fails
-//! even that relaxed bar within the iteration budget is discarded and
-//! the solve re-runs cold from λ = 0, so a bad warm start can cost time
-//! but never quality: every returned solution is feasible with a
-//! duality gap no worse than the acceptance threshold it converged
-//! under, and [`RelaxedSolution::converged`] reports whether it did.
-//! The final prices come back in [`RelaxedSolution::lambda`] for the
-//! caller to store.
+//! relative gap falls below the method's acceptance threshold — the
+//! strict `gap_tolerance` for [`DualMethod::Accelerated`],
+//! `max(gap_tolerance, warm_accept_gap)` for the subgradient method
+//! (whose `O(1/k)` tail cannot reach the strict tolerance) — and is
+//! capped at [`RelaxedOptions::warm_iteration_fraction`] of the budget: a
+//! warm seed either pays off quickly or not at all, so burning the full
+//! budget on a failing warm attempt (and then again on the cold fallback)
+//! would pay twice for one solve. When the capped warm attempt does not
+//! converge, the solve re-runs cold from λ = 0 **carrying the warm
+//! attempt's incumbents** (best primal point, best dual bound), so the
+//! fallback's answer is never worse than what the warm attempt already
+//! had — a bad warm start can cost time, never quality. Every returned
+//! solution is feasible with a duality gap no worse than the acceptance
+//! threshold it converged under, and [`RelaxedSolution::converged`]
+//! reports whether it did. The final prices come back in
+//! [`RelaxedSolution::lambda`] for the caller to store.
 
 use serde::{Deserialize, Serialize};
 
 use crate::instance::{ln_success, AllocationInstance};
 use crate::SolveError;
 
+/// Which dual iteration solves the relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DualMethod {
+    /// Projected subgradient with Polyak steps. `O(1/k)` gap tail: keeps
+    /// the historical PR-2 *cold-solve* trajectory bit-for-bit (warm
+    /// starts now cap the warm budget and carry incumbents into the
+    /// fallback, so failed-warm trajectories improve on PR-2 rather
+    /// than reproduce it), but cannot certify
+    /// tight tolerances at paper scale — cold solves typically exhaust
+    /// the budget with `converged: false`.
+    Subgradient,
+    /// Adaptively restarted FISTA on the smooth dual ([`crate::accel`]).
+    /// `O(1/k²)` worst case, linear near the optimum in practice; the
+    /// default, because it makes the strict `gap_tolerance` reachable
+    /// and lets cold solves stop early on a certified gap.
+    Accelerated,
+}
+
 /// Options for [`solve_relaxed`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RelaxedOptions {
-    /// Maximum subgradient iterations.
+    /// Maximum dual iterations (per attempt; a failed warm attempt plus
+    /// its cold fallback together spend at most
+    /// `(1 + warm_iteration_fraction) × max_iterations`).
     pub max_iterations: usize,
-    /// Initial subgradient step size.
+    /// Initial subgradient step size (the [`DualMethod::Subgradient`]
+    /// fallback step when the Polyak estimate degenerates; unused by
+    /// [`DualMethod::Accelerated`], which adapts its step by
+    /// backtracking).
     pub initial_step: f64,
     /// Stop early when the relative duality gap falls below this value.
     pub gap_tolerance: f64,
+    /// The dual iteration to run. **Loud compat break (PR 3):** this
+    /// field is required in JSON configs — see MIGRATION.md for the
+    /// one-line edit (`"method": "Accelerated"` restores the default;
+    /// `"Subgradient"` restores the PR-2 cold iteration bit-for-bit).
+    pub method: DualMethod,
     /// Let callers that cache dual prices (the profile evaluator's
     /// per-component λ store) seed repeat solves via
     /// [`solve_relaxed_warm`]. The solver itself ignores this flag — it
@@ -63,19 +112,33 @@ pub struct RelaxedOptions {
     /// gap, so paths that must stay bit-identical to the full-rebuild
     /// reference keep it disabled.
     pub warm_start: bool,
-    /// Secondary acceptance gap for *warm-started* runs only. Subgradient
-    /// iterations shed the duality gap like `O(1/k)`, so on coupled
-    /// instances the strict `gap_tolerance` is often unreachable within
-    /// the budget and a cold run simply spends all its iterations
-    /// grinding the tail (e.g. ~0.9% relative gap after 600 iterations
-    /// at paper scale). A good warm seed lands at that same quality in a
-    /// handful of iterations; requiring it to then reach the unreachable
-    /// strict tolerance would waste the entire budget *and* trigger the
-    /// cold fallback. A warm run is therefore accepted once its relative
-    /// gap falls below `max(gap_tolerance, warm_accept_gap)`; cold runs
-    /// ignore this field entirely. The default 1e-2 matches the gap a
-    /// full cold budget actually achieves on paper-scale components.
+    /// Secondary acceptance gap for *warm-started*
+    /// [`DualMethod::Subgradient`] runs only. Subgradient iterations
+    /// shed the duality gap like `O(1/k)`, so on coupled instances the
+    /// strict `gap_tolerance` is often unreachable within the budget
+    /// and a cold run simply spends all its iterations grinding the
+    /// tail (e.g. ~0.9% relative gap after 600 iterations at paper
+    /// scale). A good warm seed lands at that same quality in a handful
+    /// of iterations; requiring it to then reach the unreachable strict
+    /// tolerance would waste the entire budget *and* trigger the cold
+    /// fallback. A warm subgradient run is therefore accepted once its
+    /// relative gap falls below `max(gap_tolerance, warm_accept_gap)`.
+    /// Cold runs — and [`DualMethod::Accelerated`] runs, warm or cold,
+    /// which certify the strict tolerance cheaply — ignore this field
+    /// entirely, so the accelerated path's certificate is never
+    /// weakened by a warm seed. The default 1e-2 matches the gap a full
+    /// cold subgradient budget actually achieves on paper-scale
+    /// components.
     pub warm_accept_gap: f64,
+    /// Fraction of `max_iterations` a warm attempt may spend before the
+    /// cold fallback takes over (clamped to `[0, 1]`; at least one warm
+    /// iteration runs whenever a warm seed is given). Capping the warm
+    /// attempt fixes the historical double-pay: a failing warm run used
+    /// to burn the *full* budget and then discard its incumbents before
+    /// re-running cold for another full budget. **Loud compat break
+    /// (PR 3):** required in JSON configs; `0.25` is the default, `1.0`
+    /// restores the old warm budget (the incumbent carry-over stays).
+    pub warm_iteration_fraction: f64,
 }
 
 impl Default for RelaxedOptions {
@@ -84,8 +147,10 @@ impl Default for RelaxedOptions {
             max_iterations: 600,
             initial_step: 1.0,
             gap_tolerance: 1e-4,
+            method: DualMethod::Accelerated,
             warm_start: false,
             warm_accept_gap: 1e-2,
+            warm_iteration_fraction: 0.25,
         }
     }
 }
@@ -99,13 +164,14 @@ pub struct RelaxedSolution {
     pub primal_value: f64,
     /// Best dual value observed (upper bound on the relaxed optimum).
     pub dual_bound: f64,
-    /// Iterations performed.
+    /// Iterations performed (a failed warm attempt's iterations count
+    /// toward the total its cold fallback reports).
     pub iterations: usize,
     /// Final dual prices, one per constraint (warm-start seed for
     /// neighboring instances).
     pub lambda: Vec<f64>,
-    /// Whether the relative duality gap fell below the tolerance within
-    /// the iteration budget.
+    /// Whether the relative duality gap fell below the acceptance
+    /// threshold within the iteration budget.
     pub converged: bool,
 }
 
@@ -114,6 +180,13 @@ impl RelaxedSolution {
     /// numerical error); small means near-optimal.
     pub fn gap(&self) -> f64 {
         self.dual_bound - self.primal_value
+    }
+
+    /// The relative gap the convergence check certifies:
+    /// `gap / (1 + max(|dual|, |primal|))`.
+    pub fn relative_gap(&self) -> f64 {
+        let scale = 1.0 + self.dual_bound.abs().max(self.primal_value.abs());
+        self.gap() / scale
     }
 }
 
@@ -155,10 +228,11 @@ pub fn solve_relaxed(
 ///
 /// With `warm = None` (or an all-zero warm vector) this is exactly the
 /// cold solve. Otherwise the dual iteration starts from the given
-/// prices; if it does not reach the gap tolerance within the iteration
-/// budget, the warm attempt is discarded and the solve re-runs cold, so
-/// the result is never worse-guaranteed than [`solve_relaxed`]'s (see
-/// the module docs).
+/// prices; if it does not reach the acceptance gap within its (capped)
+/// budget, the solve re-runs cold carrying the warm attempt's incumbent
+/// primal/dual bounds, so the result is never worse than either the
+/// plain cold solve's guarantees or the warm attempt's achieved value
+/// (see the module docs).
 ///
 /// # Errors
 ///
@@ -188,8 +262,8 @@ pub fn solve_relaxed_warm(
         });
     }
 
-    // Decompose by constraint coupling: the dual iteration below uses
-    // *global* convergence checks and a *global* Polyak step, so solving
+    // Decompose by constraint coupling: the dual iterations below use
+    // *global* convergence checks and global step adaptation, so solving
     // independent components jointly both converges slower and produces
     // different floating-point trajectories than solving them alone.
     // Working component-wise makes the result identical whether a
@@ -205,8 +279,20 @@ pub fn solve_relaxed_warm(
         let mut iterations = 0;
         let mut converged = true;
         let mut warm_buf: Vec<f64> = Vec::new();
+        // Sub-instances cycle through one recycled husk + index scratch
+        // (ROADMAP item i): the per-component build reuses the previous
+        // component's storage instead of the generic allocating
+        // constructor, so the recursion allocates once, not per
+        // component.
+        let mut husk: Option<AllocationInstance> = None;
+        let mut local_index: Vec<usize> = Vec::new();
         for (comp_vars, comp_cons) in partition.vars.iter().zip(&partition.constraints) {
-            let sub = instance.sub_instance(comp_vars, comp_cons)?;
+            let sub = instance.sub_instance_into(
+                comp_vars,
+                comp_cons,
+                &mut local_index,
+                husk.take().unwrap_or_else(AllocationInstance::husk),
+            )?;
             let sub_warm = warm.map(|w| {
                 warm_buf.clear();
                 warm_buf.extend(comp_cons.iter().map(|&ci| w[ci]));
@@ -223,6 +309,7 @@ pub fn solve_relaxed_warm(
             dual_bound += sol.dual_bound;
             iterations = iterations.max(sol.iterations);
             converged &= sol.converged;
+            husk = Some(sub.into_husk());
         }
         return Ok(RelaxedSolution {
             x,
@@ -237,60 +324,244 @@ pub fn solve_relaxed_warm(
     Ok(solve_single(instance, options, warm))
 }
 
+/// Iterations a warm attempt may spend before falling back cold.
+fn warm_iteration_budget(options: &RelaxedOptions) -> usize {
+    let frac = options.warm_iteration_fraction.clamp(0.0, 1.0);
+    let budget = (options.max_iterations as f64 * frac).ceil() as usize;
+    budget.clamp(1, options.max_iterations.max(1))
+}
+
 /// Solves one coupling component, trying the warm start first (when
-/// given and non-trivial) and falling back to the cold λ = 0 iteration
-/// when the warm run does not converge.
+/// given and non-trivial) under a capped iteration budget, and falling
+/// back to the cold λ = 0 iteration — seeded with the warm attempt's
+/// incumbents — when the warm run does not converge.
+///
+/// The relaxed `warm_accept_gap` applies to [`DualMethod::Subgradient`]
+/// only: it exists because the subgradient tail makes the strict
+/// tolerance unreachable, a limitation the accelerated method does not
+/// have — warm accelerated runs certify the same `gap_tolerance` as
+/// cold ones (a warm seed changes where the iteration *starts*, never
+/// what it certifies).
 fn solve_single(
     instance: &AllocationInstance,
     options: &RelaxedOptions,
     warm: Option<&[f64]>,
 ) -> RelaxedSolution {
-    if let Some(w) = warm {
-        if w.iter().any(|&l| l > 0.0) {
-            let accept = options.gap_tolerance.max(options.warm_accept_gap);
-            let sol = dual_iterate(instance, options, Some(w), accept);
+    let warm_attempt = match warm {
+        Some(w) if w.iter().any(|&l| l > 0.0) => {
+            let accept = match options.method {
+                DualMethod::Subgradient => options.gap_tolerance.max(options.warm_accept_gap),
+                DualMethod::Accelerated => options.gap_tolerance,
+            };
+            let budget = warm_iteration_budget(options);
+            let sol = iterate(instance, options, Some(w), accept, budget, None);
             if sol.converged {
                 return sol;
             }
+            Some(sol)
         }
+        _ => None,
+    };
+    let mut cold = iterate(
+        instance,
+        options,
+        None,
+        options.gap_tolerance,
+        options.max_iterations,
+        warm_attempt.as_ref(),
+    );
+    if let Some(warm_sol) = warm_attempt {
+        cold.iterations += warm_sol.iterations;
     }
-    dual_iterate(instance, options, None, options.gap_tolerance)
+    cold
 }
 
-/// The projected-subgradient iteration from a given starting λ
-/// (`None` = all zeros), stopping once the relative gap falls below
-/// `accept_gap`. See the module docs for the loop layout.
-fn dual_iterate(
+/// Dispatches one dual iteration run to the configured method, from a
+/// given starting λ (`None` = all zeros), stopping once the relative gap
+/// falls below `accept_gap` or `max_iters` is exhausted. `incumbent`
+/// seeds the best-primal/best-dual trackers (the warm-fallback
+/// carry-over); its bounds are valid for the same instance by
+/// construction.
+fn iterate(
     instance: &AllocationInstance,
     options: &RelaxedOptions,
     lambda0: Option<&[f64]>,
     accept_gap: f64,
+    max_iters: usize,
+    incumbent: Option<&RelaxedSolution>,
+) -> RelaxedSolution {
+    match options.method {
+        DualMethod::Subgradient => {
+            subgradient_iterate(instance, options, lambda0, accept_gap, max_iters, incumbent)
+        }
+        DualMethod::Accelerated => {
+            crate::accel::accelerated_iterate(instance, lambda0, accept_gap, max_iters, incumbent)
+        }
+    }
+}
+
+/// Per-variable constants cached once per solve. `ln_p1`/`ln_p_ub` use
+/// the canonical [`ln_success`] formula so boundary iterates carry
+/// bit-identical objective terms to the unfused reference.
+pub(crate) struct VarCache {
+    pub ln_beta: Vec<f64>,
+    pub ub_f: Vec<f64>,
+    pub ln_p1: Vec<f64>,
+    pub ln_p_ub: Vec<f64>,
+}
+
+impl VarCache {
+    pub(crate) fn new(instance: &AllocationInstance) -> Self {
+        let n = instance.num_vars();
+        let mut cache = VarCache {
+            ln_beta: vec![0.0f64; n],
+            ub_f: vec![0.0f64; n],
+            ln_p1: vec![0.0f64; n],
+            ln_p_ub: vec![0.0f64; n],
+        };
+        for j in 0..n {
+            let p = instance.vars[j].p;
+            cache.ln_beta[j] = f64::ln_1p(-p);
+            cache.ub_f[j] = instance.ub[j] as f64;
+            cache.ln_p1[j] = ln_success(p, 1.0);
+            cache.ln_p_ub[j] = ln_success(p, cache.ub_f[j]);
+        }
+        cache
+    }
+}
+
+/// The fused dual evaluation shared by both method loops: fills `price`
+/// (pass 1, a flat gather over the variable→constraint CSR slice) and
+/// the per-variable argmax `x` (pass 2, closed form via
+/// [`crate::scalar::stationary_point`]), returning the dual value
+/// `D(λ) = Σ_j [V ln P_j(x_j) − price_j x_j] + Σ_c λ_c cap_c`. At the
+/// interior stationary point `t* = ρ/(1+ρ)` the log term is
+/// `−ln(1+ρ)` ([`crate::scalar::interior_log_term`]) — no extra
+/// transcendental.
+pub(crate) fn dual_value_at(
+    instance: &AllocationInstance,
+    cache: &VarCache,
+    lambda: &[f64],
+    price: &mut [f64],
+    x: &mut [f64],
+) -> f64 {
+    let n = instance.num_vars();
+    let v = instance.v_weight();
+    let kappa = instance.unit_price();
+    let mem_off = &instance.mem_off;
+    let mem_idx = &instance.mem_idx;
+    for j in 0..n {
+        let (lo, hi) = (mem_off[j] as usize, mem_off[j + 1] as usize);
+        let mut acc = 0.0;
+        for &c in &mem_idx[lo..hi] {
+            acc += lambda[c as usize];
+        }
+        price[j] = kappa + acc;
+    }
+    let mut dual = 0.0;
+    for j in 0..n {
+        let pr = price[j];
+        if pr <= 0.0 {
+            // Increasing utility: take everything available.
+            x[j] = cache.ub_f[j];
+            dual += v * cache.ln_p_ub[j] - pr * cache.ub_f[j];
+            continue;
+        }
+        let rho = pr / (-v * cache.ln_beta[j]);
+        let x_star = crate::scalar::stationary_point(rho, cache.ln_beta[j]);
+        if x_star <= 1.0 {
+            x[j] = 1.0;
+            dual += v * cache.ln_p1[j] - pr;
+        } else if x_star >= cache.ub_f[j] {
+            x[j] = cache.ub_f[j];
+            dual += v * cache.ln_p_ub[j] - pr * cache.ub_f[j];
+        } else {
+            x[j] = x_star;
+            dual += v * crate::scalar::interior_log_term(rho) - pr * x_star;
+        }
+    }
+    for (c, &l) in lambda.iter().enumerate() {
+        dual += l * instance.caps[c] as f64;
+    }
+    dual
+}
+
+/// Constraint residual pass shared by both method loops:
+/// `g_c = Σ_{j∈c} x_j − cap_c` (the dual's negated gradient /
+/// subgradient direction); returns `‖g‖²`.
+pub(crate) fn residual_pass(instance: &AllocationInstance, x: &[f64], g: &mut [f64]) -> f64 {
+    let con_off = &instance.con_off;
+    let con_idx = &instance.con_idx;
+    let mut g_norm2 = 0.0;
+    for c in 0..instance.caps.len() {
+        let (lo, hi) = (con_off[c] as usize, con_off[c + 1] as usize);
+        let mut usage = 0.0;
+        for &j in &con_idx[lo..hi] {
+            usage += x[j as usize];
+        }
+        let gc = usage - instance.caps[c] as f64;
+        g[c] = gc;
+        g_norm2 += gc * gc;
+    }
+    g_norm2
+}
+
+/// Repairs `candidate` into the feasible region ([`repair_into`]) and
+/// promotes it to the incumbent primal if it improves on `best_primal`.
+pub(crate) fn consider_primal(
+    instance: &AllocationInstance,
+    cache: &VarCache,
+    candidate: &[f64],
+    theta_c: &mut [f64],
+    repaired: &mut [f64],
+    best_primal: &mut f64,
+    best_x: &mut [f64],
+) {
+    repair_into(instance, candidate, theta_c, repaired);
+    let v = instance.v_weight();
+    let kappa = instance.unit_price();
+    let mut value = 0.0;
+    for (j, &xj) in repaired.iter().enumerate() {
+        let ls = if xj == 1.0 {
+            cache.ln_p1[j]
+        } else {
+            (-f64::exp_m1(xj * cache.ln_beta[j])).ln()
+        };
+        value += v * ls - kappa * xj;
+    }
+    if value > *best_primal {
+        *best_primal = value;
+        best_x.copy_from_slice(repaired);
+    }
+}
+
+/// Initial incumbent trackers: the warm attempt's, or pristine.
+pub(crate) fn seeded_incumbent(
+    incumbent: Option<&RelaxedSolution>,
+    n: usize,
+) -> (f64, f64, Vec<f64>) {
+    match incumbent {
+        Some(inc) => {
+            debug_assert_eq!(inc.x.len(), n, "incumbent arity mismatch");
+            (inc.dual_bound, inc.primal_value, inc.x.clone())
+        }
+        None => (f64::INFINITY, f64::NEG_INFINITY, vec![1.0f64; n]),
+    }
+}
+
+/// The projected-subgradient iteration ([`DualMethod::Subgradient`]).
+/// See the module docs for the loop layout.
+fn subgradient_iterate(
+    instance: &AllocationInstance,
+    options: &RelaxedOptions,
+    lambda0: Option<&[f64]>,
+    accept_gap: f64,
+    max_iters: usize,
+    incumbent: Option<&RelaxedSolution>,
 ) -> RelaxedSolution {
     let n = instance.num_vars();
     let m = instance.num_constraints();
-    let v = instance.v_weight();
-    let kappa = instance.unit_price();
-    // Flat CSR incidence (see `AllocationInstance` docs).
-    let mem_off = &instance.mem_off;
-    let mem_idx = &instance.mem_idx;
-    let con_off = &instance.con_off;
-    let con_idx = &instance.con_idx;
-    let caps = &instance.caps;
-
-    // Per-variable constants, computed once per solve. `ln_p1`/`ln_p_ub`
-    // use the canonical `ln_success` formula so boundary iterates carry
-    // bit-identical objective terms to the unfused reference.
-    let mut ln_beta = vec![0.0f64; n];
-    let mut ub_f = vec![0.0f64; n];
-    let mut ln_p1 = vec![0.0f64; n];
-    let mut ln_p_ub = vec![0.0f64; n];
-    for j in 0..n {
-        let p = instance.vars[j].p;
-        ln_beta[j] = f64::ln_1p(-p);
-        ub_f[j] = instance.ub[j] as f64;
-        ln_p1[j] = ln_success(p, 1.0);
-        ln_p_ub[j] = ln_success(p, ub_f[j]);
-    }
+    let cache = VarCache::new(instance);
 
     let mut lambda = match lambda0 {
         Some(w) => w.iter().map(|&l| l.max(0.0)).collect::<Vec<_>>(),
@@ -302,55 +573,15 @@ fn dual_iterate(
     let mut repaired = vec![0.0f64; n];
     let mut theta_c = vec![1.0f64; m];
     let mut g = vec![0.0f64; m];
-    let mut best_dual = f64::INFINITY;
-    let mut best_primal = f64::NEG_INFINITY;
-    let mut best_x = vec![1.0f64; n];
+    let (mut best_dual, mut best_primal, mut best_x) = seeded_incumbent(incumbent, n);
     let mut iterations = 0;
     let mut converged = false;
 
-    for k in 1..=options.max_iterations {
+    for k in 1..=max_iters {
         iterations = k;
 
-        // Pass 1: per-variable prices — a flat gather over the
-        // variable→constraint CSR slice.
-        for j in 0..n {
-            let (lo, hi) = (mem_off[j] as usize, mem_off[j + 1] as usize);
-            let mut acc = 0.0;
-            for &c in &mem_idx[lo..hi] {
-                acc += lambda[c as usize];
-            }
-            price[j] = kappa + acc;
-        }
-
-        // Pass 2 (fused): closed-form x update + dual accumulation.
-        // D(λ) = Σ_j [V ln P_j(x_j) − price_j x_j] + Σ_c λ_c cap_c, and at
-        // the interior stationary point t* = ρ/(1+ρ) the log term is
-        // ln(1 − t*) = −ln(1+ρ) — no extra transcendental.
-        let mut dual = 0.0;
-        for j in 0..n {
-            let pr = price[j];
-            if pr <= 0.0 {
-                // Increasing utility: take everything available.
-                x[j] = ub_f[j];
-                dual += v * ln_p_ub[j] - pr * ub_f[j];
-                continue;
-            }
-            let rho = pr / (-v * ln_beta[j]);
-            let x_star = crate::scalar::stationary_point(rho, ln_beta[j]);
-            if x_star <= 1.0 {
-                x[j] = 1.0;
-                dual += v * ln_p1[j] - pr;
-            } else if x_star >= ub_f[j] {
-                x[j] = ub_f[j];
-                dual += v * ln_p_ub[j] - pr * ub_f[j];
-            } else {
-                x[j] = x_star;
-                dual += v * (-f64::ln_1p(rho)) - pr * x_star;
-            }
-        }
-        for (c, &l) in lambda.iter().enumerate() {
-            dual += l * caps[c] as f64;
-        }
+        // Fused price gather + closed-form x update + dual accumulation.
+        let dual = dual_value_at(instance, &cache, &lambda, &mut price, &mut x);
         best_dual = best_dual.min(dual);
 
         // Ergodic average for primal recovery.
@@ -362,21 +593,15 @@ fn dual_iterate(
         // Candidate primal points: repaired current iterate and repaired
         // running average, evaluated in place.
         for candidate in [&x, &x_avg] {
-            repair_into(instance, candidate, &mut theta_c, &mut repaired);
-            let mut value = 0.0;
-            for j in 0..n {
-                let xj = repaired[j];
-                let ls = if xj == 1.0 {
-                    ln_p1[j]
-                } else {
-                    (-f64::exp_m1(xj * ln_beta[j])).ln()
-                };
-                value += v * ls - kappa * xj;
-            }
-            if value > best_primal {
-                best_primal = value;
-                best_x.copy_from_slice(&repaired);
-            }
+            consider_primal(
+                instance,
+                &cache,
+                candidate,
+                &mut theta_c,
+                &mut repaired,
+                &mut best_primal,
+                &mut best_x,
+            );
         }
 
         // Convergence check.
@@ -392,17 +617,7 @@ fn dual_iterate(
         // Projected subgradient step on λ. Use the Polyak step
         // (dual − best primal) / ‖g‖², which adapts to the problem's scale;
         // fall back to a diminishing step when the gap estimate degenerates.
-        let mut g_norm2 = 0.0;
-        for c in 0..m {
-            let (lo, hi) = (con_off[c] as usize, con_off[c + 1] as usize);
-            let mut usage = 0.0;
-            for &j in &con_idx[lo..hi] {
-                usage += x[j as usize];
-            }
-            let gc = usage - caps[c] as f64;
-            g[c] = gc;
-            g_norm2 += gc * gc;
-        }
+        let g_norm2 = residual_pass(instance, &x, &mut g);
         if g_norm2 > 0.0 {
             let polyak = (dual - best_primal).max(0.0) / g_norm2;
             let step = if polyak.is_finite() && polyak > 0.0 {
@@ -442,9 +657,14 @@ pub fn repair_feasibility(instance: &AllocationInstance, x: &[f64]) -> Vec<f64> 
     out
 }
 
-/// [`repair_feasibility`] into caller-provided buffers (the dual loop
-/// repairs two candidates per iteration and must not allocate).
-fn repair_into(instance: &AllocationInstance, x: &[f64], theta_c: &mut [f64], out: &mut [f64]) {
+/// [`repair_feasibility`] into caller-provided buffers (the dual loops
+/// repair two candidates per iteration and must not allocate).
+pub(crate) fn repair_into(
+    instance: &AllocationInstance,
+    x: &[f64],
+    theta_c: &mut [f64],
+    out: &mut [f64],
+) {
     let m = instance.num_constraints();
     let con_off = &instance.con_off;
     let con_idx = &instance.con_idx;
@@ -494,6 +714,19 @@ mod tests {
         .unwrap()
     }
 
+    fn both_methods() -> [RelaxedOptions; 2] {
+        [
+            RelaxedOptions {
+                method: DualMethod::Subgradient,
+                ..RelaxedOptions::default()
+            },
+            RelaxedOptions {
+                method: DualMethod::Accelerated,
+                ..RelaxedOptions::default()
+            },
+        ]
+    }
+
     #[test]
     fn empty_instance() {
         let i = inst(&[], &[], 1.0, 0.0);
@@ -507,62 +740,70 @@ mod tests {
     fn unconstrained_matches_closed_form() {
         // One variable, no constraints: solution is the scalar argmax.
         let i = inst(&[0.55], &[], 2500.0, 25.0);
-        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
-        let expected =
-            crate::scalar::argmax_edge_utility(0.55, 2500.0, 25.0, 1.0, (1 << 20) as f64);
-        assert!((s.x[0] - expected).abs() < 1e-6, "{} vs {expected}", s.x[0]);
+        for opts in both_methods() {
+            let s = solve_relaxed(&i, &opts).unwrap();
+            let expected =
+                crate::scalar::argmax_edge_utility(0.55, 2500.0, 25.0, 1.0, (1 << 20) as f64);
+            assert!((s.x[0] - expected).abs() < 1e-6, "{} vs {expected}", s.x[0]);
+        }
     }
 
     #[test]
     fn respects_binding_capacity() {
         // Two identical variables share capacity 4 with zero price: each
         // should get ~2 (symmetric optimum uses all capacity).
-        let i = inst(&[0.55, 0.55], &[(4, &[0, 1])], 2500.0, 1.0);
-        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
-        assert!(i.is_feasible_real(&s.x, 1e-6));
-        let total: f64 = s.x.iter().sum();
-        assert!(total <= 4.0 + 1e-6);
-        assert!(total > 3.8, "should nearly exhaust capacity, got {total}");
-        assert!((s.x[0] - s.x[1]).abs() < 0.05, "symmetric: {:?}", s.x);
+        for opts in both_methods() {
+            let i = inst(&[0.55, 0.55], &[(4, &[0, 1])], 2500.0, 1.0);
+            let s = solve_relaxed(&i, &opts).unwrap();
+            assert!(i.is_feasible_real(&s.x, 1e-6));
+            let total: f64 = s.x.iter().sum();
+            assert!(total <= 4.0 + 1e-6);
+            assert!(total > 3.8, "should nearly exhaust capacity, got {total}");
+            assert!((s.x[0] - s.x[1]).abs() < 0.05, "symmetric: {:?}", s.x);
+        }
     }
 
     #[test]
     fn duality_gap_small_on_random_instances() {
         use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        for trial in 0..20 {
-            let nv = rng.random_range(2..6usize);
-            let ps: Vec<f64> = (0..nv).map(|_| rng.random_range(0.2..0.9)).collect();
-            let mut cons: Vec<(u32, Vec<usize>)> = Vec::new();
-            // A few random constraints covering random subsets.
-            for _ in 0..rng.random_range(1..4usize) {
-                let mut members: Vec<usize> = (0..nv).filter(|_| rng.random_bool(0.6)).collect();
-                if members.is_empty() {
-                    members.push(0);
+        for opts in both_methods() {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            for trial in 0..20 {
+                let nv = rng.random_range(2..6usize);
+                let ps: Vec<f64> = (0..nv).map(|_| rng.random_range(0.2..0.9)).collect();
+                let mut cons: Vec<(u32, Vec<usize>)> = Vec::new();
+                // A few random constraints covering random subsets.
+                for _ in 0..rng.random_range(1..4usize) {
+                    let mut members: Vec<usize> =
+                        (0..nv).filter(|_| rng.random_bool(0.6)).collect();
+                    if members.is_empty() {
+                        members.push(0);
+                    }
+                    let cap = rng.random_range(members.len() as u32..=members.len() as u32 + 8);
+                    cons.push((cap, members));
                 }
-                let cap = rng.random_range(members.len() as u32..=members.len() as u32 + 8);
-                cons.push((cap, members));
+                let v = rng.random_range(10.0..3000.0);
+                let price = rng.random_range(0.0..50.0);
+                let i = AllocationInstance::new(
+                    ps.iter().map(|&p| Variable::new(p)).collect(),
+                    cons.iter()
+                        .map(|(cap, mem)| PackingConstraint::new(*cap, mem.clone()))
+                        .collect(),
+                    v,
+                    price,
+                )
+                .unwrap();
+                let s = solve_relaxed(&i, &opts).unwrap();
+                assert!(i.is_feasible_real(&s.x, 1e-6), "trial {trial}");
+                let scale = 1.0 + s.dual_bound.abs().max(s.primal_value.abs());
+                assert!(
+                    s.gap() / scale < 0.02,
+                    "trial {trial} ({:?}): relative gap too large ({} / {})",
+                    opts.method,
+                    s.gap(),
+                    scale
+                );
             }
-            let v = rng.random_range(10.0..3000.0);
-            let price = rng.random_range(0.0..50.0);
-            let i = AllocationInstance::new(
-                ps.iter().map(|&p| Variable::new(p)).collect(),
-                cons.iter()
-                    .map(|(cap, mem)| PackingConstraint::new(*cap, mem.clone()))
-                    .collect(),
-                v,
-                price,
-            )
-            .unwrap();
-            let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
-            assert!(i.is_feasible_real(&s.x, 1e-6), "trial {trial}");
-            let scale = 1.0 + s.dual_bound.abs().max(s.primal_value.abs());
-            assert!(
-                s.gap() / scale < 0.02,
-                "trial {trial}: relative gap too large ({} / {})",
-                s.gap(),
-                scale
-            );
         }
     }
 
@@ -570,7 +811,6 @@ mod tests {
     fn beats_fine_grid_on_two_var_instance() {
         // Exhaustive 2-D grid comparison on a tight instance.
         let i = inst(&[0.4, 0.7], &[(5, &[0, 1]), (3, &[0])], 800.0, 10.0);
-        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
         let mut grid_best = f64::NEG_INFINITY;
         let steps = 400;
         for a in 0..=steps {
@@ -582,11 +822,15 @@ mod tests {
                 }
             }
         }
-        assert!(
-            s.primal_value >= grid_best - 0.05 * (1.0 + grid_best.abs()),
-            "solver {} vs grid {grid_best}",
-            s.primal_value
-        );
+        for opts in both_methods() {
+            let s = solve_relaxed(&i, &opts).unwrap();
+            assert!(
+                s.primal_value >= grid_best - 0.05 * (1.0 + grid_best.abs()),
+                "solver {} ({:?}) vs grid {grid_best}",
+                s.primal_value,
+                opts.method
+            );
+        }
     }
 
     #[test]
@@ -611,19 +855,23 @@ mod tests {
 
     #[test]
     fn high_price_drives_to_lower_bound() {
-        let i = inst(&[0.55, 0.55], &[(10, &[0, 1])], 1.0, 1e6);
-        let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
-        assert!((s.x[0] - 1.0).abs() < 1e-9);
-        assert!((s.x[1] - 1.0).abs() < 1e-9);
+        for opts in both_methods() {
+            let i = inst(&[0.55, 0.55], &[(10, &[0, 1])], 1.0, 1e6);
+            let s = solve_relaxed(&i, &opts).unwrap();
+            assert!((s.x[0] - 1.0).abs() < 1e-9);
+            assert!((s.x[1] - 1.0).abs() < 1e-9);
+        }
     }
 
     #[test]
     fn zero_warm_start_is_bitwise_cold() {
         let i = inst(&[0.4, 0.7], &[(5, &[0, 1]), (3, &[0])], 800.0, 10.0);
-        let cold = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
-        let zeros = vec![0.0; i.num_constraints()];
-        let warm = solve_relaxed_warm(&i, &RelaxedOptions::default(), Some(&zeros)).unwrap();
-        assert_eq!(cold, warm);
+        for opts in both_methods() {
+            let cold = solve_relaxed(&i, &opts).unwrap();
+            let zeros = vec![0.0; i.num_constraints()];
+            let warm = solve_relaxed_warm(&i, &opts, Some(&zeros)).unwrap();
+            assert_eq!(cold, warm);
+        }
     }
 
     #[test]
@@ -634,26 +882,28 @@ mod tests {
             800.0,
             10.0,
         );
-        let opts = RelaxedOptions::default();
-        let cold = solve_relaxed(&i, &opts).unwrap();
-        let warm = solve_relaxed_warm(&i, &opts, Some(&cold.lambda)).unwrap();
-        assert!(i.is_feasible_real(&warm.x, 1e-6));
-        assert!(warm.converged);
-        assert!(
-            warm.iterations <= cold.iterations,
-            "warm {} vs cold {} iterations",
-            warm.iterations,
-            cold.iterations
-        );
-        // Both primal values are within the duality gap of the common
-        // optimum, so they agree within the larger gap (plus slack).
-        let tol = cold.gap().abs().max(warm.gap().abs()) + 1e-9;
-        assert!(
-            (warm.primal_value - cold.primal_value).abs() <= tol,
-            "warm {} vs cold {} (tol {tol})",
-            warm.primal_value,
-            cold.primal_value
-        );
+        for opts in both_methods() {
+            let cold = solve_relaxed(&i, &opts).unwrap();
+            let warm = solve_relaxed_warm(&i, &opts, Some(&cold.lambda)).unwrap();
+            assert!(i.is_feasible_real(&warm.x, 1e-6));
+            assert!(warm.converged);
+            assert!(
+                warm.iterations <= cold.iterations,
+                "warm {} vs cold {} iterations ({:?})",
+                warm.iterations,
+                cold.iterations,
+                opts.method
+            );
+            // Both primal values are within the duality gap of the common
+            // optimum, so they agree within the larger gap (plus slack).
+            let tol = cold.gap().abs().max(warm.gap().abs()) + 1e-9;
+            assert!(
+                (warm.primal_value - cold.primal_value).abs() <= tol,
+                "warm {} vs cold {} (tol {tol})",
+                warm.primal_value,
+                cold.primal_value
+            );
+        }
     }
 
     #[test]
@@ -662,5 +912,161 @@ mod tests {
         let s = solve_relaxed(&i, &RelaxedOptions::default()).unwrap();
         assert_eq!(s.lambda.len(), i.num_constraints());
         assert!(s.lambda.iter().all(|&l| l >= 0.0));
+    }
+
+    #[test]
+    fn warm_attempt_budget_is_capped() {
+        let base = RelaxedOptions::default();
+        assert_eq!(warm_iteration_budget(&base), 150); // 600 × 0.25
+        let full = RelaxedOptions {
+            warm_iteration_fraction: 1.0,
+            ..base
+        };
+        assert_eq!(warm_iteration_budget(&full), 600);
+        let clamped = RelaxedOptions {
+            warm_iteration_fraction: 7.5,
+            ..base
+        };
+        assert_eq!(warm_iteration_budget(&clamped), 600);
+        let tiny = RelaxedOptions {
+            warm_iteration_fraction: 0.0,
+            ..base
+        };
+        assert_eq!(warm_iteration_budget(&tiny), 1);
+    }
+
+    /// The warm-start double-pay regression (PR-3 satellite): a warm
+    /// attempt that fails to converge must (a) not burn the full budget
+    /// before the cold fallback and (b) hand its incumbents over, so the
+    /// returned objective is at least the warm attempt's.
+    #[test]
+    fn failed_warm_fallback_carries_incumbents_and_caps_budget() {
+        let i = inst(
+            &[0.3, 0.8, 0.5, 0.6],
+            &[(6, &[0, 1, 2, 3]), (3, &[0, 1]), (4, &[2, 3])],
+            2500.0,
+            10.0,
+        );
+        for method in [DualMethod::Subgradient, DualMethod::Accelerated] {
+            // An unreachable tolerance with a tiny budget guarantees the
+            // warm attempt fails; an adversarial seed makes it start far
+            // from the optimum.
+            let opts = RelaxedOptions {
+                max_iterations: 8,
+                gap_tolerance: 0.0,
+                warm_accept_gap: 0.0,
+                method,
+                warm_iteration_fraction: 0.25,
+                ..RelaxedOptions::default()
+            };
+            let bad_seed = vec![1e3; i.num_constraints()];
+
+            // The warm attempt alone, reproduced via the internal entry
+            // point with the same capped budget `solve_single` uses.
+            let budget = warm_iteration_budget(&opts);
+            assert_eq!(budget, 2);
+            let warm_attempt = iterate(&i, &opts, Some(&bad_seed), 0.0, budget, None);
+            assert!(!warm_attempt.converged);
+
+            let fallback = solve_relaxed_warm(&i, &opts, Some(&bad_seed)).unwrap();
+            assert!(
+                fallback.primal_value >= warm_attempt.primal_value,
+                "{method:?}: fallback {} worse than warm attempt {}",
+                fallback.primal_value,
+                warm_attempt.primal_value
+            );
+            assert!(
+                fallback.dual_bound <= warm_attempt.dual_bound,
+                "{method:?}: fallback bound {} looser than warm attempt {}",
+                fallback.dual_bound,
+                warm_attempt.dual_bound
+            );
+            // Total budget: capped warm attempt + full cold run, not 2×.
+            assert_eq!(fallback.iterations, budget + opts.max_iterations);
+        }
+    }
+
+    #[test]
+    fn accelerated_certifies_strict_gap_where_subgradient_cannot() {
+        // A coupled instance where the subgradient tail stalls: the
+        // accelerated method must certify the strict 1e-4 gap within the
+        // budget.
+        let i = inst(
+            &[0.3, 0.8, 0.5, 0.6, 0.45],
+            &[
+                (9, &[0, 1, 2, 3, 4]),
+                (4, &[0, 1]),
+                (5, &[2, 3]),
+                (6, &[1, 2, 4]),
+            ],
+            2500.0,
+            10.0,
+        );
+        let accel = solve_relaxed(
+            &i,
+            &RelaxedOptions {
+                method: DualMethod::Accelerated,
+                ..RelaxedOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            accel.converged,
+            "gap {} after {}",
+            accel.relative_gap(),
+            accel.iterations
+        );
+        assert!(accel.iterations < 600, "took {}", accel.iterations);
+        assert!(accel.relative_gap() <= 1e-4 + 1e-12);
+    }
+
+    #[test]
+    fn options_serde_round_trip_and_loud_compat_break() {
+        let opts = RelaxedOptions {
+            method: DualMethod::Subgradient,
+            warm_iteration_fraction: 0.5,
+            ..RelaxedOptions::default()
+        };
+        let json = serde_json::to_string(&opts).unwrap();
+        assert!(json.contains("\"method\":\"Subgradient\""), "{json}");
+        assert!(json.contains("\"warm_iteration_fraction\":0.5"), "{json}");
+        let back: RelaxedOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(opts, back);
+
+        // Pre-PR-3 configs must fail loudly, naming the missing field.
+        let pre_pr3 = r#"{"max_iterations":600,"initial_step":1.0,"gap_tolerance":0.0001,
+            "warm_start":false,"warm_accept_gap":0.01}"#;
+        let err = serde_json::from_str::<RelaxedOptions>(pre_pr3)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("method") || err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn multi_component_recursion_matches_standalone_solves() {
+        // Two disjoint components solved jointly (through the recycled
+        // sub-instance husk) must equal the stand-alone solves bit for
+        // bit.
+        let joint = inst(
+            &[0.4, 0.7, 0.55, 0.62],
+            &[(5, &[0, 1]), (6, &[2, 3]), (3, &[2])],
+            900.0,
+            7.0,
+        );
+        let left = inst(&[0.4, 0.7], &[(5, &[0, 1])], 900.0, 7.0);
+        let right = inst(&[0.55, 0.62], &[(6, &[0, 1]), (3, &[0])], 900.0, 7.0);
+        for opts in both_methods() {
+            let s = solve_relaxed(&joint, &opts).unwrap();
+            let sl = solve_relaxed(&left, &opts).unwrap();
+            let sr = solve_relaxed(&right, &opts).unwrap();
+            assert_eq!(s.x[0].to_bits(), sl.x[0].to_bits());
+            assert_eq!(s.x[1].to_bits(), sl.x[1].to_bits());
+            assert_eq!(s.x[2].to_bits(), sr.x[0].to_bits());
+            assert_eq!(s.x[3].to_bits(), sr.x[1].to_bits());
+            assert_eq!(
+                s.primal_value.to_bits(),
+                (sl.primal_value + sr.primal_value).to_bits()
+            );
+        }
     }
 }

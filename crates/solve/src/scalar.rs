@@ -81,6 +81,22 @@ pub fn stationary_point(rho: f64, ln_beta: f64) -> f64 {
     t_star.ln() / ln_beta
 }
 
+/// The dual-objective log term at the interior stationary point:
+/// `ln P(x*) = ln(1 − t*) = −ln(1 + ρ)`.
+///
+/// At `x*` the failure mass is `t* = ρ/(1 + ρ)`, so the success log
+/// collapses to a single `ln_1p` — the identity both dual inner loops
+/// ([`crate::relaxed`] and [`crate::accel`]) use to evaluate the dual
+/// without an `exp`/`ln` pair per variable per iteration. This is also
+/// where the dual's smoothness is visible in closed form: the
+/// per-variable conjugate value is the softplus-type function
+/// `V·(−ln(1+ρ)) − c·x*(ρ)`, infinitely differentiable in the price on
+/// the interior segment.
+#[inline]
+pub fn interior_log_term(rho: f64) -> f64 {
+    -f64::ln_1p(rho)
+}
+
 /// Derivative `h'(x) = −V·ln(β)·β^x/(1 − β^x) − c`.
 ///
 /// Exposed for KKT residual checks in tests and diagnostics.
@@ -150,6 +166,22 @@ mod tests {
             let x = argmax_edge_utility(0.55, v, 10.0, 1.0, 1e6);
             assert!(x >= prev);
             prev = x;
+        }
+    }
+
+    #[test]
+    fn interior_log_term_matches_direct_evaluation() {
+        // At the interior stationary point, ln(1 − β^{x*}) = −ln(1+ρ).
+        for &(p, v, c) in &[(0.3, 100.0, 2.0), (0.55, 2500.0, 50.0)] {
+            let ln_beta = f64::ln_1p(-p);
+            let rho = c / (-v * ln_beta);
+            let x_star = stationary_point(rho, ln_beta);
+            let direct = crate::instance::ln_success(p, x_star);
+            assert!(
+                (interior_log_term(rho) - direct).abs() < 1e-12,
+                "p={p}: {} vs {direct}",
+                interior_log_term(rho)
+            );
         }
     }
 

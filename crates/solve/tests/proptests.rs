@@ -3,9 +3,23 @@
 use proptest::prelude::*;
 use qdn_solve::brute::brute_force_best;
 use qdn_solve::greedy::greedy_allocate;
-use qdn_solve::relaxed::{repair_feasibility, solve_relaxed, solve_relaxed_warm, RelaxedOptions};
+use qdn_solve::relaxed::{
+    repair_feasibility, solve_relaxed, solve_relaxed_warm, DualMethod, RelaxedOptions,
+};
 use qdn_solve::rounding::{round_down_and_fill, satisfies_rounding_relation};
 use qdn_solve::{AllocationInstance, PackingConstraint, Variable};
+
+/// Strategy: options for either dual method (default everything else).
+fn arb_method() -> impl Strategy<Value = RelaxedOptions> {
+    bool::ANY.prop_map(|accelerated| RelaxedOptions {
+        method: if accelerated {
+            DualMethod::Accelerated
+        } else {
+            DualMethod::Subgradient
+        },
+        ..RelaxedOptions::default()
+    })
+}
 
 /// Strategy: a feasible random instance with 1..5 variables and 1..4
 /// overlapping packing constraints.
@@ -101,6 +115,46 @@ proptest! {
         prop_assert!(fixed.iter().all(|&v| v >= 1.0 - 1e-12));
     }
 
+    /// `converged == true` is a *certificate*: the reported relative
+    /// duality gap is at most the acceptance gap the run used (the
+    /// strict `gap_tolerance` for cold solves), for both dual methods.
+    #[test]
+    fn converged_implies_certified_gap(inst in arb_instance(), opts in arb_method()) {
+        let s = solve_relaxed(&inst, &opts).unwrap();
+        if s.converged {
+            prop_assert!(
+                s.relative_gap() <= opts.gap_tolerance + 1e-12,
+                "{:?} claims convergence at relative gap {} > tolerance {}",
+                opts.method, s.relative_gap(), opts.gap_tolerance
+            );
+        }
+        // Either way the bounds must bracket: primal ≤ dual (+ fp slack).
+        prop_assert!(s.primal_value <= s.dual_bound + 1e-6 * (1.0 + s.dual_bound.abs()));
+    }
+
+    /// The two dual methods solve the same relaxation: their primal
+    /// values both lie within their certified duality gaps of the common
+    /// optimum, so they disagree by at most the sum of the gaps.
+    #[test]
+    fn accel_matches_subgradient_objective(inst in arb_instance()) {
+        let sub = solve_relaxed(&inst, &RelaxedOptions {
+            method: DualMethod::Subgradient,
+            ..RelaxedOptions::default()
+        }).unwrap();
+        let acc = solve_relaxed(&inst, &RelaxedOptions {
+            method: DualMethod::Accelerated,
+            ..RelaxedOptions::default()
+        }).unwrap();
+        prop_assert!(inst.is_feasible_real(&acc.x, 1e-6));
+        let tol = sub.gap().abs() + acc.gap().abs()
+            + 1e-9 * (1.0 + sub.primal_value.abs());
+        prop_assert!(
+            (sub.primal_value - acc.primal_value).abs() <= tol,
+            "subgradient {} vs accelerated {} (tol {tol}, gaps {} / {})",
+            sub.primal_value, acc.primal_value, sub.gap(), acc.gap()
+        );
+    }
+
     /// Warm-started solves agree with the cold solve within the solver
     /// tolerance: both primal values lie within their duality gaps of the
     /// common relaxed optimum, so they differ by at most the larger gap.
@@ -111,8 +165,8 @@ proptest! {
         inst in arb_instance(),
         perturb in 0.5f64..2.0,
         offset in 0.0f64..5.0,
+        opts in arb_method(),
     ) {
-        let opts = RelaxedOptions::default();
         let cold = solve_relaxed(&inst, &opts).unwrap();
         let seed: Vec<f64> = cold.lambda.iter().map(|&l| l * perturb + offset).collect();
         let warm = solve_relaxed_warm(&inst, &opts, Some(&seed)).unwrap();

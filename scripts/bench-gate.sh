@@ -3,19 +3,20 @@
 #
 # Re-runs the `profile_eval` criterion bench and compares per-row medians
 # against the committed baseline snapshot `BENCH_profile_eval.json`.
-# Two row families are gated — the ones that guard the PR-1/PR-2 perf
-# work:
+# Three row families are gated — the ones that guard the PR-1/PR-2/PR-3
+# perf work:
 #
 #   * profile_eval_paper20/incremental_move/*       (memoized re-eval)
 #   * profile_eval_paper20/incremental_cold_eval/*  (cold component solves)
+#   * accel_vs_subgradient/*                        (dual-method cold solves)
 #
 # A row FAILS when `fresh_median > baseline_median * BENCH_GATE_FACTOR`.
 # Getting *faster* never fails — refresh the baseline when it happens
-# (from the repo root; CRITERION_JSON must be ABSOLUTE because cargo
-# runs the bench binary with crates/bench as its working directory):
+# (relative CRITERION_JSON paths resolve against the workspace root —
+# the criterion shim reads CARGO_WORKSPACE_DIR from .cargo/config.toml):
 #
 #     rm BENCH_profile_eval.json
-#     CRITERION_JSON=$PWD/BENCH_profile_eval.json \
+#     CRITERION_JSON=BENCH_profile_eval.json \
 #         cargo bench -p qdn_bench --bench profile_eval
 #
 # Knobs (environment variables):
@@ -60,11 +61,10 @@ if [[ "$compare_only" -eq 1 ]]; then
 else
     mkdir -p "$(dirname "$OUT")"
     rm -f "$OUT"
-    # The bench binary runs with its package directory (crates/bench) as
-    # cwd, so hand it an absolute snapshot path.
-    out_abs="$(cd "$(dirname "$OUT")" && pwd)/$(basename "$OUT")"
     echo "==> bench-gate: running profile_eval (CRITERION_TARGET_MS=${CRITERION_TARGET_MS:-40})"
-    CRITERION_JSON="$out_abs" cargo bench -p qdn_bench --bench profile_eval
+    # Relative $OUT is fine: the criterion shim resolves it against the
+    # workspace root (we cd'd there above), not the bench binary's cwd.
+    CRITERION_JSON="$OUT" cargo bench -p qdn_bench --bench profile_eval
 fi
 
 # "name median_ns" pairs, keeping only the LAST occurrence of each name
@@ -79,7 +79,8 @@ checked=0
 while read -r name base_med; do
     case "$name" in
         profile_eval_paper20/incremental_move/* | \
-            profile_eval_paper20/incremental_cold_eval/*) ;;
+            profile_eval_paper20/incremental_cold_eval/* | \
+            accel_vs_subgradient/*) ;;
         *) continue ;;
     esac
     fresh_med="$(extract "$OUT" | awk -v n="$name" '$1 == n {print $2}')"
