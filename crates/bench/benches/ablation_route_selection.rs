@@ -8,6 +8,7 @@ use qdn_bench::report::{sweep_csv, sweep_table};
 use qdn_bench::Scale;
 use qdn_core::allocation::AllocationMethod;
 use qdn_core::problem::PerSlotContext;
+use qdn_core::profile_eval::EvalOptions;
 use qdn_core::route_selection::{Candidates, GibbsConfig, RouteSelector};
 use qdn_net::routes::{CandidateRoutes, RouteLimits};
 use qdn_net::workload::random_sd_pair;
@@ -43,7 +44,13 @@ fn bench(c: &mut Criterion) {
 
     let selectors: Vec<(&str, RouteSelector)> = vec![
         ("gibbs", RouteSelector::Gibbs(GibbsConfig::paper_default())),
-        ("greedy_local", RouteSelector::GreedyLocal { max_rounds: 4 }),
+        (
+            "greedy_local",
+            RouteSelector::GreedyLocal {
+                max_rounds: 4,
+                evaluator: EvalOptions::default(),
+            },
+        ),
         ("first", RouteSelector::First),
         ("random", RouteSelector::Random),
     ];

@@ -1,8 +1,10 @@
-//! Fig. 6 bench: prints the quick-scale network-size sweep and times
-//! topology generation + candidate-route computation at the largest size.
+//! Fig. 6 bench: prints the quick-scale network-size sweep — extended
+//! with the `Scale::Large` 50-node/25-pair point — and times topology
+//! generation + candidate-route computation at the 30-node paper top
+//! end and the 50-node large scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qdn_bench::figures::{fig6, fig6_shape_holds};
+use qdn_bench::figures::{fig6, fig6_large_point, fig6_shape_holds};
 use qdn_bench::report::{sweep_csv, sweep_table};
 use qdn_bench::Scale;
 use qdn_net::routes::{CandidateRoutes, RouteLimits};
@@ -12,9 +14,10 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let points = fig6(Scale::Quick);
+    let mut points = fig6(Scale::Quick);
+    points.push(fig6_large_point(Scale::Quick));
     println!(
-        "\n# Fig. 6 network-size sweep (Quick scale)\n{}",
+        "\n# Fig. 6 network-size sweep (Quick scale, + Scale::Large point)\n{}",
         sweep_table("nodes", &points)
     );
     println!("{}", sweep_csv("nodes", &points));
@@ -24,29 +27,31 @@ fn bench(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("fig6");
-    group.bench_function("build_30node_network", |b| {
-        b.iter(|| {
+    for nodes in [30, Scale::Large.nodes()] {
+        group.bench_function(&format!("build_{nodes}node_network"), |b| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                black_box(
+                    NetworkConfig::paper_default()
+                        .with_nodes(nodes)
+                        .build(&mut rng)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_function(&format!("candidate_routes_{nodes}node"), |b| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-            black_box(
-                NetworkConfig::paper_default()
-                    .with_nodes(30)
-                    .build(&mut rng)
-                    .unwrap(),
-            )
-        })
-    });
-    group.bench_function("candidate_routes_30node", |b| {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let net = NetworkConfig::paper_default()
-            .with_nodes(30)
-            .build(&mut rng)
-            .unwrap();
-        b.iter(|| {
-            let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
-            let pair = random_sd_pair(&mut rng, &net);
-            black_box(cr.routes(&net, pair).len())
-        })
-    });
+            let net = NetworkConfig::paper_default()
+                .with_nodes(nodes)
+                .build(&mut rng)
+                .unwrap();
+            b.iter(|| {
+                let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+                let pair = random_sd_pair(&mut rng, &net);
+                black_box(cr.routes(&net, pair).len())
+            })
+        });
+    }
     group.finish();
 }
 

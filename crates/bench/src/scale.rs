@@ -1,17 +1,24 @@
 //! Problem scales for the benchmark harness.
 
+use qdn_net::NetworkConfig;
 use qdn_sim::engine::SimConfig;
 use qdn_sim::trial::TrialConfig;
 
 /// How big an experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
-    /// The paper's configuration: 5 trials × 200 slots.
+    /// The paper's configuration: 5 trials × 200 slots on the 20-node
+    /// Waxman topology.
     Paper,
     /// A scaled-down configuration for CI and Criterion timing loops:
     /// 2 trials × 60 slots. The *shape* conclusions (who wins, directions
     /// of trends) already hold at this size; absolute numbers are noisier.
     Quick,
+    /// The stress scale past the paper's setup: a 50-node Waxman network
+    /// with up to 25 concurrent SD pairs (2 trials × 60 slots, like
+    /// `Quick`, so sweeps stay benchable). Exercised by the
+    /// `profile_eval_wax50` bench rows and the Fig. 6 large point.
+    Large,
 }
 
 impl Scale {
@@ -19,7 +26,7 @@ impl Scale {
     pub fn trials(self) -> usize {
         match self {
             Scale::Paper => 5,
-            Scale::Quick => 2,
+            Scale::Quick | Scale::Large => 2,
         }
     }
 
@@ -27,8 +34,31 @@ impl Scale {
     pub fn horizon(self) -> u64 {
         match self {
             Scale::Paper => 200,
-            Scale::Quick => 60,
+            Scale::Quick | Scale::Large => 60,
         }
+    }
+
+    /// Nodes of this scale's Waxman topology.
+    pub fn nodes(self) -> usize {
+        match self {
+            Scale::Paper | Scale::Quick => 20,
+            Scale::Large => 50,
+        }
+    }
+
+    /// Maximum concurrent SD pairs this scale is meant to stress (the
+    /// paper evaluates up to 10; `Large` pushes to 25).
+    pub fn max_pairs(self) -> usize {
+        match self {
+            Scale::Paper | Scale::Quick => 10,
+            Scale::Large => 25,
+        }
+    }
+
+    /// The paper's network configuration at this scale's node count
+    /// (Waxman density recalibrated to average degree ≈ 4).
+    pub fn network_config(self) -> NetworkConfig {
+        NetworkConfig::paper_default().with_nodes(self.nodes())
     }
 
     /// The corresponding trial configuration (fixed base seed so the
@@ -50,11 +80,13 @@ impl Scale {
         paper_budget * self.horizon() as f64 / 200.0
     }
 
-    /// Parses `--paper` / `--quick` style CLI arguments (defaults to
-    /// `Paper` for binaries).
+    /// Parses `--paper` / `--quick` / `--large` style CLI arguments
+    /// (defaults to `Paper` for binaries).
     pub fn from_args() -> Self {
         if std::env::args().any(|a| a == "--quick") {
             Scale::Quick
+        } else if std::env::args().any(|a| a == "--large") {
+            Scale::Large
         } else {
             Scale::Paper
         }
@@ -69,6 +101,8 @@ mod tests {
     fn paper_matches_evaluation_setup() {
         assert_eq!(Scale::Paper.trials(), 5);
         assert_eq!(Scale::Paper.horizon(), 200);
+        assert_eq!(Scale::Paper.nodes(), 20);
+        assert_eq!(Scale::Paper.max_pairs(), 10);
         let tc = Scale::Paper.trial_config();
         assert_eq!(tc.sim.horizon, 200);
     }
@@ -78,5 +112,15 @@ mod tests {
         let b = Scale::Quick.scaled_budget(5000.0);
         assert!((b / Scale::Quick.horizon() as f64 - 25.0).abs() < 1e-9);
         assert_eq!(Scale::Paper.scaled_budget(5000.0), 5000.0);
+    }
+
+    #[test]
+    fn large_scale_is_50_nodes_25_pairs() {
+        assert_eq!(Scale::Large.nodes(), 50);
+        assert_eq!(Scale::Large.max_pairs(), 25);
+        assert_eq!(Scale::Large.network_config().topology.node_count(), 50);
+        // Bench-friendly trial shape, like Quick.
+        assert_eq!(Scale::Large.trials(), Scale::Quick.trials());
+        assert_eq!(Scale::Large.horizon(), Scale::Quick.horizon());
     }
 }

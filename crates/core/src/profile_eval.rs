@@ -1,4 +1,5 @@
-//! Incremental, component-decomposed route-profile evaluation.
+//! Incremental, component-decomposed route-profile evaluation with a
+//! two-level coupling partition.
 //!
 //! Route selection (Algorithm 3 / Eq. 13) evaluates thousands of route
 //! profiles per slot, and the naive path — [`PerSlotContext::evaluate`] —
@@ -13,47 +14,90 @@
 //!   each solve, so steady-state component solves allocate no instance
 //!   storage at all; repeat evaluations of a profile build no instances
 //!   and solve nothing.
-//! * **Connected-component decomposition** — pairs are partitioned by
-//!   constraint coupling: two pairs share a component iff some candidate
-//!   route of one shares a node with some candidate route of the other
-//!   (the static closure of the coupling that any profile can exhibit;
-//!   a per-slot budget constraint couples everything). Each component is
-//!   an independent sub-instance, so a single-pair Gibbs/greedy move
-//!   re-solves only the component that pair belongs to. This generalizes
-//!   — and subsumes — the `parallel_isolated` special case of
-//!   [`crate::route_selection::gibbs`]: an isolated pair is exactly a
-//!   singleton component.
-//! * **Evaluation memo** — per component, solved allocations are cached
-//!   under the tuple of that component's route indices, so profiles
-//!   revisited by Gibbs or sharing unchanged components with a previous
-//!   proposal (every profile the exhaustive odometer visits) are free.
+//! * **Two-level coupling partition** — see below.
+//! * **Evaluation memos** — one per partition level; see below.
 //! * **Dual warm starts** (opt-in) — when the allocation method is
 //!   `RelaxAndRound` with [`RelaxedOptions::warm_start`] set, each
-//!   component keeps the dual prices λ of its most recent fresh solve,
-//!   keyed by constraint identity (node / edge / budget). A fresh route
-//!   tuple re-solves starting from the neighboring profile's prices;
-//!   [`qdn_solve::solve_relaxed_warm`] falls back to the cold λ = 0
-//!   iteration — capped warm budget, incumbents carried over — whenever
-//!   the warm run does not converge, so warm results satisfy the same
-//!   feasibility and duality-gap guarantees as cold ones (they may
-//!   differ from the cold answer *within* the solver tolerance, which is
-//!   why the flag is off by default). The whole `RelaxedOptions` bundle,
-//!   including the [`qdn_solve::DualMethod`] selection, threads through
-//!   the store untouched: warm starts compose with either dual
-//!   iteration.
+//!   static component keeps the dual prices λ of its most recent fresh
+//!   solves, dense over constraint identity (node / edge / budget). A
+//!   fresh route tuple re-solves starting from the neighboring profile's
+//!   prices; [`qdn_solve::solve_relaxed_warm`] falls back to the cold
+//!   λ = 0 iteration — capped warm budget, incumbents carried over —
+//!   whenever the warm run does not converge, so warm results satisfy
+//!   the same feasibility and duality-gap guarantees as cold ones (they
+//!   may differ from the cold answer *within* the solver tolerance,
+//!   which is why the flag is off by default).
+//!
+//! # The two-level partition
+//!
+//! **Static envelope.** Pairs are first partitioned by the *candidate*
+//! coupling closure: two pairs share a static component iff some
+//! candidate route of one shares a node with some candidate route of the
+//! other (a per-slot budget constraint couples everything). This is the
+//! coarsest partition that is valid for *every* profile, so everything
+//! below it can never leak coupling across static components.
+//!
+//! **Dynamic refinement** ([`PartitionMode::Dynamic`], the default).
+//! Within each static component, the *currently selected* routes of a
+//! profile usually touch far fewer shared nodes than the candidate
+//! union: at paper scale (20-node Waxman, 10 pairs) the static closure
+//! collapses into one 10-pair component, while a concrete profile
+//! typically splits into several 2–4-pair groups. The evaluator
+//! therefore re-partitions each static component by the node sharing of
+//! the profile's *selected* routes (the budget rule is inherited: a slot
+//! budget keeps everything in one group) and solves each **dynamic
+//! group** as its own sub-instance. The sub-partition is refreshed
+//! per component exactly when that component's route tuple changes — a
+//! single-pair Gibbs/greedy move refreshes one component and re-solves
+//! only the groups whose membership-and-routes key is new, which is the
+//! mover's group(s), not the whole static component. A move can both
+//! *split* the mover out of its old group and *merge* it into the groups
+//! its new route touches; [`EvalStats::component_merges`] /
+//! [`EvalStats::component_splits`] count exactly those transitions
+//! (relative to the last profile whose partition was computed).
+//!
+//! # The two memo levels and λ re-keying
+//!
+//! * **Level 1 (static tuple memo)** — per static component, the
+//!   *assembled* allocation is cached under the tuple of that
+//!   component's route indices, exactly as in the single-level engine.
+//!   Profiles revisited by Gibbs, and unchanged components of any
+//!   proposal, are answered here without touching the partition at all —
+//!   the memoized re-evaluation path is byte-for-byte the old one.
+//! * **Level 2 (dynamic group memo)** — per static component, each
+//!   dynamic group's solve is cached under the group's sub-key: the
+//!   interleaved `(member position, route index)` pairs of its members.
+//!   The sub-key identifies both the member set and its routes, so a
+//!   group outlives any particular partition: after a merge or split the
+//!   groups that kept their membership and routes are level-2 hits, and
+//!   only genuinely new groups are solved. A level-1 miss assembles its
+//!   entry by gathering the level-2 allocations back into component
+//!   variable order ([`qdn_solve::assemble::scatter_segments`]).
+//!
+//! The λ warm-start store needs no per-group key at all: it is dense
+//! over *constraint identity* (node / edge / budget — see
+//! [`RouteAssembler`]), which already sub-keys any dynamic group of the
+//! component. Group solves gather their warm seed through their own
+//! constraint keys and absorb their final prices back into the same
+//! store, so merges and splits re-key the λ data implicitly and for
+//! free.
 //!
 //! # Bit-identical results
 //!
 //! With warm starts disabled (the default), the evaluator returns
-//! *exactly* the objective and allocations of the full-rebuild path, bit
-//! for bit. Three invariants make this hold:
+//! *exactly* the objective and allocations of the full-rebuild path —
+//! under **either** partition mode — bit for bit. Three invariants make
+//! this hold:
 //!
 //! 1. [`PerSlotContext::build_instance`] and the evaluator stream through
 //!    the same [`RouteAssembler`] layout (variables in profile order,
 //!    constraints in first-touch order), so the sub-instance of a
-//!    component equals the joint instance restricted to it;
+//!    static component — or of a dynamic group — equals the joint
+//!    instance restricted to it;
 //! 2. `qdn_solve::solve_relaxed` itself decomposes by constraint
-//!    coupling, so solving a component stand-alone or inside the joint
+//!    coupling, and the dynamic groups *are* the constraint-coupled
+//!    components of the profile's instance, so solving a group
+//!    stand-alone, inside its static component, or inside the joint
 //!    instance follows the same floating-point trajectory (the greedy
 //!    allocator is interleaving-invariant across components by
 //!    construction, and `Minimal` trivially so);
@@ -63,34 +107,101 @@
 //!    uses, rather than by summing cached per-component objectives (which
 //!    would associate the additions differently).
 //!
-//! The property test `incremental_matches_full_rebuild` in
-//! `crates/core/tests/proptests.rs` enforces this equivalence on random
-//! topologies and profiles for every allocation method; the warm-start
-//! path is covered by `warm_start_agrees_within_tolerance`.
+//! The property tests `incremental_matches_full_rebuild` and
+//! `dynamic_matches_static_partition` in `crates/core/tests/proptests.rs`
+//! enforce these equivalences on random topologies, profiles, and move
+//! sequences for every allocation method and both dual methods; the
+//! warm-start path is covered by `warm_start_agrees_within_tolerance`.
+//!
+//! # Move hooks
+//!
+//! [`ProfileEvaluator::evaluate_objective_move`] and
+//! [`ProfileEvaluator::evaluate_move`] are the selector-facing way to
+//! declare which pair a proposal moved. The hint is *advisory and
+//! currently unused beyond a bounds check*: a rejected Gibbs proposal
+//! means the next call differs from the evaluator's last-seen profile
+//! in *two* pairs (the revert plus the new proposal), so a declared
+//! move can never be trusted blindly — the evaluator instead verifies
+//! every static component's route tuple itself, which costs one slice
+//! compare per component and makes the hint redundant for correctness
+//! and for the stats (both entry points behave identically). The hooks
+//! exist so the selectors express single-pair-move intent at the call
+//! site and so a future incremental partition maintainer has its entry
+//! points in place without another selector-surface change.
 //!
 //! # Parallelism (`parallel` feature)
 //!
-//! With the `parallel` cargo feature, unsolved components of one
-//! evaluation are solved on `std::thread::scope` threads (rayon is not
-//! available in this build environment; scoped threads provide the same
-//! fork-join shape). Results are inserted into the memo after the join,
-//! so the outcome is bit-identical to the serial path; when a component
-//! reports infeasibility the remaining workers stop early (matching the
-//! serial path's short-circuit). Multi-chain Gibbs restarts parallelize
-//! the same way — see [`crate::route_selection::gibbs::sample_restarts`].
+//! With the `parallel` cargo feature, unsolved work items of one
+//! evaluation — dynamic groups, or whole components where the partition
+//! does not refine — are solved on `std::thread::scope` threads (rayon
+//! is not available in this build environment; scoped threads provide
+//! the same fork-join shape). Results are inserted into the memos after
+//! the join, so the outcome is bit-identical to the serial path; when an
+//! item reports infeasibility the remaining workers stop early (matching
+//! the serial path's short-circuit). Multi-chain Gibbs restarts
+//! parallelize the same way — see
+//! [`crate::route_selection::gibbs::sample_restarts`].
 
 use std::collections::HashMap;
 
 use qdn_graph::{EdgeId, NodeId, Path};
 use qdn_net::SdPair;
 use qdn_physics::swap::SwapModel;
+use qdn_solve::assemble::scatter_segments;
 use qdn_solve::relaxed::RelaxedOptions;
 use qdn_solve::rounding::round_down_and_fill;
 use qdn_solve::{ln_success, solve_relaxed_warm, AllocationInstance, RouteAssembler};
+use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
 use crate::problem::{assemble_instance, PerSlotContext, ProfileEvaluation};
 use crate::route_selection::Candidates;
+
+/// Which coupling partition drives memoization and sub-instance solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionMode {
+    /// The candidate-union closure only: one sub-instance per static
+    /// component (the pre-PR-4 engine). Kept as the reference
+    /// implementation and for workloads whose selected routes almost
+    /// always coincide with the candidate closure.
+    Static,
+    /// Refine each static component by the *currently selected* routes
+    /// (the default): single-pair moves re-solve only the dynamic
+    /// groups the move actually touches. Bit-identical to `Static`.
+    Dynamic,
+}
+
+/// Selector-facing evaluator options, carried by every route-selection
+/// config that drives a [`ProfileEvaluator`].
+///
+/// **Loud compat break (PR 4):** `partition` is a required field — old
+/// JSON configs fail with an explicit missing-field error. See
+/// MIGRATION.md for the one-line edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalOptions {
+    /// The coupling partition to evaluate under. Results are
+    /// bit-identical either way; the mode only changes how much work a
+    /// fresh (non-memoized) evaluation performs.
+    pub partition: PartitionMode,
+}
+
+impl EvalOptions {
+    /// The static-envelope-only engine (pre-PR-4 behavior).
+    pub fn static_partition() -> Self {
+        EvalOptions {
+            partition: PartitionMode::Static,
+        }
+    }
+}
+
+impl Default for EvalOptions {
+    /// Dynamic partitioning — the profile-local refinement.
+    fn default() -> Self {
+        EvalOptions {
+            partition: PartitionMode::Dynamic,
+        }
+    }
+}
 
 /// One candidate route, pre-resolved against the network.
 #[derive(Debug, Clone)]
@@ -111,6 +222,26 @@ struct EdgeVar {
     p: f64,
 }
 
+/// Scratch for the dynamic sub-partition refresh (main thread only).
+#[derive(Debug)]
+struct PartitionScratch {
+    /// Node → member position of the route that last touched it,
+    /// epoch-stamped (never cleared).
+    owner: Vec<u32>,
+    owner_mark: Vec<u64>,
+    epoch: u64,
+    /// Union-find over member positions, reset per refresh (the
+    /// smallest-root-wins invariant is what makes group numbering
+    /// deterministic).
+    dsu: qdn_solve::Dsu,
+    /// Root → normalized group id.
+    group_map: Vec<u32>,
+    /// Previous group labels (merge/split accounting).
+    old_groups: Vec<u32>,
+    /// Distinct-label scratch for the churn counters.
+    labels: Vec<u32>,
+}
+
 /// Reusable dense buffers for sub-instance construction.
 #[derive(Debug)]
 struct Scratch {
@@ -128,6 +259,14 @@ struct Scratch {
     con_keys: Vec<u32>,
     /// Warm λ gathered from a component's store (warm-start path).
     warm: Vec<f64>,
+    /// Dynamic sub-partition scratch.
+    part: PartitionScratch,
+    /// Per-member variable offsets within one component (gather pass).
+    pos_off: Vec<usize>,
+    /// `(offset, len)` spans of one dynamic group (gather pass).
+    spans: Vec<(usize, usize)>,
+    /// Assembled component allocation (gather pass).
+    gathered: Vec<u32>,
 }
 
 impl Scratch {
@@ -138,16 +277,31 @@ impl Scratch {
             cursors: vec![0; components],
             con_keys: Vec::new(),
             warm: Vec::new(),
+            part: PartitionScratch {
+                owner: vec![0; nodes],
+                owner_mark: vec![0; nodes],
+                epoch: 0,
+                dsu: qdn_solve::Dsu::new(0),
+                group_map: Vec::new(),
+                old_groups: Vec::new(),
+                labels: Vec::new(),
+            },
+            pos_off: Vec::new(),
+            spans: Vec::new(),
+            gathered: Vec::new(),
         }
     }
 }
 
-/// Per-component memo: route-index tuple → flat allocation
-/// (`None` = that combination is infeasible).
+/// A route-index-keyed memo: key → flat allocation (`None` = that
+/// combination is infeasible). Level 1 keys by a static component's
+/// route tuple; level 2 by a dynamic group's `(position, route)` pairs.
 type Memo = HashMap<Box<[u32]>, Option<Box<[u32]>>>;
 
-/// One component's stored dual prices, dense over constraint keys
-/// (node / edge / budget identity — see [`RouteAssembler`]).
+/// One static component's stored dual prices, dense over constraint keys
+/// (node / edge / budget identity — see [`RouteAssembler`]). Constraint
+/// identity sub-keys every dynamic group of the component, so group
+/// solves share this store without any per-group bookkeeping.
 #[derive(Debug, Clone)]
 struct ComponentDual {
     lambda: Vec<f64>,
@@ -164,7 +318,8 @@ impl ComponentDual {
     }
 }
 
-/// The outcome of one fresh component solve.
+/// The outcome of one fresh sub-instance solve (a whole static component
+/// or a single dynamic group).
 struct ComponentSolve {
     /// The allocation (`None` = infeasible route combination).
     alloc: Option<Box<[u32]>>,
@@ -179,12 +334,31 @@ struct ComponentSolve {
 pub struct EvalStats {
     /// Profile evaluations served (objective-only or full).
     pub evaluations: u64,
-    /// Component lookups answered from the memo.
+    /// Static components answered from the level-1 (route tuple) memo.
     pub memo_hits: u64,
-    /// Component sub-instances built and solved.
+    /// Sub-instances built and solved. Under the dynamic partition each
+    /// freshly solved dynamic group counts individually.
     pub components_solved: u64,
-    /// Component solves seeded from a stored neighboring-profile λ.
+    /// Solves seeded from a stored neighboring-profile λ.
     pub warm_started: u64,
+    /// Gauge: dynamic components across the whole profile, as of the
+    /// last partition refresh. Static components whose sub-partition has
+    /// not been computed yet (including all of them under
+    /// [`PartitionMode::Static`]) count as one each.
+    pub dynamic_components: u64,
+    /// Dynamic groups that merged: each recomputed sub-partition adds,
+    /// per new group, the number of distinct previous groups it spans
+    /// minus one (relative to the last profile whose partition was
+    /// computed for that component).
+    pub component_merges: u64,
+    /// Dynamic groups that split: the mirror image of
+    /// [`EvalStats::component_merges`] — per previous group, the number
+    /// of distinct new groups its members landed in, minus one.
+    pub component_splits: u64,
+    /// Gauge: pairs whose dynamic group (or whole static component) was
+    /// freshly solved by the most recent evaluation; 0 when it was
+    /// served entirely from the memos.
+    pub pairs_resolved_last_move: u64,
 }
 
 /// The incremental profile-evaluation engine. See the module docs.
@@ -192,6 +366,7 @@ pub struct EvalStats {
 pub struct ProfileEvaluator<'a> {
     ctx: PerSlotContext<'a>,
     method: AllocationMethod,
+    options: EvalOptions,
     pairs: Vec<SdPair>,
     /// `routes[i][r]` describes candidate `r` of pair `i`.
     routes: Vec<Vec<RouteData>>,
@@ -199,16 +374,34 @@ pub struct ProfileEvaluator<'a> {
     comp_of_pair: Vec<usize>,
     comp_pairs: Vec<Vec<usize>>,
     /// `comp_key_off[c]..comp_key_off[c+1]` slices component `c`'s route
-    /// indices out of `Scratch::joint_key`.
+    /// indices out of `Scratch::joint_key` (and its member positions out
+    /// of the flat dynamic-partition state below).
     comp_key_off: Vec<usize>,
+    /// Dynamic sub-partition state, flat in `comp_key_off` layout:
+    /// per member position, its group id within the static component.
+    dyn_group_of: Vec<u32>,
+    /// The route tuple each component's sub-partition corresponds to.
+    dyn_state_key: Vec<u32>,
+    /// Whether a component's sub-partition has ever been computed.
+    dyn_state_valid: Vec<bool>,
+    /// Per component: number of dynamic groups in its sub-partition.
+    dyn_group_count: Vec<u32>,
     /// `ln(swap_success)`; only meaningful when `lossy_swap`.
     ln_q: f64,
     lossy_swap: bool,
     budget: Option<u32>,
     scratch: Scratch,
+    /// Level-1 memos (per static component, keyed by route tuple).
     memos: Vec<Memo>,
-    /// Per-component dual warm-start store (empty unless the method is
-    /// `RelaxAndRound` with `warm_start` enabled).
+    /// Level-2 memos (per static component, keyed by dynamic sub-key).
+    dyn_memos: Vec<Memo>,
+    /// Sub-key under construction (kept outside `Scratch` so it can be
+    /// borrowed across `solve_component` calls).
+    group_key: Vec<u32>,
+    /// Pair ids of the dynamic group being solved.
+    group_members: Vec<usize>,
+    /// Per-static-component dual warm-start store (empty unless the
+    /// method is `RelaxAndRound` with `warm_start` enabled).
     duals: Vec<ComponentDual>,
     warm_opts: Option<RelaxedOptions>,
     /// `pair_memo[i][r]`: cached single-pair objective (outer `None` =
@@ -219,12 +412,16 @@ pub struct ProfileEvaluator<'a> {
 
 impl<'a> ProfileEvaluator<'a> {
     /// Builds the evaluator for one slot: resolves candidate routes
-    /// against the network, partitions pairs into coupling components,
-    /// and sizes the scratch buffers.
+    /// against the network, partitions pairs into static coupling
+    /// components, and sizes the scratch buffers. The dynamic
+    /// sub-partitions (when `options.partition` is
+    /// [`PartitionMode::Dynamic`]) are computed lazily, per component,
+    /// on the first evaluation that needs them.
     pub fn new(
         ctx: &PerSlotContext<'a>,
         candidates: &[Candidates<'_>],
         method: &AllocationMethod,
+        options: EvalOptions,
     ) -> Self {
         let k = candidates.len();
         let pairs: Vec<SdPair> = candidates.iter().map(|c| c.pair).collect();
@@ -285,6 +482,7 @@ impl<'a> ProfileEvaluator<'a> {
             comp_pairs.len(),
         );
         let memos = vec![Memo::new(); comp_pairs.len()];
+        let dyn_memos = vec![Memo::new(); comp_pairs.len()];
         let warm_opts = match method {
             AllocationMethod::RelaxAndRound(o) if o.warm_start => Some(*o),
             _ => None,
@@ -302,12 +500,22 @@ impl<'a> ProfileEvaluator<'a> {
             Vec::new()
         };
         let pair_memo = routes.iter().map(|c| vec![None; c.len()]).collect();
+        let stats = EvalStats {
+            // Unrefined components count as one dynamic group each.
+            dynamic_components: comp_pairs.len() as u64,
+            ..EvalStats::default()
+        };
         ProfileEvaluator {
             ctx: *ctx,
             method: *method,
+            options,
             pairs,
             routes,
             comp_of_pair,
+            dyn_group_of: vec![0; k],
+            dyn_state_key: vec![0; k],
+            dyn_state_valid: vec![false; comp_pairs.len()],
+            dyn_group_count: vec![1; comp_pairs.len()],
             comp_pairs,
             comp_key_off,
             ln_q: if q < 1.0 { q.ln() } else { 0.0 },
@@ -315,10 +523,13 @@ impl<'a> ProfileEvaluator<'a> {
             budget: ctx.slot_budget.map(|b| b.min(u32::MAX as u64) as u32),
             scratch,
             memos,
+            dyn_memos,
+            group_key: Vec::new(),
+            group_members: Vec::new(),
             duals,
             warm_opts,
             pair_memo,
-            stats: EvalStats::default(),
+            stats,
         }
     }
 
@@ -332,8 +543,13 @@ impl<'a> ProfileEvaluator<'a> {
         self.comp_pairs.len()
     }
 
-    /// Whether pair `i` is alone in its component (the generalization of
-    /// the Gibbs `parallel_isolated` notion).
+    /// The evaluator options this engine was built with.
+    pub fn options(&self) -> EvalOptions {
+        self.options
+    }
+
+    /// Whether pair `i` is alone in its static component (the
+    /// generalization of the Gibbs `parallel_isolated` notion).
     pub fn pair_is_isolated(&self, i: usize) -> bool {
         self.comp_pairs[self.comp_of_pair[i]].len() == 1
     }
@@ -350,18 +566,31 @@ impl<'a> ProfileEvaluator<'a> {
     }
 
     /// Evaluates only the objective of the profile `indices`, re-solving
-    /// just the components whose route-index tuples have not been seen
-    /// before. Returns `None` when the profile is infeasible.
+    /// just the dynamic groups (or static components) whose keys have
+    /// not been seen before. Returns `None` when the profile is
+    /// infeasible.
     ///
     /// Bit-identical to
     /// [`PerSlotContext::evaluate_objective`] on the equivalent profile.
     pub fn evaluate_objective(&mut self, indices: &[usize]) -> Option<f64> {
         self.stats.evaluations += 1;
+        self.stats.pairs_resolved_last_move = 0;
         if self.pairs.is_empty() {
             return Some(0.0);
         }
         self.ensure_components(indices)?;
         Some(self.accumulate_objective(indices, None))
+    }
+
+    /// [`ProfileEvaluator::evaluate_objective`] with a declared
+    /// single-pair move: the caller changed pair `moved` relative to its
+    /// previous profile. The hint is advisory and currently unused
+    /// beyond a bounds check — see the module docs ("Move hooks") for
+    /// why it cannot be trusted (rejected-proposal reverts) and what
+    /// the entry point is for.
+    pub fn evaluate_objective_move(&mut self, indices: &[usize], moved: usize) -> Option<f64> {
+        debug_assert!(moved < self.pairs.len());
+        self.evaluate_objective(indices)
     }
 
     /// Fully evaluates the profile `indices`, returning per-route
@@ -371,6 +600,7 @@ impl<'a> ProfileEvaluator<'a> {
     /// profile.
     pub fn evaluate(&mut self, indices: &[usize]) -> Option<ProfileEvaluation> {
         self.stats.evaluations += 1;
+        self.stats.pairs_resolved_last_move = 0;
         if self.pairs.is_empty() {
             return Some(ProfileEvaluation {
                 allocations: Vec::new(),
@@ -384,6 +614,13 @@ impl<'a> ProfileEvaluator<'a> {
             allocations,
             objective,
         })
+    }
+
+    /// [`ProfileEvaluator::evaluate`] with a declared single-pair move
+    /// (see [`ProfileEvaluator::evaluate_objective_move`]).
+    pub fn evaluate_move(&mut self, indices: &[usize], moved: usize) -> Option<ProfileEvaluation> {
+        debug_assert!(moved < self.pairs.len());
+        self.evaluate(indices)
     }
 
     /// Objective of pair `i` served alone with candidate `route_idx`
@@ -419,10 +656,106 @@ impl<'a> ProfileEvaluator<'a> {
         objective
     }
 
-    /// Ensures every component's allocation for `indices` is in the memo
-    /// and resolves all component keys into `Scratch::joint_key` (sliced
-    /// by [`ProfileEvaluator::comp_key_off`]) so the accumulation pass
-    /// does not rebuild them; `None` if any component is infeasible.
+    /// Whether component `comp` is evaluated through the dynamic
+    /// sub-partition. Singleton components have nothing to refine, and
+    /// a slot budget couples every pair unconditionally (the same rule
+    /// the static partition applies), so budgeted contexts skip the
+    /// refresh machinery entirely instead of recomputing a
+    /// known-trivial partition on every cold move.
+    fn use_dynamic(&self, comp: usize) -> bool {
+        self.options.partition == PartitionMode::Dynamic
+            && self.budget.is_none()
+            && self.comp_pairs[comp].len() > 1
+    }
+
+    /// Recomputes component `comp`'s dynamic sub-partition for the route
+    /// tuple currently in `Scratch::joint_key`, if it differs from the
+    /// tuple the stored sub-partition corresponds to. Updates the
+    /// partition gauges and the merge/split churn counters.
+    fn refresh_partition(&mut self, comp: usize) {
+        let off = self.comp_key_off[comp];
+        let end = self.comp_key_off[comp + 1];
+        let m = end - off;
+        if self.dyn_state_valid[comp]
+            && self.dyn_state_key[off..end] == self.scratch.joint_key[off..end]
+        {
+            return;
+        }
+        // Budgeted contexts never reach here: the budget row couples
+        // every member, so `use_dynamic` routes them straight to
+        // `solve_whole` (the refinement would always be one group).
+        debug_assert!(self.budget.is_none());
+        let Scratch {
+            part, joint_key, ..
+        } = &mut self.scratch;
+        let key = &joint_key[off..end];
+
+        part.dsu.reset(m);
+        part.epoch += 1;
+        for (pos, &pair) in self.comp_pairs[comp].iter().enumerate() {
+            let route = &self.routes[pair][key[pos] as usize];
+            for ev in &route.edges {
+                for node in [ev.u, ev.v] {
+                    let ni = node.index();
+                    if part.owner_mark[ni] == part.epoch {
+                        let other = part.owner[ni] as usize;
+                        part.dsu.union(other, pos);
+                    } else {
+                        part.owner_mark[ni] = part.epoch;
+                        part.owner[ni] = pos as u32;
+                    }
+                }
+            }
+        }
+
+        // Normalize group ids by smallest member position and stash the
+        // previous labels for the churn counters.
+        part.old_groups.clear();
+        part.old_groups
+            .extend_from_slice(&self.dyn_group_of[off..end]);
+        part.group_map.clear();
+        part.group_map.resize(m, u32::MAX);
+        let mut count = 0u32;
+        for pos in 0..m {
+            let root = part.dsu.find(pos);
+            let g = if part.group_map[root] == u32::MAX {
+                part.group_map[root] = count;
+                count += 1;
+                count - 1
+            } else {
+                part.group_map[root]
+            };
+            self.dyn_group_of[off + pos] = g;
+        }
+
+        if self.dyn_state_valid[comp] {
+            let new = &self.dyn_group_of[off..end];
+            self.stats.component_merges +=
+                distinct_excess(new, &part.old_groups, count, &mut part.labels);
+            self.stats.component_splits += distinct_excess(
+                &part.old_groups,
+                new,
+                self.dyn_group_count[comp],
+                &mut part.labels,
+            );
+        }
+        self.stats.dynamic_components += count as u64;
+        self.stats.dynamic_components -= self.dyn_group_count[comp] as u64;
+        self.dyn_group_count[comp] = count;
+        self.dyn_state_key[off..end].copy_from_slice(key);
+        self.dyn_state_valid[comp] = true;
+    }
+
+    /// Ensures every component's allocation for `indices` is in the
+    /// level-1 memo and resolves all component keys into
+    /// `Scratch::joint_key` (sliced by
+    /// [`ProfileEvaluator::comp_key_off`]) so the accumulation pass does
+    /// not rebuild them; `None` if any component is infeasible.
+    ///
+    /// A level-1 hit touches neither the partition nor the level-2 memo
+    /// — the memoized re-evaluation path is exactly the single-level
+    /// engine's. On a miss the component's sub-partition is refreshed
+    /// and only the dynamic groups with unseen sub-keys are solved.
     fn ensure_components(&mut self, indices: &[usize]) -> Option<()> {
         debug_assert_eq!(indices.len(), self.pairs.len());
         // Resolve every component's key once, up front.
@@ -455,7 +788,79 @@ impl<'a> ProfileEvaluator<'a> {
                 }
                 continue;
             }
+            let feasible = if self.use_dynamic(comp) {
+                self.refresh_partition(comp);
+                if self.dyn_group_count[comp] > 1 {
+                    self.solve_groups(comp, indices)
+                } else {
+                    self.solve_whole(comp, indices)
+                }
+            } else {
+                self.solve_whole(comp, indices)
+            };
+            if !feasible {
+                return None;
+            }
+        }
+        Some(())
+    }
+
+    /// Solves static component `comp` as one sub-instance and memoizes
+    /// the result at level 1. Returns feasibility.
+    fn solve_whole(&mut self, comp: usize, indices: &[usize]) -> bool {
+        self.stats.components_solved += 1;
+        self.stats.pairs_resolved_last_move += self.comp_pairs[comp].len() as u64;
+        let warm = self.warm_opts.as_ref().map(|o| (o, &self.duals[comp]));
+        let solve = solve_component(
+            &mut self.scratch,
+            &self.ctx,
+            self.budget,
+            &self.method,
+            &self.routes,
+            &self.comp_pairs[comp],
+            indices,
+            warm,
+        );
+        if solve.warm_started {
+            self.stats.warm_started += 1;
+        }
+        if let Some((keys, lambda)) = &solve.dual {
+            self.duals[comp].absorb(keys, lambda);
+        }
+        let feasible = solve.alloc.is_some();
+        let key = self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]]
+            .to_vec()
+            .into_boxed_slice();
+        self.memos[comp].insert(key, solve.alloc);
+        feasible
+    }
+
+    /// Solves the unseen dynamic groups of component `comp` (level-2
+    /// memo), then gathers the group allocations into the component's
+    /// level-1 entry. Returns feasibility.
+    fn solve_groups(&mut self, comp: usize, indices: &[usize]) -> bool {
+        let off = self.comp_key_off[comp];
+        let end = self.comp_key_off[comp + 1];
+        let mut feasible = true;
+        for g in 0..self.dyn_group_count[comp] {
+            self.group_key.clear();
+            self.group_members.clear();
+            for pos in 0..(end - off) {
+                if self.dyn_group_of[off + pos] == g {
+                    self.group_key.push(pos as u32);
+                    self.group_key.push(self.scratch.joint_key[off + pos]);
+                    self.group_members.push(self.comp_pairs[comp][pos]);
+                }
+            }
+            if let Some(entry) = self.dyn_memos[comp].get(self.group_key.as_slice()) {
+                if entry.is_none() {
+                    feasible = false;
+                    break;
+                }
+                continue;
+            }
             self.stats.components_solved += 1;
+            self.stats.pairs_resolved_last_move += self.group_members.len() as u64;
             let warm = self.warm_opts.as_ref().map(|o| (o, &self.duals[comp]));
             let solve = solve_component(
                 &mut self.scratch,
@@ -463,7 +868,7 @@ impl<'a> ProfileEvaluator<'a> {
                 self.budget,
                 &self.method,
                 &self.routes,
-                &self.comp_pairs[comp],
+                &self.group_members,
                 indices,
                 warm,
             );
@@ -473,67 +878,154 @@ impl<'a> ProfileEvaluator<'a> {
             if let Some((keys, lambda)) = &solve.dual {
                 self.duals[comp].absorb(keys, lambda);
             }
-            let feasible = solve.alloc.is_some();
-            let key = self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]]
-                .to_vec()
-                .into_boxed_slice();
-            self.memos[comp].insert(key, solve.alloc);
-            if !feasible {
-                return None;
+            let ok = solve.alloc.is_some();
+            self.dyn_memos[comp].insert(self.group_key.as_slice().into(), solve.alloc);
+            if !ok {
+                feasible = false;
+                break;
             }
         }
-        Some(())
+        if !feasible {
+            let key: Box<[u32]> = self.scratch.joint_key[off..end].into();
+            self.memos[comp].insert(key, None);
+            return false;
+        }
+        self.gather_groups(comp);
+        true
     }
 
-    /// Pre-solves all missing components of `indices` on scoped threads
-    /// and returns their ids (ascending) plus whether any of them turned
-    /// out infeasible. Bit-identical to the serial path: each
-    /// component's solve is independent and results are inserted in
-    /// component order. Components are chunked over a bounded worker
-    /// count with one scratch per worker, so the cost per call is a few
-    /// spawns — not one spawn and four network-sized allocations per
-    /// component. An infeasibility observed by any worker stops the
-    /// remaining solves early (ROADMAP item g): skipped components are
-    /// simply not memoized, matching the serial path's short-circuit.
+    /// Assembles component `comp`'s level-1 allocation by scattering its
+    /// dynamic groups' level-2 allocations back into component variable
+    /// order. Every group must be memoized feasible.
+    fn gather_groups(&mut self, comp: usize) {
+        let off = self.comp_key_off[comp];
+        let end = self.comp_key_off[comp + 1];
+        let m = end - off;
+        // Per-member variable offsets within the component.
+        let Scratch {
+            pos_off,
+            gathered,
+            spans,
+            joint_key,
+            ..
+        } = &mut self.scratch;
+        pos_off.clear();
+        let mut total = 0usize;
+        for pos in 0..m {
+            pos_off.push(total);
+            let pair = self.comp_pairs[comp][pos];
+            total += self.routes[pair][joint_key[off + pos] as usize].hops;
+        }
+        gathered.clear();
+        gathered.resize(total, 0);
+        for g in 0..self.dyn_group_count[comp] {
+            self.group_key.clear();
+            spans.clear();
+            for pos in 0..m {
+                if self.dyn_group_of[off + pos] == g {
+                    self.group_key.push(pos as u32);
+                    self.group_key.push(joint_key[off + pos]);
+                    let pair = self.comp_pairs[comp][pos];
+                    let hops = self.routes[pair][joint_key[off + pos] as usize].hops;
+                    spans.push((pos_off[pos], hops));
+                }
+            }
+            let alloc = self.dyn_memos[comp]
+                .get(self.group_key.as_slice())
+                .expect("group memoized by solve_groups")
+                .as_deref()
+                .expect("group feasible by solve_groups");
+            scatter_segments(alloc, spans.iter().copied(), gathered);
+        }
+        let key: Box<[u32]> = joint_key[off..end].into();
+        self.memos[comp].insert(key, Some(gathered.as_slice().into()));
+    }
+
+    /// Pre-solves all missing work items of `indices` — dynamic groups,
+    /// or whole components where the partition does not refine — on
+    /// scoped threads, and returns the component ids it fully memoized
+    /// at level 1 (ascending) plus whether any item turned out
+    /// infeasible. Bit-identical to the serial path: each item's solve
+    /// is independent and results are inserted in item order. Items are
+    /// chunked over a bounded worker count with one scratch per worker,
+    /// so the cost per call is a few spawns — not one spawn and four
+    /// network-sized allocations per item. An infeasibility observed by
+    /// any worker stops the remaining solves early (ROADMAP item g):
+    /// skipped items are simply not memoized, matching the serial path's
+    /// short-circuit.
     #[cfg(feature = "parallel")]
     fn solve_missing_parallel(&mut self, indices: &[usize]) -> (Vec<usize>, bool) {
         use std::sync::atomic::{AtomicBool, Ordering};
 
-        let mut missing: Vec<usize> = Vec::new();
+        /// Sentinel group id for "solve the whole component".
+        const WHOLE: u32 = u32::MAX;
+
+        let mut items: Vec<(usize, u32)> = Vec::new();
         for comp in 0..self.comp_pairs.len() {
-            let key = &self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]];
-            if !self.memos[comp].contains_key(key) {
-                missing.push(comp);
+            let off = self.comp_key_off[comp];
+            let end = self.comp_key_off[comp + 1];
+            if self.memos[comp].contains_key(&self.scratch.joint_key[off..end]) {
+                continue;
             }
+            if self.use_dynamic(comp) {
+                self.refresh_partition(comp);
+                if self.dyn_group_count[comp] > 1 {
+                    for g in 0..self.dyn_group_count[comp] {
+                        self.group_key.clear();
+                        for pos in 0..(end - off) {
+                            if self.dyn_group_of[off + pos] == g {
+                                self.group_key.push(pos as u32);
+                                self.group_key.push(self.scratch.joint_key[off + pos]);
+                            }
+                        }
+                        if !self.dyn_memos[comp].contains_key(self.group_key.as_slice()) {
+                            items.push((comp, g));
+                        }
+                    }
+                    continue;
+                }
+            }
+            items.push((comp, WHOLE));
         }
-        if missing.len() < 2 {
+        if items.len() < 2 {
             return (Vec::new(), false);
         }
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
-            .min(missing.len());
-        let chunk = missing.len().div_ceil(workers);
+            .min(items.len());
+        let chunk = items.len().div_ceil(workers);
         let ctx = self.ctx;
         let budget = self.budget;
         let method = self.method;
         let warm_opts = self.warm_opts;
         let routes = &self.routes;
         let comp_pairs = &self.comp_pairs;
+        let comp_key_off = &self.comp_key_off;
+        let dyn_group_of = &self.dyn_group_of;
         let duals = &self.duals;
         let infeasible = AtomicBool::new(false);
-        let results: Vec<Vec<(usize, ComponentSolve)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = missing
+        type ItemSolve = (usize, u32, usize, ComponentSolve);
+        let results: Vec<Vec<ItemSolve>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|comps| {
+                .map(|chunk_items| {
                     let infeasible = &infeasible;
                     scope.spawn(move || {
                         let mut scratch =
                             Scratch::sized(ctx.network.node_count(), ctx.network.edge_count(), 0);
-                        let mut out = Vec::with_capacity(comps.len());
-                        for &comp in comps {
+                        let mut members: Vec<usize> = Vec::new();
+                        let mut out = Vec::with_capacity(chunk_items.len());
+                        for &(comp, g) in chunk_items {
                             if infeasible.load(Ordering::Relaxed) {
                                 break;
+                            }
+                            let off = comp_key_off[comp];
+                            members.clear();
+                            for (pos, &pair) in comp_pairs[comp].iter().enumerate() {
+                                if g == WHOLE || dyn_group_of[off + pos] == g {
+                                    members.push(pair);
+                                }
                             }
                             let warm = warm_opts.as_ref().map(|o| (o, &duals[comp]));
                             let solve = solve_component(
@@ -542,14 +1034,14 @@ impl<'a> ProfileEvaluator<'a> {
                                 budget,
                                 &method,
                                 routes,
-                                &comp_pairs[comp],
+                                &members,
                                 indices,
                                 warm,
                             );
                             if solve.alloc.is_none() {
                                 infeasible.store(true, Ordering::Relaxed);
                             }
-                            out.push((comp, solve));
+                            out.push((comp, g, members.len(), solve));
                         }
                         out
                     })
@@ -559,20 +1051,33 @@ impl<'a> ProfileEvaluator<'a> {
         });
         let any_infeasible = infeasible.into_inner();
         let mut fresh = Vec::new();
-        for (comp, solve) in results.into_iter().flatten() {
-            let key: Vec<u32> = self.comp_pairs[comp]
-                .iter()
-                .map(|&i| indices[i] as u32)
-                .collect();
+        for (comp, g, n_pairs, solve) in results.into_iter().flatten() {
             self.stats.components_solved += 1;
+            self.stats.pairs_resolved_last_move += n_pairs as u64;
             if solve.warm_started {
                 self.stats.warm_started += 1;
             }
             if let Some((keys, lambda)) = &solve.dual {
                 self.duals[comp].absorb(keys, lambda);
             }
-            self.memos[comp].insert(key.into_boxed_slice(), solve.alloc);
-            fresh.push(comp);
+            let off = self.comp_key_off[comp];
+            let end = self.comp_key_off[comp + 1];
+            if g == WHOLE {
+                let key: Box<[u32]> = self.scratch.joint_key[off..end].into();
+                self.memos[comp].insert(key, solve.alloc);
+                fresh.push(comp);
+            } else {
+                self.group_key.clear();
+                for pos in 0..(end - off) {
+                    if self.dyn_group_of[off + pos] == g {
+                        self.group_key.push(pos as u32);
+                        self.group_key.push(self.scratch.joint_key[off + pos]);
+                    }
+                }
+                self.dyn_memos[comp].insert(self.group_key.as_slice().into(), solve.alloc);
+                // The serial loop's level-1 miss path gathers the groups
+                // (all level-2 hits by then) into the level-1 entry.
+            }
         }
         fresh.sort_unstable();
         (fresh, any_infeasible)
@@ -584,9 +1089,9 @@ impl<'a> ProfileEvaluator<'a> {
     /// (same terms, same order), plus the profile's swap term. Optionally
     /// copies out per-route allocations.
     ///
-    /// All referenced components must already be memoized feasible, and
-    /// `Scratch::joint_key` must hold the profile's resolved keys (both
-    /// established by `ensure_components`).
+    /// All referenced components must already be memoized feasible at
+    /// level 1, and `Scratch::joint_key` must hold the profile's
+    /// resolved keys (both established by `ensure_components`).
     fn accumulate_objective(
         &mut self,
         indices: &[usize],
@@ -631,6 +1136,25 @@ impl<'a> ProfileEvaluator<'a> {
     }
 }
 
+/// For each group `0..n_groups` of `groups`, counts the distinct values
+/// `labels` assigns to that group's positions, and returns the summed
+/// excess over one. With `groups` = the new partition and `labels` = the
+/// old labels this counts merges; swapped, it counts splits.
+fn distinct_excess(groups: &[u32], labels: &[u32], n_groups: u32, seen: &mut Vec<u32>) -> u64 {
+    debug_assert_eq!(groups.len(), labels.len());
+    let mut excess = 0u64;
+    for g in 0..n_groups {
+        seen.clear();
+        for (&pg, &label) in groups.iter().zip(labels) {
+            if pg == g && !seen.contains(&label) {
+                seen.push(label);
+            }
+        }
+        excess += (seen.len() as u64).saturating_sub(1);
+    }
+    excess
+}
+
 /// Resolves one candidate [`Path`] into per-edge data.
 fn resolve_route(ctx: &PerSlotContext<'_>, route: &Path) -> RouteData {
     let edges: Vec<EdgeVar> = route
@@ -655,9 +1179,10 @@ fn resolve_route(ctx: &PerSlotContext<'_>, route: &Path) -> RouteData {
 
 /// Builds the [`AllocationInstance`] for the given routes via the shared
 /// [`assemble_instance`] layout routine — the same code path
-/// [`PerSlotContext::build_instance`] uses, so a component's sub-instance
-/// is structurally the joint instance restricted to it. With
-/// `want_keys`, the constraint keys land in `Scratch::con_keys`.
+/// [`PerSlotContext::build_instance`] uses, so a component's (or dynamic
+/// group's) sub-instance is structurally the joint instance restricted
+/// to it. With `want_keys`, the constraint keys land in
+/// `Scratch::con_keys`.
 fn build_instance_for<'r>(
     scratch: &mut Scratch,
     ctx: &PerSlotContext<'_>,
@@ -678,8 +1203,9 @@ fn build_instance_for<'r>(
     )
 }
 
-/// Builds and solves one component's sub-instance, recycling the
-/// instance storage afterwards. `alloc == None` means the route
+/// Builds and solves one sub-instance (a whole static component or a
+/// single dynamic group, `members` = its pair ids ascending), recycling
+/// the instance storage afterwards. `alloc == None` means the route
 /// combination is infeasible. With `warm`, a `RelaxAndRound` solve is
 /// seeded from the component's stored λ (when valid) and the final
 /// prices are returned for the caller to absorb into the store.
@@ -690,11 +1216,11 @@ fn solve_component(
     budget: Option<u32>,
     method: &AllocationMethod,
     routes: &[Vec<RouteData>],
-    comp_pairs: &[usize],
+    members: &[usize],
     indices: &[usize],
     warm: Option<(&RelaxedOptions, &ComponentDual)>,
 ) -> ComponentSolve {
-    let route_iter = comp_pairs.iter().map(|&i| &routes[i][indices[i]]);
+    let route_iter = members.iter().map(|&i| &routes[i][indices[i]]);
     if let Some((options, dual)) = warm {
         let Ok(instance) = build_instance_for(scratch, ctx, budget, route_iter, true) else {
             return ComponentSolve {
@@ -767,6 +1293,25 @@ mod tests {
         b.build()
     }
 
+    /// Two single-route corridors (A: 0-1-3, B: 4-5-7) bridged by a pair
+    /// C (8↔9) whose two routes pass through A's node 1 or B's node 5 —
+    /// so C's *choice* decides which corridor it couples to, while the
+    /// candidate union chains all three pairs into one static component.
+    fn bridged_corridors() -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let n: Vec<_> = (0..10).map(|_| b.add_node(10)).collect();
+        let l = LinkModel::new(0.8).unwrap();
+        b.add_edge(n[0], n[1], 5, l).unwrap();
+        b.add_edge(n[1], n[3], 5, l).unwrap();
+        b.add_edge(n[4], n[5], 5, l).unwrap();
+        b.add_edge(n[5], n[7], 5, l).unwrap();
+        b.add_edge(n[8], n[1], 5, l).unwrap();
+        b.add_edge(n[1], n[9], 5, l).unwrap();
+        b.add_edge(n[8], n[5], 5, l).unwrap();
+        b.add_edge(n[5], n[9], 5, l).unwrap();
+        b.build()
+    }
+
     fn owned_candidates(net: &QdnNetwork, pairs: &[SdPair]) -> Vec<(SdPair, Vec<Path>)> {
         let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
         pairs
@@ -804,11 +1349,17 @@ mod tests {
         ];
         let owned = owned_candidates(&net, &pairs);
         let cands = to_cands(&owned);
-        let eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::default());
+        let eval = ProfileEvaluator::new(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            EvalOptions::default(),
+        );
         assert_eq!(eval.component_count(), 2);
         assert!(eval.pair_is_isolated(0));
         assert!(eval.pair_is_isolated(1));
         assert!(!eval.warm_start_enabled());
+        assert_eq!(eval.options().partition, PartitionMode::Dynamic);
     }
 
     #[test]
@@ -823,7 +1374,12 @@ mod tests {
         ];
         let owned = owned_candidates(&net, &pairs);
         let cands = to_cands(&owned);
-        let eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::default());
+        let eval = ProfileEvaluator::new(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            EvalOptions::default(),
+        );
         assert_eq!(eval.component_count(), 2);
         assert!(!eval.pair_is_isolated(0));
         assert!(!eval.pair_is_isolated(1));
@@ -841,8 +1397,19 @@ mod tests {
         ];
         let owned = owned_candidates(&net, &pairs);
         let cands = to_cands(&owned);
-        let eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::Greedy);
+        let mut eval = ProfileEvaluator::new(
+            &ctx,
+            &cands,
+            &AllocationMethod::Greedy,
+            EvalOptions::default(),
+        );
         assert_eq!(eval.component_count(), 1);
+        // A budget couples everything unconditionally, so the dynamic
+        // mode skips refinement outright: even spatially disjoint
+        // routes stay one group and the partition never churns.
+        eval.evaluate_objective(&[0, 0]);
+        assert_eq!(eval.stats().dynamic_components, 1);
+        assert_eq!(eval.stats().component_splits, 0);
     }
 
     #[test]
@@ -870,39 +1437,42 @@ mod tests {
                 AllocationMethod::Greedy,
                 AllocationMethod::Minimal,
             ] {
-                let mut eval = ProfileEvaluator::new(&ctx, &cands, &method);
-                // Every profile in the (small) product space.
-                let radix: Vec<usize> = cands.iter().map(|c| c.routes.len()).collect();
-                let mut indices = vec![0usize; cands.len()];
-                'product_space: loop {
-                    let profile = profile_of(&cands, &indices);
-                    let reference = ctx.evaluate(&profile, &method);
-                    let incremental = eval.evaluate(&indices);
-                    match (&reference, &incremental) {
-                        (None, None) => {}
-                        (Some(r), Some(x)) => {
-                            assert_eq!(r.objective.to_bits(), x.objective.to_bits());
-                            assert_eq!(r.allocations, x.allocations);
+                for partition in [PartitionMode::Static, PartitionMode::Dynamic] {
+                    let mut eval =
+                        ProfileEvaluator::new(&ctx, &cands, &method, EvalOptions { partition });
+                    // Every profile in the (small) product space.
+                    let radix: Vec<usize> = cands.iter().map(|c| c.routes.len()).collect();
+                    let mut indices = vec![0usize; cands.len()];
+                    'product_space: loop {
+                        let profile = profile_of(&cands, &indices);
+                        let reference = ctx.evaluate(&profile, &method);
+                        let incremental = eval.evaluate(&indices);
+                        match (&reference, &incremental) {
+                            (None, None) => {}
+                            (Some(r), Some(x)) => {
+                                assert_eq!(r.objective.to_bits(), x.objective.to_bits());
+                                assert_eq!(r.allocations, x.allocations);
+                            }
+                            _ => panic!("feasibility mismatch at {indices:?} ({partition:?})"),
                         }
-                        _ => panic!("feasibility mismatch at {indices:?}"),
-                    }
-                    assert_eq!(
-                        ctx.evaluate_objective(&profile, &method).map(f64::to_bits),
-                        eval.evaluate_objective(&indices).map(f64::to_bits)
-                    );
-                    let mut pos = 0;
-                    loop {
-                        if pos == indices.len() {
-                            // Odometer wrapped: this (ctx, method) pair is
-                            // exhausted; move on to the next combination.
-                            break 'product_space;
+                        assert_eq!(
+                            ctx.evaluate_objective(&profile, &method).map(f64::to_bits),
+                            eval.evaluate_objective(&indices).map(f64::to_bits)
+                        );
+                        let mut pos = 0;
+                        loop {
+                            if pos == indices.len() {
+                                // Odometer wrapped: this combination is
+                                // exhausted; move on to the next one.
+                                break 'product_space;
+                            }
+                            indices[pos] += 1;
+                            if indices[pos] < radix[pos] {
+                                break;
+                            }
+                            indices[pos] = 0;
+                            pos += 1;
                         }
-                        indices[pos] += 1;
-                        if indices[pos] < radix[pos] {
-                            break;
-                        }
-                        indices[pos] = 0;
-                        pos += 1;
                     }
                 }
             }
@@ -920,16 +1490,111 @@ mod tests {
         ];
         let owned = owned_candidates(&net, &pairs);
         let cands = to_cands(&owned);
-        let mut eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::default());
+        let mut eval = ProfileEvaluator::new(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            EvalOptions::default(),
+        );
         let a = eval.evaluate_objective(&[0, 0]).unwrap();
         let solved_once = eval.stats().components_solved;
         let b = eval.evaluate_objective(&[0, 0]).unwrap();
         assert_eq!(a.to_bits(), b.to_bits());
         assert_eq!(eval.stats().components_solved, solved_once);
         assert!(eval.stats().memo_hits >= 2);
+        assert_eq!(eval.stats().pairs_resolved_last_move, 0);
         // Moving only pair 1 must not re-solve pair 0's component.
-        eval.evaluate_objective(&[0, 1]);
+        eval.evaluate_objective_move(&[0, 1], 1);
         assert_eq!(eval.stats().components_solved, solved_once + 1);
+        assert_eq!(eval.stats().pairs_resolved_last_move, 1);
+    }
+
+    #[test]
+    fn dynamic_partition_stats_track_moves() {
+        // Candidate union chains A–C–B into one static component, but a
+        // concrete profile couples C to exactly one corridor: moving C
+        // splits it out of one group and merges it into the other.
+        let net = bridged_corridors();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(), // A, single route 0-1-3
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(), // B, single route 4-5-7
+            SdPair::new(NodeId(8), NodeId(9)).unwrap(), // C, routes via 1 or 5
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        assert_eq!(cands[0].routes.len(), 1);
+        assert_eq!(cands[1].routes.len(), 1);
+        assert_eq!(cands[2].routes.len(), 2);
+        let via_a = cands[2]
+            .routes
+            .iter()
+            .position(|r| r.contains_node(NodeId(1)))
+            .expect("one C route crosses corridor A");
+        let via_b = 1 - via_a;
+
+        let mut eval = ProfileEvaluator::new(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            EvalOptions::default(),
+        );
+        assert_eq!(eval.component_count(), 1, "candidate union chains all");
+        assert_eq!(eval.stats().dynamic_components, 1, "unrefined gauge");
+
+        // First evaluation: C rides corridor A → groups {A,C} and {B}.
+        eval.evaluate_objective(&[0, 0, via_a]).unwrap();
+        let s = eval.stats();
+        assert_eq!(s.dynamic_components, 2);
+        assert_eq!((s.component_merges, s.component_splits), (0, 0));
+        assert_eq!(s.components_solved, 2);
+        assert_eq!(s.pairs_resolved_last_move, 3);
+
+        // Re-evaluation: level-1 hit; gauges reset, counters untouched.
+        eval.evaluate_objective(&[0, 0, via_a]).unwrap();
+        let s = eval.stats();
+        assert_eq!(s.pairs_resolved_last_move, 0);
+        assert_eq!(s.components_solved, 2);
+        assert_eq!(s.memo_hits, 1);
+
+        // Move C to corridor B: {A,C},{B} → {A},{B,C} — one split (C
+        // leaves A's group), one merge (C joins B's), and every group
+        // key is new, so all three pairs re-solve.
+        eval.evaluate_objective_move(&[0, 0, via_b], 2).unwrap();
+        let s = eval.stats();
+        assert_eq!(s.dynamic_components, 2);
+        assert_eq!((s.component_merges, s.component_splits), (1, 1));
+        assert_eq!(s.components_solved, 4);
+        assert_eq!(s.pairs_resolved_last_move, 3);
+
+        // Move back: the tuple was seen → level-1 hit, no partition
+        // churn, nothing re-solved.
+        eval.evaluate_objective_move(&[0, 0, via_a], 2).unwrap();
+        let s = eval.stats();
+        assert_eq!((s.component_merges, s.component_splits), (1, 1));
+        assert_eq!(s.components_solved, 4);
+        assert_eq!(s.pairs_resolved_last_move, 0);
+
+        // The dynamic path is bit-identical to the static engine on the
+        // same walk.
+        let mut static_eval = ProfileEvaluator::new(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            EvalOptions::static_partition(),
+        );
+        for indices in [[0, 0, via_a], [0, 0, via_b]] {
+            assert_eq!(
+                static_eval.evaluate_objective(&indices).map(f64::to_bits),
+                eval.evaluate_objective(&indices).map(f64::to_bits),
+            );
+        }
+        // The static engine never refines: its gauge stays at the
+        // component count and its churn counters at zero.
+        let s = static_eval.stats();
+        assert_eq!(s.dynamic_components, 1);
+        assert_eq!((s.component_merges, s.component_splits), (0, 0));
     }
 
     #[test]
@@ -944,7 +1609,7 @@ mod tests {
         let owned = owned_candidates(&net, &pairs);
         let cands = to_cands(&owned);
         let method = AllocationMethod::default();
-        let mut eval = ProfileEvaluator::new(&ctx, &cands, &method);
+        let mut eval = ProfileEvaluator::new(&ctx, &cands, &method, EvalOptions::default());
         for (i, cand) in cands.iter().enumerate() {
             for r in 0..cand.routes.len() {
                 let single = [(cand.pair, &cand.routes[r])];
@@ -965,10 +1630,42 @@ mod tests {
         let pairs = [SdPair::new(NodeId(0), NodeId(3)).unwrap()];
         let owned = owned_candidates(&net, &pairs);
         let cands = to_cands(&owned);
-        let mut eval = ProfileEvaluator::new(&ctx, &cands, &AllocationMethod::default());
+        let mut eval = ProfileEvaluator::new(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            EvalOptions::default(),
+        );
         assert!(eval.evaluate_objective(&[0]).is_none());
         let solved = eval.stats().components_solved;
         assert!(eval.evaluate(&[0]).is_none());
+        assert_eq!(eval.stats().components_solved, solved);
+    }
+
+    #[test]
+    fn infeasible_multi_pair_group_is_cached() {
+        // Zero channel capacity makes every group infeasible; the
+        // dynamic path must cache the verdict at level 1 so the retry
+        // does not re-solve.
+        let net = bridged_corridors();
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 10], vec![0; 8]);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+            SdPair::new(NodeId(8), NodeId(9)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let mut eval = ProfileEvaluator::new(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            EvalOptions::default(),
+        );
+        assert!(eval.evaluate_objective(&[0, 0, 0]).is_none());
+        let solved = eval.stats().components_solved;
+        assert!(eval.evaluate_objective(&[0, 0, 0]).is_none());
         assert_eq!(eval.stats().components_solved, solved);
     }
 
@@ -977,11 +1674,28 @@ mod tests {
         let net = two_diamonds();
         let snap = CapacitySnapshot::full(&net);
         let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
-        let mut eval = ProfileEvaluator::new(&ctx, &[], &AllocationMethod::default());
+        let mut eval = ProfileEvaluator::new(
+            &ctx,
+            &[],
+            &AllocationMethod::default(),
+            EvalOptions::default(),
+        );
         assert_eq!(eval.evaluate_objective(&[]), Some(0.0));
         let ev = eval.evaluate(&[]).unwrap();
         assert!(ev.allocations.is_empty());
         assert_eq!(ev.objective, 0.0);
+    }
+
+    #[test]
+    fn eval_options_serde_round_trip() {
+        for options in [EvalOptions::default(), EvalOptions::static_partition()] {
+            let json = serde_json::to_string(&options).unwrap();
+            assert!(json.contains("\"partition\""), "{json}");
+            let back: EvalOptions = serde_json::from_str(&json).unwrap();
+            assert_eq!(options, back);
+        }
+        // Loud compat break: the field is required.
+        assert!(serde_json::from_str::<EvalOptions>("{}").is_err());
     }
 
     #[test]
@@ -1008,8 +1722,10 @@ mod tests {
                 method: dual_method,
                 ..RelaxedOptions::default()
             });
-            let mut warm_eval = ProfileEvaluator::new(&ctx, &cands, &warm_method);
-            let mut cold_eval = ProfileEvaluator::new(&ctx, &cands, &cold_method);
+            let mut warm_eval =
+                ProfileEvaluator::new(&ctx, &cands, &warm_method, EvalOptions::default());
+            let mut cold_eval =
+                ProfileEvaluator::new(&ctx, &cands, &cold_method, EvalOptions::default());
             assert!(warm_eval.warm_start_enabled());
 
             // First evaluation is cold everywhere (no stored λ yet).

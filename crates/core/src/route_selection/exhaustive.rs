@@ -13,7 +13,7 @@
 
 use crate::allocation::AllocationMethod;
 use crate::problem::PerSlotContext;
-use crate::profile_eval::ProfileEvaluator;
+use crate::profile_eval::{EvalOptions, ProfileEvaluator};
 use crate::route_selection::{Candidates, Selection};
 
 /// Enumerates every route combination and returns the best feasible one.
@@ -24,8 +24,9 @@ pub fn search(
     ctx: &PerSlotContext<'_>,
     candidates: &[Candidates<'_>],
     method: &AllocationMethod,
+    options: EvalOptions,
 ) -> Option<Selection> {
-    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method);
+    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method, options);
     let mut indices = vec![0usize; candidates.len()];
     let mut best: Option<(Vec<usize>, f64)> = None;
     loop {
@@ -106,7 +107,13 @@ mod tests {
                 routes,
             })
             .collect();
-        let best = search(&ctx, &cands, &AllocationMethod::default()).unwrap();
+        let best = search(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            EvalOptions::default(),
+        )
+        .unwrap();
 
         // Verify optimality against a manual scan.
         let mut manual_best = f64::NEG_INFINITY;
@@ -137,6 +144,12 @@ mod tests {
                 routes,
             })
             .collect();
-        assert!(search(&ctx, &cands, &AllocationMethod::default()).is_none());
+        assert!(search(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            EvalOptions::default()
+        )
+        .is_none());
     }
 }

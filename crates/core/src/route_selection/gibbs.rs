@@ -34,7 +34,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
 use crate::problem::PerSlotContext;
-use crate::profile_eval::ProfileEvaluator;
+use crate::profile_eval::{EvalOptions, ProfileEvaluator};
 use crate::route_selection::{Candidates, Selection};
 
 /// Parameters of the Gibbs sampler.
@@ -60,6 +60,9 @@ pub struct GibbsConfig {
     /// (chains run on scoped threads under the `parallel` cargo
     /// feature).
     pub restarts: usize,
+    /// Profile-evaluator options (coupling-partition mode). **Required
+    /// since PR 4** — see MIGRATION.md.
+    pub evaluator: EvalOptions,
 }
 
 impl GibbsConfig {
@@ -88,6 +91,7 @@ impl GibbsConfig {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            evaluator: EvalOptions::default(),
         }
     }
 }
@@ -148,7 +152,7 @@ pub fn sample(
     config: &GibbsConfig,
     rng: &mut dyn rand::Rng,
 ) -> Option<Selection> {
-    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method);
+    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method, config.evaluator);
     sample_with(&mut evaluator, candidates, config, rng)
 }
 
@@ -243,7 +247,9 @@ pub fn sample_with(
                 let old = indices[i];
                 let proposal = propose_different(rng, old, candidates[i].routes.len());
                 indices[i] = proposal;
-                match evaluator.evaluate_objective(&indices) {
+                // Declared single-pair move: lets the evaluator's
+                // dynamic partition attribute the work to this proposal.
+                match evaluator.evaluate_objective_move(&indices, i) {
                     Some(objective) => {
                         if rng.random_bool(acceptance_probability(objective, f_cur, gamma)) {
                             f_cur = objective;
@@ -307,7 +313,7 @@ pub fn sample_restarts(
     let chains: Vec<Option<Selection>> = {
         // Serial chains share one evaluator: every profile any chain has
         // visited is a memo hit for the others.
-        let mut evaluator = ProfileEvaluator::new(ctx, candidates, method);
+        let mut evaluator = ProfileEvaluator::new(ctx, candidates, method, config.evaluator);
         seeds
             .iter()
             .map(|&seed| {
@@ -478,6 +484,7 @@ mod tests {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            evaluator: EvalOptions::default(),
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
         let sel = sample(
@@ -575,7 +582,7 @@ mod tests {
         let owned = owned_candidates(&net, &pairs);
         let cands = to_cands(&owned);
         let method = AllocationMethod::default();
-        let exact = exhaustive::search(&ctx, &cands, &method).unwrap();
+        let exact = exhaustive::search(&ctx, &cands, &method, EvalOptions::default()).unwrap();
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let config = GibbsConfig {
@@ -585,6 +592,7 @@ mod tests {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            evaluator: EvalOptions::default(),
         };
         let gibbs = sample(&ctx, &cands, &method, &config, &mut rng).unwrap();
         assert!(
@@ -607,7 +615,7 @@ mod tests {
         let owned = owned_candidates(&net, &pairs);
         let cands = to_cands(&owned);
         let method = AllocationMethod::default();
-        let exact = exhaustive::search(&ctx, &cands, &method).unwrap();
+        let exact = exhaustive::search(&ctx, &cands, &method, EvalOptions::default()).unwrap();
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let config = GibbsConfig {
@@ -617,6 +625,7 @@ mod tests {
             parallel_isolated: true,
             max_init_attempts: 8,
             restarts: 1,
+            evaluator: EvalOptions::default(),
         };
         let gibbs = sample(&ctx, &cands, &method, &config, &mut rng).unwrap();
         assert!(
@@ -695,6 +704,7 @@ mod tests {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            evaluator: EvalOptions::default(),
         };
         let multi = sample_restarts(&ctx, &cands, &method, &config, &[1, 2, 3, 4]).unwrap();
         // Each individual chain is dominated by the multi-chain best.
@@ -715,6 +725,7 @@ mod tests {
             parallel_isolated: true,
             max_init_attempts: 3,
             restarts: 4,
+            evaluator: EvalOptions::static_partition(),
         };
         let json = serde_json::to_string(&cfg).unwrap();
         assert!(json.contains("\"restarts\":4"), "{json}");
@@ -743,6 +754,7 @@ mod tests {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 3,
+            evaluator: EvalOptions::default(),
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         let multi = run(&ctx, &cands, &method, &config, &mut rng).unwrap();

@@ -15,7 +15,7 @@ use rand::RngExt;
 
 use crate::allocation::AllocationMethod;
 use crate::problem::PerSlotContext;
-use crate::profile_eval::ProfileEvaluator;
+use crate::profile_eval::{EvalOptions, ProfileEvaluator};
 use crate::route_selection::{Candidates, Selection};
 
 /// Local search over route profiles.
@@ -28,10 +28,11 @@ pub fn local_search(
     candidates: &[Candidates<'_>],
     method: &AllocationMethod,
     max_rounds: usize,
+    options: EvalOptions,
     rng: &mut dyn rand::Rng,
 ) -> Option<Selection> {
     let k = candidates.len();
-    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method);
+    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method, options);
     if k == 0 {
         return evaluator.evaluate(&[]).map(|evaluation| Selection {
             indices: Vec::new(),
@@ -63,7 +64,9 @@ pub fn local_search(
                     continue;
                 }
                 indices[i] = alt;
-                if let Some(objective) = evaluator.evaluate_objective(&indices) {
+                // Declared coordinate move (see the evaluator's move
+                // hooks): only pair `i` differs from the last proposal.
+                if let Some(objective) = evaluator.evaluate_objective_move(&indices, i) {
                     if objective > best_f {
                         best_f = objective;
                         best_idx = alt;
@@ -126,9 +129,10 @@ mod tests {
             routes: &routes,
         }];
         let method = AllocationMethod::default();
-        let exact = exhaustive::search(&ctx, &cands, &method).unwrap();
+        let exact = exhaustive::search(&ctx, &cands, &method, EvalOptions::default()).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let local = local_search(&ctx, &cands, &method, 10, &mut rng).unwrap();
+        let local =
+            local_search(&ctx, &cands, &method, 10, EvalOptions::default(), &mut rng).unwrap();
         assert!((local.evaluation.objective - exact.evaluation.objective).abs() < 1e-9);
     }
 
@@ -147,7 +151,15 @@ mod tests {
             routes: &routes,
         }];
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let sel = local_search(&ctx, &cands, &AllocationMethod::default(), 1000, &mut rng).unwrap();
+        let sel = local_search(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            1000,
+            EvalOptions::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(sel.evaluation.objective.is_finite());
     }
 
@@ -164,6 +176,14 @@ mod tests {
             routes: &routes,
         }];
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-        assert!(local_search(&ctx, &cands, &AllocationMethod::default(), 5, &mut rng).is_none());
+        assert!(local_search(
+            &ctx,
+            &cands,
+            &AllocationMethod::default(),
+            5,
+            EvalOptions::default(),
+            &mut rng
+        )
+        .is_none());
     }
 }

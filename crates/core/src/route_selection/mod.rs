@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
 use crate::problem::{PerSlotContext, ProfileEvaluation};
+use crate::profile_eval::EvalOptions;
 
 pub use gibbs::GibbsConfig;
 
@@ -77,6 +78,10 @@ pub enum RouteSelector {
         /// `max_combinations` (previously an implicit
         /// `GibbsConfig::default()`).
         fallback: GibbsConfig,
+        /// Profile-evaluator options for the enumeration itself (the
+        /// Gibbs fallback carries its own). **Required since PR 4** —
+        /// see MIGRATION.md.
+        evaluator: EvalOptions,
     },
     /// Algorithm 3 (Gibbs sampling).
     Gibbs(GibbsConfig),
@@ -84,6 +89,9 @@ pub enum RouteSelector {
     GreedyLocal {
         /// Maximum full rounds over the pairs.
         max_rounds: usize,
+        /// Profile-evaluator options. **Required since PR 4** — see
+        /// MIGRATION.md.
+        evaluator: EvalOptions,
     },
     /// Always the first (fewest-hops) candidate.
     First,
@@ -98,6 +106,7 @@ impl RouteSelector {
         RouteSelector::Exhaustive {
             max_combinations,
             fallback: GibbsConfig::default(),
+            evaluator: EvalOptions::default(),
         }
     }
 
@@ -123,6 +132,7 @@ impl RouteSelector {
             RouteSelector::Exhaustive {
                 max_combinations,
                 fallback,
+                evaluator,
             } => {
                 let combos: usize = candidates
                     .iter()
@@ -130,15 +140,16 @@ impl RouteSelector {
                     .try_fold(1usize, |acc, n| acc.checked_mul(n))
                     .unwrap_or(usize::MAX);
                 if combos <= *max_combinations {
-                    exhaustive::search(ctx, candidates, method)
+                    exhaustive::search(ctx, candidates, method, *evaluator)
                 } else {
                     gibbs::run(ctx, candidates, method, fallback, rng)
                 }
             }
             RouteSelector::Gibbs(config) => gibbs::run(ctx, candidates, method, config, rng),
-            RouteSelector::GreedyLocal { max_rounds } => {
-                greedy::local_search(ctx, candidates, method, *max_rounds, rng)
-            }
+            RouteSelector::GreedyLocal {
+                max_rounds,
+                evaluator,
+            } => greedy::local_search(ctx, candidates, method, *max_rounds, *evaluator, rng),
             // First/Random evaluate exactly one profile, so the
             // memoizing evaluator has nothing to amortize — the direct
             // build is cheaper (and bit-identical by construction).
@@ -225,7 +236,10 @@ mod tests {
         for selector in [
             RouteSelector::exhaustive(100),
             RouteSelector::Gibbs(GibbsConfig::default()),
-            RouteSelector::GreedyLocal { max_rounds: 5 },
+            RouteSelector::GreedyLocal {
+                max_rounds: 5,
+                evaluator: EvalOptions::default(),
+            },
             RouteSelector::First,
             RouteSelector::Random,
         ] {
@@ -260,7 +274,10 @@ mod tests {
                 iterations: 60,
                 ..GibbsConfig::default()
             }),
-            RouteSelector::GreedyLocal { max_rounds: 5 },
+            RouteSelector::GreedyLocal {
+                max_rounds: 5,
+                evaluator: EvalOptions::default(),
+            },
         ] {
             let sel = selector
                 .select(&ctx, &cands, &AllocationMethod::default(), &mut rng)
@@ -292,7 +309,11 @@ mod tests {
         let labels: std::collections::HashSet<&str> = [
             RouteSelector::exhaustive(1).label(),
             RouteSelector::default().label(),
-            RouteSelector::GreedyLocal { max_rounds: 1 }.label(),
+            RouteSelector::GreedyLocal {
+                max_rounds: 1,
+                evaluator: EvalOptions::default(),
+            }
+            .label(),
             RouteSelector::First.label(),
             RouteSelector::Random.label(),
         ]

@@ -250,7 +250,7 @@ proptest! {
         price in 0.0f64..40.0,
         seed in 0u64..1000,
     ) {
-        use qdn_core::profile_eval::ProfileEvaluator;
+        use qdn_core::profile_eval::{EvalOptions, ProfileEvaluator};
         use qdn_core::route_selection::Candidates;
         use qdn_net::routes::{CandidateRoutes, RouteLimits};
         use rand::RngExt;
@@ -283,7 +283,9 @@ proptest! {
             AllocationMethod::Greedy,
             AllocationMethod::Minimal,
         ] {
-            let mut eval = ProfileEvaluator::new(&ctx, &cands, &method);
+            // The default (dynamic-partition) evaluator; static-vs-
+            // dynamic equivalence is `dynamic_matches_static_partition`.
+            let mut eval = ProfileEvaluator::new(&ctx, &cands, &method, EvalOptions::default());
             let mut indices: Vec<usize> = cands
                 .iter()
                 .map(|c| rng.random_range(0..c.routes.len()))
@@ -326,6 +328,112 @@ proptest! {
                 let i = rng.random_range(0..indices.len());
                 indices[i] = rng.random_range(0..cands[i].routes.len());
             }
+        }
+    }
+
+    /// The dynamic route-keyed partition is bit-identical to the static
+    /// candidate-union partition (and hence, transitively through
+    /// `incremental_matches_full_rebuild`, to the full-rebuild path):
+    /// same feasibility verdicts, same objectives (via `to_bits`), same
+    /// allocations — across random topologies and pair sets, both dual
+    /// methods plus the greedy allocator, and a random walk that mixes
+    /// declared single-pair moves (the selectors' move-hook entry point,
+    /// which churns the dynamic groups through merges and splits) with
+    /// arbitrary profile jumps.
+    #[test]
+    fn dynamic_matches_static_partition(
+        net in arb_ring_network(),
+        n_pairs in 2usize..5,
+        v in 10.0f64..3000.0,
+        price in 0.0f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        use qdn_core::profile_eval::{EvalOptions, ProfileEvaluator};
+        use qdn_core::route_selection::Candidates;
+        use qdn_net::routes::{CandidateRoutes, RouteLimits};
+        use rand::RngExt;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let owned: Vec<(SdPair, Vec<Path>)> = (0..n_pairs)
+            .map(|_| {
+                let pair = qdn_net::workload::random_sd_pair(&mut rng, &net);
+                (pair, cr.routes(&net, pair).to_vec())
+            })
+            .collect();
+        prop_assume!(owned.iter().all(|(_, routes)| !routes.is_empty()));
+        let cands: Vec<Candidates> = owned
+            .iter()
+            .map(|(pair, routes)| Candidates { pair: *pair, routes })
+            .collect();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, v, price);
+
+        for method in [
+            AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+                method: qdn_solve::DualMethod::Accelerated,
+                ..qdn_solve::RelaxedOptions::default()
+            }),
+            AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+                method: qdn_solve::DualMethod::Subgradient,
+                ..qdn_solve::RelaxedOptions::default()
+            }),
+            AllocationMethod::Greedy,
+        ] {
+            let mut dynamic =
+                ProfileEvaluator::new(&ctx, &cands, &method, EvalOptions::default());
+            let mut fixed =
+                ProfileEvaluator::new(&ctx, &cands, &method, EvalOptions::static_partition());
+            let mut indices: Vec<usize> = cands
+                .iter()
+                .map(|c| rng.random_range(0..c.routes.len()))
+                .collect();
+            for step in 0..18 {
+                // Alternate declared single-pair moves with arbitrary
+                // jumps; both entry points must agree bit-for-bit.
+                let (dyn_ev, static_ev) = if step % 3 == 2 {
+                    for idx in indices.iter_mut().zip(&cands) {
+                        *idx.0 = rng.random_range(0..idx.1.routes.len());
+                    }
+                    (dynamic.evaluate(&indices), fixed.evaluate(&indices))
+                } else {
+                    let i = rng.random_range(0..indices.len());
+                    indices[i] = rng.random_range(0..cands[i].routes.len());
+                    (
+                        dynamic.evaluate_move(&indices, i),
+                        fixed.evaluate_move(&indices, i),
+                    )
+                };
+                match (&static_ev, &dyn_ev) {
+                    (None, None) => {}
+                    (Some(s), Some(d)) => {
+                        prop_assert_eq!(
+                            s.objective.to_bits(),
+                            d.objective.to_bits(),
+                            "objective diverged at step {} ({}): {} vs {}",
+                            step,
+                            method.label(),
+                            s.objective,
+                            d.objective
+                        );
+                        prop_assert_eq!(&s.allocations, &d.allocations);
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "feasibility diverged at step {} ({})",
+                        step,
+                        method.label()
+                    ),
+                }
+                prop_assert_eq!(
+                    fixed.evaluate_objective(&indices).map(f64::to_bits),
+                    dynamic.evaluate_objective(&indices).map(f64::to_bits)
+                );
+            }
+            // The dynamic refinement never coarsens the static envelope.
+            prop_assert!(
+                dynamic.stats().dynamic_components >= fixed.stats().dynamic_components
+            );
         }
     }
 }

@@ -246,6 +246,36 @@ impl RouteAssembler {
     }
 }
 
+/// Scatters one sub-instance's flat allocation back into the enclosing
+/// instance's variable order.
+///
+/// `src` is the allocation of a sub-instance whose variables are a
+/// subset of the parent's, **in the parent's relative order** (the only
+/// order [`RouteAssembler`] and
+/// [`AllocationInstance::sub_instance`](crate::AllocationInstance::sub_instance)
+/// ever produce). `spans` lists, per member of the subset in that same
+/// order, the `(offset, len)` range its variables occupy in `out`. The
+/// profile evaluator uses this to assemble a static coupling component's
+/// allocation from its dynamic groups' member sets — see
+/// `qdn-core::profile_eval`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) when the spans do not consume `src`
+/// exactly, and always when a span reaches outside `src` or `out`.
+pub fn scatter_segments(
+    src: &[u32],
+    spans: impl IntoIterator<Item = (usize, usize)>,
+    out: &mut [u32],
+) {
+    let mut cursor = 0;
+    for (offset, len) in spans {
+        out[offset..offset + len].copy_from_slice(&src[cursor..cursor + len]);
+        cursor += len;
+    }
+    debug_assert_eq!(cursor, src.len(), "spans must consume src exactly");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,5 +354,18 @@ mod tests {
             err,
             Err(SolveError::InfeasibleAtLowerBound { .. })
         ));
+    }
+
+    #[test]
+    fn scatter_segments_reassembles_interleaved_members() {
+        // Parent variable order: member0 (2 vars), member1 (1 var),
+        // member2 (3 vars). A "group" of members 0 and 2 scatters its
+        // flat allocation around member1's slot.
+        let mut out = vec![0u32; 6];
+        scatter_segments(&[7, 8, 4, 5, 6], [(0, 2), (3, 3)], &mut out);
+        assert_eq!(out, vec![7, 8, 0, 4, 5, 6]);
+        // The complementary singleton group fills the hole.
+        scatter_segments(&[9], [(2, 1)], &mut out);
+        assert_eq!(out, vec![7, 8, 9, 4, 5, 6]);
     }
 }

@@ -59,6 +59,14 @@ impl Dsu {
         }
     }
 
+    /// Re-initializes to `n` singleton sets, reusing the allocation —
+    /// for callers that run one union-find per (small) work item, like
+    /// the profile evaluator's per-component sub-partition refresh.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+    }
+
     /// The representative (smallest member) of `x`'s set.
     pub fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
@@ -279,6 +287,18 @@ mod tests {
             assert_eq!(built, reference);
             husk = built.into_husk();
         }
+    }
+
+    #[test]
+    fn dsu_reset_reuses_and_matches_fresh() {
+        let mut d = Dsu::new(3);
+        d.union(0, 1);
+        d.reset(4);
+        for i in 0..4 {
+            assert_eq!(d.find(i), i, "reset must restore singletons");
+        }
+        d.union(3, 2);
+        assert_eq!(d.find(3), 2, "smallest root wins after reset");
     }
 
     #[test]

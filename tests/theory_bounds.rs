@@ -6,6 +6,7 @@
 use qdn::core::allocation::AllocationMethod;
 use qdn::core::oscar::{OscarConfig, OscarPolicy};
 use qdn::core::problem::PerSlotContext;
+use qdn::core::profile_eval::EvalOptions;
 use qdn::core::route_selection::{exhaustive, Candidates, GibbsConfig, RouteSelector};
 use qdn::core::theory::{delta_bound, theorem1_violation_bound, BoundParams};
 use qdn::net::dynamics::StaticDynamics;
@@ -174,7 +175,7 @@ fn gibbs_matches_exhaustive_on_real_topology() {
                 routes,
             })
             .collect();
-        let Some(exact) = exhaustive::search(&ctx, &cands, &method) else {
+        let Some(exact) = exhaustive::search(&ctx, &cands, &method, EvalOptions::default()) else {
             continue;
         };
         let gibbs = RouteSelector::Gibbs(GibbsConfig {
@@ -184,6 +185,7 @@ fn gibbs_matches_exhaustive_on_real_topology() {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            evaluator: EvalOptions::default(),
         })
         .select(&ctx, &cands, &method, &mut rng)
         .expect("feasible");
