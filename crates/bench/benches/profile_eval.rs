@@ -478,6 +478,7 @@ fn bench_dynamic_vs_static(c: &mut Criterion) {
                 "static",
                 EvalOptions {
                     partition: PartitionMode::Static,
+                    warm_profile_seed: false,
                 },
             ),
             ("dynamic", EvalOptions::default()),
@@ -496,6 +497,101 @@ fn bench_dynamic_vs_static(c: &mut Criterion) {
                     let i = walk_rng.random_range(0..indices.len());
                     indices[i] = walk_rng.random_range(0..cands[i].routes.len());
                     black_box(eval.evaluate_objective_move(&indices, i))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The PR-5 headline (`session_vs_fresh`): the full 200-slot OSCAR
+/// control loop — virtual queue, candidate fetch, Gibbs route selection,
+/// Algorithm-2 allocation — end to end, under two selection-state
+/// regimes:
+///
+/// * `oscar200_cold/*` — a fresh `SelectorSession` every slot: today's
+///   (pre-session) path, where each slot rebuilds the evaluator arena
+///   and memos and every component solve starts from λ = 0;
+/// * `oscar200_session/*` — one session spans the run with the full
+///   cross-slot machinery on (`warm_profile_seed` + dual `warm_start`):
+///   chains start from the previous slot's selection, and every
+///   sub-instance solve seeds from the session λ stores (exact-tuple
+///   memo first, dense constraint-identity store otherwise).
+///
+/// Each regime runs on the paper's `U[1,5]` uniform workload and on the
+/// temporally-correlated `PersistentWorkload` (5 sticky pairs, 80%
+/// per-slot survival) — the scenario cross-slot seeding targets:
+/// consecutive slots share most pairs, so the chain revisits the same
+/// component tuples slot after slot and the exact-tuple λ memo turns
+/// their accelerated solves into one-or-two-iteration restarts. Both
+/// regimes face identical request sample paths (same env seed).
+fn bench_session_vs_fresh(c: &mut Criterion) {
+    use qdn_core::lyapunov::VirtualQueue;
+    use qdn_core::oscar::decide_with_selector;
+    use qdn_core::SelectorSession;
+    use qdn_net::workload::{PersistentWorkload, UniformWorkload, Workload};
+    use qdn_solve::RelaxedOptions;
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+
+    let cold_selector = GibbsConfig::paper_default();
+    let cold_alloc = AllocationMethod::default();
+    let session_selector = GibbsConfig {
+        evaluator: EvalOptions::warm_seeded(),
+        ..GibbsConfig::paper_default()
+    };
+    let session_alloc = AllocationMethod::RelaxAndRound(RelaxedOptions {
+        warm_start: true,
+        ..RelaxedOptions::default()
+    });
+
+    let mut group = c.benchmark_group("session_vs_fresh");
+    group.sample_size(10);
+    for (wl_label, persistent) in [("uniform", false), ("persistent", true)] {
+        for (mode, gibbs_cfg, alloc, keep_session) in [
+            ("cold", &cold_selector, &cold_alloc, false),
+            ("session", &session_selector, &session_alloc, true),
+        ] {
+            let selector = qdn_core::route_selection::RouteSelector::Gibbs(gibbs_cfg.clone());
+            group.bench_function(&format!("oscar200_{mode}/{wl_label}"), |b| {
+                b.iter(|| {
+                    let mut workload: Box<dyn Workload> = if persistent {
+                        Box::new(PersistentWorkload::paper_scale())
+                    } else {
+                        Box::new(UniformWorkload::paper_default())
+                    };
+                    let mut env_rng = StdRng::seed_from_u64(17);
+                    let mut policy_rng = StdRng::seed_from_u64(18);
+                    let mut queue = VirtualQueue::new(10.0, 5000.0, 200);
+                    let mut routes = CandidateRoutes::new(RouteLimits::paper_default());
+                    let mut session = SelectorSession::new();
+                    let snap = CapacitySnapshot::full(&net);
+                    let mut total = 0u64;
+                    for t in 0..200u64 {
+                        let requests = workload.requests(t, &net, &mut env_rng);
+                        let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, queue.value());
+                        if !keep_session {
+                            // Today's path: selection state dies with
+                            // the slot.
+                            session = SelectorSession::new();
+                        }
+                        let decision = decide_with_selector(
+                            &net,
+                            &requests,
+                            &mut routes,
+                            &mut session,
+                            &ctx,
+                            &selector,
+                            alloc,
+                            None,
+                            &mut policy_rng,
+                        );
+                        let cost = decision.total_cost();
+                        total += cost;
+                        queue.update(cost);
+                    }
+                    black_box(total)
                 })
             });
         }
@@ -595,6 +691,7 @@ fn bench(c: &mut Criterion) {
     bench_diamond_field(c, 25);
 
     bench_dynamic_vs_static(c);
+    bench_session_vs_fresh(c);
     bench_dual_solver(c);
     bench_accel_vs_subgradient(c);
     bench_warm_vs_cold_eval(c);

@@ -22,6 +22,7 @@ use crate::allocation::AllocationMethod;
 use crate::oscar::decide_with_selector;
 use crate::policy::{PolicyDiagnostics, RoutingPolicy};
 use crate::problem::PerSlotContext;
+use crate::profile_eval::SelectorSession;
 use crate::route_selection::RouteSelector;
 use crate::types::{Decision, SlotState};
 
@@ -78,6 +79,7 @@ impl MyopicConfig {
 pub struct MyopicPolicy {
     config: MyopicConfig,
     routes: CandidateRoutes,
+    session: SelectorSession,
     spent: u64,
 }
 
@@ -88,6 +90,7 @@ impl MyopicPolicy {
         MyopicPolicy {
             config,
             routes,
+            session: SelectorSession::new(),
             spent: 0,
         }
     }
@@ -143,6 +146,7 @@ impl RoutingPolicy for MyopicPolicy {
             network,
             slot.requests(),
             &mut self.routes,
+            &mut self.session,
             &ctx,
             &self.config.selector,
             &AllocationMethod::Greedy,
@@ -155,6 +159,7 @@ impl RoutingPolicy for MyopicPolicy {
 
     fn reset(&mut self) {
         self.spent = 0;
+        self.session.reset();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
@@ -170,6 +175,7 @@ impl RoutingPolicy for MyopicPolicy {
 #[derive(Debug)]
 pub struct MinimalRandomPolicy {
     routes: CandidateRoutes,
+    session: SelectorSession,
     spent: u64,
 }
 
@@ -178,6 +184,7 @@ impl MinimalRandomPolicy {
     pub fn new(route_limits: RouteLimits) -> Self {
         MinimalRandomPolicy {
             routes: CandidateRoutes::new(route_limits),
+            session: SelectorSession::new(),
             spent: 0,
         }
     }
@@ -205,6 +212,7 @@ impl RoutingPolicy for MinimalRandomPolicy {
             network,
             slot.requests(),
             &mut self.routes,
+            &mut self.session,
             &ctx,
             &RouteSelector::Random,
             &AllocationMethod::Minimal,
@@ -217,6 +225,7 @@ impl RoutingPolicy for MinimalRandomPolicy {
 
     fn reset(&mut self) {
         self.spent = 0;
+        self.session.reset();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
@@ -241,6 +250,7 @@ pub struct OraclePolicy {
     slot_budgets: Vec<u64>,
     routes: CandidateRoutes,
     selector: RouteSelector,
+    session: SelectorSession,
     spent: u64,
 }
 
@@ -301,6 +311,7 @@ impl OraclePolicy {
             slot_budgets,
             routes,
             selector,
+            session: SelectorSession::new(),
             spent: 0,
         }
     }
@@ -328,6 +339,7 @@ impl RoutingPolicy for OraclePolicy {
             network,
             slot.requests(),
             &mut self.routes,
+            &mut self.session,
             &ctx,
             &self.selector,
             &AllocationMethod::Greedy,
@@ -340,6 +352,7 @@ impl RoutingPolicy for OraclePolicy {
 
     fn reset(&mut self) {
         self.spent = 0;
+        self.session.reset();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
@@ -364,6 +377,7 @@ impl RoutingPolicy for OraclePolicy {
 pub struct ThroughputGreedyPolicy {
     routes: CandidateRoutes,
     selector: RouteSelector,
+    session: SelectorSession,
     spent: u64,
 }
 
@@ -373,6 +387,7 @@ impl ThroughputGreedyPolicy {
         ThroughputGreedyPolicy {
             routes: CandidateRoutes::new(route_limits),
             selector,
+            session: SelectorSession::new(),
             spent: 0,
         }
     }
@@ -407,6 +422,7 @@ impl RoutingPolicy for ThroughputGreedyPolicy {
             network,
             slot.requests(),
             &mut self.routes,
+            &mut self.session,
             &ctx,
             &self.selector,
             &AllocationMethod::Greedy,
@@ -419,6 +435,7 @@ impl RoutingPolicy for ThroughputGreedyPolicy {
 
     fn reset(&mut self) {
         self.spent = 0;
+        self.session.reset();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {

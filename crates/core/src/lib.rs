@@ -60,5 +60,5 @@ pub mod types;
 
 pub use oscar::{OscarConfig, OscarPolicy};
 pub use policy::RoutingPolicy;
-pub use profile_eval::ProfileEvaluator;
+pub use profile_eval::{ProfileEvaluator, SelectorSession};
 pub use types::{Decision, RouteAssignment, SlotState};

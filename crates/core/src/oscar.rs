@@ -6,6 +6,8 @@
 //! virtual-queue price `q_t`; then update the queue with the realized
 //! cost (Eq. 7). No future statistics are used anywhere.
 
+use std::borrow::Cow;
+
 use qdn_graph::Path;
 use qdn_net::routes::{CandidateRoutes, RouteLimits};
 use qdn_net::{QdnNetwork, SdPair};
@@ -15,6 +17,7 @@ use crate::allocation::AllocationMethod;
 use crate::lyapunov::VirtualQueue;
 use crate::policy::{PolicyDiagnostics, RoutingPolicy};
 use crate::problem::PerSlotContext;
+use crate::profile_eval::SelectorSession;
 use crate::route_selection::{Candidates, RouteSelector, Selection};
 use crate::types::{Decision, RouteAssignment, SlotState};
 
@@ -95,6 +98,10 @@ pub struct OscarPolicy {
     config: OscarConfig,
     queue: VirtualQueue,
     routes: CandidateRoutes,
+    /// Slot-spanning selection state (arena, memos, λ stores, previous
+    /// profile) owned for the lifetime of a run; cleared by
+    /// [`RoutingPolicy::reset`].
+    session: SelectorSession,
     spent: u64,
 }
 
@@ -107,6 +114,7 @@ impl OscarPolicy {
             config,
             queue,
             routes,
+            session: SelectorSession::new(),
             spent: 0,
         }
     }
@@ -119,6 +127,11 @@ impl OscarPolicy {
     /// Current virtual-queue length `q_t`.
     pub fn queue_value(&self) -> f64 {
         self.queue.value()
+    }
+
+    /// The slot-spanning selection session (test/diagnostic access).
+    pub fn session(&self) -> &SelectorSession {
+        &self.session
     }
 }
 
@@ -139,6 +152,7 @@ impl RoutingPolicy for OscarPolicy {
             network,
             slot.requests(),
             &mut self.routes,
+            &mut self.session,
             &ctx,
             &self.config.selector,
             &self.config.allocation,
@@ -154,6 +168,9 @@ impl RoutingPolicy for OscarPolicy {
     fn reset(&mut self) {
         self.queue.reset();
         self.spent = 0;
+        // Cross-slot selection state (λ stores, memo epochs, previous
+        // profile) must not leak between trials.
+        self.session.reset();
         // Candidate routes depend only on the topology and stay valid.
     }
 
@@ -168,33 +185,53 @@ impl RoutingPolicy for OscarPolicy {
 /// Shared decision pipeline: fetch candidates, apply the optional
 /// fidelity constraint (the paper's §III-C extension — routes whose
 /// end-to-end Werner fidelity misses `fidelity_target` are removed from
-/// `R(φ)`), run route selection, and degrade gracefully (drop the most
-/// expensive pair) when the slot cannot serve everything.
+/// `R(φ)`), run route selection through the caller's slot-spanning
+/// [`SelectorSession`], and degrade gracefully (drop the most expensive
+/// pair) when the slot cannot serve everything.
 ///
 /// Used by OSCAR and the myopic baselines (which differ only in the
 /// [`PerSlotContext`] they build), and exposed publicly so alternative
 /// drivers — e.g. the event-driven online router in `qdn-des`, which
 /// solves a single-request "slot" at every arrival — can reuse the exact
-/// Algorithm 2 + Algorithm 3 pipeline.
+/// Algorithm 2 + Algorithm 3 pipeline. Each such driver owns one
+/// session per policy/run; a fresh [`SelectorSession::new`] reproduces
+/// the stateless behavior.
 #[allow(clippy::too_many_arguments)]
 pub fn decide_with_selector(
     network: &QdnNetwork,
     requests: &[SdPair],
     routes_cache: &mut CandidateRoutes,
+    session: &mut SelectorSession,
     ctx: &PerSlotContext<'_>,
     selector: &RouteSelector,
     allocation: &AllocationMethod,
     fidelity_target: Option<f64>,
     rng: &mut dyn rand::Rng,
 ) -> Decision {
-    // Owned candidate route lists (the cache hands out borrows).
-    let mut unserved: Vec<SdPair> = Vec::new();
-    let mut served: Vec<(SdPair, Vec<Path>)> = Vec::new();
+    // Warm the cache with one `&mut` call per pair, then take shared
+    // borrows: the common (no fidelity target) path hands the selector
+    // the cached slices directly instead of cloning every candidate
+    // list every slot; only the filtering path copies.
     for &pair in requests {
-        let mut routes = routes_cache.routes(network, pair).to_vec();
-        if let Some(target) = fidelity_target {
-            routes.retain(|r| network.route_fidelity(r).value() >= target);
-        }
+        routes_cache.routes(network, pair);
+    }
+    let routes_cache = &*routes_cache;
+    let mut unserved: Vec<SdPair> = Vec::new();
+    let mut served: Vec<(SdPair, Cow<'_, [Path]>)> = Vec::new();
+    for &pair in requests {
+        let cached = routes_cache
+            .cached(pair)
+            .expect("cache warmed for every requested pair above");
+        let routes: Cow<'_, [Path]> = match fidelity_target {
+            Some(target) => Cow::Owned(
+                cached
+                    .iter()
+                    .filter(|r| network.route_fidelity(r).value() >= target)
+                    .cloned()
+                    .collect(),
+            ),
+            None => Cow::Borrowed(cached),
+        };
         if routes.is_empty() {
             unserved.push(pair);
         } else {
@@ -213,7 +250,7 @@ pub fn decide_with_selector(
                 routes,
             })
             .collect();
-        match selector.select(ctx, &cands, allocation, rng) {
+        match selector.select_in(session, ctx, &cands, allocation, rng) {
             Some(Selection {
                 indices,
                 evaluation,
@@ -354,6 +391,57 @@ mod tests {
         policy.reset();
         assert_eq!(policy.queue_value(), 10.0);
         assert_eq!(policy.diagnostics().budget_spent, Some(0));
+    }
+
+    #[test]
+    fn reset_fully_clears_session_state() {
+        use crate::profile_eval::EvalOptions;
+        use crate::route_selection::GibbsConfig;
+
+        // A config where cross-slot state actually accumulates: profile
+        // seeding on, dual warm starts on.
+        let cfg = OscarConfig {
+            selector: RouteSelector::Gibbs(GibbsConfig {
+                evaluator: EvalOptions::warm_seeded(),
+                ..GibbsConfig::paper_default()
+            }),
+            allocation: AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+                warm_start: true,
+                ..qdn_solve::RelaxedOptions::default()
+            }),
+            ..OscarConfig::paper_default()
+        };
+        let (net, mut rng) = setup();
+        let mut wl = UniformWorkload::paper_default();
+        let slots: Vec<_> = (0..3)
+            .map(|t| {
+                let requests = wl.requests(t, &net, &mut rng);
+                SlotState::new(t, requests, CapacitySnapshot::full(&net))
+            })
+            .collect();
+
+        let mut policy = OscarPolicy::new(cfg.clone());
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(99);
+        let first_run: Vec<_> = slots
+            .iter()
+            .map(|slot| policy.decide(&net, slot, &mut rng_a))
+            .collect();
+        assert!(policy.session().remembered_pairs() > 0, "profile memory");
+        assert!(policy.session().lambda_entries() > 0, "λ memory");
+
+        // Reset must clear every cross-slot store ...
+        policy.reset();
+        assert_eq!(policy.session().remembered_pairs(), 0);
+        assert_eq!(policy.session().lambda_entries(), 0);
+
+        // ... so a replay after reset is indistinguishable from a fresh
+        // policy: no λ or profile leakage between trials.
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(99);
+        let second_run: Vec<_> = slots
+            .iter()
+            .map(|slot| policy.decide(&net, slot, &mut rng_b))
+            .collect();
+        assert_eq!(first_run, second_run);
     }
 
     #[test]

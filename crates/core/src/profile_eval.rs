@@ -1,5 +1,5 @@
 //! Incremental, component-decomposed route-profile evaluation with a
-//! two-level coupling partition.
+//! two-level coupling partition and slot-spanning selection sessions.
 //!
 //! Route selection (Algorithm 3 / Eq. 13) evaluates thousands of route
 //! profiles per slot, and the naive path — [`PerSlotContext::evaluate`] —
@@ -129,6 +129,34 @@
 //! site and so a future incremental partition maintainer has its entry
 //! points in place without another selector-surface change.
 //!
+//! # Persistent selection sessions
+//!
+//! A [`ProfileEvaluator`] lives for one slot; a [`SelectorSession`]
+//! lives for a run. OSCAR is an online controller whose consecutive
+//! slots pose *almost* the same problem — overlapping request sets,
+//! smoothly drifting prices `q_t`, similar capacities — so each policy
+//! owns one session and threads it through
+//! [`crate::route_selection::RouteSelector::select_in`]; the evaluator
+//! is then built with [`ProfileEvaluator::new_in`] and handed back with
+//! [`ProfileEvaluator::retire`]. What carries over, and under which
+//! invalidation rule, is specified on [`SelectorSession`] ("Lifetime
+//! and invalidation invariants"); the short version:
+//!
+//! * **buffers always** (arena, husks, dense scratch, memo-map
+//!   capacity) — pure allocation reuse, no semantic state;
+//! * **memo entries only under an identical slot fingerprint** —
+//!   entries are epoch-stamped and a context change bumps the epoch,
+//!   so reuse is exactly as legal as re-running the same slot;
+//! * **λ seeds across any context drift** (opt-in via
+//!   `RelaxedOptions::warm_start`) — seeds are advisory and every warm
+//!   solve still certifies the cold path's guarantees;
+//! * **the previous selected profile** (opt-in via
+//!   [`EvalOptions::warm_profile_seed`]) — seeds the next slot's chain
+//!   start, changing the search trajectory but never a profile's value.
+//!
+//! With both opt-ins off, a session-built evaluator is bit-identical to
+//! a fresh one every slot (`session_matches_fresh_per_slot` proptest).
+//!
 //! # Parallelism (`parallel` feature)
 //!
 //! With the `parallel` cargo feature, unsolved work items of one
@@ -174,15 +202,23 @@ pub enum PartitionMode {
 /// Selector-facing evaluator options, carried by every route-selection
 /// config that drives a [`ProfileEvaluator`].
 ///
-/// **Loud compat break (PR 4):** `partition` is a required field — old
-/// JSON configs fail with an explicit missing-field error. See
-/// MIGRATION.md for the one-line edit.
+/// **Loud compat breaks:** `partition` (PR 4) and `warm_profile_seed`
+/// (PR 5) are required fields — old JSON configs fail with an explicit
+/// missing-field error. See MIGRATION.md for the one-line edits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EvalOptions {
     /// The coupling partition to evaluate under. Results are
     /// bit-identical either way; the mode only changes how much work a
     /// fresh (non-memoized) evaluation performs.
     pub partition: PartitionMode,
+    /// Seed the selector's starting profile from the previous slot's
+    /// selected routes when a [`SelectorSession`] carries them (pairs
+    /// present in consecutive slots start on last slot's route; new
+    /// pairs fall back to their shortest candidate). `false` keeps the
+    /// session path bit-identical to the fresh-per-slot path; `true`
+    /// changes the search trajectory (not the per-evaluation results).
+    /// **Required since PR 5** — see MIGRATION.md.
+    pub warm_profile_seed: bool,
 }
 
 impl EvalOptions {
@@ -190,15 +226,26 @@ impl EvalOptions {
     pub fn static_partition() -> Self {
         EvalOptions {
             partition: PartitionMode::Static,
+            warm_profile_seed: false,
+        }
+    }
+
+    /// The default options with cross-slot profile seeding enabled.
+    pub fn warm_seeded() -> Self {
+        EvalOptions {
+            warm_profile_seed: true,
+            ..EvalOptions::default()
         }
     }
 }
 
 impl Default for EvalOptions {
-    /// Dynamic partitioning — the profile-local refinement.
+    /// Dynamic partitioning, no cross-slot profile seeding — the
+    /// fresh-per-slot-identical configuration.
     fn default() -> Self {
         EvalOptions {
             partition: PartitionMode::Dynamic,
+            warm_profile_seed: false,
         }
     }
 }
@@ -245,6 +292,10 @@ struct PartitionScratch {
 /// Reusable dense buffers for sub-instance construction.
 #[derive(Debug)]
 struct Scratch {
+    /// Network dimensions the dense buffers are sized for (recycle
+    /// check).
+    nodes: usize,
+    edges: usize,
     /// Arena-backed instance assembler shared with
     /// [`PerSlotContext::build_instance`]'s layout.
     asm: RouteAssembler,
@@ -289,14 +340,299 @@ impl Scratch {
             pos_off: Vec::new(),
             spans: Vec::new(),
             gathered: Vec::new(),
+            nodes,
+            edges,
+        }
+    }
+
+    /// Recycles a session-carried scratch for a new slot: same network
+    /// dimensions keep every buffer (the arena, the husks, the dense
+    /// partition maps), a topology change rebuilds from scratch.
+    fn recycled(prev: Option<Scratch>, nodes: usize, edges: usize, components: usize) -> Self {
+        match prev {
+            Some(mut s) if s.nodes == nodes && s.edges == edges => {
+                s.cursors.clear();
+                s.cursors.resize(components, 0);
+                s
+            }
+            _ => Scratch::sized(nodes, edges, components),
         }
     }
 }
 
-/// A route-index-keyed memo: key → flat allocation (`None` = that
-/// combination is infeasible). Level 1 keys by a static component's
-/// route tuple; level 2 by a dynamic group's `(position, route)` pairs.
-type Memo = HashMap<Box<[u32]>, Option<Box<[u32]>>>;
+/// A route-index-keyed memo: key → epoch-stamped flat allocation
+/// (`None` = that combination is infeasible). Level 1 keys by a static
+/// component's route tuple; level 2 by a dynamic group's
+/// `(position, route)` pairs. Entries whose epoch is not the
+/// evaluator's current one are invisible (stale from an earlier slot
+/// context) and get overwritten in place on the next solve.
+type Memo = HashMap<Box<[u32]>, MemoEntry>;
+
+/// One memoized allocation, stamped with the slot-context epoch it was
+/// solved under.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    epoch: u64,
+    alloc: Option<Box<[u32]>>,
+}
+
+/// Session-level exact-tuple λ store: member identity (interleaved
+/// `(source, destination, route index)` per member, ascending by member)
+/// → the final dual prices of that sub-instance's most recent solve, in
+/// the instance's deterministic constraint order.
+type LambdaMemo = HashMap<Box<[u32]>, Box<[f64]>>;
+
+/// Identity of one slot's evaluation context. Two slots with equal
+/// fingerprints pose the *same* mathematical problem (same network
+/// dimensions and capacities, same objective parameters, same pairs and
+/// candidate routes, same solver), so memo entries are interchangeable
+/// between them; any difference invalidates every cross-slot memo via
+/// an epoch bump.
+#[derive(Debug, Clone, PartialEq)]
+struct SlotFingerprint {
+    v_bits: u64,
+    price_bits: u64,
+    budget: Option<u64>,
+    method: AllocationMethod,
+    options: EvalOptions,
+    qubits: Vec<u32>,
+    channels: Vec<u32>,
+    pairs: Vec<SdPair>,
+    /// FNV-1a over every candidate route's edge structure (hop counts +
+    /// edge ids), so a changed candidate *list* for an unchanged pair —
+    /// e.g. a different fidelity filter — still invalidates.
+    routes_hash: u64,
+}
+
+impl SlotFingerprint {
+    fn of(
+        ctx: &PerSlotContext<'_>,
+        candidates: &[Candidates<'_>],
+        method: &AllocationMethod,
+        options: EvalOptions,
+    ) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for c in candidates {
+            mix(c.routes.len() as u64);
+            for route in c.routes {
+                mix(route.hops() as u64);
+                for &edge in route.edges() {
+                    mix(edge.index() as u64 + 1);
+                }
+            }
+        }
+        SlotFingerprint {
+            v_bits: ctx.v_weight.to_bits(),
+            price_bits: ctx.unit_price.to_bits(),
+            budget: ctx.slot_budget,
+            method: *method,
+            options,
+            qubits: ctx.snapshot.qubit_vec().to_vec(),
+            channels: ctx.snapshot.channel_vec().to_vec(),
+            pairs: candidates.iter().map(|c| c.pair).collect(),
+            routes_hash: h,
+        }
+    }
+}
+
+/// The heap state a [`SelectorSession`] lends to one slot's
+/// [`ProfileEvaluator`] and takes back on
+/// [`ProfileEvaluator::retire`].
+#[derive(Debug)]
+struct SessionParts {
+    epoch: u64,
+    scratch: Option<Scratch>,
+    memos: Vec<Memo>,
+    dyn_memos: Vec<Memo>,
+    lambda_exact: LambdaMemo,
+    lambda_dense: Vec<f64>,
+    lambda_dense_valid: bool,
+}
+
+impl SessionParts {
+    /// Parts for a stand-alone (sessionless) evaluator: everything
+    /// empty, epoch 1 so no entry can pre-date it.
+    fn fresh() -> Self {
+        SessionParts {
+            epoch: 1,
+            scratch: None,
+            memos: Vec::new(),
+            dyn_memos: Vec::new(),
+            lambda_exact: LambdaMemo::new(),
+            lambda_dense: Vec::new(),
+            lambda_dense_valid: false,
+        }
+    }
+}
+
+/// Per-component memo maps whose stale population exceeds this are
+/// cleared (keeping capacity) instead of carried further — the bound
+/// that keeps a long-lived session's memory proportional to one slot's
+/// working set rather than to the whole run.
+const MEMO_PRUNE_LEN: usize = 8192;
+
+/// The exact-tuple λ store is cleared once it exceeds this many
+/// entries: unlike the memos it is *never* invalidated by context
+/// drift, so an unboundedly long run over a rich pair universe would
+/// otherwise grow it without limit. Losing it only costs warm-start
+/// quality on the next revisit of each tuple.
+const LAMBDA_PRUNE_LEN: usize = 65_536;
+
+/// Persistent route-selection state spanning slots — the slot-lifetime
+/// counterpart of the per-slot [`ProfileEvaluator`].
+///
+/// A session is owned by a policy (or any other driver that makes one
+/// selection per slot) for the lifetime of a run and threaded through
+/// [`crate::route_selection::RouteSelector::select_in`]. It carries:
+///
+/// * the recycled [`RouteAssembler`] arena, instance husks, and every
+///   dense scratch buffer (epoch-stamped node maps, union-find, CSR
+///   staging) — steady-state slots allocate no evaluator storage;
+/// * the two memo levels, epoch-stamped: entries stay live exactly as
+///   long as the slot fingerprint (prices, capacities, pairs, candidate
+///   routes, method, options) is unchanged, and one integer bump
+///   invalidates all of them when it is not;
+/// * the λ warm-start stores (active only when the allocation method is
+///   `RelaxAndRound` with `warm_start`): a dense per-constraint-identity
+///   vector — valid across slots because constraint identity is
+///   topological (node / edge / budget) and the optimal duals drift
+///   smoothly with the price `q_t` — plus an exact-tuple memo keyed by
+///   member `(pair, route)` identity, which re-seeds a re-visited
+///   sub-instance with its *own* most recent prices;
+/// * the previous slot's selected route per [`SdPair`], which seeds the
+///   next slot's Gibbs chain / greedy start for pairs present in
+///   consecutive slots when [`EvalOptions::warm_profile_seed`] is set.
+///
+/// # Lifetime and invalidation invariants
+///
+/// * A session assumes one fixed topology between [`SelectorSession::reset`]
+///   calls: candidate route indices and constraint identities are only
+///   comparable across slots on the same network. Policies reset their
+///   session whenever [`crate::policy::RoutingPolicy::reset`] runs, so
+///   fresh trials share nothing.
+/// * Memo entries are read only under an exactly matching slot
+///   fingerprint; *any* context change (drifted price, different
+///   capacities, a dropped pair, a different fidelity filter) bumps the
+///   epoch before the slot's first evaluation.
+/// * λ entries are never invalidated by context drift — a dual seed is
+///   advisory, and every warm solve still certifies the same
+///   feasibility and duality-gap guarantees as a cold one (capped warm
+///   budget, cold fallback) — they are only cleared by `reset`.
+/// * With `warm_profile_seed` off and `warm_start` off, a session-built
+///   evaluator is **bit-identical** to a fresh
+///   [`ProfileEvaluator::new`] per slot (enforced by the
+///   `session_matches_fresh_per_slot` proptest).
+#[derive(Debug, Default)]
+pub struct SelectorSession {
+    /// Current memo epoch; entries stamped differently are stale.
+    epoch: u64,
+    fingerprint: Option<SlotFingerprint>,
+    scratch: Option<Scratch>,
+    memos: Vec<Memo>,
+    dyn_memos: Vec<Memo>,
+    lambda_exact: LambdaMemo,
+    lambda_dense: Vec<f64>,
+    lambda_dense_valid: bool,
+    /// Previous slot's selected route index per pair.
+    prev_selected: HashMap<SdPair, u32>,
+}
+
+impl SelectorSession {
+    /// An empty session (no cross-slot state yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all cross-slot state for a fresh trial: λ stores, the
+    /// previous selected profile, and (via an epoch bump) every memo
+    /// entry. Recycled buffer capacity is kept — it carries no
+    /// semantic state.
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.fingerprint = None;
+        self.lambda_exact.clear();
+        self.lambda_dense.iter_mut().for_each(|l| *l = 0.0);
+        self.lambda_dense_valid = false;
+        self.prev_selected.clear();
+    }
+
+    /// The route index this session remembers for `pair` from the
+    /// previous slot's selection, if any.
+    pub fn previous_route(&self, pair: SdPair) -> Option<usize> {
+        self.prev_selected.get(&pair).map(|&r| r as usize)
+    }
+
+    /// Number of pairs with a remembered previous-slot route.
+    pub fn remembered_pairs(&self) -> usize {
+        self.prev_selected.len()
+    }
+
+    /// Number of exact-tuple λ seeds currently stored.
+    pub fn lambda_entries(&self) -> usize {
+        self.lambda_exact.len()
+    }
+
+    /// The warm starting profile for `candidates`, or `None` unless a
+    /// strict *majority* (more than half) of the candidate pairs carry
+    /// a remembered previous-slot route — a seed dominated by fallback
+    /// entries is not a warm start, and selectors shrink their search
+    /// budget on seeded slots (see `GibbsConfig::warm_iterations`), so
+    /// low-coverage slots must run the full cold search instead.
+    /// Remembered pairs start on last slot's route (when still within
+    /// their candidate list); the remaining pairs fall back to their
+    /// shortest candidate (index 0). Pairs repeated in the request set
+    /// (multi-EC) all seed from the one remembered route of that pair.
+    pub fn seed_indices(&self, candidates: &[Candidates<'_>]) -> Option<Vec<usize>> {
+        let mut remembered = 0usize;
+        let seed: Vec<usize> = candidates
+            .iter()
+            .map(|c| match self.prev_selected.get(&c.pair) {
+                Some(&r) if (r as usize) < c.routes.len() => {
+                    remembered += 1;
+                    r as usize
+                }
+                _ => 0,
+            })
+            .collect();
+        (remembered * 2 > candidates.len()).then_some(seed)
+    }
+
+    /// Records this slot's selection as the seed source for the next
+    /// slot. Replaces the previous record wholesale: only pairs served
+    /// in the *immediately* preceding slot seed the next one.
+    pub fn record_selection(&mut self, candidates: &[Candidates<'_>], indices: &[usize]) {
+        debug_assert_eq!(candidates.len(), indices.len());
+        self.prev_selected.clear();
+        for (c, &i) in candidates.iter().zip(indices) {
+            self.prev_selected.insert(c.pair, i as u32);
+        }
+    }
+
+    /// Lends the recycled buffers out for one slot, bumping the epoch
+    /// when the slot context differs from the previous slot's.
+    fn lend(&mut self, fingerprint: SlotFingerprint) -> SessionParts {
+        if self.fingerprint.as_ref() != Some(&fingerprint) {
+            self.epoch += 1;
+            self.fingerprint = Some(fingerprint);
+        }
+        if self.lambda_exact.len() > LAMBDA_PRUNE_LEN {
+            self.lambda_exact.clear();
+        }
+        SessionParts {
+            epoch: self.epoch,
+            scratch: self.scratch.take(),
+            memos: std::mem::take(&mut self.memos),
+            dyn_memos: std::mem::take(&mut self.dyn_memos),
+            lambda_exact: std::mem::take(&mut self.lambda_exact),
+            lambda_dense: std::mem::take(&mut self.lambda_dense),
+            lambda_dense_valid: self.lambda_dense_valid,
+        }
+    }
+}
 
 /// One static component's stored dual prices, dense over constraint keys
 /// (node / edge / budget identity — see [`RouteAssembler`]). Constraint
@@ -391,6 +727,9 @@ pub struct ProfileEvaluator<'a> {
     lossy_swap: bool,
     budget: Option<u32>,
     scratch: Scratch,
+    /// Memo epoch this evaluator reads and writes; session-built
+    /// evaluators inherit the session's current epoch.
+    epoch: u64,
     /// Level-1 memos (per static component, keyed by route tuple).
     memos: Vec<Memo>,
     /// Level-2 memos (per static component, keyed by dynamic sub-key).
@@ -400,9 +739,17 @@ pub struct ProfileEvaluator<'a> {
     group_key: Vec<u32>,
     /// Pair ids of the dynamic group being solved.
     group_members: Vec<usize>,
+    /// Exact-tuple λ key under construction.
+    tuple_key: Vec<u32>,
     /// Per-static-component dual warm-start store (empty unless the
     /// method is `RelaxAndRound` with `warm_start` enabled).
     duals: Vec<ComponentDual>,
+    /// Session-spanning λ stores (see [`SelectorSession`]): exact-tuple
+    /// seeds and the dense per-constraint-identity vector. Written only
+    /// when warm starts are enabled; passed back on retire regardless.
+    lambda_exact: LambdaMemo,
+    lambda_dense: Vec<f64>,
+    lambda_dense_valid: bool,
     warm_opts: Option<RelaxedOptions>,
     /// `pair_memo[i][r]`: cached single-pair objective (outer `None` =
     /// not yet computed; inner `None` = infeasible).
@@ -422,6 +769,48 @@ impl<'a> ProfileEvaluator<'a> {
         candidates: &[Candidates<'_>],
         method: &AllocationMethod,
         options: EvalOptions,
+    ) -> Self {
+        Self::build(ctx, candidates, method, options, SessionParts::fresh())
+    }
+
+    /// [`ProfileEvaluator::new`] backed by a [`SelectorSession`]: the
+    /// arena, scratch buffers, memo maps, and λ stores are borrowed from
+    /// the session instead of freshly allocated, and the session's memo
+    /// epoch is bumped first when this slot's context differs from the
+    /// previous slot's (see the session docs for the invalidation
+    /// invariants). Call [`ProfileEvaluator::retire`] when the slot's
+    /// selection is done to hand the state back; dropping the evaluator
+    /// instead merely forfeits the reuse (the session rebuilds fresh
+    /// buffers next slot).
+    pub fn new_in(
+        session: &mut SelectorSession,
+        ctx: &PerSlotContext<'a>,
+        candidates: &[Candidates<'_>],
+        method: &AllocationMethod,
+        options: EvalOptions,
+    ) -> Self {
+        let parts = session.lend(SlotFingerprint::of(ctx, candidates, method, options));
+        Self::build(ctx, candidates, method, options, parts)
+    }
+
+    /// Returns the recycled buffers, memos, and λ stores to `session`
+    /// for the next slot. The memo epoch itself lives in the session
+    /// and was already advanced by [`ProfileEvaluator::new_in`].
+    pub fn retire(self, session: &mut SelectorSession) {
+        session.scratch = Some(self.scratch);
+        session.memos = self.memos;
+        session.dyn_memos = self.dyn_memos;
+        session.lambda_exact = self.lambda_exact;
+        session.lambda_dense = self.lambda_dense;
+        session.lambda_dense_valid = self.lambda_dense_valid;
+    }
+
+    fn build(
+        ctx: &PerSlotContext<'a>,
+        candidates: &[Candidates<'_>],
+        method: &AllocationMethod,
+        options: EvalOptions,
+        parts: SessionParts,
     ) -> Self {
         let k = candidates.len();
         let pairs: Vec<SdPair> = candidates.iter().map(|c| c.pair).collect();
@@ -476,23 +865,48 @@ impl<'a> ProfileEvaluator<'a> {
         }
 
         let q = ctx.network.swap().success();
-        let scratch = Scratch::sized(
-            ctx.network.node_count(),
-            ctx.network.edge_count(),
-            comp_pairs.len(),
-        );
-        let memos = vec![Memo::new(); comp_pairs.len()];
-        let dyn_memos = vec![Memo::new(); comp_pairs.len()];
+        let nodes = ctx.network.node_count();
+        let edges = ctx.network.edge_count();
+        let SessionParts {
+            epoch,
+            scratch,
+            mut memos,
+            mut dyn_memos,
+            lambda_exact,
+            mut lambda_dense,
+            mut lambda_dense_valid,
+        } = parts;
+        let scratch = Scratch::recycled(scratch, nodes, edges, comp_pairs.len());
+        for memo in [&mut memos, &mut dyn_memos] {
+            memo.truncate(comp_pairs.len());
+            memo.resize_with(comp_pairs.len(), Memo::new);
+            for m in memo.iter_mut() {
+                if m.len() > MEMO_PRUNE_LEN {
+                    m.clear();
+                }
+            }
+        }
         let warm_opts = match method {
             AllocationMethod::RelaxAndRound(o) if o.warm_start => Some(*o),
             _ => None,
         };
+        let key_space = nodes + edges + 1;
+        if lambda_dense.len() != key_space {
+            // First use, or a topology change: the stored identities no
+            // longer line up — start the dense store over.
+            lambda_dense.clear();
+            lambda_dense.resize(key_space, 0.0);
+            lambda_dense_valid = false;
+        }
         let duals = if warm_opts.is_some() {
-            let key_space = ctx.network.node_count() + ctx.network.edge_count() + 1;
+            // Each component starts from the session's dense λ (the
+            // previous slots' prices over the same topological
+            // constraint identities) when one is carried — λ drifts
+            // smoothly with `q_t`, so it is a high-quality first seed.
             vec![
                 ComponentDual {
-                    lambda: vec![0.0; key_space],
-                    valid: false,
+                    lambda: lambda_dense.clone(),
+                    valid: lambda_dense_valid,
                 };
                 comp_pairs.len()
             ]
@@ -522,11 +936,16 @@ impl<'a> ProfileEvaluator<'a> {
             lossy_swap: q < 1.0,
             budget: ctx.slot_budget.map(|b| b.min(u32::MAX as u64) as u32),
             scratch,
+            epoch,
             memos,
             dyn_memos,
             group_key: Vec::new(),
             group_members: Vec::new(),
+            tuple_key: Vec::new(),
             duals,
+            lambda_exact,
+            lambda_dense,
+            lambda_dense_valid,
             warm_opts,
             pair_memo,
             stats,
@@ -779,13 +1198,11 @@ impl<'a> ProfileEvaluator<'a> {
 
         for comp in 0..self.comp_pairs.len() {
             let key = &self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]];
-            if let Some(entry) = self.memos[comp].get(key) {
+            if let Some(entry) = self.memos[comp].get(key).filter(|e| e.epoch == self.epoch) {
                 if fresh.binary_search(&comp).is_err() {
                     self.stats.memo_hits += 1;
                 }
-                if entry.is_none() {
-                    return None;
-                }
+                entry.alloc.as_ref()?;
                 continue;
             }
             let feasible = if self.use_dynamic(comp) {
@@ -805,11 +1222,45 @@ impl<'a> ProfileEvaluator<'a> {
         Some(())
     }
 
+    /// Records a warm-capable solve's outcome in the λ stores: the
+    /// component's dense store, the session-spanning dense store, and
+    /// the exact-tuple memo under the key currently staged in
+    /// `tuple_key` (the caller stages it iff warm starts are enabled,
+    /// which is also the only case where `solve.dual` is `Some`).
+    fn absorb_lambda(&mut self, comp: usize, solve: &ComponentSolve) {
+        if solve.warm_started {
+            self.stats.warm_started += 1;
+        }
+        let Some((keys, lambda)) = &solve.dual else {
+            return;
+        };
+        self.duals[comp].absorb(keys, lambda);
+        for (&key, &l) in keys.iter().zip(lambda.iter()) {
+            self.lambda_dense[key as usize] = l;
+        }
+        self.lambda_dense_valid = true;
+        self.lambda_exact
+            .insert(self.tuple_key.as_slice().into(), lambda.as_slice().into());
+    }
+
     /// Solves static component `comp` as one sub-instance and memoizes
     /// the result at level 1. Returns feasibility.
     fn solve_whole(&mut self, comp: usize, indices: &[usize]) -> bool {
         self.stats.components_solved += 1;
         self.stats.pairs_resolved_last_move += self.comp_pairs[comp].len() as u64;
+        let exact = if self.warm_opts.is_some() {
+            stage_tuple_key(
+                &self.pairs,
+                &self.comp_pairs[comp],
+                indices,
+                &mut self.tuple_key,
+            );
+            self.lambda_exact
+                .get(self.tuple_key.as_slice())
+                .map(|l| &l[..])
+        } else {
+            None
+        };
         let warm = self.warm_opts.as_ref().map(|o| (o, &self.duals[comp]));
         let solve = solve_component(
             &mut self.scratch,
@@ -820,18 +1271,20 @@ impl<'a> ProfileEvaluator<'a> {
             &self.comp_pairs[comp],
             indices,
             warm,
+            exact,
         );
-        if solve.warm_started {
-            self.stats.warm_started += 1;
-        }
-        if let Some((keys, lambda)) = &solve.dual {
-            self.duals[comp].absorb(keys, lambda);
-        }
+        self.absorb_lambda(comp, &solve);
         let feasible = solve.alloc.is_some();
         let key = self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]]
             .to_vec()
             .into_boxed_slice();
-        self.memos[comp].insert(key, solve.alloc);
+        self.memos[comp].insert(
+            key,
+            MemoEntry {
+                epoch: self.epoch,
+                alloc: solve.alloc,
+            },
+        );
         feasible
     }
 
@@ -852,8 +1305,11 @@ impl<'a> ProfileEvaluator<'a> {
                     self.group_members.push(self.comp_pairs[comp][pos]);
                 }
             }
-            if let Some(entry) = self.dyn_memos[comp].get(self.group_key.as_slice()) {
-                if entry.is_none() {
+            if let Some(entry) = self.dyn_memos[comp]
+                .get(self.group_key.as_slice())
+                .filter(|e| e.epoch == self.epoch)
+            {
+                if entry.alloc.is_none() {
                     feasible = false;
                     break;
                 }
@@ -861,6 +1317,19 @@ impl<'a> ProfileEvaluator<'a> {
             }
             self.stats.components_solved += 1;
             self.stats.pairs_resolved_last_move += self.group_members.len() as u64;
+            let exact = if self.warm_opts.is_some() {
+                stage_tuple_key(
+                    &self.pairs,
+                    &self.group_members,
+                    indices,
+                    &mut self.tuple_key,
+                );
+                self.lambda_exact
+                    .get(self.tuple_key.as_slice())
+                    .map(|l| &l[..])
+            } else {
+                None
+            };
             let warm = self.warm_opts.as_ref().map(|o| (o, &self.duals[comp]));
             let solve = solve_component(
                 &mut self.scratch,
@@ -871,15 +1340,17 @@ impl<'a> ProfileEvaluator<'a> {
                 &self.group_members,
                 indices,
                 warm,
+                exact,
             );
-            if solve.warm_started {
-                self.stats.warm_started += 1;
-            }
-            if let Some((keys, lambda)) = &solve.dual {
-                self.duals[comp].absorb(keys, lambda);
-            }
+            self.absorb_lambda(comp, &solve);
             let ok = solve.alloc.is_some();
-            self.dyn_memos[comp].insert(self.group_key.as_slice().into(), solve.alloc);
+            self.dyn_memos[comp].insert(
+                self.group_key.as_slice().into(),
+                MemoEntry {
+                    epoch: self.epoch,
+                    alloc: solve.alloc,
+                },
+            );
             if !ok {
                 feasible = false;
                 break;
@@ -887,7 +1358,13 @@ impl<'a> ProfileEvaluator<'a> {
         }
         if !feasible {
             let key: Box<[u32]> = self.scratch.joint_key[off..end].into();
-            self.memos[comp].insert(key, None);
+            self.memos[comp].insert(
+                key,
+                MemoEntry {
+                    epoch: self.epoch,
+                    alloc: None,
+                },
+            );
             return false;
         }
         self.gather_groups(comp);
@@ -930,15 +1407,24 @@ impl<'a> ProfileEvaluator<'a> {
                     spans.push((pos_off[pos], hops));
                 }
             }
-            let alloc = self.dyn_memos[comp]
+            let entry = self.dyn_memos[comp]
                 .get(self.group_key.as_slice())
-                .expect("group memoized by solve_groups")
+                .expect("group memoized by solve_groups");
+            debug_assert_eq!(entry.epoch, self.epoch);
+            let alloc = entry
+                .alloc
                 .as_deref()
                 .expect("group feasible by solve_groups");
             scatter_segments(alloc, spans.iter().copied(), gathered);
         }
         let key: Box<[u32]> = joint_key[off..end].into();
-        self.memos[comp].insert(key, Some(gathered.as_slice().into()));
+        self.memos[comp].insert(
+            key,
+            MemoEntry {
+                epoch: self.epoch,
+                alloc: Some(gathered.as_slice().into()),
+            },
+        );
     }
 
     /// Pre-solves all missing work items of `indices` — dynamic groups,
@@ -964,7 +1450,10 @@ impl<'a> ProfileEvaluator<'a> {
         for comp in 0..self.comp_pairs.len() {
             let off = self.comp_key_off[comp];
             let end = self.comp_key_off[comp + 1];
-            if self.memos[comp].contains_key(&self.scratch.joint_key[off..end]) {
+            if self.memos[comp]
+                .get(&self.scratch.joint_key[off..end])
+                .is_some_and(|e| e.epoch == self.epoch)
+            {
                 continue;
             }
             if self.use_dynamic(comp) {
@@ -978,7 +1467,10 @@ impl<'a> ProfileEvaluator<'a> {
                                 self.group_key.push(self.scratch.joint_key[off + pos]);
                             }
                         }
-                        if !self.dyn_memos[comp].contains_key(self.group_key.as_slice()) {
+                        if !self.dyn_memos[comp]
+                            .get(self.group_key.as_slice())
+                            .is_some_and(|e| e.epoch == self.epoch)
+                        {
                             items.push((comp, g));
                         }
                     }
@@ -1000,12 +1492,14 @@ impl<'a> ProfileEvaluator<'a> {
         let method = self.method;
         let warm_opts = self.warm_opts;
         let routes = &self.routes;
+        let pairs = &self.pairs;
         let comp_pairs = &self.comp_pairs;
         let comp_key_off = &self.comp_key_off;
         let dyn_group_of = &self.dyn_group_of;
         let duals = &self.duals;
+        let lambda_exact = &self.lambda_exact;
         let infeasible = AtomicBool::new(false);
-        type ItemSolve = (usize, u32, usize, ComponentSolve);
+        type ItemSolve = (usize, u32, usize, Vec<u32>, ComponentSolve);
         let results: Vec<Vec<ItemSolve>> = std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
@@ -1027,6 +1521,13 @@ impl<'a> ProfileEvaluator<'a> {
                                     members.push(pair);
                                 }
                             }
+                            let mut tuple_key = Vec::new();
+                            let exact = if warm_opts.is_some() {
+                                stage_tuple_key(pairs, &members, indices, &mut tuple_key);
+                                lambda_exact.get(tuple_key.as_slice()).map(|l| &l[..])
+                            } else {
+                                None
+                            };
                             let warm = warm_opts.as_ref().map(|o| (o, &duals[comp]));
                             let solve = solve_component(
                                 &mut scratch,
@@ -1037,11 +1538,12 @@ impl<'a> ProfileEvaluator<'a> {
                                 &members,
                                 indices,
                                 warm,
+                                exact,
                             );
                             if solve.alloc.is_none() {
                                 infeasible.store(true, Ordering::Relaxed);
                             }
-                            out.push((comp, g, members.len(), solve));
+                            out.push((comp, g, members.len(), tuple_key, solve));
                         }
                         out
                     })
@@ -1051,20 +1553,20 @@ impl<'a> ProfileEvaluator<'a> {
         });
         let any_infeasible = infeasible.into_inner();
         let mut fresh = Vec::new();
-        for (comp, g, n_pairs, solve) in results.into_iter().flatten() {
+        for (comp, g, n_pairs, tuple_key, solve) in results.into_iter().flatten() {
             self.stats.components_solved += 1;
             self.stats.pairs_resolved_last_move += n_pairs as u64;
-            if solve.warm_started {
-                self.stats.warm_started += 1;
-            }
-            if let Some((keys, lambda)) = &solve.dual {
-                self.duals[comp].absorb(keys, lambda);
-            }
+            self.tuple_key = tuple_key;
+            self.absorb_lambda(comp, &solve);
             let off = self.comp_key_off[comp];
             let end = self.comp_key_off[comp + 1];
+            let entry = MemoEntry {
+                epoch: self.epoch,
+                alloc: solve.alloc,
+            };
             if g == WHOLE {
                 let key: Box<[u32]> = self.scratch.joint_key[off..end].into();
-                self.memos[comp].insert(key, solve.alloc);
+                self.memos[comp].insert(key, entry);
                 fresh.push(comp);
             } else {
                 self.group_key.clear();
@@ -1074,7 +1576,7 @@ impl<'a> ProfileEvaluator<'a> {
                         self.group_key.push(self.scratch.joint_key[off + pos]);
                     }
                 }
-                self.dyn_memos[comp].insert(self.group_key.as_slice().into(), solve.alloc);
+                self.dyn_memos[comp].insert(self.group_key.as_slice().into(), entry);
                 // The serial loop's level-1 miss path gathers the groups
                 // (all level-2 hits by then) into the level-1 entry.
             }
@@ -1105,9 +1607,12 @@ impl<'a> ProfileEvaluator<'a> {
             .map(|comp| {
                 let key =
                     &self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]];
-                self.memos[comp]
+                let entry = self.memos[comp]
                     .get(key)
-                    .expect("component memoized by ensure_components")
+                    .expect("component memoized by ensure_components");
+                debug_assert_eq!(entry.epoch, self.epoch);
+                entry
+                    .alloc
                     .as_deref()
                     .expect("component feasible by ensure_components")
             })
@@ -1203,12 +1708,29 @@ fn build_instance_for<'r>(
     )
 }
 
+/// Stages the exact-tuple λ key of a sub-instance into `out`: per
+/// member (ascending), its pair endpoints and selected route index —
+/// the identity under which [`SelectorSession`] remembers final dual
+/// prices across slots.
+fn stage_tuple_key(pairs: &[SdPair], members: &[usize], indices: &[usize], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(members.len() * 3);
+    for &i in members {
+        out.push(pairs[i].source().index() as u32);
+        out.push(pairs[i].destination().index() as u32);
+        out.push(indices[i] as u32);
+    }
+}
+
 /// Builds and solves one sub-instance (a whole static component or a
 /// single dynamic group, `members` = its pair ids ascending), recycling
 /// the instance storage afterwards. `alloc == None` means the route
 /// combination is infeasible. With `warm`, a `RelaxAndRound` solve is
 /// seeded from the component's stored λ (when valid) and the final
-/// prices are returned for the caller to absorb into the store.
+/// prices are returned for the caller to absorb into the store; an
+/// `exact` seed — this very sub-instance's most recent final λ, from
+/// the session's tuple memo — takes precedence over the gathered
+/// component store when its length matches the instance.
 #[allow(clippy::too_many_arguments)]
 fn solve_component(
     scratch: &mut Scratch,
@@ -1219,6 +1741,7 @@ fn solve_component(
     members: &[usize],
     indices: &[usize],
     warm: Option<(&RelaxedOptions, &ComponentDual)>,
+    exact: Option<&[f64]>,
 ) -> ComponentSolve {
     let route_iter = members.iter().map(|&i| &routes[i][indices[i]]);
     if let Some((options, dual)) = warm {
@@ -1229,12 +1752,20 @@ fn solve_component(
                 warm_started: false,
             };
         };
-        if dual.valid {
+        // The same member set and routes assemble the same constraint
+        // order, so a stored exact seed lines up position-for-position;
+        // the length check only guards against a topology change racing
+        // a stale store (which `SelectorSession::reset` rules out).
+        let exact = exact.filter(|l| l.len() == scratch.con_keys.len());
+        if exact.is_none() && dual.valid {
             let Scratch { warm, con_keys, .. } = &mut *scratch;
             warm.clear();
             warm.extend(con_keys.iter().map(|&k| dual.lambda[k as usize]));
         }
-        let warm_lambda = dual.valid.then_some(scratch.warm.as_slice());
+        let warm_lambda = match exact {
+            Some(l) => Some(l),
+            None => dual.valid.then_some(scratch.warm.as_slice()),
+        };
         // Count only seeds the solver actually engages: an all-zero
         // gathered λ makes `solve_relaxed_warm` run the plain cold path.
         let warm_started = warm_lambda.is_some_and(|w| w.iter().any(|&l| l > 0.0));
@@ -1438,8 +1969,11 @@ mod tests {
                 AllocationMethod::Minimal,
             ] {
                 for partition in [PartitionMode::Static, PartitionMode::Dynamic] {
-                    let mut eval =
-                        ProfileEvaluator::new(&ctx, &cands, &method, EvalOptions { partition });
+                    let options = EvalOptions {
+                        partition,
+                        warm_profile_seed: false,
+                    };
+                    let mut eval = ProfileEvaluator::new(&ctx, &cands, &method, options);
                     // Every profile in the (small) product space.
                     let radix: Vec<usize> = cands.iter().map(|c| c.routes.len()).collect();
                     let mut indices = vec![0usize; cands.len()];
@@ -1688,14 +2222,20 @@ mod tests {
 
     #[test]
     fn eval_options_serde_round_trip() {
-        for options in [EvalOptions::default(), EvalOptions::static_partition()] {
+        for options in [
+            EvalOptions::default(),
+            EvalOptions::static_partition(),
+            EvalOptions::warm_seeded(),
+        ] {
             let json = serde_json::to_string(&options).unwrap();
             assert!(json.contains("\"partition\""), "{json}");
+            assert!(json.contains("\"warm_profile_seed\""), "{json}");
             let back: EvalOptions = serde_json::from_str(&json).unwrap();
             assert_eq!(options, back);
         }
-        // Loud compat break: the field is required.
+        // Loud compat breaks: both fields are required.
         assert!(serde_json::from_str::<EvalOptions>("{}").is_err());
+        assert!(serde_json::from_str::<EvalOptions>(r#"{"partition":"Dynamic"}"#).is_err());
     }
 
     #[test]

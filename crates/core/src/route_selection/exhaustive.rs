@@ -27,6 +27,17 @@ pub fn search(
     options: EvalOptions,
 ) -> Option<Selection> {
     let mut evaluator = ProfileEvaluator::new(ctx, candidates, method, options);
+    search_with(&mut evaluator, candidates)
+}
+
+/// [`search`] over a caller-provided evaluator — the session-threaded
+/// entry point ([`crate::route_selection::RouteSelector::select_in`]
+/// builds the evaluator from its [`crate::profile_eval::SelectorSession`]
+/// so the arena, memos, and λ stores persist across slots).
+pub fn search_with(
+    evaluator: &mut ProfileEvaluator<'_>,
+    candidates: &[Candidates<'_>],
+) -> Option<Selection> {
     let mut indices = vec![0usize; candidates.len()];
     let mut best: Option<(Vec<usize>, f64)> = None;
     loop {

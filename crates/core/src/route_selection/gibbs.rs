@@ -34,7 +34,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
 use crate::problem::PerSlotContext;
-use crate::profile_eval::{EvalOptions, ProfileEvaluator};
+use crate::profile_eval::{EvalOptions, ProfileEvaluator, SelectorSession};
 use crate::route_selection::{Candidates, Selection};
 
 /// Parameters of the Gibbs sampler.
@@ -60,8 +60,21 @@ pub struct GibbsConfig {
     /// (chains run on scoped threads under the `parallel` cargo
     /// feature).
     pub restarts: usize,
-    /// Profile-evaluator options (coupling-partition mode). **Required
-    /// since PR 4** — see MIGRATION.md.
+    /// Iteration budget used instead of `iterations` when the chain was
+    /// initialised from a *warm seed profile* (the previous slot's
+    /// selection, via [`EvalOptions::warm_profile_seed`] and a
+    /// [`SelectorSession`]): a chain that starts at last slot's optimum
+    /// only has to repair locally for the drifted price, not mix from a
+    /// random profile, so it earns a smaller budget — the adaptive
+    /// reconfiguration idea (cf. QuARC) that makes cross-slot seeding a
+    /// throughput win and not just a quality hedge. Set equal to
+    /// `iterations` to keep the full budget on seeded slots. Ignored
+    /// (full `iterations`) whenever no seed engaged — slot 0, fresh
+    /// pairs only, or an infeasible seed. **Required since PR 5** — see
+    /// MIGRATION.md.
+    pub warm_iterations: usize,
+    /// Profile-evaluator options (coupling-partition mode and warm
+    /// profile seeding). **Required since PR 4/5** — see MIGRATION.md.
     pub evaluator: EvalOptions,
 }
 
@@ -82,7 +95,9 @@ impl GibbsConfig {
     pub const GAMMA_FLOOR: f64 = 1e-9;
 
     /// The paper's configuration: γ = 500, single-pair updates, one
-    /// chain.
+    /// chain. Warm-seeded slots (opt-in via
+    /// [`EvalOptions::warm_profile_seed`]) get a quarter of the budget —
+    /// local repair from last slot's optimum instead of a full mix.
     pub fn paper_default() -> Self {
         GibbsConfig {
             iterations: 48,
@@ -91,6 +106,7 @@ impl GibbsConfig {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            warm_iterations: 12,
             evaluator: EvalOptions::default(),
         }
     }
@@ -141,6 +157,82 @@ pub fn run(
     sample_restarts(ctx, candidates, method, config, &seeds)
 }
 
+/// [`run`] backed by a [`SelectorSession`]: the evaluator recycles the
+/// session's arena/memos/λ stores, and — when
+/// [`EvalOptions::warm_profile_seed`] is set and the session remembers a
+/// previous slot's selection — every chain starts from that profile
+/// instead of a random draw (new pairs start on their shortest
+/// candidate). With warm seeding off this is bit-identical to [`run`].
+pub fn run_in(
+    session: &mut SelectorSession,
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    method: &AllocationMethod,
+    config: &GibbsConfig,
+    rng: &mut dyn rand::Rng,
+) -> Option<Selection> {
+    let seed = config
+        .evaluator
+        .warm_profile_seed
+        .then(|| session.seed_indices(candidates))
+        .flatten();
+    if config.restarts <= 1 {
+        let mut evaluator =
+            ProfileEvaluator::new_in(session, ctx, candidates, method, config.evaluator);
+        let selection = sample_seeded(&mut evaluator, candidates, config, rng, seed.as_deref());
+        evaluator.retire(session);
+        return selection;
+    }
+    let chain_seeds: Vec<u64> = (0..config.restarts).map(|_| rng.random()).collect();
+    #[cfg(feature = "parallel")]
+    {
+        // Chains run on scoped threads with per-chain evaluators (the
+        // session buffers cannot be shared mutably across threads), so
+        // the session contributes only the starting profile here.
+        sample_restarts_seeded(
+            ctx,
+            candidates,
+            method,
+            config,
+            &chain_seeds,
+            seed.as_deref(),
+        )
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        // Serial chains share the session evaluator: every profile any
+        // chain (or a previous slot with an identical context) visited
+        // is a memo hit for the others.
+        use rand::SeedableRng;
+        let mut evaluator =
+            ProfileEvaluator::new_in(session, ctx, candidates, method, config.evaluator);
+        let selection = chain_seeds
+            .iter()
+            .filter_map(|&chain_seed| {
+                let mut chain_rng = rand::rngs::StdRng::seed_from_u64(chain_seed);
+                sample_seeded(
+                    &mut evaluator,
+                    candidates,
+                    config,
+                    &mut chain_rng,
+                    seed.as_deref(),
+                )
+            })
+            .reduce(best_selection);
+        evaluator.retire(session);
+        selection
+    }
+}
+
+/// Keeps the better of two chain outcomes (ties keep the earlier one).
+fn best_selection(best: Selection, cand: Selection) -> Selection {
+    if cand.evaluation.objective > best.evaluation.objective {
+        cand
+    } else {
+        best
+    }
+}
+
 /// Runs Algorithm 3 and returns the best profile visited.
 ///
 /// Returns `None` when no feasible profile could be found at all (every
@@ -164,6 +256,21 @@ pub fn sample_with(
     config: &GibbsConfig,
     rng: &mut dyn rand::Rng,
 ) -> Option<Selection> {
+    sample_seeded(evaluator, candidates, config, rng, None)
+}
+
+/// [`sample_with`] with an optional warm starting profile (the previous
+/// slot's selection, resolved by
+/// [`SelectorSession::seed_indices`]): when given and feasible, the
+/// chain starts there instead of drawing random initial profiles. An
+/// infeasible seed falls back to the standard initialisation.
+pub fn sample_seeded(
+    evaluator: &mut ProfileEvaluator<'_>,
+    candidates: &[Candidates<'_>],
+    config: &GibbsConfig,
+    rng: &mut dyn rand::Rng,
+    seed: Option<&[usize]>,
+) -> Option<Selection> {
     let k = candidates.len();
     if k == 0 {
         return evaluator.evaluate(&[]).map(|evaluation| Selection {
@@ -172,16 +279,27 @@ pub fn sample_with(
         });
     }
 
-    // --- Initialisation: random profiles, then the all-shortest fallback.
+    // --- Initialisation: the warm seed when given and feasible, then
+    // random profiles, then the all-shortest fallback.
     let mut current: Option<(Vec<usize>, f64)> = None;
-    for _ in 0..config.max_init_attempts.max(1) {
-        let indices: Vec<usize> = candidates
-            .iter()
-            .map(|c| rng.random_range(0..c.routes.len()))
-            .collect();
-        if let Some(objective) = evaluator.evaluate_objective(&indices) {
-            current = Some((indices, objective));
-            break;
+    let mut seeded = false;
+    if let Some(seed) = seed {
+        debug_assert_eq!(seed.len(), k);
+        if let Some(objective) = evaluator.evaluate_objective(seed) {
+            current = Some((seed.to_vec(), objective));
+            seeded = true;
+        }
+    }
+    if current.is_none() {
+        for _ in 0..config.max_init_attempts.max(1) {
+            let indices: Vec<usize> = candidates
+                .iter()
+                .map(|c| rng.random_range(0..c.routes.len()))
+                .collect();
+            if let Some(objective) = evaluator.evaluate_objective(&indices) {
+                current = Some((indices, objective));
+                break;
+            }
         }
     }
     if current.is_none() {
@@ -203,7 +321,14 @@ pub fn sample_with(
     let coupled: Vec<usize> = (0..k).filter(|&i| !isolated[i]).collect();
 
     let mut gamma = config.gamma;
-    for _ in 0..config.iterations {
+    // A chain that starts at the previous slot's optimum only repairs
+    // locally; a randomly-initialised chain gets the full mixing budget.
+    let budget = if seeded {
+        config.warm_iterations
+    } else {
+        config.iterations
+    };
+    for _ in 0..budget {
         if config.parallel_isolated {
             // Isolated pairs evolve simultaneously with exact local
             // deltas: their allocation sub-problem is independent of every
@@ -293,6 +418,19 @@ pub fn sample_restarts(
     config: &GibbsConfig,
     seeds: &[u64],
 ) -> Option<Selection> {
+    sample_restarts_seeded(ctx, candidates, method, config, seeds, None)
+}
+
+/// [`sample_restarts`] with an optional shared warm starting profile
+/// (every chain starts from it; their RNG streams still differ).
+pub fn sample_restarts_seeded(
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    method: &AllocationMethod,
+    config: &GibbsConfig,
+    seeds: &[u64],
+    profile_seed: Option<&[usize]>,
+) -> Option<Selection> {
     use rand::SeedableRng;
 
     #[cfg(feature = "parallel")]
@@ -302,7 +440,9 @@ pub fn sample_restarts(
             .map(|&seed| {
                 scope.spawn(move || {
                     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                    sample(ctx, candidates, method, config, &mut rng)
+                    let mut evaluator =
+                        ProfileEvaluator::new(ctx, candidates, method, config.evaluator);
+                    sample_seeded(&mut evaluator, candidates, config, &mut rng, profile_seed)
                 })
             })
             .collect();
@@ -318,18 +458,12 @@ pub fn sample_restarts(
             .iter()
             .map(|&seed| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                sample_with(&mut evaluator, candidates, config, &mut rng)
+                sample_seeded(&mut evaluator, candidates, config, &mut rng, profile_seed)
             })
             .collect()
     };
 
-    chains.into_iter().flatten().reduce(|best, cand| {
-        if cand.evaluation.objective > best.evaluation.objective {
-            cand
-        } else {
-            best
-        }
-    })
+    chains.into_iter().flatten().reduce(best_selection)
 }
 
 /// One γ-decay step, clamped at [`GibbsConfig::GAMMA_FLOOR`]. The floor
@@ -484,6 +618,7 @@ mod tests {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            warm_iterations: 12,
             evaluator: EvalOptions::default(),
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
@@ -592,6 +727,7 @@ mod tests {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            warm_iterations: 12,
             evaluator: EvalOptions::default(),
         };
         let gibbs = sample(&ctx, &cands, &method, &config, &mut rng).unwrap();
@@ -625,6 +761,7 @@ mod tests {
             parallel_isolated: true,
             max_init_attempts: 8,
             restarts: 1,
+            warm_iterations: 12,
             evaluator: EvalOptions::default(),
         };
         let gibbs = sample(&ctx, &cands, &method, &config, &mut rng).unwrap();
@@ -704,6 +841,7 @@ mod tests {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            warm_iterations: 12,
             evaluator: EvalOptions::default(),
         };
         let multi = sample_restarts(&ctx, &cands, &method, &config, &[1, 2, 3, 4]).unwrap();
@@ -725,14 +863,19 @@ mod tests {
             parallel_isolated: true,
             max_init_attempts: 3,
             restarts: 4,
+            warm_iterations: 12,
             evaluator: EvalOptions::static_partition(),
         };
         let json = serde_json::to_string(&cfg).unwrap();
         assert!(json.contains("\"restarts\":4"), "{json}");
+        assert!(json.contains("\"warm_iterations\":12"), "{json}");
         let back: GibbsConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
         // The paper default stays a single chain.
         assert_eq!(GibbsConfig::paper_default().restarts, 1);
+        // Loud compat break (PR 5): `warm_iterations` is required.
+        let missing = json.replace("\"warm_iterations\":12,", "");
+        assert!(serde_json::from_str::<GibbsConfig>(&missing).is_err());
     }
 
     #[test]
@@ -754,6 +897,7 @@ mod tests {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 3,
+            warm_iterations: 12,
             evaluator: EvalOptions::default(),
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
@@ -768,6 +912,88 @@ mod tests {
                 assert!(multi.evaluation.objective >= single.evaluation.objective - 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn warm_profile_seed_starts_from_previous_selection() {
+        let net = two_diamonds();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, 800.0, 1.0);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let method = AllocationMethod::default();
+        let config = GibbsConfig {
+            iterations: 60,
+            evaluator: EvalOptions::warm_seeded(),
+            ..GibbsConfig::paper_default()
+        };
+        let mut session = SelectorSession::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // Slot 1: a long chain settles on a profile; the session must
+        // remember it per pair.
+        let mut evaluator =
+            ProfileEvaluator::new_in(&mut session, &ctx, &cands, &method, config.evaluator);
+        let first = sample_seeded(&mut evaluator, &cands, &config, &mut rng, None).unwrap();
+        evaluator.retire(&mut session);
+        session.record_selection(&cands, &first.indices);
+        assert_eq!(session.remembered_pairs(), 2);
+        let seed = session.seed_indices(&cands).unwrap();
+        assert_eq!(seed, first.indices);
+
+        // Slot 2, zero-iteration budgets on BOTH paths (a seeded chain
+        // runs `warm_iterations`, not `iterations`): the chain can only
+        // return its start, which with warm seeding is exactly the
+        // previous selection.
+        let frozen = GibbsConfig {
+            iterations: 0,
+            warm_iterations: 0,
+            ..config
+        };
+        let second = run_in(&mut session, &ctx, &cands, &method, &frozen, &mut rng).unwrap();
+        assert_eq!(second.indices, first.indices);
+
+        // A pair the session has never seen seeds at its shortest
+        // candidate (index 0); remembered pairs keep their route. Two
+        // of three pairs remembered = a strict majority, so the seed
+        // engages.
+        let more_pairs = [
+            pairs[0],
+            pairs[1],
+            SdPair::new(NodeId(1), NodeId(2)).unwrap(), // never selected
+        ];
+        let more_owned = owned_candidates(&net, &more_pairs);
+        let more_cands = to_cands(&more_owned);
+        let seed = session.seed_indices(&more_cands).unwrap();
+        assert_eq!(seed[0], second.indices[0]);
+        assert_eq!(seed[1], second.indices[1]);
+        assert_eq!(seed[2], 0);
+
+        // At exactly half coverage (1 of 2 pairs remembered) there is
+        // no strict majority and no seed.
+        let half_pairs = [pairs[0], more_pairs[2]];
+        let half_owned = owned_candidates(&net, &half_pairs);
+        let half_cands = to_cands(&half_owned);
+        assert!(session.seed_indices(&half_cands).is_none());
+
+        // An empty session (or one whose routes no longer fit) yields no
+        // seed at all.
+        assert!(SelectorSession::new().seed_indices(&cands).is_none());
+
+        // A slot that selects nothing clears the profile memory: the
+        // slot after it must start cold, never from a two-slot-old
+        // profile.
+        let selector = crate::route_selection::RouteSelector::Gibbs(frozen);
+        let starved = CapacitySnapshot::clamped(&net, vec![10; 8], vec![0; 8]);
+        let starved_ctx = PerSlotContext::oscar(&net, &starved, 800.0, 1.0);
+        assert!(selector
+            .select_in(&mut session, &starved_ctx, &cands, &method, &mut rng)
+            .is_none());
+        assert_eq!(session.remembered_pairs(), 0);
+        assert!(session.seed_indices(&cands).is_none());
     }
 
     #[test]

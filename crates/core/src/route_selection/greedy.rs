@@ -15,7 +15,7 @@ use rand::RngExt;
 
 use crate::allocation::AllocationMethod;
 use crate::problem::PerSlotContext;
-use crate::profile_eval::{EvalOptions, ProfileEvaluator};
+use crate::profile_eval::{EvalOptions, ProfileEvaluator, SelectorSession};
 use crate::route_selection::{Candidates, Selection};
 
 /// Local search over route profiles.
@@ -31,8 +31,45 @@ pub fn local_search(
     options: EvalOptions,
     rng: &mut dyn rand::Rng,
 ) -> Option<Selection> {
-    let k = candidates.len();
     let mut evaluator = ProfileEvaluator::new(ctx, candidates, method, options);
+    local_search_with(&mut evaluator, candidates, max_rounds, rng, None)
+}
+
+/// [`local_search`] backed by a [`SelectorSession`]: the evaluator
+/// recycles the session state, and with
+/// [`EvalOptions::warm_profile_seed`] set the search starts from the
+/// previous slot's selection when the session remembers one (falling
+/// back to the standard random/all-shortest initialisation). With warm
+/// seeding off this is bit-identical to [`local_search`].
+pub fn local_search_in(
+    session: &mut SelectorSession,
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    method: &AllocationMethod,
+    max_rounds: usize,
+    options: EvalOptions,
+    rng: &mut dyn rand::Rng,
+) -> Option<Selection> {
+    let seed = options
+        .warm_profile_seed
+        .then(|| session.seed_indices(candidates))
+        .flatten();
+    let mut evaluator = ProfileEvaluator::new_in(session, ctx, candidates, method, options);
+    let selection = local_search_with(&mut evaluator, candidates, max_rounds, rng, seed.as_deref());
+    evaluator.retire(session);
+    selection
+}
+
+/// The coordinate best-response loop over a caller-provided evaluator
+/// and optional warm starting profile.
+fn local_search_with(
+    evaluator: &mut ProfileEvaluator<'_>,
+    candidates: &[Candidates<'_>],
+    max_rounds: usize,
+    rng: &mut dyn rand::Rng,
+    seed: Option<&[usize]>,
+) -> Option<Selection> {
+    let k = candidates.len();
     if k == 0 {
         return evaluator.evaluate(&[]).map(|evaluation| Selection {
             indices: Vec::new(),
@@ -40,18 +77,31 @@ pub fn local_search(
         });
     }
 
-    // Initial profile: random, then shortest fallback.
-    let mut indices: Vec<usize> = candidates
-        .iter()
-        .map(|c| rng.random_range(0..c.routes.len()))
-        .collect();
-    let mut f_cur = match evaluator.evaluate_objective(&indices) {
-        Some(objective) => objective,
-        None => {
-            indices = vec![0; k];
-            evaluator.evaluate_objective(&indices)?
+    // Initial profile: the warm seed when given and feasible, then
+    // random, then shortest fallback.
+    let mut current: Option<(Vec<usize>, f64)> = None;
+    if let Some(seed) = seed {
+        debug_assert_eq!(seed.len(), k);
+        if let Some(objective) = evaluator.evaluate_objective(seed) {
+            current = Some((seed.to_vec(), objective));
         }
-    };
+    }
+    if current.is_none() {
+        let indices: Vec<usize> = candidates
+            .iter()
+            .map(|c| rng.random_range(0..c.routes.len()))
+            .collect();
+        match evaluator.evaluate_objective(&indices) {
+            Some(objective) => current = Some((indices, objective)),
+            None => {
+                let shortest = vec![0; k];
+                if let Some(objective) = evaluator.evaluate_objective(&shortest) {
+                    current = Some((shortest, objective));
+                }
+            }
+        }
+    }
+    let (mut indices, mut f_cur) = current?;
 
     for _ in 0..max_rounds {
         let mut improved = false;

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
 use crate::problem::{PerSlotContext, ProfileEvaluation};
-use crate::profile_eval::EvalOptions;
+use crate::profile_eval::{EvalOptions, ProfileEvaluator, SelectorSession};
 
 pub use gibbs::GibbsConfig;
 
@@ -112,6 +112,11 @@ impl RouteSelector {
 
     /// Selects routes for every candidate set, or `None` if no feasible
     /// profile was found.
+    ///
+    /// Builds a throwaway [`SelectorSession`] per call — the
+    /// fresh-per-slot path. Online drivers that select every slot should
+    /// hold one session for the run and call
+    /// [`RouteSelector::select_in`] instead.
     pub fn select(
         &self,
         ctx: &PerSlotContext<'_>,
@@ -119,7 +124,31 @@ impl RouteSelector {
         method: &AllocationMethod,
         rng: &mut dyn rand::Rng,
     ) -> Option<Selection> {
+        let mut session = SelectorSession::new();
+        self.select_in(&mut session, ctx, candidates, method, rng)
+    }
+
+    /// [`RouteSelector::select`] threaded through a slot-spanning
+    /// [`SelectorSession`]: the profile evaluator recycles the session's
+    /// arena, memos, and λ warm-start stores, and the session records
+    /// this slot's selected routes as the next slot's seed. With
+    /// `warm_profile_seed` and `warm_start` off, results are
+    /// bit-identical to a fresh [`RouteSelector::select`] per slot (the
+    /// `session_matches_fresh_per_slot` proptest enforces it); see
+    /// [`crate::profile_eval`]'s "Persistent selection sessions" docs
+    /// for the invariants.
+    pub fn select_in(
+        &self,
+        session: &mut SelectorSession,
+        ctx: &PerSlotContext<'_>,
+        candidates: &[Candidates<'_>],
+        method: &AllocationMethod,
+        rng: &mut dyn rand::Rng,
+    ) -> Option<Selection> {
         if candidates.is_empty() {
+            // An empty slot serves nothing: the previous profile must
+            // not survive it as a "previous slot" seed.
+            session.record_selection(&[], &[]);
             return Some(Selection {
                 indices: Vec::new(),
                 evaluation: ProfileEvaluation {
@@ -128,7 +157,7 @@ impl RouteSelector {
                 },
             });
         }
-        match self {
+        let result = match self {
             RouteSelector::Exhaustive {
                 max_combinations,
                 fallback,
@@ -140,16 +169,30 @@ impl RouteSelector {
                     .try_fold(1usize, |acc, n| acc.checked_mul(n))
                     .unwrap_or(usize::MAX);
                 if combos <= *max_combinations {
-                    exhaustive::search(ctx, candidates, method, *evaluator)
+                    let mut eval =
+                        ProfileEvaluator::new_in(session, ctx, candidates, method, *evaluator);
+                    let selection = exhaustive::search_with(&mut eval, candidates);
+                    eval.retire(session);
+                    selection
                 } else {
-                    gibbs::run(ctx, candidates, method, fallback, rng)
+                    gibbs::run_in(session, ctx, candidates, method, fallback, rng)
                 }
             }
-            RouteSelector::Gibbs(config) => gibbs::run(ctx, candidates, method, config, rng),
+            RouteSelector::Gibbs(config) => {
+                gibbs::run_in(session, ctx, candidates, method, config, rng)
+            }
             RouteSelector::GreedyLocal {
                 max_rounds,
                 evaluator,
-            } => greedy::local_search(ctx, candidates, method, *max_rounds, *evaluator, rng),
+            } => greedy::local_search_in(
+                session,
+                ctx,
+                candidates,
+                method,
+                *max_rounds,
+                *evaluator,
+                rng,
+            ),
             // First/Random evaluate exactly one profile, so the
             // memoizing evaluator has nothing to amortize — the direct
             // build is cheaper (and bit-identical by construction).
@@ -171,7 +214,15 @@ impl RouteSelector {
                     evaluation,
                 })
             }
+        };
+        // Record what this slot actually selected — including "nothing"
+        // on failure, so a later slot can never warm-seed from a
+        // profile that is not the immediately preceding selection.
+        match &result {
+            Some(selection) => session.record_selection(candidates, &selection.indices),
+            None => session.record_selection(&[], &[]),
         }
+        result
     }
 
     /// Short label for experiment outputs.

@@ -331,6 +331,149 @@ proptest! {
         }
     }
 
+    /// A run that threads one `SelectorSession` through every slot is
+    /// bit-identical to building everything fresh per slot, as long as
+    /// warm seeding is off (`warm_profile_seed: false` and
+    /// `warm_start: false`) — across both partitions, both dual
+    /// methods, Gibbs and greedy-local selectors, drifting prices,
+    /// changing request sets, and alternating OSCAR/budgeted contexts.
+    #[test]
+    fn session_matches_fresh_per_slot(
+        net in arb_ring_network(),
+        seed in 0u64..1000,
+        v in 100.0f64..2000.0,
+    ) {
+        use qdn_core::profile_eval::{EvalOptions, PartitionMode, SelectorSession};
+        use qdn_core::route_selection::{Candidates, GibbsConfig, RouteSelector};
+        use qdn_net::routes::{CandidateRoutes, RouteLimits};
+
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        for dual in [
+            qdn_solve::DualMethod::Accelerated,
+            qdn_solve::DualMethod::Subgradient,
+        ] {
+            let method = AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+                method: dual,
+                ..qdn_solve::RelaxedOptions::default()
+            });
+            for partition in [PartitionMode::Static, PartitionMode::Dynamic] {
+                let evaluator = EvalOptions { partition, warm_profile_seed: false };
+                for selector in [
+                    RouteSelector::Gibbs(GibbsConfig {
+                        iterations: 10,
+                        evaluator,
+                        ..GibbsConfig::paper_default()
+                    }),
+                    RouteSelector::GreedyLocal { max_rounds: 3, evaluator },
+                ] {
+                    let mut session = SelectorSession::new();
+                    let mut env = rand::rngs::StdRng::seed_from_u64(seed);
+                    // Identical policy RNG streams for the two paths.
+                    let mut rng_session = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD1CE);
+                    let mut rng_fresh = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD1CE);
+                    let mut price = 1.0 + (seed % 7) as f64;
+                    for slot in 0..4u64 {
+                        let n_pairs = 1 + (slot as usize + seed as usize) % 2;
+                        let owned: Vec<(SdPair, Vec<Path>)> = (0..n_pairs)
+                            .map(|_| {
+                                let pair = qdn_net::workload::random_sd_pair(&mut env, &net);
+                                (pair, cr.routes(&net, pair).to_vec())
+                            })
+                            .filter(|(_, routes)| !routes.is_empty())
+                            .collect();
+                        let cands: Vec<Candidates> = owned
+                            .iter()
+                            .map(|(pair, routes)| Candidates { pair: *pair, routes })
+                            .collect();
+                        let snap = CapacitySnapshot::full(&net);
+                        // Alternate the budget-coupled myopic context in.
+                        let ctx = if slot % 2 == 0 {
+                            PerSlotContext::oscar(&net, &snap, v, price)
+                        } else {
+                            PerSlotContext::myopic(&net, &snap, 40 + slot)
+                        };
+                        let with_session =
+                            selector.select_in(&mut session, &ctx, &cands, &method, &mut rng_session);
+                        let fresh = selector.select(&ctx, &cands, &method, &mut rng_fresh);
+                        prop_assert_eq!(
+                            &with_session, &fresh,
+                            "slot {} diverged ({:?}, {:?}, {})",
+                            slot, dual, partition, selector.label()
+                        );
+                        price += 3.0 + (slot as f64) * 2.0; // drifting q_t
+                    }
+                }
+            }
+        }
+    }
+
+    /// With warm starts enabled (`RelaxedOptions::warm_start` — session
+    /// λ seeding engages across slots), the session path is no longer
+    /// bit-identical, but on an *exact* selector (exhaustive
+    /// enumeration) it must select profiles whose objectives agree with
+    /// the fresh path within the solver's certified tolerance, slot
+    /// after slot. This is the "within the certified gap" arm of the
+    /// session determinism contract.
+    #[test]
+    fn warm_session_objective_within_certified_gap(
+        net in arb_ring_network(),
+        seed in 0u64..1000,
+        v in 100.0f64..2000.0,
+    ) {
+        use qdn_core::profile_eval::{EvalOptions, SelectorSession};
+        use qdn_core::route_selection::{Candidates, RouteSelector};
+        use qdn_net::routes::{CandidateRoutes, RouteLimits};
+
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let method = AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+            warm_start: true,
+            ..qdn_solve::RelaxedOptions::default()
+        });
+        let selector = RouteSelector::Exhaustive {
+            max_combinations: 4096,
+            fallback: qdn_core::route_selection::GibbsConfig::paper_default(),
+            evaluator: EvalOptions::warm_seeded(),
+        };
+        let mut session = SelectorSession::new();
+        let mut env = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng_session = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED);
+        let mut rng_fresh = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED);
+        let mut price = 1.0;
+        for slot in 0..5u64 {
+            let owned: Vec<(SdPair, Vec<Path>)> = (0..2)
+                .map(|_| {
+                    let pair = qdn_net::workload::random_sd_pair(&mut env, &net);
+                    (pair, cr.routes(&net, pair).to_vec())
+                })
+                .filter(|(_, routes)| !routes.is_empty())
+                .collect();
+            let cands: Vec<Candidates> = owned
+                .iter()
+                .map(|(pair, routes)| Candidates { pair: *pair, routes })
+                .collect();
+            let snap = CapacitySnapshot::full(&net);
+            let ctx = PerSlotContext::oscar(&net, &snap, v, price);
+            let warm = selector.select_in(&mut session, &ctx, &cands, &method, &mut rng_session);
+            let cold = selector.select(&ctx, &cands, &method, &mut rng_fresh);
+            match (&warm, &cold) {
+                (None, None) => {}
+                (Some(w), Some(c)) => {
+                    let (w, c) = (w.evaluation.objective, c.evaluation.objective);
+                    // Same tolerance discipline as the evaluator's
+                    // neighbor-λ agreement test: warm answers may move
+                    // within the solver tolerance, never past it.
+                    let tol = 0.05 * (1.0 + c.abs());
+                    prop_assert!(
+                        (w - c).abs() <= tol,
+                        "slot {}: warm {} vs cold {} (tol {})", slot, w, c, tol
+                    );
+                }
+                _ => prop_assert!(false, "feasibility diverged at slot {}", slot),
+            }
+            price += 5.0;
+        }
+    }
+
     /// The dynamic route-keyed partition is bit-identical to the static
     /// candidate-union partition (and hence, transitively through
     /// `incremental_matches_full_rebuild`, to the full-rebuild path):

@@ -116,6 +116,15 @@ impl Default for OnlineConfig {
 pub struct OnlineRouter {
     config: OnlineConfig,
     routes: CandidateRoutes,
+    /// The per-arrival route selector, built once: with one pair,
+    /// exhaustive search (Eq. 13) over its ≤ R candidates is exact and
+    /// the cap is generous.
+    selector: RouteSelector,
+    /// Slot-spanning selection state reused across arrivals (the
+    /// event-driven analogue of a policy-owned session): the evaluator
+    /// arena and λ stores persist for the run instead of being rebuilt
+    /// per admission decision.
+    session: qdn_core::SelectorSession,
     queue: f64,
     last_drain: SimTime,
     spent: u64,
@@ -129,6 +138,8 @@ impl OnlineRouter {
             queue: config.q0,
             config,
             routes,
+            selector: RouteSelector::exhaustive(4096),
+            session: qdn_core::SelectorSession::new(),
             last_drain: SimTime::ZERO,
             spent: 0,
         }
@@ -154,6 +165,7 @@ impl OnlineRouter {
         self.queue = self.config.q0;
         self.last_drain = SimTime::ZERO;
         self.spent = 0;
+        self.session.reset();
     }
 
     /// The queue value a decision at `now` would see, without mutating
@@ -187,15 +199,13 @@ impl OnlineRouter {
         self.drain_until(now);
         let snapshot = ledger.snapshot(network);
         let ctx = PerSlotContext::oscar(network, &snapshot, self.config.v, self.queue);
-        // One request => exhaustive search over its ≤ R candidates is
-        // exact; the cap is generous.
-        let selector = RouteSelector::exhaustive(4096);
         let decision = decide_with_selector(
             network,
             &[pair],
             &mut self.routes,
+            &mut self.session,
             &ctx,
-            &selector,
+            &self.selector,
             &self.config.allocation,
             None,
             rng,

@@ -126,6 +126,17 @@ impl CandidateRoutes {
         }
     }
 
+    /// The already-cached candidate routes for `pair`, without computing
+    /// anything: `None` until a [`CandidateRoutes::routes`] call for this
+    /// pair (in this orientation) populated the cache.
+    ///
+    /// This is the shared-borrow companion of `routes` for callers that
+    /// first warm the cache for a batch of pairs and then need all the
+    /// slices alive at once (one `&mut` call per pair cannot overlap).
+    pub fn cached(&self, pair: SdPair) -> Option<&[Path]> {
+        self.cache.get(&pair).map(Vec::as_slice)
+    }
+
     /// Maximum hop count over the candidate routes of the given pairs —
     /// the effective `L` entering the theory bounds.
     pub fn max_route_hops(&mut self, network: &QdnNetwork, pairs: &[SdPair]) -> usize {

@@ -205,6 +205,72 @@ impl Workload for HotspotWorkload {
     }
 }
 
+/// Temporally-correlated renewal workload: a sticky set of
+/// `pairs_per_slot` active SD pairs where each slot keeps each active
+/// pair with probability `keep_probability` and replaces departures
+/// with fresh uniform pairs.
+///
+/// This models session-like DQC traffic — an entanglement consumer
+/// typically requests connections over many consecutive slots, not for
+/// one slot in isolation — and is the regime where cross-slot selection
+/// state (λ warm starts, previous-profile seeding via
+/// `SelectorSession`) pays: consecutive slots share most of their
+/// pairs, so route spaces, coupling components, and near-optimal
+/// profiles carry over. `keep_probability = 0` degenerates to a fresh
+/// uniform draw every slot; `1` pins the first slot's pairs forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistentWorkload {
+    /// Size of the active pair set (fixed per slot).
+    pub pairs_per_slot: usize,
+    /// Per-slot survival probability of each active pair.
+    pub keep_probability: f64,
+    /// The current active set (empty before the first slot).
+    active: Vec<SdPair>,
+}
+
+impl PersistentWorkload {
+    /// Creates the workload; `keep_probability` is clamped into `[0, 1]`
+    /// and `pairs_per_slot` is raised to at least 1.
+    pub fn new(pairs_per_slot: usize, keep_probability: f64) -> Self {
+        PersistentWorkload {
+            pairs_per_slot: pairs_per_slot.max(1),
+            keep_probability: keep_probability.clamp(0.0, 1.0),
+            active: Vec::new(),
+        }
+    }
+
+    /// A paper-scale default: 5 active pairs, 80% per-slot survival
+    /// (mean session length 5 slots).
+    pub fn paper_scale() -> Self {
+        Self::new(5, 0.8)
+    }
+}
+
+impl Workload for PersistentWorkload {
+    fn requests(&mut self, _t: u64, network: &QdnNetwork, rng: &mut dyn rand::Rng) -> RequestSet {
+        if self.active.is_empty() {
+            self.active = (0..self.pairs_per_slot)
+                .map(|_| random_sd_pair(rng, network))
+                .collect();
+        } else {
+            for pair in &mut self.active {
+                if !rng.random_bool(self.keep_probability) {
+                    *pair = random_sd_pair(rng, network);
+                }
+            }
+        }
+        self.active.clone()
+    }
+
+    fn max_pairs(&self) -> usize {
+        self.pairs_per_slot
+    }
+
+    fn reset(&mut self) {
+        self.active.clear();
+    }
+}
+
 /// Wraps a base workload so every drawn SD pair issues several EC
 /// requests in the same slot.
 ///
@@ -333,6 +399,15 @@ pub enum WorkloadConfig {
         /// Upper bound on EC requests per pair per slot.
         max_requests_per_pair: usize,
     },
+    /// [`PersistentWorkload`]: a sticky pair set with per-slot survival
+    /// probability — the temporal-correlation scenario for cross-slot
+    /// selection sessions.
+    Persistent {
+        /// Size of the active pair set.
+        pairs_per_slot: usize,
+        /// Per-slot survival probability of each active pair.
+        keep_probability: f64,
+    },
 }
 
 impl WorkloadConfig {
@@ -367,6 +442,10 @@ impl WorkloadConfig {
                 base,
                 max_requests_per_pair,
             } => Box::new(MultiEcWorkload::new(base.build(), *max_requests_per_pair)),
+            WorkloadConfig::Persistent {
+                pairs_per_slot,
+                keep_probability,
+            } => Box::new(PersistentWorkload::new(*pairs_per_slot, *keep_probability)),
         }
     }
 
@@ -380,6 +459,7 @@ impl WorkloadConfig {
                 base,
                 max_requests_per_pair,
             } => base.max_pairs() * (*max_requests_per_pair).max(1),
+            WorkloadConfig::Persistent { pairs_per_slot, .. } => (*pairs_per_slot).max(1),
         }
     }
 }
@@ -636,6 +716,73 @@ mod tests {
     }
 
     #[test]
+    fn persistent_workload_keeps_and_replaces() {
+        let n = net(12);
+        let mut w = PersistentWorkload::new(6, 0.75);
+        let mut r = rng(21);
+        let first = w.requests(0, &n, &mut r);
+        assert_eq!(first.len(), 6);
+        let mut kept_total = 0usize;
+        let mut prev = first;
+        for t in 1..200 {
+            let cur = w.requests(t, &n, &mut r);
+            assert_eq!(cur.len(), 6, "active set size is fixed");
+            // Position-wise survival: a kept slot keeps its exact pair.
+            kept_total += prev.iter().zip(&cur).filter(|(a, b)| a == b).count();
+            prev = cur;
+        }
+        let kept_frac = kept_total as f64 / (199.0 * 6.0);
+        assert!(
+            (kept_frac - 0.75).abs() < 0.06,
+            "per-slot survival should track keep_probability, got {kept_frac}"
+        );
+    }
+
+    #[test]
+    fn persistent_workload_extremes_and_reset() {
+        let n = net(10);
+        // keep = 1: the first slot's pairs persist forever.
+        let mut sticky = PersistentWorkload::new(4, 1.0);
+        let mut r = rng(22);
+        let first = sticky.requests(0, &n, &mut r);
+        for t in 1..20 {
+            assert_eq!(sticky.requests(t, &n, &mut r), first);
+        }
+        // reset clears the active set: the next slot redraws.
+        sticky.reset();
+        let redrawn = sticky.requests(0, &n, &mut r);
+        assert_eq!(redrawn.len(), 4);
+        assert_ne!(redrawn, first, "fresh draw after reset (w.h.p.)");
+        // keep = 0: every slot is a fresh draw (no positional survivors
+        // beyond chance; just sanity-check it runs and sizes hold).
+        let mut churn = PersistentWorkload::new(3, 0.0);
+        for t in 0..10 {
+            assert_eq!(churn.requests(t, &n, &mut r).len(), 3);
+        }
+        // Degenerate parameters are clamped.
+        let w = PersistentWorkload::new(0, 7.5);
+        assert_eq!(w.max_pairs(), 1);
+        assert_eq!(w.keep_probability, 1.0);
+    }
+
+    #[test]
+    fn persistent_config_builds_and_reports_f() {
+        let n = net(8);
+        let cfg = WorkloadConfig::Persistent {
+            pairs_per_slot: 4,
+            keep_probability: 0.8,
+        };
+        assert_eq!(cfg.max_pairs(), 4);
+        let mut w = cfg.build();
+        let mut r = rng(23);
+        let a = w.requests(0, &n, &mut r);
+        let b = w.requests(1, &n, &mut r);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(w.max_pairs(), 4);
+    }
+
+    #[test]
     fn config_builds_and_reports_f() {
         let n = net(6);
         let mut r = rng(10);
@@ -649,6 +796,10 @@ mod tests {
                 pairs_per_slot: 3,
                 hotspots: vec![0],
                 hotspot_probability: 0.5,
+            },
+            WorkloadConfig::Persistent {
+                pairs_per_slot: 2,
+                keep_probability: 0.5,
             },
         ] {
             let mut w = cfg.build();

@@ -53,6 +53,17 @@ impl Default for SimConfig {
 /// serves); `policy_rng` drives the policy's internal randomization
 /// (Gibbs proposals, tie breaking).
 ///
+/// # Selection-session lifecycle
+///
+/// Policies own their cross-slot selection state (a
+/// `qdn_core::SelectorSession`: evaluator arena, memo epochs, λ
+/// warm-start stores, the previous slot's selected profile) and carry
+/// it across the `decide` calls of one run — that is the whole point of
+/// the session. Trial isolation is the caller's contract: either build
+/// a fresh policy per trial (what [`crate::trial::run_trials`] does) or
+/// call [`RoutingPolicy::reset`] between runs, which clears the session
+/// along with queues and spend.
+///
 /// # Panics
 ///
 /// Panics (debug builds) when a policy violates the capacity constraints.
@@ -197,6 +208,57 @@ mod tests {
         let mut p2 = OscarPolicy::new(OscarConfig::paper_default());
         let m2 = quick_sim(&mut p2, 10, 77);
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn warm_session_on_persistent_workload_is_deterministic() {
+        use qdn_core::profile_eval::EvalOptions;
+        use qdn_core::route_selection::{GibbsConfig, RouteSelector};
+        use qdn_net::workload::PersistentWorkload;
+
+        // The temporally-correlated scenario with the full cross-slot
+        // machinery on (profile seeding + λ warm starts): repeated runs
+        // on the same seeds must agree exactly, and the reset path must
+        // restore a replayable policy.
+        let warm_cfg = OscarConfig {
+            selector: RouteSelector::Gibbs(GibbsConfig {
+                evaluator: EvalOptions::warm_seeded(),
+                ..GibbsConfig::paper_default()
+            }),
+            allocation: qdn_core::allocation::AllocationMethod::RelaxAndRound(
+                qdn_solve::RelaxedOptions {
+                    warm_start: true,
+                    ..qdn_solve::RelaxedOptions::default()
+                },
+            ),
+            ..OscarConfig::paper_default()
+        };
+        let run_once = || {
+            let mut env_rng = rand::rngs::StdRng::seed_from_u64(31);
+            let mut policy_rng = rand::rngs::StdRng::seed_from_u64(32);
+            let net = NetworkConfig::paper_default().build(&mut env_rng).unwrap();
+            let mut wl = PersistentWorkload::paper_scale();
+            let mut dyn_ = StaticDynamics;
+            let mut policy = OscarPolicy::new(warm_cfg.clone());
+            run(
+                &net,
+                &mut wl,
+                &mut dyn_,
+                &mut policy,
+                &SimConfig {
+                    horizon: 12,
+                    realize_outcomes: false,
+                },
+                &mut env_rng,
+                &mut policy_rng,
+            )
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+        // The sticky workload really is sticky: consecutive slots share
+        // pairs, so the per-slot request count is constant at F.
+        assert!(a.slots().iter().all(|s| s.requests == 5));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 #   * profile_eval_wax50/incremental_*              (50-node/25-pair scale)
 #   * accel_vs_subgradient/*                        (dual-method cold solves)
 #   * dynamic_vs_static_partition/*                 (route-keyed partition)
+#   * session_vs_fresh/*                            (200-slot OSCAR e2e,
+#                                                    cold vs session)
 #
 # A row FAILS when `fresh_median_of_medians > baseline_median *
 # BENCH_GATE_FACTOR`. Getting *faster* never fails — refresh the
@@ -121,6 +123,7 @@ while read -r name base_med; do
             profile_eval_wax50/incremental_move/* | \
             profile_eval_wax50/incremental_cold_eval/* | \
             dynamic_vs_static_partition/* | \
+            session_vs_fresh/* | \
             accel_vs_subgradient/*) ;;
         *) continue ;;
     esac

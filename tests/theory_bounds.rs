@@ -185,6 +185,7 @@ fn gibbs_matches_exhaustive_on_real_topology() {
             parallel_isolated: false,
             max_init_attempts: 8,
             restarts: 1,
+            warm_iterations: 100,
             evaluator: EvalOptions::default(),
         })
         .select(&ctx, &cands, &method, &mut rng)
