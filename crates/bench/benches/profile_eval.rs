@@ -39,7 +39,9 @@
 //! engine on cold single-pair moves — see [`bench_dynamic_vs_static`]
 //! for the two scenarios and what each one demonstrates. The
 //! `profile_eval_wax50` group runs the standard access patterns at
-//! `Scale::Large` (50-node Waxman, 25 pairs).
+//! `Scale::Large` (50-node Waxman, 25 pairs). The `churn_recovery`
+//! group (PR 6) measures region-scoped vs global session invalidation
+//! under sustained link churn — see [`bench_churn_recovery`].
 //!
 //! Run with `CRITERION_JSON=BENCH_profile_eval.json` to append one JSON
 //! line per benchmark (relative paths resolve against the workspace
@@ -599,6 +601,140 @@ fn bench_session_vs_fresh(c: &mut Criterion) {
     group.finish();
 }
 
+/// `count` disjoint corridors (four parallel 4-hop chains
+/// x—aᵢ—bᵢ—cᵢ—y, no bridges); one SD pair per corridor, each its own
+/// static region with a 4-tuple route space — small enough that a
+/// retained region's memo saturates within a couple of slots, so under
+/// region-scoped invalidation the untouched corridors answer without
+/// solving at all, while the 4-hop chains keep each flushed re-solve
+/// (9 coupled constraints) from being lost in per-slot noise.
+fn corridor_field(count: usize) -> (QdnNetwork, Vec<SdPair>) {
+    use qdn_net::network::QdnNetworkBuilder;
+    use qdn_physics::link::LinkModel;
+    let mut b = QdnNetworkBuilder::new();
+    let link = LinkModel::new(0.8).unwrap();
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let x = b.add_node(12);
+        let y = b.add_node(12);
+        for _ in 0..4 {
+            let chain: Vec<_> = (0..3).map(|_| b.add_node(12)).collect();
+            b.add_edge(x, chain[0], 6, link).unwrap();
+            b.add_edge(chain[0], chain[1], 6, link).unwrap();
+            b.add_edge(chain[1], chain[2], 6, link).unwrap();
+            b.add_edge(chain[2], y, 6, link).unwrap();
+        }
+        pairs.push(SdPair::new(x, y).unwrap());
+    }
+    (b.build(), pairs)
+}
+
+/// The PR-6 headline (`churn_recovery`): the session decision loop under
+/// sustained topology churn on a multi-region topology (16 disjoint
+/// corridors, pinned pairs, fixed V and queue price so the shared
+/// context never invalidates anything on its own). Every slot one
+/// corridor's `x—a⁰` link degrades to a single channel, round-robin:
+/// each slot is one degradation plus one recovery, changing the
+/// capacity fingerprints of exactly two of the sixteen regions (the
+/// candidate sets are untouched, so no route repair runs and the row
+/// difference is not diluted by common Yen work).
+///
+/// * `region_scoped/*` — region-scoped invalidation (the default): the
+///   fourteen untouched corridors answer Gibbs proposals from memos retained
+///   across slots, only the cut and repaired regions re-solve;
+/// * `global_flush/*` — the pre-PR-6 semantics via
+///   `SelectorSession::set_global_invalidation`: any churn flushes every
+///   region, so every corridor re-solves its whole route space each
+///   slot.
+///
+/// Both rows use the subgradient dual method: its fixed iteration
+/// budget gives every memo miss the same non-trivial price, so the row
+/// difference is a clean count of the re-solves each invalidation
+/// policy triggers rather than an artifact of adaptive early stopping.
+/// Decisions are bit-identical between the rows (the
+/// `churn_matches_cold_rebuild` proptest pins session-vs-cold, and
+/// global flush only discards *more*) — the row ratio is pure post-cut
+/// decision latency, the gated ≥1.5× acceptance evidence.
+fn bench_churn_recovery(c: &mut Criterion) {
+    use qdn_core::oscar::decide_with_selector;
+    use qdn_core::route_selection::RouteSelector;
+    use qdn_core::SelectorSession;
+    use qdn_solve::relaxed::{DualMethod, RelaxedOptions};
+
+    let (net, pairs) = corridor_field(16);
+    // A short Gibbs budget: the per-iteration memo-hit evaluations are
+    // identical in both rows (pure common cost), while every flushed
+    // region pays its re-solves regardless of chain length — so a short
+    // chain measures the invalidation policy, not the sampler.
+    let selector = RouteSelector::Gibbs(GibbsConfig {
+        iterations: 8,
+        ..GibbsConfig::paper_default()
+    });
+    // Subgradient with a deep iteration budget prices every memo miss
+    // at a constant, non-trivial cost, so the row difference is a clean
+    // count of the re-solves each invalidation policy triggers (the
+    // per-slot Gibbs/bookkeeping cost is identical in both rows).
+    let method = AllocationMethod::RelaxAndRound(RelaxedOptions {
+        method: DualMethod::Subgradient,
+        max_iterations: 3000,
+        ..RelaxedOptions::default()
+    });
+    let installed_q: Vec<u32> = net
+        .graph()
+        .node_ids()
+        .map(|v| net.qubit_capacity(v))
+        .collect();
+    let installed_w: Vec<u32> = net
+        .graph()
+        .edge_ids()
+        .map(|e| net.channel_capacity(e))
+        .collect();
+
+    let mut group = c.benchmark_group("churn_recovery");
+    group.sample_size(10);
+    for (label, global) in [("region_scoped", false), ("global_flush", true)] {
+        group.bench_function(&format!("{label}/16_corridors_32_slots"), |b| {
+            b.iter(|| {
+                let mut routes = CandidateRoutes::new(RouteLimits {
+                    max_routes: 4,
+                    max_hops: 4,
+                });
+                let mut session = SelectorSession::new();
+                session.set_global_invalidation(global);
+                let mut policy_rng = StdRng::seed_from_u64(23);
+                let mut total = 0u64;
+                for t in 0..32usize {
+                    // Corridor t mod 16 loses half the channels of
+                    // its x—a⁰ link (edge 16c) for the slot; last
+                    // slot's victim recovers. A partial degradation
+                    // (not a cut) keeps the candidate sets intact and
+                    // the allocation loose, so neither row pays route
+                    // repair or a binding-constraint dual grind — the
+                    // rows differ *only* in which regions re-solve.
+                    let mut channels = installed_w.clone();
+                    channels[(t % 16) * 16] = 1;
+                    let snap = CapacitySnapshot::clamped(&net, installed_q.clone(), channels);
+                    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+                    let decision = decide_with_selector(
+                        &net,
+                        &pairs,
+                        &mut routes,
+                        &mut session,
+                        &ctx,
+                        &selector,
+                        &method,
+                        None,
+                        &mut policy_rng,
+                    );
+                    total += decision.total_cost();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// `count` disjoint diamond gadgets (4 nodes, 2 parallel 2-hop routes);
 /// one SD pair per diamond. Every pair is a singleton coupling component.
 fn diamond_field(count: usize) -> (QdnNetwork, Vec<SdPair>) {
@@ -692,6 +828,7 @@ fn bench(c: &mut Criterion) {
 
     bench_dynamic_vs_static(c);
     bench_session_vs_fresh(c);
+    bench_churn_recovery(c);
     bench_dual_solver(c);
     bench_accel_vs_subgradient(c);
     bench_warm_vs_cold_eval(c);

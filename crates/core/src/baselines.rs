@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
 use crate::oscar::decide_with_selector;
-use crate::policy::{PolicyDiagnostics, RoutingPolicy};
+use crate::policy::{ChurnDiagnostics, PolicyDiagnostics, RoutingPolicy};
 use crate::problem::PerSlotContext;
 use crate::profile_eval::SelectorSession;
 use crate::route_selection::RouteSelector;
@@ -160,12 +160,16 @@ impl RoutingPolicy for MyopicPolicy {
     fn reset(&mut self) {
         self.spent = 0;
         self.session.reset();
+        // Churn-repaired candidates are only weight-equivalent to a
+        // cold recompute; fresh trials need a fresh cache.
+        self.routes.clear();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: None,
             budget_spent: Some(self.spent),
+            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
         }
     }
 }
@@ -226,12 +230,16 @@ impl RoutingPolicy for MinimalRandomPolicy {
     fn reset(&mut self) {
         self.spent = 0;
         self.session.reset();
+        // Churn-repaired candidates are only weight-equivalent to a
+        // cold recompute; fresh trials need a fresh cache.
+        self.routes.clear();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: None,
             budget_spent: Some(self.spent),
+            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
         }
     }
 }
@@ -353,12 +361,16 @@ impl RoutingPolicy for OraclePolicy {
     fn reset(&mut self) {
         self.spent = 0;
         self.session.reset();
+        // Churn-repaired candidates are only weight-equivalent to a
+        // cold recompute; fresh trials need a fresh cache.
+        self.routes.clear();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: None,
             budget_spent: Some(self.spent),
+            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
         }
     }
 }
@@ -436,12 +448,16 @@ impl RoutingPolicy for ThroughputGreedyPolicy {
     fn reset(&mut self) {
         self.spent = 0;
         self.session.reset();
+        // Churn-repaired candidates are only weight-equivalent to a
+        // cold recompute; fresh trials need a fresh cache.
+        self.routes.clear();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: None,
             budget_spent: Some(self.spent),
+            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
         }
     }
 }

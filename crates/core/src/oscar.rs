@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
 use crate::lyapunov::VirtualQueue;
-use crate::policy::{PolicyDiagnostics, RoutingPolicy};
+use crate::policy::{ChurnDiagnostics, PolicyDiagnostics, RoutingPolicy};
 use crate::problem::PerSlotContext;
 use crate::profile_eval::SelectorSession;
 use crate::route_selection::{Candidates, RouteSelector, Selection};
@@ -171,13 +171,17 @@ impl RoutingPolicy for OscarPolicy {
         // Cross-slot selection state (λ stores, memo epochs, previous
         // profile) must not leak between trials.
         self.session.reset();
-        // Candidate routes depend only on the topology and stay valid.
+        // Candidate routes are repaired in place under link churn, and a
+        // repaired set is only weight-equivalent (not tie-identical) to
+        // a cold recompute — replay determinism needs a fresh cache.
+        self.routes.clear();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: Some(self.queue.value()),
             budget_spent: Some(self.spent),
+            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
         }
     }
 }
@@ -208,6 +212,13 @@ pub fn decide_with_selector(
     fidelity_target: Option<f64>,
     rng: &mut dyn rand::Rng,
 ) -> Decision {
+    // Reconcile the candidate cache with this slot's link state first:
+    // an edge at zero channels is failed for the slot (every route needs
+    // at least one channel per edge), so routes through it are dropped
+    // and only the affected pairs repaired — incrementally, via the KSP
+    // maintainer; a restored edge re-admits routes the same way. Pairs
+    // left with no candidates fall through to `unserved` below.
+    routes_cache.sync_dead_edges(network, ctx.snapshot);
     // Warm the cache with one `&mut` call per pair, then take shared
     // borrows: the common (no fidelity target) path hands the selector
     // the cached slices directly instead of cloning every candidate

@@ -1,18 +1,80 @@
 //! The policy interface the simulator drives.
 
+use qdn_net::routes::CandidateRoutes;
 use qdn_net::QdnNetwork;
 use serde::{Deserialize, Serialize};
 
+use crate::profile_eval::SelectorSession;
 use crate::types::{Decision, SlotState};
 
 /// Observable internals of a policy, recorded by the simulator each slot
 /// (used by the Fig. 3/7/8 time series).
+///
+/// **Loud compat break (PR 6):** the `churn` field is required when
+/// deserializing recorded diagnostics — see MIGRATION.md.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct PolicyDiagnostics {
     /// Virtual queue length, for Lyapunov policies.
     pub virtual_queue: Option<f64>,
     /// Budget units spent so far (policies that track spending).
     pub budget_spent: Option<u64>,
+    /// Topology-churn handling of the most recent slot, for policies
+    /// that run the session pipeline (`None` for policies that don't
+    /// track churn).
+    pub churn: Option<ChurnDiagnostics>,
+}
+
+/// What the last slot's topology churn cost a session policy: how much
+/// candidate repair ran in the route cache, and how much memoized
+/// evaluation state the selection session retained vs flushed. The
+/// recovery-time metrics in `qdn-sim` aggregate these per failure
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChurnDiagnostics {
+    /// Links newly failed (capacity dropped to zero) this slot.
+    pub failed_edges: u32,
+    /// Links newly restored this slot.
+    pub restored_edges: u32,
+    /// Tracked pairs whose candidate set changed under this slot's
+    /// repair.
+    pub affected_pairs: u32,
+    /// Pairs whose candidates were re-derived by the incremental KSP
+    /// maintainer (the rest were proven unaffected and skipped).
+    pub routes_recomputed: u32,
+    /// Static regions in the last evaluated slot.
+    pub regions: u32,
+    /// Regions whose session memos were flushed.
+    pub regions_flushed: u32,
+    /// Regions with no parked session state (first sighting / TTL).
+    pub regions_fresh: u32,
+    /// Memo entries carried live across the slot boundary.
+    pub memo_entries_retained: u64,
+    /// Memo entries invalidated by region flushes.
+    pub memo_entries_flushed: u64,
+    /// Exact-tuple λ seeds stored (λ survives churn by design).
+    pub lambda_entries: u64,
+}
+
+impl ChurnDiagnostics {
+    /// Collects the ledger from a policy's route cache and selection
+    /// session after a slot decided through
+    /// [`crate::oscar::decide_with_selector`].
+    pub fn collect(routes: &CandidateRoutes, session: &SelectorSession) -> Self {
+        let churn = routes.last_churn();
+        let inval = session.last_invalidation();
+        ChurnDiagnostics {
+            failed_edges: churn.failed.len() as u32,
+            restored_edges: churn.restored.len() as u32,
+            affected_pairs: churn.changed_pairs.len() as u32,
+            routes_recomputed: churn.recomputed as u32,
+            regions: inval.regions,
+            regions_flushed: inval.regions_flushed,
+            regions_fresh: inval.regions_fresh,
+            memo_entries_retained: inval.memo_entries_retained,
+            memo_entries_flushed: inval.memo_entries_flushed,
+            lambda_entries: inval.lambda_entries,
+        }
+    }
 }
 
 /// An online entanglement-routing policy: observes one slot, returns the

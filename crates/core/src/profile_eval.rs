@@ -144,9 +144,12 @@
 //!
 //! * **buffers always** (arena, husks, dense scratch, memo-map
 //!   capacity) — pure allocation reuse, no semantic state;
-//! * **memo entries only under an identical slot fingerprint** —
-//!   entries are epoch-stamped and a context change bumps the epoch,
-//!   so reuse is exactly as legal as re-running the same slot;
+//! * **memo entries only under an identical region fingerprint** —
+//!   each static region's entries are epoch-stamped, and exactly the
+//!   regions whose own sub-context (or the shared price/method context)
+//!   changed get their epoch bumped — a link failure flushes the region
+//!   it hits, not the whole network — so reuse is exactly as legal as
+//!   re-running the same sub-problem;
 //! * **λ seeds across any context drift** (opt-in via
 //!   `RelaxedOptions::warm_start`) — seeds are advisory and every warm
 //!   solve still certifies the cold path's guarantees;
@@ -382,90 +385,196 @@ struct MemoEntry {
 /// the instance's deterministic constraint order.
 type LambdaMemo = HashMap<Box<[u32]>, Box<[f64]>>;
 
-/// Identity of one slot's evaluation context. Two slots with equal
-/// fingerprints pose the *same* mathematical problem (same network
-/// dimensions and capacities, same objective parameters, same pairs and
-/// candidate routes, same solver), so memo entries are interchangeable
-/// between them; any difference invalidates every cross-slot memo via
-/// an epoch bump.
+/// The run-wide share of one slot's evaluation context: everything not
+/// attributable to a single static region. The objective weights and
+/// the solver enter *every* sub-instance, so any change here makes every
+/// region's memos unreusable — a mismatch flushes all regions at once.
 #[derive(Debug, Clone, PartialEq)]
-struct SlotFingerprint {
+struct SharedFingerprint {
     v_bits: u64,
     price_bits: u64,
     budget: Option<u64>,
     method: AllocationMethod,
     options: EvalOptions,
-    qubits: Vec<u32>,
-    channels: Vec<u32>,
-    pairs: Vec<SdPair>,
-    /// FNV-1a over every candidate route's edge structure (hop counts +
-    /// edge ids), so a changed candidate *list* for an unchanged pair —
-    /// e.g. a different fidelity filter — still invalidates.
-    routes_hash: u64,
+    nodes: usize,
+    edges: usize,
 }
 
-impl SlotFingerprint {
-    fn of(
-        ctx: &PerSlotContext<'_>,
-        candidates: &[Candidates<'_>],
-        method: &AllocationMethod,
-        options: EvalOptions,
-    ) -> Self {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |x: u64| {
-            h ^= x;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        };
-        for c in candidates {
-            mix(c.routes.len() as u64);
-            for route in c.routes {
-                mix(route.hops() as u64);
-                for &edge in route.edges() {
-                    mix(edge.index() as u64 + 1);
-                }
-            }
-        }
-        SlotFingerprint {
+impl SharedFingerprint {
+    fn of(ctx: &PerSlotContext<'_>, method: &AllocationMethod, options: EvalOptions) -> Self {
+        SharedFingerprint {
             v_bits: ctx.v_weight.to_bits(),
             price_bits: ctx.unit_price.to_bits(),
             budget: ctx.slot_budget,
             method: *method,
             options,
-            qubits: ctx.snapshot.qubit_vec().to_vec(),
-            channels: ctx.snapshot.channel_vec().to_vec(),
-            pairs: candidates.iter().map(|c| c.pair).collect(),
-            routes_hash: h,
+            nodes: ctx.network.node_count(),
+            edges: ctx.network.edge_count(),
         }
     }
 }
 
+/// Identity of one static region's evaluation sub-context. When the
+/// shared fingerprints of two slots match and a region's fingerprints
+/// match, the region poses the *same* mathematical sub-problem in both —
+/// same members in the same positional order, same candidate routes,
+/// same capacities on every node and edge those candidates touch — so
+/// its memo entries are interchangeable between the slots. Capacities
+/// are recorded only for *touched* resources: a region's sub-instances
+/// restrict to the constraints its candidate routes reach, so a link
+/// failure (or occupancy change) elsewhere in the network cannot change
+/// any of its solves and rightly does not flush it.
+#[derive(Debug, Clone, PartialEq)]
+struct RegionFingerprint {
+    /// The region's pairs in candidate (positional) order — memo keys
+    /// are positional route tuples, so order and multiplicity matter.
+    pairs: Vec<SdPair>,
+    /// FNV-1a over every member's candidate route structure (route
+    /// counts, hop counts, edge ids), so a changed candidate *list* for
+    /// an unchanged pair — a repaired route, a different fidelity
+    /// filter — still invalidates.
+    routes_hash: u64,
+    /// `(node id, capacity)` for every node some candidate touches,
+    /// ascending by node id.
+    qubits: Vec<(u32, u32)>,
+    /// `(edge id, capacity)` for every edge some candidate touches,
+    /// ascending by edge id.
+    channels: Vec<(u32, u32)>,
+}
+
+/// Computes every static component's session identity: its region key
+/// (the pair multiset, sorted — static components have disjoint pair
+/// multisets, so the key is unique within a slot and stable across
+/// slots) and its [`RegionFingerprint`].
+fn region_identities(
+    ctx: &PerSlotContext<'_>,
+    pairs: &[SdPair],
+    routes: &[Vec<RouteData>],
+    comp_pairs: &[Vec<usize>],
+) -> (Vec<Box<[SdPair]>>, Vec<RegionFingerprint>) {
+    let mut keys = Vec::with_capacity(comp_pairs.len());
+    let mut fps = Vec::with_capacity(comp_pairs.len());
+    for members in comp_pairs {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let mut nodes: Vec<u32> = Vec::new();
+        let mut edges: Vec<u32> = Vec::new();
+        for &i in members {
+            mix(routes[i].len() as u64);
+            for route in &routes[i] {
+                mix(route.hops as u64);
+                for ev in &route.edges {
+                    mix(ev.edge.index() as u64 + 1);
+                    edges.push(ev.edge.index() as u32);
+                    nodes.push(ev.u.index() as u32);
+                    nodes.push(ev.v.index() as u32);
+                }
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        edges.sort_unstable();
+        edges.dedup();
+        let region_pairs: Vec<SdPair> = members.iter().map(|&i| pairs[i]).collect();
+        let mut key = region_pairs.clone();
+        key.sort_unstable();
+        keys.push(key.into_boxed_slice());
+        fps.push(RegionFingerprint {
+            pairs: region_pairs,
+            routes_hash: h,
+            qubits: nodes
+                .iter()
+                .map(|&v| (v, ctx.snapshot.qubits(NodeId(v))))
+                .collect(),
+            channels: edges
+                .iter()
+                .map(|&e| (e, ctx.snapshot.channels(EdgeId(e))))
+                .collect(),
+        });
+    }
+    (keys, fps)
+}
+
 /// The heap state a [`SelectorSession`] lends to one slot's
 /// [`ProfileEvaluator`] and takes back on
-/// [`ProfileEvaluator::retire`].
+/// [`ProfileEvaluator::retire`]. Memos and epochs are per static
+/// region, aligned with the evaluator's component ids.
 #[derive(Debug)]
 struct SessionParts {
-    epoch: u64,
+    epochs: Vec<u64>,
     scratch: Option<Scratch>,
     memos: Vec<Memo>,
     dyn_memos: Vec<Memo>,
     lambda_exact: LambdaMemo,
     lambda_dense: Vec<f64>,
     lambda_dense_valid: bool,
+    report: InvalidationReport,
 }
 
 impl SessionParts {
     /// Parts for a stand-alone (sessionless) evaluator: everything
-    /// empty, epoch 1 so no entry can pre-date it.
-    fn fresh() -> Self {
+    /// empty, every epoch 1 so no entry can pre-date it.
+    fn fresh(components: usize) -> Self {
         SessionParts {
-            epoch: 1,
+            epochs: vec![1; components],
             scratch: None,
             memos: Vec::new(),
             dyn_memos: Vec::new(),
             lambda_exact: LambdaMemo::new(),
             lambda_dense: Vec::new(),
             lambda_dense_valid: false,
+            report: InvalidationReport {
+                regions: components as u32,
+                regions_fresh: components as u32,
+                ..InvalidationReport::default()
+            },
         }
+    }
+}
+
+/// One static region's slot-spanning memo state, parked in the session
+/// between the slots that use it.
+#[derive(Debug)]
+struct RegionState {
+    /// The region's private memo epoch; entries stamped differently are
+    /// stale. Bumped (from the session-wide counter) exactly when the
+    /// region's own fingerprint — or the shared context — changes.
+    epoch: u64,
+    fingerprint: RegionFingerprint,
+    memo: Memo,
+    dyn_memo: Memo,
+    /// The session lend count when this region last appeared in a slot
+    /// (TTL pruning).
+    last_used: u64,
+}
+
+/// How one slot's regions fared against the session's parked state —
+/// the invalidation ledger behind the churn-recovery metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvalidationReport {
+    /// Static regions in the slot.
+    pub regions: u32,
+    /// Regions whose parked memos were flushed (fingerprint or shared
+    /// context changed — under global invalidation, any change anywhere).
+    pub regions_flushed: u32,
+    /// Regions with no parked state (first sighting, or TTL-pruned).
+    pub regions_fresh: u32,
+    /// Memo entries (both levels) carried in live across the slot
+    /// boundary.
+    pub memo_entries_retained: u64,
+    /// Memo entries invalidated by the flushes above.
+    pub memo_entries_flushed: u64,
+    /// Exact-tuple λ seeds currently stored (λ survives any churn).
+    pub lambda_entries: u64,
+}
+
+impl InvalidationReport {
+    /// Whether every region carried its memos across the slot boundary.
+    pub fn fully_retained(&self) -> bool {
+        self.regions_flushed == 0 && self.regions_fresh == 0
     }
 }
 
@@ -481,6 +590,16 @@ const MEMO_PRUNE_LEN: usize = 8192;
 /// otherwise grow it without limit. Losing it only costs warm-start
 /// quality on the next revisit of each tuple.
 const LAMBDA_PRUNE_LEN: usize = 65_536;
+
+/// Parked regions unused for this many lends are dropped: a region that
+/// has not appeared for a while (its pairs left the request mix, or a
+/// topology change re-cut the partition) is unlikely to return with an
+/// identical fingerprint, and its memos are pure memory until it does.
+const REGION_TTL: u64 = 16;
+
+/// Hard cap on parked regions, guarding a workload that cycles through
+/// many distinct partitions faster than the TTL can retire them.
+const REGION_CAP: usize = 512;
 
 /// Persistent route-selection state spanning slots — the slot-lifetime
 /// counterpart of the per-slot [`ProfileEvaluator`].
@@ -513,32 +632,80 @@ const LAMBDA_PRUNE_LEN: usize = 65_536;
 ///   calls: candidate route indices and constraint identities are only
 ///   comparable across slots on the same network. Policies reset their
 ///   session whenever [`crate::policy::RoutingPolicy::reset`] runs, so
-///   fresh trials share nothing.
-/// * Memo entries are read only under an exactly matching slot
-///   fingerprint; *any* context change (drifted price, different
-///   capacities, a dropped pair, a different fidelity filter) bumps the
-///   epoch before the slot's first evaluation.
+///   fresh trials share nothing. (Candidate *repair* under link churn is
+///   fine — a region whose candidates changed flushes itself via its
+///   fingerprint; only node/edge *renumbering* requires a reset.)
+/// * Memo entries are **region-scoped**: each static region parks its
+///   memos under its own fingerprint and epoch, and is flushed exactly
+///   when its *own* sub-context changes — its members, their candidate
+///   routes, or a capacity on a node/edge those candidates touch — or
+///   when the shared context (price, `V`, budget, method, options)
+///   drifts. A link failure in one region leaves every other region's
+///   memos live: no cold restart for the unaffected parts of the
+///   network. [`SelectorSession::set_global_invalidation`] restores the
+///   old flush-everything rule for ablation.
 /// * λ entries are never invalidated by context drift — a dual seed is
 ///   advisory, and every warm solve still certifies the same
 ///   feasibility and duality-gap guarantees as a cold one (capped warm
 ///   budget, cold fallback) — they are only cleared by `reset`.
+/// * The remembered previous-slot profile is validated by route
+///   *identity* (edge list), not by index: a repair that reshuffles a
+///   pair's candidate list relocates the remembered route, and a route
+///   that no longer exists is simply forgotten — a stale index can
+///   never leak into a seed.
 /// * With `warm_profile_seed` off and `warm_start` off, a session-built
 ///   evaluator is **bit-identical** to a fresh
 ///   [`ProfileEvaluator::new`] per slot (enforced by the
-///   `session_matches_fresh_per_slot` proptest).
+///   `session_matches_fresh_per_slot` and `churn_matches_cold_rebuild`
+///   proptests).
 #[derive(Debug, Default)]
 pub struct SelectorSession {
-    /// Current memo epoch; entries stamped differently are stale.
-    epoch: u64,
-    fingerprint: Option<SlotFingerprint>,
+    /// Monotone epoch source: flushed or fresh regions draw their next
+    /// epoch from here, so no retired map's stale entries can ever
+    /// resurrect under a recycled epoch.
+    epoch_counter: u64,
+    shared: Option<SharedFingerprint>,
+    /// Parked per-region memo state, keyed by the region's sorted pair
+    /// multiset.
+    regions: HashMap<Box<[SdPair]>, RegionState>,
     scratch: Option<Scratch>,
-    memos: Vec<Memo>,
-    dyn_memos: Vec<Memo>,
     lambda_exact: LambdaMemo,
     lambda_dense: Vec<f64>,
     lambda_dense_valid: bool,
-    /// Previous slot's selected route index per pair.
-    prev_selected: HashMap<SdPair, u32>,
+    /// Previous slot's selected route per pair, by identity.
+    prev_selected: HashMap<SdPair, PrevRoute>,
+    /// Lend counter (drives region TTL pruning).
+    lends: u64,
+    /// Ablation switch: `true` re-enables the pre-region behavior where
+    /// *any* context change flushes *every* region.
+    global_invalidation: bool,
+    last_invalidation: InvalidationReport,
+}
+
+/// A remembered previous-slot selection: the route's index in last
+/// slot's candidate list plus its identity (edge sequence), so the next
+/// slot can detect that churn repair removed or relocated the route.
+#[derive(Debug, Clone)]
+struct PrevRoute {
+    index: u32,
+    edges: Box<[EdgeId]>,
+}
+
+impl PrevRoute {
+    /// Finds this route in `routes`: the stored index when it still
+    /// holds the identical route (the steady-state fast path), else a
+    /// linear scan by edge-list identity, else `None` (the route was
+    /// dropped by candidate repair).
+    fn locate(&self, routes: &[Path]) -> Option<usize> {
+        let idx = self.index as usize;
+        if routes
+            .get(idx)
+            .is_some_and(|r| r.edges() == &self.edges[..])
+        {
+            return Some(idx);
+        }
+        routes.iter().position(|r| r.edges() == &self.edges[..])
+    }
 }
 
 impl SelectorSession {
@@ -547,23 +714,50 @@ impl SelectorSession {
         Self::default()
     }
 
-    /// Clears all cross-slot state for a fresh trial: λ stores, the
-    /// previous selected profile, and (via an epoch bump) every memo
-    /// entry. Recycled buffer capacity is kept — it carries no
-    /// semantic state.
+    /// Clears all cross-slot state for a fresh trial: parked region
+    /// memos, λ stores, and the previous selected profile. Recycled
+    /// buffer capacity is kept — it carries no semantic state.
     pub fn reset(&mut self) {
-        self.epoch += 1;
-        self.fingerprint = None;
+        self.shared = None;
+        self.regions.clear();
         self.lambda_exact.clear();
         self.lambda_dense.iter_mut().for_each(|l| *l = 0.0);
         self.lambda_dense_valid = false;
         self.prev_selected.clear();
+        self.last_invalidation = InvalidationReport::default();
+        // `epoch_counter` and `lends` keep counting: epochs stay
+        // monotone for the life of the session.
+    }
+
+    /// Switches between region-scoped invalidation (default, `false`)
+    /// and the global flush-everything rule (`true`): under global
+    /// invalidation any fingerprint change — shared or in any region —
+    /// flushes every region's memos, reproducing the pre-region
+    /// behavior for ablation and benchmarking.
+    pub fn set_global_invalidation(&mut self, on: bool) {
+        self.global_invalidation = on;
+    }
+
+    /// Whether the global flush-everything ablation rule is active.
+    pub fn global_invalidation(&self) -> bool {
+        self.global_invalidation
+    }
+
+    /// The invalidation ledger of the most recent slot (what the last
+    /// [`ProfileEvaluator::new_in`] retained vs flushed).
+    pub fn last_invalidation(&self) -> InvalidationReport {
+        self.last_invalidation
+    }
+
+    /// Number of regions currently parked in the session.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
     }
 
     /// The route index this session remembers for `pair` from the
     /// previous slot's selection, if any.
     pub fn previous_route(&self, pair: SdPair) -> Option<usize> {
-        self.prev_selected.get(&pair).map(|&r| r as usize)
+        self.prev_selected.get(&pair).map(|r| r.index as usize)
     }
 
     /// Number of pairs with a remembered previous-slot route.
@@ -582,20 +776,29 @@ impl SelectorSession {
     /// entries is not a warm start, and selectors shrink their search
     /// budget on seeded slots (see `GibbsConfig::warm_iterations`), so
     /// low-coverage slots must run the full cold search instead.
-    /// Remembered pairs start on last slot's route (when still within
-    /// their candidate list); the remaining pairs fall back to their
-    /// shortest candidate (index 0). Pairs repeated in the request set
-    /// (multi-EC) all seed from the one remembered route of that pair.
+    /// Remembered pairs start on last slot's route, located by edge-list
+    /// identity (so a candidate list reshuffled by churn repair still
+    /// seeds the same physical route, and a removed route falls back
+    /// instead of aliasing whatever now sits at its old index); the
+    /// remaining pairs fall back to their shortest candidate (index 0).
+    /// Pairs repeated in the request set (multi-EC) all seed from the
+    /// one remembered route of that pair.
     pub fn seed_indices(&self, candidates: &[Candidates<'_>]) -> Option<Vec<usize>> {
         let mut remembered = 0usize;
         let seed: Vec<usize> = candidates
             .iter()
-            .map(|c| match self.prev_selected.get(&c.pair) {
-                Some(&r) if (r as usize) < c.routes.len() => {
-                    remembered += 1;
-                    r as usize
+            .map(|c| {
+                match self
+                    .prev_selected
+                    .get(&c.pair)
+                    .and_then(|p| p.locate(c.routes))
+                {
+                    Some(idx) => {
+                        remembered += 1;
+                        idx
+                    }
+                    None => 0,
                 }
-                _ => 0,
             })
             .collect();
         (remembered * 2 > candidates.len()).then_some(seed)
@@ -608,28 +811,105 @@ impl SelectorSession {
         debug_assert_eq!(candidates.len(), indices.len());
         self.prev_selected.clear();
         for (c, &i) in candidates.iter().zip(indices) {
-            self.prev_selected.insert(c.pair, i as u32);
+            self.prev_selected.insert(
+                c.pair,
+                PrevRoute {
+                    index: i as u32,
+                    edges: c.routes[i].edges().into(),
+                },
+            );
         }
     }
 
-    /// Lends the recycled buffers out for one slot, bumping the epoch
-    /// when the slot context differs from the previous slot's.
-    fn lend(&mut self, fingerprint: SlotFingerprint) -> SessionParts {
-        if self.fingerprint.as_ref() != Some(&fingerprint) {
-            self.epoch += 1;
-            self.fingerprint = Some(fingerprint);
-        }
+    fn next_epoch(&mut self) -> u64 {
+        self.epoch_counter += 1;
+        self.epoch_counter
+    }
+
+    /// Lends the recycled buffers out for one slot: pulls each region's
+    /// parked memos out by key, flushes (epoch-bumps) exactly the
+    /// regions whose fingerprint — or the shared context — changed, and
+    /// TTL-prunes parked regions that have not appeared recently.
+    fn lend(
+        &mut self,
+        shared: SharedFingerprint,
+        keys: &[Box<[SdPair]>],
+        fps: &[RegionFingerprint],
+    ) -> SessionParts {
+        self.lends += 1;
+        let shared_mismatch = self.shared.as_ref() != Some(&shared);
+        self.shared = Some(shared);
         if self.lambda_exact.len() > LAMBDA_PRUNE_LEN {
             self.lambda_exact.clear();
         }
+
+        let n = keys.len();
+        let mut states: Vec<Option<RegionState>> =
+            keys.iter().map(|k| self.regions.remove(k)).collect();
+        let mut flush = vec![shared_mismatch; n];
+        let mut any_changed = shared_mismatch;
+        for (i, st) in states.iter().enumerate() {
+            match st {
+                Some(s) if s.fingerprint == fps[i] => {}
+                Some(_) => {
+                    flush[i] = true;
+                    any_changed = true;
+                }
+                None => any_changed = true,
+            }
+        }
+        if self.global_invalidation && any_changed {
+            flush.iter_mut().for_each(|f| *f = true);
+        }
+
+        let mut report = InvalidationReport {
+            regions: n as u32,
+            lambda_entries: self.lambda_exact.len() as u64,
+            ..InvalidationReport::default()
+        };
+        let mut epochs = Vec::with_capacity(n);
+        let mut memos = Vec::with_capacity(n);
+        let mut dyn_memos = Vec::with_capacity(n);
+        for (i, st) in states.iter_mut().enumerate() {
+            match st.take() {
+                Some(mut s) => {
+                    let entries = (s.memo.len() + s.dyn_memo.len()) as u64;
+                    if flush[i] {
+                        s.epoch = self.next_epoch();
+                        report.regions_flushed += 1;
+                        report.memo_entries_flushed += entries;
+                    } else {
+                        report.memo_entries_retained += entries;
+                    }
+                    epochs.push(s.epoch);
+                    memos.push(s.memo);
+                    dyn_memos.push(s.dyn_memo);
+                }
+                None => {
+                    report.regions_fresh += 1;
+                    epochs.push(self.next_epoch());
+                    memos.push(Memo::new());
+                    dyn_memos.push(Memo::new());
+                }
+            }
+        }
+
+        let lends = self.lends;
+        self.regions
+            .retain(|_, s| lends.saturating_sub(s.last_used) <= REGION_TTL);
+        if self.regions.len() > REGION_CAP {
+            self.regions.clear();
+        }
+        self.last_invalidation = report;
         SessionParts {
-            epoch: self.epoch,
+            epochs,
             scratch: self.scratch.take(),
-            memos: std::mem::take(&mut self.memos),
-            dyn_memos: std::mem::take(&mut self.dyn_memos),
+            memos,
+            dyn_memos,
             lambda_exact: std::mem::take(&mut self.lambda_exact),
             lambda_dense: std::mem::take(&mut self.lambda_dense),
             lambda_dense_valid: self.lambda_dense_valid,
+            report,
         }
     }
 }
@@ -695,6 +975,16 @@ pub struct EvalStats {
     /// freshly solved by the most recent evaluation; 0 when it was
     /// served entirely from the memos.
     pub pairs_resolved_last_move: u64,
+    /// Gauge: static regions whose session memos were flushed when this
+    /// evaluator was built (0 for sessionless evaluators).
+    pub regions_flushed: u64,
+    /// Gauge: static regions with no parked session state at build.
+    pub regions_fresh: u64,
+    /// Gauge: memo entries carried live across the slot boundary at
+    /// build.
+    pub memo_entries_retained: u64,
+    /// Gauge: memo entries invalidated at build by region flushes.
+    pub memo_entries_flushed: u64,
 }
 
 /// The incremental profile-evaluation engine. See the module docs.
@@ -727,9 +1017,14 @@ pub struct ProfileEvaluator<'a> {
     lossy_swap: bool,
     budget: Option<u32>,
     scratch: Scratch,
-    /// Memo epoch this evaluator reads and writes; session-built
-    /// evaluators inherit the session's current epoch.
-    epoch: u64,
+    /// Per-component memo epochs this evaluator reads and writes;
+    /// session-built evaluators inherit each region's current epoch.
+    epochs: Vec<u64>,
+    /// Session identity of each static component (region key = sorted
+    /// pair multiset, plus the slot's region fingerprint) — what
+    /// [`ProfileEvaluator::retire`] parks the memos under.
+    region_keys: Vec<Box<[SdPair]>>,
+    region_fps: Vec<RegionFingerprint>,
     /// Level-1 memos (per static component, keyed by route tuple).
     memos: Vec<Memo>,
     /// Level-2 memos (per static component, keyed by dynamic sub-key).
@@ -770,18 +1065,20 @@ impl<'a> ProfileEvaluator<'a> {
         method: &AllocationMethod,
         options: EvalOptions,
     ) -> Self {
-        Self::build(ctx, candidates, method, options, SessionParts::fresh())
+        Self::build(ctx, candidates, method, options, None)
     }
 
     /// [`ProfileEvaluator::new`] backed by a [`SelectorSession`]: the
     /// arena, scratch buffers, memo maps, and λ stores are borrowed from
-    /// the session instead of freshly allocated, and the session's memo
-    /// epoch is bumped first when this slot's context differs from the
-    /// previous slot's (see the session docs for the invalidation
-    /// invariants). Call [`ProfileEvaluator::retire`] when the slot's
-    /// selection is done to hand the state back; dropping the evaluator
-    /// instead merely forfeits the reuse (the session rebuilds fresh
-    /// buffers next slot).
+    /// the session instead of freshly allocated. Memos are region-scoped
+    /// — each static component pulls its parked memo maps by identity,
+    /// and only the regions whose own sub-context (members, candidate
+    /// routes, touched capacities) or the shared context changed are
+    /// flushed (see the session docs for the invalidation invariants).
+    /// Call [`ProfileEvaluator::retire`] when the slot's selection is
+    /// done to hand the state back; dropping the evaluator instead
+    /// merely forfeits the reuse (the session rebuilds fresh buffers
+    /// next slot).
     pub fn new_in(
         session: &mut SelectorSession,
         ctx: &PerSlotContext<'a>,
@@ -789,20 +1086,40 @@ impl<'a> ProfileEvaluator<'a> {
         method: &AllocationMethod,
         options: EvalOptions,
     ) -> Self {
-        let parts = session.lend(SlotFingerprint::of(ctx, candidates, method, options));
-        Self::build(ctx, candidates, method, options, parts)
+        Self::build(ctx, candidates, method, options, Some(session))
     }
 
     /// Returns the recycled buffers, memos, and λ stores to `session`
-    /// for the next slot. The memo epoch itself lives in the session
-    /// and was already advanced by [`ProfileEvaluator::new_in`].
+    /// for the next slot. Each static component's memos are parked
+    /// under its region key with the epoch they were stamped with, so
+    /// the next slot that poses the same sub-problem — even after
+    /// unrelated churn elsewhere — reads them back verbatim.
     pub fn retire(self, session: &mut SelectorSession) {
         session.scratch = Some(self.scratch);
-        session.memos = self.memos;
-        session.dyn_memos = self.dyn_memos;
         session.lambda_exact = self.lambda_exact;
         session.lambda_dense = self.lambda_dense;
         session.lambda_dense_valid = self.lambda_dense_valid;
+        let last_used = session.lends;
+        for ((((key, fingerprint), epoch), memo), dyn_memo) in self
+            .region_keys
+            .into_iter()
+            .zip(self.region_fps)
+            .zip(self.epochs)
+            .zip(self.memos)
+            .zip(self.dyn_memos)
+        {
+            session.epoch_counter = session.epoch_counter.max(epoch);
+            session.regions.insert(
+                key,
+                RegionState {
+                    epoch,
+                    fingerprint,
+                    memo,
+                    dyn_memo,
+                    last_used,
+                },
+            );
+        }
     }
 
     fn build(
@@ -810,7 +1127,7 @@ impl<'a> ProfileEvaluator<'a> {
         candidates: &[Candidates<'_>],
         method: &AllocationMethod,
         options: EvalOptions,
-        parts: SessionParts,
+        session: Option<&mut SelectorSession>,
     ) -> Self {
         let k = candidates.len();
         let pairs: Vec<SdPair> = candidates.iter().map(|c| c.pair).collect();
@@ -864,17 +1181,32 @@ impl<'a> ProfileEvaluator<'a> {
             comp_key_off.push(comp_key_off.last().unwrap() + pairs.len());
         }
 
+        // The static partition is known, so each component's session
+        // identity (region key + fingerprint) can be computed and the
+        // matching parked memos pulled from the session region by
+        // region.
+        let (region_keys, region_fps) = region_identities(ctx, &pairs, &routes, &comp_pairs);
+        let parts = match session {
+            Some(s) => s.lend(
+                SharedFingerprint::of(ctx, method, options),
+                &region_keys,
+                &region_fps,
+            ),
+            None => SessionParts::fresh(comp_pairs.len()),
+        };
+
         let q = ctx.network.swap().success();
         let nodes = ctx.network.node_count();
         let edges = ctx.network.edge_count();
         let SessionParts {
-            epoch,
+            epochs,
             scratch,
             mut memos,
             mut dyn_memos,
             lambda_exact,
             mut lambda_dense,
             mut lambda_dense_valid,
+            report,
         } = parts;
         let scratch = Scratch::recycled(scratch, nodes, edges, comp_pairs.len());
         for memo in [&mut memos, &mut dyn_memos] {
@@ -917,6 +1249,10 @@ impl<'a> ProfileEvaluator<'a> {
         let stats = EvalStats {
             // Unrefined components count as one dynamic group each.
             dynamic_components: comp_pairs.len() as u64,
+            regions_flushed: report.regions_flushed as u64,
+            regions_fresh: report.regions_fresh as u64,
+            memo_entries_retained: report.memo_entries_retained,
+            memo_entries_flushed: report.memo_entries_flushed,
             ..EvalStats::default()
         };
         ProfileEvaluator {
@@ -936,7 +1272,9 @@ impl<'a> ProfileEvaluator<'a> {
             lossy_swap: q < 1.0,
             budget: ctx.slot_budget.map(|b| b.min(u32::MAX as u64) as u32),
             scratch,
-            epoch,
+            epochs,
+            region_keys,
+            region_fps,
             memos,
             dyn_memos,
             group_key: Vec::new(),
@@ -1198,7 +1536,10 @@ impl<'a> ProfileEvaluator<'a> {
 
         for comp in 0..self.comp_pairs.len() {
             let key = &self.scratch.joint_key[self.comp_key_off[comp]..self.comp_key_off[comp + 1]];
-            if let Some(entry) = self.memos[comp].get(key).filter(|e| e.epoch == self.epoch) {
+            if let Some(entry) = self.memos[comp]
+                .get(key)
+                .filter(|e| e.epoch == self.epochs[comp])
+            {
                 if fresh.binary_search(&comp).is_err() {
                     self.stats.memo_hits += 1;
                 }
@@ -1281,7 +1622,7 @@ impl<'a> ProfileEvaluator<'a> {
         self.memos[comp].insert(
             key,
             MemoEntry {
-                epoch: self.epoch,
+                epoch: self.epochs[comp],
                 alloc: solve.alloc,
             },
         );
@@ -1307,7 +1648,7 @@ impl<'a> ProfileEvaluator<'a> {
             }
             if let Some(entry) = self.dyn_memos[comp]
                 .get(self.group_key.as_slice())
-                .filter(|e| e.epoch == self.epoch)
+                .filter(|e| e.epoch == self.epochs[comp])
             {
                 if entry.alloc.is_none() {
                     feasible = false;
@@ -1347,7 +1688,7 @@ impl<'a> ProfileEvaluator<'a> {
             self.dyn_memos[comp].insert(
                 self.group_key.as_slice().into(),
                 MemoEntry {
-                    epoch: self.epoch,
+                    epoch: self.epochs[comp],
                     alloc: solve.alloc,
                 },
             );
@@ -1361,7 +1702,7 @@ impl<'a> ProfileEvaluator<'a> {
             self.memos[comp].insert(
                 key,
                 MemoEntry {
-                    epoch: self.epoch,
+                    epoch: self.epochs[comp],
                     alloc: None,
                 },
             );
@@ -1410,7 +1751,7 @@ impl<'a> ProfileEvaluator<'a> {
             let entry = self.dyn_memos[comp]
                 .get(self.group_key.as_slice())
                 .expect("group memoized by solve_groups");
-            debug_assert_eq!(entry.epoch, self.epoch);
+            debug_assert_eq!(entry.epoch, self.epochs[comp]);
             let alloc = entry
                 .alloc
                 .as_deref()
@@ -1421,7 +1762,7 @@ impl<'a> ProfileEvaluator<'a> {
         self.memos[comp].insert(
             key,
             MemoEntry {
-                epoch: self.epoch,
+                epoch: self.epochs[comp],
                 alloc: Some(gathered.as_slice().into()),
             },
         );
@@ -1452,7 +1793,7 @@ impl<'a> ProfileEvaluator<'a> {
             let end = self.comp_key_off[comp + 1];
             if self.memos[comp]
                 .get(&self.scratch.joint_key[off..end])
-                .is_some_and(|e| e.epoch == self.epoch)
+                .is_some_and(|e| e.epoch == self.epochs[comp])
             {
                 continue;
             }
@@ -1469,7 +1810,7 @@ impl<'a> ProfileEvaluator<'a> {
                         }
                         if !self.dyn_memos[comp]
                             .get(self.group_key.as_slice())
-                            .is_some_and(|e| e.epoch == self.epoch)
+                            .is_some_and(|e| e.epoch == self.epochs[comp])
                         {
                             items.push((comp, g));
                         }
@@ -1561,7 +1902,7 @@ impl<'a> ProfileEvaluator<'a> {
             let off = self.comp_key_off[comp];
             let end = self.comp_key_off[comp + 1];
             let entry = MemoEntry {
-                epoch: self.epoch,
+                epoch: self.epochs[comp],
                 alloc: solve.alloc,
             };
             if g == WHOLE {
@@ -1610,7 +1951,7 @@ impl<'a> ProfileEvaluator<'a> {
                 let entry = self.memos[comp]
                     .get(key)
                     .expect("component memoized by ensure_components");
-                debug_assert_eq!(entry.epoch, self.epoch);
+                debug_assert_eq!(entry.epoch, self.epochs[comp]);
                 entry
                     .alloc
                     .as_deref()
@@ -2218,6 +2559,146 @@ mod tests {
         let ev = eval.evaluate(&[]).unwrap();
         assert!(ev.allocations.is_empty());
         assert_eq!(ev.objective, 0.0);
+    }
+
+    #[test]
+    fn region_scoped_flush_spares_untouched_regions() {
+        // Two disjoint diamonds → two static regions. A capacity change
+        // inside the second diamond must flush only its region: the
+        // first diamond's memos survive the slot boundary and answer
+        // without re-solving.
+        let net = two_diamonds();
+        let full = CapacitySnapshot::full(&net);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let method = AllocationMethod::default();
+        let options = EvalOptions::default();
+
+        let mut session = SelectorSession::new();
+        let ctx = PerSlotContext::oscar(&net, &full, 800.0, 1.0);
+        let mut eval = ProfileEvaluator::new_in(&mut session, &ctx, &cands, &method, options);
+        let before = eval.evaluate_objective(&[0, 0]).unwrap();
+        assert_eq!(eval.stats().components_solved, 2);
+        eval.retire(&mut session);
+        assert_eq!(session.region_count(), 2);
+
+        // Slot 2: edge 4 (the 4–5 link) loses a channel — only the
+        // second diamond's candidates touch it.
+        let mut channels = vec![5u32; 8];
+        channels[4] = 4;
+        let cut = CapacitySnapshot::clamped(&net, vec![10; 8], channels);
+        let ctx2 = PerSlotContext::oscar(&net, &cut, 800.0, 1.0);
+        let mut eval = ProfileEvaluator::new_in(&mut session, &ctx2, &cands, &method, options);
+        let report = session.last_invalidation();
+        assert_eq!(report.regions, 2);
+        assert_eq!(report.regions_flushed, 1, "{report:?}");
+        assert_eq!(report.regions_fresh, 0, "{report:?}");
+        assert!(report.memo_entries_retained >= 1, "{report:?}");
+        assert!(report.memo_entries_flushed >= 1, "{report:?}");
+        let after = eval.evaluate_objective(&[0, 0]).unwrap();
+        let s = eval.stats();
+        assert_eq!(s.memo_hits, 1, "diamond 1 answered from retained memo");
+        assert_eq!(s.components_solved, 1, "only diamond 2 re-solved");
+        // Retained-memo answers are bit-identical to a fresh evaluator
+        // under the same slot context.
+        let fresh = ProfileEvaluator::new(&ctx2, &cands, &method, options)
+            .evaluate_objective(&[0, 0])
+            .unwrap();
+        assert_eq!(after.to_bits(), fresh.to_bits());
+        let _ = before;
+        eval.retire(&mut session);
+
+        // Slot 3: identical context — everything retained, all hits.
+        let mut eval = ProfileEvaluator::new_in(&mut session, &ctx2, &cands, &method, options);
+        assert!(session.last_invalidation().fully_retained());
+        eval.evaluate_objective(&[0, 0]).unwrap();
+        assert_eq!(eval.stats().components_solved, 0);
+        assert_eq!(eval.stats().memo_hits, 2);
+        eval.retire(&mut session);
+    }
+
+    #[test]
+    fn global_invalidation_ablation_flushes_everything() {
+        let net = two_diamonds();
+        let full = CapacitySnapshot::full(&net);
+        let pairs = [
+            SdPair::new(NodeId(0), NodeId(3)).unwrap(),
+            SdPair::new(NodeId(4), NodeId(7)).unwrap(),
+        ];
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let method = AllocationMethod::default();
+        let options = EvalOptions::default();
+
+        let mut session = SelectorSession::new();
+        session.set_global_invalidation(true);
+        assert!(session.global_invalidation());
+        let ctx = PerSlotContext::oscar(&net, &full, 800.0, 1.0);
+        let mut eval = ProfileEvaluator::new_in(&mut session, &ctx, &cands, &method, options);
+        eval.evaluate_objective(&[0, 0]).unwrap();
+        eval.retire(&mut session);
+
+        let mut channels = vec![5u32; 8];
+        channels[4] = 4;
+        let cut = CapacitySnapshot::clamped(&net, vec![10; 8], channels);
+        let ctx2 = PerSlotContext::oscar(&net, &cut, 800.0, 1.0);
+        let mut eval = ProfileEvaluator::new_in(&mut session, &ctx2, &cands, &method, options);
+        let report = session.last_invalidation();
+        assert_eq!(report.regions_flushed, 2, "global mode flushes all");
+        eval.evaluate_objective(&[0, 0]).unwrap();
+        assert_eq!(eval.stats().components_solved, 2, "no region survives");
+        assert_eq!(eval.stats().memo_hits, 0);
+        eval.retire(&mut session);
+    }
+
+    #[test]
+    fn stale_route_seed_relocates_or_forgets() {
+        // Satellite regression: a carried-over profile must be matched
+        // by route identity, not index, once churn repair reshuffles or
+        // removes candidates.
+        let net = two_diamonds();
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let owned = owned_candidates(&net, &[pair]);
+        let cands = to_cands(&owned);
+        assert!(cands[0].routes.len() >= 2);
+
+        let mut session = SelectorSession::new();
+        session.record_selection(&cands, &[1]);
+        assert_eq!(session.previous_route(pair), Some(1));
+
+        // Unchanged candidates: the remembered index is used verbatim.
+        assert_eq!(session.seed_indices(&cands), Some(vec![1]));
+
+        // Reordered candidates: the remembered route is relocated by
+        // its edge list, not trusted at its stored index.
+        let mut reordered = owned[0].1.clone();
+        reordered.reverse();
+        let selected = owned[0].1[1].clone();
+        let where_now = reordered.iter().position(|r| *r == selected).unwrap();
+        let re_cands = [Candidates {
+            pair,
+            routes: &reordered,
+        }];
+        assert_eq!(session.seed_indices(&re_cands), Some(vec![where_now]));
+
+        // The remembered route dropped entirely (churn removed it): the
+        // pair is no longer remembered, and with zero remembered pairs
+        // there is no warm seed at all — never an aliased index.
+        let without: Vec<Path> = owned[0]
+            .1
+            .iter()
+            .filter(|r| **r != selected)
+            .cloned()
+            .collect();
+        let gone_cands = [Candidates {
+            pair,
+            routes: &without,
+        }];
+        assert_eq!(session.seed_indices(&gone_cands), None);
     }
 
     #[test]

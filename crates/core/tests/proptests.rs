@@ -579,4 +579,96 @@ proptest! {
             );
         }
     }
+
+    /// Topology churn never desynchronizes a session from a cold
+    /// rebuild: threading one `SelectorSession` (and one incrementally
+    /// repaired `CandidateRoutes` cache) through a trace of link cuts
+    /// and repairs is bit-identical to building the evaluator fresh
+    /// every slot over the same candidates — across both partitions and
+    /// both dual methods. Region-scoped invalidation may retain memos
+    /// across a cut; this pins down that it never retains a stale one.
+    #[test]
+    fn churn_matches_cold_rebuild(
+        net in arb_ring_network(),
+        seed in 0u64..1000,
+        v in 100.0f64..2000.0,
+    ) {
+        use qdn_core::profile_eval::{EvalOptions, PartitionMode, SelectorSession};
+        use qdn_core::route_selection::{Candidates, GibbsConfig, RouteSelector};
+        use qdn_net::routes::{CandidateRoutes, RouteLimits};
+
+        let mut env = rand::rngs::StdRng::seed_from_u64(seed);
+        // Pinned pairs: the same demands live through the churn trace,
+        // so carried-over profiles and memos actually get exercised.
+        let pairs: Vec<SdPair> = (0..2)
+            .map(|_| qdn_net::workload::random_sd_pair(&mut env, &net))
+            .collect();
+        let m = net.edge_count();
+        for dual in [
+            qdn_solve::DualMethod::Accelerated,
+            qdn_solve::DualMethod::Subgradient,
+        ] {
+            let method = AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+                method: dual,
+                ..qdn_solve::RelaxedOptions::default()
+            });
+            for partition in [PartitionMode::Static, PartitionMode::Dynamic] {
+                let evaluator = EvalOptions { partition, warm_profile_seed: false };
+                let selector = RouteSelector::Gibbs(GibbsConfig {
+                    iterations: 8,
+                    evaluator,
+                    ..GibbsConfig::paper_default()
+                });
+                let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+                let mut session = SelectorSession::new();
+                let mut rng_session = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0DE);
+                let mut rng_fresh = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0DE);
+                let mut down = vec![false; m];
+                let mut price = 1.0 + (seed % 5) as f64;
+                for slot in 0..6u64 {
+                    // Toggle one link per slot: first sighting cuts it,
+                    // the next toggle repairs it — a fail/repair trace.
+                    let e = ((seed as usize).wrapping_add(slot as usize * 7)) % m;
+                    down[e] = !down[e];
+                    let channels: Vec<u32> = net
+                        .graph()
+                        .edge_ids()
+                        .map(|e| if down[e.index()] { 0 } else { net.channel_capacity(e) })
+                        .collect();
+                    let qubits: Vec<u32> = net
+                        .graph()
+                        .node_ids()
+                        .map(|v| net.qubit_capacity(v))
+                        .collect();
+                    let snap = CapacitySnapshot::clamped(&net, qubits, channels);
+                    cr.sync_dead_edges(&net, &snap);
+                    let owned: Vec<(SdPair, Vec<Path>)> = pairs
+                        .iter()
+                        .map(|&p| (p, cr.routes(&net, p).to_vec()))
+                        .filter(|(_, routes)| !routes.is_empty())
+                        .collect();
+                    if owned.is_empty() {
+                        // Both paths see the same disconnection; the
+                        // session simply idles this slot.
+                        price += 2.0;
+                        continue;
+                    }
+                    let cands: Vec<Candidates> = owned
+                        .iter()
+                        .map(|(pair, routes)| Candidates { pair: *pair, routes })
+                        .collect();
+                    let ctx = PerSlotContext::oscar(&net, &snap, v, price);
+                    let with_session =
+                        selector.select_in(&mut session, &ctx, &cands, &method, &mut rng_session);
+                    let fresh = selector.select(&ctx, &cands, &method, &mut rng_fresh);
+                    prop_assert_eq!(
+                        &with_session, &fresh,
+                        "slot {} diverged ({:?}, {:?})",
+                        slot, dual, partition
+                    );
+                    price += 3.0 + (slot as f64);
+                }
+            }
+        }
+    }
 }

@@ -47,11 +47,33 @@ pub fn yen_k_shortest<F>(graph: &Graph, src: NodeId, dst: NodeId, k: usize, weig
 where
     F: Fn(EdgeId) -> f64,
 {
+    yen_k_shortest_filtered(graph, src, dst, k, weight, &SearchFilter::new())
+}
+
+/// [`yen_k_shortest`] on the subgraph that survives `base`: every search
+/// (the initial shortest path and every spur) additionally respects the
+/// base filter, so no returned path touches a banned node or edge.
+///
+/// This is the primitive behind incremental candidate maintenance
+/// ([`crate::maintain`]): a set of dead edges is carried as the base
+/// filter instead of mutating the graph, keeping edge/node ids stable
+/// across failures and repairs.
+pub fn yen_k_shortest_filtered<F>(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    weight: &F,
+    base: &SearchFilter,
+) -> Vec<Path>
+where
+    F: Fn(EdgeId) -> f64,
+{
     let mut accepted: Vec<Path> = Vec::new();
     if k == 0 {
         return accepted;
     }
-    let Some(first) = shortest_path_filtered(graph, src, dst, weight, &SearchFilter::new()) else {
+    let Some(first) = shortest_path_filtered(graph, src, dst, weight, base) else {
         return accepted;
     };
     accepted.push(first);
@@ -68,7 +90,7 @@ where
             let root_nodes = &prev.nodes()[..=i];
             let root_edges = &prev.edges()[..i];
 
-            let mut filter = SearchFilter::new();
+            let mut filter = base.clone();
             // Remove edges that would recreate an already-accepted path
             // sharing this root.
             for p in &accepted {
@@ -233,6 +255,27 @@ mod tests {
         assert_eq!(paths[0].nodes(), &[a, c, b]);
         assert_eq!(paths[1].nodes(), &[a, b]);
         let _ = (ac, cb);
+    }
+
+    #[test]
+    fn base_filter_excludes_dead_edges() {
+        let (g, n) = grid3x3();
+        let mut base = SearchFilter::new();
+        // Kill both edges out of the corner's row neighbour.
+        let dead = g.edge_between(n[0], n[1]).unwrap();
+        base.ban_edge(dead);
+        let paths = yen_k_shortest_filtered(&g, n[0], n[8], 8, &hop_weight, &base);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert!(!p.edges().contains(&dead), "dead edge used: {p:?}");
+            assert_eq!(p.source(), n[0]);
+            assert_eq!(p.destination(), n[8]);
+        }
+        // An empty base filter is exactly the unfiltered algorithm.
+        assert_eq!(
+            yen_k_shortest_filtered(&g, n[0], n[8], 8, &hop_weight, &SearchFilter::new()),
+            yen_k_shortest(&g, n[0], n[8], 8, &hop_weight)
+        );
     }
 
     /// Cross-check Yen against brute-force enumeration on random graphs.

@@ -1,0 +1,361 @@
+//! Incremental maintenance of k-shortest candidate sets under edge churn.
+//!
+//! Recomputing every pair's Yen set after a single link failure is the
+//! cold-restart behaviour this module removes. [`CandidateMaintainer`]
+//! tracks per-pair candidate sets together with the set of currently
+//! *dead* edges and repairs only the pairs a churn event can actually
+//! affect:
+//!
+//! * **Failure** of edge `e`: a cached set that never uses `e` is
+//!   untouched — its paths all survive, and since they were the `k`
+//!   lightest paths of the larger graph they remain the `k` lightest of
+//!   the smaller one. Only pairs with `e` on a cached route re-run Yen.
+//! * **Repair** of edge `e`: only a path through `e` can newly enter a
+//!   set. Two filtered Dijkstra trees rooted at the endpoints of `e`
+//!   give a lower bound on the weight of any such path; saturated pairs
+//!   whose worst cached route beats that bound are skipped without any
+//!   path search.
+//!
+//! Equivalence with full recomputation is exact up to Yen's tie order
+//! (weight-for-weight identical sets; see the
+//! `incremental_ksp_matches_recompute` proptest in `tests/proptests.rs`).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::dijkstra::{distances_from_filtered, SearchFilter};
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::ksp::yen_k_shortest_filtered;
+use crate::paths::Path;
+
+/// What one failure/repair event did to the tracked candidate sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Pairs whose set was recomputed (sorted canonically).
+    pub recomputed: Vec<(NodeId, NodeId)>,
+    /// The subset of `recomputed` whose route list actually changed.
+    pub changed: Vec<(NodeId, NodeId)>,
+    /// Pairs proven unaffected without recomputation.
+    pub skipped: usize,
+}
+
+impl RepairReport {
+    /// `true` when no tracked pair's routes changed.
+    pub fn is_noop(&self) -> bool {
+        self.changed.is_empty()
+    }
+}
+
+/// Incrementally maintained k-shortest-path sets over a churning graph.
+///
+/// Dead edges are carried as a [`SearchFilter`] rather than by mutating
+/// the graph, so node/edge ids (and everything keyed on them downstream)
+/// stay stable across failures and repairs. Pairs are keyed canonically
+/// (smaller node id first); stored paths run from the smaller to the
+/// larger endpoint.
+///
+/// # Example
+///
+/// ```
+/// use qdn_graph::{Graph, maintain::CandidateMaintainer, paths::hop_weight};
+///
+/// # fn main() -> Result<(), qdn_graph::GraphError> {
+/// let mut g = Graph::new();
+/// let n: Vec<_> = (0..4).map(|_| g.add_node()).collect();
+/// let direct = g.add_edge(n[0], n[3])?;
+/// g.add_edge(n[0], n[1])?;
+/// g.add_edge(n[1], n[3])?;
+///
+/// let mut m = CandidateMaintainer::new(4);
+/// m.track(&g, n[0], n[3], &hop_weight);
+/// assert_eq!(m.routes(n[0], n[3]).unwrap().len(), 2);
+///
+/// let report = m.fail_edge(&g, direct, &hop_weight);
+/// assert_eq!(report.changed.len(), 1);
+/// assert_eq!(m.routes(n[0], n[3]).unwrap().len(), 1);
+///
+/// m.restore_edge(&g, direct, &hop_weight);
+/// assert_eq!(m.routes(n[0], n[3]).unwrap().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CandidateMaintainer {
+    k: usize,
+    dead: BTreeSet<EdgeId>,
+    sets: HashMap<(NodeId, NodeId), Vec<Path>>,
+}
+
+impl CandidateMaintainer {
+    /// Creates a maintainer producing up to `k` routes per pair.
+    pub fn new(k: usize) -> Self {
+        CandidateMaintainer {
+            k,
+            dead: BTreeSet::new(),
+            sets: HashMap::new(),
+        }
+    }
+
+    /// The per-pair route bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether `edge` is currently dead.
+    pub fn is_dead(&self, edge: EdgeId) -> bool {
+        self.dead.contains(&edge)
+    }
+
+    /// Currently dead edges, ascending.
+    pub fn dead_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.dead.iter().copied()
+    }
+
+    /// Number of tracked pairs.
+    pub fn tracked_pairs(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Ensures `(a, b)` is tracked and returns its candidate set
+    /// (canonically oriented), computing it on first use.
+    pub fn track<F>(&mut self, graph: &Graph, a: NodeId, b: NodeId, weight: &F) -> &[Path]
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        let key = canonical(a, b);
+        if !self.sets.contains_key(&key) {
+            let filter = self.filter();
+            let set = yen_k_shortest_filtered(graph, key.0, key.1, self.k, weight, &filter);
+            self.sets.insert(key, set);
+        }
+        &self.sets[&key]
+    }
+
+    /// The cached candidate set for `(a, b)` (canonically oriented), or
+    /// `None` if the pair is not tracked.
+    pub fn routes(&self, a: NodeId, b: NodeId) -> Option<&[Path]> {
+        self.sets.get(&canonical(a, b)).map(Vec::as_slice)
+    }
+
+    /// Marks `edge` dead and repairs every tracked set that used it.
+    ///
+    /// Pairs without `edge` on any cached route are provably unaffected:
+    /// their routes were the `k` lightest of the pre-failure graph and
+    /// every surviving path keeps its weight, so they remain the `k`
+    /// lightest afterwards.
+    pub fn fail_edge<F>(&mut self, graph: &Graph, edge: EdgeId, weight: &F) -> RepairReport
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        let mut report = RepairReport::default();
+        if !self.dead.insert(edge) {
+            return report; // already dead
+        }
+        let filter = self.filter();
+        for (&key, set) in self.sets.iter_mut() {
+            if set.iter().any(|p| p.contains_edge(edge)) {
+                let fresh = yen_k_shortest_filtered(graph, key.0, key.1, self.k, weight, &filter);
+                report.recomputed.push(key);
+                if fresh != *set {
+                    report.changed.push(key);
+                    *set = fresh;
+                }
+            } else {
+                report.skipped += 1;
+            }
+        }
+        report.recomputed.sort_unstable();
+        report.changed.sort_unstable();
+        report
+    }
+
+    /// Revives `edge` and repairs every tracked set it could improve.
+    ///
+    /// Any path that newly enters a set must cross `edge`, so its weight
+    /// is at least `min(d(s,u) + w + d(v,d), d(s,v) + w + d(u,d))` where
+    /// `u, v` are the endpoints of `edge` and distances come from two
+    /// filtered Dijkstra trees shared across all pairs. Saturated sets
+    /// whose worst route is strictly lighter than that bound are skipped.
+    pub fn restore_edge<F>(&mut self, graph: &Graph, edge: EdgeId, weight: &F) -> RepairReport
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        let mut report = RepairReport::default();
+        if !self.dead.remove(&edge) {
+            return report; // was not dead
+        }
+        let filter = self.filter();
+        let (u, v) = graph.endpoints(edge);
+        let w = weight(edge);
+        let du = distances_from_filtered(graph, u, weight, &filter);
+        let dv = distances_from_filtered(graph, v, weight, &filter);
+        for (&key, set) in self.sets.iter_mut() {
+            let (s, d) = key;
+            let bound = (du[s.index()] + w + dv[d.index()]).min(dv[s.index()] + w + du[d.index()]);
+            let needs = if set.len() < self.k {
+                // Unsaturated: every non-edge path is already cached, so
+                // only a finite bound (edge connects s to d) can add one.
+                bound.is_finite()
+            } else {
+                let worst = set
+                    .last()
+                    .map(|p| p.weight(weight))
+                    .unwrap_or(f64::INFINITY);
+                bound <= worst
+            };
+            if needs {
+                let fresh = yen_k_shortest_filtered(graph, key.0, key.1, self.k, weight, &filter);
+                report.recomputed.push(key);
+                if fresh != *set {
+                    report.changed.push(key);
+                    *set = fresh;
+                }
+            } else {
+                report.skipped += 1;
+            }
+        }
+        report.recomputed.sort_unstable();
+        report.changed.sort_unstable();
+        report
+    }
+
+    /// Drops every tracked pair and revives every edge.
+    pub fn clear(&mut self) {
+        self.dead.clear();
+        self.sets.clear();
+    }
+
+    fn filter(&self) -> SearchFilter {
+        let mut f = SearchFilter::new();
+        for &e in &self.dead {
+            f.ban_edge(e);
+        }
+        f
+    }
+}
+
+fn canonical(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::hop_weight;
+
+    /// Two disjoint diamonds bridged nowhere: 0-1-3 / 0-2-3 and
+    /// 4-5-7 / 4-6-7.
+    fn two_diamonds() -> (Graph, Vec<NodeId>, Vec<EdgeId>) {
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..8).map(|_| g.add_node()).collect();
+        let mut e = Vec::new();
+        for base in [0, 4] {
+            e.push(g.add_edge(n[base], n[base + 1]).unwrap());
+            e.push(g.add_edge(n[base + 1], n[base + 3]).unwrap());
+            e.push(g.add_edge(n[base], n[base + 2]).unwrap());
+            e.push(g.add_edge(n[base + 2], n[base + 3]).unwrap());
+        }
+        (g, n, e)
+    }
+
+    #[test]
+    fn failure_in_one_component_skips_the_other() {
+        let (g, n, e) = two_diamonds();
+        let mut m = CandidateMaintainer::new(4);
+        m.track(&g, n[0], n[3], &hop_weight);
+        m.track(&g, n[4], n[7], &hop_weight);
+        let report = m.fail_edge(&g, e[0], &hop_weight);
+        assert_eq!(report.recomputed, vec![(n[0], n[3])]);
+        assert_eq!(report.changed, vec![(n[0], n[3])]);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(m.routes(n[0], n[3]).unwrap().len(), 1);
+        assert_eq!(m.routes(n[4], n[7]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn repair_restores_the_original_set() {
+        let (g, n, e) = two_diamonds();
+        let mut m = CandidateMaintainer::new(4);
+        let before = m.track(&g, n[0], n[3], &hop_weight).to_vec();
+        m.fail_edge(&g, e[0], &hop_weight);
+        let report = m.restore_edge(&g, e[0], &hop_weight);
+        assert_eq!(report.changed, vec![(n[0], n[3])]);
+        let after = m.routes(n[0], n[3]).unwrap();
+        assert_eq!(after.len(), before.len());
+        let wb: Vec<f64> = before.iter().map(|p| p.weight(hop_weight)).collect();
+        let wa: Vec<f64> = after.iter().map(|p| p.weight(hop_weight)).collect();
+        assert_eq!(wb, wa);
+    }
+
+    #[test]
+    fn repair_skips_saturated_pairs_it_cannot_improve() {
+        // Line 0-1-2 plus a heavy detour edge 0-2 that never beats the
+        // 2-hop route when k is already saturated at 1.
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..3).map(|_| g.add_node()).collect();
+        g.add_edge(n[0], n[1]).unwrap();
+        g.add_edge(n[1], n[2]).unwrap();
+        let detour = g.add_edge(n[0], n[2]).unwrap();
+        // Weight: detour costs 10, everything else 1.
+        let w = move |e: EdgeId| if e == detour { 10.0 } else { 1.0 };
+        let mut m = CandidateMaintainer::new(1);
+        m.fail_edge(&g, detour, &w);
+        m.track(&g, n[0], n[2], &w);
+        let report = m.restore_edge(&g, detour, &w);
+        assert!(report.recomputed.is_empty());
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn track_respects_pre_existing_dead_edges() {
+        let (g, n, e) = two_diamonds();
+        let mut m = CandidateMaintainer::new(4);
+        m.fail_edge(&g, e[0], &hop_weight);
+        let routes = m.track(&g, n[0], n[3], &hop_weight);
+        assert_eq!(routes.len(), 1);
+        assert!(routes.iter().all(|p| !p.contains_edge(e[0])));
+    }
+
+    #[test]
+    fn double_fail_and_double_restore_are_noops() {
+        let (g, n, e) = two_diamonds();
+        let mut m = CandidateMaintainer::new(4);
+        m.track(&g, n[0], n[3], &hop_weight);
+        m.fail_edge(&g, e[0], &hop_weight);
+        assert_eq!(m.fail_edge(&g, e[0], &hop_weight), RepairReport::default());
+        m.restore_edge(&g, e[0], &hop_weight);
+        assert_eq!(
+            m.restore_edge(&g, e[0], &hop_weight),
+            RepairReport::default()
+        );
+    }
+
+    #[test]
+    fn disconnecting_failure_leaves_empty_set() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let only = g.add_edge(a, b).unwrap();
+        let mut m = CandidateMaintainer::new(3);
+        m.track(&g, a, b, &hop_weight);
+        m.fail_edge(&g, only, &hop_weight);
+        assert!(m.routes(a, b).unwrap().is_empty());
+        m.restore_edge(&g, only, &hop_weight);
+        assert_eq!(m.routes(a, b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn orientation_is_canonical() {
+        let (g, n, _) = two_diamonds();
+        let mut m = CandidateMaintainer::new(4);
+        m.track(&g, n[3], n[0], &hop_weight);
+        let r = m.routes(n[0], n[3]).unwrap();
+        assert_eq!(r[0].source(), n[0]);
+        assert_eq!(r[0].destination(), n[3]);
+        assert!(m.routes(n[3], n[0]).is_some());
+        assert_eq!(m.tracked_pairs(), 1);
+    }
+}

@@ -8,11 +8,33 @@
 //! other implementations exercise the genuinely time-varying code path and
 //! are used in robustness tests and ablations.
 
-use rand::RngExt;
+use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+use qdn_graph::EdgeId;
 
 use crate::network::QdnNetwork;
 use crate::snapshot::CapacitySnapshot;
+
+/// One link failure or repair, as emitted by [`ChurnDynamics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Slot in which the event took effect.
+    pub t: u64,
+    /// The affected edge.
+    pub edge: EdgeId,
+    /// Failure or repair.
+    pub kind: ChurnEventKind,
+}
+
+/// The direction of a [`ChurnEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnEventKind {
+    /// The link went down (zero channels until repaired).
+    Fail,
+    /// The link came back at full pre-failure capacity.
+    Repair,
+}
 
 /// A source of per-slot capacity snapshots.
 ///
@@ -30,6 +52,12 @@ pub trait ResourceDynamics: std::fmt::Debug + Send {
 
     /// Resets internal state so a new trial can replay the process.
     fn reset(&mut self) {}
+
+    /// The full failure/repair trace so far, for dynamics that model
+    /// topology churn. Occupancy-only processes return an empty slice.
+    fn churn_events(&self) -> &[ChurnEvent] {
+        &[]
+    }
 }
 
 /// No exogenous occupancy: the full installed capacity every slot.
@@ -215,6 +243,151 @@ impl ResourceDynamics for TraceDynamics {
     }
 }
 
+/// Poisson link failures with MTTR-distributed repair on top of a base
+/// occupancy process.
+///
+/// Each slot, first any outage whose repair time has elapsed ends (the
+/// link returns at full pre-failure capacity — the base process still
+/// applies its occupancy on top), then `Pois(failure_rate)` fresh
+/// failures strike uniformly random currently-alive links; each outage
+/// lasts `Geom(1/mttr)` slots (mean `mttr`, minimum 1). A failed link
+/// reports zero channels regardless of what the base process says.
+///
+/// The failure trace is driven by a private RNG seeded from `seed`, so it
+/// is reproducible independently of the environment stream consumed by
+/// the base process, and is recorded verbatim — see
+/// [`ResourceDynamics::churn_events`].
+#[derive(Debug)]
+pub struct ChurnDynamics {
+    failure_rate: f64,
+    mttr: f64,
+    seed: u64,
+    base: Box<dyn ResourceDynamics>,
+    churn_rng: rand::rngs::StdRng,
+    /// Per edge: the slot at which it comes back up; 0 = currently up
+    /// (an outage starting at slot t lasts ≥ 1 slot, so it always ends
+    /// at t + d ≥ 1 and 0 is unambiguous).
+    down_until: Vec<u64>,
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnDynamics {
+    /// Creates the process; `failure_rate` is clamped to `≥ 0` and `mttr`
+    /// to `≥ 1` (an outage shorter than one slot is invisible).
+    pub fn new(failure_rate: f64, mttr: f64, seed: u64, base: Box<dyn ResourceDynamics>) -> Self {
+        ChurnDynamics {
+            failure_rate: failure_rate.max(0.0),
+            mttr: mttr.max(1.0),
+            seed,
+            base,
+            churn_rng: rand::rngs::StdRng::seed_from_u64(seed),
+            down_until: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Edges currently down, ascending.
+    pub fn down_edges(&self) -> Vec<EdgeId> {
+        self.down_until
+            .iter()
+            .enumerate()
+            .filter(|(_, &du)| du != 0)
+            .map(|(i, _)| EdgeId(i as u32))
+            .collect()
+    }
+
+    fn sample_failures(&mut self, cap: usize) -> usize {
+        // Knuth's product-of-uniforms sampler, capped at the number of
+        // currently-alive links.
+        let limit = (-self.failure_rate).exp();
+        let mut count = 0usize;
+        let mut product: f64 = self.churn_rng.random();
+        while product > limit && count < cap {
+            count += 1;
+            let u: f64 = self.churn_rng.random();
+            product *= u;
+        }
+        count
+    }
+
+    fn sample_outage(&mut self) -> u64 {
+        // Geometric(1/mttr) by inversion: d ≥ 1 slots, mean mttr.
+        let p = (1.0 / self.mttr).min(1.0);
+        if p >= 1.0 {
+            return 1;
+        }
+        let u: f64 = self.churn_rng.random();
+        let d = ((1.0 - u).ln() / (1.0 - p).ln()).ceil();
+        (d.max(1.0)) as u64
+    }
+}
+
+impl ResourceDynamics for ChurnDynamics {
+    fn snapshot(
+        &mut self,
+        t: u64,
+        network: &QdnNetwork,
+        rng: &mut dyn rand::Rng,
+    ) -> CapacitySnapshot {
+        self.down_until.resize(network.edge_count(), 0);
+        // Repairs first: a link repaired this slot may fail again below.
+        for (i, du) in self.down_until.iter_mut().enumerate() {
+            if *du != 0 && *du <= t {
+                *du = 0;
+                self.events.push(ChurnEvent {
+                    t,
+                    edge: EdgeId(i as u32),
+                    kind: ChurnEventKind::Repair,
+                });
+            }
+        }
+        let alive = self.down_until.iter().filter(|&&du| du == 0).count();
+        let failures = self.sample_failures(alive);
+        for _ in 0..failures {
+            let up: Vec<usize> = self
+                .down_until
+                .iter()
+                .enumerate()
+                .filter(|(_, &du)| du == 0)
+                .map(|(i, _)| i)
+                .collect();
+            if up.is_empty() {
+                break;
+            }
+            let victim = up[self.churn_rng.random_range(0..up.len())];
+            let outage = self.sample_outage();
+            self.down_until[victim] = t + outage;
+            self.events.push(ChurnEvent {
+                t,
+                edge: EdgeId(victim as u32),
+                kind: ChurnEventKind::Fail,
+            });
+        }
+        let snap = self.base.snapshot(t, network, rng);
+        if self.down_until.iter().all(|&du| du == 0) {
+            return snap;
+        }
+        let mut channels = snap.channel_vec().to_vec();
+        for (i, &du) in self.down_until.iter().enumerate() {
+            if du != 0 {
+                channels[i] = 0;
+            }
+        }
+        CapacitySnapshot::clamped(network, snap.qubit_vec().to_vec(), channels)
+    }
+
+    fn reset(&mut self) {
+        self.base.reset();
+        self.churn_rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        self.down_until.clear();
+        self.events.clear();
+    }
+
+    fn churn_events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+}
+
 /// Serializable choice of dynamics for experiment configs.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum DynamicsConfig {
@@ -235,21 +408,45 @@ pub enum DynamicsConfig {
         /// Remaining capacity fraction while busy.
         busy_fraction: f64,
     },
+    /// [`ChurnDynamics`]: link failures/repairs layered over a base
+    /// process. All four fields are required (loud break over silently
+    /// defaulting a failure model).
+    Churn {
+        /// Mean link failures per slot (Poisson).
+        failure_rate: f64,
+        /// Mean outage length in slots (geometric, minimum 1).
+        mttr: f64,
+        /// Seed for the private failure-trace RNG.
+        seed: u64,
+        /// The occupancy process the failures are layered over.
+        base: Box<DynamicsConfig>,
+    },
 }
 
 impl DynamicsConfig {
     /// Instantiates the configured dynamics.
     pub fn build(&self) -> Box<dyn ResourceDynamics> {
-        match *self {
+        match self {
             DynamicsConfig::Static => Box::new(StaticDynamics),
             DynamicsConfig::Uniform {
                 max_occupied_fraction,
-            } => Box::new(UniformOccupancy::new(max_occupied_fraction)),
+            } => Box::new(UniformOccupancy::new(*max_occupied_fraction)),
             DynamicsConfig::Markov {
                 p_busy,
                 p_free,
                 busy_fraction,
-            } => Box::new(MarkovOccupancy::new(p_busy, p_free, busy_fraction)),
+            } => Box::new(MarkovOccupancy::new(*p_busy, *p_free, *busy_fraction)),
+            DynamicsConfig::Churn {
+                failure_rate,
+                mttr,
+                seed,
+                base,
+            } => Box::new(ChurnDynamics::new(
+                *failure_rate,
+                *mttr,
+                *seed,
+                base.build(),
+            )),
         }
     }
 }
@@ -363,11 +560,112 @@ mod tests {
                 p_free: 0.5,
                 busy_fraction: 0.5,
             },
+            DynamicsConfig::Churn {
+                failure_rate: 0.5,
+                mttr: 2.0,
+                seed: 7,
+                base: Box::new(DynamicsConfig::Static),
+            },
         ] {
             let mut d = cfg.build();
             let s = d.snapshot(0, &n, &mut r);
             assert!(s.total_qubits() <= n.total_qubits());
         }
         assert_eq!(DynamicsConfig::default(), DynamicsConfig::Static);
+    }
+
+    /// A line of several edges, so failures have room to spread.
+    fn line_net(edges: usize) -> QdnNetwork {
+        let mut b = QdnNetworkBuilder::new();
+        let nodes: Vec<_> = (0..=edges).map(|_| b.add_node(10)).collect();
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], w[1], 6, LinkModel::paper_default())
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn churn_downs_links_and_repairs_them() {
+        let n = line_net(5);
+        // Certain failure every slot, 1-slot outages: every fail has a
+        // matching repair one slot later.
+        let mut d = ChurnDynamics::new(1.0, 1.0, 42, Box::new(StaticDynamics));
+        let mut r = rng();
+        let mut saw_zero = false;
+        for t in 0..20 {
+            let s = d.snapshot(t, &n, &mut r);
+            let down = d.down_edges();
+            for e in n.graph().edge_ids() {
+                if down.contains(&e) {
+                    assert_eq!(s.channels(e), 0, "down edge {e} has channels");
+                    saw_zero = true;
+                } else {
+                    assert_eq!(s.channels(e), 6);
+                }
+            }
+        }
+        assert!(saw_zero, "failure rate 1.0 never downed a link");
+        let fails = d
+            .churn_events()
+            .iter()
+            .filter(|e| e.kind == ChurnEventKind::Fail)
+            .count();
+        let repairs = d.churn_events().len() - fails;
+        assert!(fails > 0);
+        // Every outage lasts exactly 1 slot here, so each fail at t < 19
+        // has its repair inside the horizon.
+        assert!(repairs >= fails - d.down_edges().len());
+    }
+
+    #[test]
+    fn churn_reset_replays_the_same_trace() {
+        let n = line_net(4);
+        let mut d = ChurnDynamics::new(0.7, 3.0, 11, Box::new(StaticDynamics));
+        let mut r = rng();
+        for t in 0..15 {
+            let _ = d.snapshot(t, &n, &mut r);
+        }
+        let first = d.churn_events().to_vec();
+        assert!(!first.is_empty());
+        d.reset();
+        assert!(d.churn_events().is_empty());
+        // The env stream differs; the private churn stream must not care.
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(999);
+        for t in 0..15 {
+            let _ = d.snapshot(t, &n, &mut r2);
+        }
+        assert_eq!(d.churn_events(), first.as_slice());
+    }
+
+    #[test]
+    fn churn_zero_rate_is_transparent() {
+        let n = line_net(3);
+        let mut d = ChurnDynamics::new(0.0, 5.0, 1, Box::new(StaticDynamics));
+        let mut r = rng();
+        for t in 0..10 {
+            assert_eq!(d.snapshot(t, &n, &mut r), CapacitySnapshot::full(&n));
+        }
+        assert!(d.churn_events().is_empty());
+    }
+
+    #[test]
+    fn churn_composes_with_occupancy_base() {
+        let n = line_net(3);
+        let mut d = ChurnDynamics::new(10.0, 4.0, 3, Box::new(UniformOccupancy::new(0.5)));
+        let mut r = rng();
+        for t in 0..10 {
+            let s = d.snapshot(t, &n, &mut r);
+            for e in n.graph().edge_ids() {
+                if d.down_edges().contains(&e) {
+                    assert_eq!(s.channels(e), 0);
+                } else {
+                    // Base occupancy still applies to surviving links.
+                    assert!(s.channels(e) <= 6);
+                }
+            }
+        }
+        // Rate 10 over 3 links: everything should be down at some point.
+        assert!(d.churn_events().len() >= 3);
     }
 }

@@ -9,13 +9,14 @@
 
 use std::collections::HashMap;
 
-use qdn_graph::ksp::yen_k_shortest;
+use qdn_graph::maintain::CandidateMaintainer;
 use qdn_graph::paths::hop_weight;
-use qdn_graph::Path;
+use qdn_graph::{EdgeId, Path};
 use serde::{Deserialize, Serialize};
 
 use crate::network::QdnNetwork;
 use crate::request::SdPair;
+use crate::snapshot::CapacitySnapshot;
 
 /// Limits on candidate route computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,7 +72,34 @@ impl Default for RouteLimits {
 #[derive(Debug, Clone)]
 pub struct CandidateRoutes {
     limits: RouteLimits,
+    /// Canonical per-pair k-shortest sets plus the dead-edge filter;
+    /// repaired incrementally on churn instead of recomputed.
+    maintainer: CandidateMaintainer,
+    /// Serving cache: hop-filtered routes per requested orientation.
     cache: HashMap<SdPair, Vec<Path>>,
+    last_churn: RouteChurn,
+}
+
+/// What one [`CandidateRoutes::sync_dead_edges`] call absorbed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteChurn {
+    /// Edges newly dead (zero channels) this sync, ascending.
+    pub failed: Vec<EdgeId>,
+    /// Edges newly revived this sync, ascending.
+    pub restored: Vec<EdgeId>,
+    /// Canonical pairs whose candidate routes changed, sorted.
+    pub changed_pairs: Vec<SdPair>,
+    /// Pair sets re-run through Yen across all events.
+    pub recomputed: usize,
+    /// Pair sets proven unaffected without a path search.
+    pub skipped: usize,
+}
+
+impl RouteChurn {
+    /// `true` when the sync saw no edge change state.
+    pub fn is_noop(&self) -> bool {
+        self.failed.is_empty() && self.restored.is_empty()
+    }
 }
 
 impl CandidateRoutes {
@@ -79,13 +107,71 @@ impl CandidateRoutes {
     pub fn new(limits: RouteLimits) -> Self {
         CandidateRoutes {
             limits,
+            maintainer: CandidateMaintainer::new(limits.max_routes),
             cache: HashMap::new(),
+            last_churn: RouteChurn::default(),
         }
     }
 
     /// The configured limits.
     pub fn limits(&self) -> RouteLimits {
         self.limits
+    }
+
+    /// Reconciles the dead-edge set with `snapshot`: an edge with zero
+    /// channels is dead (its routes are unusable this slot and excluded
+    /// from candidate sets), any other edge is alive. Candidate sets are
+    /// repaired incrementally — only pairs a state flip can actually
+    /// affect are re-run through Yen (see [`CandidateMaintainer`]).
+    ///
+    /// Returns what changed; the report is also kept for later
+    /// inspection via [`CandidateRoutes::last_churn`]. With no zero-
+    /// channel edges and no prior failures this is a cheap no-op scan.
+    pub fn sync_dead_edges(
+        &mut self,
+        network: &QdnNetwork,
+        snapshot: &CapacitySnapshot,
+    ) -> &RouteChurn {
+        let graph = network.graph();
+        let mut churn = RouteChurn::default();
+        for e in graph.edge_ids() {
+            let dead_now = snapshot.channels(e) == 0;
+            if dead_now == self.maintainer.is_dead(e) {
+                continue;
+            }
+            let report = if dead_now {
+                churn.failed.push(e);
+                self.maintainer.fail_edge(graph, e, &hop_weight)
+            } else {
+                churn.restored.push(e);
+                self.maintainer.restore_edge(graph, e, &hop_weight)
+            };
+            churn.recomputed += report.recomputed.len();
+            churn.skipped += report.skipped;
+            for (a, b) in report.changed {
+                churn
+                    .changed_pairs
+                    .push(SdPair::new(a, b).expect("tracked pairs have distinct endpoints"));
+            }
+        }
+        churn.changed_pairs.sort_unstable();
+        churn.changed_pairs.dedup();
+        for pair in &churn.changed_pairs {
+            self.cache.remove(pair);
+            self.cache.remove(&pair.reversed());
+        }
+        self.last_churn = churn;
+        &self.last_churn
+    }
+
+    /// The report of the most recent [`CandidateRoutes::sync_dead_edges`].
+    pub fn last_churn(&self) -> &RouteChurn {
+        &self.last_churn
+    }
+
+    /// Edges currently treated as dead, ascending.
+    pub fn dead_edges(&self) -> Vec<EdgeId> {
+        self.maintainer.dead_edges().collect()
     }
 
     /// The candidate routes for `pair`, computing and caching them on
@@ -101,7 +187,19 @@ impl CandidateRoutes {
     pub fn routes(&mut self, network: &QdnNetwork, pair: SdPair) -> &[Path] {
         let canonical = pair.canonical();
         if !self.cache.contains_key(&canonical) {
-            let computed = self.compute(network, canonical);
+            let max_hops = self.limits.max_hops;
+            let computed: Vec<Path> = self
+                .maintainer
+                .track(
+                    network.graph(),
+                    canonical.source(),
+                    canonical.destination(),
+                    &hop_weight,
+                )
+                .iter()
+                .filter(|p| p.hops() <= max_hops && p.hops() >= 1)
+                .cloned()
+                .collect();
             self.cache.insert(canonical, computed);
         }
         if pair == canonical {
@@ -157,22 +255,13 @@ impl CandidateRoutes {
         self.cache.len()
     }
 
-    /// Drops all cached routes (e.g. when switching topologies).
+    /// Drops all cached routes and revives all edges (e.g. when switching
+    /// topologies or starting a fresh trial, so replays are bit-identical
+    /// to a first run even after mid-trial churn).
     pub fn clear(&mut self) {
+        self.maintainer.clear();
         self.cache.clear();
-    }
-
-    fn compute(&self, network: &QdnNetwork, pair: SdPair) -> Vec<Path> {
-        yen_k_shortest(
-            network.graph(),
-            pair.source(),
-            pair.destination(),
-            self.limits.max_routes,
-            &hop_weight,
-        )
-        .into_iter()
-        .filter(|p| p.hops() <= self.limits.max_hops && p.hops() >= 1)
-        .collect()
+        self.last_churn = RouteChurn::default();
     }
 }
 
@@ -269,6 +358,68 @@ mod tests {
         assert!(cr.cached_pairs() > 0);
         cr.clear();
         assert_eq!(cr.cached_pairs(), 0);
+    }
+
+    #[test]
+    fn sync_dead_edges_drops_and_restores_routes() {
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(cr.routes(&net, pair).len(), 2);
+
+        // Kill 0-1: one diamond side dies.
+        let dead = net.graph().edge_between(NodeId(0), NodeId(1)).unwrap();
+        let mut channels: Vec<u32> = net.graph().edge_ids().map(|_| 5).collect();
+        channels[dead.index()] = 0;
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 5], channels);
+        let churn = cr.sync_dead_edges(&net, &snap).clone();
+        assert_eq!(churn.failed, vec![dead]);
+        assert!(churn.restored.is_empty());
+        assert_eq!(churn.changed_pairs, vec![pair]);
+        let routes = cr.routes(&net, pair);
+        assert_eq!(routes.len(), 1);
+        assert!(routes.iter().all(|p| !p.edges().contains(&dead)));
+        // Reverse orientation sees the repair too.
+        assert_eq!(cr.routes(&net, pair.reversed()).len(), 1);
+
+        // Repair: the original two sides come back.
+        let full = CapacitySnapshot::full(&net);
+        let churn = cr.sync_dead_edges(&net, &full).clone();
+        assert_eq!(churn.restored, vec![dead]);
+        assert_eq!(churn.changed_pairs, vec![pair]);
+        assert_eq!(cr.routes(&net, pair).len(), 2);
+        assert!(cr.dead_edges().is_empty());
+    }
+
+    #[test]
+    fn sync_with_full_capacity_is_noop() {
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let before = cr.routes(&net, pair).to_vec();
+        let full = CapacitySnapshot::full(&net);
+        let churn = cr.sync_dead_edges(&net, &full);
+        assert!(churn.is_noop());
+        assert_eq!(churn.recomputed, 0);
+        assert_eq!(cr.routes(&net, pair), before.as_slice());
+    }
+
+    #[test]
+    fn unrelated_failure_skips_cached_pairs() {
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let _ = cr.routes(&net, pair);
+        // Kill the tail edge 3-4, which no 0-3 route uses.
+        let tail = net.graph().edge_between(NodeId(3), NodeId(4)).unwrap();
+        let mut channels: Vec<u32> = net.graph().edge_ids().map(|_| 5).collect();
+        channels[tail.index()] = 0;
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 5], channels);
+        let churn = cr.sync_dead_edges(&net, &snap);
+        assert_eq!(churn.failed, vec![tail]);
+        assert!(churn.changed_pairs.is_empty());
+        assert_eq!(churn.recomputed, 0);
+        assert_eq!(churn.skipped, 1);
     }
 
     #[test]

@@ -365,6 +365,34 @@ impl Workload for TraceWorkload {
     }
 }
 
+/// The same fixed request set every slot.
+///
+/// This is the churn-recovery harness workload: with demand pinned, the
+/// utility series before and after a link cut is directly comparable, so
+/// slots-to-recover (see `RunMetrics::recovery_records` in `qdn_sim`) is
+/// a property of the cut and the policy, not of workload noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PinnedWorkload {
+    pairs: Vec<SdPair>,
+}
+
+impl PinnedWorkload {
+    /// Creates a pinned workload issuing exactly `pairs` every slot.
+    pub fn new(pairs: Vec<SdPair>) -> Self {
+        PinnedWorkload { pairs }
+    }
+}
+
+impl Workload for PinnedWorkload {
+    fn requests(&mut self, _t: u64, _network: &QdnNetwork, _rng: &mut dyn rand::Rng) -> RequestSet {
+        self.pairs.clone()
+    }
+
+    fn max_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
 /// Serializable workload choice for experiment configs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadConfig {
@@ -408,6 +436,14 @@ pub enum WorkloadConfig {
         /// Per-slot survival probability of each active pair.
         keep_probability: f64,
     },
+    /// [`PinnedWorkload`]: the identical request set every slot, given as
+    /// `(source, destination)` node indices. Both fields of each pair are
+    /// required and must be distinct — `build` panics otherwise (loud
+    /// break over silently dropping bad pairs).
+    Pinned {
+        /// The `(source, destination)` node-index pairs issued each slot.
+        pairs: Vec<(u32, u32)>,
+    },
 }
 
 impl WorkloadConfig {
@@ -446,6 +482,15 @@ impl WorkloadConfig {
                 pairs_per_slot,
                 keep_probability,
             } => Box::new(PersistentWorkload::new(*pairs_per_slot, *keep_probability)),
+            WorkloadConfig::Pinned { pairs } => Box::new(PinnedWorkload::new(
+                pairs
+                    .iter()
+                    .map(|&(s, d)| {
+                        SdPair::new(NodeId(s), NodeId(d))
+                            .expect("pinned workload pairs must have distinct endpoints")
+                    })
+                    .collect(),
+            )),
         }
     }
 
@@ -460,6 +505,7 @@ impl WorkloadConfig {
                 max_requests_per_pair,
             } => base.max_pairs() * (*max_requests_per_pair).max(1),
             WorkloadConfig::Persistent { pairs_per_slot, .. } => (*pairs_per_slot).max(1),
+            WorkloadConfig::Pinned { pairs } => pairs.len(),
         }
     }
 }

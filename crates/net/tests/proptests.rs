@@ -137,6 +137,113 @@ proptest! {
         prop_assert_eq!(routes.len(), reversed.len());
     }
 
+    /// Churn snapshots stay within builder bounds: downed links report
+    /// zero channels, everything else stays within installed capacity.
+    #[test]
+    fn churn_snapshots_within_bounds(
+        seed in 0u64..10_000,
+        rate in 0.0f64..3.0,
+        mttr in 1.0f64..6.0,
+    ) {
+        use qdn_net::dynamics::{ChurnDynamics, ChurnEventKind};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = NetworkConfig::paper_default().with_nodes(10).build(&mut rng).unwrap();
+        let mut d = ChurnDynamics::new(rate, mttr, seed ^ 0xdead, Box::new(StaticDynamics));
+        for t in 0..12 {
+            let snap = d.snapshot(t, &net, &mut rng);
+            let down = d.down_edges();
+            for v in net.graph().node_ids() {
+                prop_assert!(snap.qubits(v) <= net.qubit_capacity(v));
+            }
+            for e in net.graph().edge_ids() {
+                prop_assert!(snap.channels(e) <= net.channel_capacity(e));
+                if down.contains(&e) {
+                    prop_assert_eq!(snap.channels(e), 0);
+                }
+            }
+        }
+        // Event sanity: fails and repairs alternate per edge.
+        for e in net.graph().edge_ids() {
+            let mut down = false;
+            for ev in d.churn_events().iter().filter(|ev| ev.edge == e) {
+                match ev.kind {
+                    ChurnEventKind::Fail => {
+                        prop_assert!(!down, "edge {} failed while down", e);
+                        down = true;
+                    }
+                    ChurnEventKind::Repair => {
+                        prop_assert!(down, "edge {} repaired while up", e);
+                        down = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A repaired link restores its exact pre-failure capacity: over a
+    /// static base, every up edge (including one repaired this very slot)
+    /// reports exactly its installed channel count, and a fully-drained
+    /// outage set yields the full snapshot.
+    #[test]
+    fn churn_repairs_restore_exact_capacity(
+        seed in 0u64..10_000,
+        rate in 0.5f64..3.0,
+        mttr in 1.0f64..4.0,
+    ) {
+        use qdn_net::dynamics::{ChurnDynamics, ChurnEventKind};
+        use qdn_net::CapacitySnapshot;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = NetworkConfig::paper_default().with_nodes(8).build(&mut rng).unwrap();
+        let mut d = ChurnDynamics::new(rate, mttr, seed, Box::new(StaticDynamics));
+        let mut saw_repair = false;
+        for t in 0..20 {
+            let snap = d.snapshot(t, &net, &mut rng);
+            let down = d.down_edges();
+            let repaired_now: Vec<_> = d
+                .churn_events()
+                .iter()
+                .filter(|ev| ev.t == t && ev.kind == ChurnEventKind::Repair)
+                .map(|ev| ev.edge)
+                .collect();
+            for e in net.graph().edge_ids() {
+                if !down.contains(&e) {
+                    prop_assert_eq!(snap.channels(e), net.channel_capacity(e));
+                }
+            }
+            for e in repaired_now {
+                if !down.contains(&e) {
+                    saw_repair = true;
+                    prop_assert_eq!(snap.channels(e), net.channel_capacity(e));
+                }
+            }
+            if down.is_empty() {
+                prop_assert_eq!(snap, CapacitySnapshot::full(&net));
+            }
+        }
+        let _ = saw_repair; // invariants above are the property; repairs
+                            // are exercised whenever the trace has them
+    }
+
+    /// A fixed seed reproduces the identical failure trace, regardless of
+    /// what the environment RNG stream does.
+    #[test]
+    fn churn_trace_reproducible(seed in 0u64..10_000, env_a in 0u64..1000, env_b in 0u64..1000) {
+        use qdn_net::dynamics::{ChurnDynamics, ResourceDynamics};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let net = NetworkConfig::paper_default().with_nodes(10).build(&mut rng).unwrap();
+        let mut run = |env_seed: u64| {
+            let mut d = ChurnDynamics::new(0.8, 3.0, seed, Box::new(UniformOccupancy::new(0.4)));
+            let mut env = rand::rngs::StdRng::seed_from_u64(env_seed);
+            for t in 0..15 {
+                let _ = d.snapshot(t, &net, &mut env);
+            }
+            d.churn_events().to_vec()
+        };
+        let trace_a = run(env_a);
+        let trace_b = run(env_b);
+        prop_assert_eq!(trace_a, trace_b);
+    }
+
     /// Route success probabilities are monotone in the allocation on real
     /// networks.
     #[test]

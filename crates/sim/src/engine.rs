@@ -106,6 +106,7 @@ pub fn run(
             None
         };
 
+        let diagnostics = policy.diagnostics();
         metrics.push(SlotRecord {
             t,
             requests: requests.len(),
@@ -114,7 +115,8 @@ pub fn run(
             cost: decision.total_cost(),
             success_probs,
             realized_successes,
-            virtual_queue: policy.diagnostics().virtual_queue,
+            virtual_queue: diagnostics.virtual_queue,
+            churn: diagnostics.churn,
         });
     }
     metrics

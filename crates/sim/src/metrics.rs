@@ -1,8 +1,12 @@
 //! Per-slot records and derived series.
 
+use qdn_core::policy::ChurnDiagnostics;
 use serde::{Deserialize, Serialize};
 
 /// Everything recorded about one simulated slot.
+///
+/// **Loud compat break (PR 6):** the `churn` field is required when
+/// deserializing recorded runs — see MIGRATION.md.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SlotRecord {
     /// Slot index.
@@ -21,6 +25,31 @@ pub struct SlotRecord {
     pub realized_successes: Option<usize>,
     /// Policy's virtual queue after the slot, if it has one.
     pub virtual_queue: Option<f64>,
+    /// Topology-churn handling this slot, for session policies.
+    pub churn: Option<ChurnDiagnostics>,
+}
+
+/// One failure event and how the policy recovered from it, derived from
+/// the per-slot [`ChurnDiagnostics`] by
+/// [`RunMetrics::recovery_records`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// Slot at which the cut landed.
+    pub cut_slot: u64,
+    /// Links that failed in that slot.
+    pub failed_edges: u32,
+    /// Pairs whose candidate sets the cut touched.
+    pub affected_pairs: u32,
+    /// Mean slot utility over the pre-cut window (the recovery target).
+    pub pre_cut_utility: f64,
+    /// Slots from the cut until utility re-entered the tolerance band
+    /// around `pre_cut_utility` (0 = the cut slot itself never left it);
+    /// `None` if the run ended first.
+    pub recovery_slots: Option<u64>,
+    /// Evaluation memos the session carried across the cut boundary.
+    pub memo_entries_retained: u64,
+    /// Evaluation memos the cut invalidated.
+    pub memo_entries_flushed: u64,
 }
 
 /// The full record of one simulation run for one policy.
@@ -159,6 +188,62 @@ impl RunMetrics {
     pub fn total_unserved(&self) -> usize {
         self.slots.iter().map(|s| s.requests - s.served).sum()
     }
+
+    /// Extracts one [`RecoveryRecord`] per failure event (a slot whose
+    /// churn diagnostics report newly failed links).
+    ///
+    /// `window` is the number of pre-cut slots averaged into the
+    /// recovery target; `tolerance` is the relative band — the run has
+    /// recovered at the first slot `t ≥ cut` with
+    /// `utility(t) ≥ pre − tolerance·|pre|` (utilities are
+    /// log-probability sums, so ≤ 0). Cuts in slot 0 have no baseline
+    /// and are skipped; `recovery_slots` is `None` when the run ends
+    /// below the band.
+    pub fn recovery_records(&self, window: usize, tolerance: f64) -> Vec<RecoveryRecord> {
+        let window = window.max(1);
+        let mut out = Vec::new();
+        for (i, s) in self.slots.iter().enumerate() {
+            let Some(churn) = s.churn.filter(|c| c.failed_edges > 0) else {
+                continue;
+            };
+            if i == 0 {
+                continue; // no pre-cut baseline to recover to
+            }
+            let lo = i.saturating_sub(window);
+            let pre = mean(self.slots[lo..i].iter().map(|s| s.utility));
+            let floor = pre - tolerance * pre.abs();
+            let recovery_slots = self.slots[i..]
+                .iter()
+                .position(|s| s.utility >= floor)
+                .map(|d| d as u64);
+            out.push(RecoveryRecord {
+                cut_slot: s.t,
+                failed_edges: churn.failed_edges,
+                affected_pairs: churn.affected_pairs,
+                pre_cut_utility: pre,
+                recovery_slots,
+                memo_entries_retained: churn.memo_entries_retained,
+                memo_entries_flushed: churn.memo_entries_flushed,
+            });
+        }
+        out
+    }
+
+    /// Mean recovery time in slots over the events of
+    /// [`RunMetrics::recovery_records`] that did recover; `None` when no
+    /// event recovered (or none occurred).
+    pub fn mean_recovery_slots(&self, window: usize, tolerance: f64) -> Option<f64> {
+        let recovered: Vec<u64> = self
+            .recovery_records(window, tolerance)
+            .iter()
+            .filter_map(|r| r.recovery_slots)
+            .collect();
+        if recovered.is_empty() {
+            None
+        } else {
+            Some(recovered.iter().sum::<u64>() as f64 / recovered.len() as f64)
+        }
+    }
 }
 
 fn running_mean<I: Iterator<Item = f64>>(values: I) -> Vec<f64> {
@@ -199,6 +284,20 @@ mod tests {
             success_probs: probs,
             realized_successes: None,
             virtual_queue: Some(t as f64),
+            churn: None,
+        }
+    }
+
+    fn cut_record(t: u64, utility: f64, failed: u32) -> SlotRecord {
+        SlotRecord {
+            churn: Some(ChurnDiagnostics {
+                failed_edges: failed,
+                affected_pairs: failed,
+                memo_entries_retained: 3,
+                memo_entries_flushed: 2,
+                ..ChurnDiagnostics::default()
+            }),
+            ..record(t, utility, 0, vec![])
         }
     }
 
@@ -259,6 +358,55 @@ mod tests {
     fn queue_series_collected() {
         let m = sample_run();
         assert_eq!(m.queue_series(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn recovery_records_measure_slots_to_regain_utility() {
+        let mut m = RunMetrics::new("r");
+        // Steady state at -2, a cut at t=3 dropping utility to -6, then
+        // recovery over two slots.
+        m.push(record(0, -2.0, 0, vec![]));
+        m.push(record(1, -2.0, 0, vec![]));
+        m.push(record(2, -2.0, 0, vec![]));
+        m.push(cut_record(3, -6.0, 1));
+        m.push(record(4, -4.0, 0, vec![]));
+        m.push(record(5, -2.05, 0, vec![]));
+        let recs = m.recovery_records(3, 0.05);
+        assert_eq!(recs.len(), 1);
+        let r = recs[0];
+        assert_eq!(r.cut_slot, 3);
+        assert_eq!(r.failed_edges, 1);
+        assert!((r.pre_cut_utility + 2.0).abs() < 1e-12);
+        // Band floor is -2.1; regained at t=5, two slots after the cut.
+        assert_eq!(r.recovery_slots, Some(2));
+        assert_eq!(r.memo_entries_retained, 3);
+        assert_eq!(r.memo_entries_flushed, 2);
+        assert_eq!(m.mean_recovery_slots(3, 0.05), Some(2.0));
+    }
+
+    #[test]
+    fn recovery_records_edge_cases() {
+        // A run that never recovers reports None; a cut at slot 0 has no
+        // baseline and is skipped; cut-free runs produce no records.
+        let mut never = RunMetrics::new("n");
+        never.push(cut_record(0, -1.0, 2));
+        never.push(record(1, -1.0, 0, vec![]));
+        never.push(cut_record(2, -9.0, 2));
+        never.push(record(3, -9.0, 0, vec![]));
+        let recs = never.recovery_records(2, 0.05);
+        assert_eq!(recs.len(), 1, "slot-0 cut skipped, slot-2 cut kept");
+        assert_eq!(recs[0].cut_slot, 2);
+        assert_eq!(recs[0].recovery_slots, None);
+        assert_eq!(never.mean_recovery_slots(2, 0.05), None);
+
+        assert!(sample_run().recovery_records(2, 0.05).is_empty());
+
+        // A cut whose slot never left the band recovers in 0 slots.
+        let mut instant = RunMetrics::new("i");
+        instant.push(record(0, -2.0, 0, vec![]));
+        instant.push(cut_record(1, -2.0, 1));
+        let recs = instant.recovery_records(4, 0.05);
+        assert_eq!(recs[0].recovery_slots, Some(0));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 # by hand: this container's small-row noise is ±15%, so single-run
 # medians made the 1.25× gate flap — medians-of-medians do not.
 #
-# Four row families are gated — the ones that guard the PR-1..PR-4 perf
+# The gated row families — the ones that guard the PR-1..PR-6 perf
 # work:
 #
 #   * profile_eval_paper20/incremental_move/*       (memoized re-eval)
@@ -18,6 +18,9 @@
 #   * dynamic_vs_static_partition/*                 (route-keyed partition)
 #   * session_vs_fresh/*                            (200-slot OSCAR e2e,
 #                                                    cold vs session)
+#   * churn_recovery/*                              (post-cut decide latency,
+#                                                    region-scoped vs
+#                                                    global-flush invalidation)
 #
 # A row FAILS when `fresh_median_of_medians > baseline_median *
 # BENCH_GATE_FACTOR`. Getting *faster* never fails — refresh the
@@ -124,6 +127,7 @@ while read -r name base_med; do
             profile_eval_wax50/incremental_cold_eval/* | \
             dynamic_vs_static_partition/* | \
             session_vs_fresh/* | \
+            churn_recovery/* | \
             accel_vs_subgradient/*) ;;
         *) continue ;;
     esac

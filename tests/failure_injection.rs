@@ -222,6 +222,126 @@ fn myopic_with_exhausted_budget_serves_nothing() {
 }
 
 #[test]
+fn session_survives_mid_trial_link_cut_and_repair() {
+    // The session decision path (route cache + selector session carried
+    // across slots) driven straight through a mid-trial cut of the 0–1
+    // link and its repair two slots later. The disconnected pair goes
+    // unserved, every decision audits clean, and the churn diagnostics
+    // show the untouched component's memos surviving the cut.
+    let net = split_network();
+    let left = SdPair::new(NodeId(0), NodeId(2)).unwrap();
+    let right = SdPair::new(NodeId(3), NodeId(5)).unwrap();
+    let full = CapacitySnapshot::full(&net);
+    // Edge 0 (the 0–1 link) down: zero channels for the slot.
+    let cut = CapacitySnapshot::clamped(&net, vec![8; 6], vec![0, 4, 4, 4]);
+    // q0 = 0 and per-slot spending far below C/T keep the queue (and so
+    // the evaluator's shared price) pinned at zero: memo retention across
+    // slots is exactly the region-scoped story, not price luck.
+    let mut policy = OscarPolicy::new(OscarConfig {
+        total_budget: 240.0,
+        horizon: 6,
+        q0: 0.0,
+        ..OscarConfig::paper_default()
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    for t in 0..6u64 {
+        let snap = if (2..4).contains(&t) { &cut } else { &full };
+        let slot = SlotState::new(t, vec![left, right], snap.clone());
+        let d = policy.decide(&net, &slot, &mut rng);
+        assert!(
+            audit_decision(&net, snap, &d).is_empty(),
+            "slot {t} violated capacities"
+        );
+        let churn = policy
+            .diagnostics()
+            .churn
+            .expect("session policies report churn diagnostics");
+        if (2..4).contains(&t) {
+            assert_eq!(d.assignments().len(), 1, "slot {t}");
+            assert_eq!(d.unserved(), &[left], "slot {t}: cut pair must starve");
+        } else {
+            assert_eq!(d.assignments().len(), 2, "slot {t}");
+        }
+        match t {
+            2 => {
+                assert_eq!(churn.failed_edges, 1);
+                assert_eq!(churn.affected_pairs, 1);
+                assert!(
+                    churn.memo_entries_retained >= 1,
+                    "the intact component's memos must survive the cut: {churn:?}"
+                );
+            }
+            4 => {
+                assert_eq!(churn.restored_edges, 1);
+                assert_eq!(churn.affected_pairs, 1);
+                // The repaired component comes back with its exact
+                // pre-cut routes and capacities, so even its parked
+                // region revalidates — nothing is flushed.
+                assert_eq!(churn.regions, 2, "{churn:?}");
+                assert_eq!(churn.regions_flushed, 0, "{churn:?}");
+            }
+            _ => {
+                assert_eq!(churn.failed_edges, 0);
+                assert_eq!(churn.restored_edges, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn churn_dynamics_end_to_end_records_recovery() {
+    // Random link failures/repairs from `ChurnDynamics` through the full
+    // engine: nothing panics, every slot carries churn diagnostics, and
+    // the recovery extraction yields a record per observed cut.
+    let net = split_network();
+    let mut wl = qdn::net::workload::PinnedWorkload::new(vec![
+        SdPair::new(NodeId(0), NodeId(2)).unwrap(),
+        SdPair::new(NodeId(3), NodeId(5)).unwrap(),
+    ]);
+    let mut dynamics = qdn::net::dynamics::ChurnDynamics::new(
+        0.6,
+        2.0,
+        17,
+        Box::new(qdn::net::dynamics::StaticDynamics),
+    );
+    let mut policy = OscarPolicy::new(OscarConfig {
+        total_budget: 600.0,
+        horizon: 30,
+        ..OscarConfig::paper_default()
+    });
+    let mut env_rng = rand::rngs::StdRng::seed_from_u64(40);
+    let mut policy_rng = rand::rngs::StdRng::seed_from_u64(41);
+    let metrics = qdn::sim::run(
+        &net,
+        &mut wl,
+        &mut dynamics,
+        &mut policy,
+        &SimConfig {
+            horizon: 30,
+            realize_outcomes: true,
+        },
+        &mut env_rng,
+        &mut policy_rng,
+    );
+    assert!(metrics.slots().iter().all(|s| s.churn.is_some()));
+    let cuts = metrics
+        .slots()
+        .iter()
+        .filter(|s| s.churn.unwrap().failed_edges > 0)
+        .count();
+    assert!(cuts >= 1, "this seed's trace must contain failures");
+    let recs = metrics.recovery_records(4, 0.05);
+    assert!(!recs.is_empty());
+    for r in &recs {
+        assert!(r.failed_edges >= 1);
+        assert!(r.pre_cut_utility <= 0.0);
+        if let Some(d) = r.recovery_slots {
+            assert!(r.cut_slot + d < 30);
+        }
+    }
+}
+
+#[test]
 fn empty_request_slots_cost_nothing() {
     let net = split_network();
     let mut wl = TraceWorkload::new(vec![vec![]; 5]);
