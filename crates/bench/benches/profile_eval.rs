@@ -528,9 +528,8 @@ fn bench_dynamic_vs_static(c: &mut Criterion) {
 /// their accelerated solves into one-or-two-iteration restarts. Both
 /// regimes face identical request sample paths (same env seed).
 fn bench_session_vs_fresh(c: &mut Criterion) {
+    use qdn_core::engine::{decide, EngineState, SlotDecisionRequest};
     use qdn_core::lyapunov::VirtualQueue;
-    use qdn_core::oscar::decide_with_selector;
-    use qdn_core::SelectorSession;
     use qdn_net::workload::{PersistentWorkload, UniformWorkload, Workload};
     use qdn_solve::RelaxedOptions;
 
@@ -566,28 +565,29 @@ fn bench_session_vs_fresh(c: &mut Criterion) {
                     let mut env_rng = StdRng::seed_from_u64(17);
                     let mut policy_rng = StdRng::seed_from_u64(18);
                     let mut queue = VirtualQueue::new(10.0, 5000.0, 200);
-                    let mut routes = CandidateRoutes::new(RouteLimits::paper_default());
-                    let mut session = SelectorSession::new();
+                    let mut state = EngineState::new(RouteLimits::paper_default());
                     let snap = CapacitySnapshot::full(&net);
                     let mut total = 0u64;
                     for t in 0..200u64 {
                         let requests = workload.requests(t, &net, &mut env_rng);
                         let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, queue.value());
                         if !keep_session {
-                            // Today's path: selection state dies with
-                            // the slot.
-                            session = SelectorSession::new();
+                            // The cold regime: selection state dies
+                            // with the slot (the route cache survives
+                            // in both regimes).
+                            state.session_mut().reset();
                         }
-                        let decision = decide_with_selector(
-                            &net,
-                            &requests,
-                            &mut routes,
-                            &mut session,
-                            &ctx,
-                            &selector,
-                            alloc,
-                            None,
-                            &mut policy_rng,
+                        let decision = decide(
+                            &mut state,
+                            SlotDecisionRequest {
+                                network: &net,
+                                requests: &requests,
+                                ctx: &ctx,
+                                selector: &selector,
+                                allocation: alloc,
+                                fidelity_target: None,
+                                rng: &mut policy_rng,
+                            },
                         );
                         let cost = decision.total_cost();
                         total += cost;
@@ -599,6 +599,70 @@ fn bench_session_vs_fresh(c: &mut Criterion) {
         }
     }
     group.finish();
+}
+
+/// End-to-end controller-daemon throughput (PR 7): a real `qdn_serve`
+/// daemon on a Unix domain socket, driven by the in-crate load
+/// generator for 64 slots per iteration — every decision crosses the
+/// wire protocol (length-prefixed JSON frames), the shard fan-out, and
+/// the warm per-shard sessions. Eight shards at paper scale. The
+/// `persistent_10` row is the session showcase (10 sticky pairs, 80%
+/// survival: 2560 request decisions per iteration); `uniform` is the
+/// paper's `U[1,5]` arrival mix. Each iteration resets the daemon and
+/// replays 256 slots, so the row is a cold start plus steady state.
+/// Median per-iteration time directly bounds decisions/sec: 2560
+/// decisions in ≤256 ms is the 10k/s floor.
+fn bench_serve_throughput(c: &mut Criterion) {
+    use qdn_net::workload::WorkloadConfig;
+    use qdn_serve::daemon::{serve, Daemon, Listener};
+    use qdn_serve::loadgen::{run, LoadConfig};
+    use qdn_serve::{Client, ServeConfig};
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    let path = std::env::temp_dir().join(format!("qdn-serve-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let listener = Listener::Unix(UnixListener::bind(&path).unwrap());
+    let mut config = ServeConfig::paper_default();
+    config.shards = 8;
+    let daemon_cfg = config.clone();
+    let server = std::thread::spawn(move || {
+        let mut daemon = Daemon::new(daemon_cfg).unwrap();
+        serve(&mut daemon, &listener).unwrap();
+    });
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let net = config.network.build(&mut rng).unwrap();
+    let mut client = Client::new(UnixStream::connect(&path).unwrap());
+    client.hello().unwrap();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for (label, workload) in [
+        ("uniform", WorkloadConfig::paper_default()),
+        (
+            "persistent_10",
+            WorkloadConfig::Persistent {
+                pairs_per_slot: 10,
+                keep_probability: 0.8,
+            },
+        ),
+    ] {
+        let load = LoadConfig {
+            slots: 256,
+            seed: 11,
+            workload,
+        };
+        group.bench_function(&format!("unix_socket_256_slots/{label}"), |b| {
+            b.iter(|| {
+                client.reset().unwrap();
+                let report = run(&mut client, &net, &load).unwrap();
+                black_box(report.served)
+            })
+        });
+    }
+    group.finish();
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_file(&path);
 }
 
 /// `count` disjoint corridors (four parallel 4-hop chains
@@ -656,9 +720,8 @@ fn corridor_field(count: usize) -> (QdnNetwork, Vec<SdPair>) {
 /// global flush only discards *more*) — the row ratio is pure post-cut
 /// decision latency, the gated ≥1.5× acceptance evidence.
 fn bench_churn_recovery(c: &mut Criterion) {
-    use qdn_core::oscar::decide_with_selector;
+    use qdn_core::engine::{decide, EngineState, SlotDecisionRequest};
     use qdn_core::route_selection::RouteSelector;
-    use qdn_core::SelectorSession;
     use qdn_solve::relaxed::{DualMethod, RelaxedOptions};
 
     let (net, pairs) = corridor_field(16);
@@ -695,12 +758,11 @@ fn bench_churn_recovery(c: &mut Criterion) {
     for (label, global) in [("region_scoped", false), ("global_flush", true)] {
         group.bench_function(&format!("{label}/16_corridors_32_slots"), |b| {
             b.iter(|| {
-                let mut routes = CandidateRoutes::new(RouteLimits {
+                let mut state = EngineState::new(RouteLimits {
                     max_routes: 4,
                     max_hops: 4,
                 });
-                let mut session = SelectorSession::new();
-                session.set_global_invalidation(global);
+                state.session_mut().set_global_invalidation(global);
                 let mut policy_rng = StdRng::seed_from_u64(23);
                 let mut total = 0u64;
                 for t in 0..32usize {
@@ -715,16 +777,17 @@ fn bench_churn_recovery(c: &mut Criterion) {
                     channels[(t % 16) * 16] = 1;
                     let snap = CapacitySnapshot::clamped(&net, installed_q.clone(), channels);
                     let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
-                    let decision = decide_with_selector(
-                        &net,
-                        &pairs,
-                        &mut routes,
-                        &mut session,
-                        &ctx,
-                        &selector,
-                        &method,
-                        None,
-                        &mut policy_rng,
+                    let decision = decide(
+                        &mut state,
+                        SlotDecisionRequest {
+                            network: &net,
+                            requests: &pairs,
+                            ctx: &ctx,
+                            selector: &selector,
+                            allocation: &method,
+                            fidelity_target: None,
+                            rng: &mut policy_rng,
+                        },
                     );
                     total += decision.total_cost();
                 }
@@ -834,6 +897,8 @@ fn bench(c: &mut Criterion) {
     bench_warm_vs_cold_eval(c);
 
     bench_gibbs_end_to_end(c);
+
+    bench_serve_throughput(c);
 }
 
 criterion_group!(benches, bench);

@@ -19,10 +19,9 @@ use qdn_net::QdnNetwork;
 use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
-use crate::oscar::decide_with_selector;
-use crate::policy::{ChurnDiagnostics, PolicyDiagnostics, RoutingPolicy};
+use crate::engine::{decide, EngineState, SlotDecisionRequest};
+use crate::policy::{PolicyDiagnostics, RoutingPolicy};
 use crate::problem::PerSlotContext;
-use crate::profile_eval::SelectorSession;
 use crate::route_selection::RouteSelector;
 use crate::types::{Decision, SlotState};
 
@@ -78,19 +77,17 @@ impl MyopicConfig {
 #[derive(Debug)]
 pub struct MyopicPolicy {
     config: MyopicConfig,
-    routes: CandidateRoutes,
-    session: SelectorSession,
+    state: EngineState,
     spent: u64,
 }
 
 impl MyopicPolicy {
     /// Creates the policy.
     pub fn new(config: MyopicConfig) -> Self {
-        let routes = CandidateRoutes::new(config.route_limits);
+        let state = EngineState::new(config.route_limits);
         MyopicPolicy {
             config,
-            routes,
-            session: SelectorSession::new(),
+            state,
             spent: 0,
         }
     }
@@ -142,16 +139,17 @@ impl RoutingPolicy for MyopicPolicy {
     ) -> Decision {
         let budget = self.slot_budget(slot.t());
         let ctx = PerSlotContext::myopic(network, slot.snapshot(), budget);
-        let decision = decide_with_selector(
-            network,
-            slot.requests(),
-            &mut self.routes,
-            &mut self.session,
-            &ctx,
-            &self.config.selector,
-            &AllocationMethod::Greedy,
-            self.config.fidelity_target,
-            rng,
+        let decision = decide(
+            &mut self.state,
+            SlotDecisionRequest {
+                network,
+                requests: slot.requests(),
+                ctx: &ctx,
+                selector: &self.config.selector,
+                allocation: &AllocationMethod::Greedy,
+                fidelity_target: self.config.fidelity_target,
+                rng,
+            },
         );
         self.spent += decision.total_cost();
         decision
@@ -159,17 +157,14 @@ impl RoutingPolicy for MyopicPolicy {
 
     fn reset(&mut self) {
         self.spent = 0;
-        self.session.reset();
-        // Churn-repaired candidates are only weight-equivalent to a
-        // cold recompute; fresh trials need a fresh cache.
-        self.routes.clear();
+        self.state.reset();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: None,
             budget_spent: Some(self.spent),
-            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
+            churn: Some(self.state.churn_diagnostics()),
         }
     }
 }
@@ -178,8 +173,7 @@ impl RoutingPolicy for MyopicPolicy {
 /// minimum one channel per edge.
 #[derive(Debug)]
 pub struct MinimalRandomPolicy {
-    routes: CandidateRoutes,
-    session: SelectorSession,
+    state: EngineState,
     spent: u64,
 }
 
@@ -187,8 +181,7 @@ impl MinimalRandomPolicy {
     /// Creates the policy with the given route limits.
     pub fn new(route_limits: RouteLimits) -> Self {
         MinimalRandomPolicy {
-            routes: CandidateRoutes::new(route_limits),
-            session: SelectorSession::new(),
+            state: EngineState::new(route_limits),
             spent: 0,
         }
     }
@@ -212,16 +205,17 @@ impl RoutingPolicy for MinimalRandomPolicy {
         rng: &mut dyn rand::Rng,
     ) -> Decision {
         let ctx = PerSlotContext::oscar(network, slot.snapshot(), 1.0, 0.0);
-        let decision = decide_with_selector(
-            network,
-            slot.requests(),
-            &mut self.routes,
-            &mut self.session,
-            &ctx,
-            &RouteSelector::Random,
-            &AllocationMethod::Minimal,
-            None,
-            rng,
+        let decision = decide(
+            &mut self.state,
+            SlotDecisionRequest {
+                network,
+                requests: slot.requests(),
+                ctx: &ctx,
+                selector: &RouteSelector::Random,
+                allocation: &AllocationMethod::Minimal,
+                fidelity_target: None,
+                rng,
+            },
         );
         self.spent += decision.total_cost();
         decision
@@ -229,17 +223,14 @@ impl RoutingPolicy for MinimalRandomPolicy {
 
     fn reset(&mut self) {
         self.spent = 0;
-        self.session.reset();
-        // Churn-repaired candidates are only weight-equivalent to a
-        // cold recompute; fresh trials need a fresh cache.
-        self.routes.clear();
+        self.state.reset();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: None,
             budget_spent: Some(self.spent),
-            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
+            churn: Some(self.state.churn_diagnostics()),
         }
     }
 }
@@ -256,9 +247,8 @@ impl RoutingPolicy for MinimalRandomPolicy {
 #[derive(Debug)]
 pub struct OraclePolicy {
     slot_budgets: Vec<u64>,
-    routes: CandidateRoutes,
+    state: EngineState,
     selector: RouteSelector,
-    session: SelectorSession,
     spent: u64,
 }
 
@@ -317,9 +307,9 @@ impl OraclePolicy {
         }
         OraclePolicy {
             slot_budgets,
-            routes,
+            // Keep the candidates warmed during planning.
+            state: EngineState::with_routes(routes),
             selector,
-            session: SelectorSession::new(),
             spent: 0,
         }
     }
@@ -343,16 +333,17 @@ impl RoutingPolicy for OraclePolicy {
     ) -> Decision {
         let budget = self.slot_budget(slot.t());
         let ctx = PerSlotContext::myopic(network, slot.snapshot(), budget);
-        let decision = decide_with_selector(
-            network,
-            slot.requests(),
-            &mut self.routes,
-            &mut self.session,
-            &ctx,
-            &self.selector,
-            &AllocationMethod::Greedy,
-            None,
-            rng,
+        let decision = decide(
+            &mut self.state,
+            SlotDecisionRequest {
+                network,
+                requests: slot.requests(),
+                ctx: &ctx,
+                selector: &self.selector,
+                allocation: &AllocationMethod::Greedy,
+                fidelity_target: None,
+                rng,
+            },
         );
         self.spent += decision.total_cost();
         decision
@@ -360,17 +351,14 @@ impl RoutingPolicy for OraclePolicy {
 
     fn reset(&mut self) {
         self.spent = 0;
-        self.session.reset();
-        // Churn-repaired candidates are only weight-equivalent to a
-        // cold recompute; fresh trials need a fresh cache.
-        self.routes.clear();
+        self.state.reset();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: None,
             budget_spent: Some(self.spent),
-            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
+            churn: Some(self.state.churn_diagnostics()),
         }
     }
 }
@@ -387,9 +375,8 @@ impl RoutingPolicy for OraclePolicy {
 /// the "what if we ignore cost" ablation.
 #[derive(Debug)]
 pub struct ThroughputGreedyPolicy {
-    routes: CandidateRoutes,
+    state: EngineState,
     selector: RouteSelector,
-    session: SelectorSession,
     spent: u64,
 }
 
@@ -397,9 +384,8 @@ impl ThroughputGreedyPolicy {
     /// Creates the policy with the given route limits.
     pub fn new(route_limits: RouteLimits, selector: RouteSelector) -> Self {
         ThroughputGreedyPolicy {
-            routes: CandidateRoutes::new(route_limits),
+            state: EngineState::new(route_limits),
             selector,
-            session: SelectorSession::new(),
             spent: 0,
         }
     }
@@ -430,16 +416,17 @@ impl RoutingPolicy for ThroughputGreedyPolicy {
         // Price 0 and no slot budget: the objective is strictly increasing
         // in every n_e, so allocation fills the capacity constraints.
         let ctx = PerSlotContext::oscar(network, slot.snapshot(), 1.0, 0.0);
-        let decision = decide_with_selector(
-            network,
-            slot.requests(),
-            &mut self.routes,
-            &mut self.session,
-            &ctx,
-            &self.selector,
-            &AllocationMethod::Greedy,
-            None,
-            rng,
+        let decision = decide(
+            &mut self.state,
+            SlotDecisionRequest {
+                network,
+                requests: slot.requests(),
+                ctx: &ctx,
+                selector: &self.selector,
+                allocation: &AllocationMethod::Greedy,
+                fidelity_target: None,
+                rng,
+            },
         );
         self.spent += decision.total_cost();
         decision
@@ -447,17 +434,14 @@ impl RoutingPolicy for ThroughputGreedyPolicy {
 
     fn reset(&mut self) {
         self.spent = 0;
-        self.session.reset();
-        // Churn-repaired candidates are only weight-equivalent to a
-        // cold recompute; fresh trials need a fresh cache.
-        self.routes.clear();
+        self.state.reset();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: None,
             budget_spent: Some(self.spent),
-            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
+            churn: Some(self.state.churn_diagnostics()),
         }
     }
 }

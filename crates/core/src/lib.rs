@@ -18,6 +18,9 @@
 //!   greedy local search, and the disjoint-pair parallel variant from the
 //!   paper's remark,
 //! * [`lyapunov`] — the virtual cost-deficit queue (Eq. 7),
+//! * [`engine`] — the consolidated slot-decision facade
+//!   ([`engine::EngineState`] + [`engine::decide`]) every per-slot driver
+//!   calls: OSCAR, the baselines, the event-driven router, the daemon,
 //! * [`oscar`] — **Algorithm 1**: the OSCAR controller tying it together,
 //! * [`baselines`] — Myopic-Fixed and Myopic-Adaptive (§V-A-3) plus extra
 //!   ablation policies,
@@ -49,6 +52,7 @@
 
 pub mod allocation;
 pub mod baselines;
+pub mod engine;
 pub mod lyapunov;
 pub mod oscar;
 pub mod policy;
@@ -58,6 +62,7 @@ pub mod route_selection;
 pub mod theory;
 pub mod types;
 
+pub use engine::{decide, EngineSnapshot, EngineState, SlotDecisionRequest};
 pub use oscar::{OscarConfig, OscarPolicy};
 pub use policy::RoutingPolicy;
 pub use profile_eval::{ProfileEvaluator, SelectorSession};

@@ -6,20 +6,18 @@
 //! virtual-queue price `q_t`; then update the queue with the realized
 //! cost (Eq. 7). No future statistics are used anywhere.
 
-use std::borrow::Cow;
-
-use qdn_graph::Path;
 use qdn_net::routes::{CandidateRoutes, RouteLimits};
 use qdn_net::{QdnNetwork, SdPair};
 use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
+use crate::engine::{self, EngineState, SlotDecisionRequest};
 use crate::lyapunov::VirtualQueue;
-use crate::policy::{ChurnDiagnostics, PolicyDiagnostics, RoutingPolicy};
+use crate::policy::{PolicyDiagnostics, RoutingPolicy};
 use crate::problem::PerSlotContext;
 use crate::profile_eval::SelectorSession;
-use crate::route_selection::{Candidates, RouteSelector, Selection};
-use crate::types::{Decision, RouteAssignment, SlotState};
+use crate::route_selection::RouteSelector;
+use crate::types::{Decision, SlotState};
 
 /// Configuration of the OSCAR policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,11 +95,10 @@ impl Default for OscarConfig {
 pub struct OscarPolicy {
     config: OscarConfig,
     queue: VirtualQueue,
-    routes: CandidateRoutes,
-    /// Slot-spanning selection state (arena, memos, λ stores, previous
-    /// profile) owned for the lifetime of a run; cleared by
-    /// [`RoutingPolicy::reset`].
-    session: SelectorSession,
+    /// Slot-spanning decision state (candidate cache, selection session,
+    /// fidelity-filter cache) owned for the lifetime of a run; cleared
+    /// by [`RoutingPolicy::reset`].
+    state: EngineState,
     spent: u64,
 }
 
@@ -109,12 +106,11 @@ impl OscarPolicy {
     /// Creates the policy from a configuration.
     pub fn new(config: OscarConfig) -> Self {
         let queue = VirtualQueue::new(config.q0, config.total_budget, config.horizon);
-        let routes = CandidateRoutes::new(config.route_limits);
+        let state = EngineState::new(config.route_limits);
         OscarPolicy {
             config,
             queue,
-            routes,
-            session: SelectorSession::new(),
+            state,
             spent: 0,
         }
     }
@@ -131,7 +127,12 @@ impl OscarPolicy {
 
     /// The slot-spanning selection session (test/diagnostic access).
     pub fn session(&self) -> &SelectorSession {
-        &self.session
+        self.state.session()
+    }
+
+    /// The slot-spanning decision state (test/diagnostic access).
+    pub fn engine_state(&self) -> &EngineState {
+        &self.state
     }
 }
 
@@ -148,16 +149,17 @@ impl RoutingPolicy for OscarPolicy {
     ) -> Decision {
         let ctx =
             PerSlotContext::oscar(network, slot.snapshot(), self.config.v, self.queue.value());
-        let decision = decide_with_selector(
-            network,
-            slot.requests(),
-            &mut self.routes,
-            &mut self.session,
-            &ctx,
-            &self.config.selector,
-            &self.config.allocation,
-            self.config.fidelity_target,
-            rng,
+        let decision = engine::decide(
+            &mut self.state,
+            SlotDecisionRequest {
+                network,
+                requests: slot.requests(),
+                ctx: &ctx,
+                selector: &self.config.selector,
+                allocation: &self.config.allocation,
+                fidelity_target: self.config.fidelity_target,
+                rng,
+            },
         );
         let cost = decision.total_cost();
         self.spent += cost;
@@ -168,38 +170,34 @@ impl RoutingPolicy for OscarPolicy {
     fn reset(&mut self) {
         self.queue.reset();
         self.spent = 0;
-        // Cross-slot selection state (λ stores, memo epochs, previous
-        // profile) must not leak between trials.
-        self.session.reset();
-        // Candidate routes are repaired in place under link churn, and a
-        // repaired set is only weight-equivalent (not tie-identical) to
-        // a cold recompute — replay determinism needs a fresh cache.
-        self.routes.clear();
+        // Cross-slot decision state (λ stores, memo epochs, previous
+        // profile, candidate cache) must not leak between trials; see
+        // [`EngineState::reset`] for why the route cache is dropped too.
+        self.state.reset();
     }
 
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics {
             virtual_queue: Some(self.queue.value()),
             budget_spent: Some(self.spent),
-            churn: Some(ChurnDiagnostics::collect(&self.routes, &self.session)),
+            churn: Some(self.state.churn_diagnostics()),
         }
     }
 }
 
-/// Shared decision pipeline: fetch candidates, apply the optional
-/// fidelity constraint (the paper's §III-C extension — routes whose
-/// end-to-end Werner fidelity misses `fidelity_target` are removed from
-/// `R(φ)`), run route selection through the caller's slot-spanning
-/// [`SelectorSession`], and degrade gracefully (drop the most expensive
-/// pair) when the slot cannot serve everything.
+/// Deprecated nine-argument entry point to the shared decision
+/// pipeline, kept as a thin shim for one release.
 ///
-/// Used by OSCAR and the myopic baselines (which differ only in the
-/// [`PerSlotContext`] they build), and exposed publicly so alternative
-/// drivers — e.g. the event-driven online router in `qdn-des`, which
-/// solves a single-request "slot" at every arrival — can reuse the exact
-/// Algorithm 2 + Algorithm 3 pipeline. Each such driver owns one
-/// session per policy/run; a fresh [`SelectorSession::new`] reproduces
-/// the stateless behavior.
+/// The pipeline itself now lives in [`crate::engine`]: hold the
+/// slot-spanning state as one [`EngineState`] and call
+/// [`engine::decide`] with a [`SlotDecisionRequest`]. Callers that still
+/// hold the route cache and session as separate fields get identical
+/// behavior through this shim, minus the fidelity-filter cache (a fresh
+/// cache is built per call, matching the old clone-per-slot cost).
+#[deprecated(
+    since = "0.7.0",
+    note = "use qdn_core::engine::decide(&mut EngineState, SlotDecisionRequest) instead"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn decide_with_selector(
     network: &QdnNetwork,
@@ -212,86 +210,21 @@ pub fn decide_with_selector(
     fidelity_target: Option<f64>,
     rng: &mut dyn rand::Rng,
 ) -> Decision {
-    // Reconcile the candidate cache with this slot's link state first:
-    // an edge at zero channels is failed for the slot (every route needs
-    // at least one channel per edge), so routes through it are dropped
-    // and only the affected pairs repaired — incrementally, via the KSP
-    // maintainer; a restored edge re-admits routes the same way. Pairs
-    // left with no candidates fall through to `unserved` below.
-    routes_cache.sync_dead_edges(network, ctx.snapshot);
-    // Warm the cache with one `&mut` call per pair, then take shared
-    // borrows: the common (no fidelity target) path hands the selector
-    // the cached slices directly instead of cloning every candidate
-    // list every slot; only the filtering path copies.
-    for &pair in requests {
-        routes_cache.routes(network, pair);
-    }
-    let routes_cache = &*routes_cache;
-    let mut unserved: Vec<SdPair> = Vec::new();
-    let mut served: Vec<(SdPair, Cow<'_, [Path]>)> = Vec::new();
-    for &pair in requests {
-        let cached = routes_cache
-            .cached(pair)
-            .expect("cache warmed for every requested pair above");
-        let routes: Cow<'_, [Path]> = match fidelity_target {
-            Some(target) => Cow::Owned(
-                cached
-                    .iter()
-                    .filter(|r| network.route_fidelity(r).value() >= target)
-                    .cloned()
-                    .collect(),
-            ),
-            None => Cow::Borrowed(cached),
-        };
-        if routes.is_empty() {
-            unserved.push(pair);
-        } else {
-            served.push((pair, routes));
-        }
-    }
-
-    // Try to serve everything; on infeasibility drop the pair whose
-    // cheapest route is longest (it consumes the most mandatory units) and
-    // retry — Assumption 1 makes this rare at the paper's defaults.
-    loop {
-        let cands: Vec<Candidates<'_>> = served
-            .iter()
-            .map(|(pair, routes)| Candidates {
-                pair: *pair,
-                routes,
-            })
-            .collect();
-        match selector.select_in(session, ctx, &cands, allocation, rng) {
-            Some(Selection {
-                indices,
-                evaluation,
-            }) => {
-                let assignments = served
-                    .iter()
-                    .zip(&indices)
-                    .zip(evaluation.allocations)
-                    .map(|(((pair, routes), &idx), alloc)| {
-                        RouteAssignment::new(*pair, routes[idx].clone(), alloc)
-                    })
-                    .collect();
-                return Decision::new(assignments, unserved);
-            }
-            None => {
-                if served.is_empty() {
-                    return Decision::new(Vec::new(), unserved);
-                }
-                // Drop the pair with the longest shortest-route.
-                let victim = served
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, (_, routes))| routes[0].hops())
-                    .map(|(i, _)| i)
-                    .expect("served is non-empty");
-                let (pair, _) = served.remove(victim);
-                unserved.push(pair);
-            }
-        }
-    }
+    let mut fidelity = engine::FidelityCache::default();
+    engine::decide_parts(
+        routes_cache,
+        session,
+        &mut fidelity,
+        SlotDecisionRequest {
+            network,
+            requests,
+            ctx,
+            selector,
+            allocation,
+            fidelity_target,
+            rng,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -57,8 +57,9 @@ pub struct ChurnDiagnostics {
 
 impl ChurnDiagnostics {
     /// Collects the ledger from a policy's route cache and selection
-    /// session after a slot decided through
-    /// [`crate::oscar::decide_with_selector`].
+    /// session after a slot decided through [`crate::engine::decide`]
+    /// (or [`crate::engine::EngineState::churn_diagnostics`], which
+    /// wraps this).
     pub fn collect(routes: &CandidateRoutes, session: &SelectorSession) -> Self {
         let churn = routes.last_churn();
         let inval = session.last_invalidation();

@@ -225,6 +225,20 @@ pub struct EvalOptions {
 }
 
 impl EvalOptions {
+    /// Dynamic route-keyed partitioning, no cross-slot profile seeding —
+    /// the default, spelled out so callers building the struct by hand
+    /// can say what they mean instead of `..Default::default()`.
+    pub fn dynamic() -> Self {
+        EvalOptions::default()
+    }
+
+    /// The static-envelope-only engine (pre-PR-4 behavior); alias of
+    /// [`EvalOptions::static_partition`] matching the
+    /// [`EvalOptions::dynamic`] naming.
+    pub fn static_() -> Self {
+        Self::static_partition()
+    }
+
     /// The static-envelope-only engine (pre-PR-4 behavior).
     pub fn static_partition() -> Self {
         EvalOptions {
@@ -912,6 +926,253 @@ impl SelectorSession {
             report,
         }
     }
+
+    /// Serializes every piece of cross-slot state into a
+    /// [`SessionSnapshot`] with canonical (sorted) entry order, so equal
+    /// sessions produce byte-identical snapshots regardless of hash-map
+    /// iteration order.
+    ///
+    /// The snapshot is *complete*: region memos (both levels, with their
+    /// epochs), the λ stores, the previous selected profile, the shared
+    /// fingerprint, and the epoch/lend counters all round-trip. Anything
+    /// less — say, only the λ stores — would let a restored session
+    /// diverge from the uninterrupted run on the first memo hit the
+    /// original would have had. The recycled scratch arena is *not*
+    /// captured (it carries no semantic state and is rebuilt lazily).
+    pub fn snapshot(&self) -> SessionSnapshot {
+        fn memo_entries(memo: &Memo) -> Vec<MemoEntrySnapshot> {
+            let mut out: Vec<MemoEntrySnapshot> = memo
+                .iter()
+                .map(|(k, e)| MemoEntrySnapshot {
+                    key: k.to_vec(),
+                    epoch: e.epoch,
+                    alloc: e.alloc.as_ref().map(|a| a.to_vec()),
+                })
+                .collect();
+            out.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+            out
+        }
+        let mut regions: Vec<RegionSnapshot> = self
+            .regions
+            .iter()
+            .map(|(key, st)| RegionSnapshot {
+                key: key.to_vec(),
+                epoch: st.epoch,
+                last_used: st.last_used,
+                pairs: st.fingerprint.pairs.clone(),
+                routes_hash: st.fingerprint.routes_hash,
+                qubits: st.fingerprint.qubits.clone(),
+                channels: st.fingerprint.channels.clone(),
+                memo: memo_entries(&st.memo),
+                dyn_memo: memo_entries(&st.dyn_memo),
+            })
+            .collect();
+        regions.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        let mut lambda_exact: Vec<LambdaEntrySnapshot> = self
+            .lambda_exact
+            .iter()
+            .map(|(k, l)| LambdaEntrySnapshot {
+                key: k.to_vec(),
+                lambda: l.to_vec(),
+            })
+            .collect();
+        lambda_exact.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        let mut prev_selected: Vec<PrevSelectedSnapshot> = self
+            .prev_selected
+            .iter()
+            .map(|(&pair, r)| PrevSelectedSnapshot {
+                pair,
+                index: r.index,
+                edges: r.edges.to_vec(),
+            })
+            .collect();
+        prev_selected.sort_unstable_by_key(|p| p.pair);
+        SessionSnapshot {
+            version: SESSION_SNAPSHOT_VERSION,
+            epoch_counter: self.epoch_counter,
+            lends: self.lends,
+            global_invalidation: self.global_invalidation,
+            shared: self.shared.as_ref().map(|s| SharedSnapshot {
+                v_bits: s.v_bits,
+                price_bits: s.price_bits,
+                budget: s.budget,
+                method: s.method,
+                options: s.options,
+                nodes: s.nodes,
+                edges: s.edges,
+            }),
+            regions,
+            lambda_exact,
+            lambda_dense: self.lambda_dense.clone(),
+            lambda_dense_valid: self.lambda_dense_valid,
+            prev_selected,
+            last_invalidation: self.last_invalidation,
+        }
+    }
+
+    /// Rebuilds a session from a snapshot taken by
+    /// [`SelectorSession::snapshot`]. The restored session is
+    /// behaviorally indistinguishable from the original: every decision
+    /// it participates in is bit-identical to what the uninterrupted
+    /// session would have produced (pinned by the
+    /// `restored_session_matches_uninterrupted` proptest).
+    pub fn restore(snapshot: &SessionSnapshot) -> Result<Self, String> {
+        if snapshot.version != SESSION_SNAPSHOT_VERSION {
+            return Err(format!(
+                "session snapshot version {} (expected {SESSION_SNAPSHOT_VERSION})",
+                snapshot.version
+            ));
+        }
+        fn memo_map(entries: &[MemoEntrySnapshot]) -> Memo {
+            entries
+                .iter()
+                .map(|e| {
+                    (
+                        e.key.clone().into_boxed_slice(),
+                        MemoEntry {
+                            epoch: e.epoch,
+                            alloc: e.alloc.as_ref().map(|a| a.clone().into_boxed_slice()),
+                        },
+                    )
+                })
+                .collect()
+        }
+        Ok(SelectorSession {
+            epoch_counter: snapshot.epoch_counter,
+            shared: snapshot.shared.as_ref().map(|s| SharedFingerprint {
+                v_bits: s.v_bits,
+                price_bits: s.price_bits,
+                budget: s.budget,
+                method: s.method,
+                options: s.options,
+                nodes: s.nodes,
+                edges: s.edges,
+            }),
+            regions: snapshot
+                .regions
+                .iter()
+                .map(|r| {
+                    (
+                        r.key.clone().into_boxed_slice(),
+                        RegionState {
+                            epoch: r.epoch,
+                            fingerprint: RegionFingerprint {
+                                pairs: r.pairs.clone(),
+                                routes_hash: r.routes_hash,
+                                qubits: r.qubits.clone(),
+                                channels: r.channels.clone(),
+                            },
+                            memo: memo_map(&r.memo),
+                            dyn_memo: memo_map(&r.dyn_memo),
+                            last_used: r.last_used,
+                        },
+                    )
+                })
+                .collect(),
+            scratch: None,
+            lambda_exact: snapshot
+                .lambda_exact
+                .iter()
+                .map(|e| {
+                    (
+                        e.key.clone().into_boxed_slice(),
+                        e.lambda.clone().into_boxed_slice(),
+                    )
+                })
+                .collect(),
+            lambda_dense: snapshot.lambda_dense.clone(),
+            lambda_dense_valid: snapshot.lambda_dense_valid,
+            prev_selected: snapshot
+                .prev_selected
+                .iter()
+                .map(|p| {
+                    (
+                        p.pair,
+                        PrevRoute {
+                            index: p.index,
+                            edges: p.edges.clone().into_boxed_slice(),
+                        },
+                    )
+                })
+                .collect(),
+            lends: snapshot.lends,
+            global_invalidation: snapshot.global_invalidation,
+            last_invalidation: snapshot.last_invalidation,
+        })
+    }
+}
+
+/// Version tag of [`SessionSnapshot`]; bump on layout changes.
+pub const SESSION_SNAPSHOT_VERSION: u32 = 1;
+
+/// Serializable image of a [`SelectorSession`] (see
+/// [`SelectorSession::snapshot`]). Entry order is canonical (sorted by
+/// key), so equal sessions snapshot byte-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Layout version ([`SESSION_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    epoch_counter: u64,
+    lends: u64,
+    global_invalidation: bool,
+    shared: Option<SharedSnapshot>,
+    regions: Vec<RegionSnapshot>,
+    lambda_exact: Vec<LambdaEntrySnapshot>,
+    lambda_dense: Vec<f64>,
+    lambda_dense_valid: bool,
+    prev_selected: Vec<PrevSelectedSnapshot>,
+    last_invalidation: InvalidationReport,
+}
+
+/// Mirror of the private [`SharedFingerprint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SharedSnapshot {
+    v_bits: u64,
+    price_bits: u64,
+    budget: Option<u64>,
+    method: AllocationMethod,
+    options: EvalOptions,
+    nodes: usize,
+    edges: usize,
+}
+
+/// One parked region: its key, fingerprint, and both memo levels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RegionSnapshot {
+    /// The region key (sorted pair multiset).
+    key: Vec<SdPair>,
+    epoch: u64,
+    last_used: u64,
+    /// Fingerprint: pairs in candidate (positional) order.
+    pairs: Vec<SdPair>,
+    routes_hash: u64,
+    qubits: Vec<(u32, u32)>,
+    channels: Vec<(u32, u32)>,
+    memo: Vec<MemoEntrySnapshot>,
+    dyn_memo: Vec<MemoEntrySnapshot>,
+}
+
+/// One memoized allocation (route tuple → epoch-stamped result).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct MemoEntrySnapshot {
+    key: Vec<u32>,
+    epoch: u64,
+    alloc: Option<Vec<u32>>,
+}
+
+/// One exact-tuple λ seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LambdaEntrySnapshot {
+    key: Vec<u32>,
+    lambda: Vec<f64>,
+}
+
+/// One remembered previous-slot route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PrevSelectedSnapshot {
+    pair: SdPair,
+    index: u32,
+    edges: Vec<EdgeId>,
 }
 
 /// One static component's stored dual prices, dense over constraint keys

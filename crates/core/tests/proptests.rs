@@ -580,6 +580,110 @@ proptest! {
         }
     }
 
+    /// Snapshot/restore is invisible to the decision stream: running N
+    /// slots through the engine facade, snapshotting mid-run through
+    /// the JSON wire form, restoring into a fresh `EngineState`, and
+    /// continuing both the original and the restored state with twin
+    /// RNGs yields bit-identical decisions — across both partitions and
+    /// both dual methods. The restored state must also re-snapshot to
+    /// the exact same bytes (canonical ordering), which is what lets
+    /// the serve daemon restart warm without drifting.
+    #[test]
+    fn restored_session_matches_uninterrupted(
+        net in arb_ring_network(),
+        seed in 0u64..1000,
+        v in 100.0f64..2000.0,
+    ) {
+        use qdn_core::profile_eval::{EvalOptions, PartitionMode};
+        use qdn_core::route_selection::{GibbsConfig, RouteSelector};
+        use qdn_core::{decide, EngineSnapshot, EngineState, SlotDecisionRequest};
+        use qdn_net::routes::RouteLimits;
+
+        let mut env = rand::rngs::StdRng::seed_from_u64(seed);
+        // One request trace shared by the warm run and the restored
+        // continuation: restore replays state, not arrivals.
+        let trace: Vec<Vec<SdPair>> = (0..6)
+            .map(|slot| {
+                (0..1 + (slot + seed as usize) % 2)
+                    .map(|_| qdn_net::workload::random_sd_pair(&mut env, &net))
+                    .collect()
+            })
+            .collect();
+        let snap = CapacitySnapshot::full(&net);
+        for dual in [
+            qdn_solve::DualMethod::Accelerated,
+            qdn_solve::DualMethod::Subgradient,
+        ] {
+            let method = AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+                method: dual,
+                ..qdn_solve::RelaxedOptions::default()
+            });
+            for partition in [PartitionMode::Static, PartitionMode::Dynamic] {
+                let evaluator = EvalOptions { partition, warm_profile_seed: false };
+                let selector = RouteSelector::Gibbs(GibbsConfig {
+                    iterations: 8,
+                    evaluator,
+                    ..GibbsConfig::paper_default()
+                });
+                let mut state = EngineState::new(RouteLimits::paper_default());
+                let mut price = 1.0 + (seed % 5) as f64;
+                for (slot, reqs) in trace.iter().enumerate().take(3) {
+                    let ctx = PerSlotContext::oscar(&net, &snap, v, price);
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ ((slot as u64) << 8));
+                    let _ = decide(&mut state, SlotDecisionRequest {
+                        network: &net,
+                        requests: reqs,
+                        ctx: &ctx,
+                        selector: &selector,
+                        allocation: &method,
+                        fidelity_target: None,
+                        rng: &mut rng,
+                    });
+                    price += 3.0 + slot as f64;
+                }
+                let wire = serde_json::to_string(&state.snapshot()).unwrap();
+                let decoded: EngineSnapshot = serde_json::from_str(&wire).unwrap();
+                let mut restored = EngineState::restore(&decoded).unwrap();
+                prop_assert_eq!(
+                    serde_json::to_string(&restored.snapshot()).unwrap(),
+                    wire,
+                    "re-snapshot not byte-identical ({:?}, {:?})",
+                    dual,
+                    partition
+                );
+                for (slot, reqs) in trace.iter().enumerate().skip(3) {
+                    let ctx = PerSlotContext::oscar(&net, &snap, v, price);
+                    let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed ^ ((slot as u64) << 8));
+                    let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed ^ ((slot as u64) << 8));
+                    let cont = decide(&mut state, SlotDecisionRequest {
+                        network: &net,
+                        requests: reqs,
+                        ctx: &ctx,
+                        selector: &selector,
+                        allocation: &method,
+                        fidelity_target: None,
+                        rng: &mut rng_a,
+                    });
+                    let rest = decide(&mut restored, SlotDecisionRequest {
+                        network: &net,
+                        requests: reqs,
+                        ctx: &ctx,
+                        selector: &selector,
+                        allocation: &method,
+                        fidelity_target: None,
+                        rng: &mut rng_b,
+                    });
+                    prop_assert_eq!(
+                        &cont, &rest,
+                        "slot {} diverged after restore ({:?}, {:?})",
+                        slot, dual, partition
+                    );
+                    price += 3.0 + slot as f64;
+                }
+            }
+        }
+    }
+
     /// Topology churn never desynchronizes a session from a cold
     /// rebuild: threading one `SelectorSession` (and one incrementally
     /// repaired `CandidateRoutes` cache) through a trace of link cuts

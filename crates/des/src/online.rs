@@ -18,18 +18,17 @@
 //!   `q(t⁺) = max(0, q(t_prev) − ρ·(t − t_prev)) + cost`.
 //!
 //! Per-arrival decisions reuse the exact per-slot pipeline
-//! ([`qdn_core::oscar::decide_with_selector`]) with a single-request
-//! "slot": with one pair, exhaustive route selection (Eq. 13) is exact
-//! and cheap, so the online router inherits Algorithm 2's allocation
-//! guarantees unchanged.
+//! ([`qdn_core::engine::decide`]) with a single-request "slot": with one
+//! pair, exhaustive route selection (Eq. 13) is exact and cheap, so the
+//! online router inherits Algorithm 2's allocation guarantees unchanged.
 
 use std::time::Duration;
 
 use qdn_core::allocation::AllocationMethod;
-use qdn_core::oscar::decide_with_selector;
+use qdn_core::engine::{decide, EngineState, SlotDecisionRequest};
 use qdn_core::problem::PerSlotContext;
 use qdn_core::route_selection::RouteSelector;
-use qdn_net::routes::{CandidateRoutes, RouteLimits};
+use qdn_net::routes::RouteLimits;
 use qdn_net::{QdnNetwork, SdPair};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -115,16 +114,15 @@ impl Default for OnlineConfig {
 #[derive(Debug)]
 pub struct OnlineRouter {
     config: OnlineConfig,
-    routes: CandidateRoutes,
     /// The per-arrival route selector, built once: with one pair,
     /// exhaustive search (Eq. 13) over its ≤ R candidates is exact and
     /// the cap is generous.
     selector: RouteSelector,
-    /// Slot-spanning selection state reused across arrivals (the
-    /// event-driven analogue of a policy-owned session): the evaluator
-    /// arena and λ stores persist for the run instead of being rebuilt
-    /// per admission decision.
-    session: qdn_core::SelectorSession,
+    /// Slot-spanning decision state reused across arrivals (the
+    /// event-driven analogue of a policy-owned engine state): the
+    /// candidate cache, evaluator arena, and λ stores persist for the
+    /// run instead of being rebuilt per admission decision.
+    state: EngineState,
     queue: f64,
     last_drain: SimTime,
     spent: u64,
@@ -133,13 +131,12 @@ pub struct OnlineRouter {
 impl OnlineRouter {
     /// Creates the router.
     pub fn new(config: OnlineConfig) -> Self {
-        let routes = CandidateRoutes::new(config.route_limits);
+        let state = EngineState::new(config.route_limits);
         OnlineRouter {
             queue: config.q0,
             config,
-            routes,
             selector: RouteSelector::exhaustive(4096),
-            session: qdn_core::SelectorSession::new(),
+            state,
             last_drain: SimTime::ZERO,
             spent: 0,
         }
@@ -165,7 +162,10 @@ impl OnlineRouter {
         self.queue = self.config.q0;
         self.last_drain = SimTime::ZERO;
         self.spent = 0;
-        self.session.reset();
+        // The candidate cache survives (topology is unchanged between
+        // runs and no churn repair happens in continuous time here);
+        // only the selection session's cross-run state is dropped.
+        self.state.session_mut().reset();
     }
 
     /// The queue value a decision at `now` would see, without mutating
@@ -199,16 +199,17 @@ impl OnlineRouter {
         self.drain_until(now);
         let snapshot = ledger.snapshot(network);
         let ctx = PerSlotContext::oscar(network, &snapshot, self.config.v, self.queue);
-        let decision = decide_with_selector(
-            network,
-            &[pair],
-            &mut self.routes,
-            &mut self.session,
-            &ctx,
-            &self.selector,
-            &self.config.allocation,
-            None,
-            rng,
+        let decision = decide(
+            &mut self.state,
+            SlotDecisionRequest {
+                network,
+                requests: &[pair],
+                ctx: &ctx,
+                selector: &self.selector,
+                allocation: &self.config.allocation,
+                fidelity_target: None,
+                rng,
+            },
         );
         let assignment = decision.assignments().first().cloned()?;
         let cost = assignment.cost();

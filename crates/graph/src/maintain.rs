@@ -218,6 +218,30 @@ impl CandidateMaintainer {
         report
     }
 
+    /// Every tracked pair with its cached candidate set, in arbitrary
+    /// (hash-map) order — snapshot callers sort by key themselves.
+    pub fn tracked(&self) -> impl Iterator<Item = ((NodeId, NodeId), &[Path])> + '_ {
+        self.sets.iter().map(|(&key, set)| (key, set.as_slice()))
+    }
+
+    /// Rebuilds a maintainer from snapshotted parts: the route bound
+    /// `k`, the dead-edge set, and the tracked candidate sets exactly
+    /// as a live maintainer held them. No recomputation runs — churn
+    /// repair only yields weight-equivalent (not tie-identical) sets,
+    /// so a restored maintainer must carry the original routes to keep
+    /// later decisions bit-identical.
+    pub fn from_parts(
+        k: usize,
+        dead: impl IntoIterator<Item = EdgeId>,
+        sets: impl IntoIterator<Item = ((NodeId, NodeId), Vec<Path>)>,
+    ) -> Self {
+        CandidateMaintainer {
+            k,
+            dead: dead.into_iter().collect(),
+            sets: sets.into_iter().collect(),
+        }
+    }
+
     /// Drops every tracked pair and revives every edge.
     pub fn clear(&mut self) {
         self.dead.clear();

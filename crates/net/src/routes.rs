@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use qdn_graph::maintain::CandidateMaintainer;
 use qdn_graph::paths::hop_weight;
-use qdn_graph::{EdgeId, Path};
+use qdn_graph::{EdgeId, NodeId, Path};
 use serde::{Deserialize, Serialize};
 
 use crate::network::QdnNetwork;
@@ -263,6 +263,108 @@ impl CandidateRoutes {
         self.cache.clear();
         self.last_churn = RouteChurn::default();
     }
+
+    /// Serializes the cache into a [`RoutesSnapshot`] with canonical
+    /// (sorted) entry order, so equal caches produce byte-identical
+    /// snapshots.
+    ///
+    /// The snapshot carries the *routes themselves*, not just the
+    /// tracked pairs: churn repair only yields weight-equivalent (not
+    /// tie-identical) candidate sets, so a warm restart that recomputed
+    /// routes from the topology could diverge from the uninterrupted
+    /// run on Yen tie order. `last_churn` is per-slot diagnostics and is
+    /// not captured.
+    pub fn snapshot(&self) -> RoutesSnapshot {
+        let mut tracked: Vec<TrackedSetSnapshot> = self
+            .maintainer
+            .tracked()
+            .map(|((a, b), set)| TrackedSetSnapshot {
+                endpoints: (a.0, b.0),
+                routes: set.to_vec(),
+            })
+            .collect();
+        tracked.sort_unstable_by_key(|t| t.endpoints);
+        let mut cache: Vec<CachedPairSnapshot> = self
+            .cache
+            .iter()
+            .map(|(&pair, routes)| CachedPairSnapshot {
+                pair,
+                routes: routes.clone(),
+            })
+            .collect();
+        cache.sort_unstable_by_key(|c| c.pair);
+        RoutesSnapshot {
+            version: ROUTES_SNAPSHOT_VERSION,
+            limits: self.limits,
+            dead: self.maintainer.dead_edges().collect(),
+            tracked,
+            cache,
+        }
+    }
+
+    /// Rebuilds a cache from a snapshot taken by
+    /// [`CandidateRoutes::snapshot`]. The restored cache serves the
+    /// exact routes the original held (bit-identical decisions); the
+    /// churn ledger starts empty.
+    pub fn restore(snapshot: &RoutesSnapshot) -> Result<Self, String> {
+        if snapshot.version != ROUTES_SNAPSHOT_VERSION {
+            return Err(format!(
+                "routes snapshot version {} (expected {ROUTES_SNAPSHOT_VERSION})",
+                snapshot.version
+            ));
+        }
+        let maintainer = CandidateMaintainer::from_parts(
+            snapshot.limits.max_routes,
+            snapshot.dead.iter().copied(),
+            snapshot.tracked.iter().map(|t| {
+                let (a, b) = t.endpoints;
+                ((NodeId(a), NodeId(b)), t.routes.clone())
+            }),
+        );
+        Ok(CandidateRoutes {
+            limits: snapshot.limits,
+            maintainer,
+            cache: snapshot
+                .cache
+                .iter()
+                .map(|c| (c.pair, c.routes.clone()))
+                .collect(),
+            last_churn: RouteChurn::default(),
+        })
+    }
+}
+
+/// Version tag of [`RoutesSnapshot`]; bump on layout changes.
+pub const ROUTES_SNAPSHOT_VERSION: u32 = 1;
+
+/// Serializable image of a [`CandidateRoutes`] (see
+/// [`CandidateRoutes::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutesSnapshot {
+    /// Layout version ([`ROUTES_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    limits: RouteLimits,
+    /// Dead edges, ascending.
+    dead: Vec<EdgeId>,
+    /// The maintainer's canonical per-pair sets, sorted by endpoints.
+    tracked: Vec<TrackedSetSnapshot>,
+    /// The serving cache (per requested orientation), sorted by pair.
+    cache: Vec<CachedPairSnapshot>,
+}
+
+/// One maintained canonical candidate set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TrackedSetSnapshot {
+    /// Canonical endpoints `(smaller node id, larger node id)`.
+    endpoints: (u32, u32),
+    routes: Vec<Path>,
+}
+
+/// One serving-cache entry (oriented for its requested pair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CachedPairSnapshot {
+    pair: SdPair,
+    routes: Vec<Path>,
 }
 
 #[cfg(test)]
@@ -420,6 +522,41 @@ mod tests {
         assert!(churn.changed_pairs.is_empty());
         assert_eq!(churn.recomputed, 0);
         assert_eq!(churn.skipped, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_after_churn() {
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let _ = cr.routes(&net, pair);
+        let _ = cr.routes(&net, SdPair::new(NodeId(1), NodeId(4)).unwrap());
+
+        // Kill 0-1 so the cache holds *repaired* (not cold) candidates.
+        let dead = net.graph().edge_between(NodeId(0), NodeId(1)).unwrap();
+        let mut channels: Vec<u32> = net.graph().edge_ids().map(|_| 5).collect();
+        channels[dead.index()] = 0;
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 5], channels);
+        let _ = cr.sync_dead_edges(&net, &snap);
+        let repaired = cr.routes(&net, pair).to_vec();
+
+        let image = cr.snapshot();
+        let mut restored = CandidateRoutes::restore(&image).unwrap();
+        // The restored cache serves the repaired routes verbatim —
+        // crucially *without* recomputing them (repair is only
+        // weight-equivalent to a cold recompute).
+        assert_eq!(restored.routes(&net, pair), repaired.as_slice());
+        assert_eq!(restored.dead_edges(), cr.dead_edges());
+        // Canonical ordering: re-snapshot is identical.
+        assert_eq!(restored.snapshot(), image);
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_version() {
+        let cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let mut image = cr.snapshot();
+        image.version += 1;
+        assert!(CandidateRoutes::restore(&image).is_err());
     }
 
     #[test]

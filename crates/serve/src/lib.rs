@@ -1,0 +1,48 @@
+//! OSCAR as a long-running controller daemon.
+//!
+//! The library side of the `qdn-served` / `qdn-serve-load` binaries:
+//!
+//! * [`frame`] — length-prefixed (u32 BE + JSON) frame codec with a
+//!   hard size bound and truncation-vs-close discrimination;
+//! * [`proto`] — the versioned request/response verbs and the
+//!   [`proto::ServeSnapshot`] warm-state image;
+//! * [`config`] — [`config::ServeConfig`]: seed, topology, dynamics,
+//!   OSCAR parameters, shard count;
+//! * [`shard`] — shard-per-core warm sessions: one blocking thread per
+//!   shard, each owning an `EngineState` and its slice of the budget,
+//!   keyed by canonical source node so region state never migrates;
+//! * [`daemon`] — the transport-free [`daemon::Daemon`] core plus the
+//!   blocking Unix/TCP socket server;
+//! * [`client`] — a blocking client for tests, tools, and the load
+//!   generator;
+//! * [`loadgen`] — workload replay with p50/p99 tick latency and
+//!   decisions/sec reporting.
+//!
+//! No async runtime anywhere: the daemon is a slot clock, a slot tick
+//! is a global barrier across shards, and blocking threads rendezvous
+//! over plain channels.
+//!
+//! ## Warm restarts
+//!
+//! `Snapshot` returns every byte of decision-relevant state (candidate
+//! caches with their churn-repaired route sets, session memos, λ
+//! stores, previous profiles, virtual queues, the slot counter);
+//! `Restore` installs it and fast-forwards the dynamics process by
+//! replay. A daemon restarted this way produces decisions bit-identical
+//! to the uninterrupted run — pinned by the
+//! `restored_session_matches_uninterrupted` proptest and the
+//! integration tests in `tests/daemon.rs`.
+
+pub mod client;
+pub mod config;
+pub mod daemon;
+pub mod frame;
+pub mod loadgen;
+pub mod proto;
+pub mod shard;
+
+pub use client::{Client, ClientError};
+pub use config::ServeConfig;
+pub use daemon::{serve, serve_connection, Daemon, Listener};
+pub use loadgen::{LoadConfig, LoadReport};
+pub use proto::{Request, Response, ServeSnapshot, PROTOCOL_VERSION};

@@ -21,6 +21,10 @@
 #   * churn_recovery/*                              (post-cut decide latency,
 #                                                    region-scoped vs
 #                                                    global-flush invalidation)
+#   * serve_throughput/*                            (controller daemon over a
+#                                                    Unix socket: 256-slot
+#                                                    load-gen replay, wire
+#                                                    protocol + shard fan-out)
 #
 # A row FAILS when `fresh_median_of_medians > baseline_median *
 # BENCH_GATE_FACTOR`. Getting *faster* never fails — refresh the
@@ -128,6 +132,7 @@ while read -r name base_med; do
             dynamic_vs_static_partition/* | \
             session_vs_fresh/* | \
             churn_recovery/* | \
+            serve_throughput/* | \
             accel_vs_subgradient/*) ;;
         *) continue ;;
     esac

@@ -48,6 +48,32 @@ if [[ "$full" -eq 1 ]]; then
     cargo build --release
     echo "==> cargo test -q"
     cargo test -q
+
+    # Serve smoke: boot the controller daemon on a Unix socket, replay
+    # 64 slots through the load generator, require a clean shutdown and
+    # a nonzero decision count in the report.
+    echo "==> serve smoke (qdn-served + qdn-serve-load, 64 slots)"
+    smoke_sock="$(mktemp -u /tmp/qdn-ci-smoke-XXXXXX.sock)"
+    ./target/release/qdn-served --socket "$smoke_sock" --seed 7 --shards 4 &
+    served_pid=$!
+    trap 'kill "$served_pid" 2>/dev/null || true; rm -f "$smoke_sock"' EXIT
+    for _ in $(seq 1 50); do
+        [[ -S "$smoke_sock" ]] && break
+        sleep 0.1
+    done
+    [[ -S "$smoke_sock" ]] || { echo "ci-gate: daemon never bound $smoke_sock" >&2; exit 1; }
+    smoke_report="$(./target/release/qdn-serve-load \
+        --socket "$smoke_sock" --slots 64 --workload uniform --shutdown)"
+    wait "$served_pid"
+    trap - EXIT
+    rm -f "$smoke_sock"
+    echo "$smoke_report"
+    decided="$(echo "$smoke_report" \
+        | sed -n 's/.*"served": \([0-9]*\).*/\1/p' | head -n1)"
+    if [[ -z "$decided" || "$decided" -eq 0 ]]; then
+        echo "ci-gate: serve smoke decided nothing" >&2
+        exit 1
+    fi
 fi
 
 if [[ "$bench" -eq 1 ]]; then
