@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_allocation");
     for method in methods {
         group.bench_function(method.label(), |b| {
-            b.iter(|| black_box(method.allocate(&instance)))
+            b.iter(|| black_box(method.allocate(&instance)));
         });
     }
     group.finish();

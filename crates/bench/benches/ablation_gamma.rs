@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
                 acc += acceptance_probability(i as f64, 500.0 - i as f64, 500.0);
             }
             black_box(acc)
-        })
+        });
     });
     group.finish();
 }

@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(selector.select(&ctx, &cands, &AllocationMethod::default(), &mut rng))
-            })
+            });
         });
     }
     group.finish();

@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
                 &cfg,
                 &mut rng,
             ))
-        })
+        });
     });
 
     // Kernel 2: event-queue schedule/pop churn at 1k pending events.
@@ -75,7 +75,7 @@ fn bench(c: &mut Criterion) {
                 sum = sum.wrapping_add(e.payload);
             }
             black_box(sum)
-        })
+        });
     });
 
     // Kernel 3: a short end-to-end online run (arrivals + routing +
@@ -97,7 +97,7 @@ fn bench(c: &mut Criterion) {
                 &mut env_rng,
                 &mut policy_rng,
             ))
-        })
+        });
     });
     group.finish();
 }

@@ -66,7 +66,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("extensions");
     group.bench_function("route_success_with_swap_5hops", |b| {
-        b.iter(|| black_box(net.route_success(black_box(&route), black_box(&allocation))))
+        b.iter(|| black_box(net.route_success(black_box(&route), black_box(&allocation))));
     });
     group.finish();
 }

@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
                 },
             };
             black_box(e.run())
-        })
+        });
     });
     group.finish();
 }

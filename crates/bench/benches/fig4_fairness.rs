@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
     let probs: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64 / 100.0).collect();
     let mut group = c.benchmark_group("fig4");
     group.bench_function("histogram_10k", |b| {
-        b.iter(|| black_box(Histogram::new(&probs, 0.0, 1.0, 10)))
+        b.iter(|| black_box(Histogram::new(&probs, 0.0, 1.0, 10)));
     });
     group.finish();
 }

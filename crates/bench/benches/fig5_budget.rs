@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                 },
             };
             black_box(e.run())
-        })
+        });
     });
     group.finish();
 }

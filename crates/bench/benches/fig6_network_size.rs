@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig6");
     for nodes in [30, Scale::Large.nodes()] {
-        group.bench_function(&format!("build_{nodes}node_network"), |b| {
+        group.bench_function(format!("build_{nodes}node_network"), |b| {
             b.iter(|| {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(7);
                 black_box(
@@ -37,9 +37,9 @@ fn bench(c: &mut Criterion) {
                         .build(&mut rng)
                         .unwrap(),
                 )
-            })
+            });
         });
-        group.bench_function(&format!("candidate_routes_{nodes}node"), |b| {
+        group.bench_function(format!("candidate_routes_{nodes}node"), |b| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(7);
             let net = NetworkConfig::paper_default()
                 .with_nodes(nodes)
@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
                 let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
                 let pair = random_sd_pair(&mut rng, &net);
                 black_box(cr.routes(&net, pair).len())
-            })
+            });
         });
     }
     group.finish();

@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
             let selector = RouteSelector::default();
             b.iter(|| {
                 black_box(selector.select(&ctx, &cands, &AllocationMethod::default(), &mut rng))
-            })
+            });
         });
     }
     group.finish();

@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
                 black_box(q.update(i % 40));
             }
             black_box(q.value())
-        })
+        });
     });
     group.finish();
 }

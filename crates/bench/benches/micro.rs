@@ -45,21 +45,21 @@ fn bench(c: &mut Criterion) {
                 4,
                 &hop_weight,
             ))
-        })
+        });
     });
 
     let inst = instance(12);
     group.bench_function("dual_solve_12vars", |b| {
-        b.iter(|| black_box(solve_relaxed(&inst, &RelaxedOptions::default()).unwrap()))
+        b.iter(|| black_box(solve_relaxed(&inst, &RelaxedOptions::default()).unwrap()));
     });
 
     group.bench_function("relax_round_12vars", |b| {
         let relaxed = solve_relaxed(&inst, &RelaxedOptions::default()).unwrap();
-        b.iter(|| black_box(round_down_and_fill(&inst, &relaxed.x).unwrap()))
+        b.iter(|| black_box(round_down_and_fill(&inst, &relaxed.x).unwrap()));
     });
 
     group.bench_function("greedy_allocate_12vars", |b| {
-        b.iter(|| black_box(greedy_allocate(&inst).unwrap()))
+        b.iter(|| black_box(greedy_allocate(&inst).unwrap()));
     });
 
     let link = LinkModel::paper_default();
@@ -70,7 +70,7 @@ fn bench(c: &mut Criterion) {
                 [(link, 3), (link, 3), (link, 3)],
                 &SwapModel::perfect(),
             ))
-        })
+        });
     });
 
     group.finish();

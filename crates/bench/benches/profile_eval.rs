@@ -114,7 +114,7 @@ fn bench_scale(
         let mut moved = base.clone();
         moved[0] = alt;
 
-        group.bench_function(&format!("full_rebuild_move/{n_pairs}_pairs"), |b| {
+        group.bench_function(format!("full_rebuild_move/{n_pairs}_pairs"), |b| {
             let mut flip = false;
             b.iter(|| {
                 flip = !flip;
@@ -125,30 +125,30 @@ fn bench_scale(
                     .map(|(c, &i)| (c.pair, &c.routes[i]))
                     .collect();
                 black_box(ctx.evaluate_objective(&profile, &method))
-            })
+            });
         });
 
         // Evaluator state lives *outside* the sample closure so the
         // steady-state (post-warm-up) cost is what gets measured.
         let mut eval = ProfileEvaluator::new(&ctx, &cands, &method, EvalOptions::default());
         let mut flip = false;
-        group.bench_function(&format!("incremental_move/{n_pairs}_pairs"), |b| {
+        group.bench_function(format!("incremental_move/{n_pairs}_pairs"), |b| {
             b.iter(|| {
                 flip = !flip;
                 let indices = if flip { &moved } else { &base };
                 black_box(eval.evaluate_objective(indices))
-            })
+            });
         });
 
         // Cold cost: fresh evaluator + one all-miss evaluation per
         // iteration. (A persistent "fresh walk" would saturate the small
         // per-component route spaces within a sample batch and silently
         // measure memo hits instead of misses.)
-        group.bench_function(&format!("incremental_cold_eval/{n_pairs}_pairs"), |b| {
+        group.bench_function(format!("incremental_cold_eval/{n_pairs}_pairs"), |b| {
             b.iter(|| {
                 let mut eval = ProfileEvaluator::new(&ctx, &cands, &method, EvalOptions::default());
                 black_box(eval.evaluate_objective(&base))
-            })
+            });
         });
     }
     group.finish();
@@ -169,13 +169,13 @@ fn bench_gibbs_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("incremental/10_pairs_48_iters", |b| {
         let mut rng = StdRng::seed_from_u64(7);
-        b.iter(|| black_box(gibbs::sample(&ctx, &cands, &method, &config, &mut rng)))
+        b.iter(|| black_box(gibbs::sample(&ctx, &cands, &method, &config, &mut rng)));
     });
     group.bench_function("full_rebuild_replica/10_pairs_48_iters", |b| {
         // The seed's evaluation strategy, reproduced: every proposal
         // evaluated by rebuilding and re-solving the joint instance.
         let mut rng = StdRng::seed_from_u64(7);
-        b.iter(|| black_box(full_rebuild_gibbs(&ctx, &cands, &method, &config, &mut rng)))
+        b.iter(|| black_box(full_rebuild_gibbs(&ctx, &cands, &method, &config, &mut rng)));
     });
     group.finish();
 }
@@ -294,13 +294,13 @@ fn bench_dual_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("dual_solver_paper20");
     group.sample_size(15);
     group.bench_function("cold_solve/10_pairs", |b| {
-        b.iter(|| black_box(solve_relaxed(&inst_base, &opts).unwrap()))
+        b.iter(|| black_box(solve_relaxed(&inst_base, &opts).unwrap()));
     });
     group.bench_function("warm_solve_neighbor/10_pairs", |b| {
-        b.iter(|| black_box(solve_relaxed_warm(&inst_base, &opts, Some(&neighbor_seed)).unwrap()))
+        b.iter(|| black_box(solve_relaxed_warm(&inst_base, &opts, Some(&neighbor_seed)).unwrap()));
     });
     group.bench_function("warm_solve_self/10_pairs", |b| {
-        b.iter(|| black_box(solve_relaxed_warm(&inst_base, &opts, Some(&self_seed)).unwrap()))
+        b.iter(|| black_box(solve_relaxed_warm(&inst_base, &opts, Some(&self_seed)).unwrap()));
     });
     group.finish();
 }
@@ -334,8 +334,8 @@ fn bench_accel_vs_subgradient(c: &mut Criterion) {
             method,
             ..RelaxedOptions::default()
         };
-        group.bench_function(&format!("cold_solve_{label}/10_pairs"), |b| {
-            b.iter(|| black_box(solve_relaxed(&inst, &opts).unwrap()))
+        group.bench_function(format!("cold_solve_{label}/10_pairs"), |b| {
+            b.iter(|| black_box(solve_relaxed(&inst, &opts).unwrap()));
         });
     }
     group.finish();
@@ -371,12 +371,12 @@ fn bench_warm_vs_cold_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("warm_vs_cold_paper20");
     group.sample_size(15);
     for (label, method) in [("cold", &cold_method), ("warm", &warm_method)] {
-        group.bench_function(&format!("{label}_move_pair/10_pairs"), |b| {
+        group.bench_function(format!("{label}_move_pair/10_pairs"), |b| {
             b.iter(|| {
                 let mut eval = ProfileEvaluator::new(&ctx, &cands, method, EvalOptions::default());
                 black_box(eval.evaluate_objective(&base));
                 black_box(eval.evaluate_objective(&moved))
-            })
+            });
         });
     }
     group.finish();
@@ -490,7 +490,7 @@ fn bench_dynamic_vs_static(c: &mut Criterion) {
                 let probe = ProfileEvaluator::new(&ctx, &cands, &method, options);
                 assert_eq!(probe.component_count(), 1, "ring must chain statically");
             }
-            group.bench_function(&format!("cold_move_{label}/{scenario}"), |b| {
+            group.bench_function(format!("cold_move_{label}/{scenario}"), |b| {
                 let mut eval = ProfileEvaluator::new(&ctx, &cands, &method, options);
                 let mut indices: Vec<usize> = vec![0; cands.len()];
                 eval.evaluate_objective(&indices);
@@ -499,7 +499,7 @@ fn bench_dynamic_vs_static(c: &mut Criterion) {
                     let i = walk_rng.random_range(0..indices.len());
                     indices[i] = walk_rng.random_range(0..cands[i].routes.len());
                     black_box(eval.evaluate_objective_move(&indices, i))
-                })
+                });
             });
         }
     }
@@ -554,8 +554,8 @@ fn bench_session_vs_fresh(c: &mut Criterion) {
             ("cold", &cold_selector, &cold_alloc, false),
             ("session", &session_selector, &session_alloc, true),
         ] {
-            let selector = qdn_core::route_selection::RouteSelector::Gibbs(gibbs_cfg.clone());
-            group.bench_function(&format!("oscar200_{mode}/{wl_label}"), |b| {
+            let selector = qdn_core::route_selection::RouteSelector::Gibbs(*gibbs_cfg);
+            group.bench_function(format!("oscar200_{mode}/{wl_label}"), |b| {
                 b.iter(|| {
                     let mut workload: Box<dyn Workload> = if persistent {
                         Box::new(PersistentWorkload::paper_scale())
@@ -594,7 +594,7 @@ fn bench_session_vs_fresh(c: &mut Criterion) {
                         queue.update(cost);
                     }
                     black_box(total)
-                })
+                });
             });
         }
     }
@@ -651,12 +651,12 @@ fn bench_serve_throughput(c: &mut Criterion) {
             seed: 11,
             workload,
         };
-        group.bench_function(&format!("unix_socket_256_slots/{label}"), |b| {
+        group.bench_function(format!("unix_socket_256_slots/{label}"), |b| {
             b.iter(|| {
                 client.reset().unwrap();
                 let report = run(&mut client, &net, &load).unwrap();
                 black_box(report.served)
-            })
+            });
         });
     }
     group.finish();
@@ -756,7 +756,7 @@ fn bench_churn_recovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("churn_recovery");
     group.sample_size(10);
     for (label, global) in [("region_scoped", false), ("global_flush", true)] {
-        group.bench_function(&format!("{label}/16_corridors_32_slots"), |b| {
+        group.bench_function(format!("{label}/16_corridors_32_slots"), |b| {
             b.iter(|| {
                 let mut state = EngineState::new(RouteLimits {
                     max_routes: 4,
@@ -792,7 +792,7 @@ fn bench_churn_recovery(c: &mut Criterion) {
                     total += decision.total_cost();
                 }
                 black_box(total)
-            })
+            });
         });
     }
     group.finish();
@@ -834,7 +834,7 @@ fn bench_diamond_field(c: &mut Criterion, count: usize) {
     group.sample_size(15);
 
     let base: Vec<usize> = vec![0; count];
-    group.bench_function(&format!("full_rebuild_walk/{count}_pairs"), |b| {
+    group.bench_function(format!("full_rebuild_walk/{count}_pairs"), |b| {
         let mut indices = base.clone();
         let mut walk_rng = StdRng::seed_from_u64(17);
         b.iter(|| {
@@ -846,19 +846,19 @@ fn bench_diamond_field(c: &mut Criterion, count: usize) {
                 .map(|(c, &i)| (c.pair, &c.routes[i]))
                 .collect();
             black_box(ctx.evaluate_objective(&profile, &method))
-        })
+        });
     });
 
     let mut eval = ProfileEvaluator::new(&ctx, &cands, &method, EvalOptions::default());
     assert_eq!(eval.component_count(), count, "diamonds must decouple");
     let mut indices = base.clone();
     let mut walk_rng = StdRng::seed_from_u64(17);
-    group.bench_function(&format!("incremental_walk/{count}_pairs"), |b| {
+    group.bench_function(format!("incremental_walk/{count}_pairs"), |b| {
         b.iter(|| {
             let i = walk_rng.random_range(0..indices.len());
             indices[i] = walk_rng.random_range(0..cands[i].routes.len());
             black_box(eval.evaluate_objective(&indices))
-        })
+        });
     });
     group.finish();
 }

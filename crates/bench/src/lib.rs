@@ -27,6 +27,7 @@
 //! | Online-arrival rate sweep (paced vs unpaced) | [`des::online_rate_sweep`] | `fig_des` | `des_validation` |
 //! | Budget-violation comparison | [`des::budget_violation`] | `fig_des` | `des_validation` |
 
+#![forbid(unsafe_code)]
 pub mod des;
 pub mod figures;
 pub mod report;

@@ -8,7 +8,7 @@ use crate::figures::{DistributionRow, Fig3, Fig4, SweepPoint};
 /// Renders the Fig. 3 series as CSV (`t, <policy>_utility,
 /// <policy>_success, <policy>_usage, …`).
 pub fn fig3_csv(fig: &Fig3) -> String {
-    let horizon = fig.series.first().map(|s| s.avg_utility.len()).unwrap_or(0);
+    let horizon = fig.series.first().map_or(0, |s| s.avg_utility.len());
     let mut header: Vec<String> = vec!["t".into()];
     for s in &fig.series {
         header.push(format!("{}_avg_utility", s.policy));

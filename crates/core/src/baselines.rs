@@ -277,8 +277,7 @@ impl OraclePolicy {
                         routes
                             .routes(network, p)
                             .first()
-                            .map(|r| r.hops() as u64)
-                            .unwrap_or(0)
+                            .map_or(0, |r| r.hops() as u64)
                     })
                     .sum()
             })

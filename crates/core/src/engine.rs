@@ -39,12 +39,10 @@
 //! assert_eq!(decision.request_count(), requests.len());
 //! ```
 //!
-//! The pipeline itself is unchanged from the pre-facade
-//! `decide_with_selector` (which remains as a deprecated shim for one
-//! release): reconcile the candidate cache with the slot's link state,
-//! apply the optional fidelity constraint, select routes through the
-//! slot-spanning [`SelectorSession`], and degrade gracefully (drop the
-//! most expensive pair) when the slot cannot serve everything.
+//! The pipeline: reconcile the candidate cache with the slot's link
+//! state, apply the optional fidelity constraint, select routes through
+//! the slot-spanning [`SelectorSession`], and degrade gracefully (drop
+//! the most expensive pair) when the slot cannot serve everything.
 
 use std::collections::HashMap;
 
@@ -303,16 +301,15 @@ impl FidelityCache {
 /// Decides one slot: routes and qubit allocations for `req.requests`
 /// under `req.ctx`, using and updating the slot-spanning `state`.
 ///
-/// This is the consolidated facade over the former nine-argument
-/// `decide_with_selector`; see the module docs for the pipeline.
+/// This is the consolidated facade over [`decide_parts`]; see the
+/// module docs for the pipeline.
 pub fn decide(state: &mut EngineState, req: SlotDecisionRequest<'_>) -> Decision {
     let (routes, session, fidelity) = state.parts();
     decide_parts(routes, session, fidelity, req)
 }
 
-/// The pipeline over explicitly split state halves — shared by
-/// [`decide`] and the deprecated `decide_with_selector` shim (whose
-/// callers hold the route cache and session as separate fields).
+/// The pipeline over explicitly split state halves; [`decide`] is the
+/// one-struct facade over this.
 pub(crate) fn decide_parts(
     routes_cache: &mut CandidateRoutes,
     session: &mut SelectorSession,
@@ -434,15 +431,16 @@ mod tests {
     }
 
     #[test]
-    fn facade_matches_deprecated_shim() {
+    fn facade_matches_split_parts_pipeline() {
         let (net, mut rng) = setup();
         let snap = CapacitySnapshot::full(&net);
         let selector = RouteSelector::default();
         let alloc = AllocationMethod::default();
 
         let mut state = EngineState::new(RouteLimits::paper_default());
-        let mut old_routes = CandidateRoutes::new(RouteLimits::paper_default());
-        let mut old_session = SelectorSession::new();
+        let mut split_routes = CandidateRoutes::new(RouteLimits::paper_default());
+        let mut split_session = SelectorSession::new();
+        let mut split_fidelity = FidelityCache::default();
 
         for t in 0..5u64 {
             let reqs = requests(&net, &mut rng, t);
@@ -461,19 +459,21 @@ mod tests {
                     rng: &mut rng_a,
                 },
             );
-            #[allow(deprecated)]
-            let via_shim = crate::oscar::decide_with_selector(
-                &net,
-                &reqs,
-                &mut old_routes,
-                &mut old_session,
-                &ctx,
-                &selector,
-                &alloc,
-                None,
-                &mut rng_b,
+            let via_parts = decide_parts(
+                &mut split_routes,
+                &mut split_session,
+                &mut split_fidelity,
+                SlotDecisionRequest {
+                    network: &net,
+                    requests: &reqs,
+                    ctx: &ctx,
+                    selector: &selector,
+                    allocation: &alloc,
+                    fidelity_target: None,
+                    rng: &mut rng_b,
+                },
             );
-            assert_eq!(via_facade, via_shim, "slot {t}");
+            assert_eq!(via_facade, via_parts, "slot {t}");
         }
     }
 

@@ -50,6 +50,7 @@
 //! assert!(decision.assignments().len() <= slot.requests().len());
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod allocation;
 pub mod baselines;
 pub mod engine;

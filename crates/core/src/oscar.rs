@@ -6,8 +6,8 @@
 //! virtual-queue price `q_t`; then update the queue with the realized
 //! cost (Eq. 7). No future statistics are used anywhere.
 
-use qdn_net::routes::{CandidateRoutes, RouteLimits};
-use qdn_net::{QdnNetwork, SdPair};
+use qdn_net::routes::RouteLimits;
+use qdn_net::QdnNetwork;
 use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationMethod;
@@ -183,48 +183,6 @@ impl RoutingPolicy for OscarPolicy {
             churn: Some(self.state.churn_diagnostics()),
         }
     }
-}
-
-/// Deprecated nine-argument entry point to the shared decision
-/// pipeline, kept as a thin shim for one release.
-///
-/// The pipeline itself now lives in [`crate::engine`]: hold the
-/// slot-spanning state as one [`EngineState`] and call
-/// [`engine::decide`] with a [`SlotDecisionRequest`]. Callers that still
-/// hold the route cache and session as separate fields get identical
-/// behavior through this shim, minus the fidelity-filter cache (a fresh
-/// cache is built per call, matching the old clone-per-slot cost).
-#[deprecated(
-    since = "0.7.0",
-    note = "use qdn_core::engine::decide(&mut EngineState, SlotDecisionRequest) instead"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn decide_with_selector(
-    network: &QdnNetwork,
-    requests: &[SdPair],
-    routes_cache: &mut CandidateRoutes,
-    session: &mut SelectorSession,
-    ctx: &PerSlotContext<'_>,
-    selector: &RouteSelector,
-    allocation: &AllocationMethod,
-    fidelity_target: Option<f64>,
-    rng: &mut dyn rand::Rng,
-) -> Decision {
-    let mut fidelity = engine::FidelityCache::default();
-    engine::decide_parts(
-        routes_cache,
-        session,
-        &mut fidelity,
-        SlotDecisionRequest {
-            network,
-            requests,
-            ctx,
-            selector,
-            allocation,
-            fidelity_target,
-            rng,
-        },
-    )
 }
 
 #[cfg(test)]

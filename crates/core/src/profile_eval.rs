@@ -910,6 +910,7 @@ impl SelectorSession {
 
         let lends = self.lends;
         self.regions
+            // qdn-lint: allow(unordered-iter, reason="TTL prune; the predicate is a pure per-entry function, so visit order cannot affect which entries survive")
             .retain(|_, s| lends.saturating_sub(s.last_used) <= REGION_TTL);
         if self.regions.len() > REGION_CAP {
             self.regions.clear();
@@ -942,6 +943,7 @@ impl SelectorSession {
     pub fn snapshot(&self) -> SessionSnapshot {
         fn memo_entries(memo: &Memo) -> Vec<MemoEntrySnapshot> {
             let mut out: Vec<MemoEntrySnapshot> = memo
+                // qdn-lint: allow(unordered-iter, reason="snapshot building; entries are sorted by key immediately after collection")
                 .iter()
                 .map(|(k, e)| MemoEntrySnapshot {
                     key: k.to_vec(),
@@ -954,6 +956,7 @@ impl SelectorSession {
         }
         let mut regions: Vec<RegionSnapshot> = self
             .regions
+            // qdn-lint: allow(unordered-iter, reason="snapshot building; regions are sorted by key immediately after collection")
             .iter()
             .map(|(key, st)| RegionSnapshot {
                 key: key.to_vec(),
@@ -970,6 +973,7 @@ impl SelectorSession {
         regions.sort_unstable_by(|a, b| a.key.cmp(&b.key));
         let mut lambda_exact: Vec<LambdaEntrySnapshot> = self
             .lambda_exact
+            // qdn-lint: allow(unordered-iter, reason="snapshot building; entries are sorted by key immediately after collection")
             .iter()
             .map(|(k, l)| LambdaEntrySnapshot {
                 key: k.to_vec(),
@@ -979,6 +983,7 @@ impl SelectorSession {
         lambda_exact.sort_unstable_by(|a, b| a.key.cmp(&b.key));
         let mut prev_selected: Vec<PrevSelectedSnapshot> = self
             .prev_selected
+            // qdn-lint: allow(unordered-iter, reason="snapshot building; entries are sorted by pair immediately after collection")
             .iter()
             .map(|(&pair, r)| PrevSelectedSnapshot {
                 pair,

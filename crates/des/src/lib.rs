@@ -46,6 +46,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod arrivals;
 pub mod exec;
 pub mod ledger;

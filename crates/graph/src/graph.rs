@@ -348,8 +348,7 @@ impl Graph {
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
         self.adjacency
             .get(node.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[][..], Vec::as_slice)
             .iter()
             .copied()
     }

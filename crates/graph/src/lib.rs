@@ -38,6 +38,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod connectivity;
 pub mod dijkstra;
 pub mod generators;

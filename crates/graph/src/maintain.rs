@@ -20,7 +20,7 @@
 //! (weight-for-weight identical sets; see the
 //! `incremental_ksp_matches_recompute` proptest in `tests/proptests.rs`).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::dijkstra::{distances_from_filtered, SearchFilter};
 use crate::graph::{EdgeId, Graph, NodeId};
@@ -82,7 +82,9 @@ impl RepairReport {
 pub struct CandidateMaintainer {
     k: usize,
     dead: BTreeSet<EdgeId>,
-    sets: HashMap<(NodeId, NodeId), Vec<Path>>,
+    // BTreeMap, not HashMap: fail/restore walk every tracked pair, and
+    // repair order must not depend on hasher state (qdn-lint D1).
+    sets: BTreeMap<(NodeId, NodeId), Vec<Path>>,
 }
 
 impl CandidateMaintainer {
@@ -91,7 +93,7 @@ impl CandidateMaintainer {
         CandidateMaintainer {
             k,
             dead: BTreeSet::new(),
-            sets: HashMap::new(),
+            sets: BTreeMap::new(),
         }
     }
 
@@ -151,7 +153,7 @@ impl CandidateMaintainer {
             return report; // already dead
         }
         let filter = self.filter();
-        for (&key, set) in self.sets.iter_mut() {
+        for (&key, set) in &mut self.sets {
             if set.iter().any(|p| p.contains_edge(edge)) {
                 let fresh = yen_k_shortest_filtered(graph, key.0, key.1, self.k, weight, &filter);
                 report.recomputed.push(key);
@@ -188,7 +190,7 @@ impl CandidateMaintainer {
         let w = weight(edge);
         let du = distances_from_filtered(graph, u, weight, &filter);
         let dv = distances_from_filtered(graph, v, weight, &filter);
-        for (&key, set) in self.sets.iter_mut() {
+        for (&key, set) in &mut self.sets {
             let (s, d) = key;
             let bound = (du[s.index()] + w + dv[d.index()]).min(dv[s.index()] + w + du[d.index()]);
             let needs = if set.len() < self.k {
@@ -196,10 +198,7 @@ impl CandidateMaintainer {
                 // only a finite bound (edge connects s to d) can add one.
                 bound.is_finite()
             } else {
-                let worst = set
-                    .last()
-                    .map(|p| p.weight(weight))
-                    .unwrap_or(f64::INFINITY);
+                let worst = set.last().map_or(f64::INFINITY, |p| p.weight(weight));
                 bound <= worst
             };
             if needs {
@@ -218,8 +217,8 @@ impl CandidateMaintainer {
         report
     }
 
-    /// Every tracked pair with its cached candidate set, in arbitrary
-    /// (hash-map) order — snapshot callers sort by key themselves.
+    /// Every tracked pair with its cached candidate set, ascending by
+    /// canonical key.
     pub fn tracked(&self) -> impl Iterator<Item = ((NodeId, NodeId), &[Path])> + '_ {
         self.sets.iter().map(|(&key, set)| (key, set.as_slice()))
     }

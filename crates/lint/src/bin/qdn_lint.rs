@@ -1,0 +1,85 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! qdn-lint [--root DIR] [--report FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/config/io error. The JSON
+//! report (when requested) is written for clean and dirty runs alike —
+//! CI archives it either way. A relative `--report` path resolves
+//! against the workspace root, mirroring the criterion shim's
+//! `CRITERION_JSON` convention.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(PathBuf::from(v)),
+                None => return usage("--report needs a file path"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: qdn-lint [--root DIR] [--report FILE] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let root = root
+        .or_else(|| std::env::var_os("CARGO_WORKSPACE_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let report = match qdn_lint::lint_workspace_with_manifest(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("qdn-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = report_path {
+        let path = if path.is_absolute() {
+            path
+        } else {
+            root.join(path)
+        };
+        if let Err(e) = write_report(&path, &report) {
+            eprintln!("qdn-lint: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if !quiet || !report.is_clean() {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_report(path: &Path, report: &qdn_lint::LintReport) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    let json = serde_json::to_string_pretty(report).map_err(|e| format!("encode report: {e:?}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("qdn-lint: {message}\nusage: qdn-lint [--root DIR] [--report FILE] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,289 @@
+//! `lint.toml` — rule scoping and allowlists.
+//!
+//! The parser accepts the minimal TOML subset the schema needs (same
+//! vendored-shim culture as the rest of the workspace — no crates.io):
+//! `[section]` / `[section.sub]` headers, `key = "string"`,
+//! `key = true|false`, and `key = ["array", "of", "strings"]` (single
+//! line). `#` comments. Anything else is a loud parse error — a config
+//! the checker half-understands must not silently weaken the gate.
+//!
+//! Schema (see `crates/lint/README.md` for the full story):
+//!
+//! ```toml
+//! [workspace]
+//! skip = ["crates/compat", "target"]          # never scanned
+//! exempt_dirs = ["tests", "benches"]          # path segments exempt
+//!
+//! [rule.unordered-iter]
+//! crates = ["core", "solve"]                  # scope (omit = all)
+//! allow = ["crates/core/src/generated.rs"]    # path-prefix allowlist
+//! enabled = true                              # default
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Per-rule scoping from `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    /// Crate names (the directory under `crates/`, or `"qdn"` for the
+    /// root facade crate) the rule applies to. `None` = every crate.
+    pub crates: Option<Vec<String>>,
+    /// Path prefixes (workspace-relative, `/`-separated) where the rule
+    /// is allowed without suppression comments.
+    pub allow: Vec<String>,
+    /// Whether the rule runs at all.
+    pub enabled: bool,
+}
+
+impl RuleScope {
+    fn enabled_everywhere() -> RuleScope {
+        RuleScope {
+            crates: None,
+            allow: Vec::new(),
+            enabled: true,
+        }
+    }
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace-relative path prefixes never scanned.
+    pub skip: Vec<String>,
+    /// Directory names whose subtrees are exempt from every rule
+    /// (tests, benches, examples, fixtures by default).
+    pub exempt_dirs: Vec<String>,
+    /// Rule name → scope. Rules absent from the map run everywhere.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl Default for Config {
+    /// Everything enabled everywhere; only the universal exemptions.
+    /// This is what fixture tests use — the workspace run parses
+    /// `lint.toml` instead.
+    fn default() -> Config {
+        Config {
+            skip: Vec::new(),
+            exempt_dirs: vec![
+                "tests".into(),
+                "benches".into(),
+                "examples".into(),
+                "fixtures".into(),
+            ],
+            rules: BTreeMap::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses the `lint.toml` text. Errors carry the offending line.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section: Vec<String> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = header.split('.').map(|s| s.trim().to_string()).collect();
+                if section.iter().any(String::is_empty) {
+                    return Err(format!("lint.toml:{lineno}: empty section name"));
+                }
+                if section[0] == "rule" && section.len() == 2 {
+                    config
+                        .rules
+                        .entry(section[1].clone())
+                        .or_insert_with(RuleScope::enabled_everywhere);
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+            };
+            let key = key.trim();
+            let value =
+                parse_value(value.trim()).map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+            match section.first().map(String::as_str) {
+                Some("workspace") => match (key, value) {
+                    ("skip", Value::Array(v)) => config.skip = v,
+                    ("exempt_dirs", Value::Array(v)) => config.exempt_dirs = v,
+                    _ => {
+                        return Err(format!(
+                            "lint.toml:{lineno}: unknown [workspace] key `{key}` (or wrong type)"
+                        ));
+                    }
+                },
+                Some("rule") if section.len() == 2 => {
+                    let scope = config
+                        .rules
+                        .entry(section[1].clone())
+                        .or_insert_with(RuleScope::enabled_everywhere);
+                    match (key, value) {
+                        ("crates", Value::Array(v)) => scope.crates = Some(v),
+                        ("allow", Value::Array(v)) => scope.allow = v,
+                        ("enabled", Value::Bool(b)) => scope.enabled = b,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown rule key `{key}` (or wrong type)"
+                            ));
+                        }
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "lint.toml:{lineno}: key outside a [workspace] or [rule.*] section"
+                    ));
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// The crate a workspace-relative path belongs to: the directory
+    /// under `crates/`, or `qdn` for the root facade (`src/...`).
+    pub fn crate_of(path: &str) -> &str {
+        if let Some(rest) = path.strip_prefix("crates/") {
+            rest.split('/').next().unwrap_or("")
+        } else {
+            "qdn"
+        }
+    }
+
+    /// Whether `rule` applies to `path` (workspace-relative). Exempt
+    /// directories are handled by the walker; this resolves crate scope
+    /// and the per-rule allowlist.
+    pub fn rule_applies(&self, rule: &str, path: &str) -> bool {
+        let Some(scope) = self.rules.get(rule) else {
+            return true; // absent = enabled everywhere
+        };
+        if !scope.enabled {
+            return false;
+        }
+        if let Some(crates) = &scope.crates {
+            if !crates.iter().any(|c| c == Self::crate_of(path)) {
+                return false;
+            }
+        }
+        !scope.allow.iter().any(|prefix| path.starts_with(prefix))
+    }
+
+    /// Whether any path segment is an exempt directory name.
+    pub fn path_exempt(&self, path: &str) -> bool {
+        path.split('/')
+            .any(|seg| self.exempt_dirs.iter().any(|d| d == seg))
+    }
+}
+
+enum Value {
+    Bool(bool),
+    Array(Vec<String>),
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` outside quotes starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let mut items = Vec::new();
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Value::Array(items));
+        }
+        for item in inner.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_string(item)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    Err(format!(
+        "unsupported value `{text}` (expected true/false or [\"array\"])"
+    ))
+}
+
+fn parse_string(text: &str) -> Result<String, String> {
+    text.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scopes_and_allowlists() {
+        let toml = r#"
+            # comment
+            [workspace]
+            skip = ["crates/compat", "target"]
+
+            [rule.unordered-iter]
+            crates = ["core", "solve"]
+            allow = ["crates/core/src/generated.rs"]
+
+            [rule.float-eq]
+            crates = ["solve"]
+
+            [rule.nondet-time] # enabled everywhere, one allow
+            allow = ["crates/serve/src/loadgen.rs"]
+        "#;
+        let c = Config::parse(toml).unwrap();
+        assert_eq!(c.skip, ["crates/compat", "target"]);
+        assert!(c.rule_applies("unordered-iter", "crates/core/src/engine.rs"));
+        assert!(!c.rule_applies("unordered-iter", "crates/sim/src/engine.rs"));
+        assert!(!c.rule_applies("unordered-iter", "crates/core/src/generated.rs"));
+        assert!(!c.rule_applies("float-eq", "crates/core/src/engine.rs"));
+        assert!(c.rule_applies("nondet-time", "crates/core/src/engine.rs"));
+        assert!(!c.rule_applies("nondet-time", "crates/serve/src/loadgen.rs"));
+        // Absent rule: everywhere.
+        assert!(c.rule_applies("serde-default", "crates/sim/src/engine.rs"));
+    }
+
+    #[test]
+    fn disabled_rule_applies_nowhere() {
+        let c = Config::parse("[rule.no-panic]\nenabled = false\n").unwrap();
+        assert!(!c.rule_applies("no-panic", "crates/serve/src/shard.rs"));
+    }
+
+    #[test]
+    fn crate_of_resolves_root_and_members() {
+        assert_eq!(Config::crate_of("crates/core/src/engine.rs"), "core");
+        assert_eq!(Config::crate_of("src/bin/qdn_cli.rs"), "qdn");
+    }
+
+    #[test]
+    fn exempt_dirs_cover_tests_and_fixtures() {
+        let c = Config::default();
+        assert!(c.path_exempt("crates/core/tests/proptests.rs"));
+        assert!(c.path_exempt("crates/lint/tests/fixtures/d1/pos.rs"));
+        assert!(!c.path_exempt("crates/core/src/engine.rs"));
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_fail_loudly() {
+        assert!(Config::parse("[workspace]\nskip = true\n").is_err());
+        assert!(Config::parse("orphan = \"x\"\n").is_err());
+        assert!(Config::parse("[rule.x]\ncrates = [unquoted]\n").is_err());
+    }
+}

@@ -1,0 +1,560 @@
+//! A hand-rolled Rust lexer — the same vendored-shim culture as the
+//! serde-derive proc macro: no `syn`, no crates.io.
+//!
+//! The lexer produces a flat token stream (identifiers, lifetimes,
+//! numbers, strings, chars, punctuation) with 1-based line numbers, and
+//! separately collects `// qdn-lint: allow(...)` suppression comments.
+//! Comments and string/char literal *contents* never reach the rule
+//! passes, so a banned pattern quoted in a doc comment or an error
+//! message cannot trip a rule.
+//!
+//! This is a lexer plus light pattern matching, not a parser: the rule
+//! passes in [`crate::rules`] work on token windows. The known
+//! heuristics (and their limits) are documented in the crate README.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`let`, `for`, `HashMap`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// An integer literal.
+    Int,
+    /// A floating-point literal (`0.0`, `1e-12`, `2.5f64`).
+    Float,
+    /// A string or byte-string literal (contents dropped).
+    Str,
+    /// A character or byte literal (contents dropped).
+    Char,
+    /// Punctuation; multi-character operators that matter to the rule
+    /// passes (`::`, `==`, `!=`, `->`, `=>`, ...) arrive merged.
+    Punct,
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token text. For `Str`/`Char` this is a placeholder — literal
+    /// contents are deliberately not retained.
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// One `// qdn-lint: allow(rule, reason="...")` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line the comment sits on. The suppression covers this
+    /// line and the next source line.
+    pub line: u32,
+    /// The rule name inside `allow(...)`, if the comment parsed.
+    pub rule: Option<String>,
+    /// The `reason="..."` argument, if present and non-empty.
+    pub reason: Option<String>,
+    /// Whether the directive parsed as `allow(<rule>, ...)` at all.
+    pub well_formed: bool,
+}
+
+/// The output of lexing one file.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Multi-character operators merged into single tokens, longest first.
+const MERGED_OPS: &[&str] = &[
+    "..=", "::", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "..", "+=", "-=", "*=", "/=",
+    "%=", "^=",
+];
+
+/// Lexes `source`, collecting tokens and suppression comments.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut suppressions = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &source[start..i];
+                if let Some(s) = parse_suppression(comment, line) {
+                    suppressions.push(s);
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment, nesting respected.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let (consumed, newlines) = skip_string_like(bytes, i);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            b'"' => {
+                let (consumed, newlines) = skip_plain_string(bytes, i);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            b'\'' => {
+                let (consumed, kind, text) = lex_quote(bytes, i, source);
+                tokens.push(Token { kind, text, line });
+                i += consumed;
+            }
+            _ if c.is_ascii_digit() => {
+                let (consumed, is_float) = lex_number(bytes, i);
+                tokens.push(Token {
+                    kind: if is_float {
+                        TokenKind::Float
+                    } else {
+                        TokenKind::Int
+                    },
+                    text: source[i..i + consumed].to_string(),
+                    line,
+                });
+                i += consumed;
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                // `b'x'` byte char, handled when the quote follows.
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &source[i..];
+                let mut matched = None;
+                for op in MERGED_OPS {
+                    if rest.starts_with(op) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                if let Some(op) = matched {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: op.to_string(),
+                        line,
+                    });
+                    i += op.len();
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    Lexed {
+        tokens,
+        suppressions,
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Does `r"`, `r#"`, `b"`, `br"`, `br#"`, or `rb...` start here? (Raw
+/// identifiers like `r#type` do not — they are followed by an ident
+/// character, not a quote.)
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (r, b, br, rb).
+    let mut letters = 0;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    if letters == 0 {
+        return false;
+    }
+    // Byte char b'x'.
+    if bytes[i] == b'b' && j < bytes.len() && bytes[j] == b'\'' {
+        return true;
+    }
+    let mut k = j;
+    while k < bytes.len() && bytes[k] == b'#' {
+        k += 1;
+    }
+    k < bytes.len() && bytes[k] == b'"' && (k > j || bytes[j] == b'"')
+}
+
+/// Skips a raw/byte string (or byte char) starting at `i`; returns
+/// (bytes consumed, newlines inside).
+fn skip_string_like(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'\'' {
+        // Byte char: b'x' or b'\n'.
+        let (consumed, _, _) = lex_quote(bytes, j, "");
+        return (j - i + consumed, 0);
+    }
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < bytes.len() && bytes[j] == b'"');
+    j += 1; // opening quote
+    let raw = bytes[i..j].contains(&b'r');
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+            j += 1;
+        } else if !raw && bytes[j] == b'\\' {
+            j += 2;
+        } else if bytes[j] == b'"' {
+            // For raw strings the closer needs `hashes` trailing #s.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while raw && seen < hashes && k < bytes.len() && bytes[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if !raw || seen == hashes {
+                return (k - i, newlines);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (j - i, newlines)
+}
+
+/// Skips a plain `"..."` string starting at the opening quote.
+fn skip_plain_string(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1 - i, newlines),
+            _ => j += 1,
+        }
+    }
+    (j - i, newlines)
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`.
+fn lex_quote(bytes: &[u8], i: usize, source: &str) -> (usize, TokenKind, String) {
+    debug_assert_eq!(bytes[i], b'\'');
+    if i + 1 >= bytes.len() {
+        return (1, TokenKind::Punct, "'".into());
+    }
+    if bytes[i + 1] == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            if bytes[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        return (j + 1 - i, TokenKind::Char, String::new());
+    }
+    if i + 2 < bytes.len() && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+        return (3, TokenKind::Char, String::new());
+    }
+    // Lifetime: consume identifier characters.
+    let mut j = i + 1;
+    while j < bytes.len() && is_ident_continue(bytes[j]) {
+        j += 1;
+    }
+    let text = if source.is_empty() {
+        String::new()
+    } else {
+        source[i..j].to_string()
+    };
+    (j - i, TokenKind::Lifetime, text)
+}
+
+/// Lexes a number; returns (bytes consumed, is_float).
+fn lex_number(bytes: &[u8], i: usize) -> (usize, bool) {
+    let mut j = i;
+    let mut is_float = false;
+    if bytes[j] == b'0' && j + 1 < bytes.len() && matches!(bytes[j + 1], b'x' | b'o' | b'b') {
+        j += 2;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (j - i, false);
+    }
+    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+        j += 1;
+    }
+    // A fractional part: `.` followed by a digit (or end of number —
+    // `1.` — but not `1..4` or `1.max(2)`).
+    if j < bytes.len() && bytes[j] == b'.' {
+        match bytes.get(j + 1).copied() {
+            Some(n) if n.is_ascii_digit() => {
+                is_float = true;
+                j += 1;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                    j += 1;
+                }
+            }
+            Some(n) if n == b'.' || is_ident_start(n) => {
+                // Range (`1..4`) or method call (`1.max(2)`): the dot
+                // is not part of this number.
+            }
+            _ => {
+                // Trailing dot: `1.` is a float.
+                is_float = true;
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < bytes.len() && matches!(bytes[j], b'e' | b'E') {
+        let mut k = j + 1;
+        if k < bytes.len() && matches!(bytes[k], b'+' | b'-') {
+            k += 1;
+        }
+        if k < bytes.len() && bytes[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (f64 makes it a float; u32 etc. keep it an int).
+    if j < bytes.len() && is_ident_start(bytes[j]) {
+        let start = j;
+        while j < bytes.len() && is_ident_continue(bytes[j]) {
+            j += 1;
+        }
+        let suffix = &bytes[start..j];
+        if suffix == b"f32" || suffix == b"f64" {
+            is_float = true;
+        }
+    }
+    (j - i, is_float)
+}
+
+/// Parses a `// qdn-lint: allow(rule, reason="...")` comment. Returns
+/// `None` for comments without the marker. Doc comments (`///`, `//!`)
+/// are ignored — suppressions must be plain comments.
+fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
+    let body = comment.strip_prefix("//")?;
+    if body.starts_with('/') || body.starts_with('!') {
+        return None; // doc comment
+    }
+    let marker = "qdn-lint:";
+    let at = body.find(marker)?;
+    let rest = body[at + marker.len()..].trim();
+    let malformed = Suppression {
+        line,
+        rule: None,
+        reason: None,
+        well_formed: false,
+    };
+    let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    else {
+        return Some(malformed);
+    };
+    let (rule_part, reason_part) = match args.split_once(',') {
+        Some((r, rest)) => (r.trim(), Some(rest.trim())),
+        None => (args.trim(), None),
+    };
+    if rule_part.is_empty() {
+        return Some(malformed);
+    }
+    let reason = reason_part.and_then(|p| {
+        let val = p.strip_prefix("reason")?.trim_start().strip_prefix('=')?;
+        let val = val.trim().strip_prefix('"')?.strip_suffix('"')?;
+        if val.trim().is_empty() {
+            None
+        } else {
+            Some(val.to_string())
+        }
+    });
+    Some(Suppression {
+        line,
+        rule: Some(rule_part.to_string()),
+        reason,
+        well_formed: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_contents() {
+        let src = r##"
+            // HashMap iteration in a comment: map.iter()
+            /* block HashMap */
+            let s = "HashMap::iter()";
+            let r = r#"thread_rng"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("let c = 'a'; fn f<'a>(x: &'a str) {}");
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(chars, 1);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let lexed = lex("a == 0.0; b != 1e-12; c == 3; d == 0x10; e == 2.5f64; f == 1.max(2)");
+        let floats: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, ["0.0", "1e-12", "2.5f64"]);
+        // `1.max(2)` lexes as int 1, dot, ident max.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Int && t.text == "1"));
+    }
+
+    #[test]
+    fn merged_operators() {
+        let lexed = lex("a == b; c != d; p::q; x -> y; m => n");
+        let ops: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text.len() > 1)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "::", "->", "=>"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn suppression_parses_rule_and_reason() {
+        let src = "// qdn-lint: allow(unordered-iter, reason=\"sorted below\")\nx();";
+        let lexed = lex(src);
+        assert_eq!(lexed.suppressions.len(), 1);
+        let s = &lexed.suppressions[0];
+        assert!(s.well_formed);
+        assert_eq!(s.rule.as_deref(), Some("unordered-iter"));
+        assert_eq!(s.reason.as_deref(), Some("sorted below"));
+    }
+
+    #[test]
+    fn suppression_without_reason_is_flagged_reasonless() {
+        let src = "// qdn-lint: allow(float-eq)\nx();";
+        let s = &lex(src).suppressions[0];
+        assert!(s.well_formed);
+        assert_eq!(s.rule.as_deref(), Some("float-eq"));
+        assert!(s.reason.is_none());
+    }
+
+    #[test]
+    fn malformed_suppression_is_marked() {
+        let s = &lex("// qdn-lint: alow(typo)\n").suppressions[0];
+        assert!(!s.well_formed);
+        // Doc comments never parse as suppressions.
+        assert!(lex("/// qdn-lint: allow(float-eq)\n")
+            .suppressions
+            .is_empty());
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let ids = idents("let r#type = 1; let rb = 2;");
+        assert!(ids.contains(&"type".to_string()) || ids.contains(&"r".to_string()));
+        assert!(ids.contains(&"rb".to_string()));
+    }
+}

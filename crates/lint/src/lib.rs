@@ -1,0 +1,61 @@
+//! `qdn-lint` — the workspace invariant checker.
+//!
+//! Every speedup in this workspace is held by bit-identity proptests,
+//! but the *invariants that make bit-identity possible* — no unordered
+//! iteration in decision paths, no wall-clock or OS entropy in
+//! selection, versioned snapshots, loud-break configs — used to live
+//! only in ROADMAP prose. This crate makes them machine-enforced: a
+//! hand-rolled lexer/light parser (no syn, no crates.io) walks the
+//! workspace and reports rule violations as errors.
+//!
+//! See `crates/lint/README.md` for the rule catalog, the suppression
+//! syntax, the `lint.toml` schema, and how to add a rule.
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::path::Path;
+
+pub use config::Config;
+pub use report::{Diagnostic, LintReport, LINT_REPORT_VERSION};
+
+/// Lints every `.rs` file under `root` against `config`.
+pub fn lint_workspace(root: &Path, config: &Config) -> Result<LintReport, String> {
+    let files = walk::rust_files(root, config)?;
+    let mut diagnostics = Vec::new();
+    let mut suppressions_used = 0u32;
+    let files_scanned = files.len() as u32;
+    for path in files {
+        let source =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = walk::rel_str(root, &path);
+        let lint = rules::lint_source(&rel, &source, config);
+        diagnostics.extend(lint.diagnostics);
+        suppressions_used += lint.suppressions_used;
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(LintReport {
+        version: LINT_REPORT_VERSION,
+        files_scanned,
+        suppressions_used,
+        diagnostics,
+    })
+}
+
+/// Loads `lint.toml` from `root` and lints the workspace with it.
+pub fn lint_workspace_with_manifest(root: &Path) -> Result<LintReport, String> {
+    let manifest = root.join("lint.toml");
+    let text = fs::read_to_string(&manifest).map_err(|e| {
+        format!(
+            "read {}: {e} (qdn-lint requires lint.toml)",
+            manifest.display()
+        )
+    })?;
+    let config = Config::parse(&text)?;
+    lint_workspace(root, &config)
+}

@@ -1,0 +1,60 @@
+//! Diagnostics and the machine-readable report.
+
+use serde::{Deserialize, Serialize};
+
+/// Version tag of [`LintReport`]; bump on layout changes.
+pub const LINT_REPORT_VERSION: u32 = 1;
+
+/// One finding. Sorted (file, line, rule) before reporting, so equal
+/// workspaces produce byte-identical reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (`unordered-iter`, `nondet-time`, ...).
+    pub rule: String,
+    /// What was found.
+    pub message: String,
+    /// How to fix or suppress it.
+    pub hint: String,
+}
+
+/// The machine-readable report `qdn-lint --report` writes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Layout version ([`LINT_REPORT_VERSION`]).
+    pub version: u32,
+    /// Files scanned (after skips and exempt directories).
+    pub files_scanned: u32,
+    /// Suppression comments honored (matched a finding).
+    pub suppressions_used: u32,
+    /// All findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Whether the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The human rendering, one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    hint: {}\n",
+                d.file, d.line, d.rule, d.message, d.hint
+            ));
+        }
+        out.push_str(&format!(
+            "qdn-lint: {} error(s), {} file(s) scanned, {} suppression(s) used\n",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.suppressions_used
+        ));
+        out
+    }
+}

@@ -1,0 +1,62 @@
+//! Deterministic workspace walker.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+
+/// Collects every `.rs` file under `root`, workspace-relative and
+/// sorted, honoring the config's skip prefixes and exempt directory
+/// names. `target` and dot-directories are always skipped.
+pub fn rust_files(root: &Path, config: &Config) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    descend(root, root, config, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn descend(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    files: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel = rel_str(root, &path);
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            if config.exempt_dirs.iter().any(|d| d == name) {
+                continue;
+            }
+            if config
+                .skip
+                .iter()
+                .any(|s| rel == *s || rel.starts_with(&format!("{s}/")))
+            {
+                continue;
+            }
+            descend(root, &path, config, files)?;
+        } else if name.ends_with(".rs") && !config.skip.iter().any(|s| rel.starts_with(s.as_str()))
+        {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn rel_str(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

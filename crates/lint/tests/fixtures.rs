@@ -1,0 +1,152 @@
+//! Fixture corpus: at least one true positive and one true negative
+//! per rule, plus the suppression round trip. Fixtures are linted with
+//! the default config (every rule enabled everywhere), so the tests pin
+//! the detectors themselves, independent of `lint.toml` scoping.
+
+use qdn_lint::rules::lint_source;
+use qdn_lint::Config;
+
+fn lint_fixture(name: &str) -> qdn_lint::rules::FileLint {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    lint_source(name, &source, &Config::default())
+}
+
+/// Every diagnostic in `name` is for `rule`, and there are `at_least`
+/// of them.
+fn assert_positive(name: &str, rule: &str, at_least: usize) {
+    let lint = lint_fixture(name);
+    assert!(
+        lint.diagnostics.len() >= at_least,
+        "{name}: expected at least {at_least} findings, got {:#?}",
+        lint.diagnostics
+    );
+    for d in &lint.diagnostics {
+        assert_eq!(d.rule, rule, "{name}: unexpected finding {d:#?}");
+    }
+}
+
+fn assert_clean(name: &str) {
+    let lint = lint_fixture(name);
+    assert!(
+        lint.diagnostics.is_empty(),
+        "{name}: expected clean, got {:#?}",
+        lint.diagnostics
+    );
+}
+
+#[test]
+fn unordered_iter_positives() {
+    // Field iter, field for-loop, drain, alias-typed local, local for.
+    assert_positive("d1_pos.rs", "unordered-iter", 5);
+}
+
+#[test]
+fn unordered_iter_negatives() {
+    assert_clean("d1_neg.rs");
+}
+
+#[test]
+fn nondet_time_positives() {
+    // Instant::now, SystemTime (import + call), thread_rng, from_entropy.
+    assert_positive("d2_pos.rs", "nondet-time", 4);
+}
+
+#[test]
+fn nondet_time_negatives() {
+    assert_clean("d2_neg.rs");
+}
+
+#[test]
+fn serde_default_positives() {
+    // Bare `default` and `default = "path"`.
+    assert_positive("c1_pos.rs", "serde-default", 2);
+}
+
+#[test]
+fn serde_default_negatives() {
+    assert_clean("c1_neg.rs");
+}
+
+#[test]
+fn snapshot_version_positives() {
+    let lint = lint_fixture("c2_pos.rs");
+    assert_eq!(lint.diagnostics.len(), 1, "{:#?}", lint.diagnostics);
+    assert_eq!(lint.diagnostics[0].rule, "snapshot-version");
+    assert!(
+        lint.diagnostics[0].message.contains("EngineSnapshot"),
+        "{:#?}",
+        lint.diagnostics
+    );
+}
+
+#[test]
+fn snapshot_version_negatives() {
+    assert_clean("c2_neg.rs");
+}
+
+#[test]
+fn no_panic_positives() {
+    assert_positive("r1_pos.rs", "no-panic", 2);
+}
+
+#[test]
+fn no_panic_negatives() {
+    assert_clean("r1_neg.rs");
+}
+
+#[test]
+fn float_eq_positives() {
+    assert_positive("n1_pos.rs", "float-eq", 3);
+}
+
+#[test]
+fn float_eq_negatives() {
+    assert_clean("n1_neg.rs");
+}
+
+#[test]
+fn suppression_round_trip() {
+    // A well-formed suppression silences the finding, counts as used,
+    // and draws no suppression-audit error.
+    let lint = lint_fixture("suppress_ok.rs");
+    assert!(
+        lint.diagnostics.is_empty(),
+        "suppressed file should lint clean: {:#?}",
+        lint.diagnostics
+    );
+    assert_eq!(lint.suppressions_used, 1);
+
+    // Removing the suppression must bring the finding back — the round
+    // trip, exercised by re-linting with the directive stripped.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/suppress_ok.rs");
+    let source = std::fs::read_to_string(path).unwrap();
+    let stripped: String = source
+        .lines()
+        .filter(|l| !l.contains("qdn-lint:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let relint = lint_source("suppress_ok.rs", &stripped, &Config::default());
+    assert_eq!(relint.diagnostics.len(), 1, "{:#?}", relint.diagnostics);
+    assert_eq!(relint.diagnostics[0].rule, "unordered-iter");
+    assert_eq!(relint.suppressions_used, 0);
+}
+
+#[test]
+fn suppression_audit_errors() {
+    // Unused, reason-less, unknown-rule, and malformed directives are
+    // each an error of rule `suppression`.
+    let lint = lint_fixture("suppress_bad.rs");
+    assert_eq!(lint.diagnostics.len(), 4, "{:#?}", lint.diagnostics);
+    for d in &lint.diagnostics {
+        assert_eq!(d.rule, "suppression", "{d:#?}");
+    }
+    let all = format!("{:?}", lint.diagnostics);
+    for needle in ["unused", "no reason", "unknown rule", "malformed"] {
+        assert!(all.contains(needle), "missing `{needle}` in {all}");
+    }
+}

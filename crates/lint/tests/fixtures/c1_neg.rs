@@ -1,0 +1,18 @@
+// True negatives for serde-default (C1): other serde attributes are
+// fine, and `default` outside a serde attribute is not a finding.
+use serde::Deserialize;
+
+#[derive(Deserialize, Default)]
+struct Config {
+    #[serde(rename = "gamma")]
+    g: f64,
+    v: f64,
+}
+
+impl Config {
+    fn fresh() -> Self {
+        // Plain Default machinery is allowed — only the serde attribute
+        // that silently fills missing JSON fields is banned.
+        Config::default()
+    }
+}

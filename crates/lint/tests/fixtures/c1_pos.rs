@@ -1,0 +1,19 @@
+// True positive for serde-default (C1).
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct Config {
+    #[serde(default)]
+    quiet: bool,
+    v: f64,
+}
+
+#[derive(Deserialize)]
+struct Options {
+    #[serde(rename = "gamma", default = "default_gamma")]
+    g: f64,
+}
+
+fn default_gamma() -> f64 {
+    500.0
+}

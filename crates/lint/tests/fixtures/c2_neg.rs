@@ -1,0 +1,25 @@
+// True negatives for snapshot-version (C2): a versioned public
+// snapshot, a private sub-record (reachable only through a versioned
+// parent), a non-Serialize type, and a non-Snapshot name.
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    pub version: u32,
+    shards: Vec<ShardSnapshot>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardSnapshot {
+    spent: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct ScratchSnapshot {
+    pub arena: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    pub v: f64,
+}

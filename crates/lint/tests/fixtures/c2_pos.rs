@@ -1,0 +1,9 @@
+// True positive for snapshot-version (C2): a public serializable
+// snapshot with no version field.
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    pub entries: Vec<u32>,
+    pub spent: u64,
+}

@@ -1,0 +1,37 @@
+// True negatives for unordered-iter (D1): lookups are free, ordered
+// collections are free, shadowed rebindings are free, and field names
+// reached through a non-self receiver are out of scope.
+use std::collections::{BTreeMap, HashMap};
+
+struct Snapshot {
+    entries: Vec<u32>,
+}
+
+struct State {
+    table: HashMap<u32, f64>,
+    ordered: BTreeMap<u32, f64>,
+    entries: HashMap<u32, f64>,
+}
+
+impl State {
+    fn lookups(&self) -> Option<f64> {
+        let _ = self.table.contains_key(&1);
+        let _ = self.table.len();
+        self.table.get(&7).copied()
+    }
+
+    fn ordered_iter(&self) -> f64 {
+        self.ordered.iter().map(|(_, v)| v).sum()
+    }
+
+    fn restore(snapshot: &Snapshot) -> u32 {
+        // `entries` is a hash field of State, but the receiver here is
+        // the snapshot struct, whose `entries` is a Vec.
+        snapshot.entries.iter().sum()
+    }
+}
+
+fn shadowed() -> u32 {
+    let entries: Vec<u32> = vec![1, 2, 3];
+    entries.iter().sum()
+}

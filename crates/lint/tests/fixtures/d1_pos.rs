@@ -1,0 +1,37 @@
+// True positives for unordered-iter (D1).
+use std::collections::{HashMap, HashSet};
+
+type Memo = HashMap<u32, f64>;
+
+struct State {
+    table: HashMap<u32, f64>,
+    seen: HashSet<u32>,
+}
+
+impl State {
+    fn field_iter(&self) -> f64 {
+        self.table.iter().map(|(_, v)| v).sum()
+    }
+
+    fn field_for(&self) -> u32 {
+        let mut acc = 0;
+        for k in self.seen.iter() {
+            acc ^= k;
+        }
+        acc
+    }
+
+    fn drain_all(&mut self) {
+        self.table.drain();
+    }
+}
+
+fn local_iter() -> f64 {
+    let memo: Memo = Memo::new();
+    memo.values().sum()
+}
+
+fn local_for() {
+    let set: HashSet<u32> = HashSet::new();
+    for _x in &set {}
+}

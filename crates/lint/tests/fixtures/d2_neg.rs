@@ -1,0 +1,19 @@
+// True negatives for nondet-time (D2): everything derives from an
+// explicit seed, and quoted or commented mentions don't count.
+use rand::SeedableRng;
+
+// A comment mentioning Instant::now() and thread_rng is not a finding.
+
+fn seeded(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn quoted() -> &'static str {
+    "Instant::now() and SystemTime and thread_rng and from_entropy"
+}
+
+fn instant_arithmetic(earlier: std::time::Instant, later: std::time::Instant) -> f64 {
+    // Consuming Instants handed in by measurement code is fine; only
+    // *reading the clock* is banned.
+    later.duration_since(earlier).as_secs_f64()
+}

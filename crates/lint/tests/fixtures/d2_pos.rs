@@ -1,0 +1,19 @@
+// True positives for nondet-time (D2).
+use std::time::{Instant, SystemTime};
+
+fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+fn epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+fn os_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+fn seeded_from_os() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}

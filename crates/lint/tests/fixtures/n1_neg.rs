@@ -1,0 +1,13 @@
+// True negatives for float-eq (N1): tolerance comparisons and integer
+// equality are fine.
+fn converged(gap: f64) -> bool {
+    gap.abs() < 1e-9
+}
+
+fn int_eq(a: u32, b: u32) -> bool {
+    a == b && b != 7
+}
+
+fn ordering(x: f64) -> bool {
+    x <= 0.0 || x >= 1.0
+}

@@ -1,0 +1,12 @@
+// True positives for float-eq (N1).
+fn converged(gap: f64) -> bool {
+    gap == 0.0
+}
+
+fn not_one(x: f64) -> bool {
+    x != 1.0
+}
+
+fn negative(x: f64) -> bool {
+    x == -1.5
+}

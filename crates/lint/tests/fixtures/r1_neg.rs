@@ -1,0 +1,24 @@
+// True negatives for no-panic (R1): errors flow through Result, and
+// test code may unwrap freely.
+fn read_frame(payload: Option<Vec<u8>>) -> Result<Vec<u8>, String> {
+    payload.ok_or_else(|| "connection closed".to_string())
+}
+
+fn decode(text: &str) -> Result<u32, String> {
+    text.parse().map_err(|_| format!("bad number: {text}"))
+}
+
+fn unwrap_or_is_fine(payload: Option<u32>) -> u32 {
+    payload.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, String> = Ok(4);
+        assert_eq!(r.expect("ok"), 4);
+    }
+}

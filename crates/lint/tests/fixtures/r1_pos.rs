@@ -1,0 +1,8 @@
+// True positives for no-panic (R1).
+fn read_frame(payload: Option<Vec<u8>>) -> Vec<u8> {
+    payload.unwrap()
+}
+
+fn decode(text: &str) -> u32 {
+    text.parse().expect("peer sent a number")
+}

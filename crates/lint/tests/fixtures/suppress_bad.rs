@@ -1,0 +1,24 @@
+// Every way a suppression can go wrong, each an error in itself.
+use std::collections::HashMap;
+
+struct State {
+    table: HashMap<u32, f64>,
+}
+
+impl State {
+    // qdn-lint: allow(unordered-iter, reason="nothing below trips the rule")
+    fn unused_suppression(&self) -> usize {
+        self.table.len()
+    }
+
+    fn missing_reason(&self) -> f64 {
+        // qdn-lint: allow(unordered-iter)
+        self.table.values().sum()
+    }
+
+    // qdn-lint: allow(no-such-rule, reason="the rule name is wrong")
+    fn unknown_rule(&self) {}
+
+    // qdn-lint: allow unordered-iter
+    fn malformed(&self) {}
+}

@@ -1,0 +1,20 @@
+// A well-formed suppression silences exactly one finding: the file
+// lints clean and the suppression counts as used.
+use std::collections::HashMap;
+
+struct State {
+    table: HashMap<u32, f64>,
+}
+
+impl State {
+    fn sum(&self) -> f64 {
+        let mut entries: Vec<f64> = self
+            .table
+            // qdn-lint: allow(unordered-iter, reason="summed after sorting; order cannot leak")
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
+        entries.sort_unstable_by(f64::total_cmp);
+        entries.iter().sum()
+    }
+}

@@ -1,0 +1,36 @@
+//! The workspace must lint clean against its own `lint.toml` — the
+//! invariants the linter enforces hold in the code that ships it, and
+//! every suppression in the tree carries a written reason (reason-less
+//! or unused suppressions are themselves errors, so a clean report
+//! certifies the suppression inventory too).
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::PathBuf::from(
+        std::env::var_os("CARGO_WORKSPACE_DIR").expect("CARGO_WORKSPACE_DIR set by .cargo/config"),
+    );
+    let report = qdn_lint::lint_workspace_with_manifest(&root).expect("lint run");
+    assert!(report.files_scanned > 50, "walker found the workspace");
+    assert!(
+        report.is_clean(),
+        "workspace has lint errors:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.suppressions_used > 0,
+        "the tree carries reasoned suppressions; zero used means the \
+         suppression scanner broke"
+    );
+}
+
+#[test]
+fn report_is_versioned_and_serializable() {
+    let root = std::path::PathBuf::from(
+        std::env::var_os("CARGO_WORKSPACE_DIR").expect("CARGO_WORKSPACE_DIR set by .cargo/config"),
+    );
+    let report = qdn_lint::lint_workspace_with_manifest(&root).expect("lint run");
+    let wire = serde_json::to_string(&report).expect("encode");
+    let back: qdn_lint::LintReport = serde_json::from_str(&wire).expect("decode");
+    assert_eq!(back, report);
+    assert_eq!(back.version, qdn_lint::LINT_REPORT_VERSION);
+}

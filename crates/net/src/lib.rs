@@ -27,6 +27,7 @@
 //! assert!(net.p_min() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod config;
 pub mod dynamics;
 pub mod network;

@@ -7,7 +7,7 @@
 //! those sets with Yen's k-shortest-paths by hop count and caches them per
 //! canonical pair (routing is symmetric in an undirected QDN).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use qdn_graph::maintain::CandidateMaintainer;
 use qdn_graph::paths::hop_weight;
@@ -76,7 +76,8 @@ pub struct CandidateRoutes {
     /// repaired incrementally on churn instead of recomputed.
     maintainer: CandidateMaintainer,
     /// Serving cache: hop-filtered routes per requested orientation.
-    cache: HashMap<SdPair, Vec<Path>>,
+    /// BTreeMap so snapshot order never depends on hasher state.
+    cache: BTreeMap<SdPair, Vec<Path>>,
     last_churn: RouteChurn,
 }
 
@@ -108,7 +109,7 @@ impl CandidateRoutes {
         CandidateRoutes {
             limits,
             maintainer: CandidateMaintainer::new(limits.max_routes),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             last_churn: RouteChurn::default(),
         }
     }
@@ -284,7 +285,8 @@ impl CandidateRoutes {
             })
             .collect();
         tracked.sort_unstable_by_key(|t| t.endpoints);
-        let mut cache: Vec<CachedPairSnapshot> = self
+        // BTreeMap iteration is already ascending by pair.
+        let cache: Vec<CachedPairSnapshot> = self
             .cache
             .iter()
             .map(|(&pair, routes)| CachedPairSnapshot {
@@ -292,7 +294,6 @@ impl CandidateRoutes {
                 routes: routes.clone(),
             })
             .collect();
-        cache.sort_unstable_by_key(|c| c.pair);
         RoutesSnapshot {
             version: ROUTES_SNAPSHOT_VERSION,
             limits: self.limits,

@@ -31,8 +31,13 @@ use crate::network::QdnNetwork;
 /// # Ok(())
 /// # }
 /// ```
+/// Version tag of [`CapacitySnapshot`]; bump on layout changes.
+pub const CAPACITY_SNAPSHOT_VERSION: u32 = 1;
+
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CapacitySnapshot {
+    /// Layout version ([`CAPACITY_SNAPSHOT_VERSION`]).
+    pub version: u32,
     qubits: Vec<u32>,
     channels: Vec<u32>,
 }
@@ -41,6 +46,7 @@ impl CapacitySnapshot {
     /// All installed capacity is available (no exogenous occupancy).
     pub fn full(network: &QdnNetwork) -> Self {
         CapacitySnapshot {
+            version: CAPACITY_SNAPSHOT_VERSION,
             qubits: network
                 .graph()
                 .node_ids()
@@ -78,7 +84,11 @@ impl CapacitySnapshot {
             .enumerate()
             .map(|(i, w)| w.min(network.channel_capacity(EdgeId(i as u32))))
             .collect();
-        CapacitySnapshot { qubits, channels }
+        CapacitySnapshot {
+            version: CAPACITY_SNAPSHOT_VERSION,
+            qubits,
+            channels,
+        }
     }
 
     /// Available qubits at node `v` in this slot.

@@ -80,7 +80,7 @@ proptest! {
             Box::new(UniformOccupancy::new(frac)),
             Box::new(MarkovOccupancy::new(frac, 1.0 - frac, 0.5)),
         ];
-        for d in dynamics.iter_mut() {
+        for d in &mut dynamics {
             for t in 0..5 {
                 let snap = d.snapshot(t, &net, &mut rng);
                 for v in net.graph().node_ids() {
@@ -102,7 +102,7 @@ proptest! {
             Box::new(UniformWorkload::new(1, cap)),
             Box::new(PoissonWorkload::new(rate, cap)),
         ];
-        for w in workloads.iter_mut() {
+        for w in &mut workloads {
             for t in 0..10 {
                 let set = w.requests(t, &net, &mut rng);
                 prop_assert!(set.len() <= w.max_pairs());
@@ -231,7 +231,7 @@ proptest! {
         use qdn_net::dynamics::{ChurnDynamics, ResourceDynamics};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let net = NetworkConfig::paper_default().with_nodes(10).build(&mut rng).unwrap();
-        let mut run = |env_seed: u64| {
+        let run = |env_seed: u64| {
             let mut d = ChurnDynamics::new(0.8, 3.0, seed, Box::new(UniformOccupancy::new(0.4)));
             let mut env = rand::rngs::StdRng::seed_from_u64(env_seed);
             for t in 0..15 {

@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod attempts;
 pub mod fiber;
 pub mod fidelity;

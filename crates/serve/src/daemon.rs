@@ -72,7 +72,7 @@ impl Daemon {
             config.shards,
             Arc::clone(&network),
             Arc::new(config.oscar.clone()),
-        );
+        )?;
         Ok(Daemon {
             config,
             network,
@@ -112,17 +112,18 @@ impl Daemon {
             Request::Submit { pairs } => self.submit(&pairs),
             Request::Tick => self.tick(),
             Request::Stats => self.stats(),
-            Request::Snapshot => Response::SnapshotOk {
-                snapshot: self.snapshot(),
+            Request::Snapshot => match self.snapshot() {
+                Ok(snapshot) => Response::SnapshotOk { snapshot },
+                Err(error) => self.shard_failure(error),
             },
             Request::Restore { snapshot } => match self.restore(&snapshot) {
                 Ok(slot) => Response::RestoreOk { slot },
                 Err(message) => Response::Error { message },
             },
-            Request::Reset => {
-                self.reset();
-                Response::ResetOk
-            }
+            Request::Reset => match self.reset() {
+                Ok(()) => Response::ResetOk,
+                Err(message) => Response::Error { message },
+            },
             Request::Shutdown => Response::ShutdownOk,
         }
     }
@@ -160,7 +161,10 @@ impl Daemon {
         for pair in self.pending.drain(..) {
             per_shard[shard_of(pair, shards as u32)].push(pair);
         }
-        let decisions = self.pool.decide_slot(t, per_shard, snapshot);
+        let decisions = match self.pool.decide_slot(t, per_shard, snapshot) {
+            Ok(d) => d,
+            Err(error) => return self.shard_failure(error),
+        };
         let mut assignments = Vec::new();
         let mut unserved = Vec::new();
         let mut cost = 0u64;
@@ -181,13 +185,11 @@ impl Daemon {
         }
     }
 
-    fn stats(&self) -> Response {
-        let queue_values = self
-            .pool
-            .snapshot()
-            .iter()
-            .map(|s| s.queue.value())
-            .collect();
+    fn stats(&mut self) -> Response {
+        let shards = match self.pool.snapshot() {
+            Ok(s) => s,
+            Err(error) => return self.shard_failure(error),
+        };
         Response::StatsOk {
             stats: ServeStats {
                 slot: self.slot,
@@ -195,19 +197,20 @@ impl Daemon {
                 served: self.served,
                 unserved: self.unserved,
                 spent: self.spent,
-                queue_values,
+                queue_values: shards.iter().map(|s| s.queue.value()).collect(),
             },
         }
     }
 
     /// Serializes the full warm state (see [`ServeSnapshot`] for what
-    /// is — and deliberately is not — captured).
-    pub fn snapshot(&self) -> ServeSnapshot {
-        ServeSnapshot {
+    /// is — and deliberately is not — captured). Fails if a shard
+    /// thread has died.
+    pub fn snapshot(&self) -> Result<ServeSnapshot, String> {
+        Ok(ServeSnapshot {
             version: SERVE_SNAPSHOT_VERSION,
             slot: self.slot,
-            shards: self.pool.snapshot(),
-        }
+            shards: self.pool.snapshot()?,
+        })
     }
 
     /// Installs a snapshot: per-shard warm state, the slot counter, and
@@ -227,8 +230,10 @@ impl Daemon {
             ));
         }
         if let Err(e) = self.pool.restore(snapshot.shards.clone()) {
-            self.reset();
-            return Err(e);
+            return Err(match self.reset() {
+                Ok(()) => format!("{e}; daemon reset cold"),
+                Err(re) => format!("{e}; cold reset also failed: {re}"),
+            });
         }
         self.dynamics.reset();
         for t in 0..snapshot.slot {
@@ -243,15 +248,38 @@ impl Daemon {
         Ok(self.slot)
     }
 
-    /// Back to cold slot 0, as if freshly started.
-    pub fn reset(&mut self) {
-        self.pool.reset();
+    /// Back to cold slot 0, as if freshly started. If a shard thread
+    /// has died, the whole pool is respawned; failure to respawn (the
+    /// OS refusing a thread) is the only error.
+    pub fn reset(&mut self) -> Result<(), String> {
+        if self.pool.reset().is_err() {
+            self.pool = ShardPool::new(
+                self.config.seed,
+                self.config.shards,
+                Arc::clone(&self.network),
+                Arc::new(self.config.oscar.clone()),
+            )?;
+        }
         self.dynamics.reset();
         self.slot = 0;
         self.pending.clear();
         self.served = 0;
         self.unserved = 0;
         self.spent = 0;
+        Ok(())
+    }
+
+    /// A shard thread died mid-operation: the pool is unrecoverable,
+    /// so restart cold (respawning the pool) and answer with an error
+    /// that reports both the failure and the recovery outcome. The
+    /// daemon keeps serving either way — a wedged pool must not wedge
+    /// the connection loop.
+    fn shard_failure(&mut self, error: String) -> Response {
+        let message = match self.reset() {
+            Ok(()) => format!("{error}; shard pool restarted cold at slot 0"),
+            Err(re) => format!("{error}; cold restart also failed: {re}"),
+        };
+        Response::Error { message }
     }
 }
 

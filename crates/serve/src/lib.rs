@@ -33,6 +33,7 @@
 //! `restored_session_matches_uninterrupted` proptest and the
 //! integration tests in `tests/daemon.rs`.
 
+#![forbid(unsafe_code)]
 pub mod client;
 pub mod config;
 pub mod daemon;

@@ -151,6 +151,7 @@ pub struct ServeSnapshot {
 /// One shard's warm state: the engine (candidate routes + selection
 /// session) and its slice of the budget accounting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// qdn-lint: allow(snapshot-version, reason="only reachable through ServeSnapshot, whose version covers this layout; restore rejects on the parent tag")
 pub struct ShardSnapshot {
     /// Candidate route cache + selection session.
     pub engine: EngineSnapshot,

@@ -160,16 +160,20 @@ pub struct ShardPool {
 }
 
 impl ShardPool {
-    /// Spawns `shards` worker threads over a shared network.
+    /// Spawns `shards` worker threads over a shared network. Fails if
+    /// the OS refuses a thread; already-spawned workers are stopped and
+    /// joined by the partial pool's `Drop`.
     pub fn new(
         seed: u64,
         shards: u32,
         network: Arc<QdnNetwork>,
         oscar: Arc<OscarConfig>,
-    ) -> ShardPool {
+    ) -> Result<ShardPool, String> {
         let shards = shards.max(1);
-        let mut senders = Vec::with_capacity(shards as usize);
-        let mut joins = Vec::with_capacity(shards as usize);
+        let mut pool = ShardPool {
+            senders: Vec::with_capacity(shards as usize),
+            joins: Vec::with_capacity(shards as usize),
+        };
         for index in 0..shards as usize {
             let (tx, rx) = mpsc::channel();
             let worker = ShardWorker {
@@ -181,15 +185,14 @@ impl ShardPool {
                 queue: ShardWorker::fresh_queue(&oscar, shards),
                 spent: 0,
             };
-            joins.push(
-                thread::Builder::new()
-                    .name(format!("qdn-shard-{index}"))
-                    .spawn(move || worker.run(rx, shards))
-                    .expect("spawn shard thread"),
-            );
-            senders.push(tx);
+            let join = thread::Builder::new()
+                .name(format!("qdn-shard-{index}"))
+                .spawn(move || worker.run(rx, shards))
+                .map_err(|e| format!("spawn shard thread {index}: {e}"))?;
+            pool.joins.push(join);
+            pool.senders.push(tx);
         }
-        ShardPool { senders, joins }
+        Ok(pool)
     }
 
     /// Number of shards.
@@ -206,45 +209,60 @@ impl ShardPool {
     /// included — idle shards still drain their queues) and the shared
     /// capacity snapshot; returns the per-shard decisions in shard
     /// order.
+    ///
+    /// Fails if a shard thread has died (panicked engine, killed
+    /// thread); the pool is then unrecoverable and the caller must
+    /// respawn it — see `Daemon::shard_failure`.
     pub fn decide_slot(
         &self,
         slot: u64,
         mut per_shard: Vec<Vec<SdPair>>,
         snapshot: CapacitySnapshot,
-    ) -> Vec<Decision> {
+    ) -> Result<Vec<Decision>, String> {
         assert_eq!(per_shard.len(), self.len(), "one request slice per shard");
         let shared = Arc::new(snapshot);
         let (reply, inbox) = mpsc::channel();
-        for (tx, requests) in self.senders.iter().zip(per_shard.drain(..)) {
+        for (index, (tx, requests)) in self.senders.iter().zip(per_shard.drain(..)).enumerate() {
             tx.send(ShardMsg::Decide {
                 slot,
                 requests,
                 snapshot: Arc::clone(&shared),
                 reply: reply.clone(),
             })
-            .expect("shard thread alive");
+            .map_err(|_| format!("shard thread {index} is gone"))?;
         }
         drop(reply);
         let mut decisions: Vec<(usize, Decision)> = inbox.iter().collect();
-        assert_eq!(decisions.len(), self.len(), "a shard thread died mid-slot");
+        if decisions.len() != self.len() {
+            return Err(format!(
+                "{} shard thread(s) died mid-slot",
+                self.len() - decisions.len()
+            ));
+        }
         decisions.sort_unstable_by_key(|(i, _)| *i);
-        decisions.into_iter().map(|(_, d)| d).collect()
+        Ok(decisions.into_iter().map(|(_, d)| d).collect())
     }
 
-    /// Collects every shard's warm state, in shard order.
-    pub fn snapshot(&self) -> Vec<ShardSnapshot> {
+    /// Collects every shard's warm state, in shard order. Fails if a
+    /// shard thread has died.
+    pub fn snapshot(&self) -> Result<Vec<ShardSnapshot>, String> {
         let (reply, inbox) = mpsc::channel();
-        for tx in &self.senders {
+        for (index, tx) in self.senders.iter().enumerate() {
             tx.send(ShardMsg::Snapshot {
                 reply: reply.clone(),
             })
-            .expect("shard thread alive");
+            .map_err(|_| format!("shard thread {index} is gone"))?;
         }
         drop(reply);
         let mut shots: Vec<(usize, ShardSnapshot)> = inbox.iter().collect();
-        assert_eq!(shots.len(), self.len(), "a shard thread died mid-snapshot");
+        if shots.len() != self.len() {
+            return Err(format!(
+                "{} shard thread(s) died mid-snapshot",
+                self.len() - shots.len()
+            ));
+        }
         shots.sort_unstable_by_key(|(i, _)| *i);
-        shots.into_iter().map(|(_, s)| s).collect()
+        Ok(shots.into_iter().map(|(_, s)| s).collect())
     }
 
     /// Installs per-shard warm state (must be one snapshot per shard,
@@ -259,12 +277,12 @@ impl ShardPool {
             ));
         }
         let (reply, inbox) = mpsc::channel();
-        for (tx, snapshot) in self.senders.iter().zip(shards) {
+        for (index, (tx, snapshot)) in self.senders.iter().zip(shards).enumerate() {
             tx.send(ShardMsg::Restore {
                 snapshot: Box::new(snapshot),
                 reply: reply.clone(),
             })
-            .expect("shard thread alive");
+            .map_err(|_| format!("shard thread {index} is gone"))?;
         }
         drop(reply);
         let results: Vec<Result<(), String>> = inbox.iter().collect();
@@ -275,17 +293,24 @@ impl ShardPool {
     }
 
     /// Resets every shard to cold state (fresh engine, fresh queue).
-    pub fn reset(&self) {
+    /// Fails if a shard thread has died.
+    pub fn reset(&self) -> Result<(), String> {
         let (reply, inbox) = mpsc::channel();
-        for tx in &self.senders {
+        for (index, tx) in self.senders.iter().enumerate() {
             tx.send(ShardMsg::Reset {
                 reply: reply.clone(),
             })
-            .expect("shard thread alive");
+            .map_err(|_| format!("shard thread {index} is gone"))?;
         }
         drop(reply);
         let acks = inbox.iter().count();
-        assert_eq!(acks, self.len(), "a shard thread died mid-reset");
+        if acks != self.len() {
+            return Err(format!(
+                "{} shard thread(s) died mid-reset",
+                self.len() - acks
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -213,7 +213,7 @@ fn restart_warm_is_bit_identical() {
         });
         let _ = original.handle(Request::Tick);
     }
-    let snapshot = original.snapshot();
+    let snapshot = original.snapshot().unwrap();
     let wire = serde_json::to_string(&snapshot).unwrap();
 
     // Continue the original for 6 more slots.
@@ -240,19 +240,19 @@ fn restart_warm_is_bit_identical() {
     assert_eq!(continued, resumed, "post-restore decisions diverged");
     // And the end states themselves re-snapshot identically.
     assert_eq!(
-        serde_json::to_string(&original.snapshot()).unwrap(),
-        serde_json::to_string(&restored.snapshot()).unwrap()
+        serde_json::to_string(&original.snapshot().unwrap()).unwrap(),
+        serde_json::to_string(&restored.snapshot().unwrap()).unwrap()
     );
 }
 
 #[test]
 fn restore_rejects_mismatched_snapshots() {
     let mut daemon = Daemon::new(ServeConfig::paper_default()).unwrap();
-    let mut snapshot = daemon.snapshot();
+    let mut snapshot = daemon.snapshot().unwrap();
     snapshot.version += 1;
     assert!(daemon.restore(&snapshot).is_err());
 
-    let mut snapshot = daemon.snapshot();
+    let mut snapshot = daemon.snapshot().unwrap();
     snapshot.shards.pop();
     let err = daemon.restore(&snapshot).unwrap_err();
     assert!(err.contains("shards"), "unexpected error: {err}");

@@ -46,6 +46,7 @@
 //! assert_eq!(metrics.slots().len(), 10);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod audit;
 pub mod engine;
 pub mod experiment;

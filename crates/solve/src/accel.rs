@@ -147,6 +147,7 @@ pub(crate) fn accelerated_iterate(
                 lin += -g[c] * d;
                 dist2 += d * d;
             }
+            // qdn-lint: allow(float-eq, reason="exact zero-step guard: dist2 is a sum of squares, == 0 iff every component is identically zero; a tolerance would mask genuine tiny steps")
             if dist2 == 0.0
                 || d_new <= d_y + lin + 0.5 * l_est * dist2 + 1e-12 * (1.0 + d_y.abs())
                 || l_est >= L_MAX

@@ -52,6 +52,7 @@
 //! assert!(instance.is_feasible_int(&rounded));
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod accel;
 pub mod assemble;
 pub mod brute;

@@ -534,6 +534,7 @@ pub(crate) fn consider_primal(
     let kappa = instance.unit_price();
     let mut value = 0.0;
     for (j, &xj) in repaired.iter().enumerate() {
+        // qdn-lint: allow(float-eq, reason="exact sentinel: repair_into clamps to exactly 1.0, where the cached ln(1-beta) value replaces an exp_m1 evaluation at the removable singularity")
         let ls = if xj == 1.0 {
             cache.ln_p1[j]
         } else {

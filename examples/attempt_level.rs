@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(MyopicPolicy::fixed()),
         Box::new(MyopicPolicy::adaptive()),
     ];
-    for policy in policies.iter_mut() {
+    for policy in &mut policies {
         // Identical seeds -> identical request/topology sample paths.
         let mut env_rng = rand::rngs::StdRng::seed_from_u64(21);
         let mut policy_rng = rand::rngs::StdRng::seed_from_u64(22);

@@ -3,6 +3,7 @@
 //! Re-exports every workspace crate under one roof. See the README for a
 //! tour and `examples/` for runnable programs.
 
+#![forbid(unsafe_code)]
 pub use qdn_core as core;
 pub use qdn_des as des;
 pub use qdn_graph as graph;
