@@ -650,6 +650,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
             slots: 256,
             seed: 11,
             workload,
+            faults: Vec::new(),
         };
         group.bench_function(format!("unix_socket_256_slots/{label}"), |b| {
             b.iter(|| {
@@ -798,6 +799,175 @@ fn bench_churn_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR-9 node-churn headline (`node_churn_recovery`): the decision
+/// loop under round-robin *node* cuts on the 16-corridor field. Each
+/// slot one corridor's first-chain middle node dies — its qubits and
+/// both incident links go to zero together, killing one of the
+/// corridor's four candidate routes — and the previous victim comes
+/// back, so every slot pays one batched fail repair and one batched
+/// restore repair on top of the invalidation traffic. The rows differ
+/// only in session invalidation policy (repair work is identical):
+///
+/// * `region_scoped/*` — only the cut and recovered corridors flush;
+/// * `global_flush/*` — the ablation re-solves all sixteen.
+///
+/// Decisions are bit-identical between the rows (the
+/// `node_churn_matches_edge_set_churn` proptest pins region-scoped vs
+/// global under node cuts), so the gated row ratio is pure recovery
+/// latency — the PR 9 acceptance evidence that region-scoped
+/// invalidation is strictly faster under node churn.
+fn bench_node_churn_recovery(c: &mut Criterion) {
+    use qdn_core::engine::{decide, EngineState, SlotDecisionRequest};
+    use qdn_core::route_selection::RouteSelector;
+    use qdn_graph::NodeId;
+    use qdn_solve::relaxed::{DualMethod, RelaxedOptions};
+
+    let (net, pairs) = corridor_field(16);
+    let selector = RouteSelector::Gibbs(GibbsConfig {
+        iterations: 8,
+        ..GibbsConfig::paper_default()
+    });
+    let method = AllocationMethod::RelaxAndRound(RelaxedOptions {
+        method: DualMethod::Subgradient,
+        max_iterations: 3000,
+        ..RelaxedOptions::default()
+    });
+    let installed_q: Vec<u32> = net
+        .graph()
+        .node_ids()
+        .map(|v| net.qubit_capacity(v))
+        .collect();
+    let installed_w: Vec<u32> = net
+        .graph()
+        .edge_ids()
+        .map(|e| net.channel_capacity(e))
+        .collect();
+
+    let mut group = c.benchmark_group("node_churn_recovery");
+    group.sample_size(10);
+    for (label, global) in [("region_scoped", false), ("global_flush", true)] {
+        group.bench_function(format!("{label}/16_corridors_32_slots"), |b| {
+            b.iter(|| {
+                let mut state = EngineState::new(RouteLimits {
+                    max_routes: 4,
+                    max_hops: 4,
+                });
+                state.session_mut().set_global_invalidation(global);
+                let mut policy_rng = StdRng::seed_from_u64(29);
+                let mut total = 0u64;
+                for t in 0..32usize {
+                    // Corridor t mod 16 loses its first chain's middle
+                    // node (14 nodes per corridor; x, y, then chains —
+                    // offset 3 is chain 0's b⁰). All incident links die
+                    // with it; last slot's victim is back up.
+                    let victim = NodeId(((t % 16) * 14 + 3) as u32);
+                    let mut qubits = installed_q.clone();
+                    let mut channels = installed_w.clone();
+                    qubits[victim.index()] = 0;
+                    for (_, e) in net.graph().neighbors(victim) {
+                        channels[e.index()] = 0;
+                    }
+                    let snap = CapacitySnapshot::clamped(&net, qubits, channels);
+                    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+                    let decision = decide(
+                        &mut state,
+                        SlotDecisionRequest {
+                            network: &net,
+                            requests: &pairs,
+                            ctx: &ctx,
+                            selector: &selector,
+                            allocation: &method,
+                            fidelity_target: None,
+                            rng: &mut policy_rng,
+                        },
+                    );
+                    total += decision.total_cost();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The PR-9 correlated-outage row (`regional_outage_recovery`): a whole
+/// corridor goes dark each slot (all 14 nodes, all 16 links — the
+/// region's pair is undecidable until it recovers next slot) while the
+/// other fifteen keep serving. The batch repair consolidates the 16
+/// simultaneous link deaths into one affected-pair proof, and the
+/// session invalidates the dark and recovered regions; `global_flush`
+/// additionally re-solves the fourteen corridors the outage never
+/// touched. Decisions are bit-identical between rows.
+fn bench_regional_outage_recovery(c: &mut Criterion) {
+    use qdn_core::engine::{decide, EngineState, SlotDecisionRequest};
+    use qdn_core::route_selection::RouteSelector;
+    use qdn_solve::relaxed::{DualMethod, RelaxedOptions};
+
+    let (net, pairs) = corridor_field(16);
+    let selector = RouteSelector::Gibbs(GibbsConfig {
+        iterations: 8,
+        ..GibbsConfig::paper_default()
+    });
+    let method = AllocationMethod::RelaxAndRound(RelaxedOptions {
+        method: DualMethod::Subgradient,
+        max_iterations: 3000,
+        ..RelaxedOptions::default()
+    });
+    let installed_q: Vec<u32> = net
+        .graph()
+        .node_ids()
+        .map(|v| net.qubit_capacity(v))
+        .collect();
+    let installed_w: Vec<u32> = net
+        .graph()
+        .edge_ids()
+        .map(|e| net.channel_capacity(e))
+        .collect();
+
+    let mut group = c.benchmark_group("regional_outage_recovery");
+    group.sample_size(10);
+    for (label, global) in [("region_scoped", false), ("global_flush", true)] {
+        group.bench_function(format!("{label}/16_corridors_32_slots"), |b| {
+            b.iter(|| {
+                let mut state = EngineState::new(RouteLimits {
+                    max_routes: 4,
+                    max_hops: 4,
+                });
+                state.session_mut().set_global_invalidation(global);
+                let mut policy_rng = StdRng::seed_from_u64(31);
+                let mut total = 0u64;
+                for t in 0..32usize {
+                    // Corridor t mod 16 is entirely dark this slot: 14
+                    // nodes and 16 edges per corridor, laid out
+                    // contiguously by the builder.
+                    let dark = t % 16;
+                    let mut qubits = installed_q.clone();
+                    let mut channels = installed_w.clone();
+                    qubits[dark * 14..(dark + 1) * 14].fill(0);
+                    channels[dark * 16..(dark + 1) * 16].fill(0);
+                    let snap = CapacitySnapshot::clamped(&net, qubits, channels);
+                    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+                    let decision = decide(
+                        &mut state,
+                        SlotDecisionRequest {
+                            network: &net,
+                            requests: &pairs,
+                            ctx: &ctx,
+                            selector: &selector,
+                            allocation: &method,
+                            fidelity_target: None,
+                            rng: &mut policy_rng,
+                        },
+                    );
+                    total += decision.total_cost();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
 /// `count` disjoint diamond gadgets (4 nodes, 2 parallel 2-hop routes);
 /// one SD pair per diamond. Every pair is a singleton coupling component.
 fn diamond_field(count: usize) -> (QdnNetwork, Vec<SdPair>) {
@@ -892,6 +1062,8 @@ fn bench(c: &mut Criterion) {
     bench_dynamic_vs_static(c);
     bench_session_vs_fresh(c);
     bench_churn_recovery(c);
+    bench_node_churn_recovery(c);
+    bench_regional_outage_recovery(c);
     bench_dual_solver(c);
     bench_accel_vs_subgradient(c);
     bench_warm_vs_cold_eval(c);

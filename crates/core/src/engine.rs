@@ -46,7 +46,7 @@
 
 use std::collections::HashMap;
 
-use qdn_graph::Path;
+use qdn_graph::{EdgeId, Path};
 use qdn_net::routes::{CandidateRoutes, RouteLimits, RoutesSnapshot};
 use qdn_net::{QdnNetwork, SdPair};
 use serde::{Deserialize, Serialize};
@@ -158,6 +158,16 @@ impl EngineState {
     /// The churn/invalidation ledger of the most recent slot.
     pub fn churn_diagnostics(&self) -> ChurnDiagnostics {
         ChurnDiagnostics::collect(&self.routes, &self.session)
+    }
+
+    /// Precomputes candidate repair for an *announced* outage of
+    /// `edges` (e.g. an advised maintenance window), so the repair at
+    /// cut time installs cached sets instead of running Yen. Purely an
+    /// optimization: decisions are bit-identical with or without the
+    /// prewarm, so snapshots do not carry it. Returns the number of
+    /// tracked pairs prewarmed.
+    pub fn prewarm_dead_edges(&mut self, network: &QdnNetwork, edges: &[EdgeId]) -> usize {
+        self.routes.prewarm_dead_edges(network, edges)
     }
 
     /// Serializes the full cross-slot state into an [`EngineSnapshot`].

@@ -41,6 +41,13 @@ pub struct ChurnDiagnostics {
     /// Pairs whose candidates were re-derived by the incremental KSP
     /// maintainer (the rest were proven unaffected and skipped).
     pub routes_recomputed: u32,
+    /// Yen searches the batch repair actually ran — at most one per
+    /// affected pair per direction, however many edges died together
+    /// (PR 9; a per-edge repair loop pays one per pair × edge).
+    pub repair_yen_runs: u32,
+    /// Repairs installed from prewarmed candidate sets (announced
+    /// maintenance windows) instead of a live Yen search.
+    pub prewarm_hits: u32,
     /// Static regions in the last evaluated slot.
     pub regions: u32,
     /// Regions whose session memos were flushed.
@@ -68,6 +75,8 @@ impl ChurnDiagnostics {
             restored_edges: churn.restored.len() as u32,
             affected_pairs: churn.changed_pairs.len() as u32,
             routes_recomputed: churn.recomputed as u32,
+            repair_yen_runs: churn.yen_runs as u32,
+            prewarm_hits: churn.prewarm_hits as u32,
             regions: inval.regions,
             regions_flushed: inval.regions_flushed,
             regions_fresh: inval.regions_fresh,

@@ -2888,6 +2888,67 @@ mod tests {
     }
 
     #[test]
+    fn multi_region_cut_flushes_only_touched_regions() {
+        // A correlated outage hits several regions in one slot: with
+        // four disjoint diamonds (four static regions), cutting
+        // capacity in two of them must flush exactly those two — the
+        // session must not degrade to a global flush just because more
+        // than one region changed (PR 9).
+        let mut b = QdnNetworkBuilder::new();
+        let n: Vec<_> = (0..16).map(|_| b.add_node(10)).collect();
+        let good = LinkModel::new(0.85).unwrap();
+        let bad = LinkModel::new(0.25).unwrap();
+        for d in 0..4 {
+            let o = 4 * d;
+            b.add_edge(n[o], n[o + 1], 5, good).unwrap();
+            b.add_edge(n[o + 1], n[o + 3], 5, good).unwrap();
+            b.add_edge(n[o], n[o + 2], 5, bad).unwrap();
+            b.add_edge(n[o + 2], n[o + 3], 5, bad).unwrap();
+        }
+        let net = b.build();
+        let pairs: Vec<SdPair> = (0..4)
+            .map(|d| SdPair::new(NodeId(4 * d), NodeId(4 * d + 3)).unwrap())
+            .collect();
+        let owned = owned_candidates(&net, &pairs);
+        let cands = to_cands(&owned);
+        let method = AllocationMethod::default();
+        let options = EvalOptions::default();
+
+        let mut session = SelectorSession::new();
+        let full = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &full, 800.0, 1.0);
+        let mut eval = ProfileEvaluator::new_in(&mut session, &ctx, &cands, &method, options);
+        eval.evaluate_objective(&[0, 0, 0, 0]).unwrap();
+        assert_eq!(eval.stats().components_solved, 4);
+        eval.retire(&mut session);
+        assert_eq!(session.region_count(), 4);
+
+        // Slot 2: diamonds 1 and 2 each lose a channel on their good
+        // arm — two regions invalidated together, two untouched.
+        let mut channels = vec![5u32; 16];
+        channels[4] = 4; // diamond 1's 4–5 link
+        channels[8] = 4; // diamond 2's 8–9 link
+        let cut = CapacitySnapshot::clamped(&net, vec![10; 16], channels);
+        let ctx2 = PerSlotContext::oscar(&net, &cut, 800.0, 1.0);
+        let mut eval = ProfileEvaluator::new_in(&mut session, &ctx2, &cands, &method, options);
+        let report = session.last_invalidation();
+        assert_eq!(report.regions, 4);
+        assert_eq!(report.regions_flushed, 2, "{report:?}");
+        assert_eq!(report.regions_fresh, 0, "{report:?}");
+        assert!(report.memo_entries_retained >= 2, "{report:?}");
+        let after = eval.evaluate_objective(&[0, 0, 0, 0]).unwrap();
+        let s = eval.stats();
+        assert_eq!(s.memo_hits, 2, "diamonds 0 and 3 answer from memos");
+        assert_eq!(s.components_solved, 2, "only the cut diamonds re-solve");
+        // Retained memos are bit-identical to a fresh evaluator.
+        let fresh = ProfileEvaluator::new(&ctx2, &cands, &method, options)
+            .evaluate_objective(&[0, 0, 0, 0])
+            .unwrap();
+        assert_eq!(after.to_bits(), fresh.to_bits());
+        eval.retire(&mut session);
+    }
+
+    #[test]
     fn global_invalidation_ablation_flushes_everything() {
         let net = two_diamonds();
         let full = CapacitySnapshot::full(&net);

@@ -775,4 +775,148 @@ proptest! {
             }
         }
     }
+
+    /// Cutting a node is exactly cutting its incident edge set: the
+    /// node-cut snapshot additionally zeroes the dark node's qubits,
+    /// but no surviving candidate can cross a node whose links are all
+    /// dead, so that capacity never enters an allocation instance and
+    /// the slot decisions are bit-identical. The same node-cut trace is
+    /// also replayed under the global flush-everything ablation
+    /// (`set_global_invalidation`), pinning that region-scoped
+    /// invalidation never retains a stale memo across a node cut.
+    #[test]
+    fn node_churn_matches_edge_set_churn(
+        net in arb_ring_network(),
+        seed in 0u64..1000,
+        v in 100.0f64..2000.0,
+    ) {
+        use qdn_core::profile_eval::{EvalOptions, PartitionMode, SelectorSession};
+        use qdn_core::route_selection::{Candidates, GibbsConfig, RouteSelector};
+        use qdn_net::routes::{CandidateRoutes, RouteLimits};
+
+        let mut env = rand::rngs::StdRng::seed_from_u64(seed);
+        let pairs: Vec<SdPair> = (0..2)
+            .map(|_| qdn_net::workload::random_sd_pair(&mut env, &net))
+            .collect();
+        let n = net.node_count();
+        let method = AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions::default());
+        for partition in [PartitionMode::Static, PartitionMode::Dynamic] {
+            let evaluator = EvalOptions { partition, warm_profile_seed: false };
+            let selector = RouteSelector::Gibbs(GibbsConfig {
+                iterations: 8,
+                evaluator,
+                ..GibbsConfig::paper_default()
+            });
+            // Three sessions over one churn trace: node cuts under
+            // region-scoped invalidation, the same cuts expressed as
+            // pure edge-set cuts, and node cuts under global flush.
+            let mut cr_node = CandidateRoutes::new(RouteLimits::paper_default());
+            let mut cr_edge = CandidateRoutes::new(RouteLimits::paper_default());
+            let mut cr_glob = CandidateRoutes::new(RouteLimits::paper_default());
+            let mut s_node = SelectorSession::new();
+            let mut s_edge = SelectorSession::new();
+            let mut s_glob = SelectorSession::new();
+            s_glob.set_global_invalidation(true);
+            let mut rng_node = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+            let mut rng_edge = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+            let mut rng_glob = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+            let mut down = vec![false; n];
+            let mut price = 1.0 + (seed % 5) as f64;
+            let mut decided = 0u32;
+            let mut cut: Vec<usize> = Vec::new();
+            for slot in 0..6u64 {
+                // Cut a region on even slots (all incident links die
+                // together), restore it on the next slot — the
+                // surviving ring keeps routing while every slot still
+                // crosses a transition. Every other cut darkens two
+                // ring-adjacent nodes at once (a correlated regional
+                // outage), the rest a single node.
+                if slot % 2 == 0 {
+                    let base = ((seed as usize).wrapping_add(slot as usize * 3)) % n;
+                    cut = if slot % 4 == 2 {
+                        vec![base, (base + 1) % n]
+                    } else {
+                        vec![base]
+                    };
+                    for &v in &cut {
+                        down[v] = true;
+                    }
+                } else {
+                    for &v in &cut {
+                        down[v] = false;
+                    }
+                    cut.clear();
+                }
+                let channels: Vec<u32> = net
+                    .graph()
+                    .edges()
+                    .map(|(e, u, w)| {
+                        if down[u.index()] || down[w.index()] {
+                            0
+                        } else {
+                            net.channel_capacity(e)
+                        }
+                    })
+                    .collect();
+                let full_qubits: Vec<u32> = net
+                    .graph()
+                    .node_ids()
+                    .map(|u| net.qubit_capacity(u))
+                    .collect();
+                let dark_qubits: Vec<u32> = net
+                    .graph()
+                    .node_ids()
+                    .map(|u| if down[u.index()] { 0 } else { net.qubit_capacity(u) })
+                    .collect();
+                let snap_node = CapacitySnapshot::clamped(&net, dark_qubits, channels.clone());
+                let snap_edge = CapacitySnapshot::clamped(&net, full_qubits, channels);
+                cr_node.sync_dead_edges(&net, &snap_node);
+                cr_edge.sync_dead_edges(&net, &snap_edge);
+                cr_glob.sync_dead_edges(&net, &snap_node);
+                let owned: Vec<(SdPair, Vec<Path>)> = pairs
+                    .iter()
+                    .map(|&p| (p, cr_node.routes(&net, p).to_vec()))
+                    .filter(|(_, routes)| !routes.is_empty())
+                    .collect();
+                // All three caches saw the same dead-edge set, so the
+                // candidates must agree before any selection runs.
+                for (pair, routes) in &owned {
+                    prop_assert_eq!(routes, cr_edge.routes(&net, *pair));
+                    prop_assert_eq!(routes, cr_glob.routes(&net, *pair));
+                }
+                if owned.is_empty() {
+                    price += 2.0;
+                    continue;
+                }
+                let cands: Vec<Candidates> = owned
+                    .iter()
+                    .map(|(pair, routes)| Candidates { pair: *pair, routes })
+                    .collect();
+                let ctx_node = PerSlotContext::oscar(&net, &snap_node, v, price);
+                let ctx_edge = PerSlotContext::oscar(&net, &snap_edge, v, price);
+                let d_node =
+                    selector.select_in(&mut s_node, &ctx_node, &cands, &method, &mut rng_node);
+                let d_edge =
+                    selector.select_in(&mut s_edge, &ctx_edge, &cands, &method, &mut rng_edge);
+                let d_glob =
+                    selector.select_in(&mut s_glob, &ctx_node, &cands, &method, &mut rng_glob);
+                decided += 1;
+                prop_assert_eq!(
+                    &d_node, &d_edge,
+                    "node cut vs incident-edge cut diverged at slot {} ({:?})",
+                    slot, partition
+                );
+                prop_assert_eq!(
+                    &d_node, &d_glob,
+                    "region-scoped vs global flush diverged at slot {} ({:?})",
+                    slot, partition
+                );
+                price += 3.0 + slot as f64;
+            }
+            // On a ring, cutting one node leaves a path graph, so the
+            // trace must actually decide slots — the equivalence above
+            // is vacuous otherwise.
+            prop_assert!(decided > 0, "every slot idled ({:?})", partition);
+        }
+    }
 }

@@ -19,6 +19,22 @@
 //! Equivalence with full recomputation is exact up to Yen's tie order
 //! (weight-for-weight identical sets; see the
 //! `incremental_ksp_matches_recompute` proptest in `tests/proptests.rs`).
+//!
+//! Churn rarely arrives one edge at a time: a node cut kills every
+//! incident link in the same slot, and a regional blackout kills whole
+//! clusters. The batched entry points ([`fail_edges`], [`fail_node`],
+//! [`restore_edges`], [`restore_node`]) run the affected-pair proof once
+//! over the whole edge set and re-run Yen at most once per affected
+//! pair, instead of once per (pair, edge) as a loop over the singular
+//! calls would. [`prewarm_fail`] precomputes the post-failure sets for
+//! an *announced* outage (a maintenance window) so the repair at
+//! cut time is a cache install instead of a path search.
+//!
+//! [`fail_edges`]: CandidateMaintainer::fail_edges
+//! [`fail_node`]: CandidateMaintainer::fail_node
+//! [`restore_edges`]: CandidateMaintainer::restore_edges
+//! [`restore_node`]: CandidateMaintainer::restore_node
+//! [`prewarm_fail`]: CandidateMaintainer::prewarm_fail
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -36,12 +52,32 @@ pub struct RepairReport {
     pub changed: Vec<(NodeId, NodeId)>,
     /// Pairs proven unaffected without recomputation.
     pub skipped: usize,
+    /// Yen searches actually run. The batch paths bound this at one per
+    /// affected pair regardless of how many edges died; a per-edge loop
+    /// pays one per (pair, edge) hit.
+    pub yen_runs: usize,
+    /// Repairs served from the prewarm cache instead of a Yen run.
+    pub prewarm_hits: usize,
 }
 
 impl RepairReport {
     /// `true` when no tracked pair's routes changed.
     pub fn is_noop(&self) -> bool {
         self.changed.is_empty()
+    }
+
+    /// Folds `other` into `self` (for callers that batch a failure
+    /// report with a restore report from the same slot).
+    pub fn merge(&mut self, other: RepairReport) {
+        self.recomputed.extend(other.recomputed);
+        self.changed.extend(other.changed);
+        self.recomputed.sort_unstable();
+        self.recomputed.dedup();
+        self.changed.sort_unstable();
+        self.changed.dedup();
+        self.skipped += other.skipped;
+        self.yen_runs += other.yen_runs;
+        self.prewarm_hits += other.prewarm_hits;
     }
 }
 
@@ -85,6 +121,19 @@ pub struct CandidateMaintainer {
     // BTreeMap, not HashMap: fail/restore walk every tracked pair, and
     // repair order must not depend on hasher state (qdn-lint D1).
     sets: BTreeMap<(NodeId, NodeId), Vec<Path>>,
+    // Post-failure sets computed ahead of an announced outage, keyed by
+    // pair and tagged with the exact dead-edge set they assume. Consumed
+    // by `fail_edges` when the assumption holds; never snapshotted (a
+    // hit installs the same routes Yen would return, so decisions are
+    // identical with or without the cache).
+    prewarmed: BTreeMap<(NodeId, NodeId), PrewarmEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct PrewarmEntry {
+    /// The full dead-edge set the routes were computed under.
+    dead: BTreeSet<EdgeId>,
+    routes: Vec<Path>,
 }
 
 impl CandidateMaintainer {
@@ -94,6 +143,7 @@ impl CandidateMaintainer {
             k,
             dead: BTreeSet::new(),
             sets: BTreeMap::new(),
+            prewarmed: BTreeMap::new(),
         }
     }
 
@@ -148,26 +198,79 @@ impl CandidateMaintainer {
     where
         F: Fn(EdgeId) -> f64,
     {
+        self.fail_edges(graph, &[edge], weight)
+    }
+
+    /// Marks every edge in `edges` dead and repairs each affected set
+    /// **once**, against the consolidated post-failure filter.
+    ///
+    /// Equivalent to calling [`fail_edge`](Self::fail_edge) per edge —
+    /// the final dead set is the same, and every affected pair re-runs
+    /// Yen against it — but the affected-pair proof runs once over the
+    /// whole edge set, so a pair hit by several dying edges pays one Yen
+    /// search instead of one per edge ([`RepairReport::yen_runs`]
+    /// counts them). Already-dead and duplicate edges are ignored.
+    pub fn fail_edges<F>(&mut self, graph: &Graph, edges: &[EdgeId], weight: &F) -> RepairReport
+    where
+        F: Fn(EdgeId) -> f64,
+    {
         let mut report = RepairReport::default();
-        if !self.dead.insert(edge) {
-            return report; // already dead
+        let fresh_dead: Vec<EdgeId> = {
+            let mut d: Vec<EdgeId> = edges
+                .iter()
+                .copied()
+                .filter(|&e| self.dead.insert(e))
+                .collect();
+            d.sort_unstable();
+            d
+        };
+        if fresh_dead.is_empty() {
+            return report; // every edge was already dead
         }
         let filter = self.filter();
         for (&key, set) in &mut self.sets {
-            if set.iter().any(|p| p.contains_edge(edge)) {
-                let fresh = yen_k_shortest_filtered(graph, key.0, key.1, self.k, weight, &filter);
-                report.recomputed.push(key);
-                if fresh != *set {
-                    report.changed.push(key);
-                    *set = fresh;
-                }
-            } else {
+            let affected = set
+                .iter()
+                .any(|p| fresh_dead.iter().any(|&e| p.contains_edge(e)));
+            if !affected {
                 report.skipped += 1;
+                continue;
+            }
+            report.recomputed.push(key);
+            let fresh = match self.prewarmed.remove(&key) {
+                // A prewarmed entry is only valid when the outage it
+                // anticipated is exactly the outage that happened.
+                Some(entry) if entry.dead == self.dead => {
+                    report.prewarm_hits += 1;
+                    entry.routes
+                }
+                _ => {
+                    report.yen_runs += 1;
+                    yen_k_shortest_filtered(graph, key.0, key.1, self.k, weight, &filter)
+                }
+            };
+            if fresh != *set {
+                report.changed.push(key);
+                *set = fresh;
             }
         }
         report.recomputed.sort_unstable();
         report.changed.sort_unstable();
         report
+    }
+
+    /// Fails every edge incident to `node` in one batch.
+    ///
+    /// This is the atomic node cut: all incident links die in the same
+    /// slot, and each affected pair is repaired once against the final
+    /// filter instead of once per incident edge.
+    pub fn fail_node<F>(&mut self, graph: &Graph, node: NodeId, weight: &F) -> RepairReport
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        let mut incident: Vec<EdgeId> = graph.neighbors(node).map(|(_, e)| e).collect();
+        incident.sort_unstable();
+        self.fail_edges(graph, &incident, weight)
     }
 
     /// Revives `edge` and repairs every tracked set it could improve.
@@ -181,21 +284,58 @@ impl CandidateMaintainer {
     where
         F: Fn(EdgeId) -> f64,
     {
+        self.restore_edges(graph, &[edge], weight)
+    }
+
+    /// Revives every edge in `edges` and repairs each affected set once.
+    ///
+    /// Any path that newly enters a set must cross at least one revived
+    /// edge, so the per-pair admission bound is the minimum of the
+    /// single-edge bounds (two filtered Dijkstra trees per revived edge,
+    /// all rooted against the post-restore filter). Pairs beating every
+    /// bound are skipped; the rest re-run Yen once. Edges that were not
+    /// dead (and duplicates) are ignored.
+    pub fn restore_edges<F>(&mut self, graph: &Graph, edges: &[EdgeId], weight: &F) -> RepairReport
+    where
+        F: Fn(EdgeId) -> f64,
+    {
         let mut report = RepairReport::default();
-        if !self.dead.remove(&edge) {
-            return report; // was not dead
+        let revived: Vec<EdgeId> = {
+            let mut r: Vec<EdgeId> = edges
+                .iter()
+                .copied()
+                .filter(|e| self.dead.remove(e))
+                .collect();
+            r.sort_unstable();
+            r
+        };
+        if revived.is_empty() {
+            return report; // nothing was dead
         }
         let filter = self.filter();
-        let (u, v) = graph.endpoints(edge);
-        let w = weight(edge);
-        let du = distances_from_filtered(graph, u, weight, &filter);
-        let dv = distances_from_filtered(graph, v, weight, &filter);
+        // One pair of distance trees per revived edge, shared across all
+        // pairs: (w, d(u, *), d(v, *)).
+        let trees: Vec<(f64, Vec<f64>, Vec<f64>)> = revived
+            .iter()
+            .map(|&e| {
+                let (u, v) = graph.endpoints(e);
+                let du = distances_from_filtered(graph, u, weight, &filter);
+                let dv = distances_from_filtered(graph, v, weight, &filter);
+                (weight(e), du, dv)
+            })
+            .collect();
         for (&key, set) in &mut self.sets {
             let (s, d) = key;
-            let bound = (du[s.index()] + w + dv[d.index()]).min(dv[s.index()] + w + du[d.index()]);
+            let bound = trees
+                .iter()
+                .map(|(w, du, dv)| {
+                    (du[s.index()] + w + dv[d.index()]).min(dv[s.index()] + w + du[d.index()])
+                })
+                .fold(f64::INFINITY, f64::min);
             let needs = if set.len() < self.k {
-                // Unsaturated: every non-edge path is already cached, so
-                // only a finite bound (edge connects s to d) can add one.
+                // Unsaturated: every surviving path is already cached, so
+                // only a finite bound (some revived edge connects s to d)
+                // can add one.
                 bound.is_finite()
             } else {
                 let worst = set.last().map_or(f64::INFINITY, |p| p.weight(weight));
@@ -204,6 +344,7 @@ impl CandidateMaintainer {
             if needs {
                 let fresh = yen_k_shortest_filtered(graph, key.0, key.1, self.k, weight, &filter);
                 report.recomputed.push(key);
+                report.yen_runs += 1;
                 if fresh != *set {
                     report.changed.push(key);
                     *set = fresh;
@@ -215,6 +356,77 @@ impl CandidateMaintainer {
         report.recomputed.sort_unstable();
         report.changed.sort_unstable();
         report
+    }
+
+    /// Revives every currently-dead edge incident to `node` in one
+    /// batch. The maintainer does not track *why* an edge is dead;
+    /// callers modelling overlapping outages (two adjacent nodes down,
+    /// one repaired) must keep shared edges out of the restore set
+    /// themselves.
+    pub fn restore_node<F>(&mut self, graph: &Graph, node: NodeId, weight: &F) -> RepairReport
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        let mut incident: Vec<EdgeId> = graph
+            .neighbors(node)
+            .map(|(_, e)| e)
+            .filter(|&e| self.dead.contains(&e))
+            .collect();
+        incident.sort_unstable();
+        self.restore_edges(graph, &incident, weight)
+    }
+
+    /// Precomputes the post-failure candidate sets for an *announced*
+    /// outage of `edges` (e.g. a maintenance window), without changing
+    /// the live sets or the dead-edge set. When the outage later arrives
+    /// as a [`fail_edges`](Self::fail_edges) batch and the dead set
+    /// matches the announcement exactly, affected pairs install the
+    /// precomputed routes instead of running Yen
+    /// ([`RepairReport::prewarm_hits`]). If churn drifts in between, the
+    /// stale entries are simply ignored and repair falls back to Yen —
+    /// decisions are bit-identical either way. Returns the number of
+    /// pairs prewarmed.
+    pub fn prewarm_fail<F>(&mut self, graph: &Graph, edges: &[EdgeId], weight: &F) -> usize
+    where
+        F: Fn(EdgeId) -> f64,
+    {
+        let mut assumed = self.dead.clone();
+        let fresh_dead: Vec<EdgeId> = edges
+            .iter()
+            .copied()
+            .filter(|&e| assumed.insert(e))
+            .collect();
+        if fresh_dead.is_empty() {
+            return 0;
+        }
+        let mut filter = SearchFilter::new();
+        for &e in &assumed {
+            filter.ban_edge(e);
+        }
+        let mut warmed = 0;
+        for (&key, set) in &self.sets {
+            let affected = set
+                .iter()
+                .any(|p| fresh_dead.iter().any(|&e| p.contains_edge(e)));
+            if !affected {
+                continue;
+            }
+            let routes = yen_k_shortest_filtered(graph, key.0, key.1, self.k, weight, &filter);
+            self.prewarmed.insert(
+                key,
+                PrewarmEntry {
+                    dead: assumed.clone(),
+                    routes,
+                },
+            );
+            warmed += 1;
+        }
+        warmed
+    }
+
+    /// Number of pairs with a live prewarmed repair entry.
+    pub fn prewarmed_pairs(&self) -> usize {
+        self.prewarmed.len()
     }
 
     /// Every tracked pair with its cached candidate set, ascending by
@@ -238,6 +450,7 @@ impl CandidateMaintainer {
             k,
             dead: dead.into_iter().collect(),
             sets: sets.into_iter().collect(),
+            prewarmed: BTreeMap::new(),
         }
     }
 
@@ -245,6 +458,7 @@ impl CandidateMaintainer {
     pub fn clear(&mut self) {
         self.dead.clear();
         self.sets.clear();
+        self.prewarmed.clear();
     }
 
     fn filter(&self) -> SearchFilter {
@@ -368,6 +582,104 @@ mod tests {
         assert!(m.routes(a, b).unwrap().is_empty());
         m.restore_edge(&g, only, &hop_weight);
         assert_eq!(m.routes(a, b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batch_fail_runs_yen_once_per_affected_pair() {
+        // 0-1-3 / 0-2-3 diamond: one edge of each arm dies in the same
+        // slot. The pair is hit by both, but the batch repairs it once.
+        let (g, n, e) = two_diamonds();
+        let mut m = CandidateMaintainer::new(4);
+        m.track(&g, n[0], n[3], &hop_weight);
+        let report = m.fail_edges(&g, &[e[0], e[2]], &hop_weight);
+        assert_eq!(report.recomputed, vec![(n[0], n[3])]);
+        assert_eq!(report.yen_runs, 1);
+        assert!(m.routes(n[0], n[3]).unwrap().is_empty());
+
+        // The per-edge loop pays twice for the same outage.
+        let mut per_edge = CandidateMaintainer::new(4);
+        per_edge.track(&g, n[0], n[3], &hop_weight);
+        let total: usize = [e[0], e[2]]
+            .iter()
+            .map(|&edge| per_edge.fail_edge(&g, edge, &hop_weight).yen_runs)
+            .sum();
+        assert_eq!(total, 2);
+        assert_eq!(m.routes(n[0], n[3]), per_edge.routes(n[0], n[3]));
+    }
+
+    #[test]
+    fn fail_node_matches_failing_incident_edges() {
+        let (g, n, _) = two_diamonds();
+        let mut a = CandidateMaintainer::new(4);
+        let mut b = CandidateMaintainer::new(4);
+        for m in [&mut a, &mut b] {
+            m.track(&g, n[0], n[3], &hop_weight);
+            m.track(&g, n[4], n[7], &hop_weight);
+        }
+        let mut incident: Vec<EdgeId> = g.neighbors(n[1]).map(|(_, e)| e).collect();
+        incident.sort_unstable();
+        let ra = a.fail_node(&g, n[1], &hop_weight);
+        let rb = b.fail_edges(&g, &incident, &hop_weight);
+        assert_eq!(ra, rb);
+        assert_eq!(a.routes(n[0], n[3]), b.routes(n[0], n[3]));
+        let restored_a = a.restore_node(&g, n[1], &hop_weight);
+        let restored_b = b.restore_edges(&g, &incident, &hop_weight);
+        assert_eq!(restored_a, restored_b);
+        assert_eq!(a.routes(n[0], n[3]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn batch_restore_repairs_once_and_recovers_the_sets() {
+        let (g, n, e) = two_diamonds();
+        let mut m = CandidateMaintainer::new(4);
+        let before = m.track(&g, n[0], n[3], &hop_weight).to_vec();
+        m.fail_edges(&g, &[e[0], e[1]], &hop_weight);
+        let report = m.restore_edges(&g, &[e[0], e[1]], &hop_weight);
+        assert_eq!(report.recomputed, vec![(n[0], n[3])]);
+        assert_eq!(report.yen_runs, 1);
+        let after = m.routes(n[0], n[3]).unwrap();
+        let wb: Vec<f64> = before.iter().map(|p| p.weight(hop_weight)).collect();
+        let wa: Vec<f64> = after.iter().map(|p| p.weight(hop_weight)).collect();
+        assert_eq!(wb, wa);
+    }
+
+    #[test]
+    fn prewarm_hit_skips_yen_and_installs_identical_routes() {
+        let (g, n, e) = two_diamonds();
+        let outage = [e[0], e[1]];
+
+        let mut cold = CandidateMaintainer::new(4);
+        cold.track(&g, n[0], n[3], &hop_weight);
+        cold.fail_edges(&g, &outage, &hop_weight);
+
+        let mut warm = CandidateMaintainer::new(4);
+        warm.track(&g, n[0], n[3], &hop_weight);
+        assert_eq!(warm.prewarm_fail(&g, &outage, &hop_weight), 1);
+        assert_eq!(warm.prewarmed_pairs(), 1);
+        let report = warm.fail_edges(&g, &outage, &hop_weight);
+        assert_eq!(report.prewarm_hits, 1);
+        assert_eq!(report.yen_runs, 0);
+        assert_eq!(warm.prewarmed_pairs(), 0);
+        assert_eq!(warm.routes(n[0], n[3]), cold.routes(n[0], n[3]));
+    }
+
+    #[test]
+    fn stale_prewarm_falls_back_to_yen() {
+        let (g, n, e) = two_diamonds();
+        let mut m = CandidateMaintainer::new(4);
+        m.track(&g, n[0], n[3], &hop_weight);
+        // Announce {e0}, but e2 dies first: the assumed dead set no
+        // longer matches, so the entry must be ignored.
+        m.prewarm_fail(&g, &[e[0]], &hop_weight);
+        m.fail_edge(&g, e[2], &hop_weight);
+        let report = m.fail_edge(&g, e[0], &hop_weight);
+        assert_eq!(report.prewarm_hits, 0);
+        assert_eq!(report.yen_runs, 1);
+
+        let mut cold = CandidateMaintainer::new(4);
+        cold.track(&g, n[0], n[3], &hop_weight);
+        cold.fail_edges(&g, &[e[0], e[2]], &hop_weight);
+        assert_eq!(m.routes(n[0], n[3]), cold.routes(n[0], n[3]));
     }
 
     #[test]

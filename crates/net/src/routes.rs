@@ -94,6 +94,13 @@ pub struct RouteChurn {
     pub recomputed: usize,
     /// Pair sets proven unaffected without a path search.
     pub skipped: usize,
+    /// Yen searches actually run. The batch repair path bounds this at
+    /// one per affected pair *per direction* (failures and restores are
+    /// separate batches), regardless of how many edges flipped state.
+    pub yen_runs: usize,
+    /// Repairs served from the prewarm cache instead of a Yen run (see
+    /// [`CandidateRoutes::prewarm_dead_edges`]).
+    pub prewarm_hits: usize,
 }
 
 impl RouteChurn {
@@ -135,25 +142,36 @@ impl CandidateRoutes {
     ) -> &RouteChurn {
         let graph = network.graph();
         let mut churn = RouteChurn::default();
+        // One scan to classify, then one consolidated batch per
+        // direction: a node cut or regional blackout kills many edges in
+        // the same slot, and the batch path repairs each affected pair
+        // once against the final dead set instead of once per edge.
         for e in graph.edge_ids() {
             let dead_now = snapshot.channels(e) == 0;
             if dead_now == self.maintainer.is_dead(e) {
                 continue;
             }
-            let report = if dead_now {
+            if dead_now {
                 churn.failed.push(e);
-                self.maintainer.fail_edge(graph, e, &hop_weight)
             } else {
                 churn.restored.push(e);
-                self.maintainer.restore_edge(graph, e, &hop_weight)
-            };
-            churn.recomputed += report.recomputed.len();
-            churn.skipped += report.skipped;
-            for (a, b) in report.changed {
-                churn
-                    .changed_pairs
-                    .push(SdPair::new(a, b).expect("tracked pairs have distinct endpoints"));
             }
+        }
+        let mut report = self
+            .maintainer
+            .fail_edges(graph, &churn.failed, &hop_weight);
+        report.merge(
+            self.maintainer
+                .restore_edges(graph, &churn.restored, &hop_weight),
+        );
+        churn.recomputed = report.recomputed.len();
+        churn.skipped = report.skipped;
+        churn.yen_runs = report.yen_runs;
+        churn.prewarm_hits = report.prewarm_hits;
+        for (a, b) in report.changed {
+            churn
+                .changed_pairs
+                .push(SdPair::new(a, b).expect("tracked pairs have distinct endpoints"));
         }
         churn.changed_pairs.sort_unstable();
         churn.changed_pairs.dedup();
@@ -163,6 +181,17 @@ impl CandidateRoutes {
         }
         self.last_churn = churn;
         &self.last_churn
+    }
+
+    /// Precomputes post-failure candidate sets for an *announced* outage
+    /// of `edges` (a maintenance window), without touching live routes.
+    /// When [`CandidateRoutes::sync_dead_edges`] later absorbs exactly
+    /// that outage, affected pairs install the precomputed sets instead
+    /// of running Yen; decisions are bit-identical either way. Returns
+    /// the number of pairs prewarmed.
+    pub fn prewarm_dead_edges(&mut self, network: &QdnNetwork, edges: &[EdgeId]) -> usize {
+        self.maintainer
+            .prewarm_fail(network.graph(), edges, &hop_weight)
     }
 
     /// The report of the most recent [`CandidateRoutes::sync_dead_edges`].
@@ -523,6 +552,62 @@ mod tests {
         assert!(churn.changed_pairs.is_empty());
         assert_eq!(churn.recomputed, 0);
         assert_eq!(churn.skipped, 1);
+    }
+
+    #[test]
+    fn sync_batches_multi_edge_deaths_into_one_repair() {
+        // Both diamond arms lose an edge in the same slot. The per-edge
+        // loop this replaced re-ran Yen for the 0-3 pair once per dead
+        // edge; the batch path proves affectedness once over the whole
+        // edge set and repairs the pair exactly once.
+        let net = net();
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(cr.routes(&net, pair).len(), 2);
+
+        let e01 = net.graph().edge_between(NodeId(0), NodeId(1)).unwrap();
+        let e02 = net.graph().edge_between(NodeId(0), NodeId(2)).unwrap();
+        let mut channels: Vec<u32> = net.graph().edge_ids().map(|_| 5).collect();
+        channels[e01.index()] = 0;
+        channels[e02.index()] = 0;
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 5], channels);
+        let churn = cr.sync_dead_edges(&net, &snap).clone();
+        assert_eq!(churn.failed.len(), 2);
+        assert_eq!(churn.recomputed, 1);
+        assert_eq!(churn.yen_runs, 1, "batch path must repair the pair once");
+        assert!(cr.routes(&net, pair).is_empty());
+
+        // Both edges revive in one slot: again a single batched repair.
+        let churn = cr
+            .sync_dead_edges(&net, &CapacitySnapshot::full(&net))
+            .clone();
+        assert_eq!(churn.restored.len(), 2);
+        assert_eq!(churn.yen_runs, 1);
+        assert_eq!(cr.routes(&net, pair).len(), 2);
+    }
+
+    #[test]
+    fn prewarmed_sync_skips_yen_and_serves_identical_routes() {
+        let net = net();
+        let e01 = net.graph().edge_between(NodeId(0), NodeId(1)).unwrap();
+        let e02 = net.graph().edge_between(NodeId(0), NodeId(2)).unwrap();
+        let pair = SdPair::new(NodeId(0), NodeId(3)).unwrap();
+        let mut channels: Vec<u32> = net.graph().edge_ids().map(|_| 5).collect();
+        channels[e01.index()] = 0;
+        channels[e02.index()] = 0;
+        let snap = CapacitySnapshot::clamped(&net, vec![10; 5], channels);
+
+        let mut cold = CandidateRoutes::new(RouteLimits::paper_default());
+        let _ = cold.routes(&net, pair);
+        let _ = cold.sync_dead_edges(&net, &snap);
+
+        let mut warm = CandidateRoutes::new(RouteLimits::paper_default());
+        let _ = warm.routes(&net, pair);
+        assert_eq!(warm.prewarm_dead_edges(&net, &[e01, e02]), 1);
+        let churn = warm.sync_dead_edges(&net, &snap).clone();
+        assert_eq!(churn.prewarm_hits, 1);
+        assert_eq!(churn.yen_runs, 0);
+        assert_eq!(warm.routes(&net, pair), cold.routes(&net, pair));
     }
 
     #[test]

@@ -14,6 +14,16 @@
 //!   --workload KIND     uniform (default) | persistent | pinned:S-D,S-D,...
 //!   --reset             reset the daemon to slot 0 before driving
 //!   --shutdown          ask the daemon to stop after the run
+//!
+//! Fault injection (each may be repeated; windows are advised before
+//! driving and the report counts degraded requests):
+//!   --kill-node N            unplanned node cut over the middle third
+//!                            of the run ([slots/3, 2*slots/3))
+//!   --blackout-region N0,N1,...
+//!                            unplanned regional outage, same window
+//!   --maintenance START:END:N0,N1,...
+//!                            planned window [START, END) over the
+//!                            listed nodes (prewarmed when still ahead)
 //! ```
 //!
 //! Prints the [`qdn_serve::LoadReport`] as JSON on stdout. The local
@@ -27,12 +37,31 @@ use std::process::ExitCode;
 use qdn_net::workload::WorkloadConfig;
 use qdn_net::NetworkConfig;
 use qdn_serve::loadgen::{run, LoadConfig};
-use qdn_serve::Client;
+use qdn_serve::{Advisory, Client};
 use rand::SeedableRng;
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("qdn-serve-load: {message}");
     ExitCode::FAILURE
+}
+
+fn parse_nodes(spec: &str) -> Option<Vec<u32>> {
+    let nodes: Option<Vec<u32>> = spec.split(',').map(|n| n.parse().ok()).collect();
+    nodes.filter(|n| !n.is_empty())
+}
+
+/// `START:END:N0,N1,...` → a planned window.
+fn parse_maintenance(spec: &str) -> Option<Advisory> {
+    let mut parts = spec.splitn(3, ':');
+    let start = parts.next()?.parse().ok()?;
+    let end = parts.next()?.parse().ok()?;
+    let nodes = parse_nodes(parts.next()?)?;
+    (start < end).then_some(Advisory {
+        start,
+        end,
+        nodes,
+        planned: true,
+    })
 }
 
 fn parse_workload(spec: &str) -> Option<WorkloadConfig> {
@@ -62,6 +91,9 @@ fn main() -> ExitCode {
     let mut reset = false;
     let mut shutdown = false;
     let mut load = LoadConfig::paper_default();
+    // Unplanned cuts default to the middle third of the run; resolved
+    // after flag parsing so --slots order doesn't matter.
+    let mut unplanned: Vec<Vec<u32>> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Option<String> {
@@ -95,11 +127,31 @@ fn main() -> ExitCode {
                     return fail("--workload needs uniform | persistent | pinned:S-D,...");
                 }
             },
+            "--kill-node" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => unplanned.push(vec![n]),
+                None => return fail("--kill-node needs a node index"),
+            },
+            "--blackout-region" => match take(&mut i).as_deref().and_then(parse_nodes) {
+                Some(nodes) => unplanned.push(nodes),
+                None => return fail("--blackout-region needs N0,N1,..."),
+            },
+            "--maintenance" => match take(&mut i).as_deref().and_then(parse_maintenance) {
+                Some(advisory) => load.faults.push(advisory),
+                None => return fail("--maintenance needs START:END:N0,N1,... with START < END"),
+            },
             "--reset" => reset = true,
             "--shutdown" => shutdown = true,
             other => return fail(&format!("unknown flag {other}")),
         }
         i += 1;
+    }
+    for nodes in unplanned {
+        load.faults.push(Advisory {
+            start: load.slots / 3,
+            end: (2 * load.slots / 3).max(load.slots / 3 + 1),
+            nodes,
+            planned: false,
+        });
     }
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(net_seed);

@@ -6,7 +6,25 @@ use qdn_core::types::Decision;
 use qdn_net::SdPair;
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::proto::{Request, Response, ServeSnapshot, ServeStats, PROTOCOL_VERSION};
+use crate::proto::{Advisory, Request, Response, ServeSnapshot, ServeStats, PROTOCOL_VERSION};
+
+/// What the daemon did with a `Submit` batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The batch is queued for the next tick.
+    Queued {
+        /// Arrivals now pending (including earlier batches).
+        pending: u32,
+    },
+    /// The batch touches a dark region and was refused — resubmit
+    /// after the window closes, or drop the dark endpoints.
+    Degraded {
+        /// The slot the batch would have entered.
+        slot: u64,
+        /// Nodes dark at that slot, ascending.
+        dark_nodes: Vec<u32>,
+    },
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -87,15 +105,33 @@ impl<S: Read + Write> Client<S> {
         }
     }
 
-    /// Queues EC requests for the next tick; returns the pending count.
-    pub fn submit(&mut self, pairs: &[SdPair]) -> Result<u32, ClientError> {
+    /// Queues EC requests for the next tick. A batch touching a dark
+    /// region is answered with [`SubmitOutcome::Degraded`] — typed, not
+    /// an error, because the connection (and the daemon) are healthy;
+    /// the batch just cannot be served during the window.
+    pub fn submit(&mut self, pairs: &[SdPair]) -> Result<SubmitOutcome, ClientError> {
         let raw: Vec<(u32, u32)> = pairs
             .iter()
             .map(|p| (p.source().0, p.destination().0))
             .collect();
         match self.call(&Request::Submit { pairs: raw })? {
-            Response::SubmitOk { pending } => Ok(pending),
-            other => Err(unexpected("SubmitOk", &other)),
+            Response::SubmitOk { pending } => Ok(SubmitOutcome::Queued { pending }),
+            Response::Degraded { slot, dark_nodes } => {
+                Ok(SubmitOutcome::Degraded { slot, dark_nodes })
+            }
+            other => Err(unexpected("SubmitOk or Degraded", &other)),
+        }
+    }
+
+    /// Declares an outage window; returns `(advisories on file,
+    /// pairs prewarmed)`.
+    pub fn advise(&mut self, advisory: Advisory) -> Result<(u32, u32), ClientError> {
+        match self.call(&Request::Advise { advisory })? {
+            Response::AdviseOk {
+                advisories,
+                prewarmed_pairs,
+            } => Ok((advisories, prewarmed_pairs)),
+            other => Err(unexpected("AdviseOk", &other)),
         }
     }
 

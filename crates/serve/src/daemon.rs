@@ -33,7 +33,8 @@ use rand::SeedableRng;
 use crate::config::ServeConfig;
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::proto::{
-    Request, Response, ServeSnapshot, ServeStats, PROTOCOL_VERSION, SERVE_SNAPSHOT_VERSION,
+    Advisory, Request, Response, ServeSnapshot, ServeStats, PROTOCOL_VERSION,
+    SERVE_SNAPSHOT_VERSION,
 };
 use crate::shard::{shard_of, slot_rng, ShardPool};
 
@@ -53,6 +54,11 @@ pub struct Daemon {
     served: u64,
     unserved: u64,
     spent: u64,
+    /// Declared outage windows (maintenance or reactive), pruned of
+    /// expired entries on every tick. Darkness at a slot is the union
+    /// of the covering windows' node sets, overlaid on the dynamics
+    /// snapshot.
+    advisories: Vec<Advisory>,
 }
 
 impl Daemon {
@@ -83,6 +89,7 @@ impl Daemon {
             served: 0,
             unserved: 0,
             spent: 0,
+            advisories: Vec::new(),
         })
     }
 
@@ -124,7 +131,81 @@ impl Daemon {
                 Ok(()) => Response::ResetOk,
                 Err(message) => Response::Error { message },
             },
+            Request::Advise { advisory } => self.advise(advisory),
             Request::Shutdown => Response::ShutdownOk,
+        }
+    }
+
+    /// Nodes dark at slot `t`: the union of every covering advisory's
+    /// node set, ascending and deduplicated.
+    fn dark_nodes(&self, t: u64) -> Vec<u32> {
+        let mut dark: Vec<u32> = self
+            .advisories
+            .iter()
+            .filter(|a| a.covers(t))
+            .flat_map(|a| a.nodes.iter().copied())
+            .collect();
+        dark.sort_unstable();
+        dark.dedup();
+        dark
+    }
+
+    /// Records an outage window and pre-warms candidate repair for it.
+    ///
+    /// Validation is loud: an empty or out-of-range node list, or an
+    /// empty window, is an error — a silently ignored advisory would
+    /// leave the operator believing the region is covered. Windows
+    /// that have not opened yet (`start > slot`) are pre-warmed on
+    /// every shard so the first dark tick repairs from cache; windows
+    /// already open are only recorded (repair happens live on the next
+    /// tick, and a prewarm keyed to a future dead-set would be stale
+    /// anyway).
+    fn advise(&mut self, advisory: Advisory) -> Response {
+        let nodes = self.network.node_count() as u32;
+        if advisory.nodes.is_empty() {
+            return Response::Error {
+                message: "advisory lists no nodes".into(),
+            };
+        }
+        if let Some(&bad) = advisory.nodes.iter().find(|&&n| n >= nodes) {
+            return Response::Error {
+                message: format!("advisory node {bad} out of range: {nodes} nodes"),
+            };
+        }
+        if advisory.start >= advisory.end {
+            return Response::Error {
+                message: format!(
+                    "advisory window [{}, {}) is empty",
+                    advisory.start, advisory.end
+                ),
+            };
+        }
+        let prewarmed = if advisory.start > self.slot {
+            let mut edges: Vec<_> = advisory
+                .nodes
+                .iter()
+                .flat_map(|&n| {
+                    self.network
+                        .graph()
+                        .neighbors(qdn_graph::NodeId(n))
+                        .map(|(_, e)| e)
+                })
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+            match self.pool.prewarm(&edges) {
+                Ok(pairs) => pairs,
+                Err(error) => return self.shard_failure(error),
+            }
+        } else {
+            0
+        };
+        self.advisories.push(advisory);
+        self.advisories
+            .sort_unstable_by_key(|a| (a.start, a.end, a.nodes.clone()));
+        Response::AdviseOk {
+            advisories: self.advisories.len() as u32,
+            prewarmed_pairs: prewarmed as u32,
         }
     }
 
@@ -146,6 +227,22 @@ impl Daemon {
                 }
             }
         }
+        // Graceful degradation: a batch with an endpoint inside a dark
+        // region cannot be served this slot, and queueing it would
+        // only decide it against zeroed capacities. Answer typed so
+        // the client can filter the batch or wait the window out.
+        let dark = self.dark_nodes(self.slot);
+        if !dark.is_empty()
+            && batch.iter().any(|p| {
+                dark.binary_search(&p.source().0).is_ok()
+                    || dark.binary_search(&p.destination().0).is_ok()
+            })
+        {
+            return Response::Degraded {
+                slot: self.slot,
+                dark_nodes: dark,
+            };
+        }
         self.pending.extend(batch);
         Response::SubmitOk {
             pending: self.pending.len() as u32,
@@ -155,7 +252,41 @@ impl Daemon {
     fn tick(&mut self) -> Response {
         let t = self.slot;
         let mut dyn_rng = slot_rng(self.config.seed, t, DYNAMICS_STREAM);
-        let snapshot = self.dynamics.snapshot(t, &self.network, &mut dyn_rng);
+        let mut snapshot = self.dynamics.snapshot(t, &self.network, &mut dyn_rng);
+        // Overlay declared darkness on the dynamics draw: advisory
+        // nodes lose their qubits and every incident link. The
+        // dynamics RNG has already been consumed, so the overlay never
+        // perturbs the capacity process outside the window.
+        let dark = self.dark_nodes(t);
+        if !dark.is_empty() {
+            let qubits: Vec<u32> = self
+                .network
+                .graph()
+                .node_ids()
+                .map(|v| {
+                    if dark.binary_search(&v.0).is_ok() {
+                        0
+                    } else {
+                        snapshot.qubits(v)
+                    }
+                })
+                .collect();
+            let channels: Vec<u32> = self
+                .network
+                .graph()
+                .edges()
+                .map(|(e, u, v)| {
+                    if dark.binary_search(&u.0).is_ok() || dark.binary_search(&v.0).is_ok() {
+                        0
+                    } else {
+                        snapshot.channels(e)
+                    }
+                })
+                .collect();
+            snapshot = qdn_net::CapacitySnapshot::clamped(&self.network, qubits, channels);
+        }
+        // Windows entirely in the past can never darken a future slot.
+        self.advisories.retain(|a| a.end > t);
         let shards = self.pool.len();
         let mut per_shard: Vec<Vec<SdPair>> = vec![Vec::new(); shards];
         for pair in self.pending.drain(..) {
@@ -210,6 +341,7 @@ impl Daemon {
             version: SERVE_SNAPSHOT_VERSION,
             slot: self.slot,
             shards: self.pool.snapshot()?,
+            advisories: self.advisories.clone(),
         })
     }
 
@@ -245,6 +377,12 @@ impl Daemon {
         self.served = 0;
         self.unserved = 0;
         self.spent = snapshot.shards.iter().map(|s| s.spent).sum();
+        // Darkness is a pure function of (advisories, slot), so
+        // installing the windows restores the overlay exactly; the
+        // prewarm cache is not snapshotted and not needed (a miss just
+        // pays the live repair the uninterrupted daemon skipped —
+        // decisions are bit-identical either way).
+        self.advisories = snapshot.advisories.clone();
         Ok(self.slot)
     }
 
@@ -266,6 +404,7 @@ impl Daemon {
         self.served = 0;
         self.unserved = 0;
         self.spent = 0;
+        self.advisories.clear();
         Ok(())
     }
 

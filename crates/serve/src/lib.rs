@@ -42,8 +42,8 @@ pub mod loadgen;
 pub mod proto;
 pub mod shard;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, SubmitOutcome};
 pub use config::ServeConfig;
 pub use daemon::{serve, serve_connection, Daemon, Listener};
 pub use loadgen::{LoadConfig, LoadReport};
-pub use proto::{Request, Response, ServeSnapshot, PROTOCOL_VERSION};
+pub use proto::{Advisory, Request, Response, ServeSnapshot, PROTOCOL_VERSION};

@@ -16,7 +16,8 @@ use qdn_net::workload::{Workload, WorkloadConfig};
 use qdn_net::QdnNetwork;
 use serde::{Deserialize, Serialize};
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, SubmitOutcome};
+use crate::proto::Advisory;
 use crate::shard::slot_rng;
 
 /// RNG stream id for workload draws — distinct from every shard stream
@@ -24,6 +25,9 @@ use crate::shard::slot_rng;
 const WORKLOAD_STREAM: u64 = 2 << 40;
 
 /// What to replay.
+///
+/// **Loud compat break (PR 9):** the `faults` field is required — see
+/// MIGRATION.md §PR 9.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoadConfig {
     /// Slots to drive.
@@ -32,15 +36,19 @@ pub struct LoadConfig {
     pub seed: u64,
     /// The traffic shape.
     pub workload: WorkloadConfig,
+    /// Outage windows to declare (`Advise`) before driving — fault
+    /// injection for the daemon's degradation paths.
+    pub faults: Vec<Advisory>,
 }
 
 impl LoadConfig {
-    /// 64 slots of the paper's `U[1,5]` workload.
+    /// 64 slots of the paper's `U[1,5]` workload, no injected faults.
     pub fn paper_default() -> Self {
         LoadConfig {
             slots: 64,
             seed: 11,
             workload: WorkloadConfig::paper_default(),
+            faults: Vec::new(),
         }
     }
 }
@@ -58,6 +66,13 @@ pub struct LoadReport {
     pub unserved: u64,
     /// Total qubit cost charged.
     pub cost: u64,
+    /// Requests dropped because their batch (or filtered resubmit)
+    /// touched a dark region — the daemon answered `Degraded`.
+    pub degraded: u64,
+    /// Advisory windows declared before driving.
+    pub advisories: u64,
+    /// Candidate pairs the daemon prewarmed for the declared windows.
+    pub prewarmed_pairs: u64,
     /// Wall-clock seconds spent driving (submit + tick round-trips).
     pub elapsed_s: f64,
     /// Requests decided per wall-clock second.
@@ -69,24 +84,54 @@ pub struct LoadReport {
 }
 
 /// Replays the configured workload through a connected, greeted client.
+///
+/// Declared faults are advised up front; during the run a `Degraded`
+/// answer drops the batch's dark-endpoint requests (counted in
+/// [`LoadReport::degraded`]) and resubmits the survivors, so a blackout
+/// degrades throughput instead of stalling the generator.
 pub fn run<S: Read + Write>(
     client: &mut Client<S>,
     network: &QdnNetwork,
     config: &LoadConfig,
 ) -> Result<LoadReport, ClientError> {
+    let mut prewarmed_pairs = 0u64;
+    for fault in &config.faults {
+        let (_, prewarmed) = client.advise(fault.clone())?;
+        prewarmed_pairs += u64::from(prewarmed);
+    }
     let mut workload = config.workload.build();
     let mut submitted = 0u64;
     let mut served = 0u64;
     let mut unserved = 0u64;
+    let mut degraded = 0u64;
     let mut cost = 0u64;
     let mut tick_ms = Vec::with_capacity(config.slots as usize);
     let started = Instant::now();
     for t in 0..config.slots {
         let mut rng = slot_rng(config.seed, t, WORKLOAD_STREAM);
-        let requests = workload.requests(t, network, &mut rng);
+        let mut requests = workload.requests(t, network, &mut rng);
         submitted += requests.len() as u64;
         if !requests.is_empty() {
-            client.submit(&requests)?;
+            if let SubmitOutcome::Degraded { dark_nodes, .. } = client.submit(&requests)? {
+                let before = requests.len();
+                requests.retain(|p| {
+                    dark_nodes.binary_search(&p.source().0).is_err()
+                        && dark_nodes.binary_search(&p.destination().0).is_err()
+                });
+                degraded += (before - requests.len()) as u64;
+                if !requests.is_empty() {
+                    // The survivors avoid every dark node, so this
+                    // resubmit must queue.
+                    match client.submit(&requests)? {
+                        SubmitOutcome::Queued { .. } => {}
+                        SubmitOutcome::Degraded { .. } => {
+                            return Err(ClientError::Protocol(
+                                "filtered resubmit still degraded".into(),
+                            ));
+                        }
+                    }
+                }
+            }
         }
         let tick_start = Instant::now();
         let (_, decision, slot_cost) = client.tick()?;
@@ -103,6 +148,9 @@ pub fn run<S: Read + Write>(
         served,
         unserved,
         cost,
+        degraded,
+        advisories: config.faults.len() as u64,
+        prewarmed_pairs,
         elapsed_s,
         decisions_per_sec: if elapsed_s > 0.0 {
             decided as f64 / elapsed_s

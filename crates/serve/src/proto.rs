@@ -17,10 +17,43 @@ use serde::{Deserialize, Serialize};
 /// Wire protocol version. A daemon answers a `Hello` carrying any other
 /// value with an error and hangs up; bump on any incompatible change to
 /// [`Request`], [`Response`], or the frame format.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 (PR 9): `Advise` verb, `AdviseOk`/`Degraded` responses, advisories
+/// in [`ServeSnapshot`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Version tag of [`ServeSnapshot`]; bump on layout changes.
-pub const SERVE_SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2 (PR 9): declared outage advisories travel with the snapshot.
+pub const SERVE_SNAPSHOT_VERSION: u32 = 2;
+
+/// A declared outage window: the listed nodes are dark (all incident
+/// links dead, qubits unusable) for every slot in `[start, end)`.
+///
+/// Advisories overlay the configured dynamics process — the daemon
+/// zeroes the affected capacities on top of whatever the dynamics drew,
+/// so a declared window composes with stochastic churn. `planned`
+/// distinguishes maintenance (announced ahead of time, eligible for
+/// candidate pre-warming) from reactive reports of unplanned failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Advisory {
+    /// First dark slot.
+    pub start: u64,
+    /// First slot after the window (exclusive).
+    pub end: u64,
+    /// Node indices going dark together.
+    pub nodes: Vec<u32>,
+    /// Announced maintenance (`true`) vs reactive outage report
+    /// (`false`).
+    pub planned: bool,
+}
+
+impl Advisory {
+    /// Whether slot `t` falls inside the window.
+    pub fn covers(&self, t: u64) -> bool {
+        self.start <= t && t < self.end
+    }
+}
 
 /// Client → daemon verbs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +86,15 @@ pub enum Request {
     /// Reset to slot 0 with cold shards and replayed dynamics, as if
     /// freshly started.
     Reset,
+    /// Declare an outage window (maintenance or reactive). The daemon
+    /// darkens the listed nodes for the window's slots and — for
+    /// windows that have not yet opened — pre-warms candidate repair
+    /// for the affected region so the first dark tick pays no Yen
+    /// searches for prewarmed pairs.
+    Advise {
+        /// The window being declared.
+        advisory: Advisory,
+    },
     /// Stop the daemon after answering.
     Shutdown,
 }
@@ -103,6 +145,28 @@ pub enum Response {
     },
     /// Reset done.
     ResetOk,
+    /// Advisory recorded (and pre-warmed where applicable).
+    AdviseOk {
+        /// Advisories currently on file (expired windows pruned).
+        advisories: u32,
+        /// Candidate pairs pre-warmed across all shards for this
+        /// window (0 when the window is already open — repair then
+        /// happens live on the next tick).
+        prewarmed_pairs: u32,
+    },
+    /// Graceful degradation: the submitted batch touches a currently
+    /// dark region, so the daemon refuses to queue it instead of
+    /// deciding against capacities that cannot serve it. The
+    /// connection stays usable; resubmit after the window closes, or
+    /// drop the listed nodes from the batch.
+    Degraded {
+        /// The next slot to be decided (the one the batch would have
+        /// entered).
+        slot: u64,
+        /// Nodes dark at that slot (union over covering advisories),
+        /// ascending.
+        dark_nodes: Vec<u32>,
+    },
     /// Daemon is stopping.
     ShutdownOk,
     /// The request was rejected; the connection stays usable unless the
@@ -146,6 +210,11 @@ pub struct ServeSnapshot {
     pub slot: u64,
     /// Per-shard warm state, indexed by shard.
     pub shards: Vec<ShardSnapshot>,
+    /// Declared outage advisories still on file (PR 9). Darkness is a
+    /// pure function of `(advisories, slot)`, so carrying the windows
+    /// is all restore needs — the prewarm cache is a pure optimization
+    /// (bit-identical decisions either way) and is *not* snapshotted.
+    pub advisories: Vec<Advisory>,
 }
 
 /// One shard's warm state: the engine (candidate routes + selection
@@ -178,6 +247,14 @@ mod tests {
             Request::Stats,
             Request::Snapshot,
             Request::Reset,
+            Request::Advise {
+                advisory: Advisory {
+                    start: 10,
+                    end: 14,
+                    nodes: vec![3, 4],
+                    planned: true,
+                },
+            },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -197,6 +274,14 @@ mod tests {
             },
             Response::SubmitOk { pending: 3 },
             Response::ResetOk,
+            Response::AdviseOk {
+                advisories: 2,
+                prewarmed_pairs: 5,
+            },
+            Response::Degraded {
+                slot: 12,
+                dark_nodes: vec![3, 4],
+            },
             Response::ShutdownOk,
             Response::Error {
                 message: "nope".into(),
@@ -217,6 +302,20 @@ mod tests {
             let back: Response = serde_json::from_str(&wire).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn advisory_window_is_half_open() {
+        let a = Advisory {
+            start: 5,
+            end: 8,
+            nodes: vec![1],
+            planned: false,
+        };
+        assert!(!a.covers(4));
+        assert!(a.covers(5));
+        assert!(a.covers(7));
+        assert!(!a.covers(8));
     }
 
     #[test]

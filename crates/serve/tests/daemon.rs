@@ -9,8 +9,8 @@ use qdn_net::dynamics::DynamicsConfig;
 use qdn_net::workload::{Workload, WorkloadConfig};
 use qdn_serve::daemon::{serve, Daemon, Listener};
 use qdn_serve::frame::{read_frame, write_frame};
-use qdn_serve::proto::{Request, Response, PROTOCOL_VERSION};
-use qdn_serve::{Client, ServeConfig};
+use qdn_serve::proto::{Advisory, Request, Response, PROTOCOL_VERSION};
+use qdn_serve::{Client, ServeConfig, SubmitOutcome};
 
 fn socket_path(tag: &str) -> PathBuf {
     let path = std::env::temp_dir().join(format!("qdn-serve-{}-{tag}.sock", std::process::id()));
@@ -51,8 +51,13 @@ fn end_to_end_over_unix_socket() {
     let mut decided = 0usize;
     for t in 0..8u64 {
         let requests = workload.requests(t, &network, &mut rng);
-        let pending = client.submit(&requests).unwrap();
-        assert_eq!(pending as usize, requests.len());
+        let outcome = client.submit(&requests).unwrap();
+        assert_eq!(
+            outcome,
+            SubmitOutcome::Queued {
+                pending: requests.len() as u32
+            }
+        );
         let (slot, decision, cost) = client.tick().unwrap();
         assert_eq!(slot, t);
         assert_eq!(decision.request_count(), requests.len());
@@ -243,6 +248,89 @@ fn restart_warm_is_bit_identical() {
         serde_json::to_string(&original.snapshot().unwrap()).unwrap(),
         serde_json::to_string(&restored.snapshot().unwrap()).unwrap()
     );
+}
+
+#[test]
+fn regional_blackout_then_recovery() {
+    // Full socket round-trip of the PR 9 degradation path: declare a
+    // regional outage ahead of time, watch submits touching the region
+    // turn into typed Degraded answers for exactly the window's slots,
+    // and turn back into ordinary decisions when the region recovers.
+    let (path, join) = spawn_daemon(ServeConfig::paper_default(), "blackout");
+    let mut client = Client::new(UnixStream::connect(&path).unwrap());
+    client.hello().unwrap();
+
+    let pair =
+        |s: u32, d: u32| qdn_net::SdPair::new(qdn_graph::NodeId(s), qdn_graph::NodeId(d)).unwrap();
+    let inside = pair(1, 2); // endpoints in the region going dark
+    let outside = pair(5, 9); // avoids the region entirely
+    let batch = [inside, outside];
+
+    // Warm the shards on both pairs before declaring the outage, so
+    // the advisory has tracked pairs to prewarm.
+    for t in 0..2u64 {
+        assert!(matches!(
+            client.submit(&batch).unwrap(),
+            SubmitOutcome::Queued { .. }
+        ));
+        let (slot, decision, _) = client.tick().unwrap();
+        assert_eq!(slot, t);
+        assert_eq!(decision.request_count(), 2);
+    }
+
+    // Region {1, 2} goes dark over [3, 6); the window is still ahead,
+    // so the daemon prewarms candidate repair for its incident edges.
+    let (advisories, prewarmed) = client
+        .advise(Advisory {
+            start: 3,
+            end: 6,
+            nodes: vec![1, 2],
+            planned: false,
+        })
+        .unwrap();
+    assert_eq!(advisories, 1);
+    assert!(prewarmed >= 1, "warm shards track pair (1,2): {prewarmed}");
+
+    // Slot 2: window not open yet — business as usual.
+    assert!(matches!(
+        client.submit(&batch).unwrap(),
+        SubmitOutcome::Queued { .. }
+    ));
+    let (_, decision, _) = client.tick().unwrap();
+    assert_eq!(decision.request_count(), 2);
+
+    // Slots 3..6: submits touching the dark region answer Degraded;
+    // the filtered remainder still queues and still decides.
+    for t in 3..6u64 {
+        match client.submit(&batch).unwrap() {
+            SubmitOutcome::Degraded { slot, dark_nodes } => {
+                assert_eq!(slot, t);
+                assert_eq!(dark_nodes, vec![1, 2]);
+            }
+            other => panic!("slot {t}: expected Degraded, got {other:?}"),
+        }
+        assert!(matches!(
+            client.submit(&[outside]).unwrap(),
+            SubmitOutcome::Queued { .. }
+        ));
+        let (slot, decision, _) = client.tick().unwrap();
+        assert_eq!(slot, t);
+        assert_eq!(decision.request_count(), 1, "only the outside pair decided");
+    }
+
+    // Slot 6: the window closed — Degraded turns back into decisions
+    // covering the region pair.
+    assert!(matches!(
+        client.submit(&batch).unwrap(),
+        SubmitOutcome::Queued { .. }
+    ));
+    let (slot, decision, _) = client.tick().unwrap();
+    assert_eq!(slot, 6);
+    assert_eq!(decision.request_count(), 2);
+
+    client.shutdown().unwrap();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

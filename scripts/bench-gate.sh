@@ -21,6 +21,9 @@
 #   * churn_recovery/*                              (post-cut decide latency,
 #                                                    region-scoped vs
 #                                                    global-flush invalidation)
+#   * node_churn_recovery/*                         (node cuts: PR 9 batch
+#                                                    repair + invalidation)
+#   * regional_outage_recovery/*                    (whole-corridor blackouts)
 #   * serve_throughput/*                            (controller daemon over a
 #                                                    Unix socket: 256-slot
 #                                                    load-gen replay, wire
@@ -132,6 +135,8 @@ while read -r name base_med; do
             dynamic_vs_static_partition/* | \
             session_vs_fresh/* | \
             churn_recovery/* | \
+            node_churn_recovery/* | \
+            regional_outage_recovery/* | \
             serve_throughput/* | \
             accel_vs_subgradient/*) ;;
         *) continue ;;

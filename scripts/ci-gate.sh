@@ -63,7 +63,7 @@ if [[ "$full" -eq 1 ]]; then
     # Serve smoke: boot the controller daemon on a Unix socket, replay
     # 64 slots through the load generator, require a clean shutdown and
     # a nonzero decision count in the report.
-    echo "==> serve smoke (qdn-served + qdn-serve-load, 64 slots)"
+    echo "==> serve smoke (qdn-served + qdn-serve-load, 64 slots, --kill-node 3)"
     smoke_sock="$(mktemp -u /tmp/qdn-ci-smoke-XXXXXX.sock)"
     ./target/release/qdn-served --socket "$smoke_sock" --seed 7 --shards 4 &
     served_pid=$!
@@ -73,8 +73,12 @@ if [[ "$full" -eq 1 ]]; then
         sleep 0.1
     done
     [[ -S "$smoke_sock" ]] || { echo "ci-gate: daemon never bound $smoke_sock" >&2; exit 1; }
+    # --kill-node injects an unplanned node outage over the middle
+    # third of the run, exercising the advisory/degraded path end to
+    # end on every full gate.
     smoke_report="$(./target/release/qdn-serve-load \
-        --socket "$smoke_sock" --slots 64 --workload uniform --shutdown)"
+        --socket "$smoke_sock" --slots 64 --workload uniform \
+        --kill-node 3 --shutdown)"
     wait "$served_pid"
     trap - EXIT
     rm -f "$smoke_sock"
