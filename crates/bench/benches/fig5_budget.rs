@@ -33,6 +33,7 @@ fn bench(c: &mut Criterion) {
             e.trials = TrialConfig {
                 trials: 1,
                 base_seed: 2,
+                threads: 0,
                 sim: SimConfig {
                     horizon: 10,
                     realize_outcomes: true,

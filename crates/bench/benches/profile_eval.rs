@@ -968,6 +968,141 @@ fn bench_regional_outage_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR-10 parallel-engine rows (`parallel_gibbs_restarts`): 4-chain
+/// Gibbs restarts on the paper-scale 10-pair workload, serial reference
+/// (`sample_restarts_serial`: shared evaluator, chains in seed order)
+/// vs the work-stealing pool at width 4 (`pool4`: one task per chain,
+/// fresh per-chain evaluators, chain-index-order reduction). Results
+/// are bit-identical between the rows
+/// (`parallel_matches_serial_bit_identical` proptest); the rows gate
+/// the *cost* of each path. On a single-CPU runner `pool4` cannot beat
+/// `serial` — the row guards against scheduling-overhead regressions,
+/// not for speedup.
+fn bench_parallel_gibbs_restarts(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    let snap = CapacitySnapshot::full(&net);
+    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+    let method = AllocationMethod::default();
+    let mut pairs_rng = StdRng::seed_from_u64(11);
+    let owned = make_candidates(&net, 10, &mut pairs_rng);
+    let cands = to_cands(&owned);
+    let config = GibbsConfig::paper_default();
+    let seeds: Vec<u64> = (1..=4u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let pool = threadpool::global_with(4);
+
+    let mut group = c.benchmark_group("parallel_gibbs_restarts");
+    group.sample_size(10);
+    group.bench_function("serial/10_pairs_4_chains", |b| {
+        b.iter(|| {
+            black_box(gibbs::sample_restarts_serial(
+                &ctx, &cands, &method, &config, &seeds, None,
+            ))
+        });
+    });
+    group.bench_function("pool4/10_pairs_4_chains", |b| {
+        b.iter(|| {
+            black_box(
+                pool.install(|| gibbs::sample_restarts(&ctx, &cands, &method, &config, &seeds)),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// The PR-10 trial fan-out rows (`parallel_trial_fanout`): 4 OSCAR
+/// trials over a 10-slot horizon through `qdn_sim::run_trials`, pool
+/// width 1 (`serial`) vs 4 (`pool4`). Byte-identical results either way
+/// (`parallel_trials_byte_identical_to_serial`); the gated cost is the
+/// fan-out overhead.
+fn bench_parallel_trial_fanout(c: &mut Criterion) {
+    use qdn_core::oscar::{OscarConfig, OscarPolicy};
+    use qdn_net::dynamics::StaticDynamics;
+    use qdn_net::workload::UniformWorkload;
+    use qdn_sim::engine::SimConfig;
+    use qdn_sim::trial::{run_trials, TrialConfig, TrialSetup};
+
+    let setup = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TrialSetup {
+            network: NetworkConfig::paper_default().build(&mut rng).unwrap(),
+            workload: Box::new(UniformWorkload::paper_default()),
+            dynamics: Box::new(StaticDynamics),
+            policy: Box::new(OscarPolicy::new(OscarConfig::paper_default())),
+        }
+    };
+    let config = |threads: usize| TrialConfig {
+        trials: 4,
+        base_seed: 99,
+        threads,
+        sim: SimConfig {
+            horizon: 10,
+            realize_outcomes: true,
+        },
+    };
+
+    let mut group = c.benchmark_group("parallel_trial_fanout");
+    group.sample_size(10);
+    for (label, threads) in [("serial", 1), ("pool4", 4)] {
+        let cfg = config(threads);
+        group.bench_function(format!("{label}/4_trials_10_slots"), |b| {
+            b.iter(|| black_box(run_trials(&cfg, setup)));
+        });
+    }
+    group.finish();
+}
+
+/// The PR-10 SIMD-shaped CSR rows (`csr_pass_ns_per_row`): the two hot
+/// solver passes on the paper-scale joint instance, isolated through
+/// `qdn_solve::relaxed::bench_hooks` — `dual_value_at` (gathered
+/// per-variable pricing + chunked λ·caps dot) and `residual_pass`
+/// (gathered per-constraint usage + chunked ‖g‖²). Row medians divided
+/// by the printed row count give ns/row; the gate holds the absolute
+/// pass cost.
+fn bench_csr_passes(c: &mut Criterion) {
+    use qdn_core::route_selection::profile_of;
+    use qdn_solve::relaxed::bench_hooks;
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = NetworkConfig::paper_default().build(&mut rng).unwrap();
+    let snap = CapacitySnapshot::full(&net);
+    let ctx = PerSlotContext::oscar(&net, &snap, 2500.0, 10.0);
+    let mut pairs_rng = StdRng::seed_from_u64(11);
+    let owned = make_candidates(&net, 10, &mut pairs_rng);
+    let cands = to_cands(&owned);
+    let base: Vec<usize> = vec![0; cands.len()];
+    let inst = ctx.build_instance(&profile_of(&cands, &base)).unwrap();
+
+    let cache = bench_hooks::cache(&inst);
+    let lambda: Vec<f64> = (0..inst.num_constraints())
+        .map(|i| 0.01 * (i % 7) as f64)
+        .collect();
+    let mut price = vec![0.0; inst.num_vars()];
+    let mut x = vec![0.0; inst.num_vars()];
+    let dual = bench_hooks::dual_value_at(&inst, &cache, &lambda, &mut price, &mut x);
+    let mut g = vec![0.0; inst.num_constraints()];
+    black_box(dual);
+
+    let mut group = c.benchmark_group("csr_pass_ns_per_row");
+    group.sample_size(15);
+    group.bench_function(format!("dual_value_at/{}_vars", inst.num_vars()), |b| {
+        b.iter(|| {
+            black_box(bench_hooks::dual_value_at(
+                &inst, &cache, &lambda, &mut price, &mut x,
+            ))
+        });
+    });
+    group.bench_function(
+        format!("residual_pass/{}_constraints", inst.num_constraints()),
+        |b| {
+            b.iter(|| black_box(bench_hooks::residual_pass(&inst, &x, &mut g)));
+        },
+    );
+    group.finish();
+}
+
 /// `count` disjoint diamond gadgets (4 nodes, 2 parallel 2-hop routes);
 /// one SD pair per diamond. Every pair is a singleton coupling component.
 fn diamond_field(count: usize) -> (QdnNetwork, Vec<SdPair>) {
@@ -1069,6 +1204,10 @@ fn bench(c: &mut Criterion) {
     bench_warm_vs_cold_eval(c);
 
     bench_gibbs_end_to_end(c);
+
+    bench_parallel_gibbs_restarts(c);
+    bench_parallel_trial_fanout(c);
+    bench_csr_passes(c);
 
     bench_serve_throughput(c);
 }

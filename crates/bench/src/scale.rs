@@ -67,6 +67,7 @@ impl Scale {
         TrialConfig {
             trials: self.trials(),
             base_seed: 0x0DD5_EED5,
+            threads: 0,
             sim: SimConfig {
                 horizon: self.horizon(),
                 realize_outcomes: true,

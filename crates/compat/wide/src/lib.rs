@@ -1,0 +1,176 @@
+//! A tiny SIMD helper — the subset of the `wide` crate's `f64x4` this
+//! workspace uses, as a plain `[f64; 4]` newtype.
+//!
+//! No intrinsics and no `unsafe`: the lane-parallel arithmetic below
+//! compiles to vector instructions wherever the target has them (LLVM
+//! vectorizes fixed-length array arithmetic reliably), and on targets
+//! without SIMD it is exactly the four-accumulator scalar unrolling the
+//! solver passes want anyway (breaking the single-accumulator dependency
+//! chain).
+//!
+//! **Determinism**: every operation is lane-wise with a fixed lane
+//! count, and [`f64x4::reduce_add`] combines lanes in the documented
+//! fixed order `(l0 + l2) + (l1 + l3)` — a pairwise tree, the same shape
+//! a hardware horizontal add uses. Results are bit-identical across
+//! runs, targets, and pool widths; they differ from a naive sequential
+//! sum *by construction* (different association), so switching a loop to
+//! chunked accumulation is a one-time, deterministic trajectory change.
+
+/// Four f64 lanes.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct f64x4(pub [f64; 4]);
+
+impl f64x4 {
+    /// All lanes zero.
+    pub const ZERO: f64x4 = f64x4([0.0; 4]);
+
+    /// Broadcasts `v` to every lane.
+    #[inline]
+    pub fn splat(v: f64) -> f64x4 {
+        f64x4([v; 4])
+    }
+
+    /// Loads four consecutive lanes from a slice (must be ≥ 4 long).
+    #[inline]
+    pub fn from_slice(s: &[f64]) -> f64x4 {
+        f64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Horizontal sum in the fixed pairwise order `(l0+l2) + (l1+l3)`.
+    #[inline]
+    pub fn reduce_add(self) -> f64 {
+        let [a, b, c, d] = self.0;
+        (a + c) + (b + d)
+    }
+
+    /// Lane-wise fused-shape multiply-add `self + a * b` (not an FMA
+    /// instruction — two roundings, bit-identical to `+` and `*`).
+    #[inline]
+    pub fn mul_add_lanes(self, a: f64x4, b: f64x4) -> f64x4 {
+        let mut out = self.0;
+        for ((o, &x), &y) in out.iter_mut().zip(&a.0).zip(&b.0) {
+            *o += x * y;
+        }
+        f64x4(out)
+    }
+}
+
+impl std::ops::Add for f64x4 {
+    type Output = f64x4;
+    #[inline]
+    fn add(self, rhs: f64x4) -> f64x4 {
+        let mut out = self.0;
+        for (o, &r) in out.iter_mut().zip(&rhs.0) {
+            *o += r;
+        }
+        f64x4(out)
+    }
+}
+
+impl std::ops::Sub for f64x4 {
+    type Output = f64x4;
+    #[inline]
+    fn sub(self, rhs: f64x4) -> f64x4 {
+        let mut out = self.0;
+        for (o, &r) in out.iter_mut().zip(&rhs.0) {
+            *o -= r;
+        }
+        f64x4(out)
+    }
+}
+
+impl std::ops::Mul for f64x4 {
+    type Output = f64x4;
+    #[inline]
+    fn mul(self, rhs: f64x4) -> f64x4 {
+        let mut out = self.0;
+        for (o, &r) in out.iter_mut().zip(&rhs.0) {
+            *o *= r;
+        }
+        f64x4(out)
+    }
+}
+
+/// Sums `values` with 4-wide chunked accumulation: one vector
+/// accumulator over the 4-aligned prefix (reduced in the fixed
+/// [`f64x4::reduce_add`] order), then the ≤3 tail lanes added left to
+/// right. Deterministic for a given input length and contents.
+#[inline]
+pub fn sum_chunked(values: &[f64]) -> f64 {
+    let mut acc = f64x4::ZERO;
+    let chunks = values.chunks_exact(4);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        acc = acc + f64x4::from_slice(chunk);
+    }
+    let mut total = acc.reduce_add();
+    for &v in tail {
+        total += v;
+    }
+    total
+}
+
+/// Dot product with the same chunking discipline as [`sum_chunked`].
+#[inline]
+pub fn dot_chunked(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = f64x4::ZERO;
+    let n4 = a.len() & !3;
+    let mut i = 0;
+    while i < n4 {
+        acc = acc.mul_add_lanes(f64x4::from_slice(&a[i..]), f64x4::from_slice(&b[i..]));
+        i += 4;
+    }
+    let mut total = acc.reduce_add();
+    while i < a.len() {
+        total += a[i] * b[i];
+        i += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_order_is_fixed() {
+        let v = f64x4([1e16, 1.0, -1e16, 1.0]);
+        // (1e16 + -1e16) + (1.0 + 1.0) = 2.0 exactly under the pairwise
+        // order; the sequential order would lose a ulp.
+        assert_eq!(v.reduce_add(), 2.0);
+    }
+
+    #[test]
+    fn sum_chunked_matches_itself_bitwise() {
+        let values: Vec<f64> = (0..37).map(|i| (i as f64).sin() * 1e3).collect();
+        let a = sum_chunked(&values);
+        let b = sum_chunked(&values);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn sum_chunked_small_and_empty() {
+        assert_eq!(sum_chunked(&[]), 0.0);
+        assert_eq!(sum_chunked(&[2.5]), 2.5);
+        assert_eq!(sum_chunked(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn dot_chunked_exact_on_integers() {
+        let a: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..11).map(|i| (i * 2) as f64).collect();
+        let expect: f64 = (0..11).map(|i| (i * i * 2) as f64).sum();
+        assert_eq!(dot_chunked(&a, &b), expect);
+    }
+
+    #[test]
+    fn lane_ops() {
+        let a = f64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = f64x4::splat(2.0);
+        assert_eq!((a * b).0, [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!((a + b).0, [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a - b).0, [-1.0, 0.0, 1.0, 2.0]);
+    }
+}

@@ -2035,23 +2035,32 @@ impl<'a> ProfileEvaluator<'a> {
     }
 
     /// Pre-solves all missing work items of `indices` — dynamic groups,
-    /// or whole components where the partition does not refine — on
-    /// scoped threads, and returns the component ids it fully memoized
-    /// at level 1 (ascending) plus whether any item turned out
-    /// infeasible. Bit-identical to the serial path: each item's solve
-    /// is independent and results are inserted in item order. Items are
-    /// chunked over a bounded worker count with one scratch per worker,
-    /// so the cost per call is a few spawns — not one spawn and four
-    /// network-sized allocations per item. An infeasibility observed by
-    /// any worker stops the remaining solves early (ROADMAP item g):
-    /// skipped items are simply not memoized, matching the serial path's
-    /// short-circuit.
+    /// or whole components where the partition does not refine — on the
+    /// shared work-stealing pool ([`threadpool::current`]), and returns
+    /// the component ids it fully memoized at level 1 (ascending) plus
+    /// whether any item turned out infeasible. Bit-identical to the
+    /// serial path at every pool width: each item's solve is independent
+    /// and results are gathered and merged in item order — the same
+    /// order the serial loop solves and absorbs them, so λ absorption
+    /// sees identical state either way. Each worker thread keeps one
+    /// recycled solver scratch across items *and across calls*
+    /// (thread-local), so the steady state allocates nothing
+    /// network-sized. An infeasibility observed by any task stops the
+    /// remaining solves early (ROADMAP item g): skipped items are simply
+    /// not memoized, matching the serial path's short-circuit.
     #[cfg(feature = "parallel")]
     fn solve_missing_parallel(&mut self, indices: &[usize]) -> (Vec<usize>, bool) {
+        use std::cell::RefCell;
         use std::sync::atomic::{AtomicBool, Ordering};
 
         /// Sentinel group id for "solve the whole component".
         const WHOLE: u32 = u32::MAX;
+
+        std::thread_local! {
+            /// Per-worker (scratch, members) recycled across pool tasks.
+            static WORKER_SCRATCH: RefCell<(Option<Scratch>, Vec<usize>)> =
+                const { RefCell::new((None, Vec::new())) };
+        }
 
         let mut items: Vec<(usize, u32)> = Vec::new();
         for comp in 0..self.comp_pairs.len() {
@@ -2074,9 +2083,9 @@ impl<'a> ProfileEvaluator<'a> {
                                 self.group_key.push(self.scratch.joint_key[off + pos]);
                             }
                         }
-                        if !self.dyn_memos[comp]
+                        if self.dyn_memos[comp]
                             .get(self.group_key.as_slice())
-                            .is_some_and(|e| e.epoch == self.epochs[comp])
+                            .is_none_or(|e| e.epoch != self.epochs[comp])
                         {
                             items.push((comp, g));
                         }
@@ -2089,11 +2098,6 @@ impl<'a> ProfileEvaluator<'a> {
         if items.len() < 2 {
             return (Vec::new(), false);
         }
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(items.len());
-        let chunk = items.len().div_ceil(workers);
         let ctx = self.ctx;
         let budget = self.budget;
         let method = self.method;
@@ -2107,57 +2111,58 @@ impl<'a> ProfileEvaluator<'a> {
         let lambda_exact = &self.lambda_exact;
         let infeasible = AtomicBool::new(false);
         type ItemSolve = (usize, u32, usize, Vec<u32>, ComponentSolve);
-        let results: Vec<Vec<ItemSolve>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk)
-                .map(|chunk_items| {
-                    let infeasible = &infeasible;
-                    scope.spawn(move || {
-                        let mut scratch =
-                            Scratch::sized(ctx.network.node_count(), ctx.network.edge_count(), 0);
-                        let mut members: Vec<usize> = Vec::new();
-                        let mut out = Vec::with_capacity(chunk_items.len());
-                        for &(comp, g) in chunk_items {
-                            if infeasible.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let off = comp_key_off[comp];
-                            members.clear();
-                            for (pos, &pair) in comp_pairs[comp].iter().enumerate() {
-                                if g == WHOLE || dyn_group_of[off + pos] == g {
-                                    members.push(pair);
-                                }
-                            }
-                            let mut tuple_key = Vec::new();
-                            let exact = if warm_opts.is_some() {
-                                stage_tuple_key(pairs, &members, indices, &mut tuple_key);
-                                lambda_exact.get(tuple_key.as_slice()).map(|l| &l[..])
-                            } else {
-                                None
-                            };
-                            let warm = warm_opts.as_ref().map(|o| (o, &duals[comp]));
-                            let solve = solve_component(
-                                &mut scratch,
-                                &ctx,
-                                budget,
-                                &method,
-                                routes,
-                                &members,
-                                indices,
-                                warm,
-                                exact,
-                            );
-                            if solve.alloc.is_none() {
-                                infeasible.store(true, Ordering::Relaxed);
-                            }
-                            out.push((comp, g, members.len(), tuple_key, solve));
+        // One pool task per item, gathered in item order by
+        // `map_indexed`; a task that observes the infeasibility flag
+        // returns `None` (its item stays unmemoized).
+        let results: Vec<Option<ItemSolve>> =
+            threadpool::current().map_indexed(items.len(), |item_idx| {
+                if infeasible.load(Ordering::Relaxed) {
+                    return None;
+                }
+                let (comp, g) = items[item_idx];
+                WORKER_SCRATCH.with(|cell| {
+                    let mut state = cell.borrow_mut();
+                    let (slot, members) = &mut *state;
+                    let mut scratch = Scratch::recycled(
+                        slot.take(),
+                        ctx.network.node_count(),
+                        ctx.network.edge_count(),
+                        0,
+                    );
+                    let off = comp_key_off[comp];
+                    members.clear();
+                    for (pos, &pair) in comp_pairs[comp].iter().enumerate() {
+                        if g == WHOLE || dyn_group_of[off + pos] == g {
+                            members.push(pair);
                         }
-                        out
-                    })
+                    }
+                    let mut tuple_key = Vec::new();
+                    let exact = if warm_opts.is_some() {
+                        stage_tuple_key(pairs, members, indices, &mut tuple_key);
+                        lambda_exact.get(tuple_key.as_slice()).map(|l| &l[..])
+                    } else {
+                        None
+                    };
+                    let warm = warm_opts.as_ref().map(|o| (o, &duals[comp]));
+                    let solve = solve_component(
+                        &mut scratch,
+                        &ctx,
+                        budget,
+                        &method,
+                        routes,
+                        members,
+                        indices,
+                        warm,
+                        exact,
+                    );
+                    if solve.alloc.is_none() {
+                        infeasible.store(true, Ordering::Relaxed);
+                    }
+                    let n_pairs = members.len();
+                    *slot = Some(scratch);
+                    Some((comp, g, n_pairs, tuple_key, solve))
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+            });
         let any_infeasible = infeasible.into_inner();
         let mut fresh = Vec::new();
         for (comp, g, n_pairs, tuple_key, solve) in results.into_iter().flatten() {

@@ -57,8 +57,8 @@ pub struct GibbsConfig {
     /// Independent chains to run (1 = a single chain). With more than
     /// one, [`run`] derives one seed per chain from the caller's RNG and
     /// keeps the best profile across chains via [`sample_restarts`]
-    /// (chains run on scoped threads under the `parallel` cargo
-    /// feature).
+    /// (chains run on the shared work-stealing pool under the
+    /// `parallel` cargo feature).
     pub restarts: usize,
     /// Iteration budget used instead of `iterations` when the chain was
     /// initialised from a *warm seed profile* (the previous slot's
@@ -186,7 +186,7 @@ pub fn run_in(
     let chain_seeds: Vec<u64> = (0..config.restarts).map(|_| rng.random()).collect();
     #[cfg(feature = "parallel")]
     {
-        // Chains run on scoped threads with per-chain evaluators (the
+        // Chains run on the shared pool with per-chain evaluators (the
         // session buffers cannot be shared mutably across threads), so
         // the session contributes only the starting profile here.
         sample_restarts_seeded(
@@ -406,9 +406,11 @@ pub fn sample_seeded(
 
 /// Runs one independent chain per seed and returns the best selection
 /// (ties keep the earliest seed). With the `parallel` cargo feature the
-/// chains run concurrently on scoped threads; results are identical to
-/// the serial order either way because each chain is deterministic in its
-/// seed.
+/// chains run on the shared work-stealing pool
+/// ([`threadpool::current`]); results are **bit-identical** to the
+/// serial order at every pool width, because each chain is deterministic
+/// in its seed and chain outcomes are gathered in chain-index order
+/// before the fixed left-to-right [`best_selection`] reduction.
 ///
 /// Returns `None` when every chain fails to find a feasible profile.
 pub fn sample_restarts(
@@ -431,39 +433,50 @@ pub fn sample_restarts_seeded(
     seeds: &[u64],
     profile_seed: Option<&[usize]>,
 ) -> Option<Selection> {
-    use rand::SeedableRng;
-
     #[cfg(feature = "parallel")]
-    let chains: Vec<Option<Selection>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                scope.spawn(move || {
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                    let mut evaluator =
-                        ProfileEvaluator::new(ctx, candidates, method, config.evaluator);
-                    sample_seeded(&mut evaluator, candidates, config, &mut rng, profile_seed)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-
+    {
+        use rand::SeedableRng;
+        // One pool task per chain, each with a fresh per-chain evaluator
+        // (memo sharing needs `&mut`; fresh memos change hit rates, not
+        // results — a memo is an exact cache). `map_indexed` returns the
+        // chain outcomes in chain-index order regardless of execution
+        // interleaving, so the reduction below sees the serial order.
+        let chains: Vec<Option<Selection>> = threadpool::current().map_indexed(seeds.len(), |i| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seeds[i]);
+            let mut evaluator = ProfileEvaluator::new(ctx, candidates, method, config.evaluator);
+            sample_seeded(&mut evaluator, candidates, config, &mut rng, profile_seed)
+        });
+        chains.into_iter().flatten().reduce(best_selection)
+    }
     #[cfg(not(feature = "parallel"))]
-    let chains: Vec<Option<Selection>> = {
-        // Serial chains share one evaluator: every profile any chain has
-        // visited is a memo hit for the others.
-        let mut evaluator = ProfileEvaluator::new(ctx, candidates, method, config.evaluator);
-        seeds
-            .iter()
-            .map(|&seed| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                sample_seeded(&mut evaluator, candidates, config, &mut rng, profile_seed)
-            })
-            .collect()
-    };
+    {
+        sample_restarts_serial(ctx, candidates, method, config, seeds, profile_seed)
+    }
+}
 
-    chains.into_iter().flatten().reduce(best_selection)
+/// The serial multi-chain path: chains run in seed order sharing one
+/// evaluator (every profile any chain has visited is a memo hit for the
+/// others). This is the reference trajectory the parallel path must
+/// reproduce bit-for-bit; it stays compiled under the `parallel` feature
+/// so the equivalence proptest can call it directly.
+#[doc(hidden)]
+pub fn sample_restarts_serial(
+    ctx: &PerSlotContext<'_>,
+    candidates: &[Candidates<'_>],
+    method: &AllocationMethod,
+    config: &GibbsConfig,
+    seeds: &[u64],
+    profile_seed: Option<&[usize]>,
+) -> Option<Selection> {
+    use rand::SeedableRng;
+    let mut evaluator = ProfileEvaluator::new(ctx, candidates, method, config.evaluator);
+    seeds
+        .iter()
+        .filter_map(|&seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            sample_seeded(&mut evaluator, candidates, config, &mut rng, profile_seed)
+        })
+        .reduce(best_selection)
 }
 
 /// One γ-decay step, clamped at [`GibbsConfig::GAMMA_FLOOR`]. The floor

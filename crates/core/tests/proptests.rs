@@ -920,3 +920,161 @@ proptest! {
         }
     }
 }
+
+// The PR-10 headline claim: every parallel stage reduces in fixed index
+// order, so running on the work-stealing pool is **bit-identical** to
+// the serial paths at every pool width — not "statistically the same",
+// the same bits.
+#[cfg(feature = "parallel")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Pool widths 1, 2, and 4 × both partition modes × both dual
+    /// methods, for both the multi-chain Gibbs sampler (per-chain
+    /// seeded RNG streams, chain-index-order reduction, compared
+    /// against the always-serial shared-evaluator reference) and the
+    /// greedy-local selector (whose evaluator pre-pass fans component
+    /// solves onto the pool; compared across widths and, via the
+    /// full-rebuild check, against the serial evaluation path).
+    #[test]
+    fn parallel_matches_serial_bit_identical(
+        net in arb_ring_network(),
+        n_pairs in 2usize..5,
+        v in 100.0f64..2000.0,
+        price in 0.0f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        use qdn_core::profile_eval::{EvalOptions, PartitionMode, ProfileEvaluator};
+        use qdn_core::route_selection::{gibbs, Candidates, GibbsConfig, RouteSelector};
+        use qdn_net::routes::{CandidateRoutes, RouteLimits};
+        use rand::RngExt;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cr = CandidateRoutes::new(RouteLimits::paper_default());
+        let owned: Vec<(SdPair, Vec<Path>)> = (0..n_pairs)
+            .map(|_| {
+                let pair = qdn_net::workload::random_sd_pair(&mut rng, &net);
+                (pair, cr.routes(&net, pair).to_vec())
+            })
+            .collect();
+        prop_assume!(owned.iter().all(|(_, routes)| !routes.is_empty()));
+        let cands: Vec<Candidates> = owned
+            .iter()
+            .map(|(pair, routes)| Candidates { pair: *pair, routes })
+            .collect();
+        let snap = CapacitySnapshot::full(&net);
+        let ctx = PerSlotContext::oscar(&net, &snap, v, price);
+        let chain_seeds: Vec<u64> = (0..4).map(|_| rng.random()).collect();
+
+        for dual in [
+            qdn_solve::DualMethod::Accelerated,
+            qdn_solve::DualMethod::Subgradient,
+        ] {
+            let method = AllocationMethod::RelaxAndRound(qdn_solve::RelaxedOptions {
+                method: dual,
+                ..qdn_solve::RelaxedOptions::default()
+            });
+            for partition in [PartitionMode::Static, PartitionMode::Dynamic] {
+                let evaluator = EvalOptions { partition, warm_profile_seed: false };
+
+                // Gibbs restarts: the serial shared-evaluator reference
+                // trajectory, then the pool at each width.
+                let config = GibbsConfig {
+                    iterations: 6,
+                    restarts: chain_seeds.len(),
+                    evaluator,
+                    ..GibbsConfig::paper_default()
+                };
+                let reference = gibbs::sample_restarts_serial(
+                    &ctx, &cands, &method, &config, &chain_seeds, None,
+                );
+                let mut greedy_reference = None;
+                for width in [1usize, 2, 4] {
+                    let pool = threadpool::ThreadPool::new(width);
+                    let got = pool.install(|| {
+                        gibbs::sample_restarts(&ctx, &cands, &method, &config, &chain_seeds)
+                    });
+                    match (&reference, &got) {
+                        (None, None) => {}
+                        (Some(r), Some(g)) => {
+                            prop_assert_eq!(
+                                r.evaluation.objective.to_bits(),
+                                g.evaluation.objective.to_bits(),
+                                "gibbs objective diverged at width {} ({:?}, {:?})",
+                                width, dual, partition
+                            );
+                            prop_assert_eq!(&r.indices, &g.indices);
+                            prop_assert_eq!(&r.evaluation.allocations, &g.evaluation.allocations);
+                        }
+                        _ => prop_assert!(
+                            false,
+                            "gibbs feasibility diverged at width {} ({:?}, {:?})",
+                            width, dual, partition
+                        ),
+                    }
+
+                    // Greedy-local selector: same selection at every
+                    // width (twin RNG streams), and the evaluator's
+                    // pooled pre-pass stays bit-identical to the serial
+                    // full-rebuild evaluation of the chosen profile.
+                    let selector = RouteSelector::GreedyLocal { max_rounds: 3, evaluator };
+                    let mut sel_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9EED);
+                    let greedy = pool.install(|| {
+                        selector.select(&ctx, &cands, &method, &mut sel_rng)
+                    });
+                    if let Some(g) = &greedy {
+                        let profile: Vec<(SdPair, &Path)> = cands
+                            .iter()
+                            .zip(&g.indices)
+                            .map(|(c, &i)| (c.pair, &c.routes[i]))
+                            .collect();
+                        let rebuilt = ctx
+                            .evaluate(&profile, &method)
+                            .expect("selected profile is feasible");
+                        prop_assert_eq!(
+                            rebuilt.objective.to_bits(),
+                            g.evaluation.objective.to_bits(),
+                            "greedy evaluation diverged from full rebuild at width {}",
+                            width
+                        );
+                    }
+                    let first = greedy_reference.get_or_insert_with(|| greedy.clone());
+                    prop_assert_eq!(
+                        &*first, &greedy,
+                        "greedy selection diverged at width {} ({:?}, {:?})",
+                        width, dual, partition
+                    );
+
+                    // The evaluator pre-pass directly: a short random
+                    // walk, every profile compared bit-for-bit against
+                    // the serial full rebuild.
+                    let mut walk_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA11E);
+                    pool.install(|| -> proptest::TestCaseResult {
+                        let mut eval =
+                            ProfileEvaluator::new(&ctx, &cands, &method, evaluator);
+                        let mut indices: Vec<usize> = cands
+                            .iter()
+                            .map(|c| walk_rng.random_range(0..c.routes.len()))
+                            .collect();
+                        for _ in 0..6 {
+                            let profile: Vec<(SdPair, &Path)> = cands
+                                .iter()
+                                .zip(&indices)
+                                .map(|(c, &i)| (c.pair, &c.routes[i]))
+                                .collect();
+                            prop_assert_eq!(
+                                ctx.evaluate_objective(&profile, &method).map(f64::to_bits),
+                                eval.evaluate_objective(&indices).map(f64::to_bits),
+                                "pre-pass diverged at width {} ({:?}, {:?})",
+                                width, dual, partition
+                            );
+                            let i = walk_rng.random_range(0..indices.len());
+                            indices[i] = walk_rng.random_range(0..cands[i].routes.len());
+                        }
+                        Ok(())
+                    })?;
+                }
+            }
+        }
+    }
+}

@@ -39,6 +39,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no wall-clock or OS entropy outside the allowlist",
     },
     RuleInfo {
+        name: "raw-spawn",
+        code: "D3",
+        summary: "no ad-hoc thread spawning outside the shared compat pool",
+    },
+    RuleInfo {
         name: "serde-default",
         code: "C1",
         summary: "no #[serde(default)] — configs break loudly",
@@ -71,6 +76,10 @@ fn hint_for(rule: &str) -> String {
             "use a BTreeMap/Vec, or sort the collected entries and prove order cannot leak"
         }
         "nondet-time" => "derive every draw from the seeded RNG / slot counter",
+        "raw-spawn" => {
+            "run the stage on the shared pool (threadpool::current().map_indexed/scope) \
+             so width and reduction order stay configured in one place"
+        }
         "serde-default" => "make the field required and document the break in MIGRATION.md",
         "snapshot-version" => "add a `version: u32` field mirroring *_SNAPSHOT_VERSION",
         "no-panic" => "return the error through the three-tier discipline instead of panicking",
@@ -104,6 +113,9 @@ pub fn lint_source(path: &str, source: &str, config: &Config) -> FileLint {
     }
     if config.rule_applies("nondet-time", path) {
         findings.extend(check_nondet_time(tokens));
+    }
+    if config.rule_applies("raw-spawn", path) {
+        findings.extend(check_raw_spawn(tokens));
     }
     if config.rule_applies("serde-default", path) {
         findings.extend(check_serde_default(tokens));
@@ -565,6 +577,50 @@ fn check_nondet_time(tokens: &[Token]) -> Vec<(u32, &'static str, String)> {
                 ));
             }
             _ => {}
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// D3 — raw-spawn
+// ---------------------------------------------------------------------
+
+/// Detects ad-hoc threading: `thread::spawn(..)`, `thread::scope(..)`,
+/// and `thread::Builder` (any path ending in the `thread` segment, so
+/// `std::thread::spawn` trips too). Parallel stages in decision-path
+/// crates must go through the shared compat pool, which owns width
+/// configuration and the fixed-index-order reduction the bit-identity
+/// guarantee hangs on. `thread::JoinHandle`, `thread_local!`, and other
+/// `thread::` items are deliberately not flagged — only the three
+/// spawn entry points.
+fn check_raw_spawn(tokens: &[Token]) -> Vec<(u32, &'static str, String)> {
+    let mut findings = Vec::new();
+    for i in 0..tokens.len() {
+        if !is_ident(&tokens[i], "thread") {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1) else {
+            continue;
+        };
+        if !is_punct(next, "::") {
+            continue;
+        }
+        let Some(item) = tokens.get(i + 2) else {
+            continue;
+        };
+        if item.kind == TokenKind::Ident
+            && matches!(item.text.as_str(), "spawn" | "scope" | "Builder")
+        {
+            findings.push((
+                item.line,
+                "raw-spawn",
+                format!(
+                    "`thread::{}` spawns outside the shared pool — ad-hoc threads \
+                     bypass the configured width and deterministic reduction",
+                    item.text
+                ),
+            ));
         }
     }
     findings

@@ -61,6 +61,19 @@ fn nondet_time_negatives() {
 }
 
 #[test]
+fn raw_spawn_positives() {
+    // thread::spawn, std::thread::scope, thread::Builder.
+    assert_positive("d3_pos.rs", "raw-spawn", 3);
+}
+
+#[test]
+fn raw_spawn_negatives() {
+    // Pool submission, JoinHandle/yield/sleep/thread_local, quoted
+    // mentions, and a suppressed long-lived-owner Builder site.
+    assert_clean("d3_neg.rs");
+}
+
+#[test]
 fn serde_default_positives() {
     // Bare `default` and `default = "path"`.
     assert_positive("c1_pos.rs", "serde-default", 2);

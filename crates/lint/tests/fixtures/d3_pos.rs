@@ -1,0 +1,20 @@
+// True positives for raw-spawn (D3): every spawn entry point, through
+// both a `use`d `thread` and the full `std::thread` path.
+use std::thread;
+
+fn detached() {
+    thread::spawn(|| do_work());
+}
+
+fn scoped(xs: &[u64]) -> u64 {
+    std::thread::scope(|s| {
+        let h = s.spawn(|| xs.iter().sum());
+        h.join().unwrap_or(0)
+    })
+}
+
+fn named() -> std::io::Result<thread::JoinHandle<()>> {
+    thread::Builder::new().name("worker".into()).spawn(do_work)
+}
+
+fn do_work() {}

@@ -9,6 +9,8 @@
 //!   --tcp ADDR:PORT   listen on TCP instead
 //!   --seed N          master seed (default 7)
 //!   --shards N        session shards / worker threads (default 4)
+//!   --threads N       shared solve-pool width for intra-shard
+//!                     parallel stages (default 0 = one per CPU)
 //!   --config FILE     full ServeConfig as JSON (overrides the flags
 //!                     above except --socket/--tcp)
 //!   --churn RATE:MTTR layer Poisson link failures (RATE per slot,
@@ -59,6 +61,10 @@ fn main() -> ExitCode {
             "--shards" => match take(&mut i).and_then(|v| v.parse().ok()) {
                 Some(s) => config.shards = s,
                 None => return fail("--shards needs an integer"),
+            },
+            "--threads" => match take(&mut i).and_then(|v| v.parse().ok()) {
+                Some(t) => config.threads = t,
+                None => return fail("--threads needs an integer"),
             },
             "--config" => {
                 let Some(path) = take(&mut i) else {

@@ -25,6 +25,18 @@ pub struct ServeConfig {
     pub network: NetworkConfig,
     /// Exogenous per-slot capacity process.
     pub dynamics: DynamicsConfig,
+    /// Worker threads of the shared solve pool
+    /// (`crates/compat/threadpool`) that shard threads use for
+    /// intra-shard parallel stages (component solves, Gibbs restarts):
+    /// `0` = one per available CPU.
+    ///
+    /// **Required** in the wire form (PR 10, deliberately a loud serde
+    /// break — see MIGRATION.md §PR 10): a daemon config owns its
+    /// execution engine, so the same config file reproduces the same
+    /// run shape everywhere. Decisions are bit-identical at every
+    /// width — this knob trades wall-clock for cores, never
+    /// determinism.
+    pub threads: usize,
     /// OSCAR parameters (`V`, `q0`, budget, horizon, selector,
     /// allocation, fidelity target). The budget is split evenly across
     /// shards: each shard runs its own virtual queue over
@@ -41,6 +53,7 @@ impl ServeConfig {
             shards: 4,
             network: NetworkConfig::paper_default(),
             dynamics: DynamicsConfig::Static,
+            threads: 0,
             oscar: OscarConfig::paper_default(),
         }
     }
@@ -49,5 +62,26 @@ impl ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_field_is_required_in_wire_form() {
+        // PR 10's deliberate loud break: a daemon config without
+        // `threads` must be rejected, not silently defaulted.
+        let wire = serde_json::to_string(&ServeConfig::paper_default()).unwrap();
+        assert!(wire.contains("\"threads\":0"), "wire form: {wire}");
+        let legacy = wire
+            .replace("\"threads\":0,", "")
+            .replace(",\"threads\":0", "");
+        assert!(!legacy.contains("threads"));
+        assert!(serde_json::from_str::<ServeConfig>(&legacy).is_err());
+        let current = wire.replace("\"threads\":0", "\"threads\":2");
+        let parsed: ServeConfig = serde_json::from_str(&current).unwrap();
+        assert_eq!(parsed.threads, 2);
     }
 }

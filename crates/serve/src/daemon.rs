@@ -76,6 +76,7 @@ impl Daemon {
         let pool = ShardPool::new(
             config.seed,
             config.shards,
+            config.threads,
             Arc::clone(&network),
             Arc::new(config.oscar.clone()),
         )?;
@@ -321,6 +322,7 @@ impl Daemon {
             Ok(s) => s,
             Err(error) => return self.shard_failure(error),
         };
+        let pool_stats = self.pool.solve_pool_stats();
         Response::StatsOk {
             stats: ServeStats {
                 slot: self.slot,
@@ -329,6 +331,9 @@ impl Daemon {
                 unserved: self.unserved,
                 spent: self.spent,
                 queue_values: shards.iter().map(|s| s.queue.value()).collect(),
+                pool_threads: pool_stats.threads as u32,
+                pool_tasks_executed: pool_stats.executed,
+                pool_tasks_stolen: pool_stats.stolen,
             },
         }
     }
@@ -394,6 +399,7 @@ impl Daemon {
             self.pool = ShardPool::new(
                 self.config.seed,
                 self.config.shards,
+                self.config.threads,
                 Arc::clone(&self.network),
                 Arc::new(self.config.oscar.clone()),
             )?;

@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// v2 (PR 9): `Advise` verb, `AdviseOk`/`Degraded` responses, advisories
 /// in [`ServeSnapshot`].
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3 (PR 10): solve-pool utilization counters in [`ServeStats`].
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Version tag of [`ServeSnapshot`]; bump on layout changes.
 ///
@@ -192,6 +194,15 @@ pub struct ServeStats {
     pub spent: u64,
     /// Per-shard virtual-queue lengths `q_t`.
     pub queue_values: Vec<f64>,
+    /// Worker count of the shared solve pool shard threads submit
+    /// parallel stages to (PR 10).
+    pub pool_threads: u32,
+    /// Tasks the solve pool has executed since daemon start.
+    pub pool_tasks_executed: u64,
+    /// Tasks that ran on a different worker than the one that spawned
+    /// them (work stealing) — a utilization signal, not a determinism
+    /// one: results reduce in fixed index order regardless.
+    pub pool_tasks_stolen: u64,
 }
 
 /// Complete serializable image of a running daemon's decision state:
@@ -294,6 +305,9 @@ mod tests {
                     unserved: 2,
                     spent: 812,
                     queue_values: vec![0.5, 12.25],
+                    pool_threads: 4,
+                    pool_tasks_executed: 1024,
+                    pool_tasks_stolen: 96,
                 },
             },
         ];

@@ -196,6 +196,7 @@ mod tests {
         e.trials = TrialConfig {
             trials: 2,
             base_seed: 5,
+            threads: 0,
             sim: SimConfig {
                 horizon: 6,
                 realize_outcomes: true,

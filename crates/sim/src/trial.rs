@@ -1,9 +1,13 @@
 //! Seeded multi-trial execution.
 //!
 //! The paper averages 5 trials per data point (§V-A-2). Trials are
-//! embarrassingly parallel; this module fans them out over OS threads
-//! with `std::thread::scope` (no extra dependencies) while keeping
-//! results in deterministic trial order.
+//! embarrassingly parallel; this module fans them out on the shared
+//! work-stealing pool (`crates/compat/threadpool`), sized by
+//! [`TrialConfig::threads`], while keeping results in deterministic
+//! trial order — each trial is a pure function of its seed and results
+//! are gathered in trial-index order, so a run's `RunMetrics` are
+//! byte-identical at every pool width (see
+//! `parallel_trials_byte_identical_to_serial`).
 
 use qdn_core::policy::RoutingPolicy;
 use qdn_net::dynamics::ResourceDynamics;
@@ -28,6 +32,12 @@ pub struct TrialSetup {
 }
 
 /// Multi-trial parameters.
+///
+/// `threads` is **required** in the wire form (PR 10, deliberately a
+/// loud serde break — see MIGRATION.md §PR 10): a trial config now
+/// *owns* its execution engine instead of inheriting whatever the host
+/// process happened to configure, so the same config file reproduces
+/// the same run shape everywhere.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrialConfig {
     /// Number of trials (paper: 5).
@@ -35,16 +45,21 @@ pub struct TrialConfig {
     /// Base seed; trial `i` uses `base_seed + i` for the environment and
     /// a derived stream for the policy.
     pub base_seed: u64,
+    /// Worker threads for the trial fan-out: `0` = one per available
+    /// CPU. Results are byte-identical at every width — this knob trades
+    /// wall-clock for cores, never determinism.
+    pub threads: usize,
     /// Per-trial simulation parameters.
     pub sim: SimConfig,
 }
 
 impl TrialConfig {
-    /// The paper's defaults: 5 trials over 200 slots.
+    /// The paper's defaults: 5 trials over 200 slots, auto-sized pool.
     pub fn paper_default() -> Self {
         TrialConfig {
             trials: 5,
             base_seed: 0x0DD5_EED5,
+            threads: 0,
             sim: SimConfig::paper_default(),
         }
     }
@@ -73,37 +88,31 @@ pub fn run_trials<F>(config: &TrialConfig, setup: F) -> Vec<RunMetrics>
 where
     F: Fn(u64) -> TrialSetup + Sync,
 {
-    let mut results: Vec<Option<RunMetrics>> = (0..config.trials).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (i, slot) in results.iter_mut().enumerate() {
-            let setup = &setup;
-            let sim = config.sim;
-            let seed = trial_seed(config.base_seed, i);
-            scope.spawn(move || {
-                let mut ts = setup(seed);
-                // Environment stream: network build already consumed part
-                // of a seed-derived stream inside `setup`; the run uses a
-                // continuation seeded deterministically from the trial
-                // seed so the sample path is reproducible.
-                let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x00E0_0E0E_0E0E_0E0E);
-                let mut policy_rng =
-                    rand::rngs::StdRng::seed_from_u64(seed ^ 0x7011_C711_57EA_0000);
-                *slot = Some(run(
-                    &ts.network,
-                    ts.workload.as_mut(),
-                    ts.dynamics.as_mut(),
-                    ts.policy.as_mut(),
-                    &sim,
-                    &mut env_rng,
-                    &mut policy_rng,
-                ));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every trial thread completes"))
-        .collect()
+    let sim = config.sim;
+    // `global_with` keeps one long-lived pool per width for the process
+    // lifetime, so repeated experiment sweeps reuse warm workers instead
+    // of respawning threads per call. `map_indexed` gathers in
+    // trial-index order; each trial is a pure function of its seed, so
+    // the result vector is byte-identical at every pool width.
+    threadpool::global_with(config.threads).map_indexed(config.trials, |i| {
+        let seed = trial_seed(config.base_seed, i);
+        let mut ts = setup(seed);
+        // Environment stream: network build already consumed part of a
+        // seed-derived stream inside `setup`; the run uses a
+        // continuation seeded deterministically from the trial seed so
+        // the sample path is reproducible.
+        let mut env_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x00E0_0E0E_0E0E_0E0E);
+        let mut policy_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x7011_C711_57EA_0000);
+        run(
+            &ts.network,
+            ts.workload.as_mut(),
+            ts.dynamics.as_mut(),
+            ts.policy.as_mut(),
+            &sim,
+            &mut env_rng,
+            &mut policy_rng,
+        )
+    })
 }
 
 #[cfg(test)]
@@ -128,6 +137,7 @@ mod tests {
         TrialConfig {
             trials,
             base_seed: 99,
+            threads: 0,
             sim: SimConfig {
                 horizon: 10,
                 realize_outcomes: true,
@@ -177,6 +187,33 @@ mod tests {
             let rm: Vec<usize> = m.slots().iter().map(|s| s.requests).collect();
             assert_eq!(ro, rm, "request sample paths must match across policies");
         }
+    }
+
+    #[test]
+    fn parallel_trials_byte_identical_to_serial() {
+        let mut serial_cfg = small_config(4);
+        serial_cfg.threads = 1;
+        let mut parallel_cfg = small_config(4);
+        parallel_cfg.threads = 4;
+        let serial = run_trials(&serial_cfg, oscar_setup);
+        let parallel = run_trials(&parallel_cfg, oscar_setup);
+        // Compare the serialized wire form: byte-identical, not merely
+        // structurally equal.
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn threads_field_is_required_in_wire_form() {
+        // PR 10's deliberate loud break: a config without `threads`
+        // must be rejected, not silently defaulted.
+        let legacy = r#"{"trials":2,"base_seed":5,"sim":{"horizon":10,"realize_outcomes":true}}"#;
+        assert!(serde_json::from_str::<TrialConfig>(legacy).is_err());
+        let current = r#"{"trials":2,"base_seed":5,"threads":1,"sim":{"horizon":10,"realize_outcomes":true}}"#;
+        let parsed: TrialConfig = serde_json::from_str(current).unwrap();
+        assert_eq!(parsed.threads, 1);
     }
 
     #[test]

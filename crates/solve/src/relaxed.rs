@@ -63,9 +63,36 @@
 //! [`RelaxedSolution::lambda`] for the caller to store.
 
 use serde::{Deserialize, Serialize};
+use wide::f64x4;
 
 use crate::instance::{ln_success, AllocationInstance};
 use crate::SolveError;
+
+/// `Σ x[idx]` over one CSR row, 4-wide chunked: a vector accumulator
+/// over the 4-aligned prefix (lanes combined in the fixed
+/// [`f64x4::reduce_add`] order), then the ≤3 tail entries left to right.
+/// Deterministic for a given row; every caller of the shared passes sees
+/// the same association, so cross-path bit-identity is preserved.
+#[inline]
+pub(crate) fn gather_sum(idx: &[u32], x: &[f64]) -> f64 {
+    let chunks = idx.chunks_exact(4);
+    let tail = chunks.remainder();
+    let mut acc = f64x4::ZERO;
+    for ch in chunks {
+        acc = acc
+            + f64x4([
+                x[ch[0] as usize],
+                x[ch[1] as usize],
+                x[ch[2] as usize],
+                x[ch[3] as usize],
+            ]);
+    }
+    let mut sum = acc.reduce_add();
+    for &j in tail {
+        sum += x[j as usize];
+    }
+    sum
+}
 
 /// Which dual iteration solves the relaxation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -424,21 +451,24 @@ pub(crate) struct VarCache {
 
 impl VarCache {
     pub(crate) fn new(instance: &AllocationInstance) -> Self {
+        // One flat stride-1 fill per output array (not one
+        // row-of-structs loop writing four arrays at once): each loop
+        // reads/writes contiguous memory, which is the shape the
+        // vectorizer and the prefetcher both want. Element values are
+        // bit-identical to the fused loop — only the traversal changed.
         let n = instance.num_vars();
-        let mut cache = VarCache {
-            ln_beta: vec![0.0f64; n],
-            ub_f: vec![0.0f64; n],
-            ln_p1: vec![0.0f64; n],
-            ln_p_ub: vec![0.0f64; n],
-        };
-        for j in 0..n {
-            let p = instance.vars[j].p;
-            cache.ln_beta[j] = f64::ln_1p(-p);
-            cache.ub_f[j] = instance.ub[j] as f64;
-            cache.ln_p1[j] = ln_success(p, 1.0);
-            cache.ln_p_ub[j] = ln_success(p, cache.ub_f[j]);
+        let ln_beta: Vec<f64> = instance.vars.iter().map(|v| f64::ln_1p(-v.p)).collect();
+        let ub_f: Vec<f64> = instance.ub.iter().map(|&u| u as f64).collect();
+        let ln_p1: Vec<f64> = instance.vars.iter().map(|v| ln_success(v.p, 1.0)).collect();
+        let ln_p_ub: Vec<f64> = (0..n)
+            .map(|j| ln_success(instance.vars[j].p, ub_f[j]))
+            .collect();
+        VarCache {
+            ln_beta,
+            ub_f,
+            ln_p1,
+            ln_p_ub,
         }
-        cache
     }
 }
 
@@ -464,11 +494,7 @@ pub(crate) fn dual_value_at(
     let mem_idx = &instance.mem_idx;
     for j in 0..n {
         let (lo, hi) = (mem_off[j] as usize, mem_off[j + 1] as usize);
-        let mut acc = 0.0;
-        for &c in &mem_idx[lo..hi] {
-            acc += lambda[c as usize];
-        }
-        price[j] = kappa + acc;
+        price[j] = kappa + gather_sum(&mem_idx[lo..hi], lambda);
     }
     let mut dual = 0.0;
     for j in 0..n {
@@ -492,10 +518,29 @@ pub(crate) fn dual_value_at(
             dual += v * crate::scalar::interior_log_term(rho) - pr * x_star;
         }
     }
-    for (c, &l) in lambda.iter().enumerate() {
-        dual += l * instance.caps[c] as f64;
+    // Caps term `Σ_c λ_c cap_c`: 4-wide chunked dot with the same fixed
+    // lane-reduction order as the gather pass, tail left to right.
+    let caps = &instance.caps;
+    let chunks = lambda.chunks_exact(4);
+    let tail_start = lambda.len() & !3;
+    let mut acc = f64x4::ZERO;
+    for (k, lam) in chunks.enumerate() {
+        let base = k * 4;
+        acc = acc.mul_add_lanes(
+            f64x4::from_slice(lam),
+            f64x4([
+                caps[base] as f64,
+                caps[base + 1] as f64,
+                caps[base + 2] as f64,
+                caps[base + 3] as f64,
+            ]),
+        );
     }
-    dual
+    let mut caps_term = acc.reduce_add();
+    for c in tail_start..lambda.len() {
+        caps_term += lambda[c] * caps[c] as f64;
+    }
+    dual + caps_term
 }
 
 /// Constraint residual pass shared by both method loops:
@@ -504,18 +549,14 @@ pub(crate) fn dual_value_at(
 pub(crate) fn residual_pass(instance: &AllocationInstance, x: &[f64], g: &mut [f64]) -> f64 {
     let con_off = &instance.con_off;
     let con_idx = &instance.con_idx;
-    let mut g_norm2 = 0.0;
     for c in 0..instance.caps.len() {
         let (lo, hi) = (con_off[c] as usize, con_off[c + 1] as usize);
-        let mut usage = 0.0;
-        for &j in &con_idx[lo..hi] {
-            usage += x[j as usize];
-        }
-        let gc = usage - instance.caps[c] as f64;
-        g[c] = gc;
-        g_norm2 += gc * gc;
+        g[c] = gather_sum(&con_idx[lo..hi], x) - instance.caps[c] as f64;
     }
-    g_norm2
+    // ‖g‖² as a second flat stride-1 pass over the filled residuals —
+    // chunked self-dot in the fixed `wide` order instead of a scalar
+    // accumulator riding the gather loop.
+    wide::dot_chunked(g, g)
 }
 
 /// Repairs `candidate` into the feasible region ([`repair_into`]) and
@@ -707,6 +748,36 @@ pub(crate) fn repair_into(
             theta = theta.min(theta_c[c as usize]);
         }
         *o = 1.0 + (x[j] - 1.0).max(0.0) * theta;
+    }
+}
+
+/// Microbenchmark entry points for the `csr_pass_ns_per_row` rows in
+/// `qdn_bench`. Not public API — the pass functions stay `pub(crate)`;
+/// this shim only exists so the bench crate can time them in isolation.
+#[doc(hidden)]
+pub mod bench_hooks {
+    use super::{AllocationInstance, VarCache};
+
+    /// Opaque per-solve constant cache (wraps the crate-private
+    /// [`VarCache`]).
+    pub struct Cache(VarCache);
+
+    pub fn cache(instance: &AllocationInstance) -> Cache {
+        Cache(VarCache::new(instance))
+    }
+
+    pub fn dual_value_at(
+        instance: &AllocationInstance,
+        cache: &Cache,
+        lambda: &[f64],
+        price: &mut [f64],
+        x: &mut [f64],
+    ) -> f64 {
+        super::dual_value_at(instance, &cache.0, lambda, price, x)
+    }
+
+    pub fn residual_pass(instance: &AllocationInstance, x: &[f64], g: &mut [f64]) -> f64 {
+        super::residual_pass(instance, x, g)
     }
 }
 

@@ -28,6 +28,12 @@
 #                                                    Unix socket: 256-slot
 #                                                    load-gen replay, wire
 #                                                    protocol + shard fan-out)
+#   * parallel_gibbs_restarts/*                     (PR 10: 4-chain restarts,
+#                                                    serial vs pool width 4)
+#   * parallel_trial_fanout/*                       (PR 10: sim trial fan-out,
+#                                                    pool width 1 vs 4)
+#   * csr_pass_ns_per_row/*                         (PR 10: SIMD-shaped CSR
+#                                                    solver passes)
 #
 # A row FAILS when `fresh_median_of_medians > baseline_median *
 # BENCH_GATE_FACTOR`. Getting *faster* never fails — refresh the
@@ -138,6 +144,9 @@ while read -r name base_med; do
             node_churn_recovery/* | \
             regional_outage_recovery/* | \
             serve_throughput/* | \
+            parallel_gibbs_restarts/* | \
+            parallel_trial_fanout/* | \
+            csr_pass_ns_per_row/* | \
             accel_vs_subgradient/*) ;;
         *) continue ;;
     esac

@@ -49,6 +49,7 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace \
     --exclude serde --exclude serde_derive --exclude serde_json \
     --exclude rand --exclude proptest --exclude criterion \
+    --exclude threadpool --exclude wide \
     --all-targets -- -D warnings
 
 echo "==> qdn-lint --report target/lint-report.json"
@@ -59,6 +60,12 @@ if [[ "$full" -eq 1 ]]; then
     cargo build --release
     echo "==> cargo test -q"
     cargo test -q
+
+    # The parallel execution engine: tier-1 core tests again with the
+    # shared pool on, including the bit-identity proptest
+    # (parallel_matches_serial_bit_identical at widths 1/2/4).
+    echo "==> cargo test -q -p qdn_core --features parallel"
+    cargo test -q -p qdn_core --features parallel
 
     # Serve smoke: boot the controller daemon on a Unix socket, replay
     # 64 slots through the load generator, require a clean shutdown and

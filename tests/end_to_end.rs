@@ -18,6 +18,7 @@ fn small_experiment() -> Experiment {
     e.trials = TrialConfig {
         trials: 2,
         base_seed: 314,
+        threads: 0,
         sim: SimConfig {
             horizon: HORIZON,
             realize_outcomes: true,

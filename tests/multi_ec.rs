@@ -125,6 +125,7 @@ fn multi_ec_experiment_config_round_trips() {
     e.trials = TrialConfig {
         trials: 2,
         base_seed: 9,
+        threads: 0,
         sim: SimConfig {
             horizon: 8,
             realize_outcomes: true,
@@ -151,6 +152,7 @@ fn oscar_dominates_mf_under_multi_ec_load() {
     e.trials = TrialConfig {
         trials: 2,
         base_seed: 21,
+        threads: 0,
         sim: SimConfig {
             horizon: 40,
             realize_outcomes: true,
